@@ -1,0 +1,46 @@
+//! `sim32-asm` — assemble a Sim32 assembly file and print a listing.
+//!
+//! ```text
+//! sim32-asm program.s            # stats + disassembly listing
+//! sim32-asm --quiet program.s    # stats only
+//! ```
+
+use dvp_asm::{assemble, disassemble};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quiet = args.iter().any(|a| a == "--quiet" || a == "-q");
+    args.retain(|a| a != "--quiet" && a != "-q");
+    let Some(path) = args.first() else {
+        eprintln!("usage: sim32-asm [--quiet] <file.s>");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sim32-asm: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match assemble(&source) {
+        Ok(image) => {
+            eprintln!(
+                "{path}: {} instructions ({} bytes text), {} bytes data, entry 0x{:08x}, {} symbols",
+                image.text.len(),
+                image.text.len() * 4,
+                image.data.len(),
+                image.entry,
+                image.symbols.len()
+            );
+            if !quiet {
+                print!("{}", disassemble(&image));
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}:{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Disassembly listings of program images.
+
+use crate::ProgramImage;
+use dvp_isa::decode;
+use std::collections::HashMap;
+
+/// Renders a human-readable listing of the image's text segment:
+/// `address: word  instruction`, with label lines interleaved from the
+/// image's symbol table.
+///
+/// Undecodable words (possible in hand-crafted images) are shown as
+/// `.word 0x…`.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_asm::{assemble, disassemble};
+///
+/// let image = assemble(".text\nmain: li t0, 1\nloop: addi t0, t0, 1\n b loop")?;
+/// let listing = disassemble(&image);
+/// assert!(listing.contains("main:"));
+/// assert!(listing.contains("loop:"));
+/// assert!(listing.contains("addi t0, t0, 1"));
+/// # Ok::<(), dvp_asm::AsmError>(())
+/// ```
+#[must_use]
+pub fn disassemble(image: &ProgramImage) -> String {
+    // Group labels by address (several labels may share one).
+    let mut labels: HashMap<u32, Vec<&str>> = HashMap::new();
+    for (name, &addr) in &image.symbols {
+        labels.entry(addr).or_default().push(name);
+    }
+    for names in labels.values_mut() {
+        names.sort_unstable();
+    }
+
+    let mut out = String::new();
+    for (i, &word) in image.text.iter().enumerate() {
+        let addr = image.text_base + (i as u32) * 4;
+        if let Some(names) = labels.get(&addr) {
+            for name in names {
+                out.push_str(name);
+                out.push_str(":\n");
+            }
+        }
+        let text = match decode(word) {
+            Ok(instr) => instr.to_string(),
+            Err(_) => format!(".word 0x{word:08x}"),
+        };
+        out.push_str(&format!("  0x{addr:08x}: {word:08x}  {text}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+
+    #[test]
+    fn listing_round_trips_mnemonics() {
+        let src = r"
+            .text
+            main: add t0, t1, t2
+                  lw s0, 4(sp)
+                  jal helper
+                  halt
+            helper: jr ra
+        ";
+        let image = assemble(src).unwrap();
+        let listing = disassemble(&image);
+        for expected in ["add t0, t1, t2", "lw s0, 4(sp)", "jr ra", "main:", "helper:"] {
+            assert!(listing.contains(expected), "missing `{expected}` in:\n{listing}");
+        }
+    }
+
+    #[test]
+    fn addresses_are_sequential() {
+        let image = assemble(".text\nnop\nnop\nnop").unwrap();
+        let listing = disassemble(&image);
+        assert!(listing.contains("0x00400000"));
+        assert!(listing.contains("0x00400004"));
+        assert!(listing.contains("0x00400008"));
+    }
+
+    #[test]
+    fn bad_words_render_as_word_directives() {
+        let mut image = assemble(".text\nnop").unwrap();
+        image.text.push(0xfc00_0000); // invalid opcode
+        let listing = disassemble(&image);
+        assert!(listing.contains(".word 0xfc000000"), "{listing}");
+    }
+
+    #[test]
+    fn data_labels_do_not_pollute_text_listing() {
+        let image = assemble(".text\nmain: halt\n.data\nbuf: .word 1").unwrap();
+        let listing = disassemble(&image);
+        assert!(listing.contains("main:"));
+        assert!(!listing.contains("buf:"), "{listing}");
+    }
+}

@@ -1,0 +1,77 @@
+//! The output of assembly: a loadable program image.
+
+use std::collections::HashMap;
+
+/// Default base address of the text (code) segment.
+pub const TEXT_BASE: u32 = 0x0040_0000;
+
+/// Default base address of the data segment.
+pub const DATA_BASE: u32 = 0x1000_0000;
+
+/// A fully assembled program, ready to be loaded by the simulator.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_asm::assemble;
+///
+/// let image = assemble(".text\nmain: halt\n.data\nx: .word 7")?;
+/// assert_eq!(image.entry, image.symbol("main").unwrap());
+/// assert_eq!(image.data, vec![7, 0, 0, 0]); // little endian
+/// # Ok::<(), dvp_asm::AsmError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramImage {
+    /// Encoded instruction words, in order, starting at `text_base`.
+    pub text: Vec<u32>,
+    /// Byte address where the text segment is loaded.
+    pub text_base: u32,
+    /// Raw data segment bytes, starting at `data_base`.
+    pub data: Vec<u8>,
+    /// Byte address where the data segment is loaded.
+    pub data_base: u32,
+    /// Entry point (the `main` label if present, else `text_base`).
+    pub entry: u32,
+    /// All labels with their resolved byte addresses.
+    pub symbols: HashMap<String, u32>,
+}
+
+impl ProgramImage {
+    /// Looks up a label's byte address.
+    #[must_use]
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// The byte address one past the end of the text segment.
+    #[must_use]
+    pub fn text_end(&self) -> u32 {
+        self.text_base + (self.text.len() as u32) * 4
+    }
+
+    /// The byte address one past the end of the initialized data segment.
+    #[must_use]
+    pub fn data_end(&self) -> u32 {
+        self.data_base + self.data.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ends_are_computed_from_lengths() {
+        let image = ProgramImage {
+            text: vec![0; 3],
+            text_base: 0x400000,
+            data: vec![0; 5],
+            data_base: 0x10000000,
+            entry: 0x400000,
+            symbols: HashMap::new(),
+        };
+        assert_eq!(image.text_end(), 0x40000c);
+        assert_eq!(image.data_end(), 0x10000005);
+        assert_eq!(image.symbol("nope"), None);
+    }
+}

@@ -1,0 +1,64 @@
+//! # dvp-asm — assembler for the Sim32 ISA
+//!
+//! A two-pass text assembler producing loadable [`ProgramImage`]s for the
+//! `dvp-sim` functional simulator. It supports labels, the usual data
+//! directives, and a small set of pseudo-instructions that expand to real
+//! Sim32 instructions.
+//!
+//! The `dvp-lang` Mini compiler emits this assembly dialect; hand-written
+//! `.s` files (used heavily in tests) use it too.
+//!
+//! # Syntax
+//!
+//! ```text
+//! # comment            ; also a comment
+//!         .text
+//! main:   li   t0, 10
+//! loop:   addi t0, t0, -1
+//!         bne  t0, zero, loop
+//!         li   v0, 99
+//!         syscall 0            # halt
+//!         .data
+//! msg:    .asciiz "hi"
+//! nums:   .word 1, 2, 3
+//! ```
+//!
+//! # Pseudo-instructions
+//!
+//! | pseudo | expansion |
+//! |--------|-----------|
+//! | `li rd, imm32`  | `addi`/`ori`/`lui(+ori)` depending on the value |
+//! | `la rd, label`  | `lui` + `ori` |
+//! | `move rd, rs`   | `add rd, rs, zero` |
+//! | `not rd, rs`    | `nor rd, rs, zero` |
+//! | `neg rd, rs`    | `sub rd, zero, rs` |
+//! | `b label`       | `beq zero, zero, label` |
+//! | `beqz/bnez r, label` | `beq`/`bne` against `zero` |
+//! | `bgt/ble/bgtu/bleu`  | operand-swapped `blt`/`bge`/`bltu`/`bgeu` |
+//! | `halt`          | `syscall 0` |
+//! | `nop`           | `sll zero, zero, 0` |
+//!
+//! # Examples
+//!
+//! ```
+//! use dvp_asm::assemble;
+//!
+//! let image = assemble(r#"
+//!         .text
+//! main:   li   v0, 42
+//!         halt
+//! "#)?;
+//! assert_eq!(image.text.len(), 2);
+//! # Ok::<(), dvp_asm::AsmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod disasm;
+mod image;
+mod parser;
+
+pub use disasm::disassemble;
+pub use image::{ProgramImage, DATA_BASE, TEXT_BASE};
+pub use parser::{assemble, assemble_with_bases, AsmError};

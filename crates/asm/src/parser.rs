@@ -1,0 +1,1069 @@
+//! The two-pass assembler.
+
+use crate::image::{ProgramImage, DATA_BASE, TEXT_BASE};
+use dvp_isa::{encode, BranchOp, IOp, Instr, MemOp, ROp, Reg, ShiftOp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembly error with the 1-based source line where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl AsmError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        AsmError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// A parsed source line: optional label plus optional statement.
+#[derive(Debug, Clone)]
+struct Line {
+    number: usize,
+    label: Option<String>,
+    mnemonic: Option<String>,
+    operands: Vec<String>,
+}
+
+/// Strips comments (`#` or `;` to end of line), respecting quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut in_char = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !in_char && !prev_backslash => in_str = !in_str,
+            '\'' if !in_str && !prev_backslash => in_char = !in_char,
+            '#' | ';' if !in_str && !in_char => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+/// Splits an operand list on top-level commas (commas inside quotes or char
+/// literals do not split).
+fn split_operands(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut in_char = false;
+    let mut prev_backslash = false;
+    for c in s.chars() {
+        match c {
+            '"' if !in_char && !prev_backslash => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            '\'' if !in_str && !prev_backslash => {
+                in_char = !in_char;
+                cur.push(c);
+            }
+            ',' if !in_str && !in_char => {
+                out.push(cur.trim().to_owned());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_owned());
+    }
+    out
+}
+
+fn parse_line(number: usize, raw: &str) -> Result<Option<Line>, AsmError> {
+    let text = strip_comment(raw).trim();
+    if text.is_empty() {
+        return Ok(None);
+    }
+    // Local labels like `.L0:` are allowed; directives never contain `:`.
+    let (label, rest) = match text.split_once(':') {
+        Some((l, r)) if !l.contains(char::is_whitespace) && !l.is_empty() => {
+            (Some(l.to_owned()), r.trim())
+        }
+        _ => (None, text),
+    };
+    if rest.is_empty() {
+        return Ok(Some(Line { number, label, mnemonic: None, operands: Vec::new() }));
+    }
+    let (mnemonic, args) = match rest.split_once(char::is_whitespace) {
+        Some((m, a)) => (m.to_owned(), a.trim()),
+        None => (rest.to_owned(), ""),
+    };
+    Ok(Some(Line {
+        number,
+        label,
+        mnemonic: Some(mnemonic.to_ascii_lowercase()),
+        operands: split_operands(args),
+    }))
+}
+
+/// Parses a character literal body (after the opening quote was checked).
+fn parse_char(body: &str, line: usize) -> Result<i64, AsmError> {
+    let inner = body
+        .strip_prefix('\'')
+        .and_then(|s| s.strip_suffix('\''))
+        .ok_or_else(|| AsmError::new(line, format!("malformed char literal `{body}`")))?;
+    let value = match inner {
+        "\\n" => b'\n',
+        "\\t" => b'\t',
+        "\\r" => b'\r',
+        "\\0" => 0,
+        "\\\\" => b'\\',
+        "\\'" => b'\'',
+        "\\\"" => b'"',
+        s if s.len() == 1 => s.bytes().next().unwrap(),
+        _ => return Err(AsmError::new(line, format!("malformed char literal `{body}`"))),
+    };
+    Ok(i64::from(value))
+}
+
+/// Parses a numeric literal: decimal, hex (0x), binary (0b), or char.
+fn parse_number(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let tok = tok.trim();
+    if tok.starts_with('\'') {
+        return parse_char(tok, line);
+    }
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+        i64::from_str_radix(bin, 2)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| AsmError::new(line, format!("invalid number `{tok}`")))?;
+    Ok(if neg { -value } else { value })
+}
+
+/// Decodes a string literal with escapes into bytes.
+fn parse_string(tok: &str, line: usize) -> Result<Vec<u8>, AsmError> {
+    let inner = tok
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| AsmError::new(line, format!("malformed string literal `{tok}`")))?;
+    let mut out = Vec::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+            continue;
+        }
+        let esc = chars
+            .next()
+            .ok_or_else(|| AsmError::new(line, "dangling escape in string literal"))?;
+        out.push(match esc {
+            'n' => b'\n',
+            't' => b'\t',
+            'r' => b'\r',
+            '0' => 0,
+            '\\' => b'\\',
+            '"' => b'"',
+            '\'' => b'\'',
+            other => {
+                return Err(AsmError::new(line, format!("unknown escape `\\{other}`")));
+            }
+        });
+    }
+    Ok(out)
+}
+
+/// A value that is either a literal or a label reference (resolved at pass 2).
+#[derive(Debug, Clone)]
+enum ValueExpr {
+    Literal(i64),
+    Label(String),
+}
+
+fn parse_value_expr(tok: &str, line: usize) -> Result<ValueExpr, AsmError> {
+    let tok = tok.trim();
+    if tok.is_empty() {
+        return Err(AsmError::new(line, "empty operand"));
+    }
+    let first = tok.chars().next().unwrap();
+    if first.is_ascii_digit() || first == '-' || first == '\'' {
+        Ok(ValueExpr::Literal(parse_number(tok, line)?))
+    } else {
+        Ok(ValueExpr::Label(tok.to_owned()))
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    tok.parse::<Reg>().map_err(|e| AsmError::new(line, e.to_string()))
+}
+
+/// `offset(base)` memory operand.
+fn parse_mem_operand(tok: &str, line: usize) -> Result<(i16, Reg), AsmError> {
+    let open = tok
+        .find('(')
+        .ok_or_else(|| AsmError::new(line, format!("expected `offset(base)`, got `{tok}`")))?;
+    let close = tok
+        .rfind(')')
+        .filter(|&c| c > open)
+        .ok_or_else(|| AsmError::new(line, format!("unclosed memory operand `{tok}`")))?;
+    let off_text = tok[..open].trim();
+    let offset = if off_text.is_empty() { 0 } else { parse_number(off_text, line)? };
+    let offset = i16::try_from(offset)
+        .map_err(|_| AsmError::new(line, format!("offset {offset} out of 16-bit range")))?;
+    let base = parse_reg(tok[open + 1..close].trim(), line)?;
+    Ok((offset, base))
+}
+
+/// How many instruction words a (possibly pseudo) instruction occupies.
+fn instr_size(line: &Line) -> Result<u32, AsmError> {
+    let m = line.mnemonic.as_deref().unwrap_or("");
+    Ok(match m {
+        "li" => {
+            let imm = parse_number(
+                line.operands
+                    .get(1)
+                    .ok_or_else(|| AsmError::new(line.number, "li needs 2 operands"))?,
+                line.number,
+            )?;
+            li_size(imm)
+        }
+        "la" => 2,
+        _ => 1,
+    })
+}
+
+fn li_size(imm: i64) -> u32 {
+    // One instruction when a 16-bit form exists (addi/ori) or when a bare
+    // lui covers it; otherwise lui + ori.
+    if i16::try_from(imm).is_ok() || u16::try_from(imm).is_ok() || imm & 0xffff == 0 {
+        1
+    } else {
+        2
+    }
+}
+
+struct Assembler {
+    text: Vec<u32>,
+    text_base: u32,
+    data: Vec<u8>,
+    data_base: u32,
+    symbols: HashMap<String, u32>,
+}
+
+impl Assembler {
+    fn resolve(&self, expr: &ValueExpr, line: usize) -> Result<i64, AsmError> {
+        match expr {
+            ValueExpr::Literal(v) => Ok(*v),
+            ValueExpr::Label(name) => self
+                .symbols
+                .get(name)
+                .map(|&a| i64::from(a))
+                .ok_or_else(|| AsmError::new(line, format!("undefined label `{name}`"))),
+        }
+    }
+
+    fn push(&mut self, instr: Instr) {
+        self.text.push(encode(instr));
+    }
+
+    fn current_pc(&self) -> u32 {
+        self.text_base + (self.text.len() as u32) * 4
+    }
+
+    fn branch_offset(&self, expr: &ValueExpr, line: usize) -> Result<i16, AsmError> {
+        match expr {
+            ValueExpr::Literal(v) => i16::try_from(*v)
+                .map_err(|_| AsmError::new(line, format!("branch offset {v} out of range"))),
+            ValueExpr::Label(_) => {
+                let target = self.resolve(expr, line)?;
+                let next = i64::from(self.current_pc()) + 4;
+                let delta = target - next;
+                if delta % 4 != 0 {
+                    return Err(AsmError::new(line, "branch target is not word aligned"));
+                }
+                i16::try_from(delta / 4).map_err(|_| {
+                    AsmError::new(line, format!("branch target {delta} bytes away: out of range"))
+                })
+            }
+        }
+    }
+
+    fn jump_target(&self, expr: &ValueExpr, line: usize) -> Result<u32, AsmError> {
+        let addr = self.resolve(expr, line)?;
+        if addr % 4 != 0 {
+            return Err(AsmError::new(line, "jump target is not word aligned"));
+        }
+        Ok(((addr as u64) >> 2) as u32 & 0x03ff_ffff)
+    }
+
+    fn emit_li(&mut self, rd: Reg, imm: i64, line: usize) -> Result<(), AsmError> {
+        if !(-0x8000_0000..=0xffff_ffff).contains(&imm) {
+            return Err(AsmError::new(line, format!("li immediate {imm} out of 32-bit range")));
+        }
+        let imm32 = (imm as u64 & 0xffff_ffff) as u32;
+        if let Ok(v) = i16::try_from(imm) {
+            self.push(Instr::I { op: IOp::Addi, rt: rd, rs: Reg::ZERO, imm: v });
+        } else if let Ok(v) = u16::try_from(imm) {
+            self.push(Instr::I { op: IOp::Ori, rt: rd, rs: Reg::ZERO, imm: v as i16 });
+        } else {
+            let hi = (imm32 >> 16) as u16;
+            let lo = (imm32 & 0xffff) as u16;
+            self.push(Instr::Lui { rt: rd, imm: hi });
+            if lo != 0 {
+                self.push(Instr::I { op: IOp::Ori, rt: rd, rs: rd, imm: lo as i16 });
+            }
+        }
+        Ok(())
+    }
+}
+
+const R_OPS: [(&str, ROp); 12] = [
+    ("add", ROp::Add),
+    ("sub", ROp::Sub),
+    ("and", ROp::And),
+    ("or", ROp::Or),
+    ("xor", ROp::Xor),
+    ("nor", ROp::Nor),
+    ("slt", ROp::Slt),
+    ("sltu", ROp::Sltu),
+    ("mul", ROp::Mul),
+    ("mulh", ROp::Mulh),
+    ("div", ROp::Div),
+    ("rem", ROp::Rem),
+];
+
+const I_OPS: [(&str, IOp); 6] = [
+    ("addi", IOp::Addi),
+    ("slti", IOp::Slti),
+    ("sltiu", IOp::Sltiu),
+    ("andi", IOp::Andi),
+    ("ori", IOp::Ori),
+    ("xori", IOp::Xori),
+];
+
+const MEM_OPS: [(&str, MemOp); 8] = [
+    ("lb", MemOp::Lb),
+    ("lbu", MemOp::Lbu),
+    ("lh", MemOp::Lh),
+    ("lhu", MemOp::Lhu),
+    ("lw", MemOp::Lw),
+    ("sb", MemOp::Sb),
+    ("sh", MemOp::Sh),
+    ("sw", MemOp::Sw),
+];
+
+const BRANCH_OPS: [(&str, BranchOp); 6] = [
+    ("beq", BranchOp::Beq),
+    ("bne", BranchOp::Bne),
+    ("blt", BranchOp::Blt),
+    ("bge", BranchOp::Bge),
+    ("bltu", BranchOp::Bltu),
+    ("bgeu", BranchOp::Bgeu),
+];
+
+/// Swapped-operand branch pseudo-ops: `bgt a, b` == `blt b, a` etc.
+const SWAPPED_BRANCH_OPS: [(&str, BranchOp); 4] = [
+    ("bgt", BranchOp::Blt),
+    ("ble", BranchOp::Bge),
+    ("bgtu", BranchOp::Bltu),
+    ("bleu", BranchOp::Bgeu),
+];
+
+const SHIFT_OPS: [(&str, ShiftOp); 3] =
+    [("sll", ShiftOp::Sll), ("srl", ShiftOp::Srl), ("sra", ShiftOp::Sra)];
+
+const SHIFTV_OPS: [(&str, ShiftOp); 3] =
+    [("sllv", ShiftOp::Sll), ("srlv", ShiftOp::Srl), ("srav", ShiftOp::Sra)];
+
+fn expect_operands(line: &Line, n: usize) -> Result<(), AsmError> {
+    if line.operands.len() == n {
+        Ok(())
+    } else {
+        Err(AsmError::new(
+            line.number,
+            format!(
+                "{} expects {n} operands, got {}",
+                line.mnemonic.as_deref().unwrap_or("?"),
+                line.operands.len()
+            ),
+        ))
+    }
+}
+
+impl Assembler {
+    #[allow(clippy::too_many_lines)]
+    fn emit_instruction(&mut self, line: &Line) -> Result<(), AsmError> {
+        let m = line.mnemonic.as_deref().unwrap_or("");
+        let ln = line.number;
+        let ops = &line.operands;
+
+        if let Some((_, op)) = R_OPS.iter().find(|(n, _)| *n == m) {
+            expect_operands(line, 3)?;
+            let rd = parse_reg(&ops[0], ln)?;
+            let rs = parse_reg(&ops[1], ln)?;
+            let rt = parse_reg(&ops[2], ln)?;
+            self.push(Instr::R { op: *op, rd, rs, rt });
+            return Ok(());
+        }
+        if let Some((_, op)) = I_OPS.iter().find(|(n, _)| *n == m) {
+            expect_operands(line, 3)?;
+            let rt = parse_reg(&ops[0], ln)?;
+            let rs = parse_reg(&ops[1], ln)?;
+            let imm = parse_number(&ops[2], ln)?;
+            let imm = if matches!(op, IOp::Andi | IOp::Ori | IOp::Xori | IOp::Sltiu) {
+                u16::try_from(imm)
+                    .map(|v| v as i16)
+                    .or_else(|_| i16::try_from(imm))
+                    .map_err(|_| AsmError::new(ln, format!("immediate {imm} out of range")))?
+            } else {
+                i16::try_from(imm)
+                    .map_err(|_| AsmError::new(ln, format!("immediate {imm} out of range")))?
+            };
+            self.push(Instr::I { op: *op, rt, rs, imm });
+            return Ok(());
+        }
+        if let Some((_, op)) = MEM_OPS.iter().find(|(n, _)| *n == m) {
+            expect_operands(line, 2)?;
+            let rt = parse_reg(&ops[0], ln)?;
+            let (offset, base) = parse_mem_operand(&ops[1], ln)?;
+            self.push(Instr::Mem { op: *op, rt, base, offset });
+            return Ok(());
+        }
+        if let Some((_, op)) = BRANCH_OPS.iter().find(|(n, _)| *n == m) {
+            expect_operands(line, 3)?;
+            let rs = parse_reg(&ops[0], ln)?;
+            let rt = parse_reg(&ops[1], ln)?;
+            let offset = self.branch_offset(&parse_value_expr(&ops[2], ln)?, ln)?;
+            self.push(Instr::Branch { op: *op, rs, rt, offset });
+            return Ok(());
+        }
+        if let Some((_, op)) = SWAPPED_BRANCH_OPS.iter().find(|(n, _)| *n == m) {
+            expect_operands(line, 3)?;
+            let rs = parse_reg(&ops[0], ln)?;
+            let rt = parse_reg(&ops[1], ln)?;
+            let offset = self.branch_offset(&parse_value_expr(&ops[2], ln)?, ln)?;
+            // Swapped: bgt a, b == blt b, a.
+            self.push(Instr::Branch { op: *op, rs: rt, rt: rs, offset });
+            return Ok(());
+        }
+        if let Some((_, op)) = SHIFT_OPS.iter().find(|(n, _)| *n == m) {
+            expect_operands(line, 3)?;
+            let rd = parse_reg(&ops[0], ln)?;
+            let rt = parse_reg(&ops[1], ln)?;
+            let shamt = parse_number(&ops[2], ln)?;
+            let shamt = u8::try_from(shamt)
+                .ok()
+                .filter(|&s| s < 32)
+                .ok_or_else(|| AsmError::new(ln, format!("shift amount {shamt} out of range")))?;
+            self.push(Instr::Shift { op: *op, rd, rt, shamt });
+            return Ok(());
+        }
+        if let Some((_, op)) = SHIFTV_OPS.iter().find(|(n, _)| *n == m) {
+            expect_operands(line, 3)?;
+            let rd = parse_reg(&ops[0], ln)?;
+            let rt = parse_reg(&ops[1], ln)?;
+            let rs = parse_reg(&ops[2], ln)?;
+            self.push(Instr::ShiftV { op: *op, rd, rt, rs });
+            return Ok(());
+        }
+
+        match m {
+            "lui" => {
+                expect_operands(line, 2)?;
+                let rt = parse_reg(&ops[0], ln)?;
+                let imm = parse_number(&ops[1], ln)?;
+                let imm = u16::try_from(imm)
+                    .map_err(|_| AsmError::new(ln, format!("lui immediate {imm} out of range")))?;
+                self.push(Instr::Lui { rt, imm });
+            }
+            "j" => {
+                expect_operands(line, 1)?;
+                let target = self.jump_target(&parse_value_expr(&ops[0], ln)?, ln)?;
+                self.push(Instr::J { target });
+            }
+            "jal" => {
+                expect_operands(line, 1)?;
+                let target = self.jump_target(&parse_value_expr(&ops[0], ln)?, ln)?;
+                self.push(Instr::Jal { target });
+            }
+            "jr" => {
+                expect_operands(line, 1)?;
+                let rs = parse_reg(&ops[0], ln)?;
+                self.push(Instr::Jr { rs });
+            }
+            "jalr" => {
+                expect_operands(line, 2)?;
+                let rd = parse_reg(&ops[0], ln)?;
+                let rs = parse_reg(&ops[1], ln)?;
+                self.push(Instr::Jalr { rd, rs });
+            }
+            "syscall" => {
+                let code = match ops.len() {
+                    0 => 0,
+                    1 => u32::try_from(parse_number(&ops[0], ln)?)
+                        .map_err(|_| AsmError::new(ln, "syscall code out of range"))?,
+                    _ => return Err(AsmError::new(ln, "syscall takes at most one operand")),
+                };
+                self.push(Instr::Syscall { code });
+            }
+            // ----- pseudo-instructions -----
+            "nop" => {
+                expect_operands(line, 0)?;
+                self.push(Instr::NOP);
+            }
+            "halt" => {
+                expect_operands(line, 0)?;
+                self.push(Instr::Syscall { code: dvp_isa::syscall::HALT });
+            }
+            "li" => {
+                expect_operands(line, 2)?;
+                let rd = parse_reg(&ops[0], ln)?;
+                let imm = parse_number(&ops[1], ln)?;
+                self.emit_li(rd, imm, ln)?;
+            }
+            "la" => {
+                expect_operands(line, 2)?;
+                let rd = parse_reg(&ops[0], ln)?;
+                let addr = self.resolve(&parse_value_expr(&ops[1], ln)?, ln)? as u32;
+                self.push(Instr::Lui { rt: rd, imm: (addr >> 16) as u16 });
+                self.push(Instr::I {
+                    op: IOp::Ori,
+                    rt: rd,
+                    rs: rd,
+                    imm: (addr & 0xffff) as u16 as i16,
+                });
+            }
+            "move" => {
+                expect_operands(line, 2)?;
+                let rd = parse_reg(&ops[0], ln)?;
+                let rs = parse_reg(&ops[1], ln)?;
+                self.push(Instr::R { op: ROp::Add, rd, rs, rt: Reg::ZERO });
+            }
+            "not" => {
+                expect_operands(line, 2)?;
+                let rd = parse_reg(&ops[0], ln)?;
+                let rs = parse_reg(&ops[1], ln)?;
+                self.push(Instr::R { op: ROp::Nor, rd, rs, rt: Reg::ZERO });
+            }
+            "neg" => {
+                expect_operands(line, 2)?;
+                let rd = parse_reg(&ops[0], ln)?;
+                let rs = parse_reg(&ops[1], ln)?;
+                self.push(Instr::R { op: ROp::Sub, rd, rs: Reg::ZERO, rt: rs });
+            }
+            "b" => {
+                expect_operands(line, 1)?;
+                let offset = self.branch_offset(&parse_value_expr(&ops[0], ln)?, ln)?;
+                self.push(Instr::Branch { op: BranchOp::Beq, rs: Reg::ZERO, rt: Reg::ZERO, offset });
+            }
+            "beqz" | "bnez" => {
+                expect_operands(line, 2)?;
+                let rs = parse_reg(&ops[0], ln)?;
+                let offset = self.branch_offset(&parse_value_expr(&ops[1], ln)?, ln)?;
+                let op = if m == "beqz" { BranchOp::Beq } else { BranchOp::Bne };
+                self.push(Instr::Branch { op, rs, rt: Reg::ZERO, offset });
+            }
+            other => return Err(AsmError::new(ln, format!("unknown mnemonic `{other}`"))),
+        }
+        Ok(())
+    }
+
+    fn emit_directive(&mut self, line: &Line, section: &mut Section) -> Result<(), AsmError> {
+        let m = line.mnemonic.as_deref().unwrap_or("");
+        let ln = line.number;
+        match m {
+            ".text" => *section = Section::Text,
+            ".data" => *section = Section::Data,
+            ".globl" | ".global" | ".ent" | ".end" => {} // accepted, no effect
+            ".word" => {
+                self.align_data(4);
+                for op in &line.operands {
+                    let v = self.resolve(&parse_value_expr(op, ln)?, ln)?;
+                    self.data.extend_from_slice(&(v as u32).to_le_bytes());
+                }
+            }
+            ".half" => {
+                self.align_data(2);
+                for op in &line.operands {
+                    let v = self.resolve(&parse_value_expr(op, ln)?, ln)?;
+                    self.data.extend_from_slice(&(v as u16).to_le_bytes());
+                }
+            }
+            ".byte" => {
+                for op in &line.operands {
+                    let v = self.resolve(&parse_value_expr(op, ln)?, ln)?;
+                    self.data.push(v as u8);
+                }
+            }
+            ".ascii" | ".asciiz" => {
+                expect_operands(line, 1)?;
+                let mut bytes = parse_string(&line.operands[0], ln)?;
+                if m == ".asciiz" {
+                    bytes.push(0);
+                }
+                self.data.extend_from_slice(&bytes);
+            }
+            ".space" => {
+                expect_operands(line, 1)?;
+                let n = parse_number(&line.operands[0], ln)?;
+                let n = usize::try_from(n)
+                    .map_err(|_| AsmError::new(ln, "negative .space size"))?;
+                self.data.extend(std::iter::repeat_n(0u8, n));
+            }
+            ".align" => {
+                expect_operands(line, 1)?;
+                let n = parse_number(&line.operands[0], ln)?;
+                let n = u32::try_from(n)
+                    .ok()
+                    .filter(|&n| n <= 16)
+                    .ok_or_else(|| AsmError::new(ln, "bad .align"))?;
+                self.align_data(1 << n);
+            }
+            other => return Err(AsmError::new(ln, format!("unknown directive `{other}`"))),
+        }
+        Ok(())
+    }
+
+    fn align_data(&mut self, align: u32) {
+        while !(self.data_base + self.data.len() as u32).is_multiple_of(align) {
+            self.data.push(0);
+        }
+    }
+}
+
+/// Sizes a directive's data contribution for pass 1 (must agree exactly with
+/// what `emit_directive` appends).
+fn directive_size(line: &Line, data_cursor: u32) -> Result<u32, AsmError> {
+    let m = line.mnemonic.as_deref().unwrap_or("");
+    let ln = line.number;
+    let aligned = |cursor: u32, align: u32| cursor.div_ceil(align) * align;
+    Ok(match m {
+        ".word" => aligned(data_cursor, 4) - data_cursor + 4 * line.operands.len() as u32,
+        ".half" => aligned(data_cursor, 2) - data_cursor + 2 * line.operands.len() as u32,
+        ".byte" => line.operands.len() as u32,
+        ".ascii" | ".asciiz" => {
+            expect_operands(line, 1)?;
+            let bytes = parse_string(&line.operands[0], ln)?;
+            bytes.len() as u32 + u32::from(m == ".asciiz")
+        }
+        ".space" => {
+            expect_operands(line, 1)?;
+            u32::try_from(parse_number(&line.operands[0], ln)?)
+                .map_err(|_| AsmError::new(ln, "negative .space size"))?
+        }
+        ".align" => {
+            expect_operands(line, 1)?;
+            let n = u32::try_from(parse_number(&line.operands[0], ln)?)
+                .ok()
+                .filter(|&n| n <= 16)
+                .ok_or_else(|| AsmError::new(ln, "bad .align"))?;
+            aligned(data_cursor, 1 << n) - data_cursor
+        }
+        _ => 0,
+    })
+}
+
+/// Assembles `source` with the default segment bases.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered (with its line number).
+pub fn assemble(source: &str) -> Result<ProgramImage, AsmError> {
+    assemble_with_bases(source, TEXT_BASE, DATA_BASE)
+}
+
+/// Assembles `source` placing text and data at the given base addresses.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered. Both bases must be
+/// word-aligned.
+pub fn assemble_with_bases(
+    source: &str,
+    text_base: u32,
+    data_base: u32,
+) -> Result<ProgramImage, AsmError> {
+    if !text_base.is_multiple_of(4) || !data_base.is_multiple_of(4) {
+        return Err(AsmError::new(0, "segment bases must be word aligned"));
+    }
+    let mut lines = Vec::new();
+    for (i, raw) in source.lines().enumerate() {
+        if let Some(line) = parse_line(i + 1, raw)? {
+            lines.push(line);
+        }
+    }
+
+    // Pass 1: lay out sections and record label addresses.
+    let mut symbols = HashMap::new();
+    let mut section = Section::Text;
+    let mut text_cursor = 0u32; // bytes
+    let mut data_cursor = 0u32; // bytes
+    for line in &lines {
+        let is_directive = line.mnemonic.as_deref().is_some_and(|m| m.starts_with('.'));
+        // Pre-directive section switches must happen before labeling.
+        if is_directive {
+            match line.mnemonic.as_deref() {
+                Some(".text") => section = Section::Text,
+                Some(".data") => section = Section::Data,
+                _ => {}
+            }
+        }
+        if let Some(label) = &line.label {
+            let addr = match section {
+                Section::Text => text_base + text_cursor,
+                Section::Data => {
+                    // Labels on .word/.half lines refer to the aligned address.
+                    let align = match line.mnemonic.as_deref() {
+                        Some(".word") => 4,
+                        Some(".half") => 2,
+                        _ => 1,
+                    };
+                    data_base + data_cursor.div_ceil(align) * align
+                }
+            };
+            if symbols.insert(label.clone(), addr).is_some() {
+                return Err(AsmError::new(line.number, format!("duplicate label `{label}`")));
+            }
+        }
+        if line.mnemonic.is_none() {
+            continue;
+        }
+        if is_directive {
+            data_cursor += match section {
+                Section::Data => directive_size(line, data_cursor)?,
+                Section::Text => {
+                    // Data directives inside .text are rejected at pass 2;
+                    // .text/.globl etc. contribute nothing.
+                    0
+                }
+            };
+        } else {
+            text_cursor += instr_size(line)? * 4;
+        }
+    }
+
+    // Pass 2: emit.
+    let mut asm = Assembler { text: Vec::new(), text_base, data: Vec::new(), data_base, symbols };
+    let mut section = Section::Text;
+    for line in &lines {
+        let Some(m) = line.mnemonic.as_deref() else { continue };
+        if m.starts_with('.') {
+            if section == Section::Text
+                && matches!(m, ".word" | ".half" | ".byte" | ".ascii" | ".asciiz" | ".space")
+            {
+                return Err(AsmError::new(
+                    line.number,
+                    format!("data directive `{m}` outside .data section"),
+                ));
+            }
+            asm.emit_directive(line, &mut section)?;
+        } else {
+            if section != Section::Text {
+                return Err(AsmError::new(line.number, "instruction outside .text section"));
+            }
+            let before = asm.text.len() as u32;
+            let expected = instr_size(line)?;
+            asm.emit_instruction(line)?;
+            let emitted = asm.text.len() as u32 - before;
+            debug_assert_eq!(
+                emitted, expected,
+                "pass-1 size disagrees with pass-2 emission on line {}",
+                line.number
+            );
+        }
+    }
+
+    let entry = asm.symbols.get("main").copied().unwrap_or(text_base);
+    Ok(ProgramImage {
+        text: asm.text,
+        text_base,
+        data: asm.data,
+        data_base,
+        entry,
+        symbols: asm.symbols,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvp_isa::decode;
+
+    fn asm(src: &str) -> ProgramImage {
+        assemble(src).unwrap_or_else(|e| panic!("assembly failed: {e}"))
+    }
+
+    fn disasm(image: &ProgramImage) -> Vec<String> {
+        image.text.iter().map(|&w| decode(w).unwrap().to_string()).collect()
+    }
+
+    #[test]
+    fn basic_instructions_assemble() {
+        let image = asm(r"
+            .text
+            add t0, t1, t2
+            addi t0, t0, -5
+            lw s0, 8(sp)
+            sw s0, -4(fp)
+            sll v0, v1, 3
+            sllv v0, v1, a0
+        ");
+        assert_eq!(
+            disasm(&image),
+            vec![
+                "add t0, t1, t2",
+                "addi t0, t0, -5",
+                "lw s0, 8(sp)",
+                "sw s0, -4(fp)",
+                "sll v0, v1, 3",
+                "sllv v0, v1, a0",
+            ]
+        );
+    }
+
+    #[test]
+    fn labels_and_branches_resolve() {
+        let image = asm(r"
+            .text
+            main:
+            loop: addi t0, t0, 1
+                  bne t0, t1, loop
+                  beq t0, t1, done
+                  nop
+            done: halt
+        ");
+        let text = disasm(&image);
+        // bne jumps back 2 instructions: offset -2.
+        assert_eq!(text[1], "bne t0, t1, -2");
+        // beq skips the nop: offset +1.
+        assert_eq!(text[2], "beq t0, t1, 1");
+    }
+
+    #[test]
+    fn forward_and_backward_jumps() {
+        let image = asm(r"
+            .text
+            main: jal func
+                  halt
+            func: jr ra
+        ");
+        let func = image.symbol("func").unwrap();
+        match decode(image.text[0]).unwrap() {
+            dvp_isa::Instr::Jal { target } => assert_eq!(target << 2, func),
+            other => panic!("expected jal, got {other}"),
+        }
+    }
+
+    #[test]
+    fn li_expansion_sizes() {
+        // Small positive/negative: one addi.
+        assert_eq!(asm(".text\nli t0, 42").text.len(), 1);
+        assert_eq!(asm(".text\nli t0, -42").text.len(), 1);
+        // 16-bit unsigned beyond i16: one ori.
+        assert_eq!(asm(".text\nli t0, 40000").text.len(), 1);
+        // Full 32-bit: lui + ori.
+        assert_eq!(asm(".text\nli t0, 0x12345678").text.len(), 2);
+        // High-half only: a single lui suffices.
+        assert_eq!(asm(".text\nli t0, 0x10000").text.len(), 1);
+    }
+
+    #[test]
+    fn li_values_load_correctly_shaped_words() {
+        let image = asm(".text\nli t0, 0x12345678");
+        let text = disasm(&image);
+        assert_eq!(text, vec!["lui t0, 4660", "ori t0, t0, 22136"]);
+    }
+
+    #[test]
+    fn la_is_lui_plus_ori() {
+        let image = asm(r#"
+            .text
+            main: la t0, msg
+            .data
+            msg: .asciiz "x"
+        "#);
+        let addr = image.symbol("msg").unwrap();
+        assert_eq!(addr, DATA_BASE);
+        let text = disasm(&image);
+        assert_eq!(text[0], format!("lui t0, {}", addr >> 16));
+    }
+
+    #[test]
+    fn data_directives_lay_out_bytes() {
+        let image = asm(r#"
+            .data
+            a: .byte 1, 2, 3
+            b: .word 0x04030201
+            c: .asciiz "hi"
+            d: .space 2
+            e: .half 0x0605
+        "#);
+        // .word aligns to 4 after 3 bytes -> one pad byte.
+        assert_eq!(
+            image.data,
+            vec![1, 2, 3, 0, 0x01, 0x02, 0x03, 0x04, b'h', b'i', 0, 0, 0, 0, 0x05, 0x06]
+        );
+        assert_eq!(image.symbol("b").unwrap(), DATA_BASE + 4);
+        assert_eq!(image.symbol("e").unwrap(), DATA_BASE + 14);
+    }
+
+    #[test]
+    fn word_can_hold_label_references() {
+        let image = asm(r"
+            .data
+            table: .word table, next
+            next:  .word 7
+        ");
+        let table = image.symbol("table").unwrap();
+        let next = image.symbol("next").unwrap();
+        assert_eq!(&image.data[0..4], &table.to_le_bytes());
+        assert_eq!(&image.data[4..8], &next.to_le_bytes());
+    }
+
+    #[test]
+    fn entry_defaults_to_main_or_text_base() {
+        let with_main = asm(".text\nnop\nmain: halt");
+        assert_eq!(with_main.entry, with_main.text_base + 4);
+        let without = asm(".text\nnop");
+        assert_eq!(without.entry, without.text_base);
+    }
+
+    #[test]
+    fn pseudo_instructions_expand() {
+        let image = asm(r"
+            .text
+            move t0, t1
+            not  t2, t3
+            neg  t4, t5
+            beqz t0, 4
+            bnez t0, -4
+            b 8
+            halt
+        ");
+        let text = disasm(&image);
+        assert_eq!(text[0], "add t0, t1, zero");
+        assert_eq!(text[1], "nor t2, t3, zero");
+        assert_eq!(text[2], "sub t4, zero, t5");
+        assert_eq!(text[3], "beq t0, zero, 4");
+        assert_eq!(text[4], "bne t0, zero, -4");
+        assert_eq!(text[5], "beq zero, zero, 8");
+        assert_eq!(text[6], "syscall 0");
+    }
+
+    #[test]
+    fn swapped_branches() {
+        let image = asm(".text\nbgt t0, t1, 4\nble t2, t3, 8");
+        let text = disasm(&image);
+        assert_eq!(text[0], "blt t1, t0, 4");
+        assert_eq!(text[1], "bge t3, t2, 8");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let image = asm("
+            # leading comment
+            .text
+            nop ; trailing comment
+            nop # another
+
+            halt
+        ");
+        assert_eq!(image.text.len(), 3);
+    }
+
+    #[test]
+    fn char_literals_in_immediates() {
+        let image = asm(".text\nli t0, 'A'\nli t1, '\\n'");
+        let text = disasm(&image);
+        assert_eq!(text[0], "addi t0, zero, 65");
+        assert_eq!(text[1], "addi t1, zero, 10");
+    }
+
+    #[test]
+    fn string_escapes() {
+        let image = asm(".data\ns: .asciiz \"a\\tb\\n\\\"q\\\"\"");
+        assert_eq!(image.data, b"a\tb\n\"q\"\0".to_vec());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let image = asm(".data\ns: .asciiz \"a#b\"");
+        assert_eq!(image.data, b"a#b\0".to_vec());
+    }
+
+    // ----- error cases ------------------------------------------------
+
+    #[test]
+    fn undefined_label_is_reported_with_line() {
+        let err = assemble(".text\n\n j nowhere").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("nowhere"));
+    }
+
+    #[test]
+    fn duplicate_label_is_rejected() {
+        let err = assemble(".text\nx: nop\nx: nop").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_rejected() {
+        let err = assemble(".text\nfrobnicate t0, t1").unwrap_err();
+        assert!(err.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn bad_register_is_rejected() {
+        let err = assemble(".text\nadd q0, t1, t2").unwrap_err();
+        assert!(err.message.contains("q0"));
+    }
+
+    #[test]
+    fn immediate_out_of_range_is_rejected() {
+        assert!(assemble(".text\naddi t0, t0, 40000").is_err());
+        assert!(assemble(".text\nsll t0, t0, 32").is_err());
+    }
+
+    #[test]
+    fn data_directive_in_text_is_rejected() {
+        let err = assemble(".text\n.word 1").unwrap_err();
+        assert!(err.message.contains("outside .data"));
+    }
+
+    #[test]
+    fn instruction_in_data_is_rejected() {
+        let err = assemble(".data\nadd t0, t1, t2").unwrap_err();
+        assert!(err.message.contains("outside .text"));
+    }
+
+    #[test]
+    fn misaligned_bases_are_rejected() {
+        assert!(assemble_with_bases(".text\nnop", 2, DATA_BASE).is_err());
+    }
+
+    #[test]
+    fn operands_count_is_checked() {
+        let err = assemble(".text\nadd t0, t1").unwrap_err();
+        assert!(err.message.contains("expects 3"));
+    }
+}

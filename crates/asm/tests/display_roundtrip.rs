@@ -1,0 +1,126 @@
+//! Property test: the assembler parses exactly what `Instr`'s `Display`
+//! prints — i.e. disassembly output is always valid assembler input.
+
+use dvp_asm::assemble;
+use dvp_isa::{decode, BranchOp, IOp, Instr, MemOp, ROp, Reg, ShiftOp};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|n| Reg::new(n).unwrap())
+}
+
+/// Instructions whose `Display` form is position-independent (branches and
+/// jumps print numeric targets which the assembler interprets relative to
+/// the instruction's own position or as absolute addresses, so they are
+/// exercised separately below).
+fn arb_positionless_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (
+            prop_oneof![
+                Just(ROp::Add),
+                Just(ROp::Sub),
+                Just(ROp::And),
+                Just(ROp::Or),
+                Just(ROp::Xor),
+                Just(ROp::Nor),
+                Just(ROp::Slt),
+                Just(ROp::Sltu),
+                Just(ROp::Mul),
+                Just(ROp::Mulh),
+                Just(ROp::Div),
+                Just(ROp::Rem),
+            ],
+            arb_reg(),
+            arb_reg(),
+            arb_reg()
+        )
+            .prop_map(|(op, rd, rs, rt)| Instr::R { op, rd, rs, rt }),
+        (
+            prop_oneof![Just(ShiftOp::Sll), Just(ShiftOp::Srl), Just(ShiftOp::Sra)],
+            arb_reg(),
+            arb_reg(),
+            0u8..32
+        )
+            .prop_map(|(op, rd, rt, shamt)| Instr::Shift { op, rd, rt, shamt }),
+        (
+            prop_oneof![Just(ShiftOp::Sll), Just(ShiftOp::Srl), Just(ShiftOp::Sra)],
+            arb_reg(),
+            arb_reg(),
+            arb_reg()
+        )
+            .prop_map(|(op, rd, rt, rs)| Instr::ShiftV { op, rd, rt, rs }),
+        (
+            prop_oneof![Just(IOp::Addi), Just(IOp::Slti)],
+            arb_reg(),
+            arb_reg(),
+            any::<i16>()
+        )
+            .prop_map(|(op, rt, rs, imm)| Instr::I { op, rt, rs, imm }),
+        // Zero-extended immediates print as signed but reparse as their
+        // unsigned bit pattern only when non-negative; restrict to that.
+        (
+            prop_oneof![Just(IOp::Andi), Just(IOp::Ori), Just(IOp::Xori), Just(IOp::Sltiu)],
+            arb_reg(),
+            arb_reg(),
+            0i16..=i16::MAX
+        )
+            .prop_map(|(op, rt, rs, imm)| Instr::I { op, rt, rs, imm }),
+        (arb_reg(), any::<u16>()).prop_map(|(rt, imm)| Instr::Lui { rt, imm }),
+        (
+            prop_oneof![
+                Just(MemOp::Lb),
+                Just(MemOp::Lbu),
+                Just(MemOp::Lh),
+                Just(MemOp::Lhu),
+                Just(MemOp::Lw),
+                Just(MemOp::Sb),
+                Just(MemOp::Sh),
+                Just(MemOp::Sw),
+            ],
+            arb_reg(),
+            arb_reg(),
+            any::<i16>()
+        )
+            .prop_map(|(op, rt, base, offset)| Instr::Mem { op, rt, base, offset }),
+        arb_reg().prop_map(|rs| Instr::Jr { rs }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instr::Jalr { rd, rs }),
+        (0u32..(1 << 20)).prop_map(|code| Instr::Syscall { code }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn display_reassembles_to_same_encoding(instrs in prop::collection::vec(arb_positionless_instr(), 1..40)) {
+        let source: String = std::iter::once(".text".to_owned())
+            .chain(instrs.iter().map(|i| format!("    {i}")))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let image = assemble(&source)
+            .unwrap_or_else(|e| panic!("display text must assemble: {e}\n{source}"));
+        prop_assert_eq!(image.text.len(), instrs.len());
+        for (word, original) in image.text.iter().zip(&instrs) {
+            let reparsed = decode(*word).expect("assembled word decodes");
+            prop_assert_eq!(&reparsed, original);
+        }
+    }
+
+    #[test]
+    fn branches_round_trip_via_numeric_offsets(
+        op in prop_oneof![
+            Just(BranchOp::Beq),
+            Just(BranchOp::Bne),
+            Just(BranchOp::Blt),
+            Just(BranchOp::Bge),
+            Just(BranchOp::Bltu),
+            Just(BranchOp::Bgeu),
+        ],
+        rs in arb_reg(),
+        rt in arb_reg(),
+        offset in any::<i16>(),
+    ) {
+        let instr = Instr::Branch { op, rs, rt, offset };
+        let source = format!(".text\n    {instr}");
+        let image = assemble(&source).unwrap();
+        prop_assert_eq!(decode(image.text[0]).unwrap(), instr);
+    }
+}

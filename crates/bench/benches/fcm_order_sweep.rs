@@ -1,0 +1,31 @@
+//! Figure 11 machinery: cost of FCM prediction as the order grows
+//! (the paper sweeps orders 1–8 on gcc).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dvp_bench::workload_trace;
+use dvp_core::FcmPredictor;
+use dvp_workloads::Benchmark;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let trace = &workload_trace(Benchmark::Cc)[..100_000.min(workload_trace(Benchmark::Cc).len())];
+    let mut group = c.benchmark_group("fcm_order_sweep");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for order in [1usize, 2, 3, 4, 6, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(order), &order, |b, &order| {
+            b.iter(|| {
+                let mut fcm = FcmPredictor::new(order);
+                let (correct, total) = dvp_core::run_trace(&mut fcm, trace.iter());
+                black_box((correct, total))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figures 8–9 machinery: the l + s2 + fcm3 lockstep correlation run, with
+//! and without per-PC tracking.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dvp_bench::workload_trace;
+use dvp_core::PredictorSet;
+use dvp_workloads::Benchmark;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let trace = workload_trace(Benchmark::Xlisp);
+    let mut group = c.benchmark_group("predictor_set");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+
+    group.bench_function("paper_trio_with_per_pc", |b| {
+        b.iter(|| {
+            let mut set = PredictorSet::paper_trio();
+            for rec in trace {
+                set.observe(rec);
+            }
+            black_box(set.total())
+        });
+    });
+
+    group.bench_function("trio_no_per_pc", |b| {
+        b.iter(|| {
+            let mut set = PredictorSet::new();
+            set.push(Box::new(dvp_core::LastValuePredictor::new()));
+            set.push(Box::new(dvp_core::StridePredictor::two_delta()));
+            set.push(Box::new(dvp_core::FcmPredictor::new(3)));
+            for rec in trace {
+                set.observe(rec);
+            }
+            black_box(set.total())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

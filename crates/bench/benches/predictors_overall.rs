@@ -1,0 +1,42 @@
+//! Figures 3–7 machinery: per-predictor throughput over real workload
+//! traces (the five predictors of the paper's accuracy figures).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dvp_bench::workload_trace;
+use dvp_core::{FcmPredictor, LastValuePredictor, Predictor, StridePredictor};
+use dvp_workloads::Benchmark;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Labelled predictor constructors for a bench group.
+type PredictorMakes = Vec<(&'static str, fn() -> Box<dyn Predictor>)>;
+
+fn bench(c: &mut Criterion) {
+    let trace = workload_trace(Benchmark::M88k);
+    let mut group = c.benchmark_group("predictors_overall");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+
+    let makes: PredictorMakes = vec![
+        ("l", || Box::new(LastValuePredictor::new())),
+        ("s2", || Box::new(StridePredictor::two_delta())),
+        ("fcm1", || Box::new(FcmPredictor::new(1))),
+        ("fcm2", || Box::new(FcmPredictor::new(2))),
+        ("fcm3", || Box::new(FcmPredictor::new(3))),
+    ];
+    for (name, make) in makes {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut p = make();
+                let (correct, total) = dvp_core::run_trace(p.as_mut(), trace.iter());
+                black_box((correct, total))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

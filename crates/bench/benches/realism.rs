@@ -1,0 +1,122 @@
+//! Realism ablation benches: table size (index aliasing) and update delay —
+//! the two idealizations the paper states in Section 3, relaxed. Each group
+//! reports accuracy via a one-shot eprintln alongside its timing, so the
+//! accuracy/cost/latency trade-off is visible in one place.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dvp_bench::workload_trace;
+use dvp_core::{
+    DelayedPredictor, FcmPredictor, FiniteFcmPredictor, FiniteHybridPredictor,
+    FiniteLastValuePredictor, FiniteStridePredictor, Predictor, StridePredictor, TableSpec,
+};
+use dvp_trace::TraceRecord;
+use dvp_workloads::Benchmark;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn accuracy(p: &mut dyn Predictor, trace: &[TraceRecord]) -> f64 {
+    let (correct, total) = dvp_core::run_trace(p, trace.iter());
+    correct as f64 / total as f64
+}
+
+fn bench_table_size(c: &mut Criterion) {
+    let trace = workload_trace(Benchmark::Cc);
+    let bit_widths = [6u32, 8, 10, 12, 14];
+
+    eprintln!("\n[ablation] finite tables vs unbounded (cc trace)");
+    for &bits in &bit_widths {
+        let mut l = FiniteLastValuePredictor::new(TableSpec::new(bits));
+        let mut s = FiniteStridePredictor::new(TableSpec::new(bits));
+        let mut f = FiniteFcmPredictor::new(2, TableSpec::new(bits), TableSpec::new(bits + 4));
+        let mut h = FiniteHybridPredictor::paper_geometry(bits);
+        eprintln!(
+            "[ablation]   {:>6} entries  l {:>5.1}%  s2 {:>5.1}%  fcm2 {:>5.1}% ({} KiB)  hybrid {:>5.1}%",
+            1u64 << bits,
+            accuracy(&mut l, trace) * 100.0,
+            accuracy(&mut s, trace) * 100.0,
+            accuracy(&mut f, trace) * 100.0,
+            f.storage_bits() / 8 / 1024,
+            accuracy(&mut h, trace) * 100.0,
+        );
+    }
+    eprintln!(
+        "[ablation]   unbounded       l  n/a   s2 {:>5.1}%  fcm2 {:>5.1}%",
+        accuracy(&mut StridePredictor::two_delta(), trace) * 100.0,
+        accuracy(&mut FcmPredictor::new(2), trace) * 100.0,
+    );
+
+    // VPT replacement hysteresis: 2-bit counter vs always-replace.
+    eprintln!("\n[ablation] VPT replacement policy (cc trace, 1024-entry fcm2)");
+    for (label, replace_max) in [("always-replace", 0u8), ("2-bit hysteresis", 3)] {
+        let mut p = FiniteFcmPredictor::with_replace_max(
+            2,
+            TableSpec::new(10),
+            TableSpec::new(14),
+            replace_max,
+        );
+        eprintln!("[ablation]   {label:<17} {:>5.1}%", accuracy(&mut p, trace) * 100.0);
+    }
+
+    let mut group = c.benchmark_group("ablation_table_size");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for &bits in &bit_widths {
+        group.bench_with_input(
+            BenchmarkId::new("finite_fcm2", 1u64 << bits),
+            &bits,
+            |b, &bits| {
+                b.iter(|| {
+                    let mut p =
+                        FiniteFcmPredictor::new(2, TableSpec::new(bits), TableSpec::new(bits + 4));
+                    black_box(dvp_core::run_trace(&mut p, trace.iter()))
+                });
+            },
+        );
+    }
+    // The unbounded FCM as the timing baseline: finite tables trade accuracy
+    // for bounded storage and (usually) faster, allocation-free lookups.
+    group.bench_function("unbounded_fcm2", |b| {
+        b.iter(|| {
+            let mut p = FcmPredictor::new(2);
+            black_box(dvp_core::run_trace(&mut p, trace.iter()))
+        });
+    });
+    group.finish();
+}
+
+fn bench_update_delay(c: &mut Criterion) {
+    let trace = workload_trace(Benchmark::Compress);
+    let delays = [0usize, 4, 16, 64, 256];
+
+    eprintln!("\n[ablation] update delay (compress trace)");
+    for &delay in &delays {
+        let mut s = DelayedPredictor::new(StridePredictor::two_delta(), delay);
+        let mut f = DelayedPredictor::new(FcmPredictor::new(2), delay);
+        eprintln!(
+            "[ablation]   delay {:>3}  s2 {:>5.1}%  fcm2 {:>5.1}%",
+            delay,
+            accuracy(&mut s, trace) * 100.0,
+            accuracy(&mut f, trace) * 100.0,
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_update_delay");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for &delay in &delays {
+        group.bench_with_input(BenchmarkId::new("fcm2", delay), &delay, |b, &delay| {
+            b.iter(|| {
+                let mut p = DelayedPredictor::new(FcmPredictor::new(2), delay);
+                black_box(dvp_core::run_trace(&mut p, trace.iter()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table_size, bench_update_delay);
+criterion_main!(benches);

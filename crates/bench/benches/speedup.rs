@@ -1,0 +1,57 @@
+//! Dataflow-limit speedup bench: times the critical-path analysis and
+//! reports the speedup each predictor family buys, including the cost of
+//! mis-speculation penalties (the experiment proper runs penalty-free).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dvp_bench::workload_dep_trace;
+use dvp_core::{
+    dataflow_height, oracle_height, value_predicted_height, FcmPredictor, LastValuePredictor,
+    StridePredictor,
+};
+use dvp_workloads::Benchmark;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_dataflow_speedup(c: &mut Criterion) {
+    let nodes = workload_dep_trace(Benchmark::Xlisp);
+    let base = dataflow_height(nodes);
+
+    eprintln!("\n[ablation] dataflow-limit speedup (xlisp dep trace, {} nodes)", nodes.len());
+    eprintln!("[ablation]   base height {base}  oracle x{:.2}", base as f64 / oracle_height(nodes) as f64);
+    for penalty in [0u64, 5, 20] {
+        let l = value_predicted_height(nodes, &mut LastValuePredictor::new(), penalty);
+        let s = value_predicted_height(nodes, &mut StridePredictor::two_delta(), penalty);
+        let f = value_predicted_height(nodes, &mut FcmPredictor::new(3), penalty);
+        eprintln!(
+            "[ablation]   penalty {penalty:>2}  l x{:.2}  s2 x{:.2}  fcm3 x{:.2}",
+            l.speedup(),
+            s.speedup(),
+            f.speedup(),
+        );
+    }
+
+    let mut group = c.benchmark_group("dataflow_speedup");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(nodes.len() as u64));
+    group.bench_function("base_height", |b| {
+        b.iter(|| black_box(dataflow_height(nodes)));
+    });
+    for penalty in [0u64, 20] {
+        group.bench_with_input(
+            BenchmarkId::new("fcm3_vp_height", penalty),
+            &penalty,
+            |b, &penalty| {
+                b.iter(|| {
+                    let mut p = FcmPredictor::new(3);
+                    black_box(value_predicted_height(nodes, &mut p, penalty))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataflow_speedup);
+criterion_main!(benches);

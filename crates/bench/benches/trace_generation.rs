@@ -1,0 +1,54 @@
+//! Table 2 machinery: the substrate pipeline — Mini compilation, assembly,
+//! and traced simulation of the workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dvp_experiments::REFERENCE_OPT;
+use dvp_sim::Machine;
+use dvp_workloads::{Benchmark, Workload};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_and_assemble");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for benchmark in [Benchmark::Compress, Benchmark::Cc, Benchmark::Xlisp] {
+        let workload = Workload::reference(benchmark).with_scale(1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(benchmark.name()),
+            &workload,
+            |b, workload| b.iter(|| black_box(workload.build(REFERENCE_OPT).expect("builds"))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    const STEPS: u64 = 200_000;
+    let mut group = c.benchmark_group("traced_simulation");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.throughput(Throughput::Elements(STEPS));
+    for benchmark in [Benchmark::M88k, Benchmark::Go] {
+        let image = Workload::reference(benchmark)
+            .with_scale(1)
+            .build(REFERENCE_OPT)
+            .expect("builds");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(benchmark.name()),
+            &image,
+            |b, image| {
+                b.iter(|| {
+                    let mut machine = Machine::load(image);
+                    let mut records = 0u64;
+                    machine.run_with(STEPS, &mut |_| records += 1).expect("runs");
+                    black_box(records)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_simulate);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! # dvp-bench — shared fixtures for the Criterion benchmarks
+//!
+//! The benches regenerate (and time) the machinery behind every table and
+//! figure of the paper. Workload traces are generated once per process and
+//! shared across benchmark functions via [`workload_trace`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dvp_experiments::REFERENCE_OPT;
+use dvp_sim::collect_dataflow;
+use dvp_trace::{DepNode, TraceRecord};
+use dvp_workloads::{Benchmark, Workload};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Records per cached benchmark trace (kept small so the full bench suite
+/// stays fast).
+pub const BENCH_TRACE_LEN: usize = 200_000;
+
+fn cache() -> &'static Mutex<HashMap<Benchmark, &'static [TraceRecord]>> {
+    static CACHE: OnceLock<Mutex<HashMap<Benchmark, &'static [TraceRecord]>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// A cached value trace of `benchmark` (first [`BENCH_TRACE_LEN`] records
+/// at the experiments' reference optimization level). Leaked intentionally:
+/// the benches share it for the process lifetime.
+///
+/// # Panics
+///
+/// Panics if the workload fails to build or run (a toolchain bug).
+#[must_use]
+pub fn workload_trace(benchmark: Benchmark) -> &'static [TraceRecord] {
+    let mut cache = cache().lock().expect("cache lock");
+    if let Some(trace) = cache.get(&benchmark) {
+        return trace;
+    }
+    let workload = Workload::reference(benchmark).with_scale(1);
+    let mut trace = workload.trace(REFERENCE_OPT, 2_000_000_000).expect("workload runs");
+    trace.truncate(BENCH_TRACE_LEN);
+    let leaked: &'static [TraceRecord] = Box::leak(trace.into_boxed_slice());
+    cache.insert(benchmark, leaked);
+    leaked
+}
+
+fn dep_cache() -> &'static Mutex<HashMap<Benchmark, &'static [DepNode]>> {
+    static CACHE: OnceLock<Mutex<HashMap<Benchmark, &'static [DepNode]>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// A cached data-dependence trace of `benchmark` (first [`BENCH_TRACE_LEN`]
+/// nodes; dependence edges always point backwards, so truncation is safe).
+/// Leaked intentionally, like [`workload_trace`].
+///
+/// # Panics
+///
+/// Panics if the workload fails to build or run (a toolchain bug).
+#[must_use]
+pub fn workload_dep_trace(benchmark: Benchmark) -> &'static [DepNode] {
+    let mut cache = dep_cache().lock().expect("cache lock");
+    if let Some(nodes) = cache.get(&benchmark) {
+        return nodes;
+    }
+    let workload = Workload::reference(benchmark).with_scale(1);
+    let mut machine = workload.machine(REFERENCE_OPT).expect("workload builds");
+    let mut nodes = collect_dataflow(&mut machine, 2_000_000_000).expect("workload runs");
+    nodes.truncate(BENCH_TRACE_LEN);
+    let leaked: &'static [DepNode] = Box::leak(nodes.into_boxed_slice());
+    cache.insert(benchmark, leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_cached_and_capped() {
+        let a = workload_trace(Benchmark::M88k);
+        let b = workload_trace(Benchmark::M88k);
+        assert_eq!(a.as_ptr(), b.as_ptr(), "second call hits the cache");
+        assert!(a.len() <= BENCH_TRACE_LEN);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn dep_traces_are_cached_and_consistent_with_value_traces() {
+        let nodes = workload_dep_trace(Benchmark::Compress);
+        assert!(!nodes.is_empty() && nodes.len() <= BENCH_TRACE_LEN);
+        assert_eq!(nodes.as_ptr(), workload_dep_trace(Benchmark::Compress).as_ptr());
+        // Dependence edges always point backwards.
+        for (i, node) in nodes.iter().enumerate() {
+            for dep in node.deps() {
+                assert!(dep < i as u64, "forward edge at node {i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! Accuracy accounting and value-characteristic analyses (Sections 4.1–4.3).
+
+use crate::set::PcTally;
+use dvp_trace::{InstrCategory, Pc, TraceRecord, Value};
+use std::collections::{HashMap, HashSet};
+
+const N_CATEGORIES: usize = InstrCategory::ALL.len();
+
+/// Per-category and overall prediction accuracy accounting.
+///
+/// The paper's accuracy metric is *correct predictions / all predicted
+/// instructions*; an instruction for which the predictor had no basis
+/// (returned `None`) counts against accuracy.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_core::AccuracyTracker;
+/// use dvp_trace::InstrCategory;
+///
+/// let mut acc = AccuracyTracker::new();
+/// acc.record(InstrCategory::AddSub, true);
+/// acc.record(InstrCategory::AddSub, false);
+/// assert_eq!(acc.accuracy(Some(InstrCategory::AddSub)), 0.5);
+/// assert_eq!(acc.total(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AccuracyTracker {
+    predicted: [u64; N_CATEGORIES],
+    correct: [u64; N_CATEGORIES],
+}
+
+impl AccuracyTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        AccuracyTracker::default()
+    }
+
+    /// Records the outcome of one prediction.
+    pub fn record(&mut self, category: InstrCategory, correct: bool) {
+        self.predicted[category.index()] += 1;
+        if correct {
+            self.correct[category.index()] += 1;
+        }
+    }
+
+    /// Number of predictions in `category` (or overall with `None`).
+    #[must_use]
+    pub fn predicted(&self, category: Option<InstrCategory>) -> u64 {
+        match category {
+            Some(c) => self.predicted[c.index()],
+            None => self.predicted.iter().sum(),
+        }
+    }
+
+    /// Number of correct predictions in `category` (or overall).
+    #[must_use]
+    pub fn correct(&self, category: Option<InstrCategory>) -> u64 {
+        match category {
+            Some(c) => self.correct[c.index()],
+            None => self.correct.iter().sum(),
+        }
+    }
+
+    /// Accuracy in `[0, 1]` for `category` (or overall with `None`);
+    /// 0 when nothing was predicted.
+    #[must_use]
+    pub fn accuracy(&self, category: Option<InstrCategory>) -> f64 {
+        let denom = self.predicted(category);
+        if denom == 0 {
+            0.0
+        } else {
+            self.correct(category) as f64 / denom as f64
+        }
+    }
+
+    /// Total predictions across all categories.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.predicted(None)
+    }
+
+    /// Merges another tracker into this one.
+    pub fn merge(&mut self, other: &AccuracyTracker) {
+        for i in 0..N_CATEGORIES {
+            self.predicted[i] += other.predicted[i];
+            self.correct[i] += other.correct[i];
+        }
+    }
+}
+
+/// The unique-value buckets of Figure 10: 1, 4, 16, …, 65536, >65536.
+pub const VALUE_BUCKETS: [u64; 9] = [1, 4, 16, 64, 256, 1024, 4096, 16384, 65536];
+
+/// Per-static-instruction unique-value profile (Section 4.3, Figure 10).
+///
+/// Tracks, for every static instruction, the set of distinct values it has
+/// produced and its dynamic execution count, then buckets static
+/// instructions (and, weighted, dynamic instructions) by how many unique
+/// values they generate.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_core::ValueProfile;
+/// use dvp_trace::{InstrCategory, Pc, TraceRecord};
+///
+/// let mut profile = ValueProfile::new();
+/// for i in 0..10 {
+///     profile.record(&TraceRecord::new(Pc(0), InstrCategory::AddSub, i % 2));
+/// }
+/// // PC 0 produced 2 unique values over 10 dynamic executions.
+/// let (static_hist, dynamic_hist) = profile.histograms(None);
+/// assert_eq!(static_hist[1], 1); // bucket "≤4 values" holds the one PC
+/// assert_eq!(dynamic_hist[1], 10);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ValueProfile {
+    entries: HashMap<Pc, (InstrCategory, HashSet<Value>, u64)>,
+}
+
+impl ValueProfile {
+    /// Creates an empty profile.
+    #[must_use]
+    pub fn new() -> Self {
+        ValueProfile::default()
+    }
+
+    /// Folds one trace record into the profile.
+    pub fn record(&mut self, rec: &TraceRecord) {
+        let entry = self
+            .entries
+            .entry(rec.pc)
+            .or_insert_with(|| (rec.category, HashSet::new(), 0));
+        entry.1.insert(rec.value);
+        entry.2 += 1;
+    }
+
+    /// Number of distinct static instructions profiled.
+    #[must_use]
+    pub fn static_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Bucket index in [`VALUE_BUCKETS`] for a unique-value count
+    /// (`VALUE_BUCKETS.len()` = the ">65536" overflow bucket).
+    #[must_use]
+    pub fn bucket_of(unique: u64) -> usize {
+        VALUE_BUCKETS.iter().position(|&b| unique <= b).unwrap_or(VALUE_BUCKETS.len())
+    }
+
+    /// Histograms over the buckets of [`VALUE_BUCKETS`] plus the overflow
+    /// bucket: `(static counts, dynamic-weighted counts)`, restricted to
+    /// `category` (or everything with `None`).
+    #[must_use]
+    pub fn histograms(&self, category: Option<InstrCategory>) -> (Vec<u64>, Vec<u64>) {
+        let n = VALUE_BUCKETS.len() + 1;
+        let mut static_hist = vec![0u64; n];
+        let mut dynamic_hist = vec![0u64; n];
+        for (cat, values, dyn_count) in self.entries.values() {
+            if category.is_some_and(|c| c != *cat) {
+                continue;
+            }
+            let bucket = Self::bucket_of(values.len() as u64);
+            static_hist[bucket] += 1;
+            dynamic_hist[bucket] += *dyn_count;
+        }
+        (static_hist, dynamic_hist)
+    }
+
+    /// Fraction of static instructions generating exactly one value
+    /// (the paper reports > 50%).
+    #[must_use]
+    pub fn single_value_static_fraction(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        let ones = self.entries.values().filter(|(_, v, _)| v.len() == 1).count();
+        ones as f64 / self.entries.len() as f64
+    }
+}
+
+impl Extend<TraceRecord> for ValueProfile {
+    fn extend<T: IntoIterator<Item = TraceRecord>>(&mut self, iter: T) {
+        for rec in iter {
+            self.record(&rec);
+        }
+    }
+}
+
+/// One point of the Figure 9 curve: after including the best `static_pct`
+/// percent of static instructions, `improvement_pct` percent of the total
+/// FCM-over-stride improvement is covered.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImprovementPoint {
+    /// Percent (0–100) of the improving static instructions included.
+    pub static_pct: f64,
+    /// Percent (0–100) of the total improvement covered.
+    pub improvement_pct: f64,
+}
+
+/// Builds the Figure 9 cumulative-improvement curve from per-PC tallies.
+///
+/// `better` and `worse` index into each [`PcTally::correct`] vector (for the
+/// paper: FCM = index 2, stride = index 1 of the
+/// [`PredictorSet::paper_trio`](crate::PredictorSet::paper_trio)).
+/// Only static instructions where `better` strictly beats `worse`
+/// participate, mirroring the paper's construction ("a list of static
+/// instructions for which the fcm predictor gives better performance...
+/// sorted in descending order of improvement").
+///
+/// Returns points at each integer percent of static instructions, plus the
+/// exact endpoint.
+#[must_use]
+pub fn improvement_curve(
+    tallies: &HashMap<Pc, PcTally>,
+    better: usize,
+    worse: usize,
+    category: Option<InstrCategory>,
+) -> Vec<ImprovementPoint> {
+    let mut gains: Vec<u64> = tallies
+        .values()
+        .filter(|t| category.is_none() || t.category == category)
+        .filter_map(|t| {
+            let b = t.correct.get(better).copied().unwrap_or(0);
+            let w = t.correct.get(worse).copied().unwrap_or(0);
+            (b > w).then(|| b - w)
+        })
+        .collect();
+    gains.sort_unstable_by(|a, b| b.cmp(a));
+    let total: u64 = gains.iter().sum();
+    if total == 0 || gains.is_empty() {
+        return vec![ImprovementPoint { static_pct: 0.0, improvement_pct: 0.0 }];
+    }
+    let n = gains.len();
+    let mut points = Vec::with_capacity(101);
+    let mut cum = 0u64;
+    let mut next_pct = 0.0f64;
+    for (i, gain) in gains.iter().enumerate() {
+        cum += gain;
+        let static_pct = (i + 1) as f64 / n as f64 * 100.0;
+        if static_pct >= next_pct || i + 1 == n {
+            points.push(ImprovementPoint {
+                static_pct,
+                improvement_pct: cum as f64 / total as f64 * 100.0,
+            });
+            next_pct = static_pct.floor() + 1.0;
+        }
+    }
+    points
+}
+
+/// Interpolates the improvement percentage at a given static-instruction
+/// percentage on a Figure 9 curve.
+#[must_use]
+pub fn improvement_at(points: &[ImprovementPoint], static_pct: f64) -> f64 {
+    let mut best = 0.0f64;
+    for p in points {
+        if p.static_pct <= static_pct {
+            best = best.max(p.improvement_pct);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_counts_per_category_and_overall() {
+        let mut acc = AccuracyTracker::new();
+        for i in 0..10 {
+            acc.record(InstrCategory::Loads, i % 2 == 0);
+        }
+        for _ in 0..5 {
+            acc.record(InstrCategory::Shift, false);
+        }
+        assert_eq!(acc.predicted(Some(InstrCategory::Loads)), 10);
+        assert_eq!(acc.correct(Some(InstrCategory::Loads)), 5);
+        assert_eq!(acc.accuracy(Some(InstrCategory::Loads)), 0.5);
+        assert_eq!(acc.accuracy(Some(InstrCategory::Shift)), 0.0);
+        assert_eq!(acc.total(), 15);
+        assert!((acc.accuracy(None) - 5.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracker_merge_adds_counts() {
+        let mut a = AccuracyTracker::new();
+        a.record(InstrCategory::Set, true);
+        let mut b = AccuracyTracker::new();
+        b.record(InstrCategory::Set, false);
+        a.merge(&b);
+        assert_eq!(a.predicted(Some(InstrCategory::Set)), 2);
+        assert_eq!(a.correct(Some(InstrCategory::Set)), 1);
+    }
+
+    #[test]
+    fn empty_tracker_accuracy_is_zero() {
+        let acc = AccuracyTracker::new();
+        assert_eq!(acc.accuracy(None), 0.0);
+        assert_eq!(acc.accuracy(Some(InstrCategory::Lui)), 0.0);
+    }
+
+    #[test]
+    fn bucket_boundaries_match_figure10() {
+        assert_eq!(ValueProfile::bucket_of(1), 0);
+        assert_eq!(ValueProfile::bucket_of(2), 1);
+        assert_eq!(ValueProfile::bucket_of(4), 1);
+        assert_eq!(ValueProfile::bucket_of(5), 2);
+        assert_eq!(ValueProfile::bucket_of(65536), 8);
+        assert_eq!(ValueProfile::bucket_of(65537), 9);
+    }
+
+    #[test]
+    fn profile_separates_categories() {
+        let mut profile = ValueProfile::new();
+        profile.record(&TraceRecord::new(Pc(0), InstrCategory::AddSub, 1));
+        profile.record(&TraceRecord::new(Pc(4), InstrCategory::Loads, 2));
+        let (s_add, _) = profile.histograms(Some(InstrCategory::AddSub));
+        let (s_all, _) = profile.histograms(None);
+        assert_eq!(s_add.iter().sum::<u64>(), 1);
+        assert_eq!(s_all.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn single_value_fraction() {
+        let mut profile = ValueProfile::new();
+        for i in 0..4u64 {
+            profile.record(&TraceRecord::new(Pc(0), InstrCategory::AddSub, 9));
+            profile.record(&TraceRecord::new(Pc(4), InstrCategory::AddSub, i));
+        }
+        assert_eq!(profile.single_value_static_fraction(), 0.5);
+        assert_eq!(profile.static_count(), 2);
+    }
+
+    #[test]
+    fn empty_profile_is_safe() {
+        let profile = ValueProfile::new();
+        assert_eq!(profile.single_value_static_fraction(), 0.0);
+        let (s, d) = profile.histograms(None);
+        assert!(s.iter().all(|&x| x == 0) && d.iter().all(|&x| x == 0));
+    }
+
+    fn tally(total: u64, correct: Vec<u64>) -> PcTally {
+        PcTally { total, correct, category: Some(InstrCategory::AddSub) }
+    }
+
+    #[test]
+    fn improvement_curve_is_monotone_and_reaches_100() {
+        let mut tallies = HashMap::new();
+        // Three improving PCs with gains 50, 30, 20 and one regressing PC.
+        tallies.insert(Pc(0), tally(100, vec![0, 10, 60]));
+        tallies.insert(Pc(4), tally(100, vec![0, 20, 50]));
+        tallies.insert(Pc(8), tally(100, vec![0, 30, 50]));
+        tallies.insert(Pc(12), tally(100, vec![0, 90, 40]));
+        let points = improvement_curve(&tallies, 2, 1, None);
+        let last = points.last().unwrap();
+        assert!((last.improvement_pct - 100.0).abs() < 1e-9);
+        assert!((last.static_pct - 100.0).abs() < 1e-9);
+        for w in points.windows(2) {
+            assert!(w[1].improvement_pct >= w[0].improvement_pct);
+            assert!(w[1].static_pct >= w[0].static_pct);
+        }
+        // The single best PC (1/3 of improving statics) covers 50% of the gain.
+        let at_34 = improvement_at(&points, 34.0);
+        assert!((at_34 - 50.0).abs() < 1e-9, "{at_34}");
+    }
+
+    #[test]
+    fn improvement_curve_empty_when_no_gain() {
+        let mut tallies = HashMap::new();
+        tallies.insert(Pc(0), tally(10, vec![5, 5, 5]));
+        let points = improvement_curve(&tallies, 2, 1, None);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].improvement_pct, 0.0);
+    }
+
+    #[test]
+    fn improvement_curve_respects_category_filter() {
+        let mut tallies = HashMap::new();
+        tallies.insert(Pc(0), tally(10, vec![0, 0, 10]));
+        let mut other = tally(10, vec![0, 0, 10]);
+        other.category = Some(InstrCategory::Shift);
+        tallies.insert(Pc(4), other);
+        let points = improvement_curve(&tallies, 2, 1, Some(InstrCategory::Shift));
+        // Only one improving PC in Shift: the curve jumps straight to 100%.
+        assert!((points[0].improvement_pct - 100.0).abs() < 1e-9);
+    }
+}

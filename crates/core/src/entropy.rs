@@ -1,0 +1,340 @@
+//! Information content of value streams (the Hammerstrom connection).
+//!
+//! Section 1.2 of the paper cites Hammerstrom's information-theoretic study
+//! of programs: *"His study of the information content of address and
+//! instruction streams revealed a high degree of redundancy. This high
+//! degree of redundancy immediately suggests predictability."*
+//!
+//! [`EntropyProfile`] makes that argument measurable for *value* streams: it
+//! computes the zeroth-order Shannon entropy of each static instruction's
+//! value distribution. A static instruction with entropy 0 always produces
+//! the same value (trivially predictable); one with entropy `h` needs at
+//! least `h` bits of information per execution from *somewhere* (context,
+//! computation, or operand values) to be predicted reliably. Bucketing
+//! static instructions by entropy and measuring predictor accuracy per
+//! bucket (the `ext-entropy` experiment) quantifies how redundancy and
+//! predictability co-vary — and where the paper's predictors run out of
+//! exploitable redundancy.
+
+use dvp_trace::{InstrCategory, Pc, TraceRecord, Value};
+use std::collections::HashMap;
+
+/// Upper bounds (in bits) of the entropy buckets; the final bucket is
+/// unbounded. A 64-bit value stream's entropy never exceeds 64 bits.
+pub const ENTROPY_BUCKETS: [f64; 6] = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0];
+
+/// Shannon entropy (bits) of a discrete distribution given by `counts`.
+///
+/// Zero counts are ignored; an empty or single-outcome distribution has
+/// entropy 0.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_core::shannon_entropy;
+///
+/// assert_eq!(shannon_entropy([8u64, 0]), 0.0);
+/// let h = shannon_entropy([1u64, 1]);
+/// assert!((h - 1.0).abs() < 1e-12); // a fair coin is one bit
+/// ```
+#[must_use]
+pub fn shannon_entropy<I: IntoIterator<Item = u64>>(counts: I) -> f64 {
+    let counts: Vec<u64> = counts.into_iter().filter(|&c| c > 0).collect();
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    -counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / total;
+            p * p.log2()
+        })
+        .sum::<f64>()
+}
+
+#[derive(Debug, Clone, Default)]
+struct EntropyEntry {
+    category: Option<InstrCategory>,
+    counts: HashMap<Value, u64>,
+    executions: u64,
+}
+
+/// Per-static-instruction value-stream entropy accounting.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_core::EntropyProfile;
+/// use dvp_trace::{InstrCategory, Pc, TraceRecord};
+///
+/// let mut profile = EntropyProfile::new();
+/// for i in 0..16u64 {
+///     // PC 0: constant; PC 4: uniform over 4 values (2 bits).
+///     profile.record(&TraceRecord::new(Pc(0), InstrCategory::Lui, 7));
+///     profile.record(&TraceRecord::new(Pc(4), InstrCategory::Loads, i % 4));
+/// }
+/// assert_eq!(profile.entropy_of(Pc(0)), Some(0.0));
+/// assert!((profile.entropy_of(Pc(4)).unwrap() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EntropyProfile {
+    entries: HashMap<Pc, EntropyEntry>,
+}
+
+impl EntropyProfile {
+    /// Creates an empty profile.
+    #[must_use]
+    pub fn new() -> Self {
+        EntropyProfile::default()
+    }
+
+    /// Folds one trace record into the profile.
+    pub fn record(&mut self, rec: &TraceRecord) {
+        let entry = self.entries.entry(rec.pc).or_default();
+        entry.category.get_or_insert(rec.category);
+        *entry.counts.entry(rec.value).or_insert(0) += 1;
+        entry.executions += 1;
+    }
+
+    /// Zeroth-order entropy (bits) of the value stream of the static
+    /// instruction at `pc`, or `None` if it was never recorded.
+    #[must_use]
+    pub fn entropy_of(&self, pc: Pc) -> Option<f64> {
+        self.entries.get(&pc).map(|e| shannon_entropy(e.counts.values().copied()))
+    }
+
+    /// Number of distinct static instructions profiled.
+    #[must_use]
+    pub fn static_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Mean entropy over static instructions (each PC weighted equally).
+    #[must_use]
+    pub fn static_mean_entropy(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 =
+            self.entries.values().map(|e| shannon_entropy(e.counts.values().copied())).sum();
+        sum / self.entries.len() as f64
+    }
+
+    /// Mean entropy weighted by dynamic execution count — the entropy of the
+    /// static instruction an *average dynamic instruction* comes from.
+    #[must_use]
+    pub fn dynamic_mean_entropy(&self) -> f64 {
+        let total: u64 = self.entries.values().map(|e| e.executions).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .entries
+            .values()
+            .map(|e| shannon_entropy(e.counts.values().copied()) * e.executions as f64)
+            .sum();
+        sum / total as f64
+    }
+
+    /// Bucket index in [`ENTROPY_BUCKETS`] for an entropy value
+    /// (`ENTROPY_BUCKETS.len()` = the unbounded top bucket).
+    #[must_use]
+    pub fn bucket_of(entropy: f64) -> usize {
+        ENTROPY_BUCKETS
+            .iter()
+            .position(|&bound| entropy <= bound)
+            .unwrap_or(ENTROPY_BUCKETS.len())
+    }
+
+    /// Histograms over the entropy buckets: `(static counts,
+    /// dynamic-weighted counts)`, restricted to `category` (or everything
+    /// with `None`).
+    #[must_use]
+    pub fn histograms(&self, category: Option<InstrCategory>) -> (Vec<u64>, Vec<u64>) {
+        let n = ENTROPY_BUCKETS.len() + 1;
+        let mut static_hist = vec![0u64; n];
+        let mut dynamic_hist = vec![0u64; n];
+        for entry in self.entries.values() {
+            if category.is_some_and(|c| entry.category != Some(c)) {
+                continue;
+            }
+            let bucket = Self::bucket_of(shannon_entropy(entry.counts.values().copied()));
+            static_hist[bucket] += 1;
+            dynamic_hist[bucket] += entry.executions;
+        }
+        (static_hist, dynamic_hist)
+    }
+
+    /// Splits per-PC prediction outcomes by entropy bucket: returns, per
+    /// bucket, `(predictions, correct)` sums over the static instructions in
+    /// that bucket. `outcomes` maps each PC to its (predicted, correct)
+    /// totals for some predictor; PCs absent from the profile are skipped.
+    #[must_use]
+    pub fn accuracy_by_bucket(&self, outcomes: &HashMap<Pc, (u64, u64)>) -> Vec<(u64, u64)> {
+        let mut buckets = vec![(0u64, 0u64); ENTROPY_BUCKETS.len() + 1];
+        for (pc, &(predicted, correct)) in outcomes {
+            let Some(entry) = self.entries.get(pc) else { continue };
+            let bucket = Self::bucket_of(shannon_entropy(entry.counts.values().copied()));
+            buckets[bucket].0 += predicted;
+            buckets[bucket].1 += correct;
+        }
+        buckets
+    }
+
+    /// Display labels for the entropy buckets, in order.
+    #[must_use]
+    pub fn bucket_labels() -> Vec<String> {
+        let mut labels: Vec<String> = Vec::with_capacity(ENTROPY_BUCKETS.len() + 1);
+        labels.push("0".to_owned());
+        for bound in &ENTROPY_BUCKETS[1..] {
+            labels.push(format!("<={bound}"));
+        }
+        labels.push(format!(">{}", ENTROPY_BUCKETS[ENTROPY_BUCKETS.len() - 1]));
+        labels
+    }
+}
+
+impl Extend<TraceRecord> for EntropyProfile {
+    fn extend<T: IntoIterator<Item = TraceRecord>>(&mut self, iter: T) {
+        for rec in iter {
+            self.record(&rec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(pc: u64, value: Value) -> TraceRecord {
+        TraceRecord::new(Pc(pc), InstrCategory::AddSub, value)
+    }
+
+    #[test]
+    fn entropy_of_uniform_distribution_is_log2_n() {
+        assert!((shannon_entropy([5u64, 5, 5, 5]) - 2.0).abs() < 1e-12);
+        assert!((shannon_entropy(vec![1u64; 8]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_certain_outcome_is_zero() {
+        assert_eq!(shannon_entropy([100u64]), 0.0);
+        assert_eq!(shannon_entropy(std::iter::empty()), 0.0);
+        assert_eq!(shannon_entropy([0u64, 0, 7]), 0.0);
+    }
+
+    #[test]
+    fn entropy_is_maximal_for_uniform() {
+        // Skewing a 2-outcome distribution lowers entropy below 1 bit.
+        let skewed = shannon_entropy([9u64, 1]);
+        assert!(skewed > 0.0 && skewed < 1.0, "{skewed}");
+    }
+
+    #[test]
+    fn profile_tracks_per_pc_distributions() {
+        let mut p = EntropyProfile::new();
+        for i in 0..32u64 {
+            p.record(&rec(0, 1));
+            p.record(&rec(4, i % 2));
+        }
+        assert_eq!(p.entropy_of(Pc(0)), Some(0.0));
+        assert!((p.entropy_of(Pc(4)).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(p.entropy_of(Pc(8)), None);
+        assert_eq!(p.static_count(), 2);
+    }
+
+    #[test]
+    fn mean_entropies_weight_as_documented() {
+        let mut p = EntropyProfile::new();
+        // PC 0: entropy 0, executed 90 times; PC 4: entropy 1, executed 10.
+        for _ in 0..90 {
+            p.record(&rec(0, 5));
+        }
+        for i in 0..10u64 {
+            p.record(&rec(4, i % 2));
+        }
+        assert!((p.static_mean_entropy() - 0.5).abs() < 1e-9);
+        assert!((p.dynamic_mean_entropy() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(EntropyProfile::bucket_of(0.0), 0);
+        assert_eq!(EntropyProfile::bucket_of(0.3), 1);
+        assert_eq!(EntropyProfile::bucket_of(1.0), 2);
+        assert_eq!(EntropyProfile::bucket_of(3.9), 4);
+        assert_eq!(EntropyProfile::bucket_of(8.0), 5);
+        assert_eq!(EntropyProfile::bucket_of(20.0), 6);
+    }
+
+    #[test]
+    fn histograms_cover_all_statics() {
+        let mut p = EntropyProfile::new();
+        for i in 0..100u64 {
+            p.record(&rec(0, 7)); // entropy 0
+            p.record(&rec(4, i)); // entropy log2(100) ≈ 6.6
+        }
+        let (s, d) = p.histograms(None);
+        assert_eq!(s.iter().sum::<u64>(), 2);
+        assert_eq!(d.iter().sum::<u64>(), 200);
+        assert_eq!(s[0], 1, "constant PC in the zero bucket");
+        assert_eq!(s[5], 1, "high-entropy PC in the <=8 bucket");
+    }
+
+    #[test]
+    fn histograms_respect_category_filter() {
+        let mut p = EntropyProfile::new();
+        p.record(&TraceRecord::new(Pc(0), InstrCategory::Loads, 1));
+        p.record(&TraceRecord::new(Pc(4), InstrCategory::Shift, 1));
+        let (s, _) = p.histograms(Some(InstrCategory::Loads));
+        assert_eq!(s.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn accuracy_by_bucket_sums_outcomes() {
+        let mut p = EntropyProfile::new();
+        for _ in 0..10 {
+            p.record(&rec(0, 7)); // bucket 0
+        }
+        for i in 0..10u64 {
+            p.record(&rec(4, i)); // high entropy
+        }
+        let mut outcomes = HashMap::new();
+        outcomes.insert(Pc(0), (10u64, 9u64));
+        outcomes.insert(Pc(4), (10u64, 2u64));
+        outcomes.insert(Pc(999), (5u64, 5u64)); // unknown PC: skipped
+        let buckets = p.accuracy_by_bucket(&outcomes);
+        assert_eq!(buckets[0], (10, 9));
+        let bucket_high = EntropyProfile::bucket_of(p.entropy_of(Pc(4)).unwrap());
+        assert_eq!(buckets[bucket_high], (10, 2));
+        let total: u64 = buckets.iter().map(|b| b.0).sum();
+        assert_eq!(total, 20, "unknown PCs contribute nothing");
+    }
+
+    #[test]
+    fn bucket_labels_align_with_buckets() {
+        let labels = EntropyProfile::bucket_labels();
+        assert_eq!(labels.len(), ENTROPY_BUCKETS.len() + 1);
+        assert_eq!(labels[0], "0");
+        assert_eq!(labels.last().unwrap(), ">8");
+    }
+
+    #[test]
+    fn empty_profile_is_safe() {
+        let p = EntropyProfile::new();
+        assert_eq!(p.static_mean_entropy(), 0.0);
+        assert_eq!(p.dynamic_mean_entropy(), 0.0);
+        let (s, d) = p.histograms(None);
+        assert!(s.iter().all(|&x| x == 0) && d.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn extend_accepts_record_iterators() {
+        let mut p = EntropyProfile::new();
+        p.extend((0..5u64).map(|i| rec(0, i)));
+        assert_eq!(p.static_count(), 1);
+        assert!(p.entropy_of(Pc(0)).unwrap() > 2.0);
+    }
+}

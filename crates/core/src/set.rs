@@ -1,0 +1,365 @@
+//! Running several predictors in lockstep and correlating their correct
+//! sets (Section 4.2 / Figure 8 of the paper).
+
+use crate::Predictor;
+use dvp_trace::{InstrCategory, Pc, TraceRecord};
+use std::collections::HashMap;
+
+const N_CATEGORIES: usize = InstrCategory::ALL.len();
+
+/// Bitmask of which predictors in a [`PredictorSet`] were correct on one
+/// dynamic instruction. Bit *i* corresponds to predictor *i* in insertion
+/// order.
+pub type CorrectMask = u32;
+
+/// Per-PC tally used for per-static-instruction analyses (Figure 9).
+#[derive(Debug, Clone, Default)]
+pub struct PcTally {
+    /// Dynamic occurrences of this static instruction.
+    pub total: u64,
+    /// Correct predictions per predictor (indexed as in the set).
+    pub correct: Vec<u64>,
+    /// Category of the static instruction.
+    pub category: Option<InstrCategory>,
+}
+
+/// Runs a group of predictors over the same trace and records, for every
+/// dynamic instruction, the *subset* of predictors that were correct.
+///
+/// This reproduces the methodology behind Figure 8 of the paper (the
+/// `l`/`s`/`f`/`ls`/`lf`/`sf`/`lsf`/`np` breakdown) and, with per-PC tracking
+/// enabled, Figure 9 (cumulative improvement of FCM over stride across
+/// static instructions).
+///
+/// # Examples
+///
+/// ```
+/// use dvp_core::{FcmPredictor, LastValuePredictor, PredictorSet, StridePredictor};
+/// use dvp_trace::{InstrCategory, Pc, TraceRecord};
+///
+/// let mut set = PredictorSet::new();
+/// set.push(Box::new(LastValuePredictor::new()));
+/// set.push(Box::new(StridePredictor::two_delta()));
+/// set.push(Box::new(FcmPredictor::new(3)));
+///
+/// for i in 0..100u64 {
+///     let rec = TraceRecord::new(Pc(0x10), InstrCategory::AddSub, i);
+///     set.observe(&rec);
+/// }
+/// // On a pure stride sequence the stride predictor (bit 1) dominates.
+/// let stride_only = set.subset_count(None, 0b010);
+/// assert!(stride_only > 50);
+/// ```
+#[derive(Default)]
+pub struct PredictorSet {
+    predictors: Vec<Box<dyn Predictor>>,
+    /// subset_counts[category][mask] and an extra row for "all categories".
+    subset_counts: Vec<Vec<u64>>,
+    per_pc: Option<HashMap<Pc, PcTally>>,
+    total: u64,
+}
+
+impl std::fmt::Debug for PredictorSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PredictorSet")
+            .field("predictors", &self.names())
+            .field("total", &self.total)
+            .field("per_pc_tracking", &self.per_pc.is_some())
+            .finish()
+    }
+}
+
+impl PredictorSet {
+    /// Creates an empty set without per-PC tracking.
+    #[must_use]
+    pub fn new() -> Self {
+        PredictorSet::default()
+    }
+
+    /// Creates an empty set that also tallies correctness per static
+    /// instruction (needed for Figure 9; costs one hash map entry per PC).
+    #[must_use]
+    pub fn with_per_pc_tracking() -> Self {
+        PredictorSet { per_pc: Some(HashMap::new()), ..PredictorSet::default() }
+    }
+
+    /// The canonical trio of the paper's Figure 8: last value, two-delta
+    /// stride, and order-3 FCM (bits 0, 1, 2 respectively).
+    #[must_use]
+    pub fn paper_trio() -> Self {
+        let mut set = PredictorSet::with_per_pc_tracking();
+        set.push(Box::new(crate::LastValuePredictor::new()));
+        set.push(Box::new(crate::StridePredictor::two_delta()));
+        set.push(Box::new(crate::FcmPredictor::new(3)));
+        set
+    }
+
+    /// Adds a predictor; its correctness is reported in the next free bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set already holds 32 predictors, or if records were
+    /// already observed (the subset accounting cannot be retrofitted).
+    pub fn push(&mut self, predictor: Box<dyn Predictor>) {
+        assert!(self.predictors.len() < 32, "at most 32 predictors per set");
+        assert_eq!(self.total, 0, "predictors must be added before observing records");
+        self.predictors.push(predictor);
+        let n_masks = 1usize << self.predictors.len();
+        self.subset_counts = vec![vec![0; n_masks]; N_CATEGORIES + 1];
+    }
+
+    /// Number of predictors in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.predictors.len()
+    }
+
+    /// Whether the set contains no predictors.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.predictors.is_empty()
+    }
+
+    /// Names of the predictors, in bit order.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.predictors.iter().map(|p| p.name()).collect()
+    }
+
+    /// Feeds one trace record to every predictor; returns the mask of
+    /// predictors that predicted it correctly.
+    pub fn observe(&mut self, rec: &TraceRecord) -> CorrectMask {
+        let mut mask: CorrectMask = 0;
+        for (i, p) in self.predictors.iter_mut().enumerate() {
+            if p.observe(rec.pc, rec.value) {
+                mask |= 1 << i;
+            }
+        }
+        self.subset_counts[rec.category.index()][mask as usize] += 1;
+        self.subset_counts[N_CATEGORIES][mask as usize] += 1;
+        self.total += 1;
+        if let Some(per_pc) = &mut self.per_pc {
+            let n = self.predictors.len();
+            let tally = per_pc.entry(rec.pc).or_insert_with(|| PcTally {
+                total: 0,
+                correct: vec![0; n],
+                category: Some(rec.category),
+            });
+            tally.total += 1;
+            for (i, c) in tally.correct.iter_mut().enumerate() {
+                if mask & (1 << i) != 0 {
+                    *c += 1;
+                }
+            }
+        }
+        mask
+    }
+
+    /// Count of dynamic instructions whose correct-set is *exactly* `mask`,
+    /// within `category` (or across all categories when `None`).
+    #[must_use]
+    pub fn subset_count(&self, category: Option<InstrCategory>, mask: CorrectMask) -> u64 {
+        let row = category.map(|c| c.index()).unwrap_or(N_CATEGORIES);
+        self.subset_counts.get(row).and_then(|r| r.get(mask as usize)).copied().unwrap_or(0)
+    }
+
+    /// Fraction (of the category's dynamic instructions) whose correct-set
+    /// is exactly `mask`.
+    #[must_use]
+    pub fn subset_fraction(&self, category: Option<InstrCategory>, mask: CorrectMask) -> f64 {
+        let row = category.map(|c| c.index()).unwrap_or(N_CATEGORIES);
+        let denom: u64 = self.subset_counts.get(row).map(|r| r.iter().sum()).unwrap_or(0);
+        if denom == 0 {
+            0.0
+        } else {
+            self.subset_count(category, mask) as f64 / denom as f64
+        }
+    }
+
+    /// Total correct predictions for predictor `index` (any subset
+    /// containing its bit), across all categories.
+    #[must_use]
+    pub fn correct_total(&self, index: usize) -> u64 {
+        let bit = 1u64 << index;
+        self.subset_counts[N_CATEGORIES]
+            .iter()
+            .enumerate()
+            .filter(|(mask, _)| (*mask as u64) & bit != 0)
+            .map(|(_, &count)| count)
+            .sum()
+    }
+
+    /// Total records observed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-PC tallies, if tracking was enabled.
+    #[must_use]
+    pub fn per_pc(&self) -> Option<&HashMap<Pc, PcTally>> {
+        self.per_pc.as_ref()
+    }
+
+    /// Accuracy of predictor `index` over everything observed so far.
+    #[must_use]
+    pub fn accuracy(&self, index: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct_total(index) as f64 / self.total as f64
+        }
+    }
+}
+
+/// Convenience: run a whole trace through a single predictor and return
+/// `(correct, total)`.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_core::{run_trace, StridePredictor};
+/// use dvp_trace::{InstrCategory, Pc, TraceRecord};
+///
+/// let trace: Vec<_> = (0..50u64)
+///     .map(|i| TraceRecord::new(Pc(4), InstrCategory::AddSub, 2 * i))
+///     .collect();
+/// let (correct, total) = run_trace(&mut StridePredictor::two_delta(), trace.iter());
+/// assert_eq!(total, 50);
+/// assert!(correct >= 47); // misses only the warmup
+/// ```
+pub fn run_trace<'a, P, I>(predictor: &mut P, records: I) -> (u64, u64)
+where
+    P: Predictor + ?Sized,
+    I: IntoIterator<Item = &'a TraceRecord>,
+{
+    let mut correct = 0u64;
+    let mut total = 0u64;
+    for rec in records {
+        if predictor.observe(rec.pc, rec.value) {
+            correct += 1;
+        }
+        total += 1;
+    }
+    (correct, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FcmPredictor, LastValuePredictor, StridePredictor};
+    use dvp_trace::Value;
+
+    fn rec(pc: u64, value: Value) -> TraceRecord {
+        TraceRecord::new(Pc(pc), InstrCategory::AddSub, value)
+    }
+
+    #[test]
+    fn masks_partition_the_trace() {
+        let mut set = PredictorSet::paper_trio();
+        for i in 0..200u64 {
+            set.observe(&rec(8, i % 5));
+        }
+        let sum: u64 = (0..8u32).map(|m| set.subset_count(None, m)).sum();
+        assert_eq!(sum, set.total());
+        assert_eq!(set.total(), 200);
+    }
+
+    #[test]
+    fn constant_sequence_is_caught_by_all_three() {
+        let mut set = PredictorSet::paper_trio();
+        for _ in 0..100 {
+            set.observe(&rec(8, 42));
+        }
+        // After warmup, all predictors agree: mask 0b111 dominates.
+        assert!(set.subset_count(None, 0b111) >= 95);
+    }
+
+    #[test]
+    fn stride_sequence_excludes_last_value() {
+        let mut set = PredictorSet::paper_trio();
+        for i in 0..100u64 {
+            set.observe(&rec(8, 10 * i));
+        }
+        // Stride-only (FCM cannot extrapolate, last-value is always stale).
+        assert!(set.subset_count(None, 0b010) >= 90);
+        assert_eq!(set.subset_count(None, 0b001), 0);
+    }
+
+    #[test]
+    fn repeated_non_stride_is_fcm_only() {
+        let mut set = PredictorSet::paper_trio();
+        let period = [9u64, 2, 77, 31, 5, 18];
+        for &v in period.iter().cycle().take(300) {
+            set.observe(&rec(8, v));
+        }
+        let fcm_only = set.subset_count(None, 0b100);
+        assert!(fcm_only > 250, "fcm-only count {fcm_only}");
+    }
+
+    #[test]
+    fn per_category_counts_are_separate() {
+        let mut set = PredictorSet::paper_trio();
+        for i in 0..50u64 {
+            set.observe(&TraceRecord::new(Pc(0), InstrCategory::Loads, i));
+            set.observe(&TraceRecord::new(Pc(4), InstrCategory::Shift, 7));
+        }
+        let loads_total: u64 =
+            (0..8u32).map(|m| set.subset_count(Some(InstrCategory::Loads), m)).sum();
+        assert_eq!(loads_total, 50);
+        assert!(set.subset_count(Some(InstrCategory::Shift), 0b111) >= 45);
+    }
+
+    #[test]
+    fn subset_fractions_sum_to_one() {
+        let mut set = PredictorSet::paper_trio();
+        for i in 0..100u64 {
+            set.observe(&rec(8, i * i));
+        }
+        let sum: f64 = (0..8u32).map(|m| set.subset_fraction(None, m)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correct_total_matches_direct_run() {
+        let values: Vec<Value> = (0..150u64).map(|i| (i * 37) % 11).collect();
+        let mut set = PredictorSet::new();
+        set.push(Box::new(LastValuePredictor::new()));
+        set.push(Box::new(StridePredictor::two_delta()));
+        set.push(Box::new(FcmPredictor::new(2)));
+        for &v in &values {
+            set.observe(&rec(16, v));
+        }
+        let trace: Vec<TraceRecord> = values.iter().map(|&v| rec(16, v)).collect();
+        let (c_l, _) = run_trace(&mut LastValuePredictor::new(), trace.iter());
+        let (c_s, _) = run_trace(&mut StridePredictor::two_delta(), trace.iter());
+        let (c_f, _) = run_trace(&mut FcmPredictor::new(2), trace.iter());
+        assert_eq!(set.correct_total(0), c_l);
+        assert_eq!(set.correct_total(1), c_s);
+        assert_eq!(set.correct_total(2), c_f);
+    }
+
+    #[test]
+    fn per_pc_tallies_record_category_and_counts() {
+        let mut set = PredictorSet::paper_trio();
+        for i in 0..40u64 {
+            set.observe(&TraceRecord::new(Pc(12), InstrCategory::Logic, i % 2));
+        }
+        let tallies = set.per_pc().unwrap();
+        let tally = &tallies[&Pc(12)];
+        assert_eq!(tally.total, 40);
+        assert_eq!(tally.category, Some(InstrCategory::Logic));
+        assert_eq!(tally.correct.len(), 3);
+        // FCM learns the alternation; last value never does.
+        assert!(tally.correct[2] > tally.correct[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before observing")]
+    fn cannot_push_after_observing() {
+        let mut set = PredictorSet::new();
+        set.push(Box::new(LastValuePredictor::new()));
+        set.observe(&rec(0, 1));
+        set.push(Box::new(StridePredictor::two_delta()));
+    }
+}

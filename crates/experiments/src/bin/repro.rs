@@ -1,0 +1,136 @@
+//! `repro` — regenerate the tables and figures of Sazeides & Smith (1997).
+//!
+//! ```text
+//! repro all                 # everything, in paper order
+//! repro figure3 table6      # specific experiments
+//! repro --quick all         # 1/4-scale workloads (faster, noisier)
+//! repro --list              # list experiment ids
+//! ```
+
+use dvp_experiments::{
+    accuracy, analytic, characterize, information, overlap, realism, sensitivity, speedup,
+    values, TraceStore,
+};
+use dvp_trace::InstrCategory;
+use std::process::ExitCode;
+
+const EXPERIMENTS: [&str; 16] = [
+    "table1", "figure1", "figure2", "table2", "table3", "table4", "table5", "figure3", "figure4",
+    "figure5", "figure6", "figure7", "figure8", "figure9", "figure10", "table6",
+];
+// table7, figure11 and the extension experiments are also available;
+// EXPERIMENTS keeps the paper order for `all`.
+const EXTRA: [&str; 7] = [
+    "table7",
+    "figure11",
+    "ext-tables",
+    "ext-delay",
+    "ext-locality",
+    "ext-entropy",
+    "ext-speedup",
+];
+
+struct Harness {
+    store: TraceStore,
+    accuracy: Option<accuracy::AccuracyResults>,
+    overlap: Option<overlap::OverlapResults>,
+}
+
+impl Harness {
+    fn accuracy(&mut self) -> &accuracy::AccuracyResults {
+        if self.accuracy.is_none() {
+            eprintln!("[repro] running accuracy experiment (figures 3-7)...");
+            self.accuracy = Some(accuracy::run(&mut self.store).expect("accuracy experiment"));
+        }
+        self.accuracy.as_ref().expect("just initialized")
+    }
+
+    fn overlap(&mut self) -> &overlap::OverlapResults {
+        if self.overlap.is_none() {
+            eprintln!("[repro] running overlap experiment (figures 8-9)...");
+            self.overlap = Some(overlap::run(&mut self.store).expect("overlap experiment"));
+        }
+        self.overlap.as_ref().expect("just initialized")
+    }
+
+    fn run(&mut self, id: &str) -> Option<String> {
+        let text = match id {
+            "table1" => analytic::table1().render(),
+            "figure1" => analytic::figure1().render(),
+            "figure2" => analytic::figure2().render(),
+            "table2" => characterize::table2(&mut self.store).expect("table2").render(),
+            "table3" => characterize::table3(),
+            "table4" => characterize::table45(&mut self.store).expect("table4").render_static(),
+            "table5" => characterize::table45(&mut self.store).expect("table5").render_dynamic(),
+            "figure3" => self.accuracy().render_overall(),
+            "figure4" => self.accuracy().render_category(InstrCategory::AddSub),
+            "figure5" => self.accuracy().render_category(InstrCategory::Loads),
+            "figure6" => self.accuracy().render_category(InstrCategory::Logic),
+            "figure7" => self.accuracy().render_category(InstrCategory::Shift),
+            "figure8" => self.overlap().render_figure8(),
+            "figure9" => self.overlap().render_figure9(),
+            "figure10" => values::run(&mut self.store).expect("figure10").render(),
+            "table6" => sensitivity::table6(&self.store).expect("table6").render(),
+            "table7" => sensitivity::table7(&self.store).expect("table7").render(),
+            "figure11" => sensitivity::figure11(&mut self.store).expect("figure11").render(),
+            "ext-tables" => realism::table_sweep(&mut self.store).expect("ext-tables").render(),
+            "ext-delay" => realism::delay_sweep(&mut self.store).expect("ext-delay").render(),
+            "ext-locality" => {
+                information::locality(&mut self.store).expect("ext-locality").render()
+            }
+            "ext-entropy" => information::entropy(&mut self.store).expect("ext-entropy").render(),
+            "ext-speedup" => speedup::run(&self.store).expect("ext-speedup").render(),
+            _ => return None,
+        };
+        Some(text)
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale_div = 1;
+    args.retain(|a| match a.as_str() {
+        "--quick" => {
+            scale_div = 4;
+            false
+        }
+        _ => true,
+    });
+    if args.iter().any(|a| a == "--list" || a == "-l") {
+        for id in EXPERIMENTS.iter().chain(EXTRA.iter()) {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: repro [--quick] all | <experiment>...\n       repro --list\n\n\
+             Regenerates the tables and figures of Sazeides & Smith (MICRO-30 1997)."
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let ids: Vec<String> = if args.iter().any(|a| a == "all") {
+        EXPERIMENTS.iter().chain(EXTRA.iter()).map(|s| (*s).to_owned()).collect()
+    } else {
+        args
+    };
+
+    let mut harness = Harness {
+        store: TraceStore::with_scale_div(scale_div),
+        accuracy: None,
+        overlap: None,
+    };
+    for id in &ids {
+        match harness.run(id) {
+            Some(text) => {
+                println!("{text}");
+            }
+            None => {
+                eprintln!("unknown experiment `{id}` (try --list)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,123 @@
+//! Shared experiment context: workload traces generated once and cached.
+
+use dvp_lang::OptLevel;
+use dvp_trace::TraceRecord;
+use dvp_workloads::{Benchmark, BuildError, Workload};
+use std::collections::HashMap;
+
+/// The optimization level every cross-benchmark experiment uses.
+///
+/// `O1` is the closest analog of the paper's `-O3` binaries for this
+/// toolchain: its instruction mix (Table 5 comparison) matches the paper
+/// best — `O0` stores every local to memory (loads dominate unrealistically)
+/// and `O2`'s register promotion suppresses loads below the paper's range.
+/// Table 7 sweeps all levels explicitly.
+pub const REFERENCE_OPT: OptLevel = OptLevel::O1;
+
+/// Step budget for any single workload run.
+pub const STEP_BUDGET: u64 = 2_000_000_000;
+
+/// Lazily generates and caches the value trace of each benchmark so that a
+/// `repro all` run simulates every workload exactly once.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_experiments::TraceStore;
+/// use dvp_workloads::Benchmark;
+///
+/// let mut store = TraceStore::with_scale_div(50);
+/// let trace = store.trace(Benchmark::M88k)?;
+/// assert!(!trace.is_empty());
+/// # Ok::<(), dvp_workloads::BuildError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceStore {
+    traces: HashMap<Benchmark, Vec<TraceRecord>>,
+    retired: HashMap<Benchmark, u64>,
+    predicted: HashMap<Benchmark, u64>,
+    scale_div: u32,
+    record_cap: Option<usize>,
+}
+
+impl TraceStore {
+    /// A store using each benchmark's default scale.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceStore { scale_div: 1, ..TraceStore::default() }
+    }
+
+    /// A store whose workloads run at `default_scale / div` (min 1) — used
+    /// by tests and quick runs.
+    #[must_use]
+    pub fn with_scale_div(div: u32) -> Self {
+        TraceStore { scale_div: div.max(1), ..TraceStore::default() }
+    }
+
+    /// Additionally truncates every cached trace to at most `cap` records
+    /// (trace *generation* is cheap; predictor passes are not). Used by the
+    /// test suite.
+    #[must_use]
+    pub fn with_record_cap(mut self, cap: usize) -> Self {
+        self.record_cap = Some(cap);
+        self
+    }
+
+    /// The workload configuration this store runs for `benchmark`.
+    #[must_use]
+    pub fn workload(&self, benchmark: Benchmark) -> Workload {
+        let scale = (benchmark.default_scale() / self.scale_div).max(1);
+        Workload::reference(benchmark).with_scale(scale)
+    }
+
+    /// The cached trace for `benchmark`, generating it on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload build/run errors.
+    pub fn trace(&mut self, benchmark: Benchmark) -> Result<&[TraceRecord], BuildError> {
+        if !self.traces.contains_key(&benchmark) {
+            let workload = self.workload(benchmark);
+            let mut machine = workload.machine(REFERENCE_OPT)?;
+            let mut trace = Vec::new();
+            machine.run_with(STEP_BUDGET, &mut |rec| trace.push(rec))?;
+            self.retired.insert(benchmark, machine.retired());
+            self.predicted.insert(benchmark, trace.len() as u64);
+            if let Some(cap) = self.record_cap {
+                trace.truncate(cap);
+            }
+            self.traces.insert(benchmark, trace);
+        }
+        Ok(&self.traces[&benchmark])
+    }
+
+    /// Total dynamic (retired) instructions for `benchmark`'s run,
+    /// available after [`TraceStore::trace`] has been called for it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload build/run errors (the trace is generated if
+    /// needed).
+    pub fn retired(&mut self, benchmark: Benchmark) -> Result<u64, BuildError> {
+        self.trace(benchmark)?;
+        Ok(self.retired[&benchmark])
+    }
+
+    /// The configured record cap, if any (consumers generating their own
+    /// traces — e.g. Tables 6/7 — honour it too).
+    #[must_use]
+    pub fn record_cap(&self) -> Option<usize> {
+        self.record_cap
+    }
+
+    /// Total predicted (register-writing) instructions in the full run —
+    /// unaffected by any record cap.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload build/run errors.
+    pub fn predicted(&mut self, benchmark: Benchmark) -> Result<u64, BuildError> {
+        self.trace(benchmark)?;
+        Ok(self.predicted[&benchmark])
+    }
+}

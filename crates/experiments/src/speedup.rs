@@ -1,0 +1,187 @@
+//! Extension experiment `ext-speedup`: the dataflow-limit performance
+//! potential of value prediction.
+//!
+//! The paper's Section 5 conclusion — *"value prediction has significant
+//! potential for performance improvement"* — is a claim about execution
+//! time, not accuracy. This experiment quantifies it with the
+//! dataflow-limit model of Lipasti & Shen (the paper's reference \[2\]):
+//! unit-latency operations, perfect control prediction, execution bounded
+//! only by data-dependence chains. A correct value prediction breaks the
+//! chain at its producer; the resulting shortening of the critical path is
+//! the (upper-bound) speedup a machine could harvest.
+
+use crate::context::{TraceStore, REFERENCE_OPT, STEP_BUDGET};
+use crate::table_fmt::TextTable;
+use dvp_core::{
+    oracle_height, value_predicted_height, FcmPredictor, LastValuePredictor, Predictor,
+    SpeedupReport, StridePredictor,
+};
+use dvp_sim::collect_dataflow;
+use dvp_trace::DepNode;
+use dvp_workloads::{Benchmark, BuildError};
+
+/// Mis-speculation penalty used by the experiment (0 = oracle-gated limit
+/// study; the `realism` bench sweeps nonzero penalties).
+pub const SPEEDUP_PENALTY: u64 = 0;
+
+/// Dataflow-limit results for one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct SpeedupRow {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Dependence-trace length (register writers + stores).
+    pub nodes: u64,
+    /// Unpredicted dataflow height (longest dependence chain).
+    pub base_height: u64,
+    /// Dataflow-limit IPC without prediction.
+    pub base_ipc: f64,
+    /// Speedup from last-value prediction.
+    pub last_value: f64,
+    /// Speedup from two-delta stride prediction.
+    pub stride: f64,
+    /// Speedup from order-3 FCM prediction.
+    pub fcm3: f64,
+    /// Speedup from a perfect predictor (every register value known at
+    /// dispatch; only store-to-load chains remain).
+    pub oracle: f64,
+}
+
+/// Results of the dataflow-limit speedup experiment.
+#[derive(Debug, Clone)]
+pub struct SpeedupResults {
+    /// One row per benchmark, in [`Benchmark::ALL`] order.
+    pub rows: Vec<SpeedupRow>,
+}
+
+fn speedup_of(nodes: &[DepNode], predictor: &mut dyn Predictor) -> (SpeedupReport, f64) {
+    let report = value_predicted_height(nodes, predictor, SPEEDUP_PENALTY);
+    (report, report.speedup())
+}
+
+/// Runs the dataflow-limit study on every benchmark.
+///
+/// Unlike the accuracy experiments this needs dependence traces, which are
+/// collected fresh per benchmark (they are not cached in the store — a
+/// dependence trace is several times larger than a value trace).
+///
+/// # Errors
+///
+/// Propagates workload build/run errors.
+pub fn run(store: &TraceStore) -> Result<SpeedupResults, BuildError> {
+    let mut rows = Vec::with_capacity(Benchmark::ALL.len());
+    for benchmark in Benchmark::ALL {
+        let mut machine = store.workload(benchmark).machine(REFERENCE_OPT)?;
+        let mut nodes =
+            collect_dataflow(&mut machine, STEP_BUDGET).map_err(BuildError::Sim)?;
+        if let Some(cap) = store.record_cap() {
+            nodes.truncate(cap);
+        }
+        let base_height = dvp_core::dataflow_height(&nodes);
+        let (report_l, l) = speedup_of(&nodes, &mut LastValuePredictor::new());
+        let (_, s2) = speedup_of(&nodes, &mut StridePredictor::two_delta());
+        let (_, fcm3) = speedup_of(&nodes, &mut FcmPredictor::new(3));
+        let oracle_h = oracle_height(&nodes);
+        rows.push(SpeedupRow {
+            benchmark,
+            nodes: nodes.len() as u64,
+            base_height,
+            base_ipc: report_l.base_ipc(),
+            last_value: l,
+            stride: s2,
+            fcm3,
+            oracle: if oracle_h == 0 { 1.0 } else { base_height as f64 / oracle_h as f64 },
+        });
+    }
+    Ok(SpeedupResults { rows })
+}
+
+impl SpeedupResults {
+    /// Geometric-mean speedup across benchmarks for each column
+    /// `(last value, stride, fcm3, oracle)` — the conventional mean for
+    /// speedups.
+    #[must_use]
+    pub fn geomean(&self) -> (f64, f64, f64, f64) {
+        let n = self.rows.len().max(1) as f64;
+        let gm = |f: fn(&SpeedupRow) -> f64| {
+            (self.rows.iter().map(|r| f(r).ln()).sum::<f64>() / n).exp()
+        };
+        (gm(|r| r.last_value), gm(|r| r.stride), gm(|r| r.fcm3), gm(|r| r.oracle))
+    }
+
+    /// Renders the speedup table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(vec![
+            "bench", "nodes", "height", "ipc", "l", "s2", "fcm3", "oracle",
+        ]);
+        for row in &self.rows {
+            table.row(vec![
+                row.benchmark.name().to_owned(),
+                row.nodes.to_string(),
+                row.base_height.to_string(),
+                format!("{:.1}", row.base_ipc),
+                format!("{:.2}", row.last_value),
+                format!("{:.2}", row.stride),
+                format!("{:.2}", row.fcm3),
+                format!("{:.2}", row.oracle),
+            ]);
+        }
+        let (l, s2, fcm3, oracle) = self.geomean();
+        table.row(vec![
+            "geomean".to_owned(),
+            "-".to_owned(),
+            "-".to_owned(),
+            "-".to_owned(),
+            format!("{l:.2}"),
+            format!("{s2:.2}"),
+            format!("{fcm3:.2}"),
+            format!("{oracle:.2}"),
+        ]);
+        format!(
+            "ext-speedup: dataflow-limit speedup from value prediction\n\
+             (paper Section 5: 'value prediction has significant potential for\n\
+             performance improvement'; model of Lipasti & Shen [2]: unit\n\
+             latency, perfect control prediction, penalty-free speculation)\n\n{}\n\
+             The oracle column is degenerate by construction: perfect prediction\n\
+             removes every register dependence, so the remaining height is the\n\
+             deepest store-to-load hop (~2 cycles). More interesting is that the\n\
+             stride predictor can out-speed the more *accurate* fcm3: critical\n\
+             paths are dominated by loop-carried induction chains — non-repeating\n\
+             stride-class sequences (paper Table 1, row S) that context-based\n\
+             prediction cannot extrapolate. Accuracy is not time.\n",
+            table.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedups_are_ordered_and_meaningful() {
+        let store = TraceStore::with_scale_div(1000)
+            .with_record_cap(if cfg!(debug_assertions) { 20_000 } else { 100_000 });
+        let results = run(&store).unwrap();
+        assert_eq!(results.rows.len(), 7);
+        for row in &results.rows {
+            // Penalty-free speculation never slows the dataflow limit down.
+            assert!(row.last_value >= 1.0, "{row:?}");
+            assert!(row.stride >= 1.0, "{row:?}");
+            assert!(row.fcm3 >= 1.0, "{row:?}");
+            // The oracle bounds every real predictor.
+            assert!(row.oracle >= row.fcm3 - 1e-9, "{row:?}");
+            assert!(row.oracle >= row.stride - 1e-9, "{row:?}");
+            assert!(row.oracle >= row.last_value - 1e-9, "{row:?}");
+            // Dependence chains exist: base IPC is finite and positive.
+            assert!(row.base_ipc > 0.0 && row.base_height > 1, "{row:?}");
+        }
+        // The paper's headline, translated to time: better predictors give
+        // more dataflow speedup on average.
+        let (l, s2, fcm3, oracle) = results.geomean();
+        assert!(fcm3 > l, "fcm3 {fcm3} vs l {l}");
+        assert!(oracle >= fcm3);
+        assert!(s2 > 1.0);
+        assert!(results.render().contains("ext-speedup"));
+    }
+}

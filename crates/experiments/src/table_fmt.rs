@@ -1,0 +1,145 @@
+//! Fixed-width text table rendering for experiment reports.
+
+/// A simple text table: a header row plus data rows, rendered with columns
+/// padded to their widest cell. Numeric-looking cells are right-aligned.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_experiments::TextTable;
+///
+/// let mut table = TextTable::new(vec!["bench", "accuracy"]);
+/// table.row(vec!["compress".to_string(), "78.5".to_string()]);
+/// let text = table.render();
+/// assert!(text.contains("compress"));
+/// assert!(text.lines().count() >= 3); // header, rule, one row
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let numeric: Vec<bool> = (0..ncols)
+            .map(|i| {
+                !self.rows.is_empty()
+                    && self.rows.iter().all(|r| {
+                        let c = r[i].trim();
+                        !c.is_empty()
+                            && c.chars().all(|ch| {
+                                ch.is_ascii_digit() || matches!(ch, '.' | '-' | '+' | '%')
+                            })
+                    })
+            })
+            .collect();
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if numeric[i] {
+                    out.push_str(&format!("{cell:>width$}", width = widths[i]));
+                } else {
+                    out.push_str(&format!("{cell:<width$}", width = widths[i]));
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+#[must_use]
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "12345".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Numeric column right-aligned.
+        assert!(lines[2].ends_with("    1"), "{:?}", lines[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.5), "50.0");
+        assert_eq!(pct(0.789), "78.9");
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = TextTable::new(vec!["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

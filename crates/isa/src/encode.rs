@@ -1,0 +1,351 @@
+//! Binary encoding and decoding of Sim32 instructions.
+//!
+//! Fixed 32-bit words in three MIPS-like formats:
+//!
+//! ```text
+//! R-type: opcode(6)=0 | rs(5) | rt(5) | rd(5) | shamt(5) | funct(6)
+//! I-type: opcode(6)   | rs(5) | rt(5) | imm(16)
+//! J-type: opcode(6)   | target(26)
+//! ```
+
+use crate::{BranchOp, IOp, Instr, MemOp, ROp, Reg, ShiftOp};
+use std::fmt;
+
+// Funct codes for R-type instructions (opcode 0).
+const F_SLL: u32 = 0x00;
+const F_SRL: u32 = 0x02;
+const F_SRA: u32 = 0x03;
+const F_SLLV: u32 = 0x04;
+const F_SRLV: u32 = 0x06;
+const F_SRAV: u32 = 0x07;
+const F_JR: u32 = 0x08;
+const F_JALR: u32 = 0x09;
+const F_SYSCALL: u32 = 0x0c;
+const F_MUL: u32 = 0x18;
+const F_MULH: u32 = 0x19;
+const F_DIV: u32 = 0x1a;
+const F_REM: u32 = 0x1b;
+const F_ADD: u32 = 0x20;
+const F_SUB: u32 = 0x22;
+const F_AND: u32 = 0x24;
+const F_OR: u32 = 0x25;
+const F_XOR: u32 = 0x26;
+const F_NOR: u32 = 0x27;
+const F_SLT: u32 = 0x2a;
+const F_SLTU: u32 = 0x2b;
+
+// Primary opcodes.
+const OP_R: u32 = 0x00;
+const OP_J: u32 = 0x02;
+const OP_JAL: u32 = 0x03;
+const OP_BEQ: u32 = 0x04;
+const OP_BNE: u32 = 0x05;
+const OP_BLT: u32 = 0x06;
+const OP_BGE: u32 = 0x07;
+const OP_ADDI: u32 = 0x08;
+const OP_SLTI: u32 = 0x0a;
+const OP_SLTIU: u32 = 0x0b;
+const OP_ANDI: u32 = 0x0c;
+const OP_ORI: u32 = 0x0d;
+const OP_XORI: u32 = 0x0e;
+const OP_LUI: u32 = 0x0f;
+const OP_BLTU: u32 = 0x14;
+const OP_BGEU: u32 = 0x15;
+const OP_LB: u32 = 0x20;
+const OP_LH: u32 = 0x21;
+const OP_LW: u32 = 0x23;
+const OP_LBU: u32 = 0x24;
+const OP_LHU: u32 = 0x25;
+const OP_SB: u32 = 0x28;
+const OP_SH: u32 = 0x29;
+const OP_SW: u32 = 0x2b;
+
+/// Error produced when a 32-bit word is not a valid Sim32 instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending instruction word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction word 0x{:08x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn r_type(rs: Reg, rt: Reg, rd: Reg, shamt: u8, funct: u32) -> u32 {
+    (u32::from(rs.number()) << 21)
+        | (u32::from(rt.number()) << 16)
+        | (u32::from(rd.number()) << 11)
+        | (u32::from(shamt & 0x1f) << 6)
+        | funct
+}
+
+fn i_type(opcode: u32, rs: Reg, rt: Reg, imm: u16) -> u32 {
+    (opcode << 26)
+        | (u32::from(rs.number()) << 21)
+        | (u32::from(rt.number()) << 16)
+        | u32::from(imm)
+}
+
+/// Encodes an instruction into its 32-bit word.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_isa::{decode, encode, Instr, Reg, ROp};
+///
+/// let instr = Instr::R { op: ROp::Add, rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 };
+/// assert_eq!(decode(encode(instr)).unwrap(), instr);
+/// ```
+#[must_use]
+pub fn encode(instr: Instr) -> u32 {
+    match instr {
+        Instr::R { op, rd, rs, rt } => {
+            let funct = match op {
+                ROp::Add => F_ADD,
+                ROp::Sub => F_SUB,
+                ROp::And => F_AND,
+                ROp::Or => F_OR,
+                ROp::Xor => F_XOR,
+                ROp::Nor => F_NOR,
+                ROp::Slt => F_SLT,
+                ROp::Sltu => F_SLTU,
+                ROp::Mul => F_MUL,
+                ROp::Mulh => F_MULH,
+                ROp::Div => F_DIV,
+                ROp::Rem => F_REM,
+            };
+            r_type(rs, rt, rd, 0, funct)
+        }
+        Instr::Shift { op, rd, rt, shamt } => {
+            let funct = match op {
+                ShiftOp::Sll => F_SLL,
+                ShiftOp::Srl => F_SRL,
+                ShiftOp::Sra => F_SRA,
+            };
+            r_type(Reg::ZERO, rt, rd, shamt, funct)
+        }
+        Instr::ShiftV { op, rd, rt, rs } => {
+            let funct = match op {
+                ShiftOp::Sll => F_SLLV,
+                ShiftOp::Srl => F_SRLV,
+                ShiftOp::Sra => F_SRAV,
+            };
+            r_type(rs, rt, rd, 0, funct)
+        }
+        Instr::I { op, rt, rs, imm } => {
+            let opcode = match op {
+                IOp::Addi => OP_ADDI,
+                IOp::Slti => OP_SLTI,
+                IOp::Sltiu => OP_SLTIU,
+                IOp::Andi => OP_ANDI,
+                IOp::Ori => OP_ORI,
+                IOp::Xori => OP_XORI,
+            };
+            i_type(opcode, rs, rt, imm as u16)
+        }
+        Instr::Lui { rt, imm } => i_type(OP_LUI, Reg::ZERO, rt, imm),
+        Instr::Mem { op, rt, base, offset } => {
+            let opcode = match op {
+                MemOp::Lb => OP_LB,
+                MemOp::Lbu => OP_LBU,
+                MemOp::Lh => OP_LH,
+                MemOp::Lhu => OP_LHU,
+                MemOp::Lw => OP_LW,
+                MemOp::Sb => OP_SB,
+                MemOp::Sh => OP_SH,
+                MemOp::Sw => OP_SW,
+            };
+            i_type(opcode, base, rt, offset as u16)
+        }
+        Instr::Branch { op, rs, rt, offset } => {
+            let opcode = match op {
+                BranchOp::Beq => OP_BEQ,
+                BranchOp::Bne => OP_BNE,
+                BranchOp::Blt => OP_BLT,
+                BranchOp::Bge => OP_BGE,
+                BranchOp::Bltu => OP_BLTU,
+                BranchOp::Bgeu => OP_BGEU,
+            };
+            i_type(opcode, rs, rt, offset as u16)
+        }
+        Instr::J { target } => (OP_J << 26) | (target & 0x03ff_ffff),
+        Instr::Jal { target } => (OP_JAL << 26) | (target & 0x03ff_ffff),
+        Instr::Jr { rs } => r_type(rs, Reg::ZERO, Reg::ZERO, 0, F_JR),
+        Instr::Jalr { rd, rs } => r_type(rs, Reg::ZERO, rd, 0, F_JALR),
+        Instr::Syscall { code } => ((code & 0x000f_ffff) << 6) | F_SYSCALL,
+    }
+}
+
+fn reg_at(word: u32, shift: u32) -> Reg {
+    Reg::new(((word >> shift) & 0x1f) as u8).expect("5-bit field is always a valid register")
+}
+
+/// Decodes a 32-bit word into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the opcode or funct field does not name a
+/// Sim32 instruction.
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let opcode = word >> 26;
+    let rs = reg_at(word, 21);
+    let rt = reg_at(word, 16);
+    let rd = reg_at(word, 11);
+    let shamt = ((word >> 6) & 0x1f) as u8;
+    let imm = (word & 0xffff) as u16 as i16;
+    let target = word & 0x03ff_ffff;
+    let err = Err(DecodeError { word });
+
+    let instr = match opcode {
+        OP_R => {
+            let funct = word & 0x3f;
+            match funct {
+                F_SLL => Instr::Shift { op: ShiftOp::Sll, rd, rt, shamt },
+                F_SRL => Instr::Shift { op: ShiftOp::Srl, rd, rt, shamt },
+                F_SRA => Instr::Shift { op: ShiftOp::Sra, rd, rt, shamt },
+                F_SLLV => Instr::ShiftV { op: ShiftOp::Sll, rd, rt, rs },
+                F_SRLV => Instr::ShiftV { op: ShiftOp::Srl, rd, rt, rs },
+                F_SRAV => Instr::ShiftV { op: ShiftOp::Sra, rd, rt, rs },
+                F_JR => Instr::Jr { rs },
+                F_JALR => Instr::Jalr { rd, rs },
+                F_SYSCALL => Instr::Syscall { code: (word >> 6) & 0x000f_ffff },
+                F_ADD => Instr::R { op: ROp::Add, rd, rs, rt },
+                F_SUB => Instr::R { op: ROp::Sub, rd, rs, rt },
+                F_AND => Instr::R { op: ROp::And, rd, rs, rt },
+                F_OR => Instr::R { op: ROp::Or, rd, rs, rt },
+                F_XOR => Instr::R { op: ROp::Xor, rd, rs, rt },
+                F_NOR => Instr::R { op: ROp::Nor, rd, rs, rt },
+                F_SLT => Instr::R { op: ROp::Slt, rd, rs, rt },
+                F_SLTU => Instr::R { op: ROp::Sltu, rd, rs, rt },
+                F_MUL => Instr::R { op: ROp::Mul, rd, rs, rt },
+                F_MULH => Instr::R { op: ROp::Mulh, rd, rs, rt },
+                F_DIV => Instr::R { op: ROp::Div, rd, rs, rt },
+                F_REM => Instr::R { op: ROp::Rem, rd, rs, rt },
+                _ => return err,
+            }
+        }
+        OP_J => Instr::J { target },
+        OP_JAL => Instr::Jal { target },
+        OP_BEQ => Instr::Branch { op: BranchOp::Beq, rs, rt, offset: imm },
+        OP_BNE => Instr::Branch { op: BranchOp::Bne, rs, rt, offset: imm },
+        OP_BLT => Instr::Branch { op: BranchOp::Blt, rs, rt, offset: imm },
+        OP_BGE => Instr::Branch { op: BranchOp::Bge, rs, rt, offset: imm },
+        OP_BLTU => Instr::Branch { op: BranchOp::Bltu, rs, rt, offset: imm },
+        OP_BGEU => Instr::Branch { op: BranchOp::Bgeu, rs, rt, offset: imm },
+        OP_ADDI => Instr::I { op: IOp::Addi, rt, rs, imm },
+        OP_SLTI => Instr::I { op: IOp::Slti, rt, rs, imm },
+        OP_SLTIU => Instr::I { op: IOp::Sltiu, rt, rs, imm },
+        OP_ANDI => Instr::I { op: IOp::Andi, rt, rs, imm },
+        OP_ORI => Instr::I { op: IOp::Ori, rt, rs, imm },
+        OP_XORI => Instr::I { op: IOp::Xori, rt, rs, imm },
+        OP_LUI => Instr::Lui { rt, imm: imm as u16 },
+        OP_LB => Instr::Mem { op: MemOp::Lb, rt, base: rs, offset: imm },
+        OP_LBU => Instr::Mem { op: MemOp::Lbu, rt, base: rs, offset: imm },
+        OP_LH => Instr::Mem { op: MemOp::Lh, rt, base: rs, offset: imm },
+        OP_LHU => Instr::Mem { op: MemOp::Lhu, rt, base: rs, offset: imm },
+        OP_LW => Instr::Mem { op: MemOp::Lw, rt, base: rs, offset: imm },
+        OP_SB => Instr::Mem { op: MemOp::Sb, rt, base: rs, offset: imm },
+        OP_SH => Instr::Mem { op: MemOp::Sh, rt, base: rs, offset: imm },
+        OP_SW => Instr::Mem { op: MemOp::Sw, rt, base: rs, offset: imm },
+        _ => return err,
+    };
+    Ok(instr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_instrs() -> Vec<Instr> {
+        let mut v = Vec::new();
+        for op in [
+            ROp::Add,
+            ROp::Sub,
+            ROp::And,
+            ROp::Or,
+            ROp::Xor,
+            ROp::Nor,
+            ROp::Slt,
+            ROp::Sltu,
+            ROp::Mul,
+            ROp::Mulh,
+            ROp::Div,
+            ROp::Rem,
+        ] {
+            v.push(Instr::R { op, rd: Reg::T0, rs: Reg::S1, rt: Reg::A2 });
+        }
+        for op in [ShiftOp::Sll, ShiftOp::Srl, ShiftOp::Sra] {
+            v.push(Instr::Shift { op, rd: Reg::V0, rt: Reg::T3, shamt: 17 });
+            v.push(Instr::ShiftV { op, rd: Reg::V0, rt: Reg::T3, rs: Reg::T4 });
+        }
+        for op in [IOp::Addi, IOp::Slti, IOp::Sltiu, IOp::Andi, IOp::Ori, IOp::Xori] {
+            v.push(Instr::I { op, rt: Reg::T5, rs: Reg::T6, imm: -1234 });
+        }
+        v.push(Instr::Lui { rt: Reg::GP, imm: 0xdead });
+        for op in
+            [MemOp::Lb, MemOp::Lbu, MemOp::Lh, MemOp::Lhu, MemOp::Lw, MemOp::Sb, MemOp::Sh, MemOp::Sw]
+        {
+            v.push(Instr::Mem { op, rt: Reg::T7, base: Reg::SP, offset: -8 });
+        }
+        for op in
+            [BranchOp::Beq, BranchOp::Bne, BranchOp::Blt, BranchOp::Bge, BranchOp::Bltu, BranchOp::Bgeu]
+        {
+            v.push(Instr::Branch { op, rs: Reg::A0, rt: Reg::A1, offset: -3 });
+        }
+        v.push(Instr::J { target: 0x123456 });
+        v.push(Instr::Jal { target: 0x3ff_ffff });
+        v.push(Instr::Jr { rs: Reg::RA });
+        v.push(Instr::Jalr { rd: Reg::RA, rs: Reg::T9 });
+        v.push(Instr::Syscall { code: 2 });
+        v.push(Instr::NOP);
+        v
+    }
+
+    #[test]
+    fn every_instruction_round_trips() {
+        for instr in sample_instrs() {
+            let word = encode(instr);
+            let back = decode(word).unwrap_or_else(|e| panic!("{instr}: {e}"));
+            assert_eq!(back, instr, "word 0x{word:08x}");
+        }
+    }
+
+    #[test]
+    fn invalid_words_are_rejected() {
+        // Opcode 0x3f is unassigned.
+        assert!(decode(0xfc00_0000).is_err());
+        // R-type with unassigned funct 0x3f.
+        assert!(decode(0x0000_003f).is_err());
+        let err = decode(0xfc00_0000).unwrap_err();
+        assert!(err.to_string().contains("fc000000"));
+    }
+
+    #[test]
+    fn nop_encodes_to_zero() {
+        assert_eq!(encode(Instr::NOP), 0);
+        assert_eq!(decode(0).unwrap(), Instr::NOP);
+    }
+
+    #[test]
+    fn negative_immediates_survive() {
+        let instr = Instr::I { op: IOp::Addi, rt: Reg::T0, rs: Reg::T0, imm: -1 };
+        assert_eq!(decode(encode(instr)).unwrap(), instr);
+    }
+
+    #[test]
+    fn jump_target_masks_to_26_bits() {
+        let instr = Instr::J { target: 0xffff_ffff };
+        let decoded = decode(encode(instr)).unwrap();
+        assert_eq!(decoded, Instr::J { target: 0x03ff_ffff });
+    }
+
+    #[test]
+    fn syscall_code_capacity() {
+        let instr = Instr::Syscall { code: 0xf_ffff };
+        assert_eq!(decode(encode(instr)).unwrap(), instr);
+    }
+}

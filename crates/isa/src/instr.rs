@@ -1,0 +1,548 @@
+//! The Sim32 instruction set.
+
+use crate::Reg;
+use dvp_trace::InstrCategory;
+use std::fmt;
+
+/// Three-register ALU operations (R-type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ROp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Nor,
+    Slt,
+    Sltu,
+    Mul,
+    Mulh,
+    Div,
+    Rem,
+}
+
+impl ROp {
+    /// Assembly mnemonic.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ROp::Add => "add",
+            ROp::Sub => "sub",
+            ROp::And => "and",
+            ROp::Or => "or",
+            ROp::Xor => "xor",
+            ROp::Nor => "nor",
+            ROp::Slt => "slt",
+            ROp::Sltu => "sltu",
+            ROp::Mul => "mul",
+            ROp::Mulh => "mulh",
+            ROp::Div => "div",
+            ROp::Rem => "rem",
+        }
+    }
+
+    /// Reporting category (paper Table 3).
+    #[must_use]
+    pub fn category(self) -> InstrCategory {
+        match self {
+            ROp::Add | ROp::Sub => InstrCategory::AddSub,
+            ROp::And | ROp::Or | ROp::Xor | ROp::Nor => InstrCategory::Logic,
+            ROp::Slt | ROp::Sltu => InstrCategory::Set,
+            ROp::Mul | ROp::Mulh | ROp::Div | ROp::Rem => InstrCategory::MultDiv,
+        }
+    }
+}
+
+/// Shift kinds (used by both immediate and register-count forms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ShiftOp {
+    Sll,
+    Srl,
+    Sra,
+}
+
+impl ShiftOp {
+    /// Assembly mnemonic of the immediate form.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ShiftOp::Sll => "sll",
+            ShiftOp::Srl => "srl",
+            ShiftOp::Sra => "sra",
+        }
+    }
+
+    /// Assembly mnemonic of the register-count (variable) form.
+    #[must_use]
+    pub fn mnemonic_v(self) -> &'static str {
+        match self {
+            ShiftOp::Sll => "sllv",
+            ShiftOp::Srl => "srlv",
+            ShiftOp::Sra => "srav",
+        }
+    }
+}
+
+/// Register-immediate ALU operations (I-type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum IOp {
+    Addi,
+    Slti,
+    Sltiu,
+    Andi,
+    Ori,
+    Xori,
+}
+
+impl IOp {
+    /// Assembly mnemonic.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            IOp::Addi => "addi",
+            IOp::Slti => "slti",
+            IOp::Sltiu => "sltiu",
+            IOp::Andi => "andi",
+            IOp::Ori => "ori",
+            IOp::Xori => "xori",
+        }
+    }
+
+    /// Reporting category (paper Table 3).
+    #[must_use]
+    pub fn category(self) -> InstrCategory {
+        match self {
+            IOp::Addi => InstrCategory::AddSub,
+            IOp::Slti | IOp::Sltiu => InstrCategory::Set,
+            IOp::Andi | IOp::Ori | IOp::Xori => InstrCategory::Logic,
+        }
+    }
+
+    /// Whether the 16-bit immediate is sign-extended (arithmetic/compare)
+    /// or zero-extended (logical), matching MIPS conventions.
+    #[must_use]
+    pub fn sign_extends_imm(self) -> bool {
+        matches!(self, IOp::Addi | IOp::Slti)
+    }
+}
+
+/// Memory access operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum MemOp {
+    Lb,
+    Lbu,
+    Lh,
+    Lhu,
+    Lw,
+    Sb,
+    Sh,
+    Sw,
+}
+
+impl MemOp {
+    /// Assembly mnemonic.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            MemOp::Lb => "lb",
+            MemOp::Lbu => "lbu",
+            MemOp::Lh => "lh",
+            MemOp::Lhu => "lhu",
+            MemOp::Lw => "lw",
+            MemOp::Sb => "sb",
+            MemOp::Sh => "sh",
+            MemOp::Sw => "sw",
+        }
+    }
+
+    /// Whether this operation reads memory into a register.
+    #[must_use]
+    pub fn is_load(self) -> bool {
+        matches!(self, MemOp::Lb | MemOp::Lbu | MemOp::Lh | MemOp::Lhu | MemOp::Lw)
+    }
+
+    /// Access width in bytes.
+    #[must_use]
+    pub fn width(self) -> u32 {
+        match self {
+            MemOp::Lb | MemOp::Lbu | MemOp::Sb => 1,
+            MemOp::Lh | MemOp::Lhu | MemOp::Sh => 2,
+            MemOp::Lw | MemOp::Sw => 4,
+        }
+    }
+}
+
+/// Conditional branch comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BranchOp {
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    Bgeu,
+}
+
+impl BranchOp {
+    /// Assembly mnemonic.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchOp::Beq => "beq",
+            BranchOp::Bne => "bne",
+            BranchOp::Blt => "blt",
+            BranchOp::Bge => "bge",
+            BranchOp::Bltu => "bltu",
+            BranchOp::Bgeu => "bgeu",
+        }
+    }
+
+    /// Evaluates the branch condition on two 32-bit register values.
+    #[must_use]
+    pub fn taken(self, a: u32, b: u32) -> bool {
+        match self {
+            BranchOp::Beq => a == b,
+            BranchOp::Bne => a != b,
+            BranchOp::Blt => (a as i32) < (b as i32),
+            BranchOp::Bge => (a as i32) >= (b as i32),
+            BranchOp::Bltu => a < b,
+            BranchOp::Bgeu => a >= b,
+        }
+    }
+}
+
+/// Well-known syscall codes understood by the simulator.
+pub mod syscall {
+    /// Stop execution.
+    pub const HALT: u32 = 0;
+    /// Print the signed integer in `a0` to the output stream.
+    pub const PUT_INT: u32 = 1;
+    /// Print the low byte of `a0` as a character.
+    pub const PUT_CHAR: u32 = 2;
+}
+
+/// A decoded Sim32 instruction.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_isa::{Instr, Reg, ROp};
+/// use dvp_trace::InstrCategory;
+///
+/// let add = Instr::R { op: ROp::Add, rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 };
+/// assert_eq!(add.dest(), Some(Reg::T0));
+/// assert_eq!(add.category(), Some(InstrCategory::AddSub));
+/// assert_eq!(add.to_string(), "add t0, t1, t2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Three-register ALU operation: `rd = rs op rt`.
+    R {
+        /// Operation.
+        op: ROp,
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rs: Reg,
+        /// Second source.
+        rt: Reg,
+    },
+    /// Shift by immediate amount: `rd = rt shift shamt`.
+    Shift {
+        /// Shift kind.
+        op: ShiftOp,
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rt: Reg,
+        /// Shift amount in `0..32`.
+        shamt: u8,
+    },
+    /// Shift by register amount: `rd = rt shift (rs & 31)`.
+    ShiftV {
+        /// Shift kind.
+        op: ShiftOp,
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rt: Reg,
+        /// Register holding the shift count.
+        rs: Reg,
+    },
+    /// Register-immediate ALU operation: `rt = rs op imm`.
+    I {
+        /// Operation.
+        op: IOp,
+        /// Destination.
+        rt: Reg,
+        /// Source.
+        rs: Reg,
+        /// 16-bit immediate (sign- or zero-extended per
+        /// [`IOp::sign_extends_imm`]).
+        imm: i16,
+    },
+    /// Load upper immediate: `rt = imm << 16`.
+    Lui {
+        /// Destination.
+        rt: Reg,
+        /// Immediate placed in the high half-word.
+        imm: u16,
+    },
+    /// Memory access: `rt <-> mem[base + offset]`.
+    Mem {
+        /// Access kind and width.
+        op: MemOp,
+        /// Data register (destination for loads, source for stores).
+        rt: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed byte offset.
+        offset: i16,
+    },
+    /// Conditional branch: `if rs cmp rt, pc += 4 + offset*4`.
+    Branch {
+        /// Comparison.
+        op: BranchOp,
+        /// First operand.
+        rs: Reg,
+        /// Second operand.
+        rt: Reg,
+        /// Signed offset in instructions, relative to the delay-free next PC.
+        offset: i16,
+    },
+    /// Unconditional jump to a 26-bit word target within the current 256 MiB
+    /// segment.
+    J {
+        /// Word-address target (byte address / 4, low 26 bits).
+        target: u32,
+    },
+    /// Jump and link: like [`Instr::J`] but writes the return address to
+    /// `ra`.
+    Jal {
+        /// Word-address target.
+        target: u32,
+    },
+    /// Indirect jump to the address in `rs`.
+    Jr {
+        /// Register holding the target address.
+        rs: Reg,
+    },
+    /// Indirect jump and link: `rd = return address; pc = rs`.
+    Jalr {
+        /// Register receiving the return address.
+        rd: Reg,
+        /// Register holding the target address.
+        rs: Reg,
+    },
+    /// Environment call (see [`syscall`] for codes).
+    Syscall {
+        /// Syscall code (20 bits).
+        code: u32,
+    },
+}
+
+impl Instr {
+    /// A canonical no-op (`sll zero, zero, 0`).
+    pub const NOP: Instr =
+        Instr::Shift { op: ShiftOp::Sll, rd: Reg::ZERO, rt: Reg::ZERO, shamt: 0 };
+
+    /// The register this instruction writes, if any.
+    ///
+    /// Writes to the hardwired `zero` register still report `Some(ZERO)`
+    /// here; the simulator discards them (and produces no trace record).
+    #[must_use]
+    pub fn dest(self) -> Option<Reg> {
+        match self {
+            Instr::R { rd, .. } | Instr::Shift { rd, .. } | Instr::ShiftV { rd, .. } => Some(rd),
+            Instr::I { rt, .. } | Instr::Lui { rt, .. } => Some(rt),
+            Instr::Mem { op, rt, .. } => op.is_load().then_some(rt),
+            Instr::Jal { .. } => Some(Reg::RA),
+            Instr::Jalr { rd, .. } => Some(rd),
+            Instr::Branch { .. } | Instr::J { .. } | Instr::Jr { .. } | Instr::Syscall { .. } => {
+                None
+            }
+        }
+    }
+
+    /// The paper-Table-3 category of this instruction, or `None` for
+    /// instructions that write no register (stores, branches, plain jumps,
+    /// syscalls) and are therefore never predicted.
+    #[must_use]
+    pub fn category(self) -> Option<InstrCategory> {
+        match self {
+            Instr::R { op, .. } => Some(op.category()),
+            Instr::Shift { .. } | Instr::ShiftV { .. } => Some(InstrCategory::Shift),
+            Instr::I { op, .. } => Some(op.category()),
+            Instr::Lui { .. } => Some(InstrCategory::Lui),
+            Instr::Mem { op, .. } => op.is_load().then_some(InstrCategory::Loads),
+            Instr::Jal { .. } | Instr::Jalr { .. } => Some(InstrCategory::Other),
+            Instr::Branch { .. } | Instr::J { .. } | Instr::Jr { .. } | Instr::Syscall { .. } => {
+                None
+            }
+        }
+    }
+
+    /// Whether this instruction ends basic-block-straight-line execution
+    /// (branch, jump, or syscall).
+    #[must_use]
+    pub fn is_control_flow(self) -> bool {
+        matches!(
+            self,
+            Instr::Branch { .. }
+                | Instr::J { .. }
+                | Instr::Jal { .. }
+                | Instr::Jr { .. }
+                | Instr::Jalr { .. }
+                | Instr::Syscall { .. }
+        )
+    }
+
+    /// Assembly mnemonic of this instruction.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Instr::R { op, .. } => op.mnemonic(),
+            Instr::Shift { op, .. } => op.mnemonic(),
+            Instr::ShiftV { op, .. } => op.mnemonic_v(),
+            Instr::I { op, .. } => op.mnemonic(),
+            Instr::Lui { .. } => "lui",
+            Instr::Mem { op, .. } => op.mnemonic(),
+            Instr::Branch { op, .. } => op.mnemonic(),
+            Instr::J { .. } => "j",
+            Instr::Jal { .. } => "jal",
+            Instr::Jr { .. } => "jr",
+            Instr::Jalr { .. } => "jalr",
+            Instr::Syscall { .. } => "syscall",
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    /// Disassembles in the syntax accepted by `dvp-asm` (branch and jump
+    /// targets are shown numerically).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::R { op, rd, rs, rt } => write!(f, "{} {rd}, {rs}, {rt}", op.mnemonic()),
+            Instr::Shift { op, rd, rt, shamt } => {
+                write!(f, "{} {rd}, {rt}, {shamt}", op.mnemonic())
+            }
+            Instr::ShiftV { op, rd, rt, rs } => {
+                write!(f, "{} {rd}, {rt}, {rs}", op.mnemonic_v())
+            }
+            Instr::I { op, rt, rs, imm } => write!(f, "{} {rt}, {rs}, {imm}", op.mnemonic()),
+            Instr::Lui { rt, imm } => write!(f, "lui {rt}, {imm}"),
+            Instr::Mem { op, rt, base, offset } => {
+                write!(f, "{} {rt}, {offset}({base})", op.mnemonic())
+            }
+            Instr::Branch { op, rs, rt, offset } => {
+                write!(f, "{} {rs}, {rt}, {offset}", op.mnemonic())
+            }
+            Instr::J { target } => write!(f, "j 0x{:x}", target << 2),
+            Instr::Jal { target } => write!(f, "jal 0x{:x}", target << 2),
+            Instr::Jr { rs } => write!(f, "jr {rs}"),
+            Instr::Jalr { rd, rs } => write!(f, "jalr {rd}, {rs}"),
+            Instr::Syscall { code } => write!(f, "syscall {code}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dest_of_each_shape() {
+        assert_eq!(
+            Instr::R { op: ROp::Xor, rd: Reg::S0, rs: Reg::S1, rt: Reg::S2 }.dest(),
+            Some(Reg::S0)
+        );
+        assert_eq!(
+            Instr::Mem { op: MemOp::Lw, rt: Reg::T0, base: Reg::SP, offset: 4 }.dest(),
+            Some(Reg::T0)
+        );
+        assert_eq!(
+            Instr::Mem { op: MemOp::Sw, rt: Reg::T0, base: Reg::SP, offset: 4 }.dest(),
+            None
+        );
+        assert_eq!(Instr::Jal { target: 0x100 }.dest(), Some(Reg::RA));
+        assert_eq!(
+            Instr::Branch { op: BranchOp::Beq, rs: Reg::T0, rt: Reg::T1, offset: -1 }.dest(),
+            None
+        );
+        assert_eq!(Instr::Syscall { code: 0 }.dest(), None);
+    }
+
+    #[test]
+    fn categories_match_table3() {
+        use InstrCategory as C;
+        let cases: Vec<(Instr, Option<C>)> = vec![
+            (Instr::R { op: ROp::Add, rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 }, Some(C::AddSub)),
+            (Instr::I { op: IOp::Addi, rt: Reg::T0, rs: Reg::T1, imm: 1 }, Some(C::AddSub)),
+            (Instr::Mem { op: MemOp::Lbu, rt: Reg::T0, base: Reg::SP, offset: 0 }, Some(C::Loads)),
+            (Instr::R { op: ROp::Nor, rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 }, Some(C::Logic)),
+            (Instr::Shift { op: ShiftOp::Sra, rd: Reg::T0, rt: Reg::T1, shamt: 3 }, Some(C::Shift)),
+            (Instr::ShiftV { op: ShiftOp::Sll, rd: Reg::T0, rt: Reg::T1, rs: Reg::T2 }, Some(C::Shift)),
+            (Instr::R { op: ROp::Slt, rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 }, Some(C::Set)),
+            (Instr::R { op: ROp::Div, rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 }, Some(C::MultDiv)),
+            (Instr::Lui { rt: Reg::T0, imm: 1 }, Some(C::Lui)),
+            (Instr::Jal { target: 4 }, Some(C::Other)),
+            (Instr::Jalr { rd: Reg::RA, rs: Reg::T9 }, Some(C::Other)),
+            (Instr::Mem { op: MemOp::Sw, rt: Reg::T0, base: Reg::SP, offset: 0 }, None),
+            (Instr::J { target: 4 }, None),
+            (Instr::Jr { rs: Reg::RA }, None),
+        ];
+        for (instr, expected) in cases {
+            assert_eq!(instr.category(), expected, "{instr}");
+        }
+    }
+
+    #[test]
+    fn branch_conditions() {
+        let neg1 = -1i32 as u32;
+        assert!(BranchOp::Beq.taken(5, 5));
+        assert!(BranchOp::Bne.taken(5, 6));
+        assert!(BranchOp::Blt.taken(neg1, 0), "signed comparison");
+        assert!(!BranchOp::Bltu.taken(neg1, 0), "unsigned comparison");
+        assert!(BranchOp::Bge.taken(0, neg1));
+        assert!(BranchOp::Bgeu.taken(neg1, 0));
+    }
+
+    #[test]
+    fn display_examples() {
+        assert_eq!(
+            Instr::Mem { op: MemOp::Lw, rt: Reg::T0, base: Reg::SP, offset: -8 }.to_string(),
+            "lw t0, -8(sp)"
+        );
+        assert_eq!(Instr::NOP.to_string(), "sll zero, zero, 0");
+        assert_eq!(Instr::J { target: 0x10 }.to_string(), "j 0x40");
+        assert_eq!(Instr::Syscall { code: 1 }.to_string(), "syscall 1");
+    }
+
+    #[test]
+    fn control_flow_classification() {
+        assert!(Instr::J { target: 0 }.is_control_flow());
+        assert!(Instr::Syscall { code: 0 }.is_control_flow());
+        assert!(!Instr::NOP.is_control_flow());
+        assert!(!Instr::Lui { rt: Reg::T0, imm: 0 }.is_control_flow());
+    }
+
+    #[test]
+    fn imm_extension_rules() {
+        assert!(IOp::Addi.sign_extends_imm());
+        assert!(IOp::Slti.sign_extends_imm());
+        assert!(!IOp::Andi.sign_extends_imm());
+        assert!(!IOp::Ori.sign_extends_imm());
+    }
+
+    #[test]
+    fn mem_widths() {
+        assert_eq!(MemOp::Lb.width(), 1);
+        assert_eq!(MemOp::Sh.width(), 2);
+        assert_eq!(MemOp::Lw.width(), 4);
+    }
+}

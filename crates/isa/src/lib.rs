@@ -1,0 +1,42 @@
+//! # dvp-isa — the Sim32 instruction set
+//!
+//! Sim32 is a small 32-bit MIPS-like RISC ISA built as the tracing substrate
+//! for the reproduction of *The Predictability of Data Values* (Sazeides &
+//! Smith, MICRO-30, 1997). The paper produced its value traces with the
+//! SimpleScalar toolset; this workspace substitutes its own ISA, assembler
+//! (`dvp-asm`), and functional simulator (`dvp-sim`), which together play
+//! the same role.
+//!
+//! The ISA has 32 general-purpose registers ([`Reg`], with `zero` hardwired
+//! to 0), fixed 32-bit instruction words in R/I/J formats
+//! ([`encode`]/[`decode`]), and a deliberately conventional operation set so
+//! that compiled programs exhibit the instruction-category mix the paper
+//! reports (Tables 3–5): adds/subtracts and loads dominate, followed by
+//! shifts, compares and logicals.
+//!
+//! Every instruction knows which register it writes ([`Instr::dest`]) and
+//! which reporting category it belongs to ([`Instr::category`]); stores,
+//! branches, plain jumps, and syscalls write no register and are never
+//! predicted, matching the paper's methodology.
+//!
+//! # Examples
+//!
+//! ```
+//! use dvp_isa::{decode, encode, Instr, Reg, ROp};
+//!
+//! let instr = Instr::R { op: ROp::Add, rd: Reg::V0, rs: Reg::A0, rt: Reg::A1 };
+//! let word = encode(instr);
+//! assert_eq!(decode(word).unwrap(), instr);
+//! assert_eq!(instr.to_string(), "add v0, a0, a1");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod encode;
+mod instr;
+mod reg;
+
+pub use encode::{decode, encode, DecodeError};
+pub use instr::{syscall, BranchOp, IOp, Instr, MemOp, ROp, ShiftOp};
+pub use reg::{ParseRegError, Reg};

@@ -1,0 +1,220 @@
+//! General-purpose register names.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the 32 general-purpose registers of the Sim32 ISA.
+///
+/// Register 0 (`zero`) is hardwired to zero: writes to it are discarded,
+/// which also means instructions targeting it produce no trace record.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_isa::Reg;
+///
+/// let sp = Reg::SP;
+/// assert_eq!(sp.number(), 29);
+/// assert_eq!(sp.to_string(), "sp");
+/// assert_eq!("t0".parse::<Reg>().unwrap(), Reg::T0);
+/// assert_eq!("r7".parse::<Reg>().unwrap().number(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+/// Conventional names, indexed by register number (MIPS o32 convention).
+const NAMES: [&str; 32] = [
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+    "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp", "sp",
+    "fp", "ra",
+];
+
+impl Reg {
+    /// The hardwired-zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Assembler temporary (used by pseudo-instruction expansion).
+    pub const AT: Reg = Reg(1);
+    /// First return-value register.
+    pub const V0: Reg = Reg(2);
+    /// Second return-value register.
+    pub const V1: Reg = Reg(3);
+    /// First argument register.
+    pub const A0: Reg = Reg(4);
+    /// Second argument register.
+    pub const A1: Reg = Reg(5);
+    /// Third argument register.
+    pub const A2: Reg = Reg(6);
+    /// Fourth argument register.
+    pub const A3: Reg = Reg(7);
+    /// Caller-saved temporary 0.
+    pub const T0: Reg = Reg(8);
+    /// Caller-saved temporary 1.
+    pub const T1: Reg = Reg(9);
+    /// Caller-saved temporary 2.
+    pub const T2: Reg = Reg(10);
+    /// Caller-saved temporary 3.
+    pub const T3: Reg = Reg(11);
+    /// Caller-saved temporary 4.
+    pub const T4: Reg = Reg(12);
+    /// Caller-saved temporary 5.
+    pub const T5: Reg = Reg(13);
+    /// Caller-saved temporary 6.
+    pub const T6: Reg = Reg(14);
+    /// Caller-saved temporary 7.
+    pub const T7: Reg = Reg(15);
+    /// Callee-saved register 0.
+    pub const S0: Reg = Reg(16);
+    /// Callee-saved register 1.
+    pub const S1: Reg = Reg(17);
+    /// Callee-saved register 2.
+    pub const S2: Reg = Reg(18);
+    /// Callee-saved register 3.
+    pub const S3: Reg = Reg(19);
+    /// Callee-saved register 4.
+    pub const S4: Reg = Reg(20);
+    /// Callee-saved register 5.
+    pub const S5: Reg = Reg(21);
+    /// Callee-saved register 6.
+    pub const S6: Reg = Reg(22);
+    /// Callee-saved register 7.
+    pub const S7: Reg = Reg(23);
+    /// Caller-saved temporary 8.
+    pub const T8: Reg = Reg(24);
+    /// Caller-saved temporary 9.
+    pub const T9: Reg = Reg(25);
+    /// Global pointer.
+    pub const GP: Reg = Reg(28);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(29);
+    /// Frame pointer.
+    pub const FP: Reg = Reg(30);
+    /// Return address (written by `jal`/`jalr`).
+    pub const RA: Reg = Reg(31);
+
+    /// Creates a register from its number.
+    ///
+    /// Returns `None` if `number >= 32`.
+    #[must_use]
+    pub fn new(number: u8) -> Option<Reg> {
+        (number < 32).then_some(Reg(number))
+    }
+
+    /// The register number in `0..32`.
+    #[must_use]
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// The conventional name (e.g. `"sp"`, `"t0"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        NAMES[self.0 as usize]
+    }
+
+    /// Whether this is the hardwired-zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// All 32 registers in numeric order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when a register name cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError {
+    input: String,
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown register name `{}`", self.input)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    /// Accepts conventional names (`sp`, `t0`, …), `rN` / `$N` numeric
+    /// forms, and `$`-prefixed names (`$sp`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bare = s.strip_prefix('$').unwrap_or(s);
+        if let Some(idx) = NAMES.iter().position(|&n| n == bare) {
+            return Ok(Reg(idx as u8));
+        }
+        if let Some(num) = bare.strip_prefix('r').and_then(|n| n.parse::<u8>().ok()) {
+            if let Some(reg) = Reg::new(num) {
+                return Ok(reg);
+            }
+        }
+        if let Ok(num) = bare.parse::<u8>() {
+            if s.starts_with('$') {
+                if let Some(reg) = Reg::new(num) {
+                    return Ok(reg);
+                }
+            }
+        }
+        Err(ParseRegError { input: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_round_trip() {
+        for reg in Reg::all() {
+            assert_eq!(Reg::new(reg.number()), Some(reg));
+        }
+        assert_eq!(Reg::new(32), None);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Reg::all().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 32);
+    }
+
+    #[test]
+    fn parse_all_name_forms() {
+        assert_eq!("zero".parse::<Reg>().unwrap(), Reg::ZERO);
+        assert_eq!("$ra".parse::<Reg>().unwrap(), Reg::RA);
+        assert_eq!("r31".parse::<Reg>().unwrap(), Reg::RA);
+        assert_eq!("$29".parse::<Reg>().unwrap(), Reg::SP);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("x5".parse::<Reg>().is_err());
+        assert!("r32".parse::<Reg>().is_err());
+        assert!("$32".parse::<Reg>().is_err());
+        assert!("29".parse::<Reg>().is_err(), "bare numbers need $ prefix");
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for reg in Reg::all() {
+            assert_eq!(reg.to_string().parse::<Reg>().unwrap(), reg);
+        }
+    }
+
+    #[test]
+    fn zero_register_is_special() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::SP.is_zero());
+    }
+}

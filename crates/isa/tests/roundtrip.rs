@@ -1,0 +1,128 @@
+//! Property tests: encode/decode round-trips for arbitrary instructions,
+//! and decode/encode round-trips for arbitrary valid words.
+
+use dvp_isa::{decode, encode, BranchOp, IOp, Instr, MemOp, ROp, Reg, ShiftOp};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|n| Reg::new(n).unwrap())
+}
+
+fn arb_rop() -> impl Strategy<Value = ROp> {
+    prop_oneof![
+        Just(ROp::Add),
+        Just(ROp::Sub),
+        Just(ROp::And),
+        Just(ROp::Or),
+        Just(ROp::Xor),
+        Just(ROp::Nor),
+        Just(ROp::Slt),
+        Just(ROp::Sltu),
+        Just(ROp::Mul),
+        Just(ROp::Mulh),
+        Just(ROp::Div),
+        Just(ROp::Rem),
+    ]
+}
+
+fn arb_shift() -> impl Strategy<Value = ShiftOp> {
+    prop_oneof![Just(ShiftOp::Sll), Just(ShiftOp::Srl), Just(ShiftOp::Sra)]
+}
+
+fn arb_iop() -> impl Strategy<Value = IOp> {
+    prop_oneof![
+        Just(IOp::Addi),
+        Just(IOp::Slti),
+        Just(IOp::Sltiu),
+        Just(IOp::Andi),
+        Just(IOp::Ori),
+        Just(IOp::Xori),
+    ]
+}
+
+fn arb_memop() -> impl Strategy<Value = MemOp> {
+    prop_oneof![
+        Just(MemOp::Lb),
+        Just(MemOp::Lbu),
+        Just(MemOp::Lh),
+        Just(MemOp::Lhu),
+        Just(MemOp::Lw),
+        Just(MemOp::Sb),
+        Just(MemOp::Sh),
+        Just(MemOp::Sw),
+    ]
+}
+
+fn arb_branch() -> impl Strategy<Value = BranchOp> {
+    prop_oneof![
+        Just(BranchOp::Beq),
+        Just(BranchOp::Bne),
+        Just(BranchOp::Blt),
+        Just(BranchOp::Bge),
+        Just(BranchOp::Bltu),
+        Just(BranchOp::Bgeu),
+    ]
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (arb_rop(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rd, rs, rt)| Instr::R { op, rd, rs, rt }),
+        (arb_shift(), arb_reg(), arb_reg(), 0u8..32)
+            .prop_map(|(op, rd, rt, shamt)| Instr::Shift { op, rd, rt, shamt }),
+        (arb_shift(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rd, rt, rs)| Instr::ShiftV { op, rd, rt, rs }),
+        (arb_iop(), arb_reg(), arb_reg(), any::<i16>())
+            .prop_map(|(op, rt, rs, imm)| Instr::I { op, rt, rs, imm }),
+        (arb_reg(), any::<u16>()).prop_map(|(rt, imm)| Instr::Lui { rt, imm }),
+        (arb_memop(), arb_reg(), arb_reg(), any::<i16>())
+            .prop_map(|(op, rt, base, offset)| Instr::Mem { op, rt, base, offset }),
+        (arb_branch(), arb_reg(), arb_reg(), any::<i16>())
+            .prop_map(|(op, rs, rt, offset)| Instr::Branch { op, rs, rt, offset }),
+        (0u32..(1 << 26)).prop_map(|target| Instr::J { target }),
+        (0u32..(1 << 26)).prop_map(|target| Instr::Jal { target }),
+        arb_reg().prop_map(|rs| Instr::Jr { rs }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instr::Jalr { rd, rs }),
+        (0u32..(1 << 20)).prop_map(|code| Instr::Syscall { code }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trip(instr in arb_instr()) {
+        let word = encode(instr);
+        let back = decode(word).expect("encoded instruction must decode");
+        prop_assert_eq!(back, instr);
+    }
+
+    #[test]
+    fn decode_encode_round_trip_on_valid_words(word in any::<u32>()) {
+        // Not every word is valid; but every word that decodes must
+        // re-encode to a word that decodes to the same instruction
+        // (encode is canonical: don't-care fields are zeroed).
+        if let Ok(instr) = decode(word) {
+            let canonical = encode(instr);
+            prop_assert_eq!(decode(canonical).unwrap(), instr);
+        }
+    }
+
+    #[test]
+    fn dest_register_is_always_valid(instr in arb_instr()) {
+        if let Some(dest) = instr.dest() {
+            prop_assert!(dest.number() < 32);
+        }
+    }
+
+    #[test]
+    fn category_iff_dest(instr in arb_instr()) {
+        // An instruction has a reporting category exactly when it writes a
+        // register (the paper predicts all register-writing instructions).
+        prop_assert_eq!(instr.category().is_some(), instr.dest().is_some());
+    }
+
+    #[test]
+    fn display_is_nonempty_and_starts_with_mnemonic(instr in arb_instr()) {
+        let text = instr.to_string();
+        prop_assert!(text.starts_with(instr.mnemonic()));
+    }
+}

@@ -1,0 +1,292 @@
+//! Abstract syntax tree of the Mini language.
+
+/// Binary operators, in Mini's (C-like) semantics on wrapping `i32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Short-circuit logical and (yields 0/1).
+    LAnd,
+    /// Short-circuit logical or (yields 0/1).
+    LOr,
+}
+
+impl BinOp {
+    /// Constant-folds the operator on two values with Mini semantics
+    /// (wrapping arithmetic; division/remainder by zero yield 0, matching
+    /// the simulator).
+    #[must_use]
+    pub fn eval(self, a: i32, b: i32) -> i32 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl(b as u32 & 31),
+            BinOp::Shr => a.wrapping_shr(b as u32 & 31),
+            BinOp::Eq => i32::from(a == b),
+            BinOp::Ne => i32::from(a != b),
+            BinOp::Lt => i32::from(a < b),
+            BinOp::Le => i32::from(a <= b),
+            BinOp::Gt => i32::from(a > b),
+            BinOp::Ge => i32::from(a >= b),
+            BinOp::LAnd => i32::from(a != 0 && b != 0),
+            BinOp::LOr => i32::from(a != 0 || b != 0),
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise complement.
+    BitNot,
+    /// Logical not (yields 0/1).
+    Not,
+}
+
+impl UnOp {
+    /// Constant-folds the operator.
+    #[must_use]
+    pub fn eval(self, v: i32) -> i32 {
+        match self {
+            UnOp::Neg => v.wrapping_neg(),
+            UnOp::BitNot => !v,
+            UnOp::Not => i32::from(v == 0),
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer (or char) literal.
+    Int(i32),
+    /// Scalar variable reference.
+    Var(String),
+    /// Array element read: `name[index]`.
+    Index(String, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    #[must_use]
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `int name = init;` (scalar local declaration).
+    DeclScalar {
+        /// Variable name.
+        name: String,
+        /// Optional initializer (defaults to 0).
+        init: Option<Expr>,
+    },
+    /// `int name[size];` (local array declaration).
+    DeclArray {
+        /// Array name.
+        name: String,
+        /// Element count (constant).
+        size: u32,
+    },
+    /// `name = value;`
+    Assign {
+        /// Target scalar.
+        name: String,
+        /// Value expression.
+        value: Expr,
+    },
+    /// `name[index] = value;`
+    AssignIndex {
+        /// Target array.
+        name: String,
+        /// Element index.
+        index: Expr,
+        /// Value expression.
+        value: Expr,
+    },
+    /// `if (cond) { … } else { … }`
+    If {
+        /// Condition (nonzero = true).
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Optional else branch.
+        else_body: Vec<Stmt>,
+    },
+    /// `while (cond) { … }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; step) { … }` (kept structured so `continue` can
+    /// target the step).
+    For {
+        /// Initialization statement (already desugared to a simple Stmt).
+        init: Option<Box<Stmt>>,
+        /// Condition; `None` means always true.
+        cond: Option<Expr>,
+        /// Step statement.
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `return expr;` (missing expr returns 0).
+    Return(Option<Expr>),
+    /// Expression statement (usually a call).
+    Expr(Expr),
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Param {
+    /// `int name` — a scalar passed by value.
+    Scalar(String),
+    /// `int name[]` — an array passed as its base address.
+    Array(String),
+}
+
+impl Param {
+    /// The parameter's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            Param::Scalar(n) | Param::Array(n) => n,
+        }
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameters in order.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line of the definition (for diagnostics).
+    pub line: usize,
+}
+
+/// A global definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Global {
+    /// `int name = value;`
+    Scalar {
+        /// Global name.
+        name: String,
+        /// Initial value.
+        value: i32,
+    },
+    /// `int name[size] = { … };`
+    Array {
+        /// Global name.
+        name: String,
+        /// Element count.
+        size: u32,
+        /// Initializer values (padded with zeros to `size`).
+        init: Vec<i32>,
+    },
+}
+
+impl Global {
+    /// The global's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            Global::Scalar { name, .. } | Global::Array { name, .. } => name,
+        }
+    }
+}
+
+/// A whole Mini program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Global variables.
+    pub globals: Vec<Global>,
+    /// Function definitions.
+    pub functions: Vec<Function>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_eval_matches_c_semantics() {
+        assert_eq!(BinOp::Add.eval(i32::MAX, 1), i32::MIN);
+        assert_eq!(BinOp::Div.eval(7, 2), 3);
+        assert_eq!(BinOp::Div.eval(-7, 2), -3, "truncates toward zero");
+        assert_eq!(BinOp::Rem.eval(-7, 2), -1);
+        assert_eq!(BinOp::Div.eval(5, 0), 0, "div by zero is 0 in Mini");
+        assert_eq!(BinOp::Rem.eval(5, 0), 0);
+        assert_eq!(BinOp::Shr.eval(-8, 1), -4, "arithmetic shift");
+        assert_eq!(BinOp::Lt.eval(-1, 0), 1);
+        assert_eq!(BinOp::LAnd.eval(2, 3), 1);
+        assert_eq!(BinOp::LOr.eval(0, 0), 0);
+    }
+
+    #[test]
+    fn unop_eval() {
+        assert_eq!(UnOp::Neg.eval(i32::MIN), i32::MIN, "wrapping negation");
+        assert_eq!(UnOp::BitNot.eval(0), -1);
+        assert_eq!(UnOp::Not.eval(0), 1);
+        assert_eq!(UnOp::Not.eval(42), 0);
+    }
+
+    #[test]
+    fn shift_counts_mask_like_hardware() {
+        assert_eq!(BinOp::Shl.eval(1, 33), 2, "shift count masked to 5 bits");
+    }
+}

@@ -1,0 +1,48 @@
+//! `minic` — compile a Mini source file to Sim32 assembly on stdout.
+//!
+//! ```text
+//! minic program.mini           # default -O1
+//! minic -O2 program.mini
+//! minic -O0 program.mini
+//! ```
+
+use dvp_lang::{compile, OptLevel};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut opt = OptLevel::O1;
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "-O0" => opt = OptLevel::O0,
+            "-O1" => opt = OptLevel::O1,
+            "-O2" => opt = OptLevel::O2,
+            other if !other.starts_with('-') => path = Some(other.to_owned()),
+            other => {
+                eprintln!("minic: unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: minic [-O0|-O1|-O2] <file.mini>");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("minic: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match compile(&source, opt) {
+        Ok(asm) => {
+            print!("{asm}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}:{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

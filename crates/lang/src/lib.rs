@@ -1,0 +1,206 @@
+//! # dvp-lang — the Mini language compiler
+//!
+//! Mini is a small C-like language (32-bit integers, fixed-size arrays,
+//! functions, the full C integer expression set) compiled to Sim32 assembly
+//! for the `dvp-asm` assembler and `dvp-sim` simulator.
+//!
+//! The crate stands in for the optimizing C compiler the paper used to
+//! build its SPEC95 binaries: the seven `dvp-workloads` benchmarks are Mini
+//! programs, and the compiler's [`OptLevel`]s reproduce the paper's
+//! "different compilation flags" sensitivity study (Table 7) — higher
+//! levels fold constants, use immediate instruction forms, strength-reduce
+//! multiplications and divisions into shifts, and promote hot scalars into
+//! callee-saved registers, all of which change the value streams seen by
+//! the predictors.
+//!
+//! # Examples
+//!
+//! ```
+//! use dvp_lang::{compile, OptLevel};
+//!
+//! let asm = compile(
+//!     "int main() {
+//!          int total = 0;
+//!          for (int i = 1; i <= 10; i = i + 1) { total = total + i; }
+//!          print_int(total);
+//!          return 0;
+//!      }",
+//!     OptLevel::O2,
+//! )?;
+//! assert!(asm.contains("main:"));
+//! # Ok::<(), dvp_lang::CompileError>(())
+//! ```
+//!
+//! # Language reference (abridged)
+//!
+//! ```text
+//! int g = 3;                 // global scalar
+//! int table[16] = {1, 2};    // global array (zero-padded)
+//!
+//! int add(int a, int b) { return a + b; }
+//! int sum(int xs[], int n) {             // arrays pass by reference
+//!     int s = 0;
+//!     for (int i = 0; i < n; i = i + 1) { s = s + xs[i]; }
+//!     return s;
+//! }
+//! int main() {
+//!     int local[8];
+//!     local[0] = add(g, 4);
+//!     if (local[0] > 5 && g != 0) { print_int(local[0]); }
+//!     while (g > 0) { g = g - 1; }
+//!     print_char('\n');
+//!     return 0;
+//! }
+//! ```
+//!
+//! Semantics notes: `int` is a wrapping 32-bit integer; `/` and `%`
+//! truncate toward zero and yield 0 for a zero divisor (matching the
+//! simulator's `div`/`rem`); `>>` is arithmetic; shift counts are masked to
+//! five bits; `&&`/`||` short-circuit and yield 0/1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+mod codegen;
+mod opt;
+mod parser;
+mod sema;
+mod token;
+
+pub use opt::{fold_expr, has_side_effects, optimize_program};
+pub use parser::parse;
+pub use sema::{check, FuncSig, VarKind, BUILTINS};
+
+use std::fmt;
+
+/// Optimization level of the Mini compiler (paper Table 7 studies the same
+/// program under different flags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OptLevel {
+    /// Naive code: every value through memory, no folding.
+    O0,
+    /// Constant folding, algebraic simplification, immediate instruction
+    /// forms, strength reduction, fused compare-and-branch.
+    O1,
+    /// `O1` plus register promotion of hot scalars into `s0..s7`.
+    O2,
+}
+
+impl OptLevel {
+    /// All levels, lowest first.
+    pub const ALL: [OptLevel; 3] = [OptLevel::O0, OptLevel::O1, OptLevel::O2];
+}
+
+impl fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptLevel::O0 => write!(f, "O0"),
+            OptLevel::O1 => write!(f, "O1"),
+            OptLevel::O2 => write!(f, "O2"),
+        }
+    }
+}
+
+/// A compile-time error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line (0 when no specific line applies).
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl CompileError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        CompileError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles Mini source text to Sim32 assembly.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or semantic [`CompileError`].
+pub fn compile(source: &str, opt: OptLevel) -> Result<String, CompileError> {
+    let mut program = parser::parse(source)?;
+    sema::check(&program)?;
+    if opt >= OptLevel::O1 {
+        opt::optimize_program(&mut program);
+    }
+    codegen::Codegen::new(&program, opt).generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_at_all_levels() {
+        let src = "int main() { print_int(2 + 2); return 0; }";
+        for level in OptLevel::ALL {
+            let asm = compile(src, level).unwrap();
+            assert!(asm.contains("main:"), "{level}");
+            assert!(asm.contains("syscall 1"), "{level}");
+        }
+    }
+
+    #[test]
+    fn o1_folds_constants() {
+        let asm = compile("int main() { return 6 * 7; }", OptLevel::O1).unwrap();
+        assert!(asm.contains("li t0, 42"), "{asm}");
+        let naive = compile("int main() { return 6 * 7; }", OptLevel::O0).unwrap();
+        assert!(naive.contains("mul"), "{naive}");
+    }
+
+    #[test]
+    fn o1_strength_reduces_mul_by_pow2() {
+        let src = "int f(int x) { return x * 8; } int main() { return f(3); }";
+        let o1 = compile(src, OptLevel::O1).unwrap();
+        assert!(o1.contains("sll"), "{o1}");
+        assert!(!o1.contains("mul"), "{o1}");
+        let o0 = compile(src, OptLevel::O0).unwrap();
+        assert!(o0.contains("mul"), "{o0}");
+    }
+
+    #[test]
+    fn o2_promotes_hot_scalars() {
+        let src = "int main() {
+            int acc = 0;
+            for (int i = 0; i < 100; i = i + 1) { acc = acc + i; }
+            return acc;
+        }";
+        let o2 = compile(src, OptLevel::O2).unwrap();
+        assert!(o2.contains("s0"), "{o2}");
+        let o1 = compile(src, OptLevel::O1).unwrap();
+        assert!(!o1.contains("move s0"), "{o1}");
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        // Parse errors carry the exact line; semantic errors carry the
+        // enclosing function's line.
+        let parse_err =
+            compile("int main() {\n  int x = ;\n}", OptLevel::O0).unwrap_err();
+        assert_eq!(parse_err.line, 2);
+        let sema_err =
+            compile("int main() {\n  oops();\n  return 0;\n}", OptLevel::O0).unwrap_err();
+        assert_eq!(sema_err.line, 1);
+        assert!(sema_err.to_string().contains("oops"));
+    }
+
+    #[test]
+    fn display_of_levels() {
+        let shown: Vec<String> = OptLevel::ALL.iter().map(|l| l.to_string()).collect();
+        assert_eq!(shown, vec!["O0", "O1", "O2"]);
+        assert!(OptLevel::O2 > OptLevel::O0);
+    }
+}

@@ -1,0 +1,329 @@
+//! AST-level optimizations, applied at `O1` and above: constant folding,
+//! algebraic simplification, short-circuit simplification, and dead-branch
+//! elimination.
+//!
+//! Machine-level strength reduction (multiply/divide by powers of two into
+//! shifts) happens in codegen, where the target cost model lives.
+
+use crate::ast::{BinOp, Expr, Program, Stmt, UnOp};
+
+/// Whether evaluating the expression could have side effects (calls are the
+/// only side-effecting expressions in Mini).
+#[must_use]
+pub fn has_side_effects(expr: &Expr) -> bool {
+    match expr {
+        Expr::Int(_) | Expr::Var(_) => false,
+        Expr::Index(_, index) => has_side_effects(index),
+        Expr::Call(..) => true,
+        Expr::Unary(_, inner) => has_side_effects(inner),
+        Expr::Binary(_, lhs, rhs) => has_side_effects(lhs) || has_side_effects(rhs),
+    }
+}
+
+/// Folds and simplifies an expression.
+#[must_use]
+pub fn fold_expr(expr: Expr) -> Expr {
+    match expr {
+        Expr::Int(_) | Expr::Var(_) => expr,
+        Expr::Index(name, index) => Expr::Index(name, Box::new(fold_expr(*index))),
+        Expr::Call(name, args) => {
+            Expr::Call(name, args.into_iter().map(fold_expr).collect())
+        }
+        Expr::Unary(op, inner) => {
+            let inner = fold_expr(*inner);
+            match (&op, &inner) {
+                (_, Expr::Int(v)) => Expr::Int(op.eval(*v)),
+                // --x == x ; ~~x == x ; !!x stays (it normalizes to 0/1).
+                (UnOp::Neg, Expr::Unary(UnOp::Neg, x)) => (**x).clone(),
+                (UnOp::BitNot, Expr::Unary(UnOp::BitNot, x)) => (**x).clone(),
+                _ => Expr::Unary(op, Box::new(inner)),
+            }
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            let lhs = fold_expr(*lhs);
+            let rhs = fold_expr(*rhs);
+            fold_binary(op, lhs, rhs)
+        }
+    }
+}
+
+fn fold_binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+    use BinOp::{Add, And, Div, LAnd, LOr, Mul, Or, Rem, Shl, Shr, Sub, Xor};
+
+    if let (Expr::Int(a), Expr::Int(b)) = (&lhs, &rhs) {
+        return Expr::Int(op.eval(*a, *b));
+    }
+
+    // Short-circuit operators with a constant left side never evaluate the
+    // right side, so the right side can be dropped even with side effects.
+    if let Expr::Int(a) = lhs {
+        match op {
+            LAnd if a == 0 => return Expr::Int(0),
+            LAnd => return normalize_bool(rhs),
+            LOr if a != 0 => return Expr::Int(1),
+            LOr => return normalize_bool(rhs),
+            _ => {}
+        }
+        // Canonicalize: constant on the right for commutative operators.
+        if matches!(op, Add | Mul | And | Or | Xor) {
+            return fold_binary(op, rhs, Expr::Int(a));
+        }
+        return Expr::binary(op, Expr::Int(a), rhs);
+    }
+
+    if let Expr::Int(b) = rhs {
+        let pure = !has_side_effects(&lhs);
+        match (op, b) {
+            (Add | Sub | Or | Xor | Shl | Shr, 0) => return lhs,
+            (Mul, 0) | (And, 0) if pure => return Expr::Int(0),
+            (Mul | Div, 1) => return lhs,
+            (Rem, 1) if pure => return Expr::Int(0),
+            (Mul, -1) => return fold_expr(Expr::Unary(UnOp::Neg, Box::new(lhs))),
+            (And, -1) => return lhs,
+            _ => {}
+        }
+        return Expr::binary(op, lhs, Expr::Int(b));
+    }
+
+    // x - x == 0 and x ^ x == 0 for pure x.
+    if matches!(op, Sub | Xor) && lhs == rhs && !has_side_effects(&lhs) {
+        return Expr::Int(0);
+    }
+
+    Expr::binary(op, lhs, rhs)
+}
+
+/// `e` in boolean position: rewrites to `e != 0` unless it is already 0/1
+/// valued (comparisons and logical ops produce 0/1).
+fn normalize_bool(expr: Expr) -> Expr {
+    if produces_bool(&expr) {
+        expr
+    } else {
+        Expr::binary(BinOp::Ne, expr, Expr::Int(0))
+    }
+}
+
+fn produces_bool(expr: &Expr) -> bool {
+    match expr {
+        Expr::Binary(op, ..) => matches!(
+            op,
+            BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::LAnd
+                | BinOp::LOr
+        ),
+        Expr::Unary(UnOp::Not, _) => true,
+        Expr::Int(v) => *v == 0 || *v == 1,
+        _ => false,
+    }
+}
+
+/// Optimizes all statements of a program in place.
+pub fn optimize_program(program: &mut Program) {
+    for function in &mut program.functions {
+        optimize_stmts(&mut function.body);
+    }
+}
+
+fn optimize_stmts(stmts: &mut Vec<Stmt>) {
+    let old = std::mem::take(stmts);
+    for stmt in old {
+        if let Some(folded) = fold_stmt(stmt) {
+            stmts.push(folded);
+        }
+    }
+}
+
+/// Folds one statement; returns `None` if the statement is dead.
+fn fold_stmt(stmt: Stmt) -> Option<Stmt> {
+    Some(match stmt {
+        Stmt::DeclScalar { name, init } => {
+            Stmt::DeclScalar { name, init: init.map(fold_expr) }
+        }
+        Stmt::DeclArray { .. } | Stmt::Break | Stmt::Continue => stmt,
+        Stmt::Assign { name, value } => Stmt::Assign { name, value: fold_expr(value) },
+        Stmt::AssignIndex { name, index, value } => {
+            Stmt::AssignIndex { name, index: fold_expr(index), value: fold_expr(value) }
+        }
+        Stmt::If { cond, mut then_body, mut else_body } => {
+            let cond = fold_expr(cond);
+            optimize_stmts(&mut then_body);
+            optimize_stmts(&mut else_body);
+            if let Expr::Int(c) = cond {
+                let chosen = if c != 0 { then_body } else { else_body };
+                // Splice the chosen branch in place of the `if`. A block
+                // introduces a scope, but Mini scoping only affects name
+                // lookup, which sema has already validated; declarations
+                // inside the branch stay inside their statements.
+                return match chosen.len() {
+                    0 => None,
+                    _ => Some(Stmt::If {
+                        cond: Expr::Int(1),
+                        then_body: chosen,
+                        else_body: Vec::new(),
+                    }),
+                };
+            }
+            Stmt::If { cond, then_body, else_body }
+        }
+        Stmt::While { cond, mut body } => {
+            let cond = fold_expr(cond);
+            if matches!(cond, Expr::Int(0)) {
+                return None;
+            }
+            optimize_stmts(&mut body);
+            Stmt::While { cond, body }
+        }
+        Stmt::For { init, cond, step, mut body } => {
+            let init = init.and_then(|s| fold_stmt(*s).map(Box::new));
+            let cond = cond.map(fold_expr);
+            let step = step.and_then(|s| fold_stmt(*s).map(Box::new));
+            if let Some(Expr::Int(0)) = cond {
+                // The loop never runs; only the init matters.
+                return init.map(|b| *b);
+            }
+            optimize_stmts(&mut body);
+            Stmt::For { init, cond, step, body }
+        }
+        Stmt::Return(value) => Stmt::Return(value.map(fold_expr)),
+        Stmt::Expr(expr) => {
+            let folded = fold_expr(expr);
+            if has_side_effects(&folded) {
+                Stmt::Expr(folded)
+            } else {
+                // A pure expression statement is dead.
+                return None;
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i32) -> Expr {
+        Expr::Int(v)
+    }
+
+    fn var(n: &str) -> Expr {
+        Expr::Var(n.to_owned())
+    }
+
+    fn call() -> Expr {
+        Expr::Call("f".to_owned(), vec![])
+    }
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        assert_eq!(fold_expr(Expr::binary(BinOp::Add, int(2), int(3))), int(5));
+        assert_eq!(
+            fold_expr(Expr::binary(
+                BinOp::Mul,
+                Expr::binary(BinOp::Add, int(1), int(2)),
+                int(4)
+            )),
+            int(12)
+        );
+    }
+
+    #[test]
+    fn folds_unary() {
+        assert_eq!(fold_expr(Expr::Unary(UnOp::Neg, Box::new(int(5)))), int(-5));
+        assert_eq!(
+            fold_expr(Expr::Unary(UnOp::Neg, Box::new(Expr::Unary(UnOp::Neg, Box::new(var("x")))))),
+            var("x")
+        );
+    }
+
+    #[test]
+    fn identity_elements_are_removed() {
+        assert_eq!(fold_expr(Expr::binary(BinOp::Add, var("x"), int(0))), var("x"));
+        assert_eq!(fold_expr(Expr::binary(BinOp::Add, int(0), var("x"))), var("x"));
+        assert_eq!(fold_expr(Expr::binary(BinOp::Mul, var("x"), int(1))), var("x"));
+        assert_eq!(fold_expr(Expr::binary(BinOp::Shl, var("x"), int(0))), var("x"));
+        assert_eq!(fold_expr(Expr::binary(BinOp::And, var("x"), int(-1))), var("x"));
+    }
+
+    #[test]
+    fn annihilators_require_purity() {
+        assert_eq!(fold_expr(Expr::binary(BinOp::Mul, var("x"), int(0))), int(0));
+        // A call on the left cannot be dropped.
+        let kept = fold_expr(Expr::binary(BinOp::Mul, call(), int(0)));
+        assert!(matches!(kept, Expr::Binary(BinOp::Mul, ..)), "{kept:?}");
+    }
+
+    #[test]
+    fn x_minus_x_is_zero() {
+        assert_eq!(fold_expr(Expr::binary(BinOp::Sub, var("x"), var("x"))), int(0));
+        assert_eq!(fold_expr(Expr::binary(BinOp::Xor, var("x"), var("x"))), int(0));
+        // But not for calls.
+        let kept = fold_expr(Expr::binary(BinOp::Sub, call(), call()));
+        assert!(matches!(kept, Expr::Binary(BinOp::Sub, ..)));
+    }
+
+    #[test]
+    fn short_circuit_with_constant_lhs() {
+        assert_eq!(fold_expr(Expr::binary(BinOp::LAnd, int(0), call())), int(0));
+        assert_eq!(fold_expr(Expr::binary(BinOp::LOr, int(7), call())), int(1));
+        // 1 && x normalizes x to 0/1.
+        let folded = fold_expr(Expr::binary(BinOp::LAnd, int(1), var("x")));
+        assert_eq!(folded, Expr::binary(BinOp::Ne, var("x"), int(0)));
+        // 1 && (x < y) keeps the comparison as-is.
+        let cmp = Expr::binary(BinOp::Lt, var("x"), var("y"));
+        assert_eq!(fold_expr(Expr::binary(BinOp::LAnd, int(1), cmp.clone())), cmp);
+    }
+
+    #[test]
+    fn commutative_constants_move_right() {
+        let folded = fold_expr(Expr::binary(BinOp::Add, int(3), var("x")));
+        assert_eq!(folded, Expr::binary(BinOp::Add, var("x"), int(3)));
+    }
+
+    #[test]
+    fn dead_if_branches_are_selected() {
+        let stmt = Stmt::If {
+            cond: Expr::binary(BinOp::Lt, int(1), int(2)),
+            then_body: vec![Stmt::Return(Some(int(1)))],
+            else_body: vec![Stmt::Return(Some(int(2)))],
+        };
+        let folded = fold_stmt(stmt).unwrap();
+        let Stmt::If { cond, then_body, else_body } = folded else { panic!("{folded:?}") };
+        assert_eq!(cond, int(1));
+        assert_eq!(then_body, vec![Stmt::Return(Some(int(1)))]);
+        assert!(else_body.is_empty());
+    }
+
+    #[test]
+    fn while_false_is_removed() {
+        assert_eq!(fold_stmt(Stmt::While { cond: int(0), body: vec![Stmt::Break] }), None);
+    }
+
+    #[test]
+    fn for_with_false_cond_keeps_init() {
+        let stmt = Stmt::For {
+            init: Some(Box::new(Stmt::Assign { name: "x".into(), value: int(1) })),
+            cond: Some(int(0)),
+            step: None,
+            body: vec![Stmt::Break],
+        };
+        let folded = fold_stmt(stmt).unwrap();
+        assert_eq!(folded, Stmt::Assign { name: "x".into(), value: int(1) });
+    }
+
+    #[test]
+    fn pure_expression_statements_are_dropped() {
+        assert_eq!(fold_stmt(Stmt::Expr(Expr::binary(BinOp::Add, var("x"), int(1)))), None);
+        assert!(fold_stmt(Stmt::Expr(call())).is_some());
+    }
+
+    #[test]
+    fn division_by_zero_folds_to_zero() {
+        // Mini defines x/0 == 0 (matching the simulator), so folding is safe.
+        assert_eq!(fold_expr(Expr::binary(BinOp::Div, int(5), int(0))), int(0));
+    }
+}

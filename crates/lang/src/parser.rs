@@ -1,0 +1,543 @@
+//! Recursive-descent parser for Mini.
+
+use crate::ast::{BinOp, Expr, Function, Global, Param, Program, Stmt, UnOp};
+use crate::token::{lex, Spanned, Token};
+use crate::CompileError;
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|s| s.line)
+            .unwrap_or(1)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::new(self.line(), msg)
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), CompileError> {
+        match self.peek() {
+            Some(Token::Punct(q)) if *q == p => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.error(format!(
+                "expected `{p}`, found {}",
+                other.map_or("end of input".to_owned(), |t| format!("`{t}`"))
+            ))),
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        matches!(self.peek(), Some(Token::Punct(q)) if *q == p) && {
+            self.pos += 1;
+            true
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CompileError> {
+        match self.next() {
+            Some(Token::Ident(name)) => Ok(name),
+            other => Err(CompileError::new(
+                self.tokens.get(self.pos.saturating_sub(1)).map_or(1, |s| s.line),
+                format!(
+                    "expected identifier, found {}",
+                    other.map_or("end of input".to_owned(), |t| format!("`{t}`"))
+                ),
+            )),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i32, CompileError> {
+        // Allow a leading minus on constants in global initializers.
+        let neg = self.eat_punct("-");
+        match self.next() {
+            Some(Token::Int(v)) => Ok(if neg { v.wrapping_neg() } else { v }),
+            other => Err(CompileError::new(
+                self.tokens.get(self.pos.saturating_sub(1)).map_or(1, |s| s.line),
+                format!(
+                    "expected integer literal, found {}",
+                    other.map_or("end of input".to_owned(), |t| format!("`{t}`"))
+                ),
+            )),
+        }
+    }
+
+    // ----- top level ---------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        let mut program = Program::default();
+        while self.peek().is_some() {
+            match self.peek() {
+                Some(Token::KwInt) => {
+                    self.pos += 1;
+                    let name = self.expect_ident()?;
+                    match self.peek() {
+                        Some(Token::Punct("(")) => {
+                            program.functions.push(self.function(name)?);
+                        }
+                        _ => program.globals.push(self.global(name)?),
+                    }
+                }
+                _ => return Err(self.error("expected `int` at top level")),
+            }
+        }
+        Ok(program)
+    }
+
+    fn global(&mut self, name: String) -> Result<Global, CompileError> {
+        if self.eat_punct("[") {
+            let size = self.expect_int()?;
+            let size = u32::try_from(size)
+                .ok()
+                .filter(|&s| s > 0)
+                .ok_or_else(|| self.error(format!("bad array size {size}")))?;
+            self.expect_punct("]")?;
+            let mut init = Vec::new();
+            if self.eat_punct("=") {
+                self.expect_punct("{")?;
+                if !self.eat_punct("}") {
+                    loop {
+                        init.push(self.expect_int()?);
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                    self.expect_punct("}")?;
+                }
+                if init.len() > size as usize {
+                    return Err(self.error(format!(
+                        "array `{name}` has {} initializers but size {size}",
+                        init.len()
+                    )));
+                }
+            }
+            self.expect_punct(";")?;
+            Ok(Global::Array { name, size, init })
+        } else {
+            let value = if self.eat_punct("=") { self.expect_int()? } else { 0 };
+            self.expect_punct(";")?;
+            Ok(Global::Scalar { name, value })
+        }
+    }
+
+    fn function(&mut self, name: String) -> Result<Function, CompileError> {
+        let line = self.line();
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                match self.next() {
+                    Some(Token::KwInt) => {}
+                    _ => return Err(self.error("expected `int` in parameter list")),
+                }
+                let pname = self.expect_ident()?;
+                if self.eat_punct("[") {
+                    self.expect_punct("]")?;
+                    params.push(Param::Array(pname));
+                } else {
+                    params.push(Param::Scalar(pname));
+                }
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+        }
+        let body = self.block()?;
+        Ok(Function { name, params, body, line })
+    }
+
+    // ----- statements ---------------------------------------------------
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if self.peek().is_none() {
+                return Err(self.error("unterminated block"));
+            }
+            stmts.push(self.statement()?);
+        }
+        Ok(stmts)
+    }
+
+    fn statement(&mut self) -> Result<Stmt, CompileError> {
+        match self.peek() {
+            Some(Token::KwInt) => {
+                self.pos += 1;
+                let name = self.expect_ident()?;
+                if self.eat_punct("[") {
+                    let size = self.expect_int()?;
+                    let size = u32::try_from(size)
+                        .ok()
+                        .filter(|&s| s > 0)
+                        .ok_or_else(|| self.error(format!("bad array size {size}")))?;
+                    self.expect_punct("]")?;
+                    self.expect_punct(";")?;
+                    Ok(Stmt::DeclArray { name, size })
+                } else {
+                    let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+                    self.expect_punct(";")?;
+                    Ok(Stmt::DeclScalar { name, init })
+                }
+            }
+            Some(Token::KwIf) => {
+                self.pos += 1;
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                let then_body = self.block()?;
+                let else_body = if matches!(self.peek(), Some(Token::KwElse)) {
+                    self.pos += 1;
+                    if matches!(self.peek(), Some(Token::KwIf)) {
+                        vec![self.statement()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then_body, else_body })
+            }
+            Some(Token::KwWhile) => {
+                self.pos += 1;
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Some(Token::KwFor) => {
+                self.pos += 1;
+                self.expect_punct("(")?;
+                let init = if self.eat_punct(";") {
+                    None
+                } else {
+                    let s = self.simple_statement()?;
+                    self.expect_punct(";")?;
+                    Some(Box::new(s))
+                };
+                let cond = if self.eat_punct(";") {
+                    None
+                } else {
+                    let e = self.expr()?;
+                    self.expect_punct(";")?;
+                    Some(e)
+                };
+                let step = if self.eat_punct(")") {
+                    None
+                } else {
+                    let s = self.simple_statement()?;
+                    self.expect_punct(")")?;
+                    Some(Box::new(s))
+                };
+                let body = self.block()?;
+                Ok(Stmt::For { init, cond, step, body })
+            }
+            Some(Token::KwReturn) => {
+                self.pos += 1;
+                let value = if self.eat_punct(";") {
+                    None
+                } else {
+                    let e = self.expr()?;
+                    self.expect_punct(";")?;
+                    Some(e)
+                };
+                Ok(Stmt::Return(value))
+            }
+            Some(Token::KwBreak) => {
+                self.pos += 1;
+                self.expect_punct(";")?;
+                Ok(Stmt::Break)
+            }
+            Some(Token::KwContinue) => {
+                self.pos += 1;
+                self.expect_punct(";")?;
+                Ok(Stmt::Continue)
+            }
+            _ => {
+                let stmt = self.simple_statement()?;
+                self.expect_punct(";")?;
+                Ok(stmt)
+            }
+        }
+    }
+
+    /// A statement without trailing `;`: assignment, indexed assignment,
+    /// declaration (in `for` init), or expression.
+    fn simple_statement(&mut self) -> Result<Stmt, CompileError> {
+        if matches!(self.peek(), Some(Token::KwInt)) {
+            self.pos += 1;
+            let name = self.expect_ident()?;
+            self.expect_punct("=")?;
+            let init = self.expr()?;
+            return Ok(Stmt::DeclScalar { name, init: Some(init) });
+        }
+        // Lookahead: ident '=' / ident '[' expr ']' '=' are assignments.
+        if let Some(Token::Ident(name)) = self.peek().cloned() {
+            let save = self.pos;
+            self.pos += 1;
+            if self.eat_punct("=") {
+                let value = self.expr()?;
+                return Ok(Stmt::Assign { name, value });
+            }
+            if self.eat_punct("[") {
+                let index = self.expr()?;
+                self.expect_punct("]")?;
+                if self.eat_punct("=") {
+                    let value = self.expr()?;
+                    return Ok(Stmt::AssignIndex { name, index, value });
+                }
+            }
+            self.pos = save;
+        }
+        Ok(Stmt::Expr(self.expr()?))
+    }
+
+    // ----- expressions ---------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_expr(0)
+    }
+
+    /// Precedence-climbing over the binary operator table.
+    fn binary_expr(&mut self, min_level: usize) -> Result<Expr, CompileError> {
+        const LEVELS: [&[(&str, BinOp)]; 10] = [
+            &[("||", BinOp::LOr)],
+            &[("&&", BinOp::LAnd)],
+            &[("|", BinOp::Or)],
+            &[("^", BinOp::Xor)],
+            &[("&", BinOp::And)],
+            &[("==", BinOp::Eq), ("!=", BinOp::Ne)],
+            &[("<=", BinOp::Le), (">=", BinOp::Ge), ("<", BinOp::Lt), (">", BinOp::Gt)],
+            &[("<<", BinOp::Shl), (">>", BinOp::Shr)],
+            &[("+", BinOp::Add), ("-", BinOp::Sub)],
+            &[("*", BinOp::Mul), ("/", BinOp::Div), ("%", BinOp::Rem)],
+        ];
+        if min_level == LEVELS.len() {
+            return self.unary_expr();
+        }
+        let mut lhs = self.binary_expr(min_level + 1)?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Punct(p)) => {
+                    LEVELS[min_level].iter().find(|(sym, _)| sym == p).map(|&(_, op)| op)
+                }
+                _ => None,
+            };
+            let Some(op) = op else { return Ok(lhs) };
+            self.pos += 1;
+            let rhs = self.binary_expr(min_level + 1)?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CompileError> {
+        let op = match self.peek() {
+            Some(Token::Punct("-")) => Some(UnOp::Neg),
+            Some(Token::Punct("~")) => Some(UnOp::BitNot),
+            Some(Token::Punct("!")) => Some(UnOp::Not),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Unary(op, Box::new(inner)));
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, CompileError> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Expr::Int(v)),
+            Some(Token::Ident(name)) => {
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_punct(",") {
+                                break;
+                            }
+                        }
+                        self.expect_punct(")")?;
+                    }
+                    Ok(Expr::Call(name, args))
+                } else if self.eat_punct("[") {
+                    let index = self.expr()?;
+                    self.expect_punct("]")?;
+                    Ok(Expr::Index(name, Box::new(index)))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Some(Token::Punct("(")) => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            other => Err(CompileError::new(
+                self.tokens.get(self.pos.saturating_sub(1)).map_or(1, |s| s.line),
+                format!(
+                    "expected expression, found {}",
+                    other.map_or("end of input".to_owned(), |t| format!("`{t}`"))
+                ),
+            )),
+        }
+    }
+}
+
+/// Parses Mini source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic [`CompileError`].
+pub fn parse(source: &str) -> Result<Program, CompileError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_program() {
+        let p = parse("int main() { return 0; }").unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].name, "main");
+        assert_eq!(p.functions[0].body, vec![Stmt::Return(Some(Expr::Int(0)))]);
+    }
+
+    #[test]
+    fn parses_globals() {
+        let p = parse("int x; int y = 5; int z = -3; int a[4]; int b[3] = {1, 2, 3}; int main() { return 0; }")
+            .unwrap();
+        assert_eq!(p.globals.len(), 5);
+        assert_eq!(p.globals[1], Global::Scalar { name: "y".into(), value: 5 });
+        assert_eq!(p.globals[2], Global::Scalar { name: "z".into(), value: -3 });
+        assert_eq!(
+            p.globals[4],
+            Global::Array { name: "b".into(), size: 3, init: vec![1, 2, 3] }
+        );
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let p = parse("int main() { return 1 + 2 * 3; }").unwrap();
+        let Stmt::Return(Some(e)) = &p.functions[0].body[0] else { panic!() };
+        assert_eq!(
+            *e,
+            Expr::binary(BinOp::Add, Expr::Int(1), Expr::binary(BinOp::Mul, Expr::Int(2), Expr::Int(3)))
+        );
+    }
+
+    #[test]
+    fn shift_binds_tighter_than_compare() {
+        let p = parse("int main() { return 1 << 2 < 3; }").unwrap();
+        let Stmt::Return(Some(e)) = &p.functions[0].body[0] else { panic!() };
+        assert_eq!(
+            *e,
+            Expr::binary(BinOp::Lt, Expr::binary(BinOp::Shl, Expr::Int(1), Expr::Int(2)), Expr::Int(3))
+        );
+    }
+
+    #[test]
+    fn unary_chains() {
+        let p = parse("int main() { return - - ! ~ 0; }").unwrap();
+        let Stmt::Return(Some(e)) = &p.functions[0].body[0] else { panic!() };
+        let Expr::Unary(UnOp::Neg, inner) = e else { panic!("{e:?}") };
+        let Expr::Unary(UnOp::Neg, inner) = &**inner else { panic!() };
+        let Expr::Unary(UnOp::Not, inner) = &**inner else { panic!() };
+        assert!(matches!(&**inner, Expr::Unary(UnOp::BitNot, _)));
+    }
+
+    #[test]
+    fn if_else_chain() {
+        let p = parse(
+            "int main() { if (1) { return 1; } else if (2) { return 2; } else { return 3; } }",
+        )
+        .unwrap();
+        let Stmt::If { else_body, .. } = &p.functions[0].body[0] else { panic!() };
+        assert!(matches!(else_body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn for_loop_with_decl_init() {
+        let p = parse("int main() { for (int i = 0; i < 10; i = i + 1) { print_int(i); } return 0; }")
+            .unwrap();
+        let Stmt::For { init, cond, step, body } = &p.functions[0].body[0] else { panic!() };
+        assert!(matches!(init.as_deref(), Some(Stmt::DeclScalar { .. })));
+        assert!(cond.is_some());
+        assert!(matches!(step.as_deref(), Some(Stmt::Assign { .. })));
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn empty_for_clauses() {
+        let p = parse("int main() { for (;;) { break; } return 0; }").unwrap();
+        let Stmt::For { init, cond, step, .. } = &p.functions[0].body[0] else { panic!() };
+        assert!(init.is_none() && cond.is_none() && step.is_none());
+    }
+
+    #[test]
+    fn array_params_and_indexing() {
+        let p = parse("int sum(int a[], int n) { int s = 0; for (int i = 0; i < n; i = i + 1) { s = s + a[i]; } return s; }").unwrap();
+        assert_eq!(
+            p.functions[0].params,
+            vec![Param::Array("a".into()), Param::Scalar("n".into())]
+        );
+    }
+
+    #[test]
+    fn indexed_assignment_vs_indexed_read() {
+        let p = parse("int main() { int a[2]; a[0] = 1; a[1] = a[0]; return a[1]; }").unwrap();
+        assert!(matches!(p.functions[0].body[1], Stmt::AssignIndex { .. }));
+    }
+
+    #[test]
+    fn call_statement() {
+        let p = parse("int main() { print_int(42); return 0; }").unwrap();
+        assert!(matches!(&p.functions[0].body[0], Stmt::Expr(Expr::Call(n, _)) if n == "print_int"));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("int main() {\n  int x = ;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn missing_semicolon_is_an_error() {
+        assert!(parse("int main() { return 0 }").is_err());
+    }
+
+    #[test]
+    fn garbage_at_top_level_is_an_error() {
+        assert!(parse("float main() {}").is_err());
+    }
+
+    #[test]
+    fn too_many_initializers_rejected() {
+        assert!(parse("int a[1] = {1, 2}; int main() { return 0; }").is_err());
+    }
+}

@@ -1,0 +1,446 @@
+//! Semantic analysis for Mini: name resolution, kind checking (scalar vs
+//! array), arity checking, and structural rules.
+
+use crate::ast::{Expr, Global, Param, Program, Stmt};
+use crate::CompileError;
+use std::collections::HashMap;
+
+/// Kind of a variable binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// A scalar `int`.
+    Scalar,
+    /// An `int` array (local, global, or array parameter).
+    Array,
+}
+
+/// Signature of a function: parameter kinds in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncSig {
+    /// Kind of each parameter.
+    pub params: Vec<VarKind>,
+}
+
+/// Built-in functions: `(name, arity)`. All builtins take scalar arguments.
+pub const BUILTINS: [(&str, usize); 2] = [("print_int", 1), ("print_char", 1)];
+
+struct Scope {
+    vars: HashMap<String, VarKind>,
+}
+
+struct Checker<'a> {
+    sigs: &'a HashMap<String, FuncSig>,
+    globals: &'a HashMap<String, VarKind>,
+    scopes: Vec<Scope>,
+    loop_depth: usize,
+    line: usize,
+}
+
+impl Checker<'_> {
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::new(self.line, msg)
+    }
+
+    fn lookup(&self, name: &str) -> Option<VarKind> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&kind) = scope.vars.get(name) {
+                return Some(kind);
+            }
+        }
+        self.globals.get(name).copied()
+    }
+
+    fn declare(&mut self, name: &str, kind: VarKind) -> Result<(), CompileError> {
+        let scope = self.scopes.last_mut().expect("scope stack is never empty");
+        if scope.vars.insert(name.to_owned(), kind).is_some() {
+            return Err(CompileError::new(
+                self.line,
+                format!("`{name}` is declared twice in the same scope"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Checks an expression in scalar (value) position.
+    fn check_expr(&mut self, expr: &Expr) -> Result<(), CompileError> {
+        match expr {
+            Expr::Int(_) => Ok(()),
+            Expr::Var(name) => match self.lookup(name) {
+                Some(VarKind::Scalar) => Ok(()),
+                Some(VarKind::Array) => Err(self.err(format!(
+                    "array `{name}` used as a scalar (arrays may only be indexed or passed to array parameters)"
+                ))),
+                None => Err(self.err(format!("undeclared variable `{name}`"))),
+            },
+            Expr::Index(name, index) => {
+                match self.lookup(name) {
+                    Some(VarKind::Array) => {}
+                    Some(VarKind::Scalar) => {
+                        return Err(self.err(format!("scalar `{name}` cannot be indexed")));
+                    }
+                    None => return Err(self.err(format!("undeclared variable `{name}`"))),
+                }
+                self.check_expr(index)
+            }
+            Expr::Call(name, args) => self.check_call(name, args),
+            Expr::Unary(_, inner) => self.check_expr(inner),
+            Expr::Binary(_, lhs, rhs) => {
+                self.check_expr(lhs)?;
+                self.check_expr(rhs)
+            }
+        }
+    }
+
+    fn check_call(&mut self, name: &str, args: &[Expr]) -> Result<(), CompileError> {
+        let param_kinds: Vec<VarKind> =
+            if let Some((_, arity)) = BUILTINS.iter().find(|(b, _)| *b == name) {
+                vec![VarKind::Scalar; *arity]
+            } else if let Some(sig) = self.sigs.get(name) {
+                sig.params.clone()
+            } else {
+                return Err(self.err(format!("call to undefined function `{name}`")));
+            };
+        if args.len() != param_kinds.len() {
+            return Err(self.err(format!(
+                "`{name}` expects {} argument(s), got {}",
+                param_kinds.len(),
+                args.len()
+            )));
+        }
+        for (arg, kind) in args.iter().zip(&param_kinds) {
+            match kind {
+                VarKind::Array => match arg {
+                    Expr::Var(arg_name) if self.lookup(arg_name) == Some(VarKind::Array) => {}
+                    Expr::Var(arg_name) => {
+                        return Err(self.err(format!(
+                            "argument `{arg_name}` to `{name}` must be an array"
+                        )));
+                    }
+                    _ => {
+                        return Err(self.err(format!(
+                            "array parameter of `{name}` needs an array name as argument"
+                        )));
+                    }
+                },
+                VarKind::Scalar => self.check_expr(arg)?,
+            }
+        }
+        Ok(())
+    }
+
+    fn check_stmts(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        self.scopes.push(Scope { vars: HashMap::new() });
+        for stmt in stmts {
+            self.check_stmt(stmt)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
+        match stmt {
+            Stmt::DeclScalar { name, init } => {
+                if let Some(init) = init {
+                    self.check_expr(init)?;
+                }
+                self.declare(name, VarKind::Scalar)
+            }
+            Stmt::DeclArray { name, .. } => self.declare(name, VarKind::Array),
+            Stmt::Assign { name, value } => {
+                match self.lookup(name) {
+                    Some(VarKind::Scalar) => {}
+                    Some(VarKind::Array) => {
+                        return Err(self.err(format!("cannot assign to array `{name}`")));
+                    }
+                    None => return Err(self.err(format!("undeclared variable `{name}`"))),
+                }
+                self.check_expr(value)
+            }
+            Stmt::AssignIndex { name, index, value } => {
+                match self.lookup(name) {
+                    Some(VarKind::Array) => {}
+                    Some(VarKind::Scalar) => {
+                        return Err(self.err(format!("scalar `{name}` cannot be indexed")));
+                    }
+                    None => return Err(self.err(format!("undeclared variable `{name}`"))),
+                }
+                self.check_expr(index)?;
+                self.check_expr(value)
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                self.check_expr(cond)?;
+                self.check_stmts(then_body)?;
+                self.check_stmts(else_body)
+            }
+            Stmt::While { cond, body } => {
+                self.check_expr(cond)?;
+                self.loop_depth += 1;
+                let r = self.check_stmts(body);
+                self.loop_depth -= 1;
+                r
+            }
+            Stmt::For { init, cond, step, body } => {
+                // The for header introduces its own scope (for `int i = …`).
+                self.scopes.push(Scope { vars: HashMap::new() });
+                if let Some(init) = init {
+                    self.check_stmt(init)?;
+                }
+                if let Some(cond) = cond {
+                    self.check_expr(cond)?;
+                }
+                self.loop_depth += 1;
+                let mut result = self.check_stmts(body);
+                if result.is_ok() {
+                    if let Some(step) = step {
+                        result = self.check_stmt(step);
+                    }
+                }
+                self.loop_depth -= 1;
+                self.scopes.pop();
+                result
+            }
+            Stmt::Break | Stmt::Continue => {
+                if self.loop_depth == 0 {
+                    Err(self.err("`break`/`continue` outside of a loop"))
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::Return(value) => {
+                if let Some(value) = value {
+                    self.check_expr(value)?;
+                }
+                Ok(())
+            }
+            Stmt::Expr(expr) => self.check_expr(expr),
+        }
+    }
+}
+
+/// Collects function signatures (for forward references) and checks the
+/// whole program.
+///
+/// # Errors
+///
+/// Returns the first semantic [`CompileError`] found.
+pub fn check(program: &Program) -> Result<HashMap<String, FuncSig>, CompileError> {
+    let mut globals = HashMap::new();
+    for global in &program.globals {
+        let kind = match global {
+            Global::Scalar { .. } => VarKind::Scalar,
+            Global::Array { .. } => VarKind::Array,
+        };
+        if globals.insert(global.name().to_owned(), kind).is_some() {
+            return Err(CompileError::new(
+                1,
+                format!("global `{}` is declared twice", global.name()),
+            ));
+        }
+    }
+
+    let mut sigs: HashMap<String, FuncSig> = HashMap::new();
+    for function in &program.functions {
+        if BUILTINS.iter().any(|(b, _)| *b == function.name) {
+            return Err(CompileError::new(
+                function.line,
+                format!("`{}` shadows a builtin function", function.name),
+            ));
+        }
+        if globals.contains_key(&function.name) {
+            return Err(CompileError::new(
+                function.line,
+                format!("`{}` is both a global and a function", function.name),
+            ));
+        }
+        let sig = FuncSig {
+            params: function
+                .params
+                .iter()
+                .map(|p| match p {
+                    Param::Scalar(_) => VarKind::Scalar,
+                    Param::Array(_) => VarKind::Array,
+                })
+                .collect(),
+        };
+        if sigs.insert(function.name.clone(), sig).is_some() {
+            return Err(CompileError::new(
+                function.line,
+                format!("function `{}` is defined twice", function.name),
+            ));
+        }
+    }
+
+    match sigs.get("main") {
+        Some(sig) if sig.params.is_empty() => {}
+        Some(_) => return Err(CompileError::new(1, "`main` must take no parameters")),
+        None => return Err(CompileError::new(1, "program has no `main` function")),
+    }
+
+    for function in &program.functions {
+        let mut checker = Checker {
+            sigs: &sigs,
+            globals: &globals,
+            scopes: vec![Scope { vars: HashMap::new() }],
+            loop_depth: 0,
+            line: function.line,
+        };
+        // Parameters live in the outermost function scope.
+        for param in &function.params {
+            let kind = match param {
+                Param::Scalar(_) => VarKind::Scalar,
+                Param::Array(_) => VarKind::Array,
+            };
+            checker.declare(param.name(), kind)?;
+        }
+        checker.check_stmts(&function.body)?;
+    }
+    Ok(sigs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<(), CompileError> {
+        check(&parse(src).unwrap()).map(|_| ())
+    }
+
+    #[test]
+    fn accepts_well_formed_program() {
+        check_src(
+            "int g = 1; int a[4];
+             int sum(int xs[], int n) {
+                 int s = 0;
+                 for (int i = 0; i < n; i = i + 1) { s = s + xs[i]; }
+                 return s;
+             }
+             int main() { a[0] = g; return sum(a, 4); }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_main() {
+        let err = check_src("int f() { return 0; }").unwrap_err();
+        assert!(err.message.contains("main"));
+    }
+
+    #[test]
+    fn rejects_main_with_params() {
+        assert!(check_src("int main(int x) { return x; }").is_err());
+    }
+
+    #[test]
+    fn rejects_undeclared_variable() {
+        let err = check_src("int main() { return x; }").unwrap_err();
+        assert!(err.message.contains('x'));
+    }
+
+    #[test]
+    fn rejects_double_declaration_in_scope() {
+        assert!(check_src("int main() { int x = 1; int x = 2; return x; }").is_err());
+    }
+
+    #[test]
+    fn allows_shadowing_in_nested_scope() {
+        check_src("int main() { int x = 1; if (x) { int x = 2; print_int(x); } return x; }")
+            .unwrap();
+    }
+
+    #[test]
+    fn rejects_indexing_scalar() {
+        assert!(check_src("int main() { int x = 1; return x[0]; }").is_err());
+    }
+
+    #[test]
+    fn rejects_array_in_scalar_position() {
+        assert!(check_src("int a[2]; int main() { return a; }").is_err());
+        assert!(check_src("int a[2]; int main() { return a + 1; }").is_err());
+    }
+
+    #[test]
+    fn rejects_assigning_whole_array() {
+        assert!(check_src("int a[2]; int main() { a = 1; return 0; }").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        assert!(check_src("int f(int x) { return x; } int main() { return f(1, 2); }").is_err());
+        assert!(check_src("int main() { print_int(1, 2); return 0; }").is_err());
+    }
+
+    #[test]
+    fn rejects_undefined_function() {
+        assert!(check_src("int main() { return mystery(); }").is_err());
+    }
+
+    #[test]
+    fn array_param_requires_array_argument() {
+        assert!(
+            check_src("int f(int a[]) { return a[0]; } int main() { return f(3); }").is_err()
+        );
+        assert!(check_src(
+            "int f(int a[]) { return a[0]; } int main() { int x = 0; return f(x); }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn scalar_param_rejects_array_argument() {
+        assert!(check_src("int g[2]; int f(int x) { return x; } int main() { return f(g); }")
+            .is_err());
+    }
+
+    #[test]
+    fn array_params_forward_to_array_params() {
+        check_src(
+            "int inner(int a[]) { return a[0]; }
+             int outer(int b[]) { return inner(b); }
+             int g[3];
+             int main() { return outer(g); }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_break_outside_loop() {
+        assert!(check_src("int main() { break; return 0; }").is_err());
+    }
+
+    #[test]
+    fn accepts_break_in_loop() {
+        check_src("int main() { while (1) { break; } return 0; }").unwrap();
+    }
+
+    #[test]
+    fn continue_targets_for_step() {
+        check_src("int main() { for (int i = 0; i < 4; i = i + 1) { continue; } return 0; }")
+            .unwrap();
+    }
+
+    #[test]
+    fn rejects_duplicate_functions_and_globals() {
+        assert!(check_src("int f() { return 0; } int f() { return 1; } int main() { return 0; }")
+            .is_err());
+        assert!(check_src("int g; int g; int main() { return 0; }").is_err());
+        assert!(check_src("int f; int f() { return 0; } int main() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn rejects_shadowing_builtins() {
+        assert!(check_src("int print_int(int x) { return x; } int main() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn for_header_scope_is_separate() {
+        check_src(
+            "int main() {
+                 for (int i = 0; i < 2; i = i + 1) { print_int(i); }
+                 for (int i = 9; i > 0; i = i - 1) { print_int(i); }
+                 return 0;
+             }",
+        )
+        .unwrap();
+    }
+}

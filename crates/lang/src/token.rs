@@ -1,0 +1,301 @@
+//! Lexer for the Mini language.
+
+use crate::CompileError;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Integer literal (already folded to its 32-bit value).
+    Int(i32),
+    /// Identifier or keyword.
+    Ident(String),
+    /// `int`
+    KwInt,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `for`
+    KwFor,
+    /// `return`
+    KwReturn,
+    /// `break`
+    KwBreak,
+    /// `continue`
+    KwContinue,
+    /// Punctuation and operators.
+    Punct(&'static str),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::KwInt => write!(f, "int"),
+            Token::KwIf => write!(f, "if"),
+            Token::KwElse => write!(f, "else"),
+            Token::KwWhile => write!(f, "while"),
+            Token::KwFor => write!(f, "for"),
+            Token::KwReturn => write!(f, "return"),
+            Token::KwBreak => write!(f, "break"),
+            Token::KwContinue => write!(f, "continue"),
+            Token::Punct(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Multi-character operators, longest first.
+const PUNCTS: [&str; 28] = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "(", ")", "{", "}", "[", "]", ";", ",", "=",
+    "+", "-", "*", "/", "%", "<", ">", "&", "|", "^", "~",
+];
+
+/// Tokenizes Mini source text.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on malformed literals or unexpected
+/// characters.
+pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
+    let mut tokens = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments: // to end of line, /* ... */ nesting not supported.
+        if c == '/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == b'/' {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == b'*' {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(CompileError::new(line, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut radix = 10;
+            if c == '0' && i + 1 < bytes.len() && (bytes[i + 1] | 0x20) == b'x' {
+                radix = 16;
+                i += 2;
+            }
+            let digits_start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let text = &source[digits_start..i];
+            let cleaned: String = text.chars().filter(|&c| c != '_').collect();
+            let value = u32::from_str_radix(&cleaned, radix).map_err(|_| {
+                CompileError::new(line, format!("invalid integer literal `{}`", &source[start..i]))
+            })?;
+            tokens.push(Spanned { token: Token::Int(value as i32), line });
+            continue;
+        }
+        if c == '\'' {
+            let (value, consumed) = lex_char(&source[i..], line)?;
+            tokens.push(Spanned { token: Token::Int(value), line });
+            i += consumed;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let word = &source[start..i];
+            let token = match word {
+                "int" => Token::KwInt,
+                "if" => Token::KwIf,
+                "else" => Token::KwElse,
+                "while" => Token::KwWhile,
+                "for" => Token::KwFor,
+                "return" => Token::KwReturn,
+                "break" => Token::KwBreak,
+                "continue" => Token::KwContinue,
+                _ => Token::Ident(word.to_owned()),
+            };
+            tokens.push(Spanned { token, line });
+            continue;
+        }
+        if let Some(p) = PUNCTS.iter().find(|p| source[i..].starts_with(**p)) {
+            // `!` alone (vs `!=`) needs special care since `!` is not in the
+            // table but `!=` is.
+            tokens.push(Spanned { token: Token::Punct(p), line });
+            i += p.len();
+            continue;
+        }
+        if c == '!' {
+            tokens.push(Spanned { token: Token::Punct("!"), line });
+            i += 1;
+            continue;
+        }
+        return Err(CompileError::new(line, format!("unexpected character `{c}`")));
+    }
+    Ok(tokens)
+}
+
+/// Lexes a char literal at the start of `rest`; returns (value, bytes consumed).
+fn lex_char(rest: &str, line: usize) -> Result<(i32, usize), CompileError> {
+    let bytes = rest.as_bytes();
+    debug_assert_eq!(bytes[0], b'\'');
+    let err = || CompileError::new(line, "malformed character literal");
+    if bytes.len() < 3 {
+        return Err(err());
+    }
+    if bytes[1] == b'\\' {
+        if bytes.len() < 4 || bytes[3] != b'\'' {
+            return Err(err());
+        }
+        let value = match bytes[2] {
+            b'n' => b'\n',
+            b't' => b'\t',
+            b'r' => b'\r',
+            b'0' => 0,
+            b'\\' => b'\\',
+            b'\'' => b'\'',
+            _ => return Err(err()),
+        };
+        Ok((i32::from(value), 4))
+    } else {
+        if bytes[2] != b'\'' {
+            return Err(err());
+        }
+        Ok((i32::from(bytes[1]), 3))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("int x while whilee"),
+            vec![
+                Token::KwInt,
+                Token::Ident("x".into()),
+                Token::KwWhile,
+                Token::Ident("whilee".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_decimal_hex_char() {
+        assert_eq!(
+            toks("0 42 0x10 0xFF 'A' '\\n'"),
+            vec![
+                Token::Int(0),
+                Token::Int(42),
+                Token::Int(16),
+                Token::Int(255),
+                Token::Int(65),
+                Token::Int(10)
+            ]
+        );
+    }
+
+    #[test]
+    fn hex_wraps_to_i32() {
+        assert_eq!(toks("0xFFFFFFFF"), vec![Token::Int(-1)]);
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            toks("a<<b <= == != && || < ! !="),
+            vec![
+                Token::Ident("a".into()),
+                Token::Punct("<<"),
+                Token::Ident("b".into()),
+                Token::Punct("<="),
+                Token::Punct("=="),
+                Token::Punct("!="),
+                Token::Punct("&&"),
+                Token::Punct("||"),
+                Token::Punct("<"),
+                Token::Punct("!"),
+                Token::Punct("!="),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a // line comment\nb /* block\ncomment */ c"),
+            vec![Token::Ident("a".into()), Token::Ident("b".into()), Token::Ident("c".into())]
+        );
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let spanned = lex("a\nb\n\nc").unwrap();
+        let lines: Vec<usize> = spanned.iter().map(|s| s.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn bad_char_literal_errors() {
+        assert!(lex("'ab'").is_err());
+        assert!(lex("'").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        let err = lex("a @ b").unwrap_err();
+        assert!(err.to_string().contains('@'));
+    }
+}

@@ -1,0 +1,163 @@
+//! Property test: for random expression programs, the compiled output at
+//! every optimization level matches a direct Rust evaluation with Mini
+//! semantics. This pins the folder, the strength reducer, and the register
+//! promoter to the language definition.
+
+use dvp_asm::assemble;
+use dvp_lang::ast::{BinOp, UnOp};
+use dvp_lang::{compile, OptLevel};
+use dvp_sim::Machine;
+use proptest::prelude::*;
+
+/// A tiny expression tree we can both render to Mini source and evaluate.
+#[derive(Debug, Clone)]
+enum E {
+    Const(i32),
+    Var(usize),
+    Un(UnOp, Box<E>),
+    Bin(BinOp, Box<E>, Box<E>),
+}
+
+const VAR_NAMES: [&str; 3] = ["a", "b", "c"];
+
+impl E {
+    fn eval(&self, vars: &[i32; 3]) -> i32 {
+        match self {
+            E::Const(v) => *v,
+            E::Var(i) => vars[*i],
+            E::Un(op, inner) => op.eval(inner.eval(vars)),
+            E::Bin(op, lhs, rhs) => {
+                // Mini's && and || short-circuit, but both sides here are
+                // pure, so direct evaluation is equivalent.
+                op.eval(lhs.eval(vars), rhs.eval(vars))
+            }
+        }
+    }
+
+    fn to_source(&self) -> String {
+        match self {
+            E::Const(v) => {
+                if *v < 0 {
+                    // Parenthesize negatives to avoid `--` ambiguities.
+                    format!("(0 - {})", i64::from(*v).abs())
+                } else {
+                    v.to_string()
+                }
+            }
+            E::Var(i) => VAR_NAMES[*i].to_owned(),
+            E::Un(op, inner) => {
+                let sym = match op {
+                    UnOp::Neg => "-",
+                    UnOp::BitNot => "~",
+                    UnOp::Not => "!",
+                };
+                format!("({sym}{})", inner.to_source())
+            }
+            E::Bin(op, lhs, rhs) => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Rem => "%",
+                    BinOp::And => "&",
+                    BinOp::Or => "|",
+                    BinOp::Xor => "^",
+                    BinOp::Shl => "<<",
+                    BinOp::Shr => ">>",
+                    BinOp::Eq => "==",
+                    BinOp::Ne => "!=",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::Ge => ">=",
+                    BinOp::LAnd => "&&",
+                    BinOp::LOr => "||",
+                };
+                format!("({} {sym} {})", lhs.to_source(), rhs.to_source())
+            }
+        }
+    }
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Rem),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::Shl),
+        Just(BinOp::Shr),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::LAnd),
+        Just(BinOp::LOr),
+    ]
+}
+
+fn arb_unop() -> impl Strategy<Value = UnOp> {
+    prop_oneof![Just(UnOp::Neg), Just(UnOp::BitNot), Just(UnOp::Not)]
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        // Mix small constants (immediate forms), powers of two (strength
+        // reduction), and full-range values.
+        (-40i32..40).prop_map(E::Const),
+        prop_oneof![Just(2i32), Just(4), Just(8), Just(64), Just(1024)].prop_map(E::Const),
+        any::<i32>().prop_map(E::Const),
+        (0usize..3).prop_map(E::Var),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (arb_unop(), inner.clone()).prop_map(|(op, e)| E::Un(op, Box::new(e))),
+            (arb_binop(), inner.clone(), inner)
+                .prop_map(|(op, l, r)| E::Bin(op, Box::new(l), Box::new(r))),
+        ]
+    })
+}
+
+fn run_program(src: &str, opt: OptLevel) -> String {
+    let asm = compile(src, opt).unwrap_or_else(|e| panic!("compile ({opt}): {e}\n{src}"));
+    let image = assemble(&asm).unwrap_or_else(|e| panic!("assemble ({opt}): {e}"));
+    let mut machine = Machine::load(&image);
+    machine.run(5_000_000).unwrap_or_else(|e| panic!("run ({opt}): {e}"));
+    machine.output_string()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_opt_levels_match_reference(
+        expr in arb_expr(),
+        vars in [any::<i32>(), any::<i32>(), any::<i32>()],
+    ) {
+        let expected = expr.eval(&vars).to_string();
+        // `id()` keeps variable values opaque to the constant folder.
+        let src = format!(
+            "int id(int x) {{ return x; }}
+             int main() {{
+                 int a = id({});
+                 int b = id({});
+                 int c = id({});
+                 print_int({});
+                 return 0;
+             }}",
+            vars[0], vars[1], vars[2],
+            expr.to_source(),
+        );
+        for opt in OptLevel::ALL {
+            let out = run_program(&src, opt);
+            prop_assert_eq!(&out, &expected, "opt level {} on {}", opt, expr.to_source());
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! End-to-end tests: compile Mini, assemble, execute, check output — at
+//! every optimization level. A compiler bug that produces different output
+//! at different levels fails here.
+
+use dvp_asm::assemble;
+use dvp_lang::{compile, OptLevel};
+use dvp_sim::Machine;
+
+/// Compiles and runs `src` at `opt`; returns the program output.
+fn run_at(src: &str, opt: OptLevel) -> String {
+    let asm = compile(src, opt).unwrap_or_else(|e| panic!("compile ({opt}): {e}"));
+    let image = assemble(&asm).unwrap_or_else(|e| panic!("assemble ({opt}): {e}\n{asm}"));
+    let mut machine = Machine::load(&image);
+    machine.run(50_000_000).unwrap_or_else(|e| panic!("run ({opt}): {e}"));
+    assert!(machine.halted(), "program did not halt at {opt}");
+    machine.output_string()
+}
+
+/// Runs at all three levels and checks they agree with `expected`.
+fn expect_output(src: &str, expected: &str) {
+    for opt in OptLevel::ALL {
+        let out = run_at(src, opt);
+        assert_eq!(out, expected, "wrong output at {opt}");
+    }
+}
+
+#[test]
+fn arithmetic_and_printing() {
+    expect_output("int main() { print_int(6 * 7); return 0; }", "42");
+}
+
+#[test]
+fn operator_semantics_match_host() {
+    // Each sub-expression is chosen to exercise signedness and wrapping.
+    let src = "int main() {
+        print_int(-7 / 2); print_char(' ');
+        print_int(-7 % 2); print_char(' ');
+        print_int(7 / -2); print_char(' ');
+        print_int(2147483647 + 1); print_char(' ');
+        print_int(-8 >> 1); print_char(' ');
+        print_int(5 & 3); print_char(' ');
+        print_int(5 | 3); print_char(' ');
+        print_int(5 ^ 3); print_char(' ');
+        print_int(1 << 10); print_char(' ');
+        print_int(~0);
+        return 0;
+    }";
+    expect_output(src, "-3 -1 -3 -2147483648 -4 1 7 6 1024 -1");
+}
+
+#[test]
+fn runtime_operands_not_just_folding() {
+    // Same operations, but on values the folder cannot see.
+    let src = "int id(int x) { return x; }
+    int main() {
+        int a = id(-7); int b = id(2);
+        print_int(a / b); print_char(' ');
+        print_int(a % b); print_char(' ');
+        print_int(a * b); print_char(' ');
+        print_int(a >> 1); print_char(' ');
+        print_int(id(1) << id(33));
+        return 0;
+    }";
+    // 1 << 33 masks the count to 1 -> 2.
+    expect_output(src, "-3 -1 -14 -4 2");
+}
+
+#[test]
+fn division_by_zero_yields_zero() {
+    let src = "int id(int x) { return x; }
+    int main() {
+        print_int(id(9) / id(0)); print_char(' ');
+        print_int(id(9) % id(0));
+        return 0;
+    }";
+    expect_output(src, "0 0");
+}
+
+#[test]
+fn strength_reduced_division_is_exact() {
+    // Negative dividends are where sra-based division goes wrong.
+    let src = "int id(int x) { return x; }
+    int main() {
+        int i = -20;
+        while (i <= 20) {
+            print_int(id(i) / 4); print_char(',');
+            print_int(id(i) % 4); print_char(' ');
+            i = i + 1;
+        }
+        return 0;
+    }";
+    let expected: String = (-20..=20)
+        .map(|i: i32| format!("{},{} ", i / 4, i % 4))
+        .collect();
+    expect_output(src, &expected);
+}
+
+#[test]
+fn comparisons_and_logic() {
+    let src = "int id(int x) { return x; }
+    int main() {
+        print_int(id(3) < 4); print_int(id(4) < 4); print_int(id(5) < 4);
+        print_int(id(3) <= 3); print_int(id(3) >= 4); print_int(id(3) > 2);
+        print_int(id(3) == 3); print_int(id(3) != 3);
+        print_int(id(2) && id(0)); print_int(id(2) && id(5));
+        print_int(id(0) || id(0)); print_int(id(0) || id(9));
+        print_int(!id(7)); print_int(!id(0));
+        return 0;
+    }";
+    expect_output(src, "10010110010101");
+}
+
+#[test]
+fn short_circuit_side_effects() {
+    // The right side must not run when the left side decides.
+    let src = "int hits = 0;
+    int bump() { hits = hits + 1; return 1; }
+    int main() {
+        int a = 0 && bump();
+        int b = 1 || bump();
+        print_int(hits);
+        int c = 1 && bump();
+        int d = 0 || bump();
+        print_int(hits);
+        print_int(a + b + c + d);    // 0 + 1 + 1 + 1
+        return 0;
+    }";
+    expect_output(src, "023");
+}
+
+#[test]
+fn while_and_for_loops() {
+    let src = "int main() {
+        int total = 0;
+        for (int i = 1; i <= 10; i = i + 1) { total = total + i; }
+        print_int(total);
+        print_char(' ');
+        int n = 1;
+        while (n < 100) { n = n * 2; }
+        print_int(n);
+        return 0;
+    }";
+    expect_output(src, "55 128");
+}
+
+#[test]
+fn break_and_continue() {
+    let src = "int main() {
+        int sum = 0;
+        for (int i = 0; i < 100; i = i + 1) {
+            if (i % 2 == 0) { continue; }
+            if (i > 10) { break; }
+            sum = sum + i;    // 1+3+5+7+9
+        }
+        print_int(sum);
+        return 0;
+    }";
+    expect_output(src, "25");
+}
+
+#[test]
+fn nested_loops_with_break() {
+    let src = "int main() {
+        int count = 0;
+        for (int i = 0; i < 5; i = i + 1) {
+            for (int j = 0; j < 5; j = j + 1) {
+                if (j > i) { break; }
+                count = count + 1;
+            }
+        }
+        print_int(count);    // 1+2+3+4+5
+        return 0;
+    }";
+    expect_output(src, "15");
+}
+
+#[test]
+fn recursion_fibonacci() {
+    let src = "int fib(int n) {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+    }
+    int main() { print_int(fib(15)); return 0; }";
+    expect_output(src, "610");
+}
+
+#[test]
+fn recursion_with_two_calls_in_expression() {
+    // Exercises live-register save/restore around calls.
+    let src = "int f(int n) { if (n == 0) { return 1; } return n * f(n - 1); }
+    int main() { print_int(f(3) + 10 * f(4)); return 0; }";
+    expect_output(src, "246");
+}
+
+#[test]
+fn global_scalars_and_arrays() {
+    let src = "int counter = 100;
+    int table[5] = {10, 20, 30, 40, 50};
+    int main() {
+        counter = counter + table[2];
+        table[4] = counter;
+        print_int(table[4]);
+        print_char(' ');
+        print_int(table[0] + table[1]);
+        return 0;
+    }";
+    expect_output(src, "130 30");
+}
+
+#[test]
+fn local_arrays() {
+    let src = "int main() {
+        int squares[10];
+        for (int i = 0; i < 10; i = i + 1) { squares[i] = i * i; }
+        int sum = 0;
+        for (int i = 0; i < 10; i = i + 1) { sum = sum + squares[i]; }
+        print_int(sum);    // 285
+        return 0;
+    }";
+    expect_output(src, "285");
+}
+
+#[test]
+fn arrays_passed_by_reference() {
+    let src = "int fill(int a[], int n) {
+        for (int i = 0; i < n; i = i + 1) { a[i] = i + 1; }
+        return 0;
+    }
+    int sum(int a[], int n) {
+        int s = 0;
+        for (int i = 0; i < n; i = i + 1) { s = s + a[i]; }
+        return s;
+    }
+    int main() {
+        int data[8];
+        fill(data, 8);
+        print_int(sum(data, 8));
+        return 0;
+    }";
+    expect_output(src, "36");
+}
+
+#[test]
+fn global_array_passed_through_layers() {
+    let src = "int g[4] = {1, 2, 3, 4};
+    int inner(int a[]) { return a[3]; }
+    int outer(int a[]) { return inner(a) * 10; }
+    int main() { print_int(outer(g)); return 0; }";
+    expect_output(src, "40");
+}
+
+#[test]
+fn many_parameters_on_stack() {
+    let src = "int sum6(int a, int b, int c, int d, int e, int f) {
+        return a + b * 10 + c * 100 + d * 1000 + e * 10000 + f * 100000;
+    }
+    int main() { print_int(sum6(1, 2, 3, 4, 5, 6)); return 0; }";
+    expect_output(src, "654321");
+}
+
+#[test]
+fn shadowing_scopes() {
+    let src = "int x = 1;
+    int main() {
+        print_int(x);
+        int x = 2;
+        print_int(x);
+        if (x == 2) {
+            int x = 3;
+            print_int(x);
+        }
+        print_int(x);
+        return 0;
+    }";
+    expect_output(src, "1232");
+}
+
+#[test]
+fn for_scope_reuse() {
+    let src = "int main() {
+        for (int i = 0; i < 3; i = i + 1) { print_int(i); }
+        for (int i = 9; i > 6; i = i - 1) { print_int(i); }
+        return 0;
+    }";
+    expect_output(src, "012987");
+}
+
+#[test]
+fn fall_off_end_returns_zero() {
+    let src = "int f() { } int main() { print_int(f() + 7); return 0; }";
+    expect_output(src, "7");
+}
+
+#[test]
+fn return_value_of_main_ignored_but_halts() {
+    expect_output("int main() { return 42; }", "");
+}
+
+#[test]
+fn char_literals() {
+    let src = "int main() {
+        print_char('H'); print_char('i'); print_char('\\n');
+        print_int('A');
+        return 0;
+    }";
+    expect_output(src, "Hi\n65");
+}
+
+#[test]
+fn deep_expression_nesting() {
+    let src = "int id(int x) { return x; }
+    int main() {
+        print_int(id(1) + (id(2) + (id(3) + (id(4) + id(5)))));
+        return 0;
+    }";
+    expect_output(src, "15");
+}
+
+#[test]
+fn hash_function_workout() {
+    // A miniature of what the workloads do: iterated hashing with mixed
+    // operators. Checked against the same computation in Rust.
+    let src = "int main() {
+        int h = 2166136261;
+        for (int i = 0; i < 32; i = i + 1) {
+            h = (h ^ i) * 16777619;
+            h = h ^ (h >> 7);
+        }
+        print_int(h);
+        return 0;
+    }";
+    let mut h: i32 = 2166136261u32 as i32;
+    for i in 0..32 {
+        h = (h ^ i).wrapping_mul(16777619);
+        h ^= h >> 7;
+    }
+    expect_output(src, &h.to_string());
+}
+
+#[test]
+fn o2_promotion_does_not_break_recursion() {
+    // Promoted s-registers must be saved/restored across recursive calls.
+    let src = "int depth(int n, int acc) {
+        int local = acc + n;
+        if (n == 0) { return local; }
+        int below = depth(n - 1, local);
+        return below + local - local;    // forces `local` live across call
+    }
+    int main() { print_int(depth(10, 0)); return 0; }";
+    expect_output(src, "55");
+}
+
+#[test]
+fn sixty_four_locals() {
+    // More locals than promotable registers.
+    let mut decls = String::new();
+    let mut sum = String::from("0");
+    for i in 0..64 {
+        decls.push_str(&format!("int v{i} = {i};\n"));
+        sum.push_str(&format!(" + v{i}"));
+    }
+    let src = format!("int main() {{ {decls} print_int({sum}); return 0; }}");
+    expect_output(&src, &(0..64).sum::<i32>().to_string());
+}

@@ -1,0 +1,83 @@
+//! `sim32-run` — assemble and execute a Sim32 assembly file.
+//!
+//! ```text
+//! sim32-run program.s                    # run, print program output
+//! sim32-run --stats program.s           # also print execution statistics
+//! sim32-run --max-steps 10000 program.s # bound the run
+//! ```
+
+use dvp_asm::assemble;
+use dvp_sim::{Machine, StopReason};
+use dvp_trace::TraceSummary;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stats = false;
+    let mut max_steps: u64 = 1_000_000_000;
+    let mut path: Option<String> = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--stats" | "-s" => stats = true,
+            "--max-steps" => {
+                let Some(n) = iter.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("sim32-run: --max-steps needs a number");
+                    return ExitCode::FAILURE;
+                };
+                max_steps = n;
+            }
+            other if !other.starts_with('-') => path = Some(other.to_owned()),
+            other => {
+                eprintln!("sim32-run: unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: sim32-run [--stats] [--max-steps N] <file.s>");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sim32-run: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let image = match assemble(&source) {
+        Ok(image) => image,
+        Err(e) => {
+            eprintln!("{path}:{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut machine = Machine::load(&image);
+    let mut summary = TraceSummary::new();
+    let outcome = match machine.run_with(max_steps, &mut |rec| summary.record(&rec)) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("sim32-run: fault: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", machine.output_string());
+    if stats {
+        eprintln!(
+            "\n--- {} after {} instructions; {} predicted ({} static)",
+            match outcome.reason {
+                StopReason::Halted => "halted",
+                StopReason::StepLimit => "step limit",
+            },
+            outcome.steps,
+            summary.dynamic_total(),
+            summary.static_total()
+        );
+        for (cat, count) in summary.dynamic_mix().iter() {
+            if count > 0 {
+                eprintln!("    {:<8} {:>10} ({:>5.1}%)", cat.code(), count, 100.0 * summary.dynamic_fraction(cat));
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,339 @@
+//! Data-dependence tracing: turn a program run into a [`DepNode`] stream.
+//!
+//! The tracer wraps [`Machine`] stepping without modifying it: before each
+//! step it decodes the upcoming instruction, resolves the dynamic producers
+//! of its register inputs (and, for loads, the last store to the accessed
+//! bytes), then lets the machine execute and pairs the resulting trace
+//! record with the dependence edges.
+//!
+//! Control dependences are deliberately **not** traced: the dataflow-limit
+//! model (Lipasti & Shen's "exceeding the dataflow limit", reference [2] of
+//! the paper) assumes perfect branch prediction so that only data
+//! dependences constrain execution — the barrier the paper's introduction
+//! says value prediction attacks.
+
+use crate::machine::{Machine, SimError, EXIT_ADDR};
+use dvp_isa::{decode, Instr, Reg};
+use dvp_trace::{DepNode, MAX_DEPS};
+use std::collections::HashMap;
+
+/// Which architectural registers an instruction's *output value* depends
+/// on. For stores this is the data register and the address base (a store
+/// forwards `rt` into memory at an address computed from `base`).
+fn value_sources(instr: Instr) -> [Option<Reg>; 2] {
+    match instr {
+        Instr::R { rs, rt, .. } => [Some(rs), Some(rt)],
+        Instr::Shift { rt, .. } => [Some(rt), None],
+        Instr::ShiftV { rt, rs, .. } => [Some(rt), Some(rs)],
+        Instr::I { rs, .. } => [Some(rs), None],
+        Instr::Mem { op, rt, base, .. } => {
+            if op.is_load() {
+                [Some(base), None]
+            } else {
+                [Some(rt), Some(base)]
+            }
+        }
+        // Link writes produce pc+4: a constant per call site, not a data
+        // dependence. Lui is a pure immediate. Branches/jumps/syscalls are
+        // control, outside the dataflow model.
+        Instr::Lui { .. }
+        | Instr::Branch { .. }
+        | Instr::J { .. }
+        | Instr::Jal { .. }
+        | Instr::Jr { .. }
+        | Instr::Jalr { .. }
+        | Instr::Syscall { .. } => [None, None],
+    }
+}
+
+/// Collects the data-dependence trace of a run: one [`DepNode`] per
+/// register-writing instruction (carrying its value record) or store
+/// (carrying `record: None`), each annotated with the sequence numbers of
+/// the nodes that produced its register inputs and — for loads — the store
+/// that produced the loaded bytes.
+///
+/// Runs until halt, fault, or `max_steps` retired instructions, mirroring
+/// [`Machine::collect_trace`].
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`], exactly as plain stepping would.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_asm::assemble;
+/// use dvp_sim::{collect_dataflow, Machine};
+///
+/// let image = assemble(r"
+///     .text
+///     main: li   t0, 5
+///           addi t1, t0, 1   # depends on the li
+///           halt
+/// ")?;
+/// let mut machine = Machine::load(&image);
+/// let nodes = collect_dataflow(&mut machine, 1_000)?;
+/// assert_eq!(nodes.len(), 2);
+/// assert_eq!(nodes[1].deps().collect::<Vec<_>>(), vec![0]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn collect_dataflow(
+    machine: &mut Machine,
+    max_steps: u64,
+) -> Result<Vec<DepNode>, SimError> {
+    let mut nodes: Vec<DepNode> = Vec::new();
+    // Producer node of each architectural register's current value.
+    let mut reg_producer: [Option<u64>; 32] = [None; 32];
+    // Producer store of each memory byte (only bytes written by traced
+    // stores appear; initialized data has no producer).
+    let mut mem_producer: HashMap<u32, u64> = HashMap::new();
+
+    let mut steps = 0u64;
+    while !machine.halted() && steps < max_steps {
+        let pc = machine.pc();
+        if pc == EXIT_ADDR {
+            machine.step_with(&mut |_| {})?;
+            continue;
+        }
+        // Pre-decode to see the instruction's inputs before they change.
+        // A decode failure is left to the machine so the error carries its
+        // usual context.
+        let instr = decode(machine.memory().read_u32(pc)).ok();
+        let mut deps: [Option<u64>; MAX_DEPS] = [None; MAX_DEPS];
+        let mut store_target: Option<(u32, u32)> = None; // (addr, width)
+        if let Some(instr) = instr {
+            let mut slot = 0;
+            for reg in value_sources(instr).into_iter().flatten() {
+                if !reg.is_zero() {
+                    deps[slot] = reg_producer[reg.number() as usize];
+                    slot += 1;
+                }
+            }
+            if let Instr::Mem { op, base, offset, .. } = instr {
+                let addr = machine.reg(base).wrapping_add(offset as i32 as u32);
+                if op.is_load() {
+                    // The memory dependence: newest store overlapping the
+                    // loaded bytes.
+                    deps[MAX_DEPS - 1] = (0..op.width())
+                        .filter_map(|i| mem_producer.get(&addr.wrapping_add(i)).copied())
+                        .max();
+                } else {
+                    store_target = Some((addr, op.width()));
+                }
+            }
+        }
+
+        let mut produced = None;
+        machine.step_with(&mut |rec| produced = Some(rec))?;
+        steps += 1;
+
+        if let Some(rec) = produced {
+            let seq = nodes.len() as u64;
+            nodes.push(DepNode::new(Some(rec), deps));
+            let dest = instr.and_then(Instr::dest).expect("a record implies a destination");
+            reg_producer[dest.number() as usize] = Some(seq);
+        } else if let Some((addr, width)) = store_target {
+            let seq = nodes.len() as u64;
+            nodes.push(DepNode::new(None, deps));
+            for i in 0..width {
+                mem_producer.insert(addr.wrapping_add(i), seq);
+            }
+        } else if let Some(dest) = instr.and_then(Instr::dest) {
+            // A register write that produced no record: a write to `zero`
+            // (discarded) — the register's producer is unchanged. Writes to
+            // real registers always produce records.
+            debug_assert!(dest.is_zero());
+        }
+    }
+    Ok(nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvp_asm::assemble;
+
+    fn dataflow_of(src: &str) -> Vec<DepNode> {
+        let image = assemble(src).expect("assembles");
+        let mut machine = Machine::load(&image);
+        let nodes = collect_dataflow(&mut machine, 100_000).expect("runs");
+        assert!(machine.halted(), "program must halt");
+        nodes
+    }
+
+    #[test]
+    fn independent_instructions_have_no_deps() {
+        let nodes = dataflow_of(
+            "
+        .text
+main:   li t0, 1
+        li t1, 2
+        li t2, 3
+        halt
+",
+        );
+        assert_eq!(nodes.len(), 3);
+        for node in &nodes {
+            assert_eq!(node.deps().count(), 0, "{node:?}");
+        }
+    }
+
+    #[test]
+    fn chain_depends_linearly() {
+        let nodes = dataflow_of(
+            "
+        .text
+main:   li   t0, 1
+        addi t0, t0, 1
+        addi t0, t0, 1
+        addi t0, t0, 1
+        halt
+",
+        );
+        assert_eq!(nodes.len(), 4);
+        for (i, node) in nodes.iter().enumerate().skip(1) {
+            assert_eq!(node.deps().collect::<Vec<_>>(), vec![i as u64 - 1]);
+        }
+    }
+
+    #[test]
+    fn two_source_alu_tracks_both_producers() {
+        let nodes = dataflow_of(
+            "
+        .text
+main:   li  t0, 6
+        li  t1, 7
+        mul t2, t0, t1
+        halt
+",
+        );
+        assert_eq!(nodes[2].deps().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn store_load_forwarding_creates_memory_edge() {
+        let nodes = dataflow_of(
+            "
+        .text
+main:   li  t0, 99
+        la  t1, cell
+        sw  t0, 0(t1)
+        lw  t2, 0(t1)
+        halt
+        .data
+cell:   .word 0
+",
+        );
+        // Nodes: li, la(lui), la(ori), sw (store node), lw.
+        let store_seq = nodes
+            .iter()
+            .position(|n| !n.is_predictable())
+            .expect("store node present") as u64;
+        let load = nodes.last().expect("load node");
+        assert!(load.is_predictable());
+        assert!(
+            load.deps().any(|d| d == store_seq),
+            "load must depend on the forwarding store: {load:?}"
+        );
+    }
+
+    #[test]
+    fn store_node_depends_on_data_and_address() {
+        let nodes = dataflow_of(
+            "
+        .text
+main:   li  t0, 5
+        la  t1, cell
+        sw  t0, 0(t1)
+        halt
+        .data
+cell:   .word 0
+",
+        );
+        let store = nodes.iter().find(|n| !n.is_predictable()).expect("store");
+        // Depends on the li (data) and the la's second half (address).
+        assert_eq!(store.deps().count(), 2, "{store:?}");
+    }
+
+    #[test]
+    fn load_from_initialized_data_has_no_memory_dep() {
+        let nodes = dataflow_of(
+            "
+        .text
+main:   la  t0, cell
+        lw  t1, 0(t0)
+        halt
+        .data
+cell:   .word 42
+",
+        );
+        let load = nodes.last().expect("load");
+        // Only the address register dependence; the data was loaded from the
+        // image, not produced by a store.
+        assert_eq!(load.deps().count(), 1, "{load:?}");
+        assert_eq!(load.record.expect("load writes").value, 42);
+    }
+
+    #[test]
+    fn zero_writes_produce_no_nodes_and_no_producers() {
+        let nodes = dataflow_of(
+            "
+        .text
+main:   nop                  # sll zero, zero, 0: discarded
+        li  t0, 3
+        add t1, zero, t0     # reads zero: no dep on the nop
+        halt
+",
+        );
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[1].deps().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn link_writes_have_no_data_deps() {
+        let nodes = dataflow_of(
+            "
+        .text
+main:   li  a0, 1
+        jal f
+        halt
+f:      addi a0, a0, 1
+        jr  ra
+",
+        );
+        // jal's RA write is a node (category Other) with no deps.
+        let jal_node = &nodes[1];
+        assert!(jal_node.is_predictable());
+        assert_eq!(jal_node.deps().count(), 0, "{jal_node:?}");
+    }
+
+    #[test]
+    fn matches_plain_trace_record_stream() {
+        let src = "
+        .text
+main:   li   t0, 0
+        li   t1, 10
+loop:   addi t0, t0, 3
+        addi t1, t1, -1
+        bne  t1, zero, loop
+        halt
+";
+        let image = assemble(src).expect("assembles");
+        let mut m1 = Machine::load(&image);
+        let plain = m1.collect_trace(100_000).expect("runs");
+        let mut m2 = Machine::load(&image);
+        let nodes = collect_dataflow(&mut m2, 100_000).expect("runs");
+        let from_nodes: Vec<_> = nodes.iter().filter_map(|n| n.record).collect();
+        assert_eq!(plain, from_nodes, "dataflow tracing must not change the value trace");
+    }
+
+    #[test]
+    fn respects_step_budget() {
+        let image = assemble(".text\nmain: li t0, 1\n b main\n").expect("assembles");
+        let mut machine = Machine::load(&image);
+        let nodes = collect_dataflow(&mut machine, 100).expect("no fault");
+        assert!(!machine.halted());
+        // Two instructions per iteration, one writes a register.
+        assert_eq!(nodes.len(), 50);
+    }
+}

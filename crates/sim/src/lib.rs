@@ -1,0 +1,45 @@
+//! # dvp-sim — functional simulator for the Sim32 ISA
+//!
+//! This crate stands in for the SimpleScalar toolset the paper used to
+//! generate value traces: it loads a [`ProgramImage`](dvp_asm::ProgramImage)
+//! produced by `dvp-asm`, interprets it instruction by instruction, and
+//! emits a [`TraceRecord`](dvp_trace::TraceRecord) for every dynamic
+//! instruction that writes a general-purpose register — exactly the
+//! instruction population the paper predicts (Section 3: stores, branches
+//! and jumps are excluded; register writes to `zero` are discarded).
+//!
+//! The simulator is deliberately simple: no pipeline, no timing, no delay
+//! slots — the paper's study is implementation-independent and needs only
+//! architecturally-correct values in program order.
+//!
+//! # Examples
+//!
+//! ```
+//! use dvp_asm::assemble;
+//! use dvp_sim::Machine;
+//!
+//! let image = assemble(r"
+//!     .text
+//!     main: li t0, 3
+//!     loop: addi t0, t0, -1
+//!           bnez t0, loop
+//!           halt
+//! ")?;
+//! let mut machine = Machine::load(&image);
+//! let trace = machine.collect_trace(1_000)?;
+//! // One record for the li, three for the addi's countdown.
+//! assert_eq!(trace.len(), 4);
+//! assert_eq!(trace.last().unwrap().value, 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataflow;
+mod machine;
+mod memory;
+
+pub use dataflow::collect_dataflow;
+pub use machine::{Machine, RunOutcome, SimError, StopReason, EXIT_ADDR, STACK_TOP};
+pub use memory::Memory;

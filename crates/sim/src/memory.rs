@@ -1,0 +1,174 @@
+//! Sparse, paged, little-endian memory.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Byte-addressable sparse memory: pages are allocated on first touch, so
+/// the full 4 GiB address space is usable without reserving it.
+///
+/// All multi-byte accesses are little-endian. Alignment is *not* checked
+/// here — the CPU checks access alignment before calling in.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_sim::Memory;
+///
+/// let mut mem = Memory::new();
+/// mem.write_u32(0x1000, 0xdead_beef);
+/// assert_eq!(mem.read_u32(0x1000), 0xdead_beef);
+/// assert_eq!(mem.read_u8(0x1000), 0xef); // little endian
+/// assert_eq!(mem.read_u32(0x8000_0000), 0); // untouched memory reads zero
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates empty memory (all bytes read as zero).
+    #[must_use]
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Number of pages currently allocated.
+    #[must_use]
+    pub fn pages_allocated(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr >> PAGE_SHIFT)).map(|b| &**b)
+    }
+
+    fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
+        self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads one byte.
+    #[must_use]
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        self.page(addr).map_or(0, |p| p[(addr as usize) & (PAGE_SIZE - 1)])
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        self.page_mut(addr)[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads a little-endian half-word (may span pages).
+    #[must_use]
+    pub fn read_u16(&self, addr: u32) -> u16 {
+        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+    }
+
+    /// Writes a little-endian half-word.
+    pub fn write_u16(&mut self, addr: u32, value: u16) {
+        let [b0, b1] = value.to_le_bytes();
+        self.write_u8(addr, b0);
+        self.write_u8(addr.wrapping_add(1), b1);
+    }
+
+    /// Reads a little-endian word (may span pages).
+    #[must_use]
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        let offset = (addr as usize) & (PAGE_SIZE - 1);
+        if offset + 4 <= PAGE_SIZE {
+            if let Some(p) = self.page(addr) {
+                return u32::from_le_bytes([p[offset], p[offset + 1], p[offset + 2], p[offset + 3]]);
+            }
+            return 0;
+        }
+        u32::from_le_bytes([
+            self.read_u8(addr),
+            self.read_u8(addr.wrapping_add(1)),
+            self.read_u8(addr.wrapping_add(2)),
+            self.read_u8(addr.wrapping_add(3)),
+        ])
+    }
+
+    /// Writes a little-endian word.
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        let offset = (addr as usize) & (PAGE_SIZE - 1);
+        if offset + 4 <= PAGE_SIZE {
+            let page = self.page_mut(addr);
+            page[offset..offset + 4].copy_from_slice(&value.to_le_bytes());
+            return;
+        }
+        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    #[must_use]
+    pub fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(addr.wrapping_add(i as u32))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialised() {
+        let mem = Memory::new();
+        assert_eq!(mem.read_u8(0), 0);
+        assert_eq!(mem.read_u32(0xffff_fffc), 0);
+        assert_eq!(mem.pages_allocated(), 0);
+    }
+
+    #[test]
+    fn byte_word_consistency() {
+        let mut mem = Memory::new();
+        mem.write_u32(0x2000, 0x0403_0201);
+        assert_eq!(mem.read_u8(0x2000), 1);
+        assert_eq!(mem.read_u8(0x2001), 2);
+        assert_eq!(mem.read_u16(0x2000), 0x0201);
+        assert_eq!(mem.read_u16(0x2002), 0x0403);
+    }
+
+    #[test]
+    fn cross_page_word_access() {
+        let mut mem = Memory::new();
+        let addr = 0x2ffe; // spans the 0x2000 and 0x3000 pages
+        mem.write_u32(addr, 0xaabb_ccdd);
+        assert_eq!(mem.read_u32(addr), 0xaabb_ccdd);
+        assert_eq!(mem.pages_allocated(), 2);
+    }
+
+    #[test]
+    fn bulk_bytes_round_trip() {
+        let mut mem = Memory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        mem.write_bytes(0x5ff0, &data); // crosses a page boundary
+        assert_eq!(mem.read_bytes(0x5ff0, 256), data);
+    }
+
+    #[test]
+    fn wrapping_addresses_do_not_panic() {
+        let mut mem = Memory::new();
+        mem.write_u32(0xffff_fffe, 0x1234_5678); // wraps around the top
+        assert_eq!(mem.read_u32(0xffff_fffe), 0x1234_5678);
+    }
+
+    #[test]
+    fn pages_allocate_on_write_not_read() {
+        let mut mem = Memory::new();
+        let _ = mem.read_u32(0x9000);
+        assert_eq!(mem.pages_allocated(), 0);
+        mem.write_u8(0x9000, 1);
+        assert_eq!(mem.pages_allocated(), 1);
+    }
+}

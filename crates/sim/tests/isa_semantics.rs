@@ -1,0 +1,268 @@
+//! Exhaustive ISA semantics tests: every Sim32 instruction executed
+//! against reference results computed in Rust. These pin the simulator to
+//! the semantics the Mini compiler and the predictors assume.
+
+use dvp_asm::assemble;
+use dvp_sim::Machine;
+
+/// Runs a program that computes into `a0` and prints it; returns the
+/// printed text.
+fn run(src: &str) -> String {
+    let image = assemble(src).unwrap_or_else(|e| panic!("asm: {e}\n{src}"));
+    let mut m = Machine::load(&image);
+    m.run(1_000_000).unwrap_or_else(|e| panic!("run: {e}"));
+    assert!(m.halted(), "did not halt");
+    m.output_string()
+}
+
+/// Builds a program applying a 3-register op to two constants.
+fn run_rrr(op: &str, a: i32, b: i32) -> i32 {
+    run(&format!(
+        ".text\nmain: li t0, {a}\n li t1, {b}\n {op} a0, t0, t1\n syscall 1\n halt"
+    ))
+    .parse()
+    .expect("integer output")
+}
+
+#[test]
+fn add_sub_wrap() {
+    assert_eq!(run_rrr("add", 2_000_000_000, 2_000_000_000), (-294_967_296i64) as i32);
+    assert_eq!(run_rrr("add", -5, 3), -2);
+    assert_eq!(run_rrr("sub", i32::MIN, 1), i32::MAX);
+    assert_eq!(run_rrr("sub", 10, 3), 7);
+}
+
+#[test]
+fn logic_ops() {
+    assert_eq!(run_rrr("and", 0b1100, 0b1010), 0b1000);
+    assert_eq!(run_rrr("or", 0b1100, 0b1010), 0b1110);
+    assert_eq!(run_rrr("xor", 0b1100, 0b1010), 0b0110);
+    assert_eq!(run_rrr("nor", 0, 0), -1);
+    assert_eq!(run_rrr("nor", -1, 0), 0);
+}
+
+#[test]
+fn set_ops_signedness() {
+    assert_eq!(run_rrr("slt", -1, 0), 1);
+    assert_eq!(run_rrr("slt", 0, -1), 0);
+    assert_eq!(run_rrr("sltu", -1, 0), 0, "-1 is u32::MAX unsigned");
+    assert_eq!(run_rrr("sltu", 0, -1), 1);
+    assert_eq!(run_rrr("slt", 3, 3), 0);
+}
+
+#[test]
+fn mul_div_rem_semantics() {
+    assert_eq!(run_rrr("mul", 100_000, 100_000), (10_000_000_000i64 as i32));
+    assert_eq!(run_rrr("mulh", i32::MIN, 2), -1, "high bits of -2^32");
+    assert_eq!(run_rrr("div", 7, 2), 3);
+    assert_eq!(run_rrr("div", -7, 2), -3, "truncates toward zero");
+    assert_eq!(run_rrr("div", 7, -2), -3);
+    assert_eq!(run_rrr("rem", -7, 2), -1);
+    assert_eq!(run_rrr("rem", 7, -2), 1);
+    assert_eq!(run_rrr("div", 5, 0), 0, "division by zero yields 0");
+    assert_eq!(run_rrr("rem", 5, 0), 0);
+    assert_eq!(run_rrr("div", i32::MIN, -1), i32::MIN, "wrapping overflow case");
+}
+
+#[test]
+fn immediate_extension_rules() {
+    // addi/slti sign-extend; andi/ori/xori/sltiu zero-extend.
+    let out = run(r"
+        .text
+        main: li t0, 0
+              addi a0, t0, -1      # -1
+              syscall 1
+              li a0, ' '
+              syscall 2
+              li t0, -1
+              andi a0, t0, 0xffff  # low 16 bits only
+              syscall 1
+              li a0, ' '
+              syscall 2
+              li t0, 0
+              slti a0, t0, -1      # 0 < -1 signed? no
+              syscall 1
+              li t0, 0
+              sltiu a0, t0, 0xffff # 0 < 65535 unsigned? yes
+              syscall 1
+              halt
+    ");
+    assert_eq!(out, "-1 65535 01");
+}
+
+#[test]
+fn shift_semantics() {
+    let out = run(r"
+        .text
+        main: li t0, -16
+              sra a0, t0, 2        # arithmetic: -4
+              syscall 1
+              li a0, ' '
+              syscall 2
+              li t0, -16
+              srl t1, t0, 28       # logical: 15
+              move a0, t1
+              syscall 1
+              li a0, ' '
+              syscall 2
+              li t0, 3
+              li t1, 34            # counts mask to 5 bits: 34 & 31 == 2
+              sllv a0, t0, t1      # 12
+              syscall 1
+              halt
+    ");
+    assert_eq!(out, "-4 15 12");
+}
+
+#[test]
+fn memory_widths_and_signedness() {
+    let out = run(r"
+        .text
+        main: la t0, buf
+              li t1, -1
+              sw t1, 0(t0)
+              li t1, 0x1234
+              sh t1, 4(t0)
+              li t1, 0x80
+              sb t1, 6(t0)
+              lb a0, 6(t0)       # sign-extended: -128
+              syscall 1
+              li a0, ' '
+              syscall 2
+              lbu a0, 6(t0)      # zero-extended: 128
+              syscall 1
+              li a0, ' '
+              syscall 2
+              lh a0, 0(t0)       # -1 sign-extended
+              syscall 1
+              li a0, ' '
+              syscall 2
+              lhu a0, 4(t0)      # 0x1234
+              syscall 1
+              halt
+        .data
+        buf: .space 8
+    ");
+    assert_eq!(out, "-128 128 -1 4660");
+}
+
+#[test]
+fn branch_taken_and_not_taken() {
+    let out = run(r"
+        .text
+        main: li t0, 5
+              li t1, 5
+              beq t0, t1, eq_ok
+              li a0, 0
+              syscall 1
+        eq_ok: li a0, 1
+              syscall 1
+              li t1, 6
+              blt t0, t1, lt_ok
+              li a0, 0
+              syscall 1
+        lt_ok: li a0, 2
+              syscall 1
+              li t0, -1
+              li t1, 1
+              bltu t1, t0, ultok   # 1 < 0xffffffff unsigned
+              li a0, 0
+              syscall 1
+        ultok: li a0, 3
+              syscall 1
+              halt
+    ");
+    assert_eq!(out, "123");
+}
+
+#[test]
+fn jal_jr_call_chain() {
+    let out = run(r"
+        .text
+        main: jal one
+              jal two
+              halt
+        one:  li a0, 1
+              syscall 1
+              jr ra
+        two:  li a0, 2
+              syscall 1
+              jr ra
+    ");
+    assert_eq!(out, "12");
+}
+
+#[test]
+fn jalr_links_and_jumps() {
+    let out = run(r"
+        .text
+        main: la t9, target
+              jalr ra, t9
+              halt
+        target: li a0, 7
+              syscall 1
+              jr ra
+    ");
+    assert_eq!(out, "7");
+}
+
+#[test]
+fn lui_builds_high_half() {
+    let out = run(r"
+        .text
+        main: lui t0, 0x1234
+              ori a0, t0, 0x5678
+              syscall 1
+              halt
+    ");
+    assert_eq!(out, (0x1234_5678u32 as i32).to_string());
+}
+
+#[test]
+fn stack_discipline_push_pop() {
+    let out = run(r"
+        .text
+        main: addi sp, sp, -8
+              li t0, 11
+              li t1, 22
+              sw t0, 0(sp)
+              sw t1, 4(sp)
+              lw a0, 4(sp)
+              syscall 1
+              lw a0, 0(sp)
+              syscall 1
+              addi sp, sp, 8
+              halt
+    ");
+    assert_eq!(out, "2211");
+}
+
+#[test]
+fn fibonacci_iterative_full_program() {
+    // A larger integration: iterative fibonacci through memory.
+    let out = run(r"
+        .text
+        main: li t0, 0           # fib(0)
+              li t1, 1           # fib(1)
+              li t2, 20          # count
+        loop: add t3, t0, t1
+              move t0, t1
+              move t1, t3
+              addi t2, t2, -1
+              bnez t2, loop
+              move a0, t0
+              syscall 1
+              halt
+    ");
+    assert_eq!(out, "6765");
+}
+
+#[test]
+fn trace_pc_values_match_text_layout() {
+    let image = assemble(".text\nmain: li t0, 1\n li t1, 2\n halt").unwrap();
+    let mut m = Machine::load(&image);
+    let trace = m.collect_trace(100).unwrap();
+    assert_eq!(trace.len(), 2);
+    assert_eq!(trace[0].pc.0, u64::from(image.text_base));
+    assert_eq!(trace[1].pc.0, u64::from(image.text_base) + 4);
+}

@@ -1,0 +1,115 @@
+//! Dynamic data-dependence records.
+//!
+//! The paper's introduction frames data dependences as *"often thought to
+//! present a fundamental performance barrier"* that value prediction can
+//! break. Quantifying that requires more than the value trace: it needs the
+//! dependence edges between dynamic instructions. A [`DepNode`] is one
+//! dynamic instruction together with the sequence numbers of the dynamic
+//! instructions that produced its inputs — enough to compute dataflow
+//! critical paths (see `dvp-core`'s `dataflow_height`) and how far value
+//! prediction shortens them.
+//!
+//! Nodes are produced in program order by `dvp-sim`'s
+//! `collect_dataflow`; every dependence points strictly backwards.
+
+use crate::TraceRecord;
+use std::num::NonZeroU64;
+
+/// Maximum number of dependence edges a node can carry: two register
+/// sources plus one memory (store-to-load) source.
+pub const MAX_DEPS: usize = 3;
+
+/// One dynamic instruction in a data-dependence trace.
+///
+/// Two kinds of nodes occur:
+///
+/// * **register-writing instructions** carry their [`TraceRecord`] (the
+///   predictable value) in `record`;
+/// * **stores** carry `record: None` — they produce no register value and
+///   are never predicted, but they forward data from registers to memory
+///   and therefore sit on dataflow paths.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_trace::{DepNode, InstrCategory, Pc, TraceRecord};
+///
+/// // Node 2 consumes the results of nodes 0 and 1.
+/// let node = DepNode::new(
+///     Some(TraceRecord::new(Pc(0x400008), InstrCategory::AddSub, 30)),
+///     [Some(0), Some(1), None],
+/// );
+/// assert_eq!(node.deps().collect::<Vec<_>>(), vec![0, 1]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepNode {
+    /// The value-trace record for register-writing instructions; `None` for
+    /// stores.
+    pub record: Option<TraceRecord>,
+    /// Producer sequence numbers, biased by one so that `None` is free
+    /// (`seq + 1` is stored). Use [`DepNode::deps`] to iterate unbiased.
+    producers: [Option<NonZeroU64>; MAX_DEPS],
+}
+
+impl DepNode {
+    /// Creates a node from unbiased producer sequence numbers.
+    #[must_use]
+    pub fn new(record: Option<TraceRecord>, deps: [Option<u64>; MAX_DEPS]) -> Self {
+        let mut producers = [None; MAX_DEPS];
+        for (slot, dep) in producers.iter_mut().zip(deps) {
+            *slot = dep.and_then(|seq| NonZeroU64::new(seq + 1));
+        }
+        // seq 0 maps to NonZeroU64(1), so the only lossy case is
+        // seq == u64::MAX, which cannot occur (it would require 2^64 nodes).
+        DepNode { record, producers }
+    }
+
+    /// The producer sequence numbers of this node's inputs (unbiased), in
+    /// slot order with empty slots skipped.
+    pub fn deps(&self) -> impl Iterator<Item = u64> + '_ {
+        self.producers.iter().flatten().map(|nz| nz.get() - 1)
+    }
+
+    /// Whether this node produces a predictable register value.
+    #[must_use]
+    pub fn is_predictable(&self) -> bool {
+        self.record.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InstrCategory, Pc};
+
+    fn rec(value: u64) -> TraceRecord {
+        TraceRecord::new(Pc(0x400000), InstrCategory::AddSub, value)
+    }
+
+    #[test]
+    fn deps_roundtrip_including_seq_zero() {
+        let node = DepNode::new(Some(rec(5)), [Some(0), Some(17), None]);
+        assert_eq!(node.deps().collect::<Vec<_>>(), vec![0, 17]);
+    }
+
+    #[test]
+    fn no_deps_iterates_empty() {
+        let node = DepNode::new(Some(rec(1)), [None, None, None]);
+        assert_eq!(node.deps().count(), 0);
+    }
+
+    #[test]
+    fn store_nodes_are_not_predictable() {
+        let store = DepNode::new(None, [Some(3), Some(4), None]);
+        assert!(!store.is_predictable());
+        let load = DepNode::new(Some(rec(9)), [Some(3), None, Some(2)]);
+        assert!(load.is_predictable());
+    }
+
+    #[test]
+    fn option_layout_stays_compact() {
+        // The NonZeroU64 bias keeps each producer slot at 8 bytes; dependence
+        // traces have millions of nodes, so this matters.
+        assert_eq!(std::mem::size_of::<Option<NonZeroU64>>(), 8);
+    }
+}

@@ -1,0 +1,255 @@
+//! Trace persistence: JSON-lines (debuggable) and a compact binary format
+//! (17 bytes/record) for storing and replaying value traces.
+//!
+//! The paper's methodology is trace-driven; persisting traces lets
+//! experiments replay identical streams without re-simulating, and lets
+//! external tools consume them.
+
+use crate::{InstrCategory, Pc, TraceRecord};
+use std::fmt;
+use std::io::{self, BufRead, Read, Write};
+
+/// Magic bytes of the binary trace format (`"DVPT"` + version 1).
+const MAGIC: [u8; 5] = [b'D', b'V', b'P', b'T', 1];
+
+/// Error while reading a persisted trace.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input is not a trace in the expected format.
+    Format {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceIoError::Format { message } => write!(f, "malformed trace: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Format { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+fn format_err(message: impl Into<String>) -> TraceIoError {
+    TraceIoError::Format { message: message.into() }
+}
+
+/// Writes records as JSON lines (one record per line).
+///
+/// # Errors
+///
+/// Propagates I/O and serialization failures.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_trace::{io::{read_jsonl, write_jsonl}, InstrCategory, Pc, TraceRecord};
+///
+/// let records = vec![TraceRecord::new(Pc(4), InstrCategory::AddSub, 7)];
+/// let mut buf = Vec::new();
+/// write_jsonl(&mut buf, records.iter())?;
+/// assert_eq!(read_jsonl(buf.as_slice())?, records);
+/// # Ok::<(), dvp_trace::io::TraceIoError>(())
+/// ```
+pub fn write_jsonl<'a, W, I>(writer: &mut W, records: I) -> Result<(), TraceIoError>
+where
+    W: Write,
+    I: IntoIterator<Item = &'a TraceRecord>,
+{
+    for rec in records {
+        let line = serde_json::to_string(rec)
+            .map_err(|e| format_err(format!("serialize: {e}")))?;
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads a JSON-lines trace written by [`write_jsonl`].
+///
+/// # Errors
+///
+/// Returns a [`TraceIoError`] on I/O failure or malformed lines (blank
+/// lines are tolerated).
+pub fn read_jsonl<R: BufRead>(reader: R) -> Result<Vec<TraceRecord>, TraceIoError> {
+    let mut records = Vec::new();
+    for (number, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: TraceRecord = serde_json::from_str(&line)
+            .map_err(|e| format_err(format!("line {}: {e}", number + 1)))?;
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+/// Writes records in the compact binary format: a 5-byte header followed
+/// by 17 bytes per record (little-endian `pc: u64`, `category: u8`,
+/// `value: u64`).
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_binary<'a, W, I>(writer: &mut W, records: I) -> Result<(), TraceIoError>
+where
+    W: Write,
+    I: IntoIterator<Item = &'a TraceRecord>,
+{
+    writer.write_all(&MAGIC)?;
+    for rec in records {
+        writer.write_all(&rec.pc.0.to_le_bytes())?;
+        writer.write_all(&[rec.category.index() as u8])?;
+        writer.write_all(&rec.value.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a binary trace written by [`write_binary`].
+///
+/// # Errors
+///
+/// Returns a [`TraceIoError`] on I/O failure, a bad header, a truncated
+/// record, or an invalid category byte.
+pub fn read_binary<R: Read>(mut reader: R) -> Result<Vec<TraceRecord>, TraceIoError> {
+    let mut magic = [0u8; 5];
+    reader.read_exact(&mut magic).map_err(|_| format_err("missing header"))?;
+    if magic != MAGIC {
+        return Err(format_err("bad magic bytes (not a dvp binary trace)"));
+    }
+    let mut records = Vec::new();
+    let mut buf = [0u8; 17];
+    'records: loop {
+        // Fill the record buffer manually so a clean EOF (0 bytes before a
+        // record) is distinguishable from a truncated record (EOF mid-fill).
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            match reader.read(&mut buf[filled..]) {
+                Ok(0) if filled == 0 => break 'records,
+                Ok(0) => {
+                    return Err(format_err(format!(
+                        "truncated record after {} complete records ({filled} of {} bytes)",
+                        records.len(),
+                        buf.len(),
+                    )))
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let pc = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
+        let cat = InstrCategory::from_index(buf[8] as usize)
+            .ok_or_else(|| format_err(format!("invalid category byte {}", buf[8])))?;
+        let value = u64::from_le_bytes(buf[9..17].try_into().expect("8 bytes"));
+        records.push(TraceRecord::new(Pc(pc), cat, value));
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::new(Pc(0x400000), InstrCategory::AddSub, 1),
+            TraceRecord::new(Pc(0x400004), InstrCategory::Loads, u64::MAX),
+            TraceRecord::new(Pc(0x400008), InstrCategory::Other, 0),
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let records = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, records.iter()).unwrap();
+        assert_eq!(buf.iter().filter(|&&b| b == b'\n').count(), 3);
+        let back = read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn jsonl_tolerates_blank_lines() {
+        let records = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, records.iter()).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        assert_eq!(read_jsonl(buf.as_slice()).unwrap(), records);
+    }
+
+    #[test]
+    fn jsonl_reports_bad_line_number() {
+        let err = read_jsonl("{\"bad\": true}\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let records = sample();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, records.iter()).unwrap();
+        assert_eq!(buf.len(), 5 + 17 * records.len());
+        assert_eq!(read_binary(buf.as_slice()).unwrap(), records);
+    }
+
+    #[test]
+    fn binary_empty_trace() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, [].iter()).unwrap();
+        assert!(read_binary(buf.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(&b"NOPE!"[..]).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn binary_rejects_truncated_record() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, sample().iter()).unwrap();
+        buf.truncate(buf.len() - 1); // lose the last byte of the last record
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        assert!(err.to_string().contains("2 complete records"), "{err}");
+    }
+
+    #[test]
+    fn binary_rejects_bad_category() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, sample().iter()).unwrap();
+        buf[5 + 8] = 200; // corrupt the first record's category byte
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("category"), "{err}");
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let io_err = TraceIoError::from(io::Error::other("boom"));
+        assert!(io_err.to_string().contains("boom"));
+        assert!(std::error::Error::source(&io_err).is_some());
+        let fmt_err = format_err("nope");
+        assert!(std::error::Error::source(&fmt_err).is_none());
+    }
+}

@@ -1,0 +1,35 @@
+//! Internal tool: measure each workload's dynamic length, predicted-record
+//! count, category mix, and output at each optimization level.
+
+use dvp_lang::OptLevel;
+use dvp_trace::{InstrCategory, TraceSummary};
+use dvp_workloads::{Benchmark, Workload};
+
+fn main() {
+    for benchmark in Benchmark::ALL {
+        let workload = Workload::reference(benchmark);
+        for opt in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
+            let mut machine = workload.machine(opt).expect("build");
+            let mut summary = TraceSummary::new();
+            machine
+                .run_with(400_000_000, &mut |rec| summary.record(&rec))
+                .expect("run");
+            assert!(machine.halted(), "{benchmark} did not halt at {opt}");
+            let retired = machine.retired();
+            let predicted = summary.dynamic_total();
+            print!(
+                "{:<9} {:>3} retired={:>10} predicted={:>10} ({:>4.1}%) out={:<24}",
+                benchmark.name(),
+                opt.to_string(),
+                retired,
+                predicted,
+                100.0 * predicted as f64 / retired as f64,
+                machine.output_string()
+            );
+            for cat in InstrCategory::ALL {
+                print!(" {}={:.1}%", cat.code(), 100.0 * summary.dynamic_fraction(cat));
+            }
+            println!();
+        }
+    }
+}

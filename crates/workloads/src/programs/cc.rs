@@ -1,0 +1,194 @@
+//! `cc` — a tokenizer + precedence parser + evaluator over a generated
+//! source file (SPEC95 126.gcc analog).
+//!
+//! The "input file" is a program in a tiny expression language
+//! (`v3 = 12 + v1 * ( 7 - v2 ) ;`), baked into the workload as a character
+//! array — the analog of gcc's `.i` input files. The workload tokenizes it,
+//! parses each statement with a shunting-yard evaluator (explicit operator
+//! and value stacks), and updates a symbol table, repeated `scale` times.
+//! Table 6 of the paper runs the same program over five different inputs;
+//! [`input_text`] generates each.
+
+use crate::rng::{int_list, XorShift};
+
+/// Generates the text of one synthetic `.i` input file with `statements`
+/// statements, as a byte (char) vector.
+pub fn input_text(seed: u64, statements: usize) -> Vec<i32> {
+    let mut rng = XorShift::new(seed ^ 0x9CC);
+    let mut text = String::new();
+    for _ in 0..statements {
+        let target = rng.below(16);
+        text.push_str(&format!("v{target} = "));
+        render_expr(&mut rng, 0, &mut text);
+        text.push_str(";\n");
+    }
+    let mut bytes: Vec<i32> = text.bytes().map(i32::from).collect();
+    bytes.push(0);
+    bytes
+}
+
+fn render_expr(rng: &mut XorShift, depth: usize, out: &mut String) {
+    if depth >= 3 || rng.below(100) < 30 {
+        if rng.below(2) == 0 {
+            out.push_str(&rng.below(1000).to_string());
+        } else {
+            out.push_str(&format!("v{}", rng.below(16)));
+        }
+        return;
+    }
+    let op = ["+", "-", "*", "/", "%"][rng.below(5) as usize];
+    let parens = rng.below(100) < 40;
+    if parens {
+        out.push_str("( ");
+    }
+    render_expr(rng, depth + 1, out);
+    out.push_str(&format!(" {op} "));
+    render_expr(rng, depth + 1, out);
+    if parens {
+        out.push_str(" )");
+    }
+}
+
+/// Generates the Mini source of the cc workload over the given input file.
+pub fn source(input: &[i32], scale: u32) -> String {
+    let src_len = input.len().max(1);
+    let src = int_list(input);
+    format!(
+        r"// cc: tokenizer + shunting-yard parser + evaluator (126.gcc analog)
+int src[{src_len}] = {{{src}}};
+int vars[16];
+int opstack[64];
+int valstack[64];
+int pos = 0;
+int cur_tok = 0;
+int cur_val = 0;
+int checksum = 0;
+
+// Token codes: 0 eof, 1 number, 2 variable, 3 operator, 4 (, 5 ), 6 ;, 7 =
+int next_tok() {{
+    while (src[pos] == 32 || src[pos] == 10) {{ pos = pos + 1; }}
+    int c = src[pos];
+    if (c == 0) {{ cur_tok = 0; return 0; }}
+    if (c >= 48 && c <= 57) {{
+        int v = 0;
+        while (src[pos] >= 48 && src[pos] <= 57) {{
+            v = v * 10 + src[pos] - 48;
+            pos = pos + 1;
+        }}
+        cur_tok = 1;
+        cur_val = v;
+        return 0;
+    }}
+    if (c == 118) {{
+        pos = pos + 1;
+        int v = 0;
+        while (src[pos] >= 48 && src[pos] <= 57) {{
+            v = v * 10 + src[pos] - 48;
+            pos = pos + 1;
+        }}
+        cur_tok = 2;
+        cur_val = v & 15;
+        return 0;
+    }}
+    pos = pos + 1;
+    if (c == 40) {{ cur_tok = 4; return 0; }}
+    if (c == 41) {{ cur_tok = 5; return 0; }}
+    if (c == 59) {{ cur_tok = 6; return 0; }}
+    if (c == 61) {{ cur_tok = 7; return 0; }}
+    cur_tok = 3;
+    cur_val = c;
+    return 0;
+}}
+
+int prec(int op) {{
+    if (op == 42 || op == 47 || op == 37) {{ return 2; }}
+    if (op == 43 || op == 45) {{ return 1; }}
+    return 0;
+}}
+
+int apply(int op, int a, int b) {{
+    if (op == 43) {{ return a + b; }}
+    if (op == 45) {{ return a - b; }}
+    if (op == 42) {{ return a * b; }}
+    if (op == 47) {{ return a / b; }}
+    return a % b;
+}}
+
+// Parse one expression up to ';' with explicit stacks; returns its value.
+int parse_expr() {{
+    int osp = 0;
+    int vsp = 0;
+    while (cur_tok != 6 && cur_tok != 0) {{
+        if (cur_tok == 1) {{ valstack[vsp] = cur_val; vsp = vsp + 1; }}
+        if (cur_tok == 2) {{ valstack[vsp] = vars[cur_val]; vsp = vsp + 1; }}
+        if (cur_tok == 4) {{ opstack[osp] = 0; osp = osp + 1; }}
+        if (cur_tok == 5) {{
+            while (osp > 0 && opstack[osp - 1] != 0) {{
+                osp = osp - 1;
+                vsp = vsp - 1;
+                int b = valstack[vsp];
+                valstack[vsp - 1] = apply(opstack[osp], valstack[vsp - 1], b);
+            }}
+            if (osp > 0) {{ osp = osp - 1; }}
+        }}
+        if (cur_tok == 3) {{
+            int p = prec(cur_val);
+            while (osp > 0 && prec(opstack[osp - 1]) >= p) {{
+                osp = osp - 1;
+                vsp = vsp - 1;
+                int b = valstack[vsp];
+                valstack[vsp - 1] = apply(opstack[osp], valstack[vsp - 1], b);
+            }}
+            opstack[osp] = cur_val;
+            osp = osp + 1;
+        }}
+        next_tok();
+    }}
+    while (osp > 0) {{
+        osp = osp - 1;
+        if (opstack[osp] != 0) {{
+            vsp = vsp - 1;
+            int b = valstack[vsp];
+            valstack[vsp - 1] = apply(opstack[osp], valstack[vsp - 1], b);
+        }}
+    }}
+    if (vsp > 0) {{ return valstack[0]; }}
+    return 0;
+}}
+
+int run_file() {{
+    pos = 0;
+    int stmts = 0;
+    next_tok();
+    while (cur_tok != 0) {{
+        // statement: v<N> = expr ;
+        int target = 0;
+        if (cur_tok == 2) {{ target = cur_val; }}
+        next_tok();            // consume target
+        if (cur_tok == 7) {{ next_tok(); }}
+        int value = parse_expr();
+        vars[target] = value;
+        checksum = checksum ^ (value + stmts);
+        stmts = stmts + 1;
+        if (cur_tok == 6) {{ next_tok(); }}
+    }}
+    return stmts;
+}}
+
+int main() {{
+    int total = 0;
+    int round = 0;
+    while (round < {scale}) {{
+        int i = 0;
+        while (i < 16) {{ vars[i] = i * 3; i = i + 1; }}
+        total = total + run_file();
+        round = round + 1;
+    }}
+    print_int(total);
+    print_char(32);
+    print_int(checksum);
+    return 0;
+}}
+",
+    )
+}

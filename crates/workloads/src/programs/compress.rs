@@ -1,0 +1,120 @@
+//! `compress` — LZW-style dictionary compression (SPEC95 129.compress
+//! analog).
+//!
+//! The program synthesizes text from a baked word dictionary with a skewed
+//! word distribution (so the stream is genuinely compressible), then runs
+//! LZW over it: a rolling prefix code, an open-addressing hash table of
+//! `(prefix, symbol)` pairs, and emitted-code accounting. The hot loop is
+//! hash probing — exactly the pointer-and-compare churn the original
+//! benchmark is known for.
+
+use crate::rng::{int_list, XorShift};
+
+/// Slots per dictionary word (length ≤ 7 plus terminator).
+const WORD_STRIDE: usize = 8;
+/// Number of dictionary words.
+const WORDS: usize = 64;
+
+/// Builds the baked word dictionary: `WORDS` words of length 3..=7 over a
+/// 26-letter alphabet, zero-terminated, `WORD_STRIDE` apart.
+fn dictionary(rng: &mut XorShift) -> Vec<i32> {
+    let mut dict = vec![0i32; WORDS * WORD_STRIDE];
+    for w in 0..WORDS {
+        let len = rng.range_i32(3, 8) as usize;
+        for j in 0..len {
+            dict[w * WORD_STRIDE + j] = 97 + rng.range_i32(0, 26); // 'a'..'z'
+        }
+    }
+    dict
+}
+
+/// Generates the Mini source of the compress workload.
+pub fn source(seed: u64, scale: u32) -> String {
+    let mut rng = XorShift::new(seed ^ 0xC04);
+    let dict = int_list(&dictionary(&mut rng));
+    let mini_seed = rng.next_u64() as i32 & 0x3fff_ffff;
+    format!(
+        r"// compress: LZW over synthetic text (129.compress analog)
+int dict[{dict_len}] = {{{dict}}};
+int input[4096];
+int hkey[8192];
+int hcode[8192];
+int rand_state = {mini_seed};
+int checksum = 0;
+
+int next_rand() {{
+    rand_state = rand_state * 1103515245 + 12345;
+    return (rand_state >> 16) & 32767;
+}}
+
+// Fill `input` with words drawn from the dictionary, skewed toward low
+// indices so sequences repeat (compressible text).
+int gen_input() {{
+    int pos = 0;
+    while (pos < 4000) {{
+        int w = next_rand() % 64;
+        int w2 = next_rand() % 64;
+        if (w2 < w) {{ w = w2; }}
+        int j = w * 8;
+        while (dict[j] != 0) {{
+            input[pos] = dict[j];
+            pos = pos + 1;
+            j = j + 1;
+        }}
+        input[pos] = 32;
+        pos = pos + 1;
+    }}
+    return pos;
+}}
+
+int compress(int n) {{
+    int i = 0;
+    while (i < 8192) {{ hkey[i] = 0; i = i + 1; }}
+    int next_code = 256;
+    int prefix = input[0];
+    int count = 0;
+    i = 1;
+    while (i < n) {{
+        int ch = input[i];
+        int key = prefix * 256 + ch + 1;
+        int h = ((key * 40503) >> 4) & 8191;
+        int code = 0 - 1;
+        while (hkey[h] != 0) {{
+            if (hkey[h] == key) {{ code = hcode[h]; break; }}
+            h = (h + 1) & 8191;
+        }}
+        if (code >= 0) {{
+            prefix = code;
+        }} else {{
+            checksum = checksum ^ (prefix * 31 + count);
+            count = count + 1;
+            if (next_code < 4096) {{
+                hkey[h] = key;
+                hcode[h] = next_code;
+                next_code = next_code + 1;
+            }}
+            prefix = ch;
+        }}
+        i = i + 1;
+    }}
+    checksum = checksum ^ prefix;
+    return count;
+}}
+
+int main() {{
+    int total = 0;
+    int round = 0;
+    while (round < {scale}) {{
+        int n = gen_input();
+        total = total + compress(n);
+        round = round + 1;
+    }}
+    print_int(total);
+    print_char(32);
+    print_int(checksum);
+    return 0;
+}}
+",
+        dict_len = WORDS * WORD_STRIDE,
+    )
+}

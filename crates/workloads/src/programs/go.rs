@@ -1,0 +1,232 @@
+//! `go` — board evaluation and group capture on a 9×9 Go board (SPEC95
+//! 099.go analog).
+//!
+//! Alternating colors pick the best of several candidate moves using a
+//! neighbor-pattern evaluation, then dead opponent groups are detected by
+//! explicit-stack flood fill (liberty counting) and captured. Irregular
+//! control flow and array scans dominate — the signature behavior of the
+//! original benchmark.
+
+use crate::rng::XorShift;
+
+/// Generates the Mini source of the go workload.
+pub fn source(seed: u64, scale: u32) -> String {
+    let mut rng = XorShift::new(seed ^ 0x60);
+    let mini_seed = rng.next_u64() as i32 & 0x3fff_ffff;
+    format!(
+        r"// go: 9x9 board, pattern evaluation, flood-fill capture (099.go analog)
+int board[81];
+int stack[81];
+int visited[81];
+int libmark[81];
+int rand_state = {mini_seed};
+int captures = 0;
+int checksum = 0;
+
+int next_rand() {{
+    rand_state = rand_state * 1103515245 + 12345;
+    return (rand_state >> 16) & 32767;
+}}
+
+// Counts liberties of the group containing `pos` (color `color`), using an
+// explicit depth-first stack.
+int liberties(int pos, int color) {{
+    int i = 0;
+    while (i < 81) {{ visited[i] = 0; libmark[i] = 0; i = i + 1; }}
+    int sp = 1;
+    stack[0] = pos;
+    visited[pos] = 1;
+    int libs = 0;
+    while (sp > 0) {{
+        sp = sp - 1;
+        int p = stack[sp];
+        int r = p / 9;
+        int c = p % 9;
+        if (r > 0) {{
+            int q = p - 9;
+            if (board[q] == 0) {{
+                if (libmark[q] == 0) {{ libmark[q] = 1; libs = libs + 1; }}
+            }} else {{
+                if (board[q] == color && visited[q] == 0) {{
+                    visited[q] = 1;
+                    stack[sp] = q;
+                    sp = sp + 1;
+                }}
+            }}
+        }}
+        if (r < 8) {{
+            int q = p + 9;
+            if (board[q] == 0) {{
+                if (libmark[q] == 0) {{ libmark[q] = 1; libs = libs + 1; }}
+            }} else {{
+                if (board[q] == color && visited[q] == 0) {{
+                    visited[q] = 1;
+                    stack[sp] = q;
+                    sp = sp + 1;
+                }}
+            }}
+        }}
+        if (c > 0) {{
+            int q = p - 1;
+            if (board[q] == 0) {{
+                if (libmark[q] == 0) {{ libmark[q] = 1; libs = libs + 1; }}
+            }} else {{
+                if (board[q] == color && visited[q] == 0) {{
+                    visited[q] = 1;
+                    stack[sp] = q;
+                    sp = sp + 1;
+                }}
+            }}
+        }}
+        if (c < 8) {{
+            int q = p + 1;
+            if (board[q] == 0) {{
+                if (libmark[q] == 0) {{ libmark[q] = 1; libs = libs + 1; }}
+            }} else {{
+                if (board[q] == color && visited[q] == 0) {{
+                    visited[q] = 1;
+                    stack[sp] = q;
+                    sp = sp + 1;
+                }}
+            }}
+        }}
+    }}
+    return libs;
+}}
+
+// Removes the group at `pos`; returns the number of stones removed.
+int remove_group(int pos, int color) {{
+    int removed = 0;
+    int sp = 1;
+    stack[0] = pos;
+    board[pos] = 0;
+    removed = 1;
+    while (sp > 0) {{
+        sp = sp - 1;
+        int p = stack[sp];
+        int r = p / 9;
+        int c = p % 9;
+        if (r > 0 && board[p - 9] == color) {{
+            board[p - 9] = 0;
+            removed = removed + 1;
+            stack[sp] = p - 9;
+            sp = sp + 1;
+        }}
+        if (r < 8 && board[p + 9] == color) {{
+            board[p + 9] = 0;
+            removed = removed + 1;
+            stack[sp] = p + 9;
+            sp = sp + 1;
+        }}
+        if (c > 0 && board[p - 1] == color) {{
+            board[p - 1] = 0;
+            removed = removed + 1;
+            stack[sp] = p - 1;
+            sp = sp + 1;
+        }}
+        if (c < 8 && board[p + 1] == color) {{
+            board[p + 1] = 0;
+            removed = removed + 1;
+            stack[sp] = p + 1;
+            sp = sp + 1;
+        }}
+    }}
+    return removed;
+}}
+
+// Cheap move evaluation: friendly contacts, empty space, and a center bias.
+int eval_move(int pos, int color) {{
+    int r = pos / 9;
+    int c = pos % 9;
+    int v = 0;
+    if (r > 0) {{
+        if (board[pos - 9] == color) {{ v = v + 3; }}
+        if (board[pos - 9] == 0) {{ v = v + 1; }}
+    }}
+    if (r < 8) {{
+        if (board[pos + 9] == color) {{ v = v + 3; }}
+        if (board[pos + 9] == 0) {{ v = v + 1; }}
+    }}
+    if (c > 0) {{
+        if (board[pos - 1] == color) {{ v = v + 3; }}
+        if (board[pos - 1] == 0) {{ v = v + 1; }}
+    }}
+    if (c < 8) {{
+        if (board[pos + 1] == color) {{ v = v + 3; }}
+        if (board[pos + 1] == 0) {{ v = v + 1; }}
+    }}
+    int dr = r - 4;
+    if (dr < 0) {{ dr = 0 - dr; }}
+    int dc = c - 4;
+    if (dc < 0) {{ dc = 0 - dc; }}
+    return v * 4 - dr - dc;
+}}
+
+// Captures any dead opponent group adjacent to `pos`.
+int capture_around(int pos, int enemy) {{
+    int taken = 0;
+    int r = pos / 9;
+    int c = pos % 9;
+    if (r > 0 && board[pos - 9] == enemy) {{
+        if (liberties(pos - 9, enemy) == 0) {{ taken = taken + remove_group(pos - 9, enemy); }}
+    }}
+    if (r < 8 && board[pos + 9] == enemy) {{
+        if (liberties(pos + 9, enemy) == 0) {{ taken = taken + remove_group(pos + 9, enemy); }}
+    }}
+    if (c > 0 && board[pos - 1] == enemy) {{
+        if (liberties(pos - 1, enemy) == 0) {{ taken = taken + remove_group(pos - 1, enemy); }}
+    }}
+    if (c < 8 && board[pos + 1] == enemy) {{
+        if (liberties(pos + 1, enemy) == 0) {{ taken = taken + remove_group(pos + 1, enemy); }}
+    }}
+    return taken;
+}}
+
+int play_game(int moves) {{
+    int i = 0;
+    while (i < 81) {{ board[i] = 0; i = i + 1; }}
+    int color = 1;
+    int m = 0;
+    while (m < moves) {{
+        int best_pos = 0 - 1;
+        int best_val = 0 - 1000;
+        int tries = 0;
+        while (tries < 8) {{
+            int cand = next_rand() % 81;
+            if (board[cand] == 0) {{
+                int v = eval_move(cand, color);
+                if (v > best_val) {{ best_val = v; best_pos = cand; }}
+            }}
+            tries = tries + 1;
+        }}
+        if (best_pos >= 0) {{
+            board[best_pos] = color;
+            captures = captures + capture_around(best_pos, 3 - color);
+            // Suicide rule: a move leaving its own group dead is undone.
+            if (liberties(best_pos, color) == 0) {{
+                remove_group(best_pos, color);
+            }}
+        }}
+        color = 3 - color;
+        m = m + 1;
+    }}
+    int sum = 0;
+    i = 0;
+    while (i < 81) {{ sum = sum + board[i] * (i + 1); i = i + 1; }}
+    return sum;
+}}
+
+int main() {{
+    int round = 0;
+    while (round < {scale}) {{
+        checksum = checksum ^ play_game(220);
+        round = round + 1;
+    }}
+    print_int(captures);
+    print_char(32);
+    print_int(checksum);
+    return 0;
+}}
+",
+    )
+}

@@ -1,0 +1,197 @@
+//! `ijpeg` — 8×8 integer DCT, quantization, zigzag + RLE over a synthetic
+//! image (SPEC95 132.ijpeg analog).
+//!
+//! Fixed-point (10-bit) cosine tables are baked in; each 64×64 image is
+//! processed block by block: two 1-D DCT passes, quantization by the JPEG
+//! luminance table (real divisions), zigzag scan, and a zero-run count.
+//! This workload is the multiply/divide-heavy member of the suite.
+
+use crate::rng::{int_list, XorShift};
+
+/// JPEG Annex K luminance quantization table.
+const QUANT: [i32; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// DCT-II basis scaled by 1024: `cos_table[u*8+x] = round(1024·cos((2x+1)uπ/16))`.
+fn cos_table() -> Vec<i32> {
+    let mut t = vec![0i32; 64];
+    for u in 0..8 {
+        for x in 0..8 {
+            let angle = (2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0;
+            t[u * 8 + x] = (1024.0 * angle.cos()).round() as i32;
+        }
+    }
+    t
+}
+
+/// Standard JPEG zigzag scan order for an 8×8 block.
+fn zigzag_order() -> Vec<i32> {
+    let mut order = Vec::with_capacity(64);
+    let (mut r, mut c) = (0i32, 0i32);
+    let mut up = true;
+    for _ in 0..64 {
+        order.push(r * 8 + c);
+        if up {
+            if c == 7 {
+                r += 1;
+                up = false;
+            } else if r == 0 {
+                c += 1;
+                up = false;
+            } else {
+                r -= 1;
+                c += 1;
+            }
+        } else if r == 7 {
+            c += 1;
+            up = true;
+        } else if c == 0 {
+            r += 1;
+            up = true;
+        } else {
+            r += 1;
+            c -= 1;
+        }
+    }
+    order
+}
+
+/// Generates the Mini source of the ijpeg workload.
+pub fn source(seed: u64, scale: u32) -> String {
+    let mut rng = XorShift::new(seed ^ 0x1386);
+    let cos_t = int_list(&cos_table());
+    let quant = int_list(&QUANT);
+    let zigzag = int_list(&zigzag_order());
+    let mini_seed = rng.next_u64() as i32 & 0x3fff_ffff;
+    format!(
+        r"// ijpeg: integer DCT + quantization + zigzag RLE (132.ijpeg analog)
+int cos_t[64] = {{{cos_t}}};
+int quant[64] = {{{quant}}};
+int zigzag[64] = {{{zigzag}}};
+int img[4096];
+int blk[64];
+int tmp[64];
+int coef[64];
+int rand_state = {mini_seed};
+int checksum = 0;
+int nonzeros = 0;
+
+int next_rand() {{
+    rand_state = rand_state * 1103515245 + 12345;
+    return (rand_state >> 16) & 32767;
+}}
+
+// Synthetic image: smooth gradient plus noise, centered around zero.
+int gen_image(int salt) {{
+    int y = 0;
+    while (y < 64) {{
+        int x = 0;
+        while (x < 64) {{
+            int v = (x * 2 + y * 3 + salt) % 160 + (next_rand() & 31) - 96;
+            img[y * 64 + x] = v;
+            x = x + 1;
+        }}
+        y = y + 1;
+    }}
+    return 0;
+}}
+
+// 2-D DCT of `blk` into `coef` via two 1-D passes (10-bit fixed point).
+int dct_block() {{
+    int y = 0;
+    while (y < 8) {{
+        int u = 0;
+        while (u < 8) {{
+            int s = 0;
+            int x = 0;
+            while (x < 8) {{
+                s = s + blk[y * 8 + x] * cos_t[u * 8 + x];
+                x = x + 1;
+            }}
+            tmp[y * 8 + u] = s >> 10;
+            u = u + 1;
+        }}
+        y = y + 1;
+    }}
+    int u = 0;
+    while (u < 8) {{
+        int v = 0;
+        while (v < 8) {{
+            int s = 0;
+            int y2 = 0;
+            while (y2 < 8) {{
+                s = s + tmp[y2 * 8 + u] * cos_t[v * 8 + y2];
+                y2 = y2 + 1;
+            }}
+            coef[v * 8 + u] = s >> 12;
+            v = v + 1;
+        }}
+        u = u + 1;
+    }}
+    return 0;
+}}
+
+// Quantize, zigzag, and run-length-count one block.
+int encode_block() {{
+    int run = 0;
+    int i = 0;
+    while (i < 64) {{
+        int q = coef[zigzag[i]] / quant[zigzag[i]];
+        if (q == 0) {{
+            run = run + 1;
+        }} else {{
+            checksum = checksum ^ (q * 13 + run);
+            nonzeros = nonzeros + 1;
+            run = 0;
+        }}
+        i = i + 1;
+    }}
+    return run;
+}}
+
+int process_image() {{
+    int by = 0;
+    while (by < 8) {{
+        int bx = 0;
+        while (bx < 8) {{
+            int y = 0;
+            while (y < 8) {{
+                int x = 0;
+                while (x < 8) {{
+                    blk[y * 8 + x] = img[(by * 8 + y) * 64 + bx * 8 + x];
+                    x = x + 1;
+                }}
+                y = y + 1;
+            }}
+            dct_block();
+            encode_block();
+            bx = bx + 1;
+        }}
+        by = by + 1;
+    }}
+    return 0;
+}}
+
+int main() {{
+    int round = 0;
+    while (round < {scale}) {{
+        gen_image(round * 7);
+        process_image();
+        round = round + 1;
+    }}
+    print_int(nonzeros);
+    print_char(32);
+    print_int(checksum);
+    return 0;
+}}
+",
+    )
+}

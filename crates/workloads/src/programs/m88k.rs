@@ -1,0 +1,207 @@
+//! `m88k` — an interpreter interpreting an embedded register VM (SPEC95
+//! 124.m88ksim analog: a simulator simulating a processor).
+//!
+//! The Mini program is a fetch/decode/dispatch interpreter for a 16-register
+//! virtual machine whose embedded program computes primes by trial division
+//! and then checksums them. The dispatch `if/else` ladder and the
+//! register/memory traffic reproduce the classic interpreter value patterns
+//! (highly repetitive decode values, strided VM PCs).
+
+use crate::rng::int_list;
+
+/// Encodes one VM instruction: `op<<12 | a<<8 | b<<4 | c`.
+fn enc(op: i32, a: i32, b: i32, c: i32) -> i32 {
+    debug_assert!((0..16).contains(&op) && (0..16).contains(&a));
+    debug_assert!((0..16).contains(&b) && (0..16).contains(&c));
+    (op << 12) | (a << 8) | (b << 4) | c
+}
+
+/// `li ra, imm8`.
+fn li(a: i32, imm: i32) -> i32 {
+    debug_assert!((0..256).contains(&imm));
+    enc(1, a, imm >> 4, imm & 15)
+}
+
+/// `addi ra, simm8` (biased by 128 in the encoding).
+fn addi(a: i32, simm: i32) -> i32 {
+    let biased = simm + 128;
+    debug_assert!((0..256).contains(&biased));
+    enc(15, a, biased >> 4, biased & 15)
+}
+
+/// `jmp target12`.
+fn jmp(target: i32) -> i32 {
+    enc(14, (target >> 8) & 15, (target >> 4) & 15, target & 15)
+}
+
+/// The embedded VM program: count, sum, store and checksum all primes below
+/// the limit in VM register 3 (patched per round by the Mini driver).
+fn vm_program() -> Vec<i32> {
+    vec![
+        /* 0 */ li(1, 2),      // candidate = 2
+        /* 1 */ li(2, 0),      // count = 0
+        /* 2 */ li(3, 200),    // limit (patched per round)
+        /* 3 */ li(7, 0),      // sum = 0
+        /* 4 */ li(8, 100),    // store pointer
+        /* 5 */ li(4, 2),      // outer: divisor = 2
+        /* 6 */ enc(4, 5, 4, 4), // inner: r5 = div*div
+        /* 7 */ enc(13, 1, 5, 0), // if cand < div*div skip next (prime)
+        /* 8 */ jmp(12),
+        /* 9 */ addi(2, 1),    // prime: count++
+        /* 10 */ enc(2, 7, 7, 1), // sum += cand
+        /* 11 */ jmp(20),
+        /* 12 */ enc(5, 5, 1, 4), // q = cand / div
+        /* 13 */ enc(4, 5, 5, 4), // q * div
+        /* 14 */ enc(3, 5, 1, 5), // rem = cand - q*div
+        /* 15 */ enc(12, 5, 1, 2), // if rem != 0 goto 18
+        /* 16 */ jmp(22),      // composite: next candidate
+        /* 17 */ enc(0, 0, 0, 0), // (pad) halt, unreachable
+        /* 18 */ addi(4, 1),   // divisor++
+        /* 19 */ jmp(6),
+        /* 20 */ enc(11, 1, 8, 0), // mem[ptr] = cand
+        /* 21 */ addi(8, 1),   // ptr++
+        /* 22 */ addi(1, 1),   // candidate++
+        /* 23 */ enc(13, 1, 3, 0), // if cand < limit skip next
+        /* 24 */ jmp(26),
+        /* 25 */ jmp(5),
+        /* 26 */ li(9, 100),   // checksum loop over stored primes
+        /* 27 */ li(10, 0),
+        /* 28 */ enc(10, 5, 9, 0), // r5 = mem[r9]
+        /* 29 */ enc(7, 10, 10, 5), // acc ^= r5
+        /* 30 */ addi(9, 1),
+        /* 31 */ enc(13, 9, 8, 0), // if r9 < ptr skip next
+        /* 32 */ jmp(34),
+        /* 33 */ jmp(28),
+        /* 34 */ enc(0, 0, 0, 0), // halt
+    ]
+}
+
+/// Generates the Mini source of the m88k workload.
+pub fn source(_seed: u64, scale: u32) -> String {
+    let mut prog = vm_program();
+    prog.resize(64, 0);
+    let prog_list = int_list(&prog);
+    format!(
+        r"// m88k: register-VM interpreter running a prime sieve (124.m88ksim analog)
+int prog[64] = {{{prog_list}}};
+int vregs[16];
+int vmem[256];
+int checksum = 0;
+
+// One complete VM run; returns retired VM instructions.
+int run_vm(int maxsteps) {{
+    int i = 0;
+    while (i < 16) {{ vregs[i] = 0; i = i + 1; }}
+    int pc = 0;
+    int steps = 0;
+    while (steps < maxsteps) {{
+        int ins = prog[pc];
+        int op = ins >> 12;
+        int a = (ins >> 8) & 15;
+        int b = (ins >> 4) & 15;
+        int c = ins & 15;
+        pc = pc + 1;
+        if (op == 0) {{ break; }}
+        else if (op == 1) {{ vregs[a] = b * 16 + c; }}
+        else if (op == 2) {{ vregs[a] = vregs[b] + vregs[c]; }}
+        else if (op == 3) {{ vregs[a] = vregs[b] - vregs[c]; }}
+        else if (op == 4) {{ vregs[a] = vregs[b] * vregs[c]; }}
+        else if (op == 5) {{ vregs[a] = vregs[b] / vregs[c]; }}
+        else if (op == 6) {{ vregs[a] = vregs[b] & vregs[c]; }}
+        else if (op == 7) {{ vregs[a] = vregs[b] ^ vregs[c]; }}
+        else if (op == 8) {{ vregs[a] = vregs[b] << c; }}
+        else if (op == 9) {{ vregs[a] = vregs[b] >> c; }}
+        else if (op == 10) {{ vregs[a] = vmem[vregs[b] & 255]; }}
+        else if (op == 11) {{ vmem[vregs[b] & 255] = vregs[a]; }}
+        else if (op == 12) {{ if (vregs[a] != 0) {{ pc = b * 16 + c; }} }}
+        else if (op == 13) {{ if (vregs[a] < vregs[b]) {{ pc = pc + 1; }} }}
+        else if (op == 14) {{ pc = a * 256 + b * 16 + c; }}
+        else {{ vregs[a] = vregs[a] + b * 16 + c - 128; }}
+        steps = steps + 1;
+    }}
+    return steps;
+}}
+
+int main() {{
+    int total = 0;
+    int round = 0;
+    while (round < {scale}) {{
+        // Patch the VM program's prime limit: li r3, 150 + (round % 100).
+        prog[2] = 4096 + 3 * 256 + 150 + round % 100;
+        int i = 0;
+        while (i < 256) {{ vmem[i] = 0; i = i + 1; }}
+        total = total + run_vm(1000000);
+        checksum = checksum ^ (vregs[2] * 65536 + vregs[10] + vregs[7]);
+        round = round + 1;
+    }}
+    print_int(total);
+    print_char(32);
+    print_int(checksum);
+    return 0;
+}}
+",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference interpretation of the VM program in Rust, to validate the
+    /// embedded program independently of the Mini toolchain.
+    fn run_reference(limit_patch: i32) -> (i32, i32, i32) {
+        let mut prog = vm_program();
+        prog.resize(64, 0);
+        prog[2] = li(3, limit_patch);
+        let mut regs = [0i32; 16];
+        let mut mem = [0i32; 256];
+        let mut pc = 0usize;
+        for _ in 0..1_000_000 {
+            let ins = prog[pc];
+            let (op, a, b, c) =
+                (ins >> 12, ((ins >> 8) & 15) as usize, ((ins >> 4) & 15) as usize, (ins & 15));
+            pc += 1;
+            match op {
+                0 => break,
+                1 => regs[a] = (b as i32) * 16 + c,
+                2 => regs[a] = regs[b].wrapping_add(regs[c as usize]),
+                3 => regs[a] = regs[b].wrapping_sub(regs[c as usize]),
+                4 => regs[a] = regs[b].wrapping_mul(regs[c as usize]),
+                5 => {
+                    regs[a] = if regs[c as usize] == 0 { 0 } else { regs[b] / regs[c as usize] };
+                }
+                10 => regs[a] = mem[(regs[b] & 255) as usize],
+                11 => mem[(regs[b] & 255) as usize] = regs[a],
+                12
+                    if regs[a] != 0 => {
+                        pc = b * 16 + c as usize;
+                    }
+                13
+                    if regs[a] < regs[b] => {
+                        pc += 1;
+                    }
+                14 => pc = a * 256 + b * 16 + c as usize,
+                15 => regs[a] = regs[a].wrapping_add((b as i32) * 16 + c - 128),
+                7 => regs[a] = regs[b] ^ regs[c as usize],
+                _ => {}
+            }
+        }
+        (regs[2], regs[7], regs[10])
+    }
+
+    #[test]
+    fn vm_program_counts_primes_correctly() {
+        let (count, sum, xorsum) = run_reference(200);
+        let primes: Vec<i32> = (2..200).filter(|&n: &i32| (2..n).all(|d| n % d != 0)).collect();
+        assert_eq!(count, primes.len() as i32);
+        assert_eq!(sum, primes.iter().sum::<i32>());
+        assert_eq!(xorsum, primes.iter().fold(0, |acc, &p| acc ^ p));
+    }
+
+    #[test]
+    fn encodings_are_well_formed() {
+        for &word in &vm_program() {
+            assert!((0..(1 << 16)).contains(&word));
+        }
+    }
+}

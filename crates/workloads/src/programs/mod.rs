@@ -1,0 +1,10 @@
+//! The seven benchmark program generators, one module per SPEC95int
+//! analog.
+
+pub mod cc;
+pub mod compress;
+pub mod go;
+pub mod ijpeg;
+pub mod m88k;
+pub mod perl;
+pub mod xlisp;

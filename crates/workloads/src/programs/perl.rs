@@ -1,0 +1,137 @@
+//! `perl` — string hashing and associative arrays (SPEC95 134.perl
+//! analog, scrabbl.in-flavoured).
+//!
+//! The workload replays a synthetic word stream through an open-addressing
+//! hash table (the associative array at the heart of the original
+//! benchmark's scrabble script), scores each word with a letter-value
+//! table, and maintains a top-8 leaderboard by insertion sort.
+
+use crate::rng::{int_list, XorShift};
+
+/// Scrabble-ish letter values for 'a'..'z'.
+const LETTER_SCORES: [i32; 26] = [
+    1, 3, 3, 2, 1, 4, 2, 4, 1, 8, 5, 1, 3, 1, 1, 3, 10, 1, 1, 1, 1, 4, 4, 8, 4, 10,
+];
+
+const WORD_STRIDE: usize = 8;
+const WORDS: usize = 96;
+
+fn dictionary(rng: &mut XorShift) -> Vec<i32> {
+    let mut dict = vec![0i32; WORDS * WORD_STRIDE];
+    for w in 0..WORDS {
+        let len = rng.range_i32(2, 8) as usize;
+        for j in 0..len {
+            dict[w * WORD_STRIDE + j] = 97 + rng.range_i32(0, 26);
+        }
+    }
+    dict
+}
+
+/// Generates the Mini source of the perl workload.
+pub fn source(seed: u64, scale: u32) -> String {
+    let mut rng = XorShift::new(seed ^ 0x9E21);
+    let dict = int_list(&dictionary(&mut rng));
+    let scores = int_list(&LETTER_SCORES);
+    let mini_seed = rng.next_u64() as i32 & 0x3fff_ffff;
+    format!(
+        r"// perl: word hashing, associative counting, leaderboard (134.perl analog)
+int dict[{dict_len}] = {{{dict}}};
+int score_of[26] = {{{scores}}};
+int hkey[2048];
+int hcount[2048];
+int top_score[8];
+int top_key[8];
+int rand_state = {mini_seed};
+int checksum = 0;
+
+int next_rand() {{
+    rand_state = rand_state * 1103515245 + 12345;
+    return (rand_state >> 16) & 32767;
+}}
+
+// Hash and score one dictionary word; returns its packed key.
+int word_hash(int w) {{
+    int j = w * 8;
+    int h = 5381;
+    while (dict[j] != 0) {{
+        h = h * 33 + dict[j];
+        j = j + 1;
+    }}
+    return h;
+}}
+
+int word_score(int w) {{
+    int j = w * 8;
+    int s = 0;
+    int mult = 1;
+    while (dict[j] != 0) {{
+        s = s + score_of[dict[j] - 97] * mult;
+        mult = mult + 1;
+        j = j + 1;
+    }}
+    return s;
+}}
+
+// Associative increment: returns the new count for the word key.
+int bump(int key) {{
+    int h = (key ^ (key >> 11)) & 2047;
+    while (hkey[h] != 0 && hkey[h] != key) {{
+        h = (h + 1) & 2047;
+    }}
+    if (hkey[h] == 0) {{ hkey[h] = key; hcount[h] = 0; }}
+    hcount[h] = hcount[h] + 1;
+    return hcount[h];
+}}
+
+// Insertion into the top-8 leaderboard (descending).
+int leaderboard(int key, int score) {{
+    int i = 7;
+    if (score <= top_score[7]) {{ return 0; }}
+    while (i > 0 && top_score[i - 1] < score) {{
+        top_score[i] = top_score[i - 1];
+        top_key[i] = top_key[i - 1];
+        i = i - 1;
+    }}
+    top_score[i] = score;
+    top_key[i] = key;
+    return i;
+}}
+
+int main() {{
+    int plays = 0;
+    int round = 0;
+    while (round < {scale}) {{
+        int i = 0;
+        while (i < 2048) {{ hkey[i] = 0; i = i + 1; }}
+        i = 0;
+        while (i < 8) {{ top_score[i] = 0; top_key[i] = 0; i = i + 1; }}
+        int n = 0;
+        while (n < 3000) {{
+            int a = next_rand() % 96;
+            int b = next_rand() % 96;
+            int w = a;
+            if (b < a) {{ w = b; }}
+            int key = word_hash(w);
+            if (key == 0) {{ key = 1; }}
+            int count = bump(key);
+            int s = word_score(w) * count;
+            leaderboard(key, s);
+            plays = plays + 1;
+            n = n + 1;
+        }}
+        i = 0;
+        while (i < 8) {{
+            checksum = checksum ^ (top_score[i] + top_key[i] * 7);
+            i = i + 1;
+        }}
+        round = round + 1;
+    }}
+    print_int(plays);
+    print_char(32);
+    print_int(checksum);
+    return 0;
+}}
+",
+        dict_len = WORDS * WORD_STRIDE,
+    )
+}

@@ -1,0 +1,84 @@
+//! `xlisp` — recursive N-queens over a cons-cell heap (SPEC95 130.li
+//! analog; the paper ran xlisp on 7-queens).
+//!
+//! Solutions are built as cons lists allocated from a bump/wrap heap
+//! (mimicking a Lisp allocator with cheap reclamation); the solver is
+//! genuinely recursive, producing the deep call/return and linked-walk
+//! value patterns the original interpreter exhibits.
+
+/// Generates the Mini source of the xlisp workload.
+pub fn source(_seed: u64, scale: u32) -> String {
+    format!(
+        r"// xlisp: recursive N-queens with cons cells (130.li analog, 7 queens)
+int car[4096];
+int cdr[4096];
+int freep = 0;
+int allocs = 0;
+int solutions = 0;
+int checksum = 0;
+
+int cons(int a, int d) {{
+    int p = freep;
+    freep = freep + 1;
+    if (freep >= 4096) {{ freep = 0; }}
+    car[p] = a;
+    cdr[p] = d;
+    allocs = allocs + 1;
+    return p;
+}}
+
+// Sums the column list hanging off `sol` (a cons chain, -1 = nil).
+int walk(int sol) {{
+    int acc = 0;
+    int depth = 1;
+    while (sol >= 0) {{
+        acc = acc + car[sol] * depth;
+        depth = depth + 1;
+        sol = cdr[sol];
+    }}
+    return acc;
+}}
+
+int queens(int n, int row, int colmask, int diag1, int diag2, int sol) {{
+    if (row == n) {{
+        solutions = solutions + 1;
+        checksum = checksum ^ (walk(sol) + solutions);
+        return 1;
+    }}
+    int count = 0;
+    int col = 0;
+    while (col < n) {{
+        int cbit = 1 << col;
+        int d1 = 1 << (row + col);
+        int d2 = 1 << (row - col + 12);
+        if ((colmask & cbit) == 0 && (diag1 & d1) == 0 && (diag2 & d2) == 0) {{
+            int cell = cons(col, sol);
+            count = count + queens(n, row + 1, colmask | cbit, diag1 | d1, diag2 | d2, cell);
+        }}
+        col = col + 1;
+    }}
+    return count;
+}}
+
+int main() {{
+    int total = 0;
+    int round = 0;
+    while (round < {scale}) {{
+        int n = 5;
+        while (n <= 8) {{
+            freep = 0;    // reclaim the whole heap between boards (cheap GC)
+            total = total + queens(n, 0, 0, 0, 0, 0 - 1);
+            n = n + 1;
+        }}
+        round = round + 1;
+    }}
+    print_int(total);
+    print_char(32);
+    print_int(solutions);
+    print_char(32);
+    print_int(checksum);
+    return 0;
+}}
+",
+    )
+}

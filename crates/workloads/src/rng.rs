@@ -1,0 +1,120 @@
+//! Deterministic pseudo-random generation for workload inputs.
+//!
+//! All workload inputs are generated from fixed seeds so every experiment
+//! in the repository is exactly reproducible. (The programs themselves also
+//! embed a small LCG written in Mini for their runtime-generated data.)
+
+/// A small xorshift64* generator, deterministic across platforms.
+#[derive(Debug, Clone)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Creates a generator; a zero seed is remapped to a fixed constant.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        XorShift { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        self.state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be nonzero).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform `i32` in `lo..hi`.
+    pub fn range_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        debug_assert!(lo < hi);
+        lo + (self.below((hi - lo) as u64) as i32)
+    }
+
+    /// A skewed (roughly Zipf-ish) index in `0..n`: low indices are much
+    /// more likely, mimicking natural-language token frequencies.
+    pub fn skewed(&mut self, n: usize) -> usize {
+        let a = self.below(n as u64) as usize;
+        let b = self.below(n as u64) as usize;
+        a.min(b)
+    }
+}
+
+/// Renders an integer slice as a Mini array initializer body.
+#[must_use]
+pub fn int_list(values: &[i32]) -> String {
+    let mut out = String::with_capacity(values.len() * 4);
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+            if i % 24 == 0 {
+                out.push('\n');
+            }
+        }
+        out.push_str(&v.to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = (0..5).map(|_| XorShift::new(7).next_u64()).collect();
+        let b: Vec<u64> = (0..5).map(|_| XorShift::new(7).next_u64()).collect();
+        assert_eq!(a, b);
+        let mut rng = XorShift::new(7);
+        let seq: Vec<u64> = (0..5).map(|_| rng.next_u64()).collect();
+        assert_ne!(seq[0], seq[1]);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut rng = XorShift::new(0);
+        assert_ne!(rng.next_u64(), 0);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = XorShift::new(3);
+        for _ in 0..1000 {
+            assert!(rng.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn range_inclusive_exclusive() {
+        let mut rng = XorShift::new(5);
+        for _ in 0..1000 {
+            let v = rng.range_i32(-3, 4);
+            assert!((-3..4).contains(&v));
+        }
+    }
+
+    #[test]
+    fn skewed_favours_small_indices() {
+        let mut rng = XorShift::new(11);
+        let n = 64;
+        let mut low = 0;
+        for _ in 0..10_000 {
+            if rng.skewed(n) < n / 4 {
+                low += 1;
+            }
+        }
+        // P(min of two < n/4) = 1 - (3/4)^2 = 7/16 ≈ 0.44.
+        assert!(low > 3_500, "{low}");
+    }
+
+    #[test]
+    fn int_list_renders_commas() {
+        assert_eq!(int_list(&[1, -2, 3]), "1,-2,3");
+        assert_eq!(int_list(&[]), "");
+    }
+}

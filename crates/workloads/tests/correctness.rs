@@ -1,0 +1,103 @@
+//! Workload correctness: every benchmark must halt, produce the same
+//! output at every optimization level (the compiler must not change
+//! results), and exhibit a sane instruction mix.
+
+use dvp_lang::OptLevel;
+use dvp_trace::{InstrCategory, TraceSummary};
+use dvp_workloads::{Benchmark, Workload, CC_INPUTS};
+
+const STEP_BUDGET: u64 = 100_000_000;
+
+#[test]
+fn outputs_agree_across_opt_levels() {
+    for benchmark in Benchmark::ALL {
+        let workload = Workload::reference(benchmark).with_scale(1);
+        let reference = workload.output(OptLevel::O0, STEP_BUDGET).expect("O0 run");
+        assert!(!reference.is_empty(), "{benchmark} printed nothing");
+        for opt in [OptLevel::O1, OptLevel::O2] {
+            let out = workload.output(opt, STEP_BUDGET).expect("optimized run");
+            assert_eq!(out, reference, "{benchmark}: {opt} output diverged from O0");
+        }
+    }
+}
+
+#[test]
+fn traces_are_deterministic() {
+    let workload = Workload::reference(Benchmark::M88k).with_scale(1);
+    let a = workload.trace(OptLevel::O1, STEP_BUDGET).unwrap();
+    let b = workload.trace(OptLevel::O1, STEP_BUDGET).unwrap();
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn predicted_fraction_matches_paper_range() {
+    // Paper Table 2: 62%–84% of dynamic instructions are predicted. Our
+    // toolchain lands in the same region (within a small tolerance).
+    for benchmark in Benchmark::ALL {
+        let workload = Workload::reference(benchmark).with_scale(1);
+        let mut machine = workload.machine(OptLevel::O1).expect("build");
+        let mut predicted = 0u64;
+        machine.run_with(STEP_BUDGET, &mut |_| predicted += 1).expect("run");
+        assert!(machine.halted(), "{benchmark} did not halt");
+        let fraction = predicted as f64 / machine.retired() as f64;
+        assert!(
+            (0.55..=0.92).contains(&fraction),
+            "{benchmark}: predicted fraction {fraction:.2} out of plausible range"
+        );
+    }
+}
+
+#[test]
+fn addsub_and_loads_dominate() {
+    // Paper Tables 4–5: the majority of predicted values come from
+    // add/subtract and load instructions.
+    for benchmark in Benchmark::ALL {
+        let workload = Workload::reference(benchmark).with_scale(1);
+        let trace = workload.trace(OptLevel::O1, STEP_BUDGET).expect("trace");
+        let summary: TraceSummary = trace.into_iter().collect();
+        let addsub = summary.dynamic_fraction(InstrCategory::AddSub);
+        let loads = summary.dynamic_fraction(InstrCategory::Loads);
+        assert!(
+            addsub + loads > 0.40,
+            "{benchmark}: AddSub {addsub:.2} + Loads {loads:.2} should dominate"
+        );
+        assert!(summary.dynamic_count(InstrCategory::Loads) > 0, "{benchmark} has no loads");
+        assert!(summary.dynamic_count(InstrCategory::Shift) > 0, "{benchmark} has no shifts");
+    }
+}
+
+#[test]
+fn every_cc_input_runs_and_differs() {
+    let mut outputs = Vec::new();
+    for (name, _, _) in CC_INPUTS {
+        let workload = Workload::cc_with_input(name).unwrap().with_scale(1);
+        let out = workload.output(OptLevel::O1, STEP_BUDGET).expect("cc input run");
+        outputs.push(out);
+    }
+    // All five inputs must produce distinct results (they are different
+    // "files"), and the counts grow with statement count.
+    let distinct: std::collections::HashSet<&String> = outputs.iter().collect();
+    assert_eq!(distinct.len(), CC_INPUTS.len(), "{outputs:?}");
+}
+
+#[test]
+fn scale_grows_trace_linearly() {
+    let w1 = Workload::reference(Benchmark::Perl).with_scale(1);
+    let w2 = Workload::reference(Benchmark::Perl).with_scale(2);
+    let t1 = w1.trace(OptLevel::O1, STEP_BUDGET).unwrap().len() as f64;
+    let t2 = w2.trace(OptLevel::O1, STEP_BUDGET).unwrap().len() as f64;
+    let ratio = t2 / t1;
+    assert!((1.7..=2.3).contains(&ratio), "scale 2 should ~double the trace: {ratio}");
+}
+
+#[test]
+fn trace_with_streams_the_same_records() {
+    let workload = Workload::reference(Benchmark::Xlisp).with_scale(1);
+    let collected = workload.trace(OptLevel::O1, STEP_BUDGET).unwrap();
+    let mut streamed = Vec::new();
+    workload
+        .trace_with(OptLevel::O1, STEP_BUDGET, &mut |rec| streamed.push(rec))
+        .unwrap();
+    assert_eq!(collected, streamed);
+}

@@ -1,0 +1,40 @@
+//! Property tests for the workload generators: any seed/scale must produce
+//! a compilable program, and the cc input generator must produce parseable
+//! expression files.
+
+use dvp_lang::{compile, OptLevel};
+use dvp_workloads::{Benchmark, Workload};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn every_benchmark_compiles_at_any_small_scale(scale in 1u32..3) {
+        for benchmark in Benchmark::ALL {
+            let workload = Workload::reference(benchmark).with_scale(scale);
+            let src = workload.source();
+            compile(&src, OptLevel::O1)
+                .unwrap_or_else(|e| panic!("{benchmark} at scale {scale}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn sources_mention_their_spec_analog() {
+    for benchmark in Benchmark::ALL {
+        let src = Workload::reference(benchmark).source();
+        assert!(
+            src.contains(benchmark.spec_analog()),
+            "{benchmark} source should cite {}",
+            benchmark.spec_analog()
+        );
+    }
+}
+
+#[test]
+fn scale_is_embedded_in_source() {
+    let w1 = Workload::reference(Benchmark::Go).with_scale(1);
+    let w9 = Workload::reference(Benchmark::Go).with_scale(9);
+    assert_ne!(w1.source(), w9.source());
+}

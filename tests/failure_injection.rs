@@ -1,0 +1,184 @@
+//! Failure injection across the toolchain: every layer must reject bad
+//! input with a meaningful error — never a panic, never silent acceptance.
+
+use dvp::asm::assemble;
+use dvp::lang::{compile, OptLevel};
+use dvp::sim::{Machine, SimError};
+use dvp::trace::io::{read_binary, read_jsonl, write_binary, TraceIoError};
+use dvp::trace::{InstrCategory, Pc, TraceRecord};
+
+// ----- compiler ------------------------------------------------------------
+
+#[test]
+fn compiler_rejects_syntax_error_with_line_number() {
+    let err = compile("int main() { return 0 }", OptLevel::O1).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("line"), "error should locate the problem: {msg}");
+}
+
+#[test]
+fn compiler_rejects_undeclared_variable() {
+    let err = compile("int main() { return nope; }", OptLevel::O0).unwrap_err();
+    assert!(err.to_string().contains("nope"), "{err}");
+}
+
+#[test]
+fn compiler_rejects_wrong_arity_call() {
+    let source = "
+int f(int a, int b) { return a + b; }
+int main() { return f(1); }
+";
+    let err = compile(source, OptLevel::O2).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains('f') && (msg.contains("argument") || msg.contains("arity")), "{msg}");
+}
+
+#[test]
+fn compiler_rejects_assignment_to_rvalue() {
+    let err = compile("int main() { 3 = 4; return 0; }", OptLevel::O1).unwrap_err();
+    assert!(!err.to_string().is_empty());
+}
+
+#[test]
+fn compiler_errors_are_identical_across_opt_levels() {
+    // Optimization must not change *whether* a program is accepted.
+    let bad = "int main() { return undefined_fn(); }";
+    for opt in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
+        assert!(compile(bad, opt).is_err(), "{opt:?} accepted an invalid program");
+    }
+}
+
+// ----- assembler -------------------------------------------------------------
+
+#[test]
+fn assembler_rejects_unknown_mnemonic() {
+    let err = assemble(".text\nmain: frobnicate r1, r2\n").unwrap_err();
+    assert!(err.to_string().contains("frobnicate"), "{err}");
+}
+
+#[test]
+fn assembler_rejects_undefined_label() {
+    let err = assemble(".text\nmain: b nowhere\n").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("nowhere"), "{msg}");
+}
+
+#[test]
+fn assembler_rejects_duplicate_label() {
+    let err = assemble(".text\nmain: nop\nmain: nop\n").unwrap_err();
+    assert!(err.to_string().contains("main"), "{err}");
+}
+
+#[test]
+fn assembler_rejects_bad_register_name() {
+    let err = assemble(".text\nmain: add r99, zero, zero\n").unwrap_err();
+    assert!(!err.to_string().is_empty());
+}
+
+// ----- simulator ---------------------------------------------------------------
+
+#[test]
+fn simulator_faults_on_misaligned_load() {
+    let image = assemble(
+        "
+        .text
+main:   li   t0, 2
+        lw   t1, 1(t0)      # address 3: not word-aligned
+        halt
+",
+    )
+    .expect("assembles");
+    let mut machine = Machine::load(&image);
+    let err = machine.collect_trace(1000).unwrap_err();
+    assert!(
+        matches!(err, SimError::Misaligned { addr: 3, .. }),
+        "expected a misaligned fault, got {err:?}"
+    );
+}
+
+#[test]
+fn simulator_faults_on_executing_data() {
+    // Jumping into .data hits words that do not decode as instructions.
+    let image = assemble(
+        "
+        .text
+main:   la   t0, blob
+        jr   t0
+        halt
+        .data
+blob:   .word 0xffffffff
+",
+    )
+    .expect("assembles");
+    let mut machine = Machine::load(&image);
+    let err = machine.collect_trace(1000).unwrap_err();
+    assert!(
+        matches!(err, SimError::InvalidInstruction { .. } | SimError::MisalignedPc { .. }),
+        "expected an instruction fault, got {err:?}"
+    );
+}
+
+#[test]
+fn simulator_survives_infinite_loop_via_step_budget() {
+    let image = assemble(".text\nmain: b main\n").expect("assembles");
+    let mut machine = Machine::load(&image);
+    // Exhausting the budget is a normal outcome, not a fault.
+    let trace = machine.collect_trace(10_000).expect("no fault");
+    assert!(!machine.halted(), "an infinite loop never halts");
+    // A branch-only loop writes no GPR: the trace stays empty.
+    assert!(trace.is_empty());
+}
+
+#[test]
+fn simulator_faults_on_unknown_syscall() {
+    let image = assemble(".text\nmain: li v0, 77\n syscall 77\n halt\n").expect("assembles");
+    let mut machine = Machine::load(&image);
+    assert!(machine.collect_trace(1000).is_err());
+}
+
+// ----- trace persistence ----------------------------------------------------------
+
+fn sample_records() -> Vec<TraceRecord> {
+    (0..64u64)
+        .map(|i| TraceRecord::new(Pc(0x400000 + i * 4), InstrCategory::AddSub, i * 3))
+        .collect()
+}
+
+#[test]
+fn binary_trace_rejects_truncation() {
+    let records = sample_records();
+    let mut bytes = Vec::new();
+    write_binary(&mut bytes, records.iter()).expect("serializes");
+    bytes.truncate(bytes.len() - 5); // cut mid-record
+    let err = read_binary(bytes.as_slice()).unwrap_err();
+    assert!(
+        matches!(err, TraceIoError::Format { .. } | TraceIoError::Io(_)),
+        "truncation must be detected: {err}"
+    );
+}
+
+#[test]
+fn binary_trace_rejects_garbage_header() {
+    let garbage = b"this is not a trace file at all".to_vec();
+    assert!(read_binary(garbage.as_slice()).is_err());
+}
+
+#[test]
+fn jsonl_trace_rejects_malformed_line() {
+    let text = "{\"pc\":1,\"category\":\"AddSub\",\"value\":2}\nnot json at all\n";
+    let err = read_jsonl(text.as_bytes()).unwrap_err();
+    assert!(matches!(err, TraceIoError::Format { .. } | TraceIoError::Io(_)), "{err}");
+}
+
+#[test]
+fn binary_roundtrip_is_lossless_under_extreme_values() {
+    let records = vec![
+        TraceRecord::new(Pc(0), InstrCategory::Other, 0),
+        TraceRecord::new(Pc(u32::MAX as u64 & !3), InstrCategory::Shift, u64::MAX),
+        TraceRecord::new(Pc(4), InstrCategory::Lui, i64::MIN as u64),
+    ];
+    let mut bytes = Vec::new();
+    write_binary(&mut bytes, records.iter()).expect("serializes");
+    let back = read_binary(bytes.as_slice()).expect("deserializes");
+    assert_eq!(records, back);
+}
