@@ -174,9 +174,8 @@ fn parse_string(tok: &str, line: usize) -> Result<Vec<u8>, AsmError> {
             out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
             continue;
         }
-        let esc = chars
-            .next()
-            .ok_or_else(|| AsmError::new(line, "dangling escape in string literal"))?;
+        let esc =
+            chars.next().ok_or_else(|| AsmError::new(line, "dangling escape in string literal"))?;
         out.push(match esc {
             'n' => b'\n',
             't' => b'\t',
@@ -574,7 +573,12 @@ impl Assembler {
             "b" => {
                 expect_operands(line, 1)?;
                 let offset = self.branch_offset(&parse_value_expr(&ops[0], ln)?, ln)?;
-                self.push(Instr::Branch { op: BranchOp::Beq, rs: Reg::ZERO, rt: Reg::ZERO, offset });
+                self.push(Instr::Branch {
+                    op: BranchOp::Beq,
+                    rs: Reg::ZERO,
+                    rt: Reg::ZERO,
+                    offset,
+                });
             }
             "beqz" | "bnez" => {
                 expect_operands(line, 2)?;
@@ -626,8 +630,8 @@ impl Assembler {
             ".space" => {
                 expect_operands(line, 1)?;
                 let n = parse_number(&line.operands[0], ln)?;
-                let n = usize::try_from(n)
-                    .map_err(|_| AsmError::new(ln, "negative .space size"))?;
+                let n =
+                    usize::try_from(n).map_err(|_| AsmError::new(ln, "negative .space size"))?;
                 self.data.extend(std::iter::repeat_n(0u8, n));
             }
             ".align" => {

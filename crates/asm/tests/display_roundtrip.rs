@@ -49,12 +49,7 @@ fn arb_positionless_instr() -> impl Strategy<Value = Instr> {
             arb_reg()
         )
             .prop_map(|(op, rd, rt, rs)| Instr::ShiftV { op, rd, rt, rs }),
-        (
-            prop_oneof![Just(IOp::Addi), Just(IOp::Slti)],
-            arb_reg(),
-            arb_reg(),
-            any::<i16>()
-        )
+        (prop_oneof![Just(IOp::Addi), Just(IOp::Slti)], arb_reg(), arb_reg(), any::<i16>())
             .prop_map(|(op, rt, rs, imm)| Instr::I { op, rt, rs, imm }),
         // Zero-extended immediates print as signed but reparse as their
         // unsigned bit pattern only when non-negative; restrict to that.

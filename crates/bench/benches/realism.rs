@@ -63,17 +63,13 @@ fn bench_table_size(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(trace.len() as u64));
     for &bits in &bit_widths {
-        group.bench_with_input(
-            BenchmarkId::new("finite_fcm2", 1u64 << bits),
-            &bits,
-            |b, &bits| {
-                b.iter(|| {
-                    let mut p =
-                        FiniteFcmPredictor::new(2, TableSpec::new(bits), TableSpec::new(bits + 4));
-                    black_box(dvp_core::run_trace(&mut p, trace.iter()))
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("finite_fcm2", 1u64 << bits), &bits, |b, &bits| {
+            b.iter(|| {
+                let mut p =
+                    FiniteFcmPredictor::new(2, TableSpec::new(bits), TableSpec::new(bits + 4));
+                black_box(dvp_core::run_trace(&mut p, trace.iter()))
+            });
+        });
     }
     // The unbounded FCM as the timing baseline: finite tables trade accuracy
     // for bounded storage and (usually) faster, allocation-free lookups.

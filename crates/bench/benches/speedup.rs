@@ -17,7 +17,10 @@ fn bench_dataflow_speedup(c: &mut Criterion) {
     let base = dataflow_height(nodes);
 
     eprintln!("\n[ablation] dataflow-limit speedup (xlisp dep trace, {} nodes)", nodes.len());
-    eprintln!("[ablation]   base height {base}  oracle x{:.2}", base as f64 / oracle_height(nodes) as f64);
+    eprintln!(
+        "[ablation]   base height {base}  oracle x{:.2}",
+        base as f64 / oracle_height(nodes) as f64
+    );
     for penalty in [0u64, 5, 20] {
         let l = value_predicted_height(nodes, &mut LastValuePredictor::new(), penalty);
         let s = value_predicted_height(nodes, &mut StridePredictor::two_delta(), penalty);

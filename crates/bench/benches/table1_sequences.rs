@@ -33,20 +33,16 @@ fn bench(c: &mut Criterion) {
     for (class, values) in &sequences {
         for make in 0..predictors().len() {
             let name = predictors()[make].name();
-            group.bench_with_input(
-                BenchmarkId::new(name, class),
-                values,
-                |b, values| {
-                    b.iter(|| {
-                        let mut p = predictors().remove(make);
-                        let mut correct = 0u32;
-                        for &v in values {
-                            correct += u32::from(p.observe(Pc(0), v));
-                        }
-                        black_box(correct)
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, class), values, |b, values| {
+                b.iter(|| {
+                    let mut p = predictors().remove(make);
+                    let mut correct = 0u32;
+                    for &v in values {
+                        correct += u32::from(p.observe(Pc(0), v));
+                    }
+                    black_box(correct)
+                });
+            });
         }
     }
     group.finish();

@@ -30,10 +30,8 @@ fn bench_simulate(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     group.throughput(Throughput::Elements(STEPS));
     for benchmark in [Benchmark::M88k, Benchmark::Go] {
-        let image = Workload::reference(benchmark)
-            .with_scale(1)
-            .build(REFERENCE_OPT)
-            .expect("builds");
+        let image =
+            Workload::reference(benchmark).with_scale(1).build(REFERENCE_OPT).expect("builds");
         group.bench_with_input(
             BenchmarkId::from_parameter(benchmark.name()),
             &image,

@@ -129,10 +129,7 @@ impl ValueProfile {
 
     /// Folds one trace record into the profile.
     pub fn record(&mut self, rec: &TraceRecord) {
-        let entry = self
-            .entries
-            .entry(rec.pc)
-            .or_insert_with(|| (rec.category, HashSet::new(), 0));
+        let entry = self.entries.entry(rec.pc).or_insert_with(|| (rec.category, HashSet::new(), 0));
         entry.1.insert(rec.value);
         entry.2 += 1;
     }

@@ -238,7 +238,9 @@ mod tests {
         values
             .iter()
             .enumerate()
-            .map(|(i, &v)| DepNode::new(rec(0x100, v), [i.checked_sub(1).map(|p| p as u64), None, None]))
+            .map(|(i, &v)| {
+                DepNode::new(rec(0x100, v), [i.checked_sub(1).map(|p| p as u64), None, None])
+            })
             .collect()
     }
 

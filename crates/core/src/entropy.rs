@@ -142,10 +142,7 @@ impl EntropyProfile {
     /// (`ENTROPY_BUCKETS.len()` = the unbounded top bucket).
     #[must_use]
     pub fn bucket_of(entropy: f64) -> usize {
-        ENTROPY_BUCKETS
-            .iter()
-            .position(|&bound| entropy <= bound)
-            .unwrap_or(ENTROPY_BUCKETS.len())
+        ENTROPY_BUCKETS.iter().position(|&bound| entropy <= bound).unwrap_or(ENTROPY_BUCKETS.len())
     }
 
     /// Histograms over the entropy buckets: `(static counts,

@@ -315,11 +315,7 @@ mod tests {
         let seq = repeated_stride(1, 1, 6, 240);
         let two_level = measure_learning(&mut TwoLevelStridePredictor::new(), &seq);
         let plain = measure_learning(&mut StridePredictor::two_delta(), &seq);
-        assert!(
-            two_level.learning_degree > 0.97,
-            "two-level LD {}",
-            two_level.learning_degree
-        );
+        assert!(two_level.learning_degree > 0.97, "two-level LD {}", two_level.learning_degree);
         assert!(plain.learning_degree < 0.90, "plain LD {}", plain.learning_degree);
     }
 

@@ -9,8 +9,7 @@ use std::collections::HashMap;
 /// An order-*k* FCM predictor is built from models of orders *k* down to 0
 /// (an order-0 model is an unconditional value-frequency table). The paper
 /// uses *blending* (Bell, Cleary & Witten) to combine them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Blending {
     /// The prediction comes from the longest matching context, and only the
     /// models at that order **and higher** are updated. This is the variant
@@ -26,10 +25,8 @@ pub enum Blending {
     SingleOrder,
 }
 
-
 /// How value occurrences are counted inside each context.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CounterMode {
     /// Exact, unbounded counts. This is what the paper simulates
     /// ("maintains exact counts for each value that follows a particular
@@ -44,7 +41,6 @@ pub enum CounterMode {
         max: u32,
     },
 }
-
 
 /// Frequency table for a single context: counts per following value, plus a
 /// recency stamp used to break count ties toward the most recent value.
@@ -103,7 +99,10 @@ struct FcmEntry {
 
 impl FcmEntry {
     fn new(order: usize) -> Self {
-        FcmEntry { history: Vec::with_capacity(order), orders: vec![OrderModel::default(); order + 1] }
+        FcmEntry {
+            history: Vec::with_capacity(order),
+            orders: vec![OrderModel::default(); order + 1],
+        }
     }
 
     /// Context of length `ord` taken from the most recent history, if enough
@@ -218,10 +217,7 @@ impl FcmPredictor {
     /// discusses in Section 4.3.
     #[must_use]
     pub fn context_entries(&self) -> usize {
-        self.table
-            .values()
-            .map(|e| e.orders.iter().map(|m| m.contexts.len()).sum::<usize>())
-            .sum()
+        self.table.values().map(|e| e.orders.iter().map(|m| m.contexts.len()).sum::<usize>()).sum()
     }
 }
 
@@ -338,8 +334,7 @@ mod tests {
         let seq = [a, a, a, b, c, a, a, a, b, c, a, a, a];
         // Single-order models exactly as drawn in the figure.
         for (order, expected) in [(0, a), (1, a), (2, a), (3, b)] {
-            let mut p =
-                FcmPredictor::with_config(order, Blending::SingleOrder, CounterMode::Exact);
+            let mut p = FcmPredictor::with_config(order, Blending::SingleOrder, CounterMode::Exact);
             for &v in &seq {
                 p.update(PC, v);
             }
@@ -395,8 +390,7 @@ mod tests {
     #[test]
     fn lazy_exclusion_does_not_update_lower_orders_on_high_match() {
         // Construct a case where lazy exclusion and full blending diverge.
-        let mut lazy =
-            FcmPredictor::with_config(1, Blending::LazyExclusion, CounterMode::Exact);
+        let mut lazy = FcmPredictor::with_config(1, Blending::LazyExclusion, CounterMode::Exact);
         let mut full = FcmPredictor::with_config(1, Blending::Full, CounterMode::Exact);
         // Sequence: 1 2 1 2 1 2 ... then suddenly a fresh context.
         for &v in &[1u64, 2, 1, 2, 1, 2] {
@@ -472,11 +466,7 @@ mod tests {
         assert_eq!(FcmPredictor::new(3).name(), "fcm3");
         let single = FcmPredictor::with_config(2, Blending::SingleOrder, CounterMode::Exact);
         assert_eq!(single.name(), "fcm2-single");
-        let sat = FcmPredictor::with_config(
-            1,
-            Blending::Full,
-            CounterMode::Saturating { max: 16 },
-        );
+        let sat = FcmPredictor::with_config(1, Blending::Full, CounterMode::Saturating { max: 16 });
         assert_eq!(sat.name(), "fcm1-full-sat16");
     }
 

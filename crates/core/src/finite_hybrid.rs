@@ -110,9 +110,7 @@ impl FiniteHybridPredictor {
     /// chooser counters.
     #[must_use]
     pub fn storage_bits(&self) -> u64 {
-        self.stride.storage_bits()
-            + self.fcm.storage_bits()
-            + self.chooser_spec.slots() as u64 * 2
+        self.stride.storage_bits() + self.fcm.storage_bits() + self.chooser_spec.slots() as u64 * 2
     }
 }
 
@@ -205,11 +203,8 @@ mod tests {
         };
         let hybrid = feed(&mut FiniteHybridPredictor::paper_geometry(10));
         let stride_only = feed(&mut FiniteStridePredictor::new(TableSpec::new(10)));
-        let fcm_only = feed(&mut FiniteFcmPredictor::new(
-            2,
-            TableSpec::new(10),
-            TableSpec::new(14),
-        ));
+        let fcm_only =
+            feed(&mut FiniteFcmPredictor::new(2, TableSpec::new(10), TableSpec::new(14)));
         assert!(hybrid > stride_only, "hybrid {hybrid} vs stride {stride_only}");
         assert!(hybrid > fcm_only, "hybrid {hybrid} vs fcm {fcm_only}");
     }

@@ -11,8 +11,7 @@ use std::collections::HashMap;
 /// a new value after (possibly inconsistent) incorrect behavior, whereas the
 /// consecutive-confirmation form switches only after the new value has been
 /// observed several times *in succession*.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum LastValuePolicy {
     /// Replace the stored value on every update. This is the policy the
     /// paper evaluates (predictor "l").
@@ -35,7 +34,6 @@ pub enum LastValuePolicy {
         required: u8,
     },
 }
-
 
 #[derive(Debug, Clone)]
 struct LastValueEntry {

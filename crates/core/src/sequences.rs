@@ -148,8 +148,8 @@ pub fn classify(values: &[Value]) -> SequenceClass {
             // A period of < 3 values cannot evidence a stride (any two
             // values trivially form one), so alternations are non-stride.
             let pd = period.get(1).map(|v| v.wrapping_sub(period[0]));
-            let is_stride_run = p >= 3
-                && period.windows(2).all(|w| Some(w[1].wrapping_sub(w[0])) == pd);
+            let is_stride_run =
+                p >= 3 && period.windows(2).all(|w| Some(w[1].wrapping_sub(w[0])) == pd);
             return if is_stride_run {
                 SequenceClass::RepeatedStride
             } else {
@@ -283,10 +283,7 @@ mod tests {
         assert_eq!(classify(&stride(3, 4, 10)), SequenceClass::Stride);
         assert_eq!(classify(&non_stride(7, 32)), SequenceClass::NonStride);
         assert_eq!(classify(&repeated_stride(1, 1, 3, 12)), SequenceClass::RepeatedStride);
-        assert_eq!(
-            classify(&repeated_non_stride(5, 4, 16)),
-            SequenceClass::RepeatedNonStride
-        );
+        assert_eq!(classify(&repeated_non_stride(5, 4, 16)), SequenceClass::RepeatedNonStride);
     }
 
     #[test]

@@ -5,8 +5,7 @@ use dvp_trace::{Pc, Value};
 use std::collections::HashMap;
 
 /// Update policy of a [`StridePredictor`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum StridePolicy {
     /// Always recompute the stride from the two most recent values.
     ///
@@ -32,7 +31,6 @@ pub enum StridePolicy {
     #[default]
     TwoDelta,
 }
-
 
 #[derive(Debug, Clone)]
 struct StrideEntry {

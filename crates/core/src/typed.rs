@@ -107,9 +107,7 @@ impl TypedHybridPredictor {
                 _ => Box::new(FcmPredictor::new(fcm_order)),
             }
         };
-        TypedHybridPredictor {
-            components: InstrCategory::ALL.map(component),
-        }
+        TypedHybridPredictor { components: InstrCategory::ALL.map(component) }
     }
 
     /// The component serving `category`.

@@ -196,7 +196,8 @@ mod tests {
 
     #[test]
     fn renders_contain_all_benchmarks() {
-        let mut store = TraceStore::with_scale_div(1000).with_record_cap(if cfg!(debug_assertions) { 25_000 } else { 150_000 });
+        let mut store = TraceStore::with_scale_div(1000)
+            .with_record_cap(if cfg!(debug_assertions) { 25_000 } else { 150_000 });
         let results = run(&mut store).unwrap();
         let text = results.render_overall();
         for benchmark in Benchmark::ALL {

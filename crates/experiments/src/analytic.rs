@@ -103,23 +103,17 @@ impl Table1 {
     /// Renders the table (measured beside the paper's analytic values).
     #[must_use]
     pub fn render(&self) -> String {
-        let mut table = TextTable::new(vec![
-            "Sequence", "l LT", "l LD%", "s LT", "s LD%", "fcm LT", "fcm LD%",
-        ]);
+        let mut table =
+            TextTable::new(vec!["Sequence", "l LT", "l LD%", "s LT", "s LD%", "fcm LT", "fcm LD%"]);
         for row in &self.rows {
             let mut cells = vec![row.class.code().to_owned()];
             for (i, (_, learning)) in row.measured.iter().enumerate() {
                 let analytic = Self::paper_analytic(row.class)[i].clone();
                 match analytic {
                     Some((lt, ld)) => {
-                        let mlt = learning
-                            .learning_time
-                            .map_or("-".to_owned(), |t| t.to_string());
+                        let mlt = learning.learning_time.map_or("-".to_owned(), |t| t.to_string());
                         cells.push(format!("{mlt} (paper {lt})"));
-                        cells.push(format!(
-                            "{:.0} (paper {ld})",
-                            learning.learning_degree * 100.0
-                        ));
+                        cells.push(format!("{:.0} (paper {ld})", learning.learning_degree * 100.0));
                     }
                     None => {
                         // The paper marks these unusable; report measured

@@ -8,8 +8,8 @@
 //! ```
 
 use dvp_experiments::{
-    accuracy, analytic, characterize, information, overlap, realism, sensitivity, speedup,
-    values, TraceStore,
+    accuracy, analytic, characterize, information, overlap, realism, sensitivity, speedup, values,
+    TraceStore,
 };
 use dvp_trace::InstrCategory;
 use std::process::ExitCode;
@@ -20,15 +20,8 @@ const EXPERIMENTS: [&str; 16] = [
 ];
 // table7, figure11 and the extension experiments are also available;
 // EXPERIMENTS keeps the paper order for `all`.
-const EXTRA: [&str; 7] = [
-    "table7",
-    "figure11",
-    "ext-tables",
-    "ext-delay",
-    "ext-locality",
-    "ext-entropy",
-    "ext-speedup",
-];
+const EXTRA: [&str; 7] =
+    ["table7", "figure11", "ext-tables", "ext-delay", "ext-locality", "ext-entropy", "ext-speedup"];
 
 struct Harness {
     store: TraceStore,
@@ -116,11 +109,8 @@ fn main() -> ExitCode {
         args
     };
 
-    let mut harness = Harness {
-        store: TraceStore::with_scale_div(scale_div),
-        accuracy: None,
-        overlap: None,
-    };
+    let mut harness =
+        Harness { store: TraceStore::with_scale_div(scale_div), accuracy: None, overlap: None };
     for id in &ids {
         match harness.run(id) {
             Some(text) => {

@@ -158,7 +158,11 @@ mod tests {
     use super::*;
 
     fn small_store() -> TraceStore {
-        TraceStore::with_scale_div(1000).with_record_cap(if cfg!(debug_assertions) { 25_000 } else { 150_000 }) // min scale 1 everywhere
+        TraceStore::with_scale_div(1000).with_record_cap(if cfg!(debug_assertions) {
+            25_000
+        } else {
+            150_000
+        }) // min scale 1 everywhere
     }
 
     #[test]
@@ -186,8 +190,7 @@ mod tests {
         let mut store = small_store();
         let t = table45(&mut store).unwrap();
         for (benchmark, summary) in &t.summaries {
-            let total: f64 =
-                InstrCategory::ALL.iter().map(|&c| summary.dynamic_fraction(c)).sum();
+            let total: f64 = InstrCategory::ALL.iter().map(|&c| summary.dynamic_fraction(c)).sum();
             assert!((total - 1.0).abs() < 1e-9, "{benchmark}");
         }
         assert!(t.render_static().contains("Table 4"));

@@ -53,8 +53,7 @@ pub fn locality(store: &mut TraceStore) -> Result<LocalityResults, BuildError> {
         for rec in store.trace(benchmark)? {
             profile.record(rec);
         }
-        let series: Vec<f64> =
-            LOCALITY_DEPTHS.iter().map(|&d| profile.locality(d, None)).collect();
+        let series: Vec<f64> = LOCALITY_DEPTHS.iter().map(|&d| profile.locality(d, None)).collect();
         rows.push((benchmark, series));
     }
     Ok(LocalityResults { rows })
@@ -181,8 +180,11 @@ mod tests {
     use super::*;
 
     fn test_store() -> TraceStore {
-        TraceStore::with_scale_div(1000)
-            .with_record_cap(if cfg!(debug_assertions) { 20_000 } else { 100_000 })
+        TraceStore::with_scale_div(1000).with_record_cap(if cfg!(debug_assertions) {
+            20_000
+        } else {
+            100_000
+        })
     }
 
     #[test]

@@ -72,11 +72,8 @@ impl OverlapResults {
     /// correct-set is exactly `mask`, within `category`.
     #[must_use]
     pub fn mean_subset_fraction(&self, category: Option<InstrCategory>, mask: u32) -> f64 {
-        let fractions: Vec<f64> = self
-            .per_benchmark
-            .iter()
-            .map(|(_, set)| set.subset_fraction(category, mask))
-            .collect();
+        let fractions: Vec<f64> =
+            self.per_benchmark.iter().map(|(_, set)| set.subset_fraction(category, mask)).collect();
         fractions.iter().sum::<f64>() / fractions.len() as f64
     }
 
@@ -120,7 +117,8 @@ impl OverlapResults {
         let cat_curves: Vec<Vec<ImprovementPoint>> =
             SHOWN_CATEGORIES.iter().map(|&c| self.figure9_curve(Some(c))).collect();
         for s in samples {
-            let mut cells = vec![format!("{s:.0}"), format!("{:.1}", improvement_at(&all_curve, s))];
+            let mut cells =
+                vec![format!("{s:.0}"), format!("{:.1}", improvement_at(&all_curve, s))];
             cells.extend(cat_curves.iter().map(|c| format!("{:.1}", improvement_at(c, s))));
             table.row(cells);
         }
@@ -156,10 +154,10 @@ mod tests {
 
     #[test]
     fn subset_fractions_partition_unity() {
-        let mut store = TraceStore::with_scale_div(1000).with_record_cap(if cfg!(debug_assertions) { 25_000 } else { 150_000 });
+        let mut store = TraceStore::with_scale_div(1000)
+            .with_record_cap(if cfg!(debug_assertions) { 25_000 } else { 150_000 });
         let results = run(&mut store).unwrap();
-        let total: f64 =
-            SUBSETS.iter().map(|&(_, m)| results.mean_subset_fraction(None, m)).sum();
+        let total: f64 = SUBSETS.iter().map(|&(_, m)| results.mean_subset_fraction(None, m)).sum();
         assert!((total - 1.0).abs() < 1e-9, "{total}");
     }
 
@@ -179,7 +177,8 @@ mod tests {
 
     #[test]
     fn improvement_concentrates_in_few_statics() {
-        let mut store = TraceStore::with_scale_div(1000).with_record_cap(if cfg!(debug_assertions) { 25_000 } else { 150_000 });
+        let mut store = TraceStore::with_scale_div(1000)
+            .with_record_cap(if cfg!(debug_assertions) { 25_000 } else { 150_000 });
         let results = run(&mut store).unwrap();
         let at20 = results.improvement_at_20pct();
         assert!(at20 > 60.0, "20% of statics should cover most improvement: {at20}");

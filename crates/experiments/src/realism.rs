@@ -255,8 +255,11 @@ mod tests {
     use super::*;
 
     fn test_store() -> TraceStore {
-        TraceStore::with_scale_div(1000)
-            .with_record_cap(if cfg!(debug_assertions) { 20_000 } else { 100_000 })
+        TraceStore::with_scale_div(1000).with_record_cap(if cfg!(debug_assertions) {
+            20_000
+        } else {
+            100_000
+        })
     }
 
     #[test]

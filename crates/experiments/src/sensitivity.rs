@@ -1,7 +1,7 @@
 //! Sensitivity studies on the gcc-like workload: Table 6 (input files),
 //! Table 7 (compiler flags), and Figure 11 (FCM order sweep).
 
-use crate::context::{REFERENCE_OPT, STEP_BUDGET, TraceStore};
+use crate::context::{TraceStore, REFERENCE_OPT, STEP_BUDGET};
 use crate::table_fmt::{pct, TextTable};
 use dvp_core::{FcmPredictor, Predictor};
 use dvp_lang::OptLevel;
@@ -80,11 +80,7 @@ impl Table6 {
     pub fn render(&self) -> String {
         let mut table = TextTable::new(vec!["File", "Predictions", "Correct %"]);
         for row in &self.rows {
-            table.row(vec![
-                row.input.clone(),
-                row.predictions.to_string(),
-                pct(row.accuracy),
-            ]);
+            table.row(vec![row.input.clone(), row.predictions.to_string(), pct(row.accuracy)]);
         }
         format!(
             "Table 6: sensitivity of cc (gcc analog) to different input files\n\
@@ -208,8 +204,7 @@ impl Figure11 {
     /// than ~the previous one's (with a small tolerance for noise).
     #[must_use]
     pub fn gains_diminish(&self) -> bool {
-        let gains: Vec<f64> =
-            self.points.windows(2).map(|w| w[1].1 - w[0].1).collect();
+        let gains: Vec<f64> = self.points.windows(2).map(|w| w[1].1 - w[0].1).collect();
         gains.windows(2).all(|g| g[1] <= g[0] + 0.02)
     }
 }
@@ -220,8 +215,11 @@ mod tests {
 
     #[test]
     fn table6_small_variation_across_inputs() {
-        let store = TraceStore::with_scale_div(1000)
-            .with_record_cap(if cfg!(debug_assertions) { 25_000 } else { 150_000 });
+        let store = TraceStore::with_scale_div(1000).with_record_cap(if cfg!(debug_assertions) {
+            25_000
+        } else {
+            150_000
+        });
         let t = table6(&store).unwrap();
         assert_eq!(t.rows.len(), 5);
         for row in &t.rows {
@@ -233,8 +231,11 @@ mod tests {
 
     #[test]
     fn table7_small_variation_across_flags() {
-        let store = TraceStore::with_scale_div(1000)
-            .with_record_cap(if cfg!(debug_assertions) { 25_000 } else { 150_000 });
+        let store = TraceStore::with_scale_div(1000).with_record_cap(if cfg!(debug_assertions) {
+            25_000
+        } else {
+            150_000
+        });
         let t = table7(&store).unwrap();
         assert_eq!(t.rows.len(), 3);
         assert!(t.accuracy_spread() < 0.15, "spread {}", t.accuracy_spread());
@@ -243,7 +244,8 @@ mod tests {
 
     #[test]
     fn figure11_best_order_beats_order_one() {
-        let mut store = TraceStore::with_scale_div(1000).with_record_cap(if cfg!(debug_assertions) { 25_000 } else { 150_000 });
+        let mut store = TraceStore::with_scale_div(1000)
+            .with_record_cap(if cfg!(debug_assertions) { 25_000 } else { 150_000 });
         let f = figure11(&mut store).unwrap();
         assert_eq!(f.points.len(), 8);
         // On short traces high orders pay their longer learning time, so

@@ -71,8 +71,7 @@ pub fn run(store: &TraceStore) -> Result<SpeedupResults, BuildError> {
     let mut rows = Vec::with_capacity(Benchmark::ALL.len());
     for benchmark in Benchmark::ALL {
         let mut machine = store.workload(benchmark).machine(REFERENCE_OPT)?;
-        let mut nodes =
-            collect_dataflow(&mut machine, STEP_BUDGET).map_err(BuildError::Sim)?;
+        let mut nodes = collect_dataflow(&mut machine, STEP_BUDGET).map_err(BuildError::Sim)?;
         if let Some(cap) = store.record_cap() {
             nodes.truncate(cap);
         }
@@ -111,9 +110,8 @@ impl SpeedupResults {
     /// Renders the speedup table.
     #[must_use]
     pub fn render(&self) -> String {
-        let mut table = TextTable::new(vec![
-            "bench", "nodes", "height", "ipc", "l", "s2", "fcm3", "oracle",
-        ]);
+        let mut table =
+            TextTable::new(vec!["bench", "nodes", "height", "ipc", "l", "s2", "fcm3", "oracle"]);
         for row in &self.rows {
             table.row(vec![
                 row.benchmark.name().to_owned(),
@@ -160,8 +158,11 @@ mod tests {
 
     #[test]
     fn speedups_are_ordered_and_meaningful() {
-        let store = TraceStore::with_scale_div(1000)
-            .with_record_cap(if cfg!(debug_assertions) { 20_000 } else { 100_000 });
+        let store = TraceStore::with_scale_div(1000).with_record_cap(if cfg!(debug_assertions) {
+            20_000
+        } else {
+            100_000
+        });
         let results = run(&store).unwrap();
         assert_eq!(results.rows.len(), 7);
         for row in &results.rows {

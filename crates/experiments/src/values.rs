@@ -24,8 +24,11 @@ pub fn run(store: &mut TraceStore) -> Result<ValueResults, BuildError> {
     let mut profile = ValueProfile::new();
     for (index, benchmark) in Benchmark::ALL.into_iter().enumerate() {
         for rec in store.trace(benchmark)? {
-            let namespaced =
-                TraceRecord::new(Pc(rec.pc.0 | ((index as u64 + 1) << 32)), rec.category, rec.value);
+            let namespaced = TraceRecord::new(
+                Pc(rec.pc.0 | ((index as u64 + 1) << 32)),
+                rec.category,
+                rec.value,
+            );
             profile.record(&namespaced);
         }
     }
@@ -48,7 +51,8 @@ impl ValueResults {
         let mut table = TextTable::new(header);
         let mut columns = vec![self.profile.histograms(None)];
         columns.extend(SHOWN_CATEGORIES.iter().map(|&c| self.profile.histograms(Some(c))));
-        let select = |pair: &(Vec<u64>, Vec<u64>)| if dynamic { pair.1.clone() } else { pair.0.clone() };
+        let select =
+            |pair: &(Vec<u64>, Vec<u64>)| if dynamic { pair.1.clone() } else { pair.0.clone() };
         let hists: Vec<Vec<u64>> = columns.iter().map(select).collect();
         let totals: Vec<u64> = hists.iter().map(|h| h.iter().sum()).collect();
         for (i, label) in Self::bucket_labels().into_iter().enumerate() {
@@ -99,7 +103,8 @@ mod tests {
 
     #[test]
     fn matches_paper_shape() {
-        let mut store = TraceStore::with_scale_div(1000).with_record_cap(if cfg!(debug_assertions) { 25_000 } else { 150_000 });
+        let mut store = TraceStore::with_scale_div(1000)
+            .with_record_cap(if cfg!(debug_assertions) { 25_000 } else { 150_000 });
         let results = run(&mut store).unwrap();
         // Paper: a large fraction of statics produce a single value, and
         // most dynamics come from statics with bounded value sets.

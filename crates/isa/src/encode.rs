@@ -286,14 +286,26 @@ mod tests {
             v.push(Instr::I { op, rt: Reg::T5, rs: Reg::T6, imm: -1234 });
         }
         v.push(Instr::Lui { rt: Reg::GP, imm: 0xdead });
-        for op in
-            [MemOp::Lb, MemOp::Lbu, MemOp::Lh, MemOp::Lhu, MemOp::Lw, MemOp::Sb, MemOp::Sh, MemOp::Sw]
-        {
+        for op in [
+            MemOp::Lb,
+            MemOp::Lbu,
+            MemOp::Lh,
+            MemOp::Lhu,
+            MemOp::Lw,
+            MemOp::Sb,
+            MemOp::Sh,
+            MemOp::Sw,
+        ] {
             v.push(Instr::Mem { op, rt: Reg::T7, base: Reg::SP, offset: -8 });
         }
-        for op in
-            [BranchOp::Beq, BranchOp::Bne, BranchOp::Blt, BranchOp::Bge, BranchOp::Bltu, BranchOp::Bgeu]
-        {
+        for op in [
+            BranchOp::Beq,
+            BranchOp::Bne,
+            BranchOp::Blt,
+            BranchOp::Bge,
+            BranchOp::Bltu,
+            BranchOp::Bgeu,
+        ] {
             v.push(Instr::Branch { op, rs: Reg::A0, rt: Reg::A1, offset: -3 });
         }
         v.push(Instr::J { target: 0x123456 });

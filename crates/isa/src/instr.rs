@@ -486,7 +486,10 @@ mod tests {
             (Instr::Mem { op: MemOp::Lbu, rt: Reg::T0, base: Reg::SP, offset: 0 }, Some(C::Loads)),
             (Instr::R { op: ROp::Nor, rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 }, Some(C::Logic)),
             (Instr::Shift { op: ShiftOp::Sra, rd: Reg::T0, rt: Reg::T1, shamt: 3 }, Some(C::Shift)),
-            (Instr::ShiftV { op: ShiftOp::Sll, rd: Reg::T0, rt: Reg::T1, rs: Reg::T2 }, Some(C::Shift)),
+            (
+                Instr::ShiftV { op: ShiftOp::Sll, rd: Reg::T0, rt: Reg::T1, rs: Reg::T2 },
+                Some(C::Shift),
+            ),
             (Instr::R { op: ROp::Slt, rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 }, Some(C::Set)),
             (Instr::R { op: ROp::Div, rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 }, Some(C::MultDiv)),
             (Instr::Lui { rt: Reg::T0, imm: 1 }, Some(C::Lui)),

@@ -66,14 +66,30 @@ fn arb_branch() -> impl Strategy<Value = BranchOp> {
 
 fn arb_instr() -> impl Strategy<Value = Instr> {
     prop_oneof![
-        (arb_rop(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs, rt)| Instr::R { op, rd, rs, rt }),
-        (arb_shift(), arb_reg(), arb_reg(), 0u8..32)
-            .prop_map(|(op, rd, rt, shamt)| Instr::Shift { op, rd, rt, shamt }),
-        (arb_shift(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rt, rs)| Instr::ShiftV { op, rd, rt, rs }),
-        (arb_iop(), arb_reg(), arb_reg(), any::<i16>())
-            .prop_map(|(op, rt, rs, imm)| Instr::I { op, rt, rs, imm }),
+        (arb_rop(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs, rt)| Instr::R {
+            op,
+            rd,
+            rs,
+            rt
+        }),
+        (arb_shift(), arb_reg(), arb_reg(), 0u8..32).prop_map(|(op, rd, rt, shamt)| Instr::Shift {
+            op,
+            rd,
+            rt,
+            shamt
+        }),
+        (arb_shift(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rt, rs)| Instr::ShiftV {
+            op,
+            rd,
+            rt,
+            rs
+        }),
+        (arb_iop(), arb_reg(), arb_reg(), any::<i16>()).prop_map(|(op, rt, rs, imm)| Instr::I {
+            op,
+            rt,
+            rs,
+            imm
+        }),
         (arb_reg(), any::<u16>()).prop_map(|(rt, imm)| Instr::Lui { rt, imm }),
         (arb_memop(), arb_reg(), arb_reg(), any::<i16>())
             .prop_map(|(op, rt, base, offset)| Instr::Mem { op, rt, base, offset }),

@@ -188,8 +188,7 @@ mod tests {
     fn errors_carry_lines() {
         // Parse errors carry the exact line; semantic errors carry the
         // enclosing function's line.
-        let parse_err =
-            compile("int main() {\n  int x = ;\n}", OptLevel::O0).unwrap_err();
+        let parse_err = compile("int main() {\n  int x = ;\n}", OptLevel::O0).unwrap_err();
         assert_eq!(parse_err.line, 2);
         let sema_err =
             compile("int main() {\n  oops();\n  return 0;\n}", OptLevel::O0).unwrap_err();

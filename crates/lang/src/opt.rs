@@ -26,9 +26,7 @@ pub fn fold_expr(expr: Expr) -> Expr {
     match expr {
         Expr::Int(_) | Expr::Var(_) => expr,
         Expr::Index(name, index) => Expr::Index(name, Box::new(fold_expr(*index))),
-        Expr::Call(name, args) => {
-            Expr::Call(name, args.into_iter().map(fold_expr).collect())
-        }
+        Expr::Call(name, args) => Expr::Call(name, args.into_iter().map(fold_expr).collect()),
         Expr::Unary(op, inner) => {
             let inner = fold_expr(*inner);
             match (&op, &inner) {
@@ -141,9 +139,7 @@ fn optimize_stmts(stmts: &mut Vec<Stmt>) {
 /// Folds one statement; returns `None` if the statement is dead.
 fn fold_stmt(stmt: Stmt) -> Option<Stmt> {
     Some(match stmt {
-        Stmt::DeclScalar { name, init } => {
-            Stmt::DeclScalar { name, init: init.map(fold_expr) }
-        }
+        Stmt::DeclScalar { name, init } => Stmt::DeclScalar { name, init: init.map(fold_expr) },
         Stmt::DeclArray { .. } | Stmt::Break | Stmt::Continue => stmt,
         Stmt::Assign { name, value } => Stmt::Assign { name, value: fold_expr(value) },
         Stmt::AssignIndex { name, index, value } => {
@@ -222,11 +218,7 @@ mod tests {
     fn folds_constant_arithmetic() {
         assert_eq!(fold_expr(Expr::binary(BinOp::Add, int(2), int(3))), int(5));
         assert_eq!(
-            fold_expr(Expr::binary(
-                BinOp::Mul,
-                Expr::binary(BinOp::Add, int(1), int(2)),
-                int(4)
-            )),
+            fold_expr(Expr::binary(BinOp::Mul, Expr::binary(BinOp::Add, int(1), int(2)), int(4))),
             int(12)
         );
     }

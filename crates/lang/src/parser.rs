@@ -15,11 +15,7 @@ impl Parser {
     }
 
     fn line(&self) -> usize {
-        self.tokens
-            .get(self.pos)
-            .or_else(|| self.tokens.last())
-            .map(|s| s.line)
-            .unwrap_or(1)
+        self.tokens.get(self.pos).or_else(|| self.tokens.last()).map(|s| s.line).unwrap_or(1)
     }
 
     fn next(&mut self) -> Option<Token> {
@@ -435,10 +431,7 @@ mod tests {
         assert_eq!(p.globals.len(), 5);
         assert_eq!(p.globals[1], Global::Scalar { name: "y".into(), value: 5 });
         assert_eq!(p.globals[2], Global::Scalar { name: "z".into(), value: -3 });
-        assert_eq!(
-            p.globals[4],
-            Global::Array { name: "b".into(), size: 3, init: vec![1, 2, 3] }
-        );
+        assert_eq!(p.globals[4], Global::Array { name: "b".into(), size: 3, init: vec![1, 2, 3] });
     }
 
     #[test]
@@ -447,7 +440,11 @@ mod tests {
         let Stmt::Return(Some(e)) = &p.functions[0].body[0] else { panic!() };
         assert_eq!(
             *e,
-            Expr::binary(BinOp::Add, Expr::Int(1), Expr::binary(BinOp::Mul, Expr::Int(2), Expr::Int(3)))
+            Expr::binary(
+                BinOp::Add,
+                Expr::Int(1),
+                Expr::binary(BinOp::Mul, Expr::Int(2), Expr::Int(3))
+            )
         );
     }
 
@@ -457,7 +454,11 @@ mod tests {
         let Stmt::Return(Some(e)) = &p.functions[0].body[0] else { panic!() };
         assert_eq!(
             *e,
-            Expr::binary(BinOp::Lt, Expr::binary(BinOp::Shl, Expr::Int(1), Expr::Int(2)), Expr::Int(3))
+            Expr::binary(
+                BinOp::Lt,
+                Expr::binary(BinOp::Shl, Expr::Int(1), Expr::Int(2)),
+                Expr::Int(3)
+            )
         );
     }
 
@@ -483,8 +484,9 @@ mod tests {
 
     #[test]
     fn for_loop_with_decl_init() {
-        let p = parse("int main() { for (int i = 0; i < 10; i = i + 1) { print_int(i); } return 0; }")
-            .unwrap();
+        let p =
+            parse("int main() { for (int i = 0; i < 10; i = i + 1) { print_int(i); } return 0; }")
+                .unwrap();
         let Stmt::For { init, cond, step, body } = &p.functions[0].body[0] else { panic!() };
         assert!(matches!(init.as_deref(), Some(Stmt::DeclScalar { .. })));
         assert!(cond.is_some());
@@ -517,7 +519,9 @@ mod tests {
     #[test]
     fn call_statement() {
         let p = parse("int main() { print_int(42); return 0; }").unwrap();
-        assert!(matches!(&p.functions[0].body[0], Stmt::Expr(Expr::Call(n, _)) if n == "print_int"));
+        assert!(
+            matches!(&p.functions[0].body[0], Stmt::Expr(Expr::Call(n, _)) if n == "print_int")
+        );
     }
 
     #[test]

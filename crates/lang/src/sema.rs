@@ -112,9 +112,9 @@ impl Checker<'_> {
                 VarKind::Array => match arg {
                     Expr::Var(arg_name) if self.lookup(arg_name) == Some(VarKind::Array) => {}
                     Expr::Var(arg_name) => {
-                        return Err(self.err(format!(
-                            "argument `{arg_name}` to `{name}` must be an array"
-                        )));
+                        return Err(
+                            self.err(format!("argument `{arg_name}` to `{name}` must be an array"))
+                        );
                     }
                     _ => {
                         return Err(self.err(format!(
@@ -377,9 +377,7 @@ mod tests {
 
     #[test]
     fn array_param_requires_array_argument() {
-        assert!(
-            check_src("int f(int a[]) { return a[0]; } int main() { return f(3); }").is_err()
-        );
+        assert!(check_src("int f(int a[]) { return a[0]; } int main() { return f(3); }").is_err());
         assert!(check_src(
             "int f(int a[]) { return a[0]; } int main() { int x = 0; return f(x); }"
         )
@@ -388,8 +386,9 @@ mod tests {
 
     #[test]
     fn scalar_param_rejects_array_argument() {
-        assert!(check_src("int g[2]; int f(int x) { return x; } int main() { return f(g); }")
-            .is_err());
+        assert!(
+            check_src("int g[2]; int f(int x) { return x; } int main() { return f(g); }").is_err()
+        );
     }
 
     #[test]

@@ -119,8 +119,11 @@ fn arb_expr() -> impl Strategy<Value = E> {
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
             (arb_unop(), inner.clone()).prop_map(|(op, e)| E::Un(op, Box::new(e))),
-            (arb_binop(), inner.clone(), inner)
-                .prop_map(|(op, l, r)| E::Bin(op, Box::new(l), Box::new(r))),
+            (arb_binop(), inner.clone(), inner).prop_map(|(op, l, r)| E::Bin(
+                op,
+                Box::new(l),
+                Box::new(r)
+            )),
         ]
     })
 }

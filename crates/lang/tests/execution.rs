@@ -89,9 +89,7 @@ fn strength_reduced_division_is_exact() {
         }
         return 0;
     }";
-    let expected: String = (-20..=20)
-        .map(|i: i32| format!("{},{} ", i / 4, i % 4))
-        .collect();
+    let expected: String = (-20..=20).map(|i: i32| format!("{},{} ", i / 4, i % 4)).collect();
     expect_output(src, &expected);
 }
 

@@ -75,7 +75,12 @@ fn main() -> ExitCode {
         );
         for (cat, count) in summary.dynamic_mix().iter() {
             if count > 0 {
-                eprintln!("    {:<8} {:>10} ({:>5.1}%)", cat.code(), count, 100.0 * summary.dynamic_fraction(cat));
+                eprintln!(
+                    "    {:<8} {:>10} ({:>5.1}%)",
+                    cat.code(),
+                    count,
+                    100.0 * summary.dynamic_fraction(cat)
+                );
             }
         }
     }

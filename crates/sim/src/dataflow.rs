@@ -77,10 +77,7 @@ fn value_sources(instr: Instr) -> [Option<Reg>; 2] {
 /// assert_eq!(nodes[1].deps().collect::<Vec<_>>(), vec![0]);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn collect_dataflow(
-    machine: &mut Machine,
-    max_steps: u64,
-) -> Result<Vec<DepNode>, SimError> {
+pub fn collect_dataflow(machine: &mut Machine, max_steps: u64) -> Result<Vec<DepNode>, SimError> {
     let mut nodes: Vec<DepNode> = Vec::new();
     // Producer node of each architectural register's current value.
     let mut reg_producer: [Option<u64>; 32] = [None; 32];
@@ -225,10 +222,8 @@ cell:   .word 0
 ",
         );
         // Nodes: li, la(lui), la(ori), sw (store node), lw.
-        let store_seq = nodes
-            .iter()
-            .position(|n| !n.is_predictable())
-            .expect("store node present") as u64;
+        let store_seq =
+            nodes.iter().position(|n| !n.is_predictable()).expect("store node present") as u64;
         let load = nodes.last().expect("load node");
         assert!(load.is_predictable());
         assert!(

@@ -441,20 +441,23 @@ mod tests {
 
     #[test]
     fn arithmetic_basics() {
-        let m = run_asm(r"
+        let m = run_asm(
+            r"
             .text
             main: li t0, 20
                   li t1, 22
                   add a0, t0, t1
                   syscall 1
                   halt
-        ");
+        ",
+        );
         assert_eq!(m.output_string(), "42");
     }
 
     #[test]
     fn division_semantics() {
-        let m = run_asm(r"
+        let m = run_asm(
+            r"
             .text
             main: li t0, -7
                   li t1, 2
@@ -472,13 +475,15 @@ mod tests {
                   div a0, t0, t1     # divide by zero -> 0
                   syscall 1
                   halt
-        ");
+        ",
+        );
         assert_eq!(m.output_string(), "-3 -1 0");
     }
 
     #[test]
     fn loop_counts_down() {
-        let m = run_asm(r"
+        let m = run_asm(
+            r"
             .text
             main: li t0, 5
                   li t1, 0
@@ -488,13 +493,15 @@ mod tests {
                   move a0, t1
                   syscall 1
                   halt
-        ");
+        ",
+        );
         assert_eq!(m.output_string(), "15"); // 5+4+3+2+1
     }
 
     #[test]
     fn memory_load_store_roundtrip() {
-        let m = run_asm(r"
+        let m = run_asm(
+            r"
             .text
             main: la t0, buf
                   li t1, -2
@@ -508,13 +515,15 @@ mod tests {
                   halt
             .data
             buf: .space 8
-        ");
+        ",
+        );
         assert_eq!(m.output_string(), "-2-2254");
     }
 
     #[test]
     fn function_call_and_return() {
-        let m = run_asm(r"
+        let m = run_asm(
+            r"
             .text
             main: li a0, 4
                   jal double
@@ -523,7 +532,8 @@ mod tests {
             double: add v0, a0, a0
                   move a0, v0
                   jr ra
-        ");
+        ",
+        );
         assert_eq!(m.output_string(), "8");
     }
 
@@ -547,7 +557,8 @@ mod tests {
 
     #[test]
     fn trace_records_register_writes_only() {
-        let image = assemble(r"
+        let image = assemble(
+            r"
             .text
             main: li t0, 1          # addi -> AddSub
                   sw t0, 0(sp)      # store -> no record
@@ -555,14 +566,13 @@ mod tests {
                   beq t0, t1, skip  # branch -> no record
             skip: sll t2, t1, 2     # Shift
                   halt              # no record
-        ").unwrap();
+        ",
+        )
+        .unwrap();
         let mut m = Machine::load(&image);
         let trace = m.collect_trace(100).unwrap();
         let cats: Vec<InstrCategory> = trace.iter().map(|r| r.category).collect();
-        assert_eq!(
-            cats,
-            vec![InstrCategory::AddSub, InstrCategory::Loads, InstrCategory::Shift]
-        );
+        assert_eq!(cats, vec![InstrCategory::AddSub, InstrCategory::Loads, InstrCategory::Shift]);
         assert_eq!(trace[0].value, 1);
         assert_eq!(trace[2].value, 4);
     }
@@ -622,33 +632,38 @@ mod tests {
 
     #[test]
     fn shift_by_register_masks_count() {
-        let m = run_asm(r"
+        let m = run_asm(
+            r"
             .text
             main: li t0, 1
                   li t1, 33          # 33 & 31 == 1
                   sllv a0, t0, t1
                   syscall 1
                   halt
-        ");
+        ",
+        );
         assert_eq!(m.output_string(), "2");
     }
 
     #[test]
     fn mulh_computes_high_bits() {
-        let m = run_asm(r"
+        let m = run_asm(
+            r"
             .text
             main: li t0, 0x40000000
                   li t1, 8
                   mulh a0, t0, t1    # (2^30 * 8) >> 32 = 2
                   syscall 1
                   halt
-        ");
+        ",
+        );
         assert_eq!(m.output_string(), "2");
     }
 
     #[test]
     fn sra_vs_srl_on_negative() {
-        let m = run_asm(r"
+        let m = run_asm(
+            r"
             .text
             main: li t0, -8
                   sra a0, t0, 1
@@ -660,7 +675,8 @@ mod tests {
                   move a0, t1
                   syscall 1
                   halt
-        ");
+        ",
+        );
         assert_eq!(m.output_string(), "-4 15");
     }
 }

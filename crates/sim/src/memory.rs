@@ -78,7 +78,12 @@ impl Memory {
         let offset = (addr as usize) & (PAGE_SIZE - 1);
         if offset + 4 <= PAGE_SIZE {
             if let Some(p) = self.page(addr) {
-                return u32::from_le_bytes([p[offset], p[offset + 1], p[offset + 2], p[offset + 3]]);
+                return u32::from_le_bytes([
+                    p[offset],
+                    p[offset + 1],
+                    p[offset + 2],
+                    p[offset + 3],
+                ]);
             }
             return 0;
         }

@@ -17,11 +17,9 @@ fn run(src: &str) -> String {
 
 /// Builds a program applying a 3-register op to two constants.
 fn run_rrr(op: &str, a: i32, b: i32) -> i32 {
-    run(&format!(
-        ".text\nmain: li t0, {a}\n li t1, {b}\n {op} a0, t0, t1\n syscall 1\n halt"
-    ))
-    .parse()
-    .expect("integer output")
+    run(&format!(".text\nmain: li t0, {a}\n li t1, {b}\n {op} a0, t0, t1\n syscall 1\n halt"))
+        .parse()
+        .expect("integer output")
 }
 
 #[test]

@@ -75,8 +75,7 @@ where
     I: IntoIterator<Item = &'a TraceRecord>,
 {
     for rec in records {
-        let line = serde_json::to_string(rec)
-            .map_err(|e| format_err(format!("serialize: {e}")))?;
+        let line = serde_json::to_string(rec).map_err(|e| format_err(format!("serialize: {e}")))?;
         writer.write_all(line.as_bytes())?;
         writer.write_all(b"\n")?;
     }

@@ -11,9 +11,7 @@ fn main() {
         for opt in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
             let mut machine = workload.machine(opt).expect("build");
             let mut summary = TraceSummary::new();
-            machine
-                .run_with(400_000_000, &mut |rec| summary.record(&rec))
-                .expect("run");
+            machine.run_with(400_000_000, &mut |rec| summary.record(&rec)).expect("run");
             assert!(machine.halted(), "{benchmark} did not halt at {opt}");
             let retired = machine.retired();
             let predicted = summary.dynamic_total();

@@ -377,10 +377,7 @@ mod tests {
             let w = Workload::cc_with_input(name).unwrap();
             assert_eq!(w.input_name(), name);
         }
-        assert!(matches!(
-            Workload::cc_with_input("missing.i"),
-            Err(BuildError::UnknownInput(_))
-        ));
+        assert!(matches!(Workload::cc_with_input("missing.i"), Err(BuildError::UnknownInput(_))));
     }
 
     #[test]

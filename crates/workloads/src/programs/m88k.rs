@@ -38,33 +38,33 @@ fn jmp(target: i32) -> i32 {
 /// the limit in VM register 3 (patched per round by the Mini driver).
 fn vm_program() -> Vec<i32> {
     vec![
-        /* 0 */ li(1, 2),      // candidate = 2
-        /* 1 */ li(2, 0),      // count = 0
-        /* 2 */ li(3, 200),    // limit (patched per round)
-        /* 3 */ li(7, 0),      // sum = 0
-        /* 4 */ li(8, 100),    // store pointer
-        /* 5 */ li(4, 2),      // outer: divisor = 2
+        /* 0 */ li(1, 2), // candidate = 2
+        /* 1 */ li(2, 0), // count = 0
+        /* 2 */ li(3, 200), // limit (patched per round)
+        /* 3 */ li(7, 0), // sum = 0
+        /* 4 */ li(8, 100), // store pointer
+        /* 5 */ li(4, 2), // outer: divisor = 2
         /* 6 */ enc(4, 5, 4, 4), // inner: r5 = div*div
         /* 7 */ enc(13, 1, 5, 0), // if cand < div*div skip next (prime)
         /* 8 */ jmp(12),
-        /* 9 */ addi(2, 1),    // prime: count++
+        /* 9 */ addi(2, 1), // prime: count++
         /* 10 */ enc(2, 7, 7, 1), // sum += cand
         /* 11 */ jmp(20),
         /* 12 */ enc(5, 5, 1, 4), // q = cand / div
         /* 13 */ enc(4, 5, 5, 4), // q * div
         /* 14 */ enc(3, 5, 1, 5), // rem = cand - q*div
         /* 15 */ enc(12, 5, 1, 2), // if rem != 0 goto 18
-        /* 16 */ jmp(22),      // composite: next candidate
+        /* 16 */ jmp(22), // composite: next candidate
         /* 17 */ enc(0, 0, 0, 0), // (pad) halt, unreachable
-        /* 18 */ addi(4, 1),   // divisor++
+        /* 18 */ addi(4, 1), // divisor++
         /* 19 */ jmp(6),
         /* 20 */ enc(11, 1, 8, 0), // mem[ptr] = cand
-        /* 21 */ addi(8, 1),   // ptr++
-        /* 22 */ addi(1, 1),   // candidate++
+        /* 21 */ addi(8, 1), // ptr++
+        /* 22 */ addi(1, 1), // candidate++
         /* 23 */ enc(13, 1, 3, 0), // if cand < limit skip next
         /* 24 */ jmp(26),
         /* 25 */ jmp(5),
-        /* 26 */ li(9, 100),   // checksum loop over stored primes
+        /* 26 */ li(9, 100), // checksum loop over stored primes
         /* 27 */ li(10, 0),
         /* 28 */ enc(10, 5, 9, 0), // r5 = mem[r9]
         /* 29 */ enc(7, 10, 10, 5), // acc ^= r5
@@ -172,14 +172,12 @@ mod tests {
                 }
                 10 => regs[a] = mem[(regs[b] & 255) as usize],
                 11 => mem[(regs[b] & 255) as usize] = regs[a],
-                12
-                    if regs[a] != 0 => {
-                        pc = b * 16 + c as usize;
-                    }
-                13
-                    if regs[a] < regs[b] => {
-                        pc += 1;
-                    }
+                12 if regs[a] != 0 => {
+                    pc = b * 16 + c as usize;
+                }
+                13 if regs[a] < regs[b] => {
+                    pc += 1;
+                }
                 14 => pc = a * 256 + b * 16 + c as usize,
                 15 => regs[a] = regs[a].wrapping_add((b as i32) * 16 + c - 128),
                 7 => regs[a] = regs[b] ^ regs[c as usize],

@@ -9,9 +9,8 @@
 use crate::rng::{int_list, XorShift};
 
 /// Scrabble-ish letter values for 'a'..'z'.
-const LETTER_SCORES: [i32; 26] = [
-    1, 3, 3, 2, 1, 4, 2, 4, 1, 8, 5, 1, 3, 1, 1, 3, 10, 1, 1, 1, 1, 4, 4, 8, 4, 10,
-];
+const LETTER_SCORES: [i32; 26] =
+    [1, 3, 3, 2, 1, 4, 2, 4, 1, 8, 5, 1, 3, 1, 1, 3, 10, 1, 1, 1, 1, 4, 4, 8, 4, 10];
 
 const WORD_STRIDE: usize = 8;
 const WORDS: usize = 96;

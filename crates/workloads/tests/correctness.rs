@@ -96,8 +96,6 @@ fn trace_with_streams_the_same_records() {
     let workload = Workload::reference(Benchmark::Xlisp).with_scale(1);
     let collected = workload.trace(OptLevel::O1, STEP_BUDGET).unwrap();
     let mut streamed = Vec::new();
-    workload
-        .trace_with(OptLevel::O1, STEP_BUDGET, &mut |rec| streamed.push(rec))
-        .unwrap();
+    workload.trace_with(OptLevel::O1, STEP_BUDGET, &mut |rec| streamed.push(rec)).unwrap();
     assert_eq!(collected, streamed);
 }

@@ -34,11 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let workload = Workload::reference(benchmark).with_scale(1);
     let trace = workload.trace(OptLevel::O1, 200_000_000)?;
-    println!(
-        "table sizing on `{}` ({} predicted instructions)\n",
-        benchmark.name(),
-        trace.len()
-    );
+    println!("table sizing on `{}` ({} predicted instructions)\n", benchmark.name(), trace.len());
 
     println!(
         "{:>8} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9} {:>8} {:>8}",

@@ -81,8 +81,7 @@ fn value_trace_is_identical_between_plain_and_dataflow_runs() {
     let asm = compile(SERIAL, OptLevel::O1).expect("compiles");
     let image = assemble(&asm).expect("assembles");
     let plain = Machine::load(&image).collect_trace(10_000_000).expect("runs");
-    let from_nodes: Vec<_> =
-        dataflow_of(SERIAL).iter().filter_map(|n| n.record).collect();
+    let from_nodes: Vec<_> = dataflow_of(SERIAL).iter().filter_map(|n| n.record).collect();
     assert_eq!(plain, from_nodes);
 }
 

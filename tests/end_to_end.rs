@@ -47,16 +47,11 @@ fn full_pipeline_produces_predictable_trace() {
     for rec in &trace {
         set.observe(rec);
     }
-    let loads_total: u64 =
-        (0..4u32).map(|m| set.subset_count(Some(InstrCategory::Loads), m)).sum();
-    let fcm_loads: u64 = [0b10u32, 0b11]
-        .iter()
-        .map(|&m| set.subset_count(Some(InstrCategory::Loads), m))
-        .sum();
-    let stride_loads: u64 = [0b01u32, 0b11]
-        .iter()
-        .map(|&m| set.subset_count(Some(InstrCategory::Loads), m))
-        .sum();
+    let loads_total: u64 = (0..4u32).map(|m| set.subset_count(Some(InstrCategory::Loads), m)).sum();
+    let fcm_loads: u64 =
+        [0b10u32, 0b11].iter().map(|&m| set.subset_count(Some(InstrCategory::Loads), m)).sum();
+    let stride_loads: u64 =
+        [0b01u32, 0b11].iter().map(|&m| set.subset_count(Some(InstrCategory::Loads), m)).sum();
     assert!(loads_total > 0);
     assert!(
         fcm_loads > stride_loads,

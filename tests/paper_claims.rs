@@ -47,10 +47,7 @@ fn claim_fcm_gain_concentrates_in_few_statics() {
     //  total improvement of fcm over stride."
     let results = overlap_results();
     let at20 = results.improvement_at_20pct();
-    assert!(
-        at20 > 70.0,
-        "20% of improving statics should cover the bulk of the gain: {at20:.1}%"
-    );
+    assert!(at20 > 70.0, "20% of improving statics should cover the bulk of the gain: {at20:.1}%");
 }
 
 #[test]

@@ -4,9 +4,9 @@
 
 use dvp::asm::assemble;
 use dvp::core::{
-    DelayedPredictor, EntropyProfile, FcmPredictor, FiniteFcmPredictor,
-    FiniteLastValuePredictor, FiniteStridePredictor, LastValuePredictor, LocalityProfile,
-    Predictor, StridePredictor, TableSpec,
+    DelayedPredictor, EntropyProfile, FcmPredictor, FiniteFcmPredictor, FiniteLastValuePredictor,
+    FiniteStridePredictor, LastValuePredictor, LocalityProfile, Predictor, StridePredictor,
+    TableSpec,
 };
 use dvp::lang::{compile, OptLevel};
 use dvp::sim::Machine;

@@ -1,0 +1,123 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! reimplements the slice of proptest the workspace's property tests use:
+//! the [`Strategy`] trait with `prop_map` / `prop_recursive` / `boxed`,
+//! [`any`](strategy::any), integer-range strategies, tuple and array
+//! composition, [`Just`](strategy::Just), `prop_oneof!`, the collection
+//! strategies `vec` / `hash_set`, and the `proptest!` test harness with
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   printed, but is not minimized.
+//! * **Deterministic seeding.** Each test function derives its RNG seed
+//!   from its own name, so runs are exactly reproducible.
+//! * **Uniform `prop_oneof!`.** Weighted variants are not supported.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::{Config, TestRng};
+
+/// The property-test harness.
+///
+/// Accepts an optional `#![proptest_config(...)]` inner attribute followed
+/// by any number of `#[test] fn name(arg in strategy, ...) { body }` items,
+/// and expands each to a plain `#[test]` that runs the body `config.cases`
+/// times over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut rng =
+                    $crate::test_runner::TestRng::from_name(::std::stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    let case_inputs = ::std::format!(
+                        ::std::concat!($("\n  ", ::std::stringify!($arg), " = {:?}"),+),
+                        $(&$arg),+
+                    );
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || { $body })
+                    );
+                    if let ::std::result::Result::Err(payload) = outcome {
+                        ::std::eprintln!(
+                            "proptest case {}/{} of `{}` failed with inputs:{}",
+                            case + 1,
+                            config.cases,
+                            ::std::stringify!($name),
+                            case_inputs,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)+) => { ::std::assert!($($args)+) };
+}
+
+/// Asserts equality inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)+) => { ::std::assert_eq!($($args)+) };
+}
+
+/// Asserts inequality inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)+) => { ::std::assert_ne!($($args)+) };
+}
+
+/// Skips the rest of the current case when the assumption fails.
+///
+/// The stub cannot re-draw inputs, so a failed assumption simply ends the
+/// case early (it still counts toward `config.cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}

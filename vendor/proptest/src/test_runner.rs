@@ -1,0 +1,73 @@
+//! Run configuration and the deterministic RNG driving generation.
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+/// A small deterministic RNG (splitmix64).
+///
+/// Seeded from the test function's name so every run of a test explores the
+/// same case sequence — failures reproduce without recording seeds.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG seeded from `name`.
+    #[must_use]
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name, folded into a non-zero seed.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: hash | 1 }
+    }
+
+    /// Next uniformly distributed 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next uniformly distributed 128-bit value.
+    pub fn next_u128(&mut self) -> u128 {
+        (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is irrelevant at test-generation quality.
+        self.next_u64() % bound
+    }
+
+    /// Uniform `usize` in the inclusive range `[min, max]`.
+    pub fn usize_in(&mut self, min: usize, max: usize) -> usize {
+        debug_assert!(min <= max);
+        let span = (max - min) as u64 + 1;
+        min + self.below(span) as usize
+    }
+}

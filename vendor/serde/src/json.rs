@@ -1,0 +1,366 @@
+//! A small recursive-descent JSON parser shared by the `serde` and
+//! `serde_json` stubs, plus string-escaping helpers for serialization.
+
+use std::fmt;
+
+/// A JSON parse or data-model error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        Error { message: message.into() }
+    }
+
+    /// The error raised when a required struct field is absent.
+    #[must_use]
+    pub fn missing_field(name: &str) -> Self {
+        Error::new(format!("missing field `{name}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Appends `text` as a quoted, escaped JSON string.
+pub fn write_string(text: &str, out: &mut String) {
+    out.push('"');
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A cursor over JSON text.
+///
+/// The derive macros generate code against this API: `begin_object` /
+/// `end_object` / `string` / `colon` for objects, `begin_array` /
+/// `end_array` for arrays, and the typed leaf readers.
+#[derive(Debug)]
+pub struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    /// Creates a parser over `input`.
+    #[must_use]
+    pub fn new(input: &'a str) -> Self {
+        Parser { bytes: input.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        match self.peek() {
+            Some(b) if b == byte => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(b) => Err(Error::new(format!(
+                "expected `{}`, found `{}` at byte {}",
+                byte as char, b as char, self.pos
+            ))),
+            None => Err(Error::new(format!("expected `{}`, found end of input", byte as char))),
+        }
+    }
+
+    /// Consumes the opening `{` of an object.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the next token is not `{`.
+    pub fn begin_object(&mut self) -> Result<(), Error> {
+        self.expect(b'{')
+    }
+
+    /// At the top of an object-member loop: consumes `}` and reports `true`
+    /// when the object ends, otherwise consumes the separating comma (except
+    /// before the first member) and reports `false`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a missing comma or unterminated object.
+    pub fn end_object(&mut self, first: &mut bool) -> Result<bool, Error> {
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(true);
+        }
+        if *first {
+            *first = false;
+        } else {
+            self.expect(b',')?;
+        }
+        Ok(false)
+    }
+
+    /// Consumes the opening `[` of an array.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the next token is not `[`.
+    pub fn begin_array(&mut self) -> Result<(), Error> {
+        self.expect(b'[')
+    }
+
+    /// Array analogue of [`Parser::end_object`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on a missing comma or unterminated array.
+    pub fn end_array(&mut self, first: &mut bool) -> Result<bool, Error> {
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(true);
+        }
+        if *first {
+            *first = false;
+        } else {
+            self.expect(b',')?;
+        }
+        Ok(false)
+    }
+
+    /// Consumes the `:` between an object key and its value.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the next token is not `:`.
+    pub fn colon(&mut self) -> Result<(), Error> {
+        self.expect(b':')
+    }
+
+    /// Parses a quoted JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a missing opening quote, an invalid escape, or an
+    /// unterminated string.
+    pub fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut text = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(text);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => text.push('"'),
+                        b'\\' => text.push('\\'),
+                        b'/' => text.push('/'),
+                        b'n' => text.push('\n'),
+                        b'r' => text.push('\r'),
+                        b't' => text.push('\t'),
+                        b'b' => text.push('\u{8}'),
+                        b'f' => text.push('\u{c}'),
+                        b'u' => {
+                            let code = self.hex_escape()?;
+                            let ch = if (0xd800..0xdc00).contains(&code) {
+                                // High surrogate: must pair with a following
+                                // \uDC00..\uDFFF low surrogate (how real
+                                // serde_json escapes non-BMP characters).
+                                if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                                    return Err(Error::new("unpaired surrogate in \\u escape"));
+                                }
+                                self.pos += 2;
+                                let low = self.hex_escape()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err(Error::new("invalid low surrogate in \\u escape"));
+                                }
+                                let combined = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| Error::new("invalid \\u code point"))?
+                            } else {
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid \\u code point"))?
+                            };
+                            text.push(ch);
+                        }
+                        other => {
+                            return Err(Error::new(format!("unknown escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 encoded character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::new("invalid utf-8 in string"))?;
+                    let ch = rest.chars().next().expect("non-empty");
+                    text.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Reads the four hex digits of a `\u` escape (the `\u` itself already
+    /// consumed) and returns the code unit.
+    fn hex_escape(&mut self) -> Result<u32, Error> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+        self.pos += 4;
+        let hex = std::str::from_utf8(hex).map_err(|_| Error::new("non-ascii \\u escape"))?;
+        u32::from_str_radix(hex, 16).map_err(|_| Error::new("bad \\u escape"))
+    }
+
+    /// Returns the raw text of a JSON number token.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the next token does not start a number.
+    pub fn number_text(&mut self) -> Result<&'a str, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(Error::new(format!("expected a number at byte {start}")));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid utf-8 in number"))
+    }
+
+    /// Parses `true` or `false`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the next token is neither.
+    pub fn boolean(&mut self) -> Result<bool, Error> {
+        if self.try_keyword("true") {
+            Ok(true)
+        } else if self.try_keyword("false") {
+            Ok(false)
+        } else {
+            Err(Error::new("expected `true` or `false`"))
+        }
+    }
+
+    /// Consumes `null` if present, reporting whether it did.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; `Result` keeps the derive codegen uniform.
+    pub fn try_null(&mut self) -> Result<bool, Error> {
+        Ok(self.try_keyword("null"))
+    }
+
+    fn try_keyword(&mut self, keyword: &str) -> bool {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Skips one complete JSON value (used for unknown object fields,
+    /// mirroring real serde's default of ignoring them).
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input.
+    pub fn skip_value(&mut self) -> Result<(), Error> {
+        match self.peek() {
+            Some(b'"') => {
+                self.string()?;
+            }
+            Some(b'{') => {
+                self.begin_object()?;
+                let mut first = true;
+                while !self.end_object(&mut first)? {
+                    self.string()?;
+                    self.colon()?;
+                    self.skip_value()?;
+                }
+            }
+            Some(b'[') => {
+                self.begin_array()?;
+                let mut first = true;
+                while !self.end_array(&mut first)? {
+                    self.skip_value()?;
+                }
+            }
+            Some(b't') | Some(b'f') => {
+                self.boolean()?;
+            }
+            Some(b'n') => {
+                if !self.try_null()? {
+                    return Err(Error::new("expected `null`"));
+                }
+            }
+            Some(_) => {
+                self.number_text()?;
+            }
+            None => return Err(Error::new("expected a value, found end of input")),
+        }
+        Ok(())
+    }
+
+    /// Verifies that only whitespace remains.
+    ///
+    /// # Errors
+    ///
+    /// Fails if non-whitespace input follows the parsed value.
+    pub fn finish(&mut self) -> Result<(), Error> {
+        if let Some(b) = self.peek() {
+            return Err(Error::new(format!(
+                "trailing characters starting with `{}` at byte {}",
+                b as char, self.pos
+            )));
+        }
+        Ok(())
+    }
+}

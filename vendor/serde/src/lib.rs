@@ -1,0 +1,182 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the small slice of serde's surface the workspace actually uses:
+//! `Serialize`/`Deserialize` traits (JSON-only), their derive macros, and
+//! enough implementations for the primitive and container types that appear
+//! in `dvp-trace`. The companion `serde_json` stub builds on the [`json`]
+//! module exported here.
+//!
+//! The derive macros support exactly the shapes the workspace derives on:
+//! structs with named fields, tuple structs (newtypes serialize
+//! transparently, wider tuples as arrays), and C-like enums (serialized as
+//! their variant name, matching real serde's externally-tagged format).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// A type that can be serialized to JSON.
+///
+/// This is the stub's whole serializer model: types append their JSON
+/// encoding directly to a `String`. It matches real serde_json's output for
+/// the shapes used in this workspace.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// A type that can be deserialized from JSON.
+pub trait Deserialize: Sized {
+    /// Parses a value from the parser's current position.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`json::Error`] when the input at the current position is
+    /// not a valid encoding of `Self`.
+    fn deserialize_json(parser: &mut json::Parser<'_>) -> Result<Self, json::Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+macro_rules! impl_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize_json(parser: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+                let text = parser.number_text()?;
+                text.parse().map_err(|_| {
+                    json::Error::new(format!(
+                        "invalid {} literal `{text}`",
+                        stringify!($ty)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(parser: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        parser.boolean()
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&self.to_string());
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_json(parser: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        let text = parser.number_text()?;
+        text.parse().map_err(|_| json::Error::new(format!("invalid f64 literal `{text}`")))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_string(self, out);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(parser: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        parser.string()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(value) => value.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(parser: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        if parser.try_null()? {
+            Ok(None)
+        } else {
+            T::deserialize_json(parser).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(parser: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        let mut items = Vec::new();
+        parser.begin_array()?;
+        let mut first = true;
+        while !parser.end_array(&mut first)? {
+            items.push(T::deserialize_json(parser)?);
+        }
+        Ok(items)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize_json(parser: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        let items = Vec::<T>::deserialize_json(parser)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| json::Error::new(format!("expected array of length {N}, got {len}")))
+    }
+}

@@ -1,0 +1,81 @@
+//! Round-trip tests for the serde stub's derive macros and JSON parser,
+//! including the edge cases real serde_json output can contain.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Named {
+    id: u64,
+    label: String,
+    flags: [u8; 3],
+}
+
+// Trailing comma: valid Rust that must still derive as a transparent newtype.
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Newtype(u64);
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Pair(u32, bool);
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+enum Kind {
+    Alpha,
+    Beta,
+}
+
+#[test]
+fn named_struct_round_trips_and_skips_unknown_fields() {
+    let value = Named { id: u64::MAX, label: "hi \"there\"".to_owned(), flags: [1, 2, 3] };
+    let json = serde_json::to_string(&value).unwrap();
+    assert_eq!(json, r#"{"id":18446744073709551615,"label":"hi \"there\"","flags":[1,2,3]}"#);
+    assert_eq!(serde_json::from_str::<Named>(&json).unwrap(), value);
+    // Unknown fields are ignored, field order is free.
+    let reordered = r#"{"flags":[1,2,3],"extra":{"nested":[true]},"label":"hi \"there\"","id":18446744073709551615}"#;
+    assert_eq!(serde_json::from_str::<Named>(reordered).unwrap(), value);
+}
+
+#[test]
+fn newtype_with_trailing_comma_is_transparent() {
+    let json = serde_json::to_string(&Newtype(7)).unwrap();
+    assert_eq!(json, "7");
+    assert_eq!(serde_json::from_str::<Newtype>("7").unwrap(), Newtype(7));
+}
+
+#[test]
+fn wider_tuples_are_arrays() {
+    let json = serde_json::to_string(&Pair(5, true)).unwrap();
+    assert_eq!(json, "[5,true]");
+    assert_eq!(serde_json::from_str::<Pair>("[5,true]").unwrap(), Pair(5, true));
+    assert!(serde_json::from_str::<Pair>("[5]").is_err());
+    assert!(serde_json::from_str::<Pair>("[5,true,1]").is_err());
+}
+
+#[test]
+fn unit_enums_are_variant_names() {
+    assert_eq!(serde_json::to_string(&Kind::Beta).unwrap(), "\"Beta\"");
+    assert_eq!(serde_json::from_str::<Kind>("\"Alpha\"").unwrap(), Kind::Alpha);
+    assert!(serde_json::from_str::<Kind>("\"Gamma\"").is_err());
+}
+
+#[test]
+fn surrogate_pair_escapes_parse() {
+    // Real serde_json escapes non-BMP characters as UTF-16 surrogate pairs.
+    let grin: String = serde_json::from_str(r#""\ud83d\ude00""#).unwrap();
+    assert_eq!(grin, "\u{1f600}");
+    // Raw (unescaped) non-BMP characters take the UTF-8 path.
+    let raw: String = serde_json::from_str("\"😀\"").unwrap();
+    assert_eq!(raw, "\u{1f600}");
+    // Unpaired or malformed surrogates are rejected, not mis-decoded.
+    assert!(serde_json::from_str::<String>(r#""\ud83d""#).is_err());
+    assert!(serde_json::from_str::<String>(r#""\ud83dx""#).is_err());
+    assert!(serde_json::from_str::<String>(r#""\ud83dA""#).is_err());
+}
+
+#[test]
+fn option_and_vec_round_trip() {
+    let none: Option<u32> = serde_json::from_str("null").unwrap();
+    assert_eq!(none, None);
+    assert_eq!(serde_json::to_string(&Some(3u32)).unwrap(), "3");
+    let values: Vec<i64> = serde_json::from_str("[-1, 0, 9223372036854775807]").unwrap();
+    assert_eq!(values, vec![-1, 0, i64::MAX]);
+}

@@ -1,0 +1,325 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the stub `serde::Serialize` / `serde::Deserialize`
+//! traits (which target JSON directly) for the type shapes this workspace
+//! derives on:
+//!
+//! * structs with named fields → JSON objects, field order preserved on
+//!   write, any order accepted on read, unknown fields skipped;
+//! * tuple structs → one field is transparent (newtype), several become a
+//!   JSON array;
+//! * C-like enums → the variant name as a JSON string.
+//!
+//! Anything fancier (generics, data-carrying enums, serde attributes) is
+//! rejected with a compile error rather than silently mis-serialized.
+//!
+//! Built on the std `proc_macro` API alone: the container has no network
+//! access, so `syn`/`quote` are unavailable.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the deriving type.
+enum Shape {
+    /// `struct S { a: A, b: B }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `struct S(A, B);` — number of fields.
+    Tuple(usize),
+    /// `enum E { A, B }` — variant names.
+    Unit(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().expect("valid error tokens")
+}
+
+/// Consumes any leading `#[...]` attributes (including doc comments).
+fn skip_attributes(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        tokens.next(); // the [...] group
+    }
+}
+
+/// Consumes `pub` / `pub(...)` if present.
+fn skip_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = group.into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        let Some(token) = tokens.next() else { break };
+        let TokenTree::Ident(name) = token else {
+            return Err(format!("expected a field name, found `{token}`"));
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        // Skip the type: everything up to a top-level comma. Depth only
+        // matters for `<...>` generics; groups are single tokens already.
+        let mut angle_depth = 0i32;
+        for token in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &token {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push(name.to_string());
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(group: TokenStream) -> usize {
+    let mut commas = 0usize;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens = false;
+    let mut ends_with_comma = false;
+    for token in group {
+        saw_tokens = true;
+        ends_with_comma = false;
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    commas += 1;
+                    ends_with_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if !saw_tokens {
+        0
+    } else if ends_with_comma {
+        // A trailing comma (`struct S(T,);`) separates nothing.
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_unit_variants(group: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = group.into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        let Some(token) = tokens.next() else { break };
+        let TokenTree::Ident(name) = token else {
+            return Err(format!("expected a variant name, found `{token}`"));
+        };
+        match tokens.next() {
+            None => {
+                variants.push(name.to_string());
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(name.to_string()),
+            Some(other) => {
+                return Err(format!(
+                    "only C-like enums are supported; variant `{name}` is followed by `{other}`"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected a type name, found {other:?}")),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("generic type `{name}` is not supported by the serde stub"));
+    }
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) => g,
+        other => return Err(format!("expected the body of `{name}`, found {other:?}")),
+    };
+    let shape = match (keyword.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::Named(parse_named_fields(body.stream())?),
+        ("struct", Delimiter::Parenthesis) => Shape::Tuple(parse_tuple_fields(body.stream())),
+        ("enum", Delimiter::Brace) => Shape::Unit(parse_unit_variants(body.stream())?),
+        _ => return Err(format!("unsupported item shape for `{name}`")),
+    };
+    Ok(Input { name, shape })
+}
+
+/// Derives the stub `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(input) => input,
+        Err(message) => return compile_error(&message),
+    };
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let mut body = String::from("out.push('{');");
+            for (i, field) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');");
+                }
+                body.push_str(&format!(
+                    "out.push_str(\"\\\"{field}\\\":\");\
+                     ::serde::Serialize::serialize_json(&self.{field}, out);"
+                ));
+            }
+            body.push_str("out.push('}');");
+            body
+        }
+        Shape::Tuple(1) => "::serde::Serialize::serialize_json(&self.0, out);".to_owned(),
+        Shape::Tuple(n) => {
+            let mut body = String::from("out.push('[');");
+            for i in 0..*n {
+                if i > 0 {
+                    body.push_str("out.push(',');");
+                }
+                body.push_str(&format!("::serde::Serialize::serialize_json(&self.{i}, out);"));
+            }
+            body.push_str("out.push(']');");
+            body
+        }
+        Shape::Unit(variants) => {
+            let arms: String =
+                variants.iter().map(|v| format!("{name}::{v} => \"{v}\",")).collect();
+            format!(
+                "let variant = match self {{ {arms} }};\
+                 ::serde::json::write_string(variant, out);"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+             fn serialize_json(&self, out: &mut ::std::string::String) {{ {body} }}\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the stub `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(input) => input,
+        Err(message) => return compile_error(&message),
+    };
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let slots: String = fields
+                .iter()
+                .map(|f| format!("let mut field_{f} = ::std::option::Option::None;"))
+                .collect();
+            let arms: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "\"{f}\" => field_{f} = ::std::option::Option::Some(\
+                             ::serde::Deserialize::deserialize_json(parser)?),"
+                    )
+                })
+                .collect();
+            let unpack: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: field_{f}.ok_or_else(|| \
+                             ::serde::json::Error::missing_field(\"{f}\"))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "{slots}\
+                 parser.begin_object()?;\
+                 let mut first = true;\
+                 while !parser.end_object(&mut first)? {{\
+                     let key = parser.string()?;\
+                     parser.colon()?;\
+                     match key.as_str() {{ {arms} _ => parser.skip_value()?, }}\
+                 }}\
+                 ::std::result::Result::Ok({name} {{ {unpack} }})"
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_json(parser)?))")
+        }
+        Shape::Tuple(n) => {
+            let reads: String = (0..*n)
+                .map(|i| {
+                    format!(
+                        "let item_{i} = {{\
+                             if parser.end_array(&mut first)? {{\
+                                 return ::std::result::Result::Err(\
+                                     ::serde::json::Error::new(\"tuple array too short\"));\
+                             }}\
+                             ::serde::Deserialize::deserialize_json(parser)?\
+                         }};"
+                    )
+                })
+                .collect();
+            let items: String = (0..*n).map(|i| format!("item_{i},")).collect();
+            format!(
+                "parser.begin_array()?;\
+                 let mut first = true;\
+                 {reads}\
+                 if !parser.end_array(&mut first)? {{\
+                     return ::std::result::Result::Err(\
+                         ::serde::json::Error::new(\"tuple array too long\"));\
+                 }}\
+                 ::std::result::Result::Ok({name}({items}))"
+            )
+        }
+        Shape::Unit(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "let variant = parser.string()?;\
+                 match variant.as_str() {{\
+                     {arms}\
+                     other => ::std::result::Result::Err(::serde::json::Error::new(\
+                         format!(\"unknown variant `{{other}}` of {name}\"))),\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\
+             fn deserialize_json(parser: &mut ::serde::json::Parser<'_>)\
+                 -> ::std::result::Result<Self, ::serde::json::Error> {{ {body} }}\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

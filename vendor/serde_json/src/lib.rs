@@ -1,0 +1,36 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides the two entry points the workspace uses — [`to_string`] and
+//! [`from_str`] — on top of the vendored `serde` stub's JSON-only data
+//! model. Output matches real serde_json for the shapes the workspace
+//! serializes (objects with declaration-ordered keys, unit enum variants as
+//! strings, newtypes transparently).
+
+#![forbid(unsafe_code)]
+
+pub use serde::json::Error;
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails in this stub; the `Result` mirrors real serde_json's
+/// signature so call sites stay source-compatible.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Deserializes a value of type `T` from a JSON string.
+///
+/// # Errors
+///
+/// Returns an [`Error`] when `input` is not valid JSON for `T` or has
+/// trailing non-whitespace content.
+pub fn from_str<T: serde::Deserialize>(input: &str) -> Result<T, Error> {
+    let mut parser = serde::json::Parser::new(input);
+    let value = T::deserialize_json(&mut parser)?;
+    parser.finish()?;
+    Ok(value)
+}
