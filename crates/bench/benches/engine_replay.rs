@@ -1,0 +1,84 @@
+//! Engine replay vs the pre-engine sequential loop: the same
+//! five-predictor bank over the same shared workload trace, timed three
+//! ways. On a multi-core host the `engine-all-cores` rows demonstrate the
+//! engine's speedup over `sequential-lockstep`; `engine-1-worker` bounds
+//! the engine's bookkeeping overhead (sharding + job scheduling) since its
+//! tallies are identical by construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dvp_bench::shared_workload_trace;
+use dvp_core::{AccuracyTracker, Predictor, PredictorConfig};
+use dvp_engine::ReplayEngine;
+use dvp_workloads::Benchmark;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn sequential_lockstep(
+    trace: &dvp_engine::SharedTrace,
+    bank: &[PredictorConfig],
+) -> Vec<AccuracyTracker> {
+    let mut predictors: Vec<Box<dyn Predictor>> = bank.iter().map(PredictorConfig::build).collect();
+    let mut trackers = vec![AccuracyTracker::new(); predictors.len()];
+    for rec in trace.iter() {
+        for (p, tracker) in predictors.iter_mut().zip(&mut trackers) {
+            tracker.record(rec.category, p.observe(rec.pc, rec.value));
+        }
+    }
+    trackers
+}
+
+fn bench(c: &mut Criterion) {
+    let trace = shared_workload_trace(Benchmark::Cc);
+    let bank = PredictorConfig::paper_bank();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+
+    let mut group = c.benchmark_group("engine_replay");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    // One element per (record, predictor) observation.
+    group.throughput(Throughput::Elements(trace.len() as u64 * bank.len() as u64));
+
+    group.bench_function(BenchmarkId::from_parameter("sequential-lockstep"), |b| {
+        b.iter(|| black_box(sequential_lockstep(&trace, &bank)));
+    });
+
+    let one_worker = ReplayEngine::new().with_workers(1);
+    group.bench_function(BenchmarkId::from_parameter("engine-1-worker"), |b| {
+        b.iter(|| black_box(one_worker.replay(&trace, &bank)));
+    });
+
+    let all_cores = ReplayEngine::new();
+    group.bench_function(BenchmarkId::from_parameter(format!("engine-all-cores({cores})")), |b| {
+        b.iter(|| black_box(all_cores.replay(&trace, &bank)));
+    });
+    group.finish();
+
+    // The other axis the engine parallelizes: the whole predictor×workload
+    // matrix at once (as `repro` figures 3-7 run it).
+    let traces: Vec<dvp_engine::SharedTrace> =
+        [Benchmark::Cc, Benchmark::Compress, Benchmark::M88k]
+            .into_iter()
+            .map(shared_workload_trace)
+            .collect();
+    let total: usize = traces.iter().map(dvp_engine::SharedTrace::len).sum();
+    let mut group = c.benchmark_group("engine_replay_matrix");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total as u64 * bank.len() as u64));
+    group.bench_function(BenchmarkId::from_parameter("sequential-lockstep"), |b| {
+        b.iter(|| {
+            let all: Vec<Vec<AccuracyTracker>> =
+                traces.iter().map(|t| sequential_lockstep(t, &bank)).collect();
+            black_box(all)
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter(format!("engine-all-cores({cores})")), |b| {
+        b.iter(|| black_box(all_cores.replay_matrix(&traces, &bank)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

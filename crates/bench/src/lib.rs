@@ -7,7 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dvp_experiments::REFERENCE_OPT;
+use dvp_engine::SharedTrace;
+use dvp_experiments::{REFERENCE_OPT, STEP_BUDGET};
 use dvp_sim::collect_dataflow;
 use dvp_trace::{DepNode, TraceRecord};
 use dvp_workloads::{Benchmark, Workload};
@@ -17,6 +18,15 @@ use std::sync::{Mutex, OnceLock};
 /// Records per cached benchmark trace (kept small so the full bench suite
 /// stays fast).
 pub const BENCH_TRACE_LEN: usize = 200_000;
+
+/// The one bench trace recipe: reference workload at full scale, reference
+/// optimization level, capped at [`BENCH_TRACE_LEN`] records.
+fn generate_bench_trace(benchmark: Benchmark) -> Vec<TraceRecord> {
+    let workload = Workload::reference(benchmark).with_scale(1);
+    let mut trace = workload.trace(REFERENCE_OPT, STEP_BUDGET).expect("workload runs");
+    trace.truncate(BENCH_TRACE_LEN);
+    trace
+}
 
 fn cache() -> &'static Mutex<HashMap<Benchmark, &'static [TraceRecord]>> {
     static CACHE: OnceLock<Mutex<HashMap<Benchmark, &'static [TraceRecord]>>> = OnceLock::new();
@@ -36,12 +46,30 @@ pub fn workload_trace(benchmark: Benchmark) -> &'static [TraceRecord] {
     if let Some(trace) = cache.get(&benchmark) {
         return trace;
     }
-    let workload = Workload::reference(benchmark).with_scale(1);
-    let mut trace = workload.trace(REFERENCE_OPT, 2_000_000_000).expect("workload runs");
-    trace.truncate(BENCH_TRACE_LEN);
-    let leaked: &'static [TraceRecord] = Box::leak(trace.into_boxed_slice());
+    let leaked: &'static [TraceRecord] =
+        Box::leak(generate_bench_trace(benchmark).into_boxed_slice());
     cache.insert(benchmark, leaked);
     leaked
+}
+
+/// The same trace recipe as [`workload_trace`], held as an engine
+/// [`SharedTrace`]. Cached separately rather than copied from the slice
+/// cache: each `[[bench]]` target is its own process, so a bench binary
+/// using only one of the two representations keeps only one copy of each
+/// trace resident.
+///
+/// # Panics
+///
+/// Panics if the workload fails to build or run (a toolchain bug).
+#[must_use]
+pub fn shared_workload_trace(benchmark: Benchmark) -> SharedTrace {
+    static CACHE: OnceLock<Mutex<HashMap<Benchmark, SharedTrace>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut cache = cache.lock().expect("cache lock");
+    cache
+        .entry(benchmark)
+        .or_insert_with(|| SharedTrace::from_records(generate_bench_trace(benchmark)))
+        .clone()
 }
 
 fn dep_cache() -> &'static Mutex<HashMap<Benchmark, &'static [DepNode]>> {
@@ -64,7 +92,7 @@ pub fn workload_dep_trace(benchmark: Benchmark) -> &'static [DepNode] {
     }
     let workload = Workload::reference(benchmark).with_scale(1);
     let mut machine = workload.machine(REFERENCE_OPT).expect("workload builds");
-    let mut nodes = collect_dataflow(&mut machine, 2_000_000_000).expect("workload runs");
+    let mut nodes = collect_dataflow(&mut machine, STEP_BUDGET).expect("workload runs");
     nodes.truncate(BENCH_TRACE_LEN);
     let leaked: &'static [DepNode] = Box::leak(nodes.into_boxed_slice());
     cache.insert(benchmark, leaked);

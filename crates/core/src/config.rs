@@ -1,0 +1,135 @@
+//! Named, reusable predictor configurations.
+//!
+//! A [`PredictorConfig`] is a recipe: a display name plus a factory that
+//! builds a fresh boxed [`Predictor`] with empty tables. Recipes exist so
+//! that the same configuration can be instantiated many times — once per
+//! benchmark in a sequential harness, or once per PC shard in the parallel
+//! replay engine — while the *set* of configurations under study stays a
+//! single value that can be enumerated, cloned, and sent across threads.
+
+use crate::{FcmPredictor, LastValuePredictor, Predictor, StridePredictor};
+use std::fmt;
+use std::sync::Arc;
+
+/// A named recipe for constructing a value predictor.
+///
+/// Cloning a config is cheap (the factory is behind an [`Arc`]); building
+/// from it always yields a predictor with empty tables.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_core::PredictorConfig;
+/// use dvp_trace::Pc;
+///
+/// let config = PredictorConfig::new("s2", || {
+///     Box::new(dvp_core::StridePredictor::two_delta())
+/// });
+/// let mut a = config.build();
+/// let mut b = config.build(); // independent tables
+/// a.update(Pc(0), 7);
+/// assert_eq!(a.predict(Pc(0)), Some(7));
+/// assert_eq!(b.predict(Pc(0)), None);
+/// ```
+#[derive(Clone)]
+pub struct PredictorConfig {
+    name: String,
+    build: Arc<dyn Fn() -> Box<dyn Predictor> + Send + Sync>,
+}
+
+impl PredictorConfig {
+    /// Creates a config from a display name and a factory closure.
+    pub fn new<F>(name: impl Into<String>, build: F) -> Self
+    where
+        F: Fn() -> Box<dyn Predictor> + Send + Sync + 'static,
+    {
+        PredictorConfig { name: name.into(), build: Arc::new(build) }
+    }
+
+    /// The configuration's display name (used in experiment reports).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Builds a fresh predictor with empty tables.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn Predictor> {
+        (self.build)()
+    }
+
+    /// The five predictors of the paper's accuracy figures (Figures 3–7),
+    /// in reporting order: `l`, `s2`, `fcm1`, `fcm2`, `fcm3`.
+    #[must_use]
+    pub fn paper_bank() -> Vec<PredictorConfig> {
+        let mut bank = vec![
+            PredictorConfig::new("l", || Box::new(LastValuePredictor::new())),
+            PredictorConfig::new("s2", || Box::new(StridePredictor::two_delta())),
+        ];
+        bank.extend(PredictorConfig::fcm_orders(1..=3));
+        bank
+    }
+
+    /// One order-`k` FCM config (lazy-exclusion blending, exact counters —
+    /// the paper's configuration) per order in `orders`.
+    #[must_use]
+    pub fn fcm_orders(orders: impl IntoIterator<Item = usize>) -> Vec<PredictorConfig> {
+        orders
+            .into_iter()
+            .map(|order| {
+                PredictorConfig::new(format!("fcm{order}"), move || {
+                    Box::new(FcmPredictor::new(order))
+                })
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for PredictorConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PredictorConfig").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvp_trace::Pc;
+
+    #[test]
+    fn paper_bank_names_match_reporting_order() {
+        let names: Vec<String> =
+            PredictorConfig::paper_bank().iter().map(|c| c.name().to_owned()).collect();
+        assert_eq!(names, ["l", "s2", "fcm1", "fcm2", "fcm3"]);
+    }
+
+    #[test]
+    fn built_predictors_are_independent_and_freshly_named() {
+        for config in PredictorConfig::paper_bank() {
+            let mut a = config.build();
+            let b = config.build();
+            assert_eq!(a.name(), config.name());
+            a.update(Pc(4), 9);
+            assert_eq!(a.static_entries(), 1);
+            assert_eq!(b.static_entries(), 0, "{}: builds must not share tables", config.name());
+        }
+    }
+
+    #[test]
+    fn fcm_orders_covers_the_requested_range() {
+        let bank = PredictorConfig::fcm_orders(1..=8);
+        assert_eq!(bank.len(), 8);
+        assert_eq!(bank[7].name(), "fcm8");
+        // The built predictor agrees with its recipe's name.
+        assert_eq!(bank[7].build().name(), "fcm8");
+    }
+
+    #[test]
+    fn clones_share_the_factory() {
+        let config = PredictorConfig::new("l", || Box::new(LastValuePredictor::new()));
+        let clone = config.clone();
+        assert_eq!(clone.name(), "l");
+        assert_eq!(clone.build().name(), "l");
+        assert!(format!("{config:?}").contains("PredictorConfig"));
+    }
+}

@@ -54,6 +54,7 @@
 
 mod analysis;
 mod confidence;
+mod config;
 mod dataflow;
 mod delayed;
 mod entropy;
@@ -75,6 +76,7 @@ pub use analysis::{
     VALUE_BUCKETS,
 };
 pub use confidence::{ConfidentPredictor, SpeculationOutcome};
+pub use config::PredictorConfig;
 pub use dataflow::{dataflow_height, oracle_height, value_predicted_height, SpeedupReport};
 pub use delayed::DelayedPredictor;
 pub use entropy::{shannon_entropy, EntropyProfile, ENTROPY_BUCKETS};

@@ -23,6 +23,24 @@ pub struct PcTally {
     pub category: Option<InstrCategory>,
 }
 
+impl PcTally {
+    /// Adds another tally for the same static instruction into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two tallies track a different number of predictors.
+    pub fn merge(&mut self, other: &PcTally) {
+        assert_eq!(self.correct.len(), other.correct.len(), "mismatched predictor counts");
+        self.total += other.total;
+        for (mine, theirs) in self.correct.iter_mut().zip(&other.correct) {
+            *mine += theirs;
+        }
+        if self.category.is_none() {
+            self.category = other.category;
+        }
+    }
+}
+
 /// Runs a group of predictors over the same trace and records, for every
 /// dynamic instruction, the *subset* of predictors that were correct.
 ///
@@ -201,6 +219,51 @@ impl PredictorSet {
         self.per_pc.as_ref()
     }
 
+    /// Merges another set's accounting into this one.
+    ///
+    /// Used by the parallel replay engine: each PC shard runs its own
+    /// `PredictorSet` over a disjoint slice of the trace, and the shard
+    /// results are merged afterwards. Because all counts are exact integer
+    /// tallies, the merged set is identical to one produced by a single
+    /// sequential pass, regardless of merge order.
+    ///
+    /// Per-PC tallies are kept only if *both* sets track them; tallies for
+    /// the same PC are added together.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets hold different predictor configurations
+    /// (compared by name).
+    pub fn merge(&mut self, other: PredictorSet) {
+        assert_eq!(self.names(), other.names(), "mismatched predictor banks");
+        if self.subset_counts.is_empty() {
+            self.subset_counts = other.subset_counts;
+        } else {
+            for (mine, theirs) in self.subset_counts.iter_mut().zip(&other.subset_counts) {
+                for (m, t) in mine.iter_mut().zip(theirs) {
+                    *m += t;
+                }
+            }
+        }
+        self.total += other.total;
+        self.per_pc = match (self.per_pc.take(), other.per_pc) {
+            (Some(mut mine), Some(theirs)) => {
+                for (pc, tally) in theirs {
+                    match mine.entry(pc) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            e.get_mut().merge(&tally);
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(tally);
+                        }
+                    }
+                }
+                Some(mine)
+            }
+            _ => None,
+        };
+    }
+
     /// Accuracy of predictor `index` over everything observed so far.
     #[must_use]
     pub fn accuracy(&self, index: usize) -> f64 {
@@ -352,6 +415,51 @@ mod tests {
         assert_eq!(tally.correct.len(), 3);
         // FCM learns the alternation; last value never does.
         assert!(tally.correct[2] > tally.correct[0]);
+    }
+
+    #[test]
+    fn sharded_merge_equals_sequential_run() {
+        // Feed a multi-PC trace sequentially into one set, and sharded by
+        // pc % 2 into two sets merged afterwards: all counts must agree.
+        let records: Vec<TraceRecord> = (0..300u64)
+            .map(|i| {
+                let pc = 4 * (i % 3);
+                TraceRecord::new(Pc(pc), InstrCategory::AddSub, (i / 3) % 7)
+            })
+            .collect();
+        let mut sequential = PredictorSet::paper_trio();
+        for rec in &records {
+            sequential.observe(rec);
+        }
+        let mut shards = [PredictorSet::paper_trio(), PredictorSet::paper_trio()];
+        for rec in &records {
+            shards[(rec.pc.0 % 2) as usize].observe(rec);
+        }
+        let [first, second] = shards;
+        let mut merged = first;
+        merged.merge(second);
+        assert_eq!(merged.total(), sequential.total());
+        for mask in 0..8u32 {
+            assert_eq!(merged.subset_count(None, mask), sequential.subset_count(None, mask));
+        }
+        for index in 0..3 {
+            assert_eq!(merged.correct_total(index), sequential.correct_total(index));
+        }
+        let (m, s) = (merged.per_pc().unwrap(), sequential.per_pc().unwrap());
+        assert_eq!(m.len(), s.len());
+        for (pc, tally) in s {
+            assert_eq!(m[pc].total, tally.total, "{pc}");
+            assert_eq!(m[pc].correct, tally.correct, "{pc}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched predictor banks")]
+    fn merge_rejects_different_banks() {
+        let mut trio = PredictorSet::paper_trio();
+        let mut single = PredictorSet::new();
+        single.push(Box::new(LastValuePredictor::new()));
+        trio.merge(single);
     }
 
     #[test]

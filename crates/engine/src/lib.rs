@@ -1,0 +1,60 @@
+//! # dvp-engine — the parallel shared-trace replay engine
+//!
+//! Every experiment in *The Predictability of Data Values* (Sazeides &
+//! Smith, MICRO-30, 1997) is a replay: simulate a workload to get a value
+//! trace, feed the trace to one or more predictors, tally the outcomes.
+//! This crate makes replays fast without changing a single tally:
+//!
+//! 1. **Materialize each trace once.** A [`SharedTrace`] is a chunked
+//!    record buffer behind an [`Arc`](std::sync::Arc) — cloning it into any
+//!    number of replay jobs costs an atomic increment, never a copy.
+//! 2. **Fan configurations out across threads.** A [`ReplayEngine`] turns a
+//!    bank of [`PredictorConfig`](dvp_core::PredictorConfig)s (and
+//!    optionally many traces at once) into independent jobs on a
+//!    fixed-size [`par_map`] worker pool.
+//! 3. **Shard per-PC state.** Within one (trace, configuration) cell the
+//!    trace is split by a PC hash ([`shard_of`]). Every predictor in
+//!    `dvp-core` keeps strictly per-PC tables, so each shard replays
+//!    exactly the per-PC value streams a sequential pass would have
+//!    produced, on its own private predictor instance — workers never
+//!    contend on shared state.
+//! 4. **Merge deterministically.** Shard tallies are exact integer counts,
+//!    merged in a fixed order; results are **bit-identical at any worker
+//!    or shard count**, including the sequential configuration.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dvp_core::PredictorConfig;
+//! use dvp_engine::{ReplayEngine, SharedTrace};
+//! use dvp_trace::{InstrCategory, Pc, TraceRecord};
+//!
+//! // Materialize a trace once (in production: one per workload, from the
+//! // simulator).
+//! let trace: SharedTrace = (0..1000u64)
+//!     .map(|i| TraceRecord::new(Pc(4 * (i % 8)), InstrCategory::AddSub, i / 8))
+//!     .collect();
+//!
+//! // Replay the paper's five predictors over it, in parallel.
+//! let engine = ReplayEngine::new(); // all cores, default sharding
+//! let replays = engine.replay(&trace, &PredictorConfig::paper_bank());
+//! assert_eq!(replays.len(), 5);
+//!
+//! // Identical tallies at any thread count — parallelism is invisible in
+//! // the results.
+//! let reference = ReplayEngine::sequential().replay(&trace, &PredictorConfig::paper_bank());
+//! for (a, b) in replays.iter().zip(&reference) {
+//!     assert_eq!(a.tracker.correct(None), b.tracker.correct(None));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pool;
+mod replay;
+mod shared;
+
+pub use pool::{par_map, try_par_map};
+pub use replay::{ConfigReplay, ReplayEngine, DEFAULT_SHARDS};
+pub use shared::{shard_of, SharedTrace, SharedTraceBuilder, DEFAULT_CHUNK_LEN};

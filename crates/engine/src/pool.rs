@@ -1,0 +1,134 @@
+//! A deterministic fork–join worker pool built on `std::thread::scope`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item on up to `workers` threads and returns the
+/// results **in input order**, regardless of which worker ran which item or
+/// in what order they finished.
+///
+/// This is the engine's only threading primitive: jobs are claimed from a
+/// shared atomic cursor (cheap dynamic load balancing — predictor
+/// configurations differ wildly in cost), results land in their input slot,
+/// and the scope joins every worker before returning. Panics in `f` are not
+/// isolated: a panicking job propagates out of `par_map` once the scope
+/// joins.
+///
+/// With `workers <= 1` (or a single item) the items are mapped inline on
+/// the calling thread — no spawning, identical results.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_engine::par_map;
+///
+/// let squares = par_map(4, (0u64..100).collect(), |i| i * i);
+/// assert_eq!(squares[7], 49);
+/// assert_eq!(squares.len(), 100);
+/// ```
+pub fn par_map<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> =
+        items.into_iter().map(|item| Mutex::new(Some(item))).collect();
+    let results: Vec<Mutex<Option<R>>> = slots.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(slot) = slots.get(index) else { break };
+                let item = slot.lock().expect("job slot poisoned").take().expect("job taken once");
+                let result = f(item);
+                *results[index].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result slot poisoned").expect("all jobs completed"))
+        .collect()
+}
+
+/// [`par_map`] over fallible jobs: returns the first error (by **input
+/// order**, not completion order) or all successes in input order.
+///
+/// Jobs are not cancelled when one fails — every job runs to completion
+/// before the error is reported, which keeps the behavior independent of
+/// scheduling.
+///
+/// # Errors
+///
+/// Returns the error of the earliest (lowest-index) failing job.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_engine::try_par_map;
+///
+/// let ok: Result<Vec<u64>, String> = try_par_map(2, vec![1u64, 2, 3], |i| Ok(i * 10));
+/// assert_eq!(ok.unwrap(), [10, 20, 30]);
+///
+/// let err: Result<Vec<u64>, String> =
+///     try_par_map(2, vec![1u64, 2, 3], |i| if i == 2 { Err("two".into()) } else { Ok(i) });
+/// assert_eq!(err.unwrap_err(), "two");
+/// ```
+pub fn try_par_map<T, R, E, F>(workers: usize, items: Vec<T>, f: F) -> Result<Vec<R>, E>
+where
+    T: Send,
+    R: Send,
+    E: Send,
+    F: Fn(T) -> Result<R, E> + Sync,
+{
+    par_map(workers, items, f).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_input_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|i| i * 3 + 1).collect();
+        for workers in [0, 1, 2, 3, 8, 64, 1000] {
+            assert_eq!(
+                par_map(workers, items.clone(), |i| i * 3 + 1),
+                expected,
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counter = AtomicU64::new(0);
+        let results = par_map(8, (0..1000u64).collect(), |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(results.len(), 1000);
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let results: Vec<u64> = par_map(4, Vec::<u64>::new(), |i| i);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn try_par_map_reports_lowest_index_error() {
+        let result: Result<Vec<u64>, usize> =
+            try_par_map(4, (0..100usize).collect(), |i| if i % 30 == 29 { Err(i) } else { Ok(0) });
+        assert_eq!(result.unwrap_err(), 29);
+    }
+}

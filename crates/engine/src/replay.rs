@@ -1,0 +1,347 @@
+//! The replay engine: fan predictor configurations out over a shared trace.
+
+use crate::{par_map, try_par_map, SharedTrace};
+use dvp_core::{AccuracyTracker, PredictorConfig, PredictorSet};
+
+/// Default number of PC shards per replayed trace.
+///
+/// Eight shards keep every worker of a typical desktop busy inside a single
+/// (trace, configuration) cell while multiplying the per-job bookkeeping by
+/// a constant small enough to be invisible next to predictor table work.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// A parallel replay engine over [`SharedTrace`] buffers.
+///
+/// The engine turns every replay request into a grid of independent jobs —
+/// one per (trace, predictor configuration, PC shard) — and runs them on a
+/// fixed-size [`par_map`] worker pool. Sharding splits a trace by a PC
+/// hash ([`crate::shard_of`]); because every predictor in this workspace
+/// keeps strictly per-PC state, each shard's sub-replay sees exactly the
+/// per-PC value streams of a sequential full-trace replay, and the shard
+/// tallies (exact integer counts) merge back to **bit-identical** results
+/// at any worker or shard count. Workers never share predictor state, so
+/// there is nothing to contend on.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_core::PredictorConfig;
+/// use dvp_engine::{ReplayEngine, SharedTrace};
+/// use dvp_trace::{InstrCategory, Pc, TraceRecord};
+///
+/// let trace: SharedTrace = (0..400u64)
+///     .map(|i| TraceRecord::new(Pc(4 * (i % 4)), InstrCategory::AddSub, i / 4))
+///     .collect();
+/// let parallel = ReplayEngine::new().replay(&trace, &PredictorConfig::paper_bank());
+/// let sequential = ReplayEngine::sequential().replay(&trace, &PredictorConfig::paper_bank());
+/// assert_eq!(parallel[1].name, "s2");
+/// // Same correct/predicted counts regardless of parallelism.
+/// for (p, s) in parallel.iter().zip(&sequential) {
+///     assert_eq!(p.tracker.correct(None), s.tracker.correct(None));
+///     assert_eq!(p.tracker.predicted(None), s.tracker.predicted(None));
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayEngine {
+    workers: usize,
+    shards: usize,
+}
+
+/// The merged outcome of replaying one predictor configuration over one
+/// trace: the configuration's name and its per-category accuracy tally.
+#[derive(Debug, Clone)]
+pub struct ConfigReplay {
+    /// Name of the [`PredictorConfig`] that produced this tally.
+    pub name: String,
+    /// Per-category correct/predicted counts, merged over all PC shards.
+    pub tracker: AccuracyTracker,
+}
+
+impl ConfigReplay {
+    /// Overall accuracy in `[0, 1]` (0 when the trace was empty).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        self.tracker.accuracy(None)
+    }
+}
+
+impl Default for ReplayEngine {
+    fn default() -> Self {
+        ReplayEngine::new()
+    }
+}
+
+impl ReplayEngine {
+    /// An engine using every available core and [`DEFAULT_SHARDS`] PC
+    /// shards.
+    #[must_use]
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        ReplayEngine { workers, shards: DEFAULT_SHARDS }
+    }
+
+    /// An engine that runs everything inline on the calling thread with a
+    /// single shard — the sequential reference configuration. Results are
+    /// identical to any parallel configuration; only the wall clock moves.
+    #[must_use]
+    pub fn sequential() -> Self {
+        ReplayEngine { workers: 1, shards: 1 }
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the per-trace PC shard count (clamped to at least 1).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// The worker-thread count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The per-trace PC shard count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// [`par_map`] on this engine's worker pool: applies `f` to every item,
+    /// results in input order.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        par_map(self.workers, items, f)
+    }
+
+    /// [`try_par_map`] on this engine's worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the earliest (lowest-index) failing job.
+    pub fn try_map<T, R, E, F>(&self, items: Vec<T>, f: F) -> Result<Vec<R>, E>
+    where
+        T: Send,
+        R: Send,
+        E: Send,
+        F: Fn(T) -> Result<R, E> + Sync,
+    {
+        try_par_map(self.workers, items, f)
+    }
+
+    /// Replays one trace under a bank of predictor configurations and
+    /// returns one merged [`ConfigReplay`] per configuration, in bank
+    /// order.
+    #[must_use]
+    pub fn replay(&self, trace: &SharedTrace, bank: &[PredictorConfig]) -> Vec<ConfigReplay> {
+        let mut rows = self.replay_matrix(std::slice::from_ref(trace), bank);
+        rows.pop().expect("one row per trace")
+    }
+
+    /// Replays every trace under every configuration of the bank — the full
+    /// predictor×workload matrix as independent (trace, config, shard) jobs
+    /// on one worker pool. Returns, for each trace (outer, in input order),
+    /// one merged [`ConfigReplay`] per configuration (inner, in bank
+    /// order).
+    #[must_use]
+    pub fn replay_matrix(
+        &self,
+        traces: &[SharedTrace],
+        bank: &[PredictorConfig],
+    ) -> Vec<Vec<ConfigReplay>> {
+        let sharded: Vec<Vec<SharedTrace>> = self.shard_all(traces);
+        let mut jobs: Vec<(SharedTrace, PredictorConfig)> = Vec::new();
+        for shards in &sharded {
+            for config in bank {
+                for shard in shards {
+                    jobs.push((shard.clone(), config.clone()));
+                }
+            }
+        }
+        let tallies = self.map(jobs, |(shard, config)| {
+            let mut predictor = config.build();
+            let mut tracker = AccuracyTracker::new();
+            for rec in shard.iter() {
+                tracker.record(rec.category, predictor.observe(rec.pc, rec.value));
+            }
+            tracker
+        });
+        // Merge the shard tallies back into (trace, config) cells; exact
+        // counts make the merge independent of execution order.
+        let mut tallies = tallies.into_iter();
+        sharded
+            .iter()
+            .map(|shards| {
+                bank.iter()
+                    .map(|config| {
+                        let mut merged = AccuracyTracker::new();
+                        for _ in 0..shards.len() {
+                            merged.merge(&tallies.next().expect("one tally per job"));
+                        }
+                        ConfigReplay { name: config.name().to_owned(), tracker: merged }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Replays one trace through *correlated* predictor sets: `build` makes
+    /// a fresh [`PredictorSet`] per PC shard, every shard's set observes its
+    /// sub-trace in lockstep, and the shard sets are merged in shard order.
+    ///
+    /// This is the parallel form of the paper's Figure 8/9 methodology,
+    /// where the quantity of interest is the per-record *subset* of
+    /// predictors that were simultaneously correct — something that cannot
+    /// be reconstructed from independent per-predictor replays.
+    pub fn replay_correlated<F>(&self, trace: &SharedTrace, build: F) -> PredictorSet
+    where
+        F: Fn() -> PredictorSet + Sync,
+    {
+        let shards = trace.shard_by_pc(self.shards);
+        let sets = self.map(shards, |shard| {
+            let mut set = build();
+            for rec in shard.iter() {
+                set.observe(rec);
+            }
+            set
+        });
+        let mut sets = sets.into_iter();
+        let mut merged = sets.next().expect("at least one shard");
+        for set in sets {
+            merged.merge(set);
+        }
+        merged
+    }
+
+    /// Shards every trace, in parallel when it pays.
+    fn shard_all(&self, traces: &[SharedTrace]) -> Vec<Vec<SharedTrace>> {
+        let shards = self.shards;
+        self.map(traces.to_vec(), move |trace| trace.shard_by_pc(shards))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvp_core::Predictor;
+    use dvp_trace::{InstrCategory, Pc, TraceRecord};
+
+    fn mixed_trace(n: u64) -> SharedTrace {
+        (0..n)
+            .map(|i| {
+                let pc = Pc(4 * (i % 13));
+                let category =
+                    if i % 3 == 0 { InstrCategory::Loads } else { InstrCategory::AddSub };
+                // A mix of strides, repeats, and noise per PC.
+                let value = match i % 13 {
+                    0..=4 => i / 13,
+                    5..=8 => (i / 13) % 4,
+                    _ => (i * 2_654_435_761) % 97,
+                };
+                TraceRecord::new(pc, category, value)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn replay_matches_sequential_lockstep_loop() {
+        let trace = mixed_trace(5000);
+        let bank = PredictorConfig::paper_bank();
+        let replays = ReplayEngine::new().with_workers(4).with_shards(5).replay(&trace, &bank);
+        assert_eq!(replays.len(), bank.len());
+        for (config, replay) in bank.iter().zip(&replays) {
+            let mut predictor = config.build();
+            let mut tracker = AccuracyTracker::new();
+            for rec in trace.iter() {
+                tracker.record(rec.category, predictor.observe(rec.pc, rec.value));
+            }
+            assert_eq!(replay.name, config.name());
+            for category in dvp_trace::InstrCategory::ALL.into_iter().map(Some).chain([None]) {
+                assert_eq!(
+                    replay.tracker.correct(category),
+                    tracker.correct(category),
+                    "{} {category:?}",
+                    replay.name
+                );
+                assert_eq!(replay.tracker.predicted(category), tracker.predicted(category));
+            }
+        }
+    }
+
+    #[test]
+    fn results_identical_at_every_worker_and_shard_count() {
+        let trace = mixed_trace(3000);
+        let bank = PredictorConfig::paper_bank();
+        let reference: Vec<(String, u64, u64)> = ReplayEngine::sequential()
+            .replay(&trace, &bank)
+            .into_iter()
+            .map(|r| (r.name, r.tracker.correct(None), r.tracker.predicted(None)))
+            .collect();
+        for (workers, shards) in [(1, 3), (2, 1), (2, 2), (3, 8), (8, 16), (16, 64)] {
+            let engine = ReplayEngine::new().with_workers(workers).with_shards(shards);
+            let got: Vec<(String, u64, u64)> = engine
+                .replay(&trace, &bank)
+                .into_iter()
+                .map(|r| (r.name, r.tracker.correct(None), r.tracker.predicted(None)))
+                .collect();
+            assert_eq!(got, reference, "workers={workers} shards={shards}");
+        }
+    }
+
+    #[test]
+    fn replay_matrix_layout_is_trace_major_bank_minor() {
+        let traces = [mixed_trace(500), mixed_trace(900)];
+        let bank = PredictorConfig::fcm_orders([1, 2]);
+        let matrix = ReplayEngine::new().with_workers(3).replay_matrix(&traces, &bank);
+        assert_eq!(matrix.len(), 2);
+        for (trace, row) in traces.iter().zip(&matrix) {
+            assert_eq!(row.len(), 2);
+            assert_eq!(row[0].name, "fcm1");
+            assert_eq!(row[1].name, "fcm2");
+            for replay in row {
+                assert_eq!(replay.tracker.total(), trace.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_replay_matches_sequential_set() {
+        let trace = mixed_trace(4000);
+        let mut sequential = PredictorSet::paper_trio();
+        for rec in trace.iter() {
+            sequential.observe(rec);
+        }
+        let engine = ReplayEngine::new().with_workers(4).with_shards(6);
+        let merged = engine.replay_correlated(&trace, PredictorSet::paper_trio);
+        assert_eq!(merged.total(), sequential.total());
+        for mask in 0..8u32 {
+            assert_eq!(merged.subset_count(None, mask), sequential.subset_count(None, mask));
+        }
+        let (m, s) = (merged.per_pc().unwrap(), sequential.per_pc().unwrap());
+        assert_eq!(m.len(), s.len());
+        for (pc, tally) in s {
+            assert_eq!(m[pc].correct, tally.correct, "{pc}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_and_empty_bank_are_safe() {
+        let engine = ReplayEngine::new();
+        let empty = SharedTrace::new();
+        let replays = engine.replay(&empty, &PredictorConfig::paper_bank());
+        assert!(replays.iter().all(|r| r.tracker.total() == 0 && r.accuracy() == 0.0));
+        let none = engine.replay(&mixed_trace(10), &[]);
+        assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,327 @@
+//! The shared trace buffer: a workload's value trace, materialized once and
+//! cloned cheaply into every replay job.
+
+use dvp_trace::TraceRecord;
+use std::sync::Arc;
+
+/// Records per chunk of a [`SharedTrace`] (64 Ki records ≈ 1.5 MiB): large
+/// enough that chunk boundaries are invisible to the replay inner loop,
+/// small enough that building a trace never reallocates a giant buffer.
+pub const DEFAULT_CHUNK_LEN: usize = 1 << 16;
+
+/// An immutable value trace held in fixed-size chunks behind an [`Arc`].
+///
+/// A `SharedTrace` is materialized **once** per workload (simulation is the
+/// expensive step) and then handed to every predictor configuration that
+/// replays it: cloning costs one atomic increment, never a copy of the
+/// records. The chunked layout lets the builder grow the trace without a
+/// single monolithic reallocation while keeping iteration contiguous in
+/// practice.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_engine::SharedTrace;
+/// use dvp_trace::{InstrCategory, Pc, TraceRecord};
+///
+/// let records: Vec<TraceRecord> = (0..10u64)
+///     .map(|i| TraceRecord::new(Pc(4 * i % 8), InstrCategory::AddSub, i))
+///     .collect();
+/// let trace = SharedTrace::from_records(records.clone());
+/// assert_eq!(trace.len(), 10);
+/// let clone = trace.clone(); // no copy: both views share the records
+/// assert_eq!(clone.iter().copied().collect::<Vec<_>>(), records);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharedTrace {
+    chunks: Arc<Vec<Vec<TraceRecord>>>,
+    len: usize,
+}
+
+impl SharedTrace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        SharedTrace::default()
+    }
+
+    /// Wraps an already-collected record vector (one chunk, no copying).
+    #[must_use]
+    pub fn from_records(records: Vec<TraceRecord>) -> Self {
+        let len = records.len();
+        let chunks = if records.is_empty() { Vec::new() } else { vec![records] };
+        SharedTrace { chunks: Arc::new(chunks), len }
+    }
+
+    /// An incremental builder with the default chunk size.
+    #[must_use]
+    pub fn builder() -> SharedTraceBuilder {
+        SharedTraceBuilder::with_chunk_len(DEFAULT_CHUNK_LEN)
+    }
+
+    /// Number of records in the trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trace holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over all records in trace order.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> + '_ {
+        self.chunks.iter().flat_map(|chunk| chunk.iter())
+    }
+
+    /// The underlying chunks, in trace order (every chunk is non-empty).
+    #[must_use]
+    pub fn chunks(&self) -> &[Vec<TraceRecord>] {
+        &self.chunks
+    }
+
+    /// Copies the trace into a flat vector.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<TraceRecord> {
+        self.iter().copied().collect()
+    }
+
+    /// A trace holding at most the first `cap` records. Returns a clone
+    /// (no copy) when the trace is already within the cap.
+    #[must_use]
+    pub fn truncated(&self, cap: usize) -> SharedTrace {
+        if self.len <= cap {
+            return self.clone();
+        }
+        let mut builder = SharedTrace::builder();
+        for rec in self.iter().take(cap) {
+            builder.push(*rec);
+        }
+        builder.finish()
+    }
+
+    /// Partitions the trace into `nshards` traces by [`shard_of`]`(pc)`,
+    /// preserving record order within each shard.
+    ///
+    /// Every predictor in this workspace keeps strictly per-PC state, so a
+    /// predictor replaying shard *i* sees exactly the sub-streams it would
+    /// have seen in a sequential full-trace replay — which is why sharded
+    /// replay merges back to bit-identical tallies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nshards` is zero.
+    #[must_use]
+    pub fn shard_by_pc(&self, nshards: usize) -> Vec<SharedTrace> {
+        assert!(nshards > 0, "nshards must be positive");
+        if nshards == 1 {
+            return vec![self.clone()];
+        }
+        let mut builders: Vec<SharedTraceBuilder> =
+            (0..nshards).map(|_| SharedTrace::builder()).collect();
+        for rec in self.iter() {
+            builders[shard_of(rec.pc, nshards)].push(*rec);
+        }
+        builders.into_iter().map(SharedTraceBuilder::finish).collect()
+    }
+}
+
+/// The shard a static instruction belongs to: a fixed multiplicative hash
+/// of the PC, reduced modulo `nshards`.
+///
+/// A raw `pc % nshards` would be badly unbalanced here: Sim32 PCs are
+/// always 4-aligned, so `pc % 8` can only ever hit residues 0 and 4 and
+/// six of eight shards would stay empty. The Fibonacci multiplier spreads
+/// any alignment or stride pattern into the product's *high* bits (the low
+/// bits keep the input's alignment, which is why the product is shifted
+/// down before the modulus), while remaining a pure deterministic function
+/// of the PC — which is all sharded replay needs for bit-identical merges.
+///
+/// # Panics
+///
+/// Panics if `nshards` is zero.
+#[must_use]
+pub fn shard_of(pc: dvp_trace::Pc, nshards: usize) -> usize {
+    ((pc.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % nshards as u64) as usize
+}
+
+impl<'a> IntoIterator for &'a SharedTrace {
+    type Item = &'a TraceRecord;
+    type IntoIter = std::iter::FlatMap<
+        std::slice::Iter<'a, Vec<TraceRecord>>,
+        std::slice::Iter<'a, TraceRecord>,
+        fn(&'a Vec<TraceRecord>) -> std::slice::Iter<'a, TraceRecord>,
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.chunks.iter().flat_map(|chunk| chunk.iter())
+    }
+}
+
+impl FromIterator<TraceRecord> for SharedTrace {
+    fn from_iter<T: IntoIterator<Item = TraceRecord>>(iter: T) -> Self {
+        let mut builder = SharedTrace::builder();
+        for rec in iter {
+            builder.push(rec);
+        }
+        builder.finish()
+    }
+}
+
+/// Incrementally builds a [`SharedTrace`] chunk by chunk.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_engine::SharedTrace;
+/// use dvp_trace::{InstrCategory, Pc, TraceRecord};
+///
+/// let mut builder = SharedTrace::builder();
+/// for i in 0..100u64 {
+///     builder.push(TraceRecord::new(Pc(8), InstrCategory::Loads, i));
+/// }
+/// let trace = builder.finish();
+/// assert_eq!(trace.len(), 100);
+/// ```
+#[derive(Debug)]
+pub struct SharedTraceBuilder {
+    chunks: Vec<Vec<TraceRecord>>,
+    current: Vec<TraceRecord>,
+    chunk_len: usize,
+    len: usize,
+}
+
+impl Default for SharedTraceBuilder {
+    /// Equivalent to [`SharedTrace::builder`] (a derived default would set
+    /// `chunk_len` to 0 and silently disable chunking).
+    fn default() -> Self {
+        SharedTraceBuilder::with_chunk_len(DEFAULT_CHUNK_LEN)
+    }
+}
+
+impl SharedTraceBuilder {
+    /// A builder whose chunks hold `chunk_len` records each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` is zero.
+    #[must_use]
+    pub fn with_chunk_len(chunk_len: usize) -> Self {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        SharedTraceBuilder { chunks: Vec::new(), current: Vec::new(), chunk_len, len: 0 }
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, rec: TraceRecord) {
+        if self.current.capacity() == 0 {
+            self.current.reserve_exact(self.chunk_len);
+        }
+        self.current.push(rec);
+        self.len += 1;
+        if self.current.len() == self.chunk_len {
+            self.chunks.push(std::mem::take(&mut self.current));
+        }
+    }
+
+    /// Records pushed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing has been pushed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Seals the builder into an immutable [`SharedTrace`].
+    #[must_use]
+    pub fn finish(mut self) -> SharedTrace {
+        if !self.current.is_empty() {
+            self.chunks.push(self.current);
+        }
+        SharedTrace { chunks: Arc::new(self.chunks), len: self.len }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvp_trace::{InstrCategory, Pc};
+
+    fn records(n: u64) -> Vec<TraceRecord> {
+        (0..n).map(|i| TraceRecord::new(Pc(4 * (i % 5)), InstrCategory::AddSub, i)).collect()
+    }
+
+    #[test]
+    fn builder_chunks_and_preserves_order() {
+        let recs = records(1000);
+        let mut builder = SharedTraceBuilder::with_chunk_len(64);
+        for &rec in &recs {
+            builder.push(rec);
+        }
+        let trace = builder.finish();
+        assert_eq!(trace.len(), 1000);
+        assert_eq!(trace.chunks().len(), 1000usize.div_ceil(64));
+        assert!(trace.chunks().iter().all(|c| !c.is_empty()));
+        assert_eq!(trace.to_vec(), recs);
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let trace = SharedTrace::from_records(records(100));
+        let clone = trace.clone();
+        assert!(std::ptr::eq(trace.chunks().as_ptr(), clone.chunks().as_ptr()));
+    }
+
+    #[test]
+    fn truncated_caps_and_avoids_copies_when_within_cap() {
+        let trace = SharedTrace::from_records(records(100));
+        let capped = trace.truncated(30);
+        assert_eq!(capped.len(), 30);
+        assert_eq!(capped.to_vec(), records(100)[..30]);
+        let uncapped = trace.truncated(1000);
+        assert!(std::ptr::eq(trace.chunks().as_ptr(), uncapped.chunks().as_ptr()));
+    }
+
+    #[test]
+    fn shard_by_pc_partitions_and_preserves_per_pc_order() {
+        let trace: SharedTrace = records(500).into_iter().collect();
+        for nshards in [1, 2, 3, 7] {
+            let shards = trace.shard_by_pc(nshards);
+            assert_eq!(shards.len(), nshards);
+            assert_eq!(shards.iter().map(SharedTrace::len).sum::<usize>(), trace.len());
+            for (i, shard) in shards.iter().enumerate() {
+                let expected: Vec<TraceRecord> =
+                    trace.iter().filter(|r| shard_of(r.pc, nshards) == i).copied().collect();
+                assert_eq!(shard.to_vec(), expected, "shard {i}/{nshards}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_balances_aligned_pcs() {
+        // Sim32 PCs are 4-aligned; a naive `pc % nshards` would leave six
+        // of eight shards empty. The hash must spread them.
+        let trace: SharedTrace = (0..8000u64)
+            .map(|i| TraceRecord::new(Pc(0x40_0000 + 4 * (i % 100)), InstrCategory::AddSub, i))
+            .collect();
+        let shards = trace.shard_by_pc(8);
+        let nonempty = shards.iter().filter(|s| !s.is_empty()).count();
+        assert!(nonempty >= 6, "aligned PCs should spread over most shards, got {nonempty}/8");
+        let largest = shards.iter().map(SharedTrace::len).max().unwrap();
+        assert!(largest < trace.len() / 2, "no shard should dominate: {largest}");
+    }
+
+    #[test]
+    fn empty_trace_is_well_behaved() {
+        let trace = SharedTrace::new();
+        assert!(trace.is_empty());
+        assert_eq!(trace.iter().count(), 0);
+        assert!(trace.shard_by_pc(4).iter().all(SharedTrace::is_empty));
+        assert!(SharedTrace::builder().is_empty());
+    }
+}

@@ -3,25 +3,15 @@
 
 use crate::context::TraceStore;
 use crate::table_fmt::{pct, TextTable};
-use dvp_core::{AccuracyTracker, FcmPredictor, LastValuePredictor, Predictor, StridePredictor};
+use dvp_core::{AccuracyTracker, PredictorConfig};
+use dvp_engine::{ReplayEngine, SharedTrace};
 use dvp_trace::InstrCategory;
 use dvp_workloads::{Benchmark, BuildError};
-
-/// The paper's five predictors, in reporting order.
-fn predictors() -> Vec<Box<dyn Predictor>> {
-    vec![
-        Box::new(LastValuePredictor::new()),
-        Box::new(StridePredictor::two_delta()),
-        Box::new(FcmPredictor::new(1)),
-        Box::new(FcmPredictor::new(2)),
-        Box::new(FcmPredictor::new(3)),
-    ]
-}
 
 /// Names of the predictors, in reporting order (L, S2, FCM1, FCM2, FCM3).
 #[must_use]
 pub fn predictor_names() -> Vec<String> {
-    predictors().iter().map(|p| p.name()).collect()
+    PredictorConfig::paper_bank().iter().map(|c| c.name().to_owned()).collect()
 }
 
 /// Per-benchmark accuracy accounting for all five predictors.
@@ -31,27 +21,28 @@ pub struct AccuracyResults {
     pub per_benchmark: Vec<(Benchmark, Vec<AccuracyTracker>)>,
 }
 
-/// Runs the accuracy experiment: one pass over each benchmark's trace,
-/// feeding all five predictors in lockstep. Predictor tables are dropped
-/// after each benchmark (they are per-benchmark in the paper too).
+/// Runs the accuracy experiment through the replay engine: the full
+/// predictor×benchmark matrix (5 × 7 cells, further split into PC shards)
+/// fans out over the engine's worker pool. Predictor tables are per
+/// benchmark (as in the paper) and per shard, so workers share nothing;
+/// the merged tallies are identical to a sequential lockstep pass at any
+/// worker count.
 ///
 /// # Errors
 ///
 /// Propagates workload build/run errors.
-pub fn run(store: &mut TraceStore) -> Result<AccuracyResults, BuildError> {
-    let mut per_benchmark = Vec::new();
-    for benchmark in Benchmark::ALL {
-        let trace = store.trace(benchmark)?;
-        let mut preds = predictors();
-        let mut trackers = vec![AccuracyTracker::new(); preds.len()];
-        for rec in trace {
-            for (p, tracker) in preds.iter_mut().zip(&mut trackers) {
-                let correct = p.observe(rec.pc, rec.value);
-                tracker.record(rec.category, correct);
-            }
-        }
-        per_benchmark.push((benchmark, trackers));
-    }
+pub fn run(store: &mut TraceStore, engine: &ReplayEngine) -> Result<AccuracyResults, BuildError> {
+    store.prefetch(engine, &Benchmark::ALL)?;
+    let traces: Vec<SharedTrace> =
+        Benchmark::ALL.iter().map(|&b| store.trace(b)).collect::<Result<_, _>>()?;
+    let matrix = engine.replay_matrix(&traces, &PredictorConfig::paper_bank());
+    let per_benchmark = Benchmark::ALL
+        .into_iter()
+        .zip(matrix)
+        .map(|(benchmark, replays)| {
+            (benchmark, replays.into_iter().map(|replay| replay.tracker).collect())
+        })
+        .collect();
     Ok(AccuracyResults { per_benchmark })
 }
 
@@ -143,13 +134,14 @@ impl AccuracyResults {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dvp_core::{FcmPredictor, Predictor, StridePredictor};
 
     #[test]
     fn ordering_matches_paper_on_small_traces() {
         // The steady-state comparison below needs FCM warmup, which needs
         // ~100k records — so no debug-build cap reduction here.
         let mut store = TraceStore::with_scale_div(1000).with_record_cap(150_000);
-        let results = run(&mut store).unwrap();
+        let results = run(&mut store, &ReplayEngine::new()).unwrap();
         // Robust orderings at small trace lengths: L < S2, L < FCM3, and
         // FCM order monotonicity. (The full S2 < FCM3 ordering needs FCM
         // warmup and is asserted at larger caps in tests/paper_claims.rs.)
@@ -198,7 +190,7 @@ mod tests {
     fn renders_contain_all_benchmarks() {
         let mut store = TraceStore::with_scale_div(1000)
             .with_record_cap(if cfg!(debug_assertions) { 25_000 } else { 150_000 });
-        let results = run(&mut store).unwrap();
+        let results = run(&mut store, &ReplayEngine::new()).unwrap();
         let text = results.render_overall();
         for benchmark in Benchmark::ALL {
             assert!(text.contains(benchmark.name()));

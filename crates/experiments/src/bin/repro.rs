@@ -4,27 +4,62 @@
 //! repro all                 # everything, in paper order
 //! repro figure3 table6      # specific experiments
 //! repro --quick all         # 1/4-scale workloads (faster, noisier)
+//! repro --workers 4 all     # cap the replay engine at 4 threads
+//! repro --workers 1 all     # sequential reference run (same output)
 //! repro --list              # list experiment ids
 //! ```
+//!
+//! All workload-driven experiments run through the `dvp-engine` parallel
+//! replay engine: each benchmark's trace is simulated once into a shared
+//! buffer, and the predictor×workload matrix fans out across worker
+//! threads with per-PC sharding. The tables are byte-identical at any
+//! `--workers`/`--shards` setting — parallelism only moves the wall clock.
 
+use dvp_engine::ReplayEngine;
 use dvp_experiments::{
     accuracy, analytic, characterize, information, overlap, realism, sensitivity, speedup, values,
     TraceStore,
 };
 use dvp_trace::InstrCategory;
+use dvp_workloads::Benchmark;
 use std::process::ExitCode;
 
-const EXPERIMENTS: [&str; 16] = [
-    "table1", "figure1", "figure2", "table2", "table3", "table4", "table5", "figure3", "figure4",
-    "figure5", "figure6", "figure7", "figure8", "figure9", "figure10", "table6",
+/// Every experiment id in `repro all` order (the paper's tables and
+/// figures first, then the extras/extensions), with whether it replays
+/// every benchmark's cached trace — the single source of truth driving
+/// the upfront parallel prefetch. (Experiments marked `false` either need
+/// no workloads at all or generate their own traces: the sensitivity
+/// experiments build gcc variants, `ext-speedup` collects dependence
+/// traces.)
+const EXPERIMENTS: [(&str, bool); 23] = [
+    ("table1", false),
+    ("figure1", false),
+    ("figure2", false),
+    ("table2", true),
+    ("table3", false),
+    ("table4", true),
+    ("table5", true),
+    ("figure3", true),
+    ("figure4", true),
+    ("figure5", true),
+    ("figure6", true),
+    ("figure7", true),
+    ("figure8", true),
+    ("figure9", true),
+    ("figure10", true),
+    ("table6", false),
+    ("table7", false),
+    ("figure11", false),
+    ("ext-tables", true),
+    ("ext-delay", true),
+    ("ext-locality", true),
+    ("ext-entropy", true),
+    ("ext-speedup", false),
 ];
-// table7, figure11 and the extension experiments are also available;
-// EXPERIMENTS keeps the paper order for `all`.
-const EXTRA: [&str; 7] =
-    ["table7", "figure11", "ext-tables", "ext-delay", "ext-locality", "ext-entropy", "ext-speedup"];
 
 struct Harness {
     store: TraceStore,
+    engine: ReplayEngine,
     accuracy: Option<accuracy::AccuracyResults>,
     overlap: Option<overlap::OverlapResults>,
 }
@@ -33,7 +68,8 @@ impl Harness {
     fn accuracy(&mut self) -> &accuracy::AccuracyResults {
         if self.accuracy.is_none() {
             eprintln!("[repro] running accuracy experiment (figures 3-7)...");
-            self.accuracy = Some(accuracy::run(&mut self.store).expect("accuracy experiment"));
+            self.accuracy =
+                Some(accuracy::run(&mut self.store, &self.engine).expect("accuracy experiment"));
         }
         self.accuracy.as_ref().expect("just initialized")
     }
@@ -41,12 +77,14 @@ impl Harness {
     fn overlap(&mut self) -> &overlap::OverlapResults {
         if self.overlap.is_none() {
             eprintln!("[repro] running overlap experiment (figures 8-9)...");
-            self.overlap = Some(overlap::run(&mut self.store).expect("overlap experiment"));
+            self.overlap =
+                Some(overlap::run(&mut self.store, &self.engine).expect("overlap experiment"));
         }
         self.overlap.as_ref().expect("just initialized")
     }
 
     fn run(&mut self, id: &str) -> Option<String> {
+        let engine = self.engine.clone();
         let text = match id {
             "table1" => analytic::table1().render(),
             "figure1" => analytic::figure1().render(),
@@ -63,54 +101,114 @@ impl Harness {
             "figure8" => self.overlap().render_figure8(),
             "figure9" => self.overlap().render_figure9(),
             "figure10" => values::run(&mut self.store).expect("figure10").render(),
-            "table6" => sensitivity::table6(&self.store).expect("table6").render(),
-            "table7" => sensitivity::table7(&self.store).expect("table7").render(),
-            "figure11" => sensitivity::figure11(&mut self.store).expect("figure11").render(),
-            "ext-tables" => realism::table_sweep(&mut self.store).expect("ext-tables").render(),
-            "ext-delay" => realism::delay_sweep(&mut self.store).expect("ext-delay").render(),
+            "table6" => sensitivity::table6(&self.store, &engine).expect("table6").render(),
+            "table7" => sensitivity::table7(&self.store, &engine).expect("table7").render(),
+            "figure11" => {
+                sensitivity::figure11(&mut self.store, &engine).expect("figure11").render()
+            }
+            "ext-tables" => {
+                realism::table_sweep(&mut self.store, &engine).expect("ext-tables").render()
+            }
+            "ext-delay" => {
+                realism::delay_sweep(&mut self.store, &engine).expect("ext-delay").render()
+            }
             "ext-locality" => {
                 information::locality(&mut self.store).expect("ext-locality").render()
             }
             "ext-entropy" => information::entropy(&mut self.store).expect("ext-entropy").render(),
-            "ext-speedup" => speedup::run(&self.store).expect("ext-speedup").render(),
+            "ext-speedup" => speedup::run(&self.store, &engine).expect("ext-speedup").render(),
             _ => return None,
         };
         Some(text)
     }
 }
 
-fn main() -> ExitCode {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scale_div = 1;
-    args.retain(|a| match a.as_str() {
-        "--quick" => {
-            scale_div = 4;
-            false
+fn parse_count(args: &[String], index: usize, flag: &str) -> Option<usize> {
+    let Some(value) = args.get(index) else {
+        eprintln!("{flag} expects a positive integer value");
+        return None;
+    };
+    match value.parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => {
+            eprintln!("{flag} expects a positive integer, got `{value}`");
+            None
         }
-        _ => true,
-    });
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale_div = 1;
+    let mut engine = ReplayEngine::new();
+    let mut args: Vec<String> = Vec::new();
+    let mut skip = false;
+    for (i, arg) in raw.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        match arg.as_str() {
+            "--quick" => scale_div = 4,
+            "--workers" | "-j" => {
+                let Some(workers) = parse_count(&raw, i + 1, arg) else {
+                    return ExitCode::FAILURE;
+                };
+                engine = engine.with_workers(workers);
+                skip = true;
+            }
+            "--shards" => {
+                let Some(shards) = parse_count(&raw, i + 1, arg) else {
+                    return ExitCode::FAILURE;
+                };
+                engine = engine.with_shards(shards);
+                skip = true;
+            }
+            _ => args.push(arg.clone()),
+        }
+    }
     if args.iter().any(|a| a == "--list" || a == "-l") {
-        for id in EXPERIMENTS.iter().chain(EXTRA.iter()) {
+        for (id, _) in EXPERIMENTS {
             println!("{id}");
         }
         return ExitCode::SUCCESS;
     }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: repro [--quick] all | <experiment>...\n       repro --list\n\n\
-             Regenerates the tables and figures of Sazeides & Smith (MICRO-30 1997)."
+            "usage: repro [--quick] [--workers N] [--shards N] all | <experiment>...\n       \
+             repro --list\n\n\
+             Regenerates the tables and figures of Sazeides & Smith (MICRO-30 1997)\n\
+             through the parallel replay engine (default: all cores; output is\n\
+             byte-identical at any worker count)."
         );
         return ExitCode::FAILURE;
     }
 
     let ids: Vec<String> = if args.iter().any(|a| a == "all") {
-        EXPERIMENTS.iter().chain(EXTRA.iter()).map(|s| (*s).to_owned()).collect()
+        EXPERIMENTS.iter().map(|(id, _)| (*id).to_owned()).collect()
     } else {
         args
     };
 
-    let mut harness =
-        Harness { store: TraceStore::with_scale_div(scale_div), accuracy: None, overlap: None };
+    let mut harness = Harness {
+        store: TraceStore::with_scale_div(scale_div),
+        engine,
+        accuracy: None,
+        overlap: None,
+    };
+    // Experiments that replay every benchmark's trace share the store's
+    // cache: generate all traces up front, in parallel, before the first
+    // table. (Experiments left out generate what they need themselves.)
+    if ids
+        .iter()
+        .any(|id| EXPERIMENTS.iter().any(|&(name, needs_traces)| needs_traces && name == id))
+    {
+        eprintln!("[repro] prefetching benchmark traces ({} workers)...", harness.engine.workers());
+        if let Err(err) = harness.store.prefetch(&harness.engine, &Benchmark::ALL) {
+            eprintln!("workload generation failed: {err:?}");
+            return ExitCode::FAILURE;
+        }
+    }
     for id in &ids {
         match harness.run(id) {
             Some(text) => {

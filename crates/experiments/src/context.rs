@@ -1,7 +1,7 @@
 //! Shared experiment context: workload traces generated once and cached.
 
+use dvp_engine::{ReplayEngine, SharedTrace};
 use dvp_lang::OptLevel;
-use dvp_trace::TraceRecord;
 use dvp_workloads::{Benchmark, BuildError, Workload};
 use std::collections::HashMap;
 
@@ -17,8 +17,35 @@ pub const REFERENCE_OPT: OptLevel = OptLevel::O1;
 /// Step budget for any single workload run.
 pub const STEP_BUDGET: u64 = 2_000_000_000;
 
+/// Simulates one workload into a [`SharedTrace`], returning
+/// `(trace, retired, predicted)`. The trace respects `record_cap`;
+/// `predicted` always counts the full run.
+fn generate(
+    workload: &Workload,
+    record_cap: Option<usize>,
+) -> Result<(SharedTrace, u64, u64), BuildError> {
+    let mut machine = workload.machine(REFERENCE_OPT)?;
+    let mut builder = SharedTrace::builder();
+    let mut predicted = 0u64;
+    let cap = record_cap.unwrap_or(usize::MAX);
+    machine.run_with(STEP_BUDGET, &mut |rec| {
+        predicted += 1;
+        if builder.len() < cap {
+            builder.push(rec);
+        }
+    })?;
+    Ok((builder.finish(), machine.retired(), predicted))
+}
+
 /// Lazily generates and caches the value trace of each benchmark so that a
 /// `repro all` run simulates every workload exactly once.
+///
+/// Traces are held as [`SharedTrace`]s: handing one to an experiment (or to
+/// every job of a parallel replay) clones an [`Arc`](std::sync::Arc), never
+/// the records. [`TraceStore::prefetch`] generates several benchmarks'
+/// traces concurrently on a [`ReplayEngine`]'s worker pool; generation is
+/// deterministic per benchmark, so a prefetched store is indistinguishable
+/// from a lazily-filled one.
 ///
 /// # Examples
 ///
@@ -33,7 +60,7 @@ pub const STEP_BUDGET: u64 = 2_000_000_000;
 /// ```
 #[derive(Debug, Default)]
 pub struct TraceStore {
-    traces: HashMap<Benchmark, Vec<TraceRecord>>,
+    traces: HashMap<Benchmark, SharedTrace>,
     retired: HashMap<Benchmark, u64>,
     predicted: HashMap<Benchmark, u64>,
     scale_div: u32,
@@ -70,25 +97,53 @@ impl TraceStore {
         Workload::reference(benchmark).with_scale(scale)
     }
 
-    /// The cached trace for `benchmark`, generating it on first use.
+    /// The cached trace for `benchmark`, generating it on first use. The
+    /// returned [`SharedTrace`] is a cheap clone of the cached buffer.
     ///
     /// # Errors
     ///
     /// Propagates workload build/run errors.
-    pub fn trace(&mut self, benchmark: Benchmark) -> Result<&[TraceRecord], BuildError> {
+    pub fn trace(&mut self, benchmark: Benchmark) -> Result<SharedTrace, BuildError> {
         if !self.traces.contains_key(&benchmark) {
-            let workload = self.workload(benchmark);
-            let mut machine = workload.machine(REFERENCE_OPT)?;
-            let mut trace = Vec::new();
-            machine.run_with(STEP_BUDGET, &mut |rec| trace.push(rec))?;
-            self.retired.insert(benchmark, machine.retired());
-            self.predicted.insert(benchmark, trace.len() as u64);
-            if let Some(cap) = self.record_cap {
-                trace.truncate(cap);
-            }
+            let (trace, retired, predicted) = generate(&self.workload(benchmark), self.record_cap)?;
+            self.retired.insert(benchmark, retired);
+            self.predicted.insert(benchmark, predicted);
             self.traces.insert(benchmark, trace);
         }
-        Ok(&self.traces[&benchmark])
+        Ok(self.traces[&benchmark].clone())
+    }
+
+    /// Generates every not-yet-cached trace among `benchmarks` in parallel
+    /// on `engine`'s worker pool. Already-cached benchmarks are untouched;
+    /// duplicates are generated once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first (in benchmark order) workload build/run error;
+    /// traces that generated successfully are discarded in that case.
+    pub fn prefetch(
+        &mut self,
+        engine: &ReplayEngine,
+        benchmarks: &[Benchmark],
+    ) -> Result<(), BuildError> {
+        let mut missing: Vec<Benchmark> = Vec::new();
+        for &benchmark in benchmarks {
+            if !self.traces.contains_key(&benchmark) && !missing.contains(&benchmark) {
+                missing.push(benchmark);
+            }
+        }
+        let record_cap = self.record_cap;
+        let jobs: Vec<(Benchmark, Workload)> =
+            missing.into_iter().map(|b| (b, self.workload(b))).collect();
+        let generated = engine.try_map(jobs, |(benchmark, workload)| {
+            generate(&workload, record_cap).map(|result| (benchmark, result))
+        })?;
+        for (benchmark, (trace, retired, predicted)) in generated {
+            self.retired.insert(benchmark, retired);
+            self.predicted.insert(benchmark, predicted);
+            self.traces.insert(benchmark, trace);
+        }
+        Ok(())
     }
 
     /// Total dynamic (retired) instructions for `benchmark`'s run,
@@ -119,5 +174,35 @@ impl TraceStore {
     pub fn predicted(&mut self, benchmark: Benchmark) -> Result<u64, BuildError> {
         self.trace(benchmark)?;
         Ok(self.predicted[&benchmark])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_matches_lazy_generation() {
+        let benchmarks = [Benchmark::M88k, Benchmark::Compress];
+        let mut lazy = TraceStore::with_scale_div(1000).with_record_cap(5_000);
+        let mut eager = TraceStore::with_scale_div(1000).with_record_cap(5_000);
+        eager
+            .prefetch(&ReplayEngine::new().with_workers(2), &benchmarks)
+            .expect("prefetch succeeds");
+        for benchmark in benchmarks {
+            let a = lazy.trace(benchmark).unwrap();
+            let b = eager.trace(benchmark).unwrap();
+            assert_eq!(a.to_vec(), b.to_vec(), "{benchmark}");
+            assert_eq!(lazy.retired(benchmark).unwrap(), eager.retired(benchmark).unwrap());
+            assert_eq!(lazy.predicted(benchmark).unwrap(), eager.predicted(benchmark).unwrap());
+        }
+    }
+
+    #[test]
+    fn record_cap_bounds_the_trace_but_not_predicted() {
+        let mut store = TraceStore::with_scale_div(1000).with_record_cap(100);
+        let trace = store.trace(Benchmark::M88k).unwrap();
+        assert_eq!(trace.len(), 100);
+        assert!(store.predicted(Benchmark::M88k).unwrap() > 100);
     }
 }

@@ -50,7 +50,8 @@ pub fn locality(store: &mut TraceStore) -> Result<LocalityResults, BuildError> {
     let mut rows = Vec::with_capacity(Benchmark::ALL.len());
     for benchmark in Benchmark::ALL {
         let mut profile = LocalityProfile::new(max_depth);
-        for rec in store.trace(benchmark)? {
+        let trace = store.trace(benchmark)?;
+        for rec in trace.iter() {
             profile.record(rec);
         }
         let series: Vec<f64> = LOCALITY_DEPTHS.iter().map(|&d| profile.locality(d, None)).collect();
@@ -119,7 +120,8 @@ pub fn entropy(store: &mut TraceStore) -> Result<EntropyResults, BuildError> {
     for (index, benchmark) in Benchmark::ALL.into_iter().enumerate() {
         let mut local = EntropyProfile::new();
         let mut fcm = FcmPredictor::new(ENTROPY_FCM_ORDER);
-        for rec in store.trace(benchmark)? {
+        let trace = store.trace(benchmark)?;
+        for rec in trace.iter() {
             let pc = namespaced(rec.pc, index);
             let mut pooled_rec = *rec;
             pooled_rec.pc = pc;

@@ -4,6 +4,7 @@
 use crate::context::TraceStore;
 use crate::table_fmt::{pct, TextTable};
 use dvp_core::{improvement_at, improvement_curve, ImprovementPoint, PcTally, PredictorSet};
+use dvp_engine::{ReplayEngine, SharedTrace};
 use dvp_trace::{InstrCategory, Pc, TraceRecord};
 use dvp_workloads::{Benchmark, BuildError};
 use std::collections::HashMap;
@@ -40,29 +41,55 @@ pub struct OverlapResults {
     pub pooled_tallies: HashMap<Pc, PcTally>,
 }
 
-/// Runs the l + s2 + fcm3 lockstep over every benchmark.
+/// Runs the l + s2 + fcm3 lockstep over every benchmark, through the
+/// replay engine.
+///
+/// The correct-*subset* of each dynamic instruction needs all three
+/// predictors on the same record, so the unit of parallelism is a
+/// (benchmark, PC shard) pair: every shard runs its own
+/// [`PredictorSet::paper_trio`] and the shard sets merge back — exact
+/// counts, so the result is identical to a sequential pass at any worker
+/// count.
 ///
 /// # Errors
 ///
 /// Propagates workload build/run errors.
-pub fn run(store: &mut TraceStore) -> Result<OverlapResults, BuildError> {
-    let mut per_benchmark = Vec::new();
-    let mut pooled_tallies = HashMap::new();
-    for (index, benchmark) in Benchmark::ALL.into_iter().enumerate() {
-        let trace = store.trace(benchmark)?;
+pub fn run(store: &mut TraceStore, engine: &ReplayEngine) -> Result<OverlapResults, BuildError> {
+    store.prefetch(engine, &Benchmark::ALL)?;
+    let traces: Vec<SharedTrace> =
+        Benchmark::ALL.iter().map(|&b| store.trace(b)).collect::<Result<_, _>>()?;
+    let nshards = engine.shards();
+    let sharded = engine.map(traces, move |trace| trace.shard_by_pc(nshards));
+    let jobs: Vec<SharedTrace> = sharded.into_iter().flatten().collect();
+    let shard_sets = engine.map(jobs, |shard| {
         let mut set = PredictorSet::paper_trio();
-        for rec in trace {
+        for rec in shard.iter() {
             set.observe(rec);
         }
-        // Pool per-PC tallies under a namespaced PC so static instructions
-        // from different benchmarks never collide.
+        set
+    });
+
+    // Exactly `nshards` sets per benchmark, in benchmark-major job order.
+    let mut shard_sets = shard_sets.into_iter();
+    let mut per_benchmark: Vec<(Benchmark, PredictorSet)> = Vec::new();
+    for benchmark in Benchmark::ALL {
+        let mut merged = shard_sets.next().expect("nshards sets per benchmark");
+        for _ in 1..nshards {
+            merged.merge(shard_sets.next().expect("nshards sets per benchmark"));
+        }
+        per_benchmark.push((benchmark, merged));
+    }
+
+    // Pool per-PC tallies under a namespaced PC so static instructions
+    // from different benchmarks never collide.
+    let mut pooled_tallies = HashMap::new();
+    for (index, (_, set)) in per_benchmark.iter().enumerate() {
         if let Some(tallies) = set.per_pc() {
             for (pc, tally) in tallies {
                 let namespaced = Pc(pc.0 | ((index as u64 + 1) << 32));
                 pooled_tallies.insert(namespaced, tally.clone());
             }
         }
-        per_benchmark.push((benchmark, set));
     }
     Ok(OverlapResults { per_benchmark, pooled_tallies })
 }
@@ -156,7 +183,7 @@ mod tests {
     fn subset_fractions_partition_unity() {
         let mut store = TraceStore::with_scale_div(1000)
             .with_record_cap(if cfg!(debug_assertions) { 25_000 } else { 150_000 });
-        let results = run(&mut store).unwrap();
+        let results = run(&mut store, &ReplayEngine::new()).unwrap();
         let total: f64 = SUBSETS.iter().map(|&(_, m)| results.mean_subset_fraction(None, m)).sum();
         assert!((total - 1.0).abs() < 1e-9, "{total}");
     }
@@ -166,7 +193,7 @@ mod tests {
         // The fcm-only fraction needs warm context tables (~100k records),
         // so no debug-build cap reduction here.
         let mut store = TraceStore::with_scale_div(1000).with_record_cap(150_000);
-        let results = run(&mut store).unwrap();
+        let results = run(&mut store, &ReplayEngine::new()).unwrap();
         // Paper: fcm captures > 20% alone; stride+lv beyond fcm < 5%-ish.
         let f_only = results.mean_subset_fraction(None, 0b100);
         let beyond_fcm = results.mean_subset_fraction(None, 0b001)
@@ -179,7 +206,7 @@ mod tests {
     fn improvement_concentrates_in_few_statics() {
         let mut store = TraceStore::with_scale_div(1000)
             .with_record_cap(if cfg!(debug_assertions) { 25_000 } else { 150_000 });
-        let results = run(&mut store).unwrap();
+        let results = run(&mut store, &ReplayEngine::new()).unwrap();
         let at20 = results.improvement_at_20pct();
         assert!(at20 > 60.0, "20% of statics should cover most improvement: {at20}");
         assert!(results.render_figure8().contains("lsf"));

@@ -12,6 +12,7 @@ use dvp_core::{
     DelayedPredictor, FcmPredictor, FiniteFcmPredictor, FiniteLastValuePredictor,
     FiniteStridePredictor, LastValuePredictor, Predictor, StridePredictor, TableSpec,
 };
+use dvp_engine::{ReplayEngine, SharedTrace};
 use dvp_workloads::{Benchmark, BuildError};
 
 /// FCM order used by both realism experiments (order 2 keeps small hashed
@@ -58,9 +59,44 @@ fn mean(values: &[f64]) -> f64 {
     }
 }
 
+/// The per-benchmark outcome of one realism cell: per-family accuracies
+/// (when the trace was non-empty) plus the FCM storage cost.
+type CellOutcome = (Option<(f64, f64, f64)>, u64);
+
+/// Runs one three-family lockstep pass over a full trace. Realism cells
+/// are *never* PC-sharded: finite tables alias across PCs and delayed
+/// updates queue across the whole observation stream, so splitting the
+/// trace would change the experiment. The engine still parallelizes across
+/// cells (sweep point × benchmark).
+fn lockstep_cell(
+    trace: &SharedTrace,
+    mut l: impl Predictor,
+    mut s: impl Predictor,
+    mut f: impl Predictor,
+) -> Option<(f64, f64, f64)> {
+    let (mut lc, mut sc, mut fc, mut n) = (0u64, 0u64, 0u64, 0u64);
+    for rec in trace.iter() {
+        lc += u64::from(l.observe(rec.pc, rec.value));
+        sc += u64::from(s.observe(rec.pc, rec.value));
+        fc += u64::from(f.observe(rec.pc, rec.value));
+        n += 1;
+    }
+    (n > 0).then(|| (lc as f64 / n as f64, sc as f64 / n as f64, fc as f64 / n as f64))
+}
+
+/// Collects the traces of all benchmarks, prefetching them in parallel.
+fn all_traces(
+    store: &mut TraceStore,
+    engine: &ReplayEngine,
+) -> Result<Vec<SharedTrace>, BuildError> {
+    store.prefetch(engine, &Benchmark::ALL)?;
+    Benchmark::ALL.iter().map(|&b| store.trace(b)).collect()
+}
+
 /// Measures accuracy as a function of table size for all three predictor
 /// families, on every benchmark (untagged direct-mapped tables, so index
-/// aliasing is fully visible).
+/// aliasing is fully visible). One engine job per (table size, benchmark)
+/// cell.
 ///
 /// The FCM predictor's Value History Table uses the row's index width and
 /// its Value Prediction Table four more bits (the usual asymmetry: contexts
@@ -69,66 +105,79 @@ fn mean(values: &[f64]) -> f64 {
 /// # Errors
 ///
 /// Propagates workload build/run errors.
-pub fn table_sweep(store: &mut TraceStore) -> Result<TableSweepResults, BuildError> {
-    let mut rows = Vec::with_capacity(TABLE_INDEX_BITS.len());
+pub fn table_sweep(
+    store: &mut TraceStore,
+    engine: &ReplayEngine,
+) -> Result<TableSweepResults, BuildError> {
+    let traces = all_traces(store, engine)?;
+    let mut jobs: Vec<(Option<u32>, SharedTrace)> = Vec::new();
     for &bits in &TABLE_INDEX_BITS {
-        let mut l_acc = Vec::new();
-        let mut s_acc = Vec::new();
-        let mut f_acc = Vec::new();
-        let mut storage = 0u64;
-        for benchmark in Benchmark::ALL {
-            let mut l = FiniteLastValuePredictor::new(TableSpec::new(bits));
-            let mut s = FiniteStridePredictor::new(TableSpec::new(bits));
-            let mut f = FiniteFcmPredictor::new(
+        for trace in &traces {
+            jobs.push((Some(bits), trace.clone()));
+        }
+    }
+    for trace in &traces {
+        jobs.push((None, trace.clone()));
+    }
+    let cells: Vec<CellOutcome> = engine.map(jobs, |(bits, trace)| match bits {
+        Some(bits) => {
+            let f = FiniteFcmPredictor::new(
                 REALISM_FCM_ORDER,
                 TableSpec::new(bits),
                 TableSpec::new((bits + 4).min(28)),
             );
-            let (mut lc, mut sc, mut fc, mut n) = (0u64, 0u64, 0u64, 0u64);
-            for rec in store.trace(benchmark)? {
-                lc += u64::from(l.observe(rec.pc, rec.value));
-                sc += u64::from(s.observe(rec.pc, rec.value));
-                fc += u64::from(f.observe(rec.pc, rec.value));
-                n += 1;
-            }
-            if n > 0 {
-                l_acc.push(lc as f64 / n as f64);
-                s_acc.push(sc as f64 / n as f64);
-                f_acc.push(fc as f64 / n as f64);
-            }
-            storage = f.storage_bits() / 8 / 1024;
+            let storage = f.storage_bits() / 8 / 1024;
+            let accs = lockstep_cell(
+                &trace,
+                FiniteLastValuePredictor::new(TableSpec::new(bits)),
+                FiniteStridePredictor::new(TableSpec::new(bits)),
+                f,
+            );
+            (accs, storage)
         }
+        None => {
+            let accs = lockstep_cell(
+                &trace,
+                LastValuePredictor::new(),
+                StridePredictor::two_delta(),
+                FcmPredictor::new(REALISM_FCM_ORDER),
+            );
+            (accs, 0)
+        }
+    });
+
+    let mut chunks = cells.chunks(traces.len());
+    let mut rows = Vec::with_capacity(TABLE_INDEX_BITS.len());
+    for &bits in &TABLE_INDEX_BITS {
+        let chunk = chunks.next().expect("one chunk per sweep point");
+        let (l_acc, s_acc, f_acc) = split_accuracies(chunk.iter().map(|(accs, _)| accs));
         rows.push(TableSweepRow {
             index_bits: bits,
             last_value: mean(&l_acc),
             stride: mean(&s_acc),
             fcm: mean(&f_acc),
-            fcm_storage_kib: storage,
+            fcm_storage_kib: chunk.last().expect("non-empty chunk").1,
         });
     }
+    let (l_acc, s_acc, f_acc) =
+        split_accuracies(chunks.next().expect("unbounded chunk").iter().map(|(accs, _)| accs));
+    Ok(TableSweepResults { rows, unbounded: [mean(&l_acc), mean(&s_acc), mean(&f_acc)] })
+}
 
-    let mut unbounded = [Vec::new(), Vec::new(), Vec::new()];
-    for benchmark in Benchmark::ALL {
-        let mut l = LastValuePredictor::new();
-        let mut s = StridePredictor::two_delta();
-        let mut f = FcmPredictor::new(REALISM_FCM_ORDER);
-        let (mut lc, mut sc, mut fc, mut n) = (0u64, 0u64, 0u64, 0u64);
-        for rec in store.trace(benchmark)? {
-            lc += u64::from(l.observe(rec.pc, rec.value));
-            sc += u64::from(s.observe(rec.pc, rec.value));
-            fc += u64::from(f.observe(rec.pc, rec.value));
-            n += 1;
-        }
-        if n > 0 {
-            unbounded[0].push(lc as f64 / n as f64);
-            unbounded[1].push(sc as f64 / n as f64);
-            unbounded[2].push(fc as f64 / n as f64);
-        }
+/// Splits one sweep point's per-benchmark outcomes into the three
+/// per-family accuracy series (skipping empty-trace benchmarks).
+fn split_accuracies<'a>(
+    outcomes: impl Iterator<Item = &'a Option<(f64, f64, f64)>>,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut l_acc = Vec::new();
+    let mut s_acc = Vec::new();
+    let mut f_acc = Vec::new();
+    for &(l, s, f) in outcomes.flatten() {
+        l_acc.push(l);
+        s_acc.push(s);
+        f_acc.push(f);
     }
-    Ok(TableSweepResults {
-        rows,
-        unbounded: [mean(&unbounded[0]), mean(&unbounded[1]), mean(&unbounded[2])],
-    })
+    (l_acc, s_acc, f_acc)
 }
 
 impl TableSweepResults {
@@ -184,41 +233,45 @@ pub struct DelaySweepResults {
 
 /// Measures accuracy as a function of update latency for the paper's three
 /// predictors (unbounded tables, so the delay effect is isolated from
-/// aliasing).
+/// aliasing). One engine job per (delay, benchmark) cell; the delay queue
+/// spans the whole observation stream, so cells replay full traces (no PC
+/// sharding).
 ///
 /// # Errors
 ///
 /// Propagates workload build/run errors.
-pub fn delay_sweep(store: &mut TraceStore) -> Result<DelaySweepResults, BuildError> {
-    let mut rows = Vec::with_capacity(UPDATE_DELAYS.len());
+pub fn delay_sweep(
+    store: &mut TraceStore,
+    engine: &ReplayEngine,
+) -> Result<DelaySweepResults, BuildError> {
+    let traces = all_traces(store, engine)?;
+    let mut jobs: Vec<(usize, SharedTrace)> = Vec::new();
     for &delay in &UPDATE_DELAYS {
-        let mut l_acc = Vec::new();
-        let mut s_acc = Vec::new();
-        let mut f_acc = Vec::new();
-        for benchmark in Benchmark::ALL {
-            let mut l = DelayedPredictor::new(LastValuePredictor::new(), delay);
-            let mut s = DelayedPredictor::new(StridePredictor::two_delta(), delay);
-            let mut f = DelayedPredictor::new(FcmPredictor::new(REALISM_FCM_ORDER), delay);
-            let (mut lc, mut sc, mut fc, mut n) = (0u64, 0u64, 0u64, 0u64);
-            for rec in store.trace(benchmark)? {
-                lc += u64::from(l.observe(rec.pc, rec.value));
-                sc += u64::from(s.observe(rec.pc, rec.value));
-                fc += u64::from(f.observe(rec.pc, rec.value));
-                n += 1;
-            }
-            if n > 0 {
-                l_acc.push(lc as f64 / n as f64);
-                s_acc.push(sc as f64 / n as f64);
-                f_acc.push(fc as f64 / n as f64);
-            }
+        for trace in &traces {
+            jobs.push((delay, trace.clone()));
         }
-        rows.push(DelaySweepRow {
-            delay,
-            last_value: mean(&l_acc),
-            stride: mean(&s_acc),
-            fcm: mean(&f_acc),
-        });
     }
+    let cells = engine.map(jobs, |(delay, trace)| {
+        lockstep_cell(
+            &trace,
+            DelayedPredictor::new(LastValuePredictor::new(), delay),
+            DelayedPredictor::new(StridePredictor::two_delta(), delay),
+            DelayedPredictor::new(FcmPredictor::new(REALISM_FCM_ORDER), delay),
+        )
+    });
+    let rows = UPDATE_DELAYS
+        .iter()
+        .zip(cells.chunks(traces.len()))
+        .map(|(&delay, chunk)| {
+            let (l_acc, s_acc, f_acc) = split_accuracies(chunk.iter());
+            DelaySweepRow {
+                delay,
+                last_value: mean(&l_acc),
+                stride: mean(&s_acc),
+                fcm: mean(&f_acc),
+            }
+        })
+        .collect();
     Ok(DelaySweepResults { rows })
 }
 
@@ -265,7 +318,7 @@ mod tests {
     #[test]
     fn table_sweep_grows_toward_unbounded() {
         let mut store = test_store();
-        let results = table_sweep(&mut store).unwrap();
+        let results = table_sweep(&mut store, &ReplayEngine::new()).unwrap();
         assert_eq!(results.rows.len(), TABLE_INDEX_BITS.len());
         let first = &results.rows[0];
         let last = results.rows.last().unwrap();
@@ -287,7 +340,7 @@ mod tests {
     #[test]
     fn delay_sweep_damages_stride_and_fcm_but_spares_last_value() {
         let mut store = test_store();
-        let results = delay_sweep(&mut store).unwrap();
+        let results = delay_sweep(&mut store, &ReplayEngine::new()).unwrap();
         assert_eq!(results.rows.len(), UPDATE_DELAYS.len());
         let immediate = results.at_delay(0).unwrap();
         let worst = results.at_delay(*UPDATE_DELAYS.last().unwrap()).unwrap();
@@ -309,7 +362,7 @@ mod tests {
         // instructions in these workloads (shortest loop bodies are longer),
         // so delays up to 4 leave every accuracy bit-identical.
         let mut store = test_store();
-        let results = delay_sweep(&mut store).unwrap();
+        let results = delay_sweep(&mut store, &ReplayEngine::new()).unwrap();
         let d0 = results.at_delay(0).unwrap();
         let d4 = results.at_delay(4).unwrap();
         assert!((d0.stride - d4.stride).abs() < 1e-12, "{results:?}");

@@ -3,9 +3,9 @@
 
 use crate::context::{TraceStore, REFERENCE_OPT, STEP_BUDGET};
 use crate::table_fmt::{pct, TextTable};
-use dvp_core::{FcmPredictor, Predictor};
+use dvp_core::PredictorConfig;
+use dvp_engine::{ReplayEngine, SharedTrace};
 use dvp_lang::OptLevel;
-use dvp_trace::TraceRecord;
 use dvp_workloads::{Benchmark, BuildError, Workload, CC_INPUTS};
 
 /// FCM order used by Tables 6 and 7 (the paper uses order 2).
@@ -14,16 +14,9 @@ pub const SENSITIVITY_ORDER: usize = 2;
 /// Records Figure 11 considers (bounds the order-8 table memory).
 pub const ORDER_SWEEP_CAP: usize = 2_000_000;
 
-fn fcm_accuracy(order: usize, trace: &[TraceRecord]) -> (u64, f64) {
-    let mut fcm = FcmPredictor::new(order);
-    let mut correct = 0u64;
-    for rec in trace {
-        if fcm.observe(rec.pc, rec.value) {
-            correct += 1;
-        }
-    }
-    let total = trace.len() as u64;
-    (total, if total == 0 { 0.0 } else { correct as f64 / total as f64 })
+/// The single-config bank Tables 6 and 7 replay: one order-2 FCM.
+fn sensitivity_bank() -> Vec<PredictorConfig> {
+    PredictorConfig::fcm_orders([SENSITIVITY_ORDER])
 }
 
 /// One row of Table 6: an input file, its prediction count, and the
@@ -45,24 +38,36 @@ pub struct Table6 {
     pub rows: Vec<Table6Row>,
 }
 
-/// Runs Table 6: the same `cc` program over its five input files.
+/// Runs Table 6: the same `cc` program over its five input files. Trace
+/// generation fans out across the engine's workers (one job per input);
+/// the order-2 FCM replays then run as a 5×1 matrix of sharded jobs.
 ///
 /// # Errors
 ///
 /// Propagates workload build/run errors.
-pub fn table6(store: &TraceStore) -> Result<Table6, BuildError> {
+pub fn table6(store: &TraceStore, engine: &ReplayEngine) -> Result<Table6, BuildError> {
     let scale = store.workload(Benchmark::Cc).scale();
-    let mut rows = Vec::new();
-    for (name, _, _) in CC_INPUTS {
+    let cap = store.record_cap();
+    let inputs: Vec<&str> = CC_INPUTS.iter().map(|&(name, _, _)| name).collect();
+    let generated = engine.try_map(inputs, |name| -> Result<_, BuildError> {
         let workload = Workload::cc_with_input(name)?.with_scale(scale);
-        let mut trace = workload.trace(REFERENCE_OPT, STEP_BUDGET)?;
+        let mut trace = SharedTrace::from_records(workload.trace(REFERENCE_OPT, STEP_BUDGET)?);
         let predictions = trace.len() as u64;
-        if let Some(cap) = store.record_cap() {
-            trace.truncate(cap);
+        if let Some(cap) = cap {
+            trace = trace.truncated(cap);
         }
-        let (_, accuracy) = fcm_accuracy(SENSITIVITY_ORDER, &trace);
-        rows.push(Table6Row { input: name.to_owned(), predictions, accuracy });
-    }
+        Ok((name, predictions, trace))
+    })?;
+    let traces: Vec<SharedTrace> = generated.iter().map(|(_, _, trace)| trace.clone()).collect();
+    let rows = generated
+        .iter()
+        .zip(engine.replay_matrix(&traces, &sensitivity_bank()))
+        .map(|(&(name, predictions, _), replays)| Table6Row {
+            input: name.to_owned(),
+            predictions,
+            accuracy: replays[0].accuracy(),
+        })
+        .collect();
     Ok(Table6 { rows })
 }
 
@@ -109,22 +114,33 @@ pub struct Table7 {
 }
 
 /// Runs Table 7: the default `cc` input compiled at `O0`, `O1` and `O2`.
+/// One compile-and-trace job per optimization level fans out across the
+/// engine's workers, then the order-2 FCM replays run as a 3×1 matrix.
 ///
 /// # Errors
 ///
 /// Propagates workload build/run errors.
-pub fn table7(store: &TraceStore) -> Result<Table7, BuildError> {
+pub fn table7(store: &TraceStore, engine: &ReplayEngine) -> Result<Table7, BuildError> {
     let workload = store.workload(Benchmark::Cc);
-    let mut rows = Vec::new();
-    for flags in OptLevel::ALL {
-        let mut trace = workload.trace(flags, STEP_BUDGET)?;
+    let cap = store.record_cap();
+    let generated = engine.try_map(OptLevel::ALL.to_vec(), |flags| -> Result<_, BuildError> {
+        let mut trace = SharedTrace::from_records(workload.trace(flags, STEP_BUDGET)?);
         let predictions = trace.len() as u64;
-        if let Some(cap) = store.record_cap() {
-            trace.truncate(cap);
+        if let Some(cap) = cap {
+            trace = trace.truncated(cap);
         }
-        let (_, accuracy) = fcm_accuracy(SENSITIVITY_ORDER, &trace);
-        rows.push(Table7Row { flags, predictions, accuracy });
-    }
+        Ok((flags, predictions, trace))
+    })?;
+    let traces: Vec<SharedTrace> = generated.iter().map(|(_, _, trace)| trace.clone()).collect();
+    let rows = generated
+        .iter()
+        .zip(engine.replay_matrix(&traces, &sensitivity_bank()))
+        .map(|(&(flags, predictions, _), replays)| Table7Row {
+            flags,
+            predictions,
+            accuracy: replays[0].accuracy(),
+        })
+        .collect();
     Ok(Table7 { rows })
 }
 
@@ -165,22 +181,18 @@ pub struct Figure11 {
     pub records: usize,
 }
 
-/// Runs Figure 11: FCM order sweep on the default `cc` trace. The trace is
-/// capped at [`ORDER_SWEEP_CAP`] records so the order-8 exact tables stay
-/// within memory.
+/// Runs Figure 11: FCM order sweep on the default `cc` trace, as a bank of
+/// eight FCM configurations replayed concurrently over one shared trace.
+/// The trace is capped at [`ORDER_SWEEP_CAP`] records so the order-8 exact
+/// tables stay within memory.
 ///
 /// # Errors
 ///
 /// Propagates workload build/run errors.
-pub fn figure11(store: &mut TraceStore) -> Result<Figure11, BuildError> {
-    let trace = store.trace(Benchmark::Cc)?;
-    let capped = &trace[..trace.len().min(ORDER_SWEEP_CAP)];
-    let points = (1..=8)
-        .map(|order| {
-            let (_, accuracy) = fcm_accuracy(order, capped);
-            (order, accuracy)
-        })
-        .collect();
+pub fn figure11(store: &mut TraceStore, engine: &ReplayEngine) -> Result<Figure11, BuildError> {
+    let capped = store.trace(Benchmark::Cc)?.truncated(ORDER_SWEEP_CAP);
+    let replays = engine.replay(&capped, &PredictorConfig::fcm_orders(1..=8));
+    let points = (1..=8).zip(replays).map(|(order, replay)| (order, replay.accuracy())).collect();
     Ok(Figure11 { points, records: capped.len() })
 }
 
@@ -220,7 +232,7 @@ mod tests {
         } else {
             150_000
         });
-        let t = table6(&store).unwrap();
+        let t = table6(&store, &ReplayEngine::new()).unwrap();
         assert_eq!(t.rows.len(), 5);
         for row in &t.rows {
             assert!(row.accuracy > 0.4, "{}: {}", row.input, row.accuracy);
@@ -236,7 +248,7 @@ mod tests {
         } else {
             150_000
         });
-        let t = table7(&store).unwrap();
+        let t = table7(&store, &ReplayEngine::new()).unwrap();
         assert_eq!(t.rows.len(), 3);
         assert!(t.accuracy_spread() < 0.15, "spread {}", t.accuracy_spread());
         assert!(t.render().contains("-O1"));
@@ -246,7 +258,7 @@ mod tests {
     fn figure11_best_order_beats_order_one() {
         let mut store = TraceStore::with_scale_div(1000)
             .with_record_cap(if cfg!(debug_assertions) { 25_000 } else { 150_000 });
-        let f = figure11(&mut store).unwrap();
+        let f = figure11(&mut store, &ReplayEngine::new()).unwrap();
         assert_eq!(f.points.len(), 8);
         // On short traces high orders pay their longer learning time, so
         // the curve can roll over; but some order above 1 must win

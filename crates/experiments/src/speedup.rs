@@ -16,9 +16,10 @@ use dvp_core::{
     oracle_height, value_predicted_height, FcmPredictor, LastValuePredictor, Predictor,
     SpeedupReport, StridePredictor,
 };
+use dvp_engine::ReplayEngine;
 use dvp_sim::collect_dataflow;
 use dvp_trace::DepNode;
-use dvp_workloads::{Benchmark, BuildError};
+use dvp_workloads::{Benchmark, BuildError, Workload};
 
 /// Mis-speculation penalty used by the experiment (0 = oracle-gated limit
 /// study; the `realism` bench sweeps nonzero penalties).
@@ -58,7 +59,10 @@ fn speedup_of(nodes: &[DepNode], predictor: &mut dyn Predictor) -> (SpeedupRepor
     (report, report.speedup())
 }
 
-/// Runs the dataflow-limit study on every benchmark.
+/// Runs the dataflow-limit study on every benchmark, one engine job per
+/// benchmark (dependence heights are a whole-trace computation, so the
+/// benchmark is the natural unit of parallelism here — PC sharding does
+/// not apply to dependence chains).
 ///
 /// Unlike the accuracy experiments this needs dependence traces, which are
 /// collected fresh per benchmark (they are not cached in the store — a
@@ -67,12 +71,18 @@ fn speedup_of(nodes: &[DepNode], predictor: &mut dyn Predictor) -> (SpeedupRepor
 /// # Errors
 ///
 /// Propagates workload build/run errors.
-pub fn run(store: &TraceStore) -> Result<SpeedupResults, BuildError> {
-    let mut rows = Vec::with_capacity(Benchmark::ALL.len());
-    for benchmark in Benchmark::ALL {
-        let mut machine = store.workload(benchmark).machine(REFERENCE_OPT)?;
+pub fn run(store: &TraceStore, engine: &ReplayEngine) -> Result<SpeedupResults, BuildError> {
+    let cap = store.record_cap();
+    let jobs: Vec<(Benchmark, Workload)> =
+        Benchmark::ALL.into_iter().map(|b| (b, store.workload(b))).collect();
+    // Dependence traces are several times larger than value traces and are
+    // not cached, so cap the fan-out: at most two are resident at once
+    // (the sequential pre-engine loop peaked at one).
+    let engine = engine.clone().with_workers(engine.workers().min(2));
+    let rows = engine.try_map(jobs, |(benchmark, workload)| -> Result<_, BuildError> {
+        let mut machine = workload.machine(REFERENCE_OPT)?;
         let mut nodes = collect_dataflow(&mut machine, STEP_BUDGET).map_err(BuildError::Sim)?;
-        if let Some(cap) = store.record_cap() {
+        if let Some(cap) = cap {
             nodes.truncate(cap);
         }
         let base_height = dvp_core::dataflow_height(&nodes);
@@ -80,7 +90,7 @@ pub fn run(store: &TraceStore) -> Result<SpeedupResults, BuildError> {
         let (_, s2) = speedup_of(&nodes, &mut StridePredictor::two_delta());
         let (_, fcm3) = speedup_of(&nodes, &mut FcmPredictor::new(3));
         let oracle_h = oracle_height(&nodes);
-        rows.push(SpeedupRow {
+        Ok(SpeedupRow {
             benchmark,
             nodes: nodes.len() as u64,
             base_height,
@@ -89,8 +99,8 @@ pub fn run(store: &TraceStore) -> Result<SpeedupResults, BuildError> {
             stride: s2,
             fcm3,
             oracle: if oracle_h == 0 { 1.0 } else { base_height as f64 / oracle_h as f64 },
-        });
-    }
+        })
+    })?;
     Ok(SpeedupResults { rows })
 }
 
@@ -163,7 +173,7 @@ mod tests {
         } else {
             100_000
         });
-        let results = run(&store).unwrap();
+        let results = run(&store, &ReplayEngine::new()).unwrap();
         assert_eq!(results.rows.len(), 7);
         for row in &results.rows {
             // Penalty-free speculation never slows the dataflow limit down.

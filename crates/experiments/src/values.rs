@@ -23,7 +23,8 @@ pub struct ValueResults {
 pub fn run(store: &mut TraceStore) -> Result<ValueResults, BuildError> {
     let mut profile = ValueProfile::new();
     for (index, benchmark) in Benchmark::ALL.into_iter().enumerate() {
-        for rec in store.trace(benchmark)? {
+        let trace = store.trace(benchmark)?;
+        for rec in trace.iter() {
             let namespaced = TraceRecord::new(
                 Pc(rec.pc.0 | ((index as u64 + 1) << 32)),
                 rec.category,

@@ -12,8 +12,12 @@
 //! * [`lang`] — a compiler for Mini, a small C-like language, with three
 //!   optimization levels (the `-O` flag substitute for Table 7).
 //! * [`workloads`] — seven SPEC95int-inspired benchmark programs.
+//! * [`engine`] — the parallel shared-trace replay engine: each workload
+//!   trace is materialized once and predictor configurations fan out
+//!   across threads with per-PC sharding, merging to bit-identical tallies
+//!   at any worker count.
 //! * [`experiments`] — regeneration harnesses for every table and figure,
-//!   driven by the `repro` binary.
+//!   driven by the `repro` binary and parallelized through the engine.
 //!
 //! This facade crate re-exports everything for one-line access:
 //!
@@ -31,8 +35,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+// Every `rust` code block in README.md compiles and runs as a doctest of
+// this crate, so the README's examples can never rot.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+mod readme_doctests {}
+
 pub use dvp_asm as asm;
 pub use dvp_core as core;
+pub use dvp_engine as engine;
 pub use dvp_experiments as experiments;
 pub use dvp_isa as isa;
 pub use dvp_lang as lang;

@@ -7,6 +7,7 @@ use dvp::core::{
     DelayedPredictor, FcmPredictor, FiniteFcmPredictor, FiniteHybridPredictor,
     FiniteStridePredictor, LastValuePredictor, Predictor, StridePredictor, TableSpec,
 };
+use dvp::engine::ReplayEngine;
 use dvp::experiments::{accuracy, overlap, values, TraceStore};
 use dvp::trace::InstrCategory;
 use std::sync::OnceLock;
@@ -20,12 +21,16 @@ fn store() -> TraceStore {
 
 fn accuracy_results() -> &'static accuracy::AccuracyResults {
     static RESULTS: OnceLock<accuracy::AccuracyResults> = OnceLock::new();
-    RESULTS.get_or_init(|| accuracy::run(&mut store()).expect("accuracy experiment"))
+    RESULTS.get_or_init(|| {
+        accuracy::run(&mut store(), &ReplayEngine::new()).expect("accuracy experiment")
+    })
 }
 
 fn overlap_results() -> &'static overlap::OverlapResults {
     static RESULTS: OnceLock<overlap::OverlapResults> = OnceLock::new();
-    RESULTS.get_or_init(|| overlap::run(&mut store()).expect("overlap experiment"))
+    RESULTS.get_or_init(|| {
+        overlap::run(&mut store(), &ReplayEngine::new()).expect("overlap experiment")
+    })
 }
 
 #[test]

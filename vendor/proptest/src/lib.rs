@@ -3,8 +3,8 @@
 //! The build environment has no crates.io access, so this vendored crate
 //! reimplements the slice of proptest the workspace's property tests use:
 //! the [`Strategy`] trait with `prop_map` / `prop_recursive` / `boxed`,
-//! [`any`](strategy::any), integer-range strategies, tuple and array
-//! composition, [`Just`](strategy::Just), `prop_oneof!`, the collection
+//! [`any`](strategy::any()), integer-range strategies, tuple and array
+//! composition, [`Just`], `prop_oneof!`, the collection
 //! strategies `vec` / `hash_set`, and the `proptest!` test harness with
 //! `prop_assert*` macros.
 //!
