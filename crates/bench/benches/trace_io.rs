@@ -1,0 +1,115 @@
+//! Trace persistence machinery behind the `--trace-dir` cache: v1 vs v2
+//! encode/decode throughput, parallel v2 loading, and the cold-vs-warm
+//! trace-acquisition gap that makes the disk tier pay (a warm replay skips
+//! compilation *and* simulation — the two steps the `trace_generation`
+//! bench shows dominate).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dvp_bench::{workload_trace, BENCH_TRACE_LEN};
+use dvp_engine::ReplayEngine;
+use dvp_experiments::{REFERENCE_OPT, STEP_BUDGET};
+use dvp_trace::io::{read_binary, v2, write_binary};
+use dvp_trace::TraceRecord;
+use dvp_workloads::{Benchmark, Workload};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// The benchmark all persistence benches run on (a real workload trace,
+/// first [`BENCH_TRACE_LEN`] records).
+const BENCHMARK: Benchmark = Benchmark::M88k;
+
+fn meta(records: &[TraceRecord]) -> v2::TraceMeta {
+    v2::TraceMeta {
+        fingerprint: v2::Fingerprint {
+            workload: BENCHMARK.name().to_owned(),
+            input: "m88k.ref".to_owned(),
+            opt_level: "O1".to_owned(),
+            seed: 0,
+            scale: 1,
+            record_cap: BENCH_TRACE_LEN as u64,
+        },
+        retired: records.len() as u64,
+        predicted: records.len() as u64,
+    }
+}
+
+fn v2_container(records: &[TraceRecord]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    v2::write_records(&mut bytes, &meta(records), records, v2::DEFAULT_CHUNK_CAPACITY)
+        .expect("encodes");
+    bytes
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let records = workload_trace(BENCHMARK);
+    let mut group = c.benchmark_group("trace_encode");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("v1_flat", |b| {
+        b.iter(|| {
+            let mut bytes = Vec::new();
+            write_binary(&mut bytes, records.iter()).expect("writes");
+            black_box(bytes)
+        });
+    });
+    group.bench_function("v2_chunked", |b| b.iter(|| black_box(v2_container(records))));
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let records = workload_trace(BENCHMARK);
+    let mut v1 = Vec::new();
+    write_binary(&mut v1, records.iter()).expect("writes");
+    let v2_bytes = v2_container(records);
+
+    let mut group = c.benchmark_group("trace_decode");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("v1_flat", |b| {
+        b.iter(|| black_box(read_binary(v1.as_slice()).expect("reads")));
+    });
+    group.bench_function("v2_sequential", |b| {
+        b.iter(|| black_box(v2::read(&mut v2_bytes.as_slice()).expect("reads")));
+    });
+    let single = ReplayEngine::sequential();
+    group.bench_function("v2_engine_1_worker", |b| {
+        b.iter(|| black_box(single.load_trace(&v2_bytes).expect("loads")));
+    });
+    let parallel = ReplayEngine::new();
+    group.bench_function("v2_engine_all_cores", |b| {
+        b.iter(|| black_box(parallel.load_trace(&v2_bytes).expect("loads")));
+    });
+    group.finish();
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    // What the `--trace-dir` disk tier actually buys: acquiring a
+    // workload's SharedTrace by simulating (cold, what every repro run
+    // used to do) vs decoding a v2 container (warm).
+    let records = workload_trace(BENCHMARK);
+    let v2_bytes = v2_container(records);
+    let engine = ReplayEngine::new();
+    let workload = Workload::reference(BENCHMARK).with_scale(1);
+
+    let mut group = c.benchmark_group("trace_acquisition");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("cold_simulate", |b| {
+        b.iter(|| {
+            let mut trace = workload.trace(REFERENCE_OPT, STEP_BUDGET).expect("runs");
+            trace.truncate(BENCH_TRACE_LEN);
+            black_box(trace)
+        });
+    });
+    group.bench_function("warm_load_v2", |b| {
+        b.iter(|| black_box(engine.load_trace(&v2_bytes).expect("loads")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_cold_vs_warm);
+criterion_main!(benches);

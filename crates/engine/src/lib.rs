@@ -21,6 +21,11 @@
 //! 4. **Merge deterministically.** Shard tallies are exact integer counts,
 //!    merged in a fixed order; results are **bit-identical at any worker
 //!    or shard count**, including the sequential configuration.
+//! 5. **Load persisted traces in parallel.** [`ReplayEngine::load_trace`]
+//!    assembles a [`SharedTrace`] chunk for chunk from a v2 trace
+//!    container ([`dvp_trace::io::v2`]) on the same worker pool — each
+//!    chunk decodes as an independent, checksummed job, and no
+//!    intermediate flat record vector is ever built.
 //!
 //! # Quickstart
 //!
@@ -51,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod load;
 mod pool;
 mod replay;
 mod shared;

@@ -1,0 +1,127 @@
+//! Parallel loading of persisted v2 trace containers into [`SharedTrace`]s.
+
+use crate::{ReplayEngine, SharedTrace};
+use dvp_trace::io::v2;
+use dvp_trace::io::TraceIoError;
+
+impl ReplayEngine {
+    /// Decodes an in-memory v2 trace container into a [`SharedTrace`],
+    /// chunk for chunk, on this engine's worker pool.
+    ///
+    /// The container's chunks are self-contained (delta bases reset at
+    /// chunk boundaries, each index entry carries its own checksum), so
+    /// every chunk decodes as an independent job; the decoded chunk
+    /// vectors then move straight into the shared buffer via
+    /// [`SharedTrace::from_chunks`] — no intermediate flat record vector
+    /// is ever built, and chunk boundaries survive a save/load round trip
+    /// exactly. With [`ReplayEngine::sequential`] the decode runs inline
+    /// on the calling thread with identical results.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceIoError`] for a malformed header, any chunk whose
+    /// payload fails validation (length, checksum, record count, category
+    /// bytes), a truncated payload section, or trailing bytes after the
+    /// last chunk. Errors are reported for the lowest-index failing chunk
+    /// regardless of which worker hit them first.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dvp_engine::{ReplayEngine, SharedTrace};
+    /// use dvp_trace::io::v2;
+    /// use dvp_trace::{InstrCategory, Pc, TraceRecord};
+    ///
+    /// let records: Vec<TraceRecord> =
+    ///     (0..500u64).map(|i| TraceRecord::new(Pc(4 * (i % 9)), InstrCategory::AddSub, i)).collect();
+    /// let mut bytes = Vec::new();
+    /// v2::write_records(&mut bytes, &v2::TraceMeta::default(), &records, 128)?;
+    ///
+    /// let (header, trace) = ReplayEngine::new().load_trace(&bytes)?;
+    /// assert_eq!(trace.to_vec(), records);
+    /// assert_eq!(trace.chunks().len(), header.chunks.len());
+    /// # Ok::<(), dvp_trace::io::TraceIoError>(())
+    /// ```
+    pub fn load_trace(&self, bytes: &[u8]) -> Result<(v2::Header, SharedTrace), TraceIoError> {
+        let (header, payload) = v2::split_bytes(bytes)?;
+        let decoded = self.try_map(header.chunks.clone(), |info| {
+            v2::decode_chunk(v2::chunk_payload(payload, &info), &info)
+        })?;
+        Ok((header, SharedTrace::from_chunks(decoded)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvp_trace::{InstrCategory, Pc, TraceRecord};
+
+    fn records(n: u64) -> Vec<TraceRecord> {
+        (0..n)
+            .map(|i| {
+                TraceRecord::new(
+                    Pc(0x40_0000 + 4 * (i % 200)),
+                    InstrCategory::from_index((i % 8) as usize).expect("valid"),
+                    i.wrapping_mul(2_654_435_761),
+                )
+            })
+            .collect()
+    }
+
+    fn container(n: u64, capacity: usize) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        v2::write_records(&mut bytes, &v2::TraceMeta::default(), &records(n), capacity)
+            .expect("writes");
+        bytes
+    }
+
+    #[test]
+    fn parallel_load_matches_sequential_and_preserves_chunking() {
+        let bytes = container(10_000, 1024);
+        let reference = ReplayEngine::sequential().load_trace(&bytes).expect("loads");
+        for workers in [2, 4, 16] {
+            let (header, trace) =
+                ReplayEngine::new().with_workers(workers).load_trace(&bytes).expect("loads");
+            assert_eq!(header, reference.0);
+            assert_eq!(trace.to_vec(), records(10_000), "{workers} workers");
+            assert_eq!(trace.chunks().len(), 10);
+            assert!(trace.chunks()[..9].iter().all(|c| c.len() == 1024));
+        }
+    }
+
+    #[test]
+    fn shared_trace_round_trips_chunk_for_chunk() {
+        // Save a builder-chunked trace, load it back: same chunk layout.
+        let mut builder = SharedTrace::builder();
+        for rec in records(200_000) {
+            builder.push(rec);
+        }
+        let original = builder.finish();
+        let mut bytes = Vec::new();
+        v2::write(
+            &mut bytes,
+            &v2::TraceMeta::default(),
+            original.chunks().iter().map(Vec::as_slice),
+        )
+        .expect("writes");
+        let (_, loaded) = ReplayEngine::new().load_trace(&bytes).expect("loads");
+        assert_eq!(loaded.chunks(), original.chunks());
+    }
+
+    #[test]
+    fn load_propagates_chunk_errors() {
+        let mut bytes = container(5000, 512);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff; // corrupt the final chunk's payload
+        let err = ReplayEngine::new().load_trace(&bytes).unwrap_err();
+        assert!(err.to_string().contains("chunk checksum"), "{err}");
+    }
+
+    #[test]
+    fn empty_container_loads_to_empty_trace() {
+        let bytes = container(0, 16);
+        let (header, trace) = ReplayEngine::new().load_trace(&bytes).expect("loads");
+        assert!(trace.is_empty());
+        assert_eq!(header.record_count, 0);
+    }
+}

@@ -53,6 +53,19 @@ impl SharedTrace {
         SharedTrace { chunks: Arc::new(chunks), len }
     }
 
+    /// Assembles a trace directly from pre-built chunks, preserving their
+    /// boundaries and copying nothing (empty chunks are dropped). This is
+    /// how a v2 container becomes a `SharedTrace` without an intermediate
+    /// flat `Vec<TraceRecord>`: each decoded chunk moves straight into the
+    /// shared buffer (see [`ReplayEngine::load_trace`](crate::ReplayEngine::load_trace)).
+    #[must_use]
+    pub fn from_chunks(chunks: Vec<Vec<TraceRecord>>) -> Self {
+        let chunks: Vec<Vec<TraceRecord>> =
+            chunks.into_iter().filter(|chunk| !chunk.is_empty()).collect();
+        let len = chunks.iter().map(Vec::len).sum();
+        SharedTrace { chunks: Arc::new(chunks), len }
+    }
+
     /// An incremental builder with the default chunk size.
     #[must_use]
     pub fn builder() -> SharedTraceBuilder {

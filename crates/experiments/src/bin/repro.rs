@@ -1,27 +1,39 @@
 //! `repro` — regenerate the tables and figures of Sazeides & Smith (1997).
 //!
 //! ```text
-//! repro all                 # everything, in paper order
-//! repro figure3 table6      # specific experiments
-//! repro --quick all         # 1/4-scale workloads (faster, noisier)
-//! repro --workers 4 all     # cap the replay engine at 4 threads
-//! repro --workers 1 all     # sequential reference run (same output)
-//! repro --list              # list experiment ids
+//! repro all                          # everything, in paper order
+//! repro figure3 table6               # specific experiments
+//! repro --quick all                  # 1/4-scale workloads (faster, noisier)
+//! repro --workers 4 all              # cap the replay engine at 4 threads
+//! repro --workers 1 all              # sequential reference run (same output)
+//! repro --trace-dir cache/ all       # persistent trace cache: first run
+//!                                    # simulates + saves, later runs load
+//! repro --no-trace-cache ...         # ignore --trace-dir for this run
+//! repro trace export --trace-dir d/  # simulate + persist all benchmark traces
+//! repro trace stats  --trace-dir d/  # list cached containers (header-level)
+//! repro trace verify --trace-dir d/  # full checksum + decode validation
+//! repro --list                       # list experiment ids
 //! ```
 //!
 //! All workload-driven experiments run through the `dvp-engine` parallel
 //! replay engine: each benchmark's trace is simulated once into a shared
 //! buffer, and the predictor×workload matrix fans out across worker
-//! threads with per-PC sharding. The tables are byte-identical at any
-//! `--workers`/`--shards` setting — parallelism only moves the wall clock.
+//! threads with per-PC sharding. With `--trace-dir`, traces additionally
+//! persist across runs as v2 containers (spec: `docs/TRACE_FORMAT.md`) and
+//! later runs replay them without simulating at all — the tables are
+//! byte-identical at any `--workers`/`--shards` setting and whether a
+//! trace came from the simulator or the cache. Cache activity is reported
+//! on stderr (`[repro] trace cache: ...`), never on stdout.
 
 use dvp_engine::ReplayEngine;
+use dvp_experiments::cache::TraceCache;
 use dvp_experiments::{
     accuracy, analytic, characterize, information, overlap, realism, sensitivity, speedup, values,
-    TraceStore,
+    TextTable, TraceStore,
 };
 use dvp_trace::InstrCategory;
 use dvp_workloads::Benchmark;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 /// Every experiment id in `repro all` order (the paper's tables and
@@ -29,8 +41,8 @@ use std::process::ExitCode;
 /// every benchmark's cached trace — the single source of truth driving
 /// the upfront parallel prefetch. (Experiments marked `false` either need
 /// no workloads at all or generate their own traces: the sensitivity
-/// experiments build gcc variants, `ext-speedup` collects dependence
-/// traces.)
+/// experiments build gcc variants — cached individually through the
+/// store's disk tier — and `ext-speedup` collects dependence traces.)
 const EXPERIMENTS: [(&str, bool); 23] = [
     ("table1", false),
     ("figure1", false),
@@ -101,8 +113,8 @@ impl Harness {
             "figure8" => self.overlap().render_figure8(),
             "figure9" => self.overlap().render_figure9(),
             "figure10" => values::run(&mut self.store).expect("figure10").render(),
-            "table6" => sensitivity::table6(&self.store, &engine).expect("table6").render(),
-            "table7" => sensitivity::table7(&self.store, &engine).expect("table7").render(),
+            "table6" => sensitivity::table6(&mut self.store, &engine).expect("table6").render(),
+            "table7" => sensitivity::table7(&mut self.store, &engine).expect("table7").render(),
             "figure11" => {
                 sensitivity::figure11(&mut self.store, &engine).expect("figure11").render()
             }
@@ -137,10 +149,158 @@ fn parse_count(args: &[String], index: usize, flag: &str) -> Option<usize> {
     }
 }
 
+/// The bare file name of a cache entry for listings (falls back to the
+/// full path if the name is unrepresentable).
+fn entry_name(entry: &dvp_experiments::cache::CacheEntry) -> String {
+    entry
+        .path
+        .file_name()
+        .map_or_else(|| entry.path.display().to_string(), |n| n.to_string_lossy().into_owned())
+}
+
+/// Prints a header-level listing of every container in the cache directory
+/// to stdout. Returns failure if a file cannot even be listed.
+fn print_cache_stats(cache: &TraceCache) -> ExitCode {
+    let entries = match cache.entries() {
+        Ok(entries) => entries,
+        Err(err) => {
+            eprintln!("cannot list {}: {err}", cache.dir().display());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("trace cache at {}: {} container(s)", cache.dir().display(), entries.len());
+    if entries.is_empty() {
+        return ExitCode::SUCCESS;
+    }
+    let mut table = TextTable::new(vec![
+        "File", "Workload", "Input", "Opt", "Scale", "Records", "Chunks", "KiB",
+    ]);
+    let mut broken: Vec<String> = Vec::new();
+    for entry in &entries {
+        let file = entry_name(entry);
+        match &entry.header {
+            Ok(header) => {
+                let fp = &header.meta.fingerprint;
+                table.row(vec![
+                    file,
+                    fp.workload.clone(),
+                    fp.input.clone(),
+                    fp.opt_level.clone(),
+                    fp.scale.to_string(),
+                    header.record_count.to_string(),
+                    header.chunks.len().to_string(),
+                    (entry.bytes / 1024).to_string(),
+                ]);
+            }
+            Err(err) => broken.push(format!("{file}: {err}")),
+        }
+    }
+    if !table.is_empty() {
+        println!("{}", table.render());
+    }
+    for line in &broken {
+        println!("unreadable: {line}");
+    }
+    if broken.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Fully validates every container in the cache directory (header +
+/// every chunk checksum + every record decodes, in parallel on `engine`).
+fn verify_cache(cache: &TraceCache, engine: &ReplayEngine) -> ExitCode {
+    let entries = match cache.entries() {
+        Ok(entries) => entries,
+        Err(err) => {
+            eprintln!("cannot list {}: {err}", cache.dir().display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if entries.is_empty() {
+        println!("trace cache at {}: nothing to verify", cache.dir().display());
+        return ExitCode::SUCCESS;
+    }
+    let mut failures = 0usize;
+    for entry in &entries {
+        let file = entry_name(entry);
+        match TraceCache::verify_file(engine, &entry.path) {
+            Ok(header) => println!(
+                "OK   {file} ({} records, {} chunks, {} KiB)",
+                header.record_count,
+                header.chunks.len(),
+                entry.bytes / 1024
+            ),
+            Err(err) => {
+                failures += 1;
+                println!("FAIL {file}: {err}");
+            }
+        }
+    }
+    println!("verified {} container(s), {failures} failure(s)", entries.len());
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The `repro trace <export|stats|verify>` tool.
+fn run_trace_tool(
+    commands: &[String],
+    trace_dir: Option<PathBuf>,
+    scale_div: u32,
+    engine: &ReplayEngine,
+) -> ExitCode {
+    let usage = "usage: repro trace <export|stats|verify> --trace-dir DIR [--quick] [--workers N]";
+    let Some(dir) = trace_dir else {
+        eprintln!("repro trace requires --trace-dir\n{usage}");
+        return ExitCode::FAILURE;
+    };
+    let [command] = commands else {
+        eprintln!("{usage}");
+        return ExitCode::FAILURE;
+    };
+    match command.as_str() {
+        "export" => {
+            let mut store = TraceStore::with_scale_div(scale_div).with_trace_dir(&dir);
+            eprintln!(
+                "[repro] exporting all benchmark traces to {} ({} workers)...",
+                dir.display(),
+                engine.workers()
+            );
+            if let Err(err) = store.prefetch(engine, &Benchmark::ALL) {
+                eprintln!("workload generation failed: {err:?}");
+                return ExitCode::FAILURE;
+            }
+            // Also persist the sensitivity studies' variant traces (Table
+            // 6 inputs, Table 7 optimization levels) so a later
+            // `repro all` against this directory simulates nothing.
+            let variants = sensitivity::variant_jobs(&store)
+                .and_then(|jobs| store.variant_traces(engine, jobs));
+            if let Err(err) = variants {
+                eprintln!("variant workload generation failed: {err:?}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("[repro] trace cache: {}", store.cache_stats());
+            print_cache_stats(store.cache().expect("configured above"))
+        }
+        "stats" => print_cache_stats(&TraceCache::new(dir)),
+        "verify" => verify_cache(&TraceCache::new(dir), engine),
+        other => {
+            eprintln!("unknown trace command `{other}`\n{usage}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut scale_div = 1;
     let mut engine = ReplayEngine::new();
+    let mut trace_dir: Option<PathBuf> = None;
+    let mut no_trace_cache = false;
     let mut args: Vec<String> = Vec::new();
     let mut skip = false;
     for (i, arg) in raw.iter().enumerate() {
@@ -164,8 +324,20 @@ fn main() -> ExitCode {
                 engine = engine.with_shards(shards);
                 skip = true;
             }
+            "--trace-dir" => {
+                let Some(dir) = raw.get(i + 1) else {
+                    eprintln!("--trace-dir expects a directory path");
+                    return ExitCode::FAILURE;
+                };
+                trace_dir = Some(PathBuf::from(dir));
+                skip = true;
+            }
+            "--no-trace-cache" => no_trace_cache = true,
             _ => args.push(arg.clone()),
         }
+    }
+    if no_trace_cache {
+        trace_dir = None;
     }
     if args.iter().any(|a| a == "--list" || a == "-l") {
         for (id, _) in EXPERIMENTS {
@@ -173,13 +345,19 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+    if args.first().map(String::as_str) == Some("trace") {
+        return run_trace_tool(&args[1..], trace_dir, scale_div, &engine);
+    }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: repro [--quick] [--workers N] [--shards N] all | <experiment>...\n       \
+            "usage: repro [--quick] [--workers N] [--shards N] [--trace-dir DIR] \
+             [--no-trace-cache]\n             all | <experiment>...\n       \
+             repro trace <export|stats|verify> --trace-dir DIR\n       \
              repro --list\n\n\
              Regenerates the tables and figures of Sazeides & Smith (MICRO-30 1997)\n\
              through the parallel replay engine (default: all cores; output is\n\
-             byte-identical at any worker count)."
+             byte-identical at any worker count). With --trace-dir, workload traces\n\
+             persist across runs and warm runs perform zero simulation."
         );
         return ExitCode::FAILURE;
     }
@@ -190,12 +368,11 @@ fn main() -> ExitCode {
         args
     };
 
-    let mut harness = Harness {
-        store: TraceStore::with_scale_div(scale_div),
-        engine,
-        accuracy: None,
-        overlap: None,
-    };
+    let mut store = TraceStore::with_scale_div(scale_div);
+    if let Some(dir) = &trace_dir {
+        store = store.with_trace_dir(dir);
+    }
+    let mut harness = Harness { store, engine, accuracy: None, overlap: None };
     // Experiments that replay every benchmark's trace share the store's
     // cache: generate all traces up front, in parallel, before the first
     // table. (Experiments left out generate what they need themselves.)
@@ -219,6 +396,11 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if harness.store.cache().is_some() {
+        // Stats go to stderr: stdout must stay byte-identical between cold
+        // and warm runs. A fully warm run reports `0 simulated`.
+        eprintln!("[repro] trace cache: {}", harness.store.cache_stats());
     }
     ExitCode::SUCCESS
 }

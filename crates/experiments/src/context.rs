@@ -1,9 +1,13 @@
-//! Shared experiment context: workload traces generated once and cached.
+//! Shared experiment context: workload traces generated once, cached in
+//! memory, and optionally persisted to a disk tier.
 
+use crate::cache::{CacheLookup, CacheStats, TraceCache};
 use dvp_engine::{ReplayEngine, SharedTrace};
 use dvp_lang::OptLevel;
+use dvp_trace::io::v2::TraceMeta;
 use dvp_workloads::{Benchmark, BuildError, Workload};
 use std::collections::HashMap;
+use std::path::PathBuf;
 
 /// The optimization level every cross-benchmark experiment uses.
 ///
@@ -17,14 +21,15 @@ pub const REFERENCE_OPT: OptLevel = OptLevel::O1;
 /// Step budget for any single workload run.
 pub const STEP_BUDGET: u64 = 2_000_000_000;
 
-/// Simulates one workload into a [`SharedTrace`], returning
+/// Simulates one workload at `opt` into a [`SharedTrace`], returning
 /// `(trace, retired, predicted)`. The trace respects `record_cap`;
-/// `predicted` always counts the full run.
+/// `retired` and `predicted` always count the full run.
 fn generate(
     workload: &Workload,
+    opt: OptLevel,
     record_cap: Option<usize>,
 ) -> Result<(SharedTrace, u64, u64), BuildError> {
-    let mut machine = workload.machine(REFERENCE_OPT)?;
+    let mut machine = workload.machine(opt)?;
     let mut builder = SharedTrace::builder();
     let mut predicted = 0u64;
     let cap = record_cap.unwrap_or(usize::MAX);
@@ -38,7 +43,8 @@ fn generate(
 }
 
 /// Lazily generates and caches the value trace of each benchmark so that a
-/// `repro all` run simulates every workload exactly once.
+/// `repro all` run simulates every workload **at most** once — and, with a
+/// trace directory configured, at most once *ever* per configuration.
 ///
 /// Traces are held as [`SharedTrace`]s: handing one to an experiment (or to
 /// every job of a parallel replay) clones an [`Arc`](std::sync::Arc), never
@@ -46,6 +52,17 @@ fn generate(
 /// traces concurrently on a [`ReplayEngine`]'s worker pool; generation is
 /// deterministic per benchmark, so a prefetched store is indistinguishable
 /// from a lazily-filled one.
+///
+/// # The disk tier
+///
+/// [`TraceStore::with_trace_dir`] adds a persistent [`TraceCache`] below
+/// the in-memory map. Every miss consults the directory first (validating
+/// checksums and the workload [fingerprint](dvp_trace::io::v2::Fingerprint)
+/// before trusting a file) and writes freshly simulated traces through, so
+/// the *next* process starts warm. Traces loaded from disk are
+/// byte-identical to freshly simulated ones — `tests/trace_cache.rs` pins
+/// this on real workloads — and [`TraceStore::cache_stats`] reports how
+/// many simulations the run actually performed.
 ///
 /// # Examples
 ///
@@ -56,22 +73,41 @@ fn generate(
 /// let mut store = TraceStore::with_scale_div(50);
 /// let trace = store.trace(Benchmark::M88k)?;
 /// assert!(!trace.is_empty());
+/// assert_eq!(store.cache_stats().simulated, 1);
 /// # Ok::<(), dvp_workloads::BuildError>(())
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TraceStore {
     traces: HashMap<Benchmark, SharedTrace>,
     retired: HashMap<Benchmark, u64>,
     predicted: HashMap<Benchmark, u64>,
     scale_div: u32,
     record_cap: Option<usize>,
+    cache: Option<TraceCache>,
+    stats: CacheStats,
+}
+
+impl Default for TraceStore {
+    /// Equivalent to [`TraceStore::new`] (a derived default would set
+    /// `scale_div` to 0 and divide by zero on first use).
+    fn default() -> Self {
+        TraceStore {
+            traces: HashMap::new(),
+            retired: HashMap::new(),
+            predicted: HashMap::new(),
+            scale_div: 1,
+            record_cap: None,
+            cache: None,
+            stats: CacheStats::default(),
+        }
+    }
 }
 
 impl TraceStore {
     /// A store using each benchmark's default scale.
     #[must_use]
     pub fn new() -> Self {
-        TraceStore { scale_div: 1, ..TraceStore::default() }
+        TraceStore::default()
     }
 
     /// A store whose workloads run at `default_scale / div` (min 1) — used
@@ -90,11 +126,97 @@ impl TraceStore {
         self
     }
 
+    /// Adds the persistent disk tier rooted at `dir`: misses are looked up
+    /// there before simulating, and simulated traces are written through.
+    #[must_use]
+    pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache = Some(TraceCache::new(dir));
+        self
+    }
+
+    /// The disk tier, if one is configured.
+    #[must_use]
+    pub fn cache(&self) -> Option<&TraceCache> {
+        self.cache.as_ref()
+    }
+
+    /// What this store has done so far across both tiers. A run that only
+    /// hit the disk tier shows `simulated == 0`.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats
+    }
+
     /// The workload configuration this store runs for `benchmark`.
     #[must_use]
     pub fn workload(&self, benchmark: Benchmark) -> Workload {
         let scale = (benchmark.default_scale() / self.scale_div).max(1);
         Workload::reference(benchmark).with_scale(scale)
+    }
+
+    /// Looks one fingerprint up in the disk tier (if any), recording stats
+    /// and reporting rejected candidates on stderr.
+    fn disk_lookup(
+        &mut self,
+        engine: &ReplayEngine,
+        workload: &Workload,
+        opt: OptLevel,
+    ) -> Option<(TraceMeta, SharedTrace)> {
+        let fingerprint = TraceCache::fingerprint(workload, opt, self.record_cap);
+        match self.cache.as_ref()?.lookup(engine, &fingerprint) {
+            CacheLookup::Hit(meta, trace) => {
+                self.stats.disk_hits += 1;
+                Some((meta, trace))
+            }
+            CacheLookup::Miss => None,
+            CacheLookup::Invalid(why) => {
+                self.stats.invalid += 1;
+                eprintln!("[trace-cache] rejected {why}; regenerating");
+                None
+            }
+        }
+    }
+
+    /// Writes a freshly simulated trace through to the disk tier (if any);
+    /// write failures are warnings, never run failures.
+    fn write_through(
+        &mut self,
+        workload: &Workload,
+        opt: OptLevel,
+        retired: u64,
+        predicted: u64,
+        trace: &SharedTrace,
+    ) {
+        let Some(cache) = &self.cache else { return };
+        let meta = TraceMeta {
+            fingerprint: TraceCache::fingerprint(workload, opt, self.record_cap),
+            retired,
+            predicted,
+        };
+        match cache.write_through(&meta, trace) {
+            Ok(_) => self.stats.written += 1,
+            Err(err) => eprintln!(
+                "[trace-cache] write-through failed for {}: {err}",
+                meta.fingerprint.workload
+            ),
+        }
+    }
+
+    /// Loads `benchmark`'s trace from the disk tier or simulates it (with
+    /// write-through), without touching the in-memory map.
+    fn acquire(
+        &mut self,
+        engine: &ReplayEngine,
+        benchmark: Benchmark,
+    ) -> Result<(SharedTrace, u64, u64), BuildError> {
+        let workload = self.workload(benchmark);
+        if let Some((meta, trace)) = self.disk_lookup(engine, &workload, REFERENCE_OPT) {
+            return Ok((trace, meta.retired, meta.predicted));
+        }
+        let (trace, retired, predicted) = generate(&workload, REFERENCE_OPT, self.record_cap)?;
+        self.stats.simulated += 1;
+        self.write_through(&workload, REFERENCE_OPT, retired, predicted, &trace);
+        Ok((trace, retired, predicted))
     }
 
     /// The cached trace for `benchmark`, generating it on first use. The
@@ -105,7 +227,9 @@ impl TraceStore {
     /// Propagates workload build/run errors.
     pub fn trace(&mut self, benchmark: Benchmark) -> Result<SharedTrace, BuildError> {
         if !self.traces.contains_key(&benchmark) {
-            let (trace, retired, predicted) = generate(&self.workload(benchmark), self.record_cap)?;
+            // The lazy path has no caller-provided engine; decode inline.
+            let engine = ReplayEngine::sequential();
+            let (trace, retired, predicted) = self.acquire(&engine, benchmark)?;
             self.retired.insert(benchmark, retired);
             self.predicted.insert(benchmark, predicted);
             self.traces.insert(benchmark, trace);
@@ -113,9 +237,11 @@ impl TraceStore {
         Ok(self.traces[&benchmark].clone())
     }
 
-    /// Generates every not-yet-cached trace among `benchmarks` in parallel
-    /// on `engine`'s worker pool. Already-cached benchmarks are untouched;
-    /// duplicates are generated once.
+    /// Fills every not-yet-cached trace among `benchmarks` in parallel on
+    /// `engine`'s worker pool: disk hits are decoded chunk-for-chunk
+    /// through the pool, the rest are simulated concurrently (and written
+    /// through when a trace directory is configured). Already-cached
+    /// benchmarks are untouched; duplicates are filled once.
     ///
     /// # Errors
     ///
@@ -132,18 +258,71 @@ impl TraceStore {
                 missing.push(benchmark);
             }
         }
+        // Disk tier first: each hit streams through the worker pool.
+        let mut to_simulate: Vec<Benchmark> = Vec::new();
+        for benchmark in missing {
+            let workload = self.workload(benchmark);
+            match self.disk_lookup(engine, &workload, REFERENCE_OPT) {
+                Some((meta, trace)) => {
+                    self.retired.insert(benchmark, meta.retired);
+                    self.predicted.insert(benchmark, meta.predicted);
+                    self.traces.insert(benchmark, trace);
+                }
+                None => to_simulate.push(benchmark),
+            }
+        }
         let record_cap = self.record_cap;
         let jobs: Vec<(Benchmark, Workload)> =
-            missing.into_iter().map(|b| (b, self.workload(b))).collect();
+            to_simulate.into_iter().map(|b| (b, self.workload(b))).collect();
         let generated = engine.try_map(jobs, |(benchmark, workload)| {
-            generate(&workload, record_cap).map(|result| (benchmark, result))
+            generate(&workload, REFERENCE_OPT, record_cap).map(|result| (benchmark, result))
         })?;
         for (benchmark, (trace, retired, predicted)) in generated {
+            self.stats.simulated += 1;
+            let workload = self.workload(benchmark);
+            self.write_through(&workload, REFERENCE_OPT, retired, predicted, &trace);
             self.retired.insert(benchmark, retired);
             self.predicted.insert(benchmark, predicted);
             self.traces.insert(benchmark, trace);
         }
         Ok(())
+    }
+
+    /// Loads or generates arbitrary `(workload, opt)` variant traces —
+    /// e.g. the sensitivity studies' alternate inputs and optimization
+    /// levels — through the disk tier, returning for each job, in input
+    /// order, the (possibly record-capped) trace and the full run's
+    /// predicted-instruction count. Misses simulate in parallel on
+    /// `engine` and are written through; variants are not held in the
+    /// in-memory benchmark map (each experiment runs once per process —
+    /// persistence is what pays).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first (in input order) workload build/run error.
+    pub fn variant_traces(
+        &mut self,
+        engine: &ReplayEngine,
+        jobs: Vec<(Workload, OptLevel)>,
+    ) -> Result<Vec<(SharedTrace, u64)>, BuildError> {
+        let mut out: Vec<Option<(SharedTrace, u64)>> = vec![None; jobs.len()];
+        let mut to_simulate: Vec<(usize, Workload, OptLevel)> = Vec::new();
+        for (index, (workload, opt)) in jobs.into_iter().enumerate() {
+            match self.disk_lookup(engine, &workload, opt) {
+                Some((meta, trace)) => out[index] = Some((trace, meta.predicted)),
+                None => to_simulate.push((index, workload, opt)),
+            }
+        }
+        let record_cap = self.record_cap;
+        let generated = engine.try_map(to_simulate, |(index, workload, opt)| {
+            generate(&workload, opt, record_cap).map(|result| (index, workload, opt, result))
+        })?;
+        for (index, workload, opt, (trace, retired, predicted)) in generated {
+            self.stats.simulated += 1;
+            self.write_through(&workload, opt, retired, predicted, &trace);
+            out[index] = Some((trace, predicted));
+        }
+        Ok(out.into_iter().map(|slot| slot.expect("every job filled")).collect())
     }
 
     /// Total dynamic (retired) instructions for `benchmark`'s run,
@@ -196,6 +375,9 @@ mod tests {
             assert_eq!(lazy.retired(benchmark).unwrap(), eager.retired(benchmark).unwrap());
             assert_eq!(lazy.predicted(benchmark).unwrap(), eager.predicted(benchmark).unwrap());
         }
+        assert_eq!(lazy.cache_stats().simulated, 2);
+        assert_eq!(eager.cache_stats().simulated, 2);
+        assert_eq!(lazy.cache_stats().disk_hits, 0, "no disk tier configured");
     }
 
     #[test]

@@ -33,7 +33,11 @@
 //! | dataflow-limit speedup            | [`speedup`] | `ext-speedup` |
 //!
 //! All workload-driven experiments share a [`TraceStore`] so each benchmark
-//! is simulated once per `repro` invocation.
+//! is simulated once per `repro` invocation — and, with `repro
+//! --trace-dir`, at most once *ever* per configuration: the [`cache`]
+//! module persists traces as chunked v2 containers (byte-level spec in
+//! `docs/TRACE_FORMAT.md`) that later runs load in parallel instead of
+//! simulating, with byte-identical output.
 //!
 //! # Examples
 //!
@@ -56,6 +60,7 @@
 
 pub mod accuracy;
 pub mod analytic;
+pub mod cache;
 pub mod characterize;
 mod context;
 pub mod information;

@@ -1,7 +1,7 @@
 //! Sensitivity studies on the gcc-like workload: Table 6 (input files),
 //! Table 7 (compiler flags), and Figure 11 (FCM order sweep).
 
-use crate::context::{TraceStore, REFERENCE_OPT, STEP_BUDGET};
+use crate::context::{TraceStore, REFERENCE_OPT};
 use crate::table_fmt::{pct, TextTable};
 use dvp_core::PredictorConfig;
 use dvp_engine::{ReplayEngine, SharedTrace};
@@ -17,6 +17,33 @@ pub const ORDER_SWEEP_CAP: usize = 2_000_000;
 /// The single-config bank Tables 6 and 7 replay: one order-2 FCM.
 fn sensitivity_bank() -> Vec<PredictorConfig> {
     PredictorConfig::fcm_orders([SENSITIVITY_ORDER])
+}
+
+/// Every variant workload trace the sensitivity studies consume — Table
+/// 6's five `cc` inputs at the reference optimization level plus Table
+/// 7's three optimization levels of the default input — deduplicated by
+/// fingerprint. `repro trace export` pushes these through
+/// [`TraceStore::variant_traces`] so a subsequent `repro all` against the
+/// same cache directory performs zero value-trace simulation.
+///
+/// # Errors
+///
+/// Propagates workload construction errors.
+pub fn variant_jobs(store: &TraceStore) -> Result<Vec<(Workload, OptLevel)>, BuildError> {
+    let scale = store.workload(Benchmark::Cc).scale();
+    let mut jobs: Vec<(Workload, OptLevel)> = Vec::new();
+    for &(name, _, _) in &CC_INPUTS {
+        jobs.push((Workload::cc_with_input(name)?.with_scale(scale), REFERENCE_OPT));
+    }
+    for &flags in &OptLevel::ALL {
+        jobs.push((store.workload(Benchmark::Cc), flags));
+    }
+    let cap = store.record_cap();
+    let mut seen = std::collections::HashSet::new();
+    jobs.retain(|(workload, opt)| {
+        seen.insert(crate::cache::TraceCache::fingerprint(workload, *opt, cap).digest())
+    });
+    Ok(jobs)
 }
 
 /// One row of Table 6: an input file, its prediction count, and the
@@ -38,31 +65,28 @@ pub struct Table6 {
     pub rows: Vec<Table6Row>,
 }
 
-/// Runs Table 6: the same `cc` program over its five input files. Trace
-/// generation fans out across the engine's workers (one job per input);
-/// the order-2 FCM replays then run as a 5×1 matrix of sharded jobs.
+/// Runs Table 6: the same `cc` program over its five input files. The
+/// variant traces come through the store's cache tiers (cache misses
+/// simulate in parallel, one job per input, and persist when a trace
+/// directory is configured); the order-2 FCM replays then run as a 5×1
+/// matrix of sharded jobs.
 ///
 /// # Errors
 ///
 /// Propagates workload build/run errors.
-pub fn table6(store: &TraceStore, engine: &ReplayEngine) -> Result<Table6, BuildError> {
+pub fn table6(store: &mut TraceStore, engine: &ReplayEngine) -> Result<Table6, BuildError> {
     let scale = store.workload(Benchmark::Cc).scale();
-    let cap = store.record_cap();
-    let inputs: Vec<&str> = CC_INPUTS.iter().map(|&(name, _, _)| name).collect();
-    let generated = engine.try_map(inputs, |name| -> Result<_, BuildError> {
-        let workload = Workload::cc_with_input(name)?.with_scale(scale);
-        let mut trace = SharedTrace::from_records(workload.trace(REFERENCE_OPT, STEP_BUDGET)?);
-        let predictions = trace.len() as u64;
-        if let Some(cap) = cap {
-            trace = trace.truncated(cap);
-        }
-        Ok((name, predictions, trace))
-    })?;
-    let traces: Vec<SharedTrace> = generated.iter().map(|(_, _, trace)| trace.clone()).collect();
-    let rows = generated
+    let jobs: Vec<(Workload, OptLevel)> = CC_INPUTS
         .iter()
+        .map(|&(name, _, _)| Ok((Workload::cc_with_input(name)?.with_scale(scale), REFERENCE_OPT)))
+        .collect::<Result<_, BuildError>>()?;
+    let variants = store.variant_traces(engine, jobs)?;
+    let traces: Vec<SharedTrace> = variants.iter().map(|(trace, _)| trace.clone()).collect();
+    let rows = CC_INPUTS
+        .iter()
+        .zip(&variants)
         .zip(engine.replay_matrix(&traces, &sensitivity_bank()))
-        .map(|(&(name, predictions, _), replays)| Table6Row {
+        .map(|((&(name, _, _), &(_, predictions)), replays)| Table6Row {
             input: name.to_owned(),
             predictions,
             accuracy: replays[0].accuracy(),
@@ -114,28 +138,25 @@ pub struct Table7 {
 }
 
 /// Runs Table 7: the default `cc` input compiled at `O0`, `O1` and `O2`.
-/// One compile-and-trace job per optimization level fans out across the
-/// engine's workers, then the order-2 FCM replays run as a 3×1 matrix.
+/// Each optimization level's trace comes through the store's cache tiers
+/// (misses compile-and-trace in parallel and persist when a trace
+/// directory is configured), then the order-2 FCM replays run as a 3×1
+/// matrix.
 ///
 /// # Errors
 ///
 /// Propagates workload build/run errors.
-pub fn table7(store: &TraceStore, engine: &ReplayEngine) -> Result<Table7, BuildError> {
+pub fn table7(store: &mut TraceStore, engine: &ReplayEngine) -> Result<Table7, BuildError> {
     let workload = store.workload(Benchmark::Cc);
-    let cap = store.record_cap();
-    let generated = engine.try_map(OptLevel::ALL.to_vec(), |flags| -> Result<_, BuildError> {
-        let mut trace = SharedTrace::from_records(workload.trace(flags, STEP_BUDGET)?);
-        let predictions = trace.len() as u64;
-        if let Some(cap) = cap {
-            trace = trace.truncated(cap);
-        }
-        Ok((flags, predictions, trace))
-    })?;
-    let traces: Vec<SharedTrace> = generated.iter().map(|(_, _, trace)| trace.clone()).collect();
-    let rows = generated
+    let jobs: Vec<(Workload, OptLevel)> =
+        OptLevel::ALL.iter().map(|&flags| (workload.clone(), flags)).collect();
+    let variants = store.variant_traces(engine, jobs)?;
+    let traces: Vec<SharedTrace> = variants.iter().map(|(trace, _)| trace.clone()).collect();
+    let rows = OptLevel::ALL
         .iter()
+        .zip(&variants)
         .zip(engine.replay_matrix(&traces, &sensitivity_bank()))
-        .map(|(&(flags, predictions, _), replays)| Table7Row {
+        .map(|((&flags, &(_, predictions)), replays)| Table7Row {
             flags,
             predictions,
             accuracy: replays[0].accuracy(),
@@ -227,12 +248,9 @@ mod tests {
 
     #[test]
     fn table6_small_variation_across_inputs() {
-        let store = TraceStore::with_scale_div(1000).with_record_cap(if cfg!(debug_assertions) {
-            25_000
-        } else {
-            150_000
-        });
-        let t = table6(&store, &ReplayEngine::new()).unwrap();
+        let mut store = TraceStore::with_scale_div(1000)
+            .with_record_cap(if cfg!(debug_assertions) { 25_000 } else { 150_000 });
+        let t = table6(&mut store, &ReplayEngine::new()).unwrap();
         assert_eq!(t.rows.len(), 5);
         for row in &t.rows {
             assert!(row.accuracy > 0.4, "{}: {}", row.input, row.accuracy);
@@ -243,12 +261,9 @@ mod tests {
 
     #[test]
     fn table7_small_variation_across_flags() {
-        let store = TraceStore::with_scale_div(1000).with_record_cap(if cfg!(debug_assertions) {
-            25_000
-        } else {
-            150_000
-        });
-        let t = table7(&store, &ReplayEngine::new()).unwrap();
+        let mut store = TraceStore::with_scale_div(1000)
+            .with_record_cap(if cfg!(debug_assertions) { 25_000 } else { 150_000 });
+        let t = table7(&mut store, &ReplayEngine::new()).unwrap();
         assert_eq!(t.rows.len(), 3);
         assert!(t.accuracy_spread() < 0.15, "spread {}", t.accuracy_spread());
         assert!(t.render().contains("-O1"));

@@ -1,15 +1,28 @@
-//! Trace persistence: JSON-lines (debuggable) and a compact binary format
-//! (17 bytes/record) for storing and replaying value traces.
+//! Trace persistence: JSON-lines (debuggable), the flat v1 binary format
+//! (17 bytes/record), and the chunked [`v2`] container that the persistent
+//! trace cache is built on.
 //!
 //! The paper's methodology is trace-driven; persisting traces lets
 //! experiments replay identical streams without re-simulating, and lets
-//! external tools consume them.
+//! external tools consume them. Both binary formats are specified byte for
+//! byte in `docs/TRACE_FORMAT.md` at the repository root — the spec is the
+//! contract; this module is one implementation of it.
+//!
+//! **Format guide.** v1 ([`write_binary`]/[`read_binary`]) is a bare
+//! record stream: simple, but it carries no record count, no workload
+//! identity, and no checksum, so a reader cannot tell a truncated or
+//! corrupted file from a short trace. The [`v2`] container fixes all
+//! three (header + fingerprint + per-chunk checksums) and its chunks
+//! decode independently, which is what lets `dvp-engine` load a cached
+//! trace in parallel. New code should write v2.
+
+pub mod v2;
 
 use crate::{InstrCategory, Pc, TraceRecord};
 use std::fmt;
 use std::io::{self, BufRead, Read, Write};
 
-/// Magic bytes of the binary trace format (`"DVPT"` + version 1).
+/// Magic bytes of the v1 binary trace format (`"DVPT"` + version 1).
 const MAGIC: [u8; 5] = [b'D', b'V', b'P', b'T', 1];
 
 /// Error while reading a persisted trace.
@@ -125,30 +138,43 @@ where
 
 /// Reads a binary trace written by [`write_binary`].
 ///
+/// A v1 stream carries no record count, so the only valid way for it to
+/// end is exactly at a record boundary: any partial record at the end of
+/// the stream is rejected as trailing garbage (or a truncation — v1
+/// cannot tell the two apart), with the byte offset where the well-formed
+/// prefix ended. Trailing garbage that happens to be a whole multiple of
+/// the record size and carries valid category bytes is **not** detectable
+/// in v1 — that blind spot is one of the reasons the [`v2`] container
+/// exists (see `docs/TRACE_FORMAT.md`).
+///
 /// # Errors
 ///
-/// Returns a [`TraceIoError`] on I/O failure, a bad header, a truncated
-/// record, or an invalid category byte.
+/// Returns a [`TraceIoError`] on I/O failure, a bad header, a partial
+/// trailing record, or an invalid category byte; `Format` errors name the
+/// absolute byte offset of the offending record.
 pub fn read_binary<R: Read>(mut reader: R) -> Result<Vec<TraceRecord>, TraceIoError> {
+    const RECORD_LEN: usize = 17;
     let mut magic = [0u8; 5];
     reader.read_exact(&mut magic).map_err(|_| format_err("missing header"))?;
     if magic != MAGIC {
-        return Err(format_err("bad magic bytes (not a dvp binary trace)"));
+        return Err(format_err("bad magic bytes (not a dvp v1 binary trace)"));
     }
     let mut records = Vec::new();
-    let mut buf = [0u8; 17];
+    let mut buf = [0u8; RECORD_LEN];
     'records: loop {
+        // Absolute offset of the record currently being read.
+        let offset = MAGIC.len() + RECORD_LEN * records.len();
         // Fill the record buffer manually so a clean EOF (0 bytes before a
-        // record) is distinguishable from a truncated record (EOF mid-fill).
+        // record) is distinguishable from a partial record (EOF mid-fill).
         let mut filled = 0usize;
         while filled < buf.len() {
             match reader.read(&mut buf[filled..]) {
                 Ok(0) if filled == 0 => break 'records,
                 Ok(0) => {
                     return Err(format_err(format!(
-                        "truncated record after {} complete records ({filled} of {} bytes)",
+                        "{filled}-byte partial record at byte offset {offset} after {} complete \
+                         records (trailing garbage, or a truncated stream)",
                         records.len(),
-                        buf.len(),
                     )))
                 }
                 Ok(n) => filled += n,
@@ -157,8 +183,14 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<Vec<TraceRecord>, TraceIoEr
             }
         }
         let pc = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
-        let cat = InstrCategory::from_index(buf[8] as usize)
-            .ok_or_else(|| format_err(format!("invalid category byte {}", buf[8])))?;
+        let cat = InstrCategory::from_index(buf[8] as usize).ok_or_else(|| {
+            format_err(format!(
+                "invalid category byte {} at byte offset {} (record {})",
+                buf[8],
+                offset + 8,
+                records.len(),
+            ))
+        })?;
         let value = u64::from_le_bytes(buf[9..17].try_into().expect("8 bytes"));
         records.push(TraceRecord::new(Pc(pc), cat, value));
     }
@@ -232,6 +264,19 @@ mod tests {
         let err = read_binary(buf.as_slice()).unwrap_err();
         assert!(err.to_string().contains("truncated"), "{err}");
         assert!(err.to_string().contains("2 complete records"), "{err}");
+        // The partial record starts right after two complete ones.
+        assert!(err.to_string().contains(&format!("byte offset {}", 5 + 2 * 17)), "{err}");
+    }
+
+    #[test]
+    fn binary_rejects_trailing_garbage() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, sample().iter()).unwrap();
+        let end = buf.len();
+        buf.extend_from_slice(b"JUNK");
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("trailing garbage"), "{err}");
+        assert!(err.to_string().contains(&format!("byte offset {end}")), "{err}");
     }
 
     #[test]
@@ -241,6 +286,7 @@ mod tests {
         buf[5 + 8] = 200; // corrupt the first record's category byte
         let err = read_binary(buf.as_slice()).unwrap_err();
         assert!(err.to_string().contains("category"), "{err}");
+        assert!(err.to_string().contains(&format!("byte offset {}", 5 + 8)), "{err}");
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Property tests over the persisted trace formats: the v1 stream and the
+//! v2 chunked container must agree record-for-record on any trace, and the
+//! v2 container must detect every corruption a single byte flip, a
+//! truncation, trailing bytes, or a stale fingerprint can produce.
+//!
+//! The byte layouts under test are specified in `docs/TRACE_FORMAT.md`.
+
+use dvp_trace::io::v2;
+use dvp_trace::io::{read_binary, write_binary};
+use dvp_trace::{InstrCategory, Pc, TraceRecord};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn record() -> impl Strategy<Value = TraceRecord> {
+    // Mix realistic 4-aligned code addresses with arbitrary ones, and
+    // values across the whole varint length spectrum.
+    let pc = prop_oneof![(0u64..1 << 20).prop_map(|i| 0x40_0000 + 4 * i), any::<u64>(),];
+    let value = prop_oneof![0u64..256, any::<u64>()];
+    (pc, 0usize..InstrCategory::ALL.len(), value).prop_map(|(pc, cat, value)| {
+        TraceRecord::new(Pc(pc), InstrCategory::from_index(cat).expect("valid index"), value)
+    })
+}
+
+fn records() -> impl Strategy<Value = Vec<TraceRecord>> {
+    vec(record(), 0..400)
+}
+
+fn meta_for(records: &[TraceRecord]) -> v2::TraceMeta {
+    v2::TraceMeta {
+        fingerprint: v2::Fingerprint {
+            workload: "prop".into(),
+            input: "prop.ref".into(),
+            opt_level: "O1".into(),
+            seed: 7,
+            scale: 3,
+            record_cap: u64::MAX,
+        },
+        retired: records.len() as u64 * 3,
+        predicted: records.len() as u64,
+    }
+}
+
+fn v1_bytes(records: &[TraceRecord]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_binary(&mut buf, records.iter()).expect("v1 writes");
+    buf
+}
+
+fn v2_bytes(records: &[TraceRecord], chunk_capacity: usize) -> Vec<u8> {
+    let mut buf = Vec::new();
+    v2::write_records(&mut buf, &meta_for(records), records, chunk_capacity).expect("v2 writes");
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // The tentpole equivalence: any trace round-trips identically through
+    // v1 and through v2 at any chunk capacity, so replacing a v1 stream
+    // with a v2 container can never change an experiment.
+    #[test]
+    fn v1_and_v2_round_trips_agree(case in (records(), 1usize..700)) {
+        let (records, capacity) = case;
+        let via_v1 = read_binary(v1_bytes(&records).as_slice()).expect("v1 reads");
+        let (header, via_v2) =
+            v2::read(&mut v2_bytes(&records, capacity).as_slice()).expect("v2 reads");
+        prop_assert_eq!(&via_v1, &records);
+        prop_assert_eq!(&via_v2, &records);
+        prop_assert_eq!(via_v1, via_v2);
+        prop_assert_eq!(header.record_count as usize, records.len());
+        prop_assert_eq!(header.meta, meta_for(&records));
+        prop_assert_eq!(header.chunks.len(), records.len().div_ceil(capacity));
+    }
+
+    // Every single-byte corruption of a v2 container is detected: the
+    // header (including the chunk index) is covered by the header
+    // checksum, each payload by its chunk checksum, and the magic by a
+    // direct comparison.
+    #[test]
+    fn v2_detects_any_single_byte_flip(
+        case in (vec(record(), 1..200), any::<u64>()),
+        bit in 0u8..8,
+    ) {
+        let (records, flip) = case;
+        let bytes = v2_bytes(&records, 64);
+        let position = (flip % bytes.len() as u64) as usize;
+        let mut corrupt = bytes.clone();
+        corrupt[position] ^= 1 << bit;
+        prop_assert!(
+            v2::read(&mut corrupt.as_slice()).is_err(),
+            "flip of bit {} at byte {} went undetected",
+            bit,
+            position
+        );
+    }
+
+    // Any truncation of a v2 container is detected, at every prefix
+    // length — v1 can only detect truncations that split a record.
+    #[test]
+    fn v2_detects_any_truncation(case in (vec(record(), 1..150), any::<u64>())) {
+        let (records, cut) = case;
+        let bytes = v2_bytes(&records, 32);
+        let cut = (cut % bytes.len() as u64) as usize;
+        prop_assert!(v2::read(&mut bytes[..cut].as_ref()).is_err(), "cut at {} accepted", cut);
+    }
+
+    // Any appended bytes are detected (v1 only notices when the trailing
+    // length is not a whole record).
+    #[test]
+    fn v2_detects_trailing_bytes(case in (records(), vec(any::<u8>(), 1..40))) {
+        let (records, junk) = case;
+        let mut bytes = v2_bytes(&records, 64);
+        bytes.extend_from_slice(&junk);
+        let err = v2::read(&mut bytes.as_slice()).unwrap_err();
+        prop_assert!(err.to_string().contains("trailing"), "{}", err);
+    }
+
+    // v1's documented blind spot, pinned as a property: whole-record
+    // trailing garbage with valid category bytes is accepted by v1 —
+    // exactly the failure mode the v2 container exists to close.
+    #[test]
+    fn v1_accepts_whole_record_garbage_v2_never_does(case in (records(), record())) {
+        let (records, garbage) = case;
+        let mut bytes = v1_bytes(&records);
+        bytes.extend_from_slice(&v1_bytes(std::slice::from_ref(&garbage))[5..]);
+        let read = read_binary(bytes.as_slice()).expect("v1 cannot detect this");
+        prop_assert_eq!(read.len(), records.len() + 1);
+    }
+
+    // A fingerprint mismatch is always observable: the stored fingerprint
+    // survives the round trip exactly, so a cache can compare it against
+    // the configuration it expects.
+    #[test]
+    fn v2_fingerprint_survives_round_trip(records in records(), scale in 1u32..100) {
+        let mut meta = meta_for(&records);
+        meta.fingerprint.scale = scale;
+        let mut bytes = Vec::new();
+        v2::write_records(&mut bytes, &meta, &records, 128).expect("writes");
+        let (header, _) = v2::read(&mut bytes.as_slice()).expect("reads");
+        prop_assert_eq!(&header.meta.fingerprint, &meta.fingerprint);
+        let mut stale = meta.fingerprint.clone();
+        stale.scale += 1;
+        prop_assert_ne!(header.meta.fingerprint, stale);
+    }
+}

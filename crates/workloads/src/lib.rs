@@ -46,14 +46,20 @@ use std::fmt;
 
 /// The seven benchmarks of the suite (paper Table 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[allow(missing_docs)]
 pub enum Benchmark {
+    /// LZW hash-table compression of synthetic text (129.compress analog).
     Compress,
+    /// Tokenizer + parser + evaluator over an input file (126.gcc analog).
     Cc,
+    /// Board evaluation with flood-fill captures (099.go analog).
     Go,
+    /// 8×8 integer DCT, quantization, RLE (132.ijpeg analog).
     Ijpeg,
+    /// Interpreter running an embedded register VM (124.m88ksim analog).
     M88k,
+    /// String hashing, associative arrays, top-k (134.perl analog).
     Perl,
+    /// Recursive N-queens over a cons-cell heap (130.li analog).
     Xlisp,
 }
 
@@ -260,6 +266,15 @@ impl Workload {
     #[must_use]
     pub fn input_name(&self) -> &str {
         &self.input_name
+    }
+
+    /// Seed of the deterministic input generator. Together with the
+    /// benchmark, input name, scale, and optimization level this fully
+    /// identifies the value trace a run produces — the persistent trace
+    /// cache fingerprints files with it.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// The configured scale.

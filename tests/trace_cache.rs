@@ -1,0 +1,151 @@
+//! The persistent trace cache's core guarantee, verified end-to-end on
+//! real workloads: a trace served from the disk tier is *identical* to a
+//! freshly simulated one — same records, same run totals, and therefore
+//! byte-identical rendered experiment output — and a warm store performs
+//! zero simulation.
+
+use dvp::engine::ReplayEngine;
+use dvp::experiments::cache::{CacheLookup, TraceCache};
+use dvp::experiments::{sensitivity, TraceStore, REFERENCE_OPT};
+use dvp::workloads::Benchmark;
+use std::path::PathBuf;
+
+/// A unique, self-cleaning temp directory under the system temp root.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir =
+            std::env::temp_dir().join(format!("dvp-trace-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A small store configuration shared by every test in this file.
+fn store(dir: &TempDir) -> TraceStore {
+    TraceStore::with_scale_div(1000).with_record_cap(20_000).with_trace_dir(&dir.0)
+}
+
+#[test]
+fn cold_and_warm_stores_serve_identical_traces() {
+    let dir = TempDir::new("cold-warm");
+    let benchmarks = [Benchmark::M88k, Benchmark::Compress, Benchmark::Xlisp];
+    let engine = ReplayEngine::new().with_workers(2);
+
+    // Cold: simulate, write through.
+    let mut cold = store(&dir);
+    cold.prefetch(&engine, &benchmarks).expect("cold prefetch");
+    let cold_stats = cold.cache_stats();
+    assert_eq!(cold_stats.simulated, 3, "cold run simulates everything");
+    assert_eq!(cold_stats.written, 3, "every simulated trace persists");
+    assert_eq!(cold_stats.disk_hits, 0);
+
+    // Warm: a fresh process (store) with the same configuration loads from
+    // disk — zero simulation — and serves identical data.
+    let mut warm = store(&dir);
+    warm.prefetch(&engine, &benchmarks).expect("warm prefetch");
+    let warm_stats = warm.cache_stats();
+    assert_eq!(warm_stats.simulated, 0, "warm run must not simulate");
+    assert_eq!(warm_stats.disk_hits, 3);
+    assert_eq!(warm_stats.invalid, 0);
+    for benchmark in benchmarks {
+        let a = cold.trace(benchmark).expect("cold trace");
+        let b = warm.trace(benchmark).expect("warm trace");
+        assert_eq!(a.to_vec(), b.to_vec(), "{benchmark}: records must match exactly");
+        assert_eq!(
+            cold.retired(benchmark).unwrap(),
+            warm.retired(benchmark).unwrap(),
+            "{benchmark}: retired totals come from the container header"
+        );
+        assert_eq!(cold.predicted(benchmark).unwrap(), warm.predicted(benchmark).unwrap());
+    }
+}
+
+#[test]
+fn warm_lazy_trace_equals_cold_without_any_engine() {
+    let dir = TempDir::new("lazy");
+    let mut cold = store(&dir);
+    let fresh = cold.trace(Benchmark::Go).expect("simulates");
+    assert_eq!(cold.cache_stats().simulated, 1);
+
+    let mut warm = store(&dir);
+    let cached = warm.trace(Benchmark::Go).expect("loads");
+    assert_eq!(warm.cache_stats().simulated, 0);
+    assert_eq!(warm.cache_stats().disk_hits, 1);
+    assert_eq!(cached.to_vec(), fresh.to_vec());
+}
+
+#[test]
+fn cache_hit_output_equals_cache_miss_output() {
+    // The acceptance pin: a rendered experiment table must be byte-equal
+    // whether its traces were simulated (cache miss) or loaded (cache
+    // hit). Table 6 exercises the variant-trace path through the disk
+    // tier on five real cc inputs.
+    let dir = TempDir::new("pinned-output");
+    let engine = ReplayEngine::new();
+
+    let mut miss_store = store(&dir);
+    let miss = sensitivity::table6(&mut miss_store, &engine).expect("cold table6");
+    assert_eq!(miss_store.cache_stats().simulated, 5, "five cc inputs simulated");
+
+    let mut hit_store = store(&dir);
+    let hit = sensitivity::table6(&mut hit_store, &engine).expect("warm table6");
+    assert_eq!(hit_store.cache_stats().simulated, 0, "warm table6 must not simulate");
+    assert_eq!(hit_store.cache_stats().disk_hits, 5);
+
+    assert_eq!(miss.render(), hit.render(), "cache hit must not change a single byte");
+
+    // And a no-cache store agrees too: the disk tier is invisible in the
+    // results, exactly like the engine's parallelism.
+    let mut plain = TraceStore::with_scale_div(1000).with_record_cap(20_000);
+    let uncached = sensitivity::table6(&mut plain, &engine).expect("uncached table6");
+    assert_eq!(uncached.render(), miss.render());
+}
+
+#[test]
+fn corrupt_and_stale_containers_fall_back_to_simulation() {
+    let dir = TempDir::new("fallback");
+    let engine = ReplayEngine::new();
+    let mut cold = store(&dir);
+    let fresh = cold.trace(Benchmark::Perl).expect("simulates");
+
+    // Corrupt the container on disk: the warm store must notice, count it
+    // invalid, resimulate, and still produce the right trace.
+    let cache = TraceCache::new(&dir.0);
+    let fp = TraceCache::fingerprint(&cold.workload(Benchmark::Perl), REFERENCE_OPT, Some(20_000));
+    let path = cache.path_for(&fp);
+    let mut bytes = std::fs::read(&path).expect("container exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&path, &bytes).expect("rewrites");
+    assert!(matches!(cache.lookup(&engine, &fp), CacheLookup::Invalid(_)));
+
+    let mut warm = store(&dir);
+    let recovered = warm.trace(Benchmark::Perl).expect("falls back to simulation");
+    assert_eq!(warm.cache_stats().invalid, 1);
+    assert_eq!(warm.cache_stats().simulated, 1);
+    assert_eq!(recovered.to_vec(), fresh.to_vec());
+
+    // The fallback rewrote a valid container; the next store hits it.
+    let mut healed = store(&dir);
+    let healed_trace = healed.trace(Benchmark::Perl).expect("healed hit");
+    assert_eq!(healed.cache_stats().disk_hits, 1);
+    assert_eq!(healed_trace.to_vec(), fresh.to_vec());
+
+    // A *stale* file (different configuration) is also rejected: the same
+    // container looked up under a different record cap misses cleanly.
+    let other = TraceCache::fingerprint(&cold.workload(Benchmark::Perl), REFERENCE_OPT, Some(7));
+    assert!(matches!(cache.lookup(&engine, &other), CacheLookup::Miss));
+    std::fs::rename(cache.path_for(&fp), cache.path_for(&other)).expect("renames");
+    match cache.lookup(&engine, &other) {
+        CacheLookup::Invalid(why) => assert!(why.contains("stale"), "{why}"),
+        other => panic!("expected stale rejection, got {other:?}"),
+    }
+}
