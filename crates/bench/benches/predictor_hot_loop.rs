@@ -1,0 +1,133 @@
+//! The refactor's headline measurement: per-record predictor state access,
+//! hash-mapped vs dense-slot, per predictor family.
+//!
+//! Three drive modes over the same real workload trace:
+//!
+//! * `hashmap` — a baseline reimplementation of the predictor's table as
+//!   `HashMap<Pc, _>` with the classic two-probe predict-then-update
+//!   protocol (exactly what every `dvp-core` predictor did before PC
+//!   interning);
+//! * `pc-fused` — the current `Pc`-keyed surface (`observe`): one hash
+//!   probe per record, both halves fused on the located slot;
+//! * `dense` — the engine's replay path (`observe_id` over the trace's
+//!   pre-interned ids): one indexed slot access, no hashing at all.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dvp_bench::workload_trace;
+use dvp_core::{FcmPredictor, HybridPredictor, LastValuePredictor, Predictor, StridePredictor};
+use dvp_engine::SharedTrace;
+use dvp_trace::{Pc, Value};
+use dvp_workloads::Benchmark;
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Baseline last-value predictor: the pre-refactor table shape.
+fn hashmap_last_value(trace: &SharedTrace) -> u64 {
+    let mut table: HashMap<Pc, Value> = HashMap::new();
+    let mut correct = 0u64;
+    for rec in trace.iter() {
+        // Two probes per record: predict, then update.
+        correct += u64::from(table.get(&rec.pc) == Some(&rec.value));
+        table.insert(rec.pc, rec.value);
+    }
+    correct
+}
+
+/// Baseline two-delta stride predictor over a `HashMap` table.
+fn hashmap_stride(trace: &SharedTrace) -> u64 {
+    struct Entry {
+        last: Value,
+        stride: Value,
+        last_delta: Value,
+    }
+    let mut table: HashMap<Pc, Entry> = HashMap::new();
+    let mut correct = 0u64;
+    for rec in trace.iter() {
+        correct +=
+            u64::from(table.get(&rec.pc).map(|e| e.last.wrapping_add(e.stride)) == Some(rec.value));
+        match table.get_mut(&rec.pc) {
+            Some(e) => {
+                let delta = rec.value.wrapping_sub(e.last);
+                if delta == e.last_delta {
+                    e.stride = delta;
+                }
+                e.last_delta = delta;
+                e.last = rec.value;
+            }
+            None => {
+                table.insert(rec.pc, Entry { last: rec.value, stride: 0, last_delta: 0 });
+            }
+        }
+    }
+    correct
+}
+
+fn drive_pc(mut p: impl Predictor, trace: &SharedTrace) -> u64 {
+    let mut correct = 0u64;
+    for rec in trace.iter() {
+        correct += u64::from(p.observe(rec.pc, rec.value));
+    }
+    correct
+}
+
+fn drive_dense(mut p: impl Predictor, trace: &SharedTrace) -> u64 {
+    p.reserve_ids(trace.interner().len());
+    let mut correct = 0u64;
+    for (rec, id) in trace.iter_with_ids() {
+        correct += u64::from(p.observe_id(id, rec.pc, rec.value));
+    }
+    correct
+}
+
+fn bench(c: &mut Criterion) {
+    let trace: SharedTrace = workload_trace(Benchmark::M88k).iter().copied().collect();
+    let mut group = c.benchmark_group("predictor_hot_loop");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+
+    // Last value: baseline hashmap vs both current surfaces.
+    group.bench_function(BenchmarkId::new("l", "hashmap"), |b| {
+        b.iter(|| black_box(hashmap_last_value(&trace)));
+    });
+    group.bench_function(BenchmarkId::new("l", "pc-fused"), |b| {
+        b.iter(|| black_box(drive_pc(LastValuePredictor::new(), &trace)));
+    });
+    group.bench_function(BenchmarkId::new("l", "dense"), |b| {
+        b.iter(|| black_box(drive_dense(LastValuePredictor::new(), &trace)));
+    });
+
+    // Two-delta stride.
+    group.bench_function(BenchmarkId::new("s2", "hashmap"), |b| {
+        b.iter(|| black_box(hashmap_stride(&trace)));
+    });
+    group.bench_function(BenchmarkId::new("s2", "pc-fused"), |b| {
+        b.iter(|| black_box(drive_pc(StridePredictor::two_delta(), &trace)));
+    });
+    group.bench_function(BenchmarkId::new("s2", "dense"), |b| {
+        b.iter(|| black_box(drive_dense(StridePredictor::two_delta(), &trace)));
+    });
+
+    // FCM and the hybrid spend most of their time in per-context model
+    // work, so the slot-access win is relatively smaller; measured here so
+    // the report shows where interning pays and where it saturates.
+    group.bench_function(BenchmarkId::new("fcm3", "pc-fused"), |b| {
+        b.iter(|| black_box(drive_pc(FcmPredictor::new(3), &trace)));
+    });
+    group.bench_function(BenchmarkId::new("fcm3", "dense"), |b| {
+        b.iter(|| black_box(drive_dense(FcmPredictor::new(3), &trace)));
+    });
+    group.bench_function(BenchmarkId::new("hybrid", "pc-fused"), |b| {
+        b.iter(|| black_box(drive_pc(HybridPredictor::stride_fcm(2), &trace)));
+    });
+    group.bench_function(BenchmarkId::new("hybrid", "dense"), |b| {
+        b.iter(|| black_box(drive_dense(HybridPredictor::stride_fcm(2), &trace)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

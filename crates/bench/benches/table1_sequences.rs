@@ -32,7 +32,7 @@ fn bench(c: &mut Criterion) {
     group.throughput(Throughput::Elements(N as u64));
     for (class, values) in &sequences {
         for make in 0..predictors().len() {
-            let name = predictors()[make].name();
+            let name = predictors()[make].name().to_owned();
             group.bench_with_input(BenchmarkId::new(name, class), values, |b, values| {
                 b.iter(|| {
                     let mut p = predictors().remove(make);

@@ -207,17 +207,20 @@ pub struct ImprovementPoint {
 /// instructions for which the fcm predictor gives better performance...
 /// sorted in descending order of improvement").
 ///
+/// Tallies are keyed by dense ids upstream; the curve needs neither PCs
+/// nor ids — any slice of per-static-instruction tallies works.
+///
 /// Returns points at each integer percent of static instructions, plus the
 /// exact endpoint.
 #[must_use]
 pub fn improvement_curve(
-    tallies: &HashMap<Pc, PcTally>,
+    tallies: &[PcTally],
     better: usize,
     worse: usize,
     category: Option<InstrCategory>,
 ) -> Vec<ImprovementPoint> {
     let mut gains: Vec<u64> = tallies
-        .values()
+        .iter()
         .filter(|t| category.is_none() || t.category == category)
         .filter_map(|t| {
             let b = t.correct.get(better).copied().unwrap_or(0);
@@ -346,12 +349,13 @@ mod tests {
 
     #[test]
     fn improvement_curve_is_monotone_and_reaches_100() {
-        let mut tallies = HashMap::new();
-        // Three improving PCs with gains 50, 30, 20 and one regressing PC.
-        tallies.insert(Pc(0), tally(100, vec![0, 10, 60]));
-        tallies.insert(Pc(4), tally(100, vec![0, 20, 50]));
-        tallies.insert(Pc(8), tally(100, vec![0, 30, 50]));
-        tallies.insert(Pc(12), tally(100, vec![0, 90, 40]));
+        // Three improving statics with gains 50, 30, 20 and one regressing.
+        let tallies = vec![
+            tally(100, vec![0, 10, 60]),
+            tally(100, vec![0, 20, 50]),
+            tally(100, vec![0, 30, 50]),
+            tally(100, vec![0, 90, 40]),
+        ];
         let points = improvement_curve(&tallies, 2, 1, None);
         let last = points.last().unwrap();
         assert!((last.improvement_pct - 100.0).abs() < 1e-9);
@@ -367,8 +371,7 @@ mod tests {
 
     #[test]
     fn improvement_curve_empty_when_no_gain() {
-        let mut tallies = HashMap::new();
-        tallies.insert(Pc(0), tally(10, vec![5, 5, 5]));
+        let tallies = vec![tally(10, vec![5, 5, 5])];
         let points = improvement_curve(&tallies, 2, 1, None);
         assert_eq!(points.len(), 1);
         assert_eq!(points[0].improvement_pct, 0.0);
@@ -376,11 +379,9 @@ mod tests {
 
     #[test]
     fn improvement_curve_respects_category_filter() {
-        let mut tallies = HashMap::new();
-        tallies.insert(Pc(0), tally(10, vec![0, 0, 10]));
         let mut other = tally(10, vec![0, 0, 10]);
         other.category = Some(InstrCategory::Shift);
-        tallies.insert(Pc(4), other);
+        let tallies = vec![tally(10, vec![0, 0, 10]), other];
         let points = improvement_curve(&tallies, 2, 1, Some(InstrCategory::Shift));
         // Only one improving PC in Shift: the curve jumps straight to 100%.
         assert!((points[0].improvement_pct - 100.0).abs() < 1e-9);

@@ -52,6 +52,7 @@ pub enum SpeculationOutcome {
 #[derive(Debug)]
 pub struct ConfidentPredictor<P> {
     inner: P,
+    name: String,
     counters: HashMap<Pc, u8>,
     max: u8,
     threshold: u8,
@@ -71,8 +72,10 @@ impl<P: Predictor> ConfidentPredictor<P> {
     #[must_use]
     pub fn new(inner: P, max: u8, threshold: u8, penalty: u8) -> Self {
         assert!(max > 0 && threshold <= max, "need 0 < threshold <= max");
+        let name = format!("conf{threshold}of{max}({})", inner.name());
         ConfidentPredictor {
             inner,
+            name,
             counters: HashMap::new(),
             max,
             threshold,
@@ -160,8 +163,8 @@ impl<P: Predictor> Predictor for ConfidentPredictor<P> {
         self.total -= 1; // observe() callers count totals themselves
     }
 
-    fn name(&self) -> String {
-        format!("conf{}of{}({})", self.threshold, self.max, self.inner.name())
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn static_entries(&self) -> usize {

@@ -15,7 +15,7 @@
 //! `ablation_update_delay` bench quantify the accuracy cost.
 
 use crate::Predictor;
-use dvp_trace::{Pc, Value};
+use dvp_trace::{Pc, PcId, Value};
 use std::collections::VecDeque;
 
 /// Wraps a predictor so that updates take effect only after `delay` further
@@ -46,8 +46,9 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone)]
 pub struct DelayedPredictor<P> {
     inner: P,
+    name: String,
     delay: usize,
-    pending: VecDeque<(Pc, Value)>,
+    pending: VecDeque<(Option<PcId>, Pc, Value)>,
 }
 
 impl<P: Predictor> DelayedPredictor<P> {
@@ -57,7 +58,8 @@ impl<P: Predictor> DelayedPredictor<P> {
     /// exactly.
     #[must_use]
     pub fn new(inner: P, delay: usize) -> Self {
-        DelayedPredictor { inner, delay, pending: VecDeque::with_capacity(delay + 1) }
+        let name = format!("{}+d{delay}", inner.name());
+        DelayedPredictor { inner, name, delay, pending: VecDeque::with_capacity(delay + 1) }
     }
 
     /// The configured update latency.
@@ -88,8 +90,26 @@ impl<P: Predictor> DelayedPredictor<P> {
 
     /// Applies all pending updates immediately.
     pub fn drain(&mut self) {
-        while let Some((pc, value)) = self.pending.pop_front() {
-            self.inner.update(pc, value);
+        while let Some((id, pc, value)) = self.pending.pop_front() {
+            self.apply(id, pc, value);
+        }
+    }
+
+    /// Applies one drained update through whichever keying surface queued
+    /// it.
+    fn apply(&mut self, id: Option<PcId>, pc: Pc, value: Value) {
+        match id {
+            Some(id) => self.inner.update_id(id, pc, value),
+            None => self.inner.update(pc, value),
+        }
+    }
+
+    /// Queues one update and applies everything past the latency window.
+    fn enqueue(&mut self, id: Option<PcId>, pc: Pc, actual: Value) {
+        self.pending.push_back((id, pc, actual));
+        while self.pending.len() > self.delay {
+            let (i, p, v) = self.pending.pop_front().expect("non-empty: len > delay >= 0");
+            self.apply(i, p, v);
         }
     }
 }
@@ -100,19 +120,33 @@ impl<P: Predictor> Predictor for DelayedPredictor<P> {
     }
 
     fn update(&mut self, pc: Pc, actual: Value) {
-        self.pending.push_back((pc, actual));
-        while self.pending.len() > self.delay {
-            let (p, v) = self.pending.pop_front().expect("non-empty: len > delay >= 0");
-            self.inner.update(p, v);
-        }
+        self.enqueue(None, pc, actual);
     }
 
-    fn name(&self) -> String {
-        format!("{}+d{}", self.inner.name(), self.delay)
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn static_entries(&self) -> usize {
         self.inner.static_entries()
+    }
+
+    fn reserve_ids(&mut self, n: usize) {
+        self.inner.reserve_ids(n);
+    }
+
+    fn predict_id(&self, id: PcId, pc: Pc) -> Option<Value> {
+        self.inner.predict_id(id, pc)
+    }
+
+    fn update_id(&mut self, id: PcId, pc: Pc, actual: Value) {
+        self.enqueue(Some(id), pc, actual);
+    }
+
+    fn step_id(&mut self, id: PcId, pc: Pc, actual: Value) -> Option<Value> {
+        let prediction = self.inner.predict_id(id, pc);
+        self.enqueue(Some(id), pc, actual);
+        prediction
     }
 }
 

@@ -9,9 +9,9 @@
 //!   – to eliminate the mispredictions that occur at the beginning of
 //!   repeating stride sequences" (Section 2.1).
 
+use crate::table::PcTable;
 use crate::Predictor;
-use dvp_trace::{Pc, Value};
-use std::collections::HashMap;
+use dvp_trace::{Pc, PcId, Value};
 
 /// Finds the shift distance `k` (`-63..=63`, negative = right shift) such
 /// that shifting `from` by `k` yields `to`, if any. Zero inputs and the
@@ -73,7 +73,7 @@ struct ShiftEntry {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ShiftPredictor {
-    table: HashMap<Pc, ShiftEntry>,
+    table: PcTable<ShiftEntry>,
 }
 
 impl ShiftPredictor {
@@ -82,41 +82,78 @@ impl ShiftPredictor {
     pub fn new() -> Self {
         ShiftPredictor::default()
     }
+
+    fn predict_entry(entry: &ShiftEntry) -> Value {
+        match entry.shift {
+            Some(k) => apply_shift(entry.last, k),
+            None => entry.last,
+        }
+    }
+
+    fn update_entry(e: &mut ShiftEntry, actual: Value) {
+        let observed = shift_distance(e.last, actual);
+        if observed.is_some() && observed == e.last_shift {
+            e.shift = observed;
+        } else if observed.is_none() && e.last_shift.is_none() {
+            // Two consecutive non-shift transitions: fall back to
+            // last-value behaviour.
+            e.shift = None;
+        }
+        e.last_shift = observed;
+        e.last = actual;
+    }
+
+    /// The fused slot step: one state access for predict + update.
+    fn step_slot(slot: &mut Option<ShiftEntry>, actual: Value) -> Option<Value> {
+        match slot {
+            Some(entry) => {
+                let prediction = Self::predict_entry(entry);
+                Self::update_entry(entry, actual);
+                Some(prediction)
+            }
+            None => {
+                *slot = Some(ShiftEntry { last: actual, shift: None, last_shift: None });
+                None
+            }
+        }
+    }
 }
 
 impl Predictor for ShiftPredictor {
     fn predict(&self, pc: Pc) -> Option<Value> {
-        let entry = self.table.get(&pc)?;
-        Some(match entry.shift {
-            Some(k) => apply_shift(entry.last, k),
-            None => entry.last,
-        })
+        self.table.get(pc).map(Self::predict_entry)
     }
 
     fn update(&mut self, pc: Pc, actual: Value) {
-        self.table
-            .entry(pc)
-            .and_modify(|e| {
-                let observed = shift_distance(e.last, actual);
-                if observed.is_some() && observed == e.last_shift {
-                    e.shift = observed;
-                } else if observed.is_none() && e.last_shift.is_none() {
-                    // Two consecutive non-shift transitions: fall back to
-                    // last-value behaviour.
-                    e.shift = None;
-                }
-                e.last_shift = observed;
-                e.last = actual;
-            })
-            .or_insert(ShiftEntry { last: actual, shift: None, last_shift: None });
+        let _ = Self::step_slot(self.table.slot_mut(pc), actual);
     }
 
-    fn name(&self) -> String {
-        "shift".to_owned()
+    fn step(&mut self, pc: Pc, actual: Value) -> Option<Value> {
+        Self::step_slot(self.table.slot_mut(pc), actual)
+    }
+
+    fn name(&self) -> &str {
+        "shift"
     }
 
     fn static_entries(&self) -> usize {
         self.table.len()
+    }
+
+    fn reserve_ids(&mut self, n: usize) {
+        self.table.reserve(n);
+    }
+
+    fn predict_id(&self, id: PcId, _pc: Pc) -> Option<Value> {
+        self.table.get_dense(id).map(Self::predict_entry)
+    }
+
+    fn update_id(&mut self, id: PcId, pc: Pc, actual: Value) {
+        let _ = Self::step_slot(self.table.dense_slot_mut(id, pc), actual);
+    }
+
+    fn step_id(&mut self, id: PcId, pc: Pc, actual: Value) -> Option<Value> {
+        Self::step_slot(self.table.dense_slot_mut(id, pc), actual)
     }
 }
 
@@ -166,7 +203,7 @@ struct TwoLevelEntry {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct TwoLevelStridePredictor {
-    table: HashMap<Pc, TwoLevelEntry>,
+    table: PcTable<TwoLevelEntry>,
 }
 
 impl TwoLevelStridePredictor {
@@ -175,22 +212,21 @@ impl TwoLevelStridePredictor {
     pub fn new() -> Self {
         TwoLevelStridePredictor::default()
     }
-}
 
-impl Predictor for TwoLevelStridePredictor {
-    fn predict(&self, pc: Pc) -> Option<Value> {
-        let e = self.table.get(&pc)?;
+    fn predict_entry(e: &TwoLevelEntry) -> Value {
         if let (Some(period), Some(outer)) = (e.period, e.outer) {
             // At the end of a confirmed run, predict the next run's start.
             if e.steps_in_run + 1 >= period {
-                return Some(e.run_start.wrapping_add(outer));
+                return e.run_start.wrapping_add(outer);
             }
         }
-        Some(e.last.wrapping_add(e.inner))
+        e.last.wrapping_add(e.inner)
     }
 
-    fn update(&mut self, pc: Pc, actual: Value) {
-        let entry = self.table.entry(pc).or_insert(TwoLevelEntry {
+    /// The fused slot step: one state access for predict + update.
+    fn step_slot(slot: &mut Option<TwoLevelEntry>, actual: Value) -> Option<Value> {
+        let prediction = slot.as_ref().map(Self::predict_entry);
+        let entry = slot.get_or_insert(TwoLevelEntry {
             last: actual,
             inner: 0,
             inner_last: 0,
@@ -201,8 +237,14 @@ impl Predictor for TwoLevelStridePredictor {
             outer: None,
             outer_last: None,
         });
+        Self::update_entry(entry, actual);
+        prediction
+    }
+
+    fn update_entry(entry: &mut TwoLevelEntry, actual: Value) {
         if entry.steps_in_run == 0 && entry.last == actual && entry.inner == 0 {
-            // Freshly inserted entry: nothing to learn yet.
+            // Freshly inserted entry (or a constant start): nothing to
+            // learn yet.
             return;
         }
         let delta = actual.wrapping_sub(entry.last);
@@ -233,13 +275,43 @@ impl Predictor for TwoLevelStridePredictor {
         }
         entry.last = actual;
     }
+}
 
-    fn name(&self) -> String {
-        "s2level".to_owned()
+impl Predictor for TwoLevelStridePredictor {
+    fn predict(&self, pc: Pc) -> Option<Value> {
+        self.table.get(pc).map(Self::predict_entry)
+    }
+
+    fn update(&mut self, pc: Pc, actual: Value) {
+        let _ = Self::step_slot(self.table.slot_mut(pc), actual);
+    }
+
+    fn step(&mut self, pc: Pc, actual: Value) -> Option<Value> {
+        Self::step_slot(self.table.slot_mut(pc), actual)
+    }
+
+    fn name(&self) -> &str {
+        "s2level"
     }
 
     fn static_entries(&self) -> usize {
         self.table.len()
+    }
+
+    fn reserve_ids(&mut self, n: usize) {
+        self.table.reserve(n);
+    }
+
+    fn predict_id(&self, id: PcId, _pc: Pc) -> Option<Value> {
+        self.table.get_dense(id).map(Self::predict_entry)
+    }
+
+    fn update_id(&mut self, id: PcId, pc: Pc, actual: Value) {
+        let _ = Self::step_slot(self.table.dense_slot_mut(id, pc), actual);
+    }
+
+    fn step_id(&mut self, id: PcId, pc: Pc, actual: Value) -> Option<Value> {
+        Self::step_slot(self.table.dense_slot_mut(id, pc), actual)
     }
 }
 

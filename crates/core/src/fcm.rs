@@ -1,7 +1,8 @@
 //! Finite context method (FCM) prediction (Section 2.2 of the paper).
 
+use crate::table::PcTable;
 use crate::Predictor;
-use dvp_trace::{Pc, Value};
+use dvp_trace::{Pc, PcId, Value};
 use std::collections::HashMap;
 
 /// How the per-order models of an [`FcmPredictor`] are combined.
@@ -166,7 +167,8 @@ pub struct FcmPredictor {
     order: usize,
     blending: Blending,
     counter_mode: CounterMode,
-    table: HashMap<Pc, FcmEntry>,
+    name: String,
+    table: PcTable<FcmEntry>,
 }
 
 impl FcmPredictor {
@@ -191,7 +193,17 @@ impl FcmPredictor {
     #[must_use]
     pub fn with_config(order: usize, blending: Blending, counter_mode: CounterMode) -> Self {
         assert!(order <= 64, "FCM order {order} is unreasonably large");
-        FcmPredictor { order, blending, counter_mode, table: HashMap::new() }
+        let blend = match blending {
+            Blending::LazyExclusion => "",
+            Blending::Full => "-full",
+            Blending::SingleOrder => "-single",
+        };
+        let ctr = match counter_mode {
+            CounterMode::Exact => String::new(),
+            CounterMode::Saturating { max } => format!("-sat{max}"),
+        };
+        let name = format!("fcm{order}{blend}{ctr}");
+        FcmPredictor { order, blending, counter_mode, name, table: PcTable::new() }
     }
 
     /// The predictor's order (context length).
@@ -219,61 +231,132 @@ impl FcmPredictor {
     pub fn context_entries(&self) -> usize {
         self.table.values().map(|e| e.orders.iter().map(|m| m.contexts.len()).sum::<usize>()).sum()
     }
+
+    /// The model configuration as a copyable value (lets slot mutations
+    /// and configuration reads coexist without borrow conflicts).
+    fn config(&self) -> FcmConfig {
+        FcmConfig { order: self.order, blending: self.blending, counter_mode: self.counter_mode }
+    }
 }
 
-impl Predictor for FcmPredictor {
-    fn predict(&self, pc: Pc) -> Option<Value> {
-        let entry = self.table.get(&pc)?;
+/// The cheap, copyable part of an [`FcmPredictor`]: everything the
+/// per-entry model operations need besides the entry itself.
+#[derive(Debug, Clone, Copy)]
+struct FcmConfig {
+    order: usize,
+    blending: Blending,
+    counter_mode: CounterMode,
+}
+
+impl FcmConfig {
+    /// The pre-update prediction of `entry`, plus the longest matched
+    /// order (for blended configurations — the update reuses it).
+    fn predict_entry(self, entry: &FcmEntry) -> (Option<Value>, Option<usize>) {
         match self.blending {
             Blending::SingleOrder => {
-                let ctx = entry.context(self.order)?;
-                entry.orders[self.order].contexts.get(ctx)?.argmax()
+                let prediction = entry
+                    .context(self.order)
+                    .and_then(|ctx| entry.orders[self.order].contexts.get(ctx))
+                    .and_then(ContextCounts::argmax);
+                (prediction, None)
             }
             Blending::LazyExclusion | Blending::Full => {
-                let ord = entry.longest_match(self.order)?;
-                let ctx = entry.context(ord)?;
-                entry.orders[ord].contexts.get(ctx)?.argmax()
+                let matched = entry.longest_match(self.order);
+                let prediction = matched.and_then(|ord| {
+                    entry
+                        .context(ord)
+                        .and_then(|ctx| entry.orders[ord].contexts.get(ctx))
+                        .and_then(ContextCounts::argmax)
+                });
+                (prediction, matched)
             }
         }
     }
 
-    fn update(&mut self, pc: Pc, actual: Value) {
+    /// Applies the model update, reusing an already-computed longest match
+    /// (the blended predict and the lazy-exclusion update walk the same
+    /// contexts; fusing them does the walk once per record).
+    fn update_entry(self, entry: &mut FcmEntry, matched: Option<usize>, actual: Value) {
         let order = self.order;
-        let mode = self.counter_mode;
-        let entry = self.table.entry(pc).or_insert_with(|| FcmEntry::new(order));
         let lowest_updated = match self.blending {
             Blending::SingleOrder => order,
             Blending::Full => 0,
             // Lazy exclusion: update the matched order and higher. On a
             // complete miss (no context matched anywhere) every order is
             // seeded.
-            Blending::LazyExclusion => entry.longest_match(order).unwrap_or(0),
+            Blending::LazyExclusion => matched.unwrap_or(0),
         };
         for ord in lowest_updated..=order {
             if let Some(ctx) = entry.context(ord) {
                 let ctx: Box<[Value]> = ctx.into();
-                entry.orders[ord].contexts.entry(ctx).or_default().bump(actual, mode);
+                entry.orders[ord].contexts.entry(ctx).or_default().bump(actual, self.counter_mode);
             }
         }
         entry.push_history(actual, order);
     }
 
-    fn name(&self) -> String {
-        let base = format!("fcm{}", self.order);
-        let blend = match self.blending {
-            Blending::LazyExclusion => String::new(),
-            Blending::Full => "-full".to_owned(),
-            Blending::SingleOrder => "-single".to_owned(),
+    /// Update-only path: computes the longest match itself when lazy
+    /// exclusion needs it.
+    fn update_slot(self, slot: &mut Option<FcmEntry>, actual: Value) {
+        let entry = slot.get_or_insert_with(|| FcmEntry::new(self.order));
+        let matched = match self.blending {
+            Blending::LazyExclusion => entry.longest_match(self.order),
+            _ => None,
         };
-        let ctr = match self.counter_mode {
-            CounterMode::Exact => String::new(),
-            CounterMode::Saturating { max } => format!("-sat{max}"),
-        };
-        format!("{base}{blend}{ctr}")
+        self.update_entry(entry, matched, actual);
+    }
+
+    /// The fused slot step: one entry access and one context walk serve
+    /// both the prediction and the update.
+    fn step_slot(self, slot: &mut Option<FcmEntry>, actual: Value) -> Option<Value> {
+        let entry = slot.get_or_insert_with(|| FcmEntry::new(self.order));
+        let (prediction, matched) = self.predict_entry(entry);
+        self.update_entry(entry, matched, actual);
+        prediction
+    }
+}
+
+impl Predictor for FcmPredictor {
+    fn predict(&self, pc: Pc) -> Option<Value> {
+        let entry = self.table.get(pc)?;
+        self.config().predict_entry(entry).0
+    }
+
+    fn update(&mut self, pc: Pc, actual: Value) {
+        let config = self.config();
+        config.update_slot(self.table.slot_mut(pc), actual);
+    }
+
+    fn step(&mut self, pc: Pc, actual: Value) -> Option<Value> {
+        let config = self.config();
+        config.step_slot(self.table.slot_mut(pc), actual)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn static_entries(&self) -> usize {
         self.table.len()
+    }
+
+    fn reserve_ids(&mut self, n: usize) {
+        self.table.reserve(n);
+    }
+
+    fn predict_id(&self, id: PcId, _pc: Pc) -> Option<Value> {
+        let entry = self.table.get_dense(id)?;
+        self.config().predict_entry(entry).0
+    }
+
+    fn update_id(&mut self, id: PcId, pc: Pc, actual: Value) {
+        let config = self.config();
+        config.update_slot(self.table.dense_slot_mut(id, pc), actual);
+    }
+
+    fn step_id(&mut self, id: PcId, pc: Pc, actual: Value) -> Option<Value> {
+        let config = self.config();
+        config.step_slot(self.table.dense_slot_mut(id, pc), actual)
     }
 }
 

@@ -30,6 +30,13 @@
 use crate::Predictor;
 use dvp_trace::{Pc, Value};
 
+// The finite predictors keep their direct-mapped, PC-hashed tables even on
+// the dense id surface: aliasing between static instructions is the very
+// effect they exist to measure, so the default `*_id` fallbacks (which
+// route to the PC-keyed methods and ignore the id) are exactly right. Each
+// predictor overrides `step` so the fallback fused path computes its slot
+// index and tag once per record instead of twice.
+
 /// Geometry of one direct-mapped prediction table.
 ///
 /// A table has `2^index_bits` slots. Each slot optionally stores a partial
@@ -194,6 +201,7 @@ struct LastValueSlot {
 #[derive(Debug, Clone)]
 pub struct FiniteLastValuePredictor {
     spec: TableSpec,
+    name: String,
     slots: Vec<Option<LastValueSlot>>,
 }
 
@@ -201,7 +209,8 @@ impl FiniteLastValuePredictor {
     /// Creates the predictor with the given table geometry.
     #[must_use]
     pub fn new(spec: TableSpec) -> Self {
-        FiniteLastValuePredictor { spec, slots: vec![None; spec.slots()] }
+        let name = format!("l-{}", spec.slots());
+        FiniteLastValuePredictor { spec, name, slots: vec![None; spec.slots()] }
     }
 
     /// The table geometry.
@@ -228,8 +237,16 @@ impl Predictor for FiniteLastValuePredictor {
             Some(LastValueSlot { tag: self.spec.tag_of(pc), value: actual });
     }
 
-    fn name(&self) -> String {
-        format!("l-{}", self.spec.slots())
+    fn step(&mut self, pc: Pc, actual: Value) -> Option<Value> {
+        let tag = self.spec.tag_of(pc);
+        let slot = &mut self.slots[self.spec.index_of(pc)];
+        let prediction = slot.as_ref().and_then(|s| (s.tag == tag).then_some(s.value));
+        *slot = Some(LastValueSlot { tag, value: actual });
+        prediction
+    }
+
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn static_entries(&self) -> usize {
@@ -268,6 +285,7 @@ struct StrideSlot {
 #[derive(Debug, Clone)]
 pub struct FiniteStridePredictor {
     spec: TableSpec,
+    name: String,
     slots: Vec<Option<StrideSlot>>,
 }
 
@@ -275,7 +293,8 @@ impl FiniteStridePredictor {
     /// Creates the predictor with the given table geometry.
     #[must_use]
     pub fn new(spec: TableSpec) -> Self {
-        FiniteStridePredictor { spec, slots: vec![None; spec.slots()] }
+        let name = format!("s2-{}", spec.slots());
+        FiniteStridePredictor { spec, name, slots: vec![None; spec.slots()] }
     }
 
     /// The table geometry.
@@ -313,8 +332,29 @@ impl Predictor for FiniteStridePredictor {
         }
     }
 
-    fn name(&self) -> String {
-        format!("s2-{}", self.spec.slots())
+    fn step(&mut self, pc: Pc, actual: Value) -> Option<Value> {
+        let tag = self.spec.tag_of(pc);
+        let slot = &mut self.slots[self.spec.index_of(pc)];
+        match slot {
+            Some(s) if s.tag == tag => {
+                let prediction = s.last.wrapping_add(s.stride);
+                let delta = actual.wrapping_sub(s.last);
+                if delta == s.last_delta {
+                    s.stride = delta;
+                }
+                s.last_delta = delta;
+                s.last = actual;
+                Some(prediction)
+            }
+            _ => {
+                *slot = Some(StrideSlot { tag, last: actual, stride: 0, last_delta: 0 });
+                None
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn static_entries(&self) -> usize {
@@ -366,6 +406,7 @@ struct VptSlot {
 #[derive(Debug, Clone)]
 pub struct FiniteFcmPredictor {
     order: usize,
+    name: String,
     vht_spec: TableSpec,
     vpt_spec: TableSpec,
     replace_max: u8,
@@ -403,8 +444,10 @@ impl FiniteFcmPredictor {
         replace_max: u8,
     ) -> Self {
         assert!((1..=8).contains(&order), "order {order} outside 1..=8");
+        let name = format!("fcm{order}-vht{}-vpt{}", vht_spec.slots(), vpt_spec.slots());
         FiniteFcmPredictor {
             order,
+            name,
             vht_spec,
             vpt_spec,
             replace_max,
@@ -448,35 +491,34 @@ impl FiniteFcmPredictor {
         (slot.tag == self.vht_spec.tag_of(pc) && slot.history.len() == self.order)
             .then_some(slot.history.as_slice())
     }
-}
 
-impl Predictor for FiniteFcmPredictor {
-    fn predict(&self, pc: Pc) -> Option<Value> {
-        let history = self.full_history(pc)?;
-        let vpt_index = hash_history(history, self.vpt_spec.index_bits()) as usize;
-        self.vpt[vpt_index].as_ref().map(|s| s.value)
+    /// The VPT index of `pc`'s current context, if a full history exists.
+    fn vpt_index(&self, pc: Pc) -> Option<usize> {
+        self.full_history(pc).map(|h| hash_history(h, self.vpt_spec.index_bits()) as usize)
     }
 
-    fn update(&mut self, pc: Pc, actual: Value) {
-        // Update the VPT entry for the *current* context first.
-        if let Some(history) = self.full_history(pc).map(<[Value]>::to_vec) {
-            let vpt_index = hash_history(&history, self.vpt_spec.index_bits()) as usize;
-            let slot = &mut self.vpt[vpt_index];
-            match slot {
-                Some(s) if s.value == actual => {
-                    s.confidence = s.confidence.saturating_add(1).min(self.replace_max);
-                }
-                Some(s) => {
-                    if s.confidence == 0 {
-                        s.value = actual;
-                    } else {
-                        s.confidence -= 1;
-                    }
-                }
-                None => *slot = Some(VptSlot { value: actual, confidence: 0 }),
+    /// Trains the VPT slot of the current context with `actual`
+    /// (hysteresis-guarded replacement).
+    fn train_vpt(&mut self, vpt_index: usize, actual: Value) {
+        let slot = &mut self.vpt[vpt_index];
+        match slot {
+            Some(s) if s.value == actual => {
+                s.confidence = s.confidence.saturating_add(1).min(self.replace_max);
             }
+            Some(s) => {
+                if s.confidence == 0 {
+                    s.value = actual;
+                } else {
+                    s.confidence -= 1;
+                }
+            }
+            None => *slot = Some(VptSlot { value: actual, confidence: 0 }),
         }
-        // Then shift the new value into the VHT history.
+    }
+
+    /// Shifts `actual` into `pc`'s VHT history (allocating or evicting the
+    /// slot as the tag demands).
+    fn shift_vht(&mut self, pc: Pc, actual: Value) {
         let tag = self.vht_spec.tag_of(pc);
         let order = self.order;
         let slot = &mut self.vht[self.vht_spec.index_of(pc)];
@@ -494,9 +536,37 @@ impl Predictor for FiniteFcmPredictor {
             }
         }
     }
+}
 
-    fn name(&self) -> String {
-        format!("fcm{}-vht{}-vpt{}", self.order, self.vht_spec.slots(), self.vpt_spec.slots())
+impl Predictor for FiniteFcmPredictor {
+    fn predict(&self, pc: Pc) -> Option<Value> {
+        let vpt_index = self.vpt_index(pc)?;
+        self.vpt[vpt_index].as_ref().map(|s| s.value)
+    }
+
+    fn update(&mut self, pc: Pc, actual: Value) {
+        // Update the VPT entry for the *current* context first...
+        if let Some(vpt_index) = self.vpt_index(pc) {
+            self.train_vpt(vpt_index, actual);
+        }
+        // ...then shift the new value into the VHT history.
+        self.shift_vht(pc, actual);
+    }
+
+    fn step(&mut self, pc: Pc, actual: Value) -> Option<Value> {
+        // The fused path hashes the context once for both the prediction
+        // read and the VPT training write.
+        let mut prediction = None;
+        if let Some(vpt_index) = self.vpt_index(pc) {
+            prediction = self.vpt[vpt_index].as_ref().map(|s| s.value);
+            self.train_vpt(vpt_index, actual);
+        }
+        self.shift_vht(pc, actual);
+        prediction
+    }
+
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn static_entries(&self) -> usize {

@@ -44,6 +44,7 @@ use dvp_trace::{Pc, Value};
 pub struct FiniteHybridPredictor {
     stride: FiniteStridePredictor,
     fcm: FiniteFcmPredictor,
+    name: String,
     chooser_spec: TableSpec,
     chooser: Vec<i8>,
     chooser_max: i8,
@@ -60,9 +61,13 @@ impl FiniteHybridPredictor {
         vpt_spec: TableSpec,
         chooser_spec: TableSpec,
     ) -> Self {
+        let stride = FiniteStridePredictor::new(stride_spec);
+        let fcm = FiniteFcmPredictor::new(order, vht_spec, vpt_spec);
+        let name = format!("hybrid-{}+{}", stride.name(), fcm.name());
         FiniteHybridPredictor {
-            stride: FiniteStridePredictor::new(stride_spec),
-            fcm: FiniteFcmPredictor::new(order, vht_spec, vpt_spec),
+            stride,
+            fcm,
+            name,
             chooser_spec,
             chooser: vec![0; chooser_spec.slots()],
             chooser_max: 3,
@@ -125,22 +130,31 @@ impl Predictor for FiniteHybridPredictor {
     }
 
     fn update(&mut self, pc: Pc, actual: Value) {
-        let s_correct = self.stride.predict(pc) == Some(actual);
-        let f_correct = self.fcm.predict(pc) == Some(actual);
+        let _ = self.step(pc, actual);
+    }
+
+    fn step(&mut self, pc: Pc, actual: Value) -> Option<Value> {
+        // The fused feed loop: each component predicts and trains in one
+        // table walk (its own fused step), and the chooser slot is indexed
+        // once for both the arbitration read and the training write.
+        let s_pred = self.stride.step(pc, actual);
+        let f_pred = self.fcm.step(pc, actual);
+        let slot = &mut self.chooser[self.chooser_spec.index_of(pc)];
+        let prediction = if *slot > 0 { f_pred.or(s_pred) } else { s_pred.or(f_pred) };
+        let s_correct = s_pred == Some(actual);
+        let f_correct = f_pred == Some(actual);
         if s_correct != f_correct {
-            let slot = &mut self.chooser[self.chooser_spec.index_of(pc)];
             *slot = if f_correct {
                 (*slot + 1).min(self.chooser_max)
             } else {
                 (*slot - 1).max(-self.chooser_max)
             };
         }
-        self.stride.update(pc, actual);
-        self.fcm.update(pc, actual);
+        prediction
     }
 
-    fn name(&self) -> String {
-        format!("hybrid-{}+{}", self.stride.name(), self.fcm.name())
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn static_entries(&self) -> usize {

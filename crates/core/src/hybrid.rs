@@ -8,9 +8,9 @@
 //! saturating-counter chooser indexed by PC — the same structure proposed
 //! for hybrid branch predictors (McFarling, 1993).
 
+use crate::table::PcTable;
 use crate::Predictor;
-use dvp_trace::{Pc, Value};
-use std::collections::HashMap;
+use dvp_trace::{Pc, PcId, Value};
 
 /// Per-PC chooser state: a saturating counter biased toward the component
 /// that has been correct when the other was wrong.
@@ -45,7 +45,8 @@ struct ChooserEntry {
 pub struct HybridPredictor<A, B> {
     first: A,
     second: B,
-    chooser: HashMap<Pc, ChooserEntry>,
+    name: String,
+    chooser: PcTable<ChooserEntry>,
     max: i16,
 }
 
@@ -64,7 +65,8 @@ impl<A: Predictor, B: Predictor> HybridPredictor<A, B> {
     /// Creates a hybrid of `first` and `second` with a ±8 saturating chooser.
     #[must_use]
     pub fn new(first: A, second: B) -> Self {
-        HybridPredictor { first, second, chooser: HashMap::new(), max: 8 }
+        let name = format!("hybrid({}+{})", first.name(), second.name());
+        HybridPredictor { first, second, name, chooser: PcTable::new(), max: 8 }
     }
 
     /// Sets the chooser saturation bound (counter range is `-max..=max`).
@@ -96,42 +98,96 @@ impl<A: Predictor, B: Predictor> HybridPredictor<A, B> {
     /// component.
     #[must_use]
     pub fn favours_second(&self, pc: Pc) -> bool {
-        self.chooser.get(&pc).map(|e| e.counter > 0).unwrap_or(false)
+        self.chooser.get(pc).is_some_and(|e| e.counter > 0)
+    }
+
+    /// Adjusts a chooser entry toward the component that was right while
+    /// the other was wrong (no movement on ties).
+    fn train_chooser(max: i16, entry: &mut ChooserEntry, a_correct: bool, b_correct: bool) {
+        if a_correct == b_correct {
+            return;
+        }
+        entry.counter =
+            if b_correct { (entry.counter + 1).min(max) } else { (entry.counter - 1).max(-max) };
+    }
+
+    /// Arbitrates the two component predictions under a chooser counter.
+    fn arbitrate(counter: i16, a: Option<Value>, b: Option<Value>) -> Option<Value> {
+        if counter > 0 {
+            b.or(a)
+        } else {
+            a.or(b)
+        }
     }
 }
 
 impl<A: Predictor, B: Predictor> Predictor for HybridPredictor<A, B> {
     fn predict(&self, pc: Pc) -> Option<Value> {
         let (a, b) = (self.first.predict(pc), self.second.predict(pc));
-        if self.favours_second(pc) {
-            b.or(a)
-        } else {
-            a.or(b)
-        }
+        let counter = self.chooser.get(pc).map_or(0, |e| e.counter);
+        Self::arbitrate(counter, a, b)
     }
 
     fn update(&mut self, pc: Pc, actual: Value) {
         let a_correct = self.first.predict(pc) == Some(actual);
         let b_correct = self.second.predict(pc) == Some(actual);
-        if a_correct != b_correct {
-            let max = self.max;
-            let entry = self.chooser.entry(pc).or_insert(ChooserEntry { counter: 0 });
-            entry.counter = if b_correct {
-                (entry.counter + 1).min(max)
-            } else {
-                (entry.counter - 1).max(-max)
-            };
-        }
+        let entry = self.chooser.slot_mut(pc).get_or_insert(ChooserEntry { counter: 0 });
+        Self::train_chooser(self.max, entry, a_correct, b_correct);
         self.first.update(pc, actual);
         self.second.update(pc, actual);
     }
 
-    fn name(&self) -> String {
-        format!("hybrid({}+{})", self.first.name(), self.second.name())
+    fn step(&mut self, pc: Pc, actual: Value) -> Option<Value> {
+        // Each component's fused step returns its pre-update prediction
+        // and trains it in the same walk (the components' states are
+        // independent, so stepping `first` before predicting `second`
+        // changes nothing); the chooser slot is located once for both the
+        // arbitration read and the training write.
+        let a = self.first.step(pc, actual);
+        let b = self.second.step(pc, actual);
+        let entry = self.chooser.slot_mut(pc).get_or_insert(ChooserEntry { counter: 0 });
+        let prediction = Self::arbitrate(entry.counter, a, b);
+        Self::train_chooser(self.max, entry, a == Some(actual), b == Some(actual));
+        prediction
+    }
+
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn static_entries(&self) -> usize {
         self.first.static_entries().max(self.second.static_entries())
+    }
+
+    fn reserve_ids(&mut self, n: usize) {
+        self.chooser.reserve(n);
+        self.first.reserve_ids(n);
+        self.second.reserve_ids(n);
+    }
+
+    fn predict_id(&self, id: PcId, pc: Pc) -> Option<Value> {
+        let (a, b) = (self.first.predict_id(id, pc), self.second.predict_id(id, pc));
+        let counter = self.chooser.get_dense(id).map_or(0, |e| e.counter);
+        Self::arbitrate(counter, a, b)
+    }
+
+    fn update_id(&mut self, id: PcId, pc: Pc, actual: Value) {
+        let a_correct = self.first.predict_id(id, pc) == Some(actual);
+        let b_correct = self.second.predict_id(id, pc) == Some(actual);
+        let entry = self.chooser.dense_slot_mut(id, pc).get_or_insert(ChooserEntry { counter: 0 });
+        Self::train_chooser(self.max, entry, a_correct, b_correct);
+        self.first.update_id(id, pc, actual);
+        self.second.update_id(id, pc, actual);
+    }
+
+    fn step_id(&mut self, id: PcId, pc: Pc, actual: Value) -> Option<Value> {
+        // As `step`: one fused walk per component, one chooser access.
+        let a = self.first.step_id(id, pc, actual);
+        let b = self.second.step_id(id, pc, actual);
+        let entry = self.chooser.dense_slot_mut(id, pc).get_or_insert(ChooserEntry { counter: 0 });
+        let prediction = Self::arbitrate(entry.counter, a, b);
+        Self::train_chooser(self.max, entry, a == Some(actual), b == Some(actual));
+        prediction
     }
 }
 

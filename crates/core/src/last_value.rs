@@ -1,8 +1,8 @@
 //! Last-value prediction (Section 2.1 of the paper).
 
+use crate::table::PcTable;
 use crate::Predictor;
-use dvp_trace::{Pc, Value};
-use std::collections::HashMap;
+use dvp_trace::{Pc, PcId, Value};
 
 /// Replacement policy of a [`LastValuePredictor`].
 ///
@@ -70,10 +70,17 @@ struct LastValueEntry {
 /// sticky.update(pc, 9); // second consecutive sighting: switches
 /// assert_eq!(sticky.predict(pc), Some(9));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct LastValuePredictor {
     policy: LastValuePolicy,
-    table: HashMap<Pc, LastValueEntry>,
+    name: String,
+    table: PcTable<LastValueEntry>,
+}
+
+impl Default for LastValuePredictor {
+    fn default() -> Self {
+        LastValuePredictor::with_policy(LastValuePolicy::default())
+    }
 }
 
 impl LastValuePredictor {
@@ -86,7 +93,14 @@ impl LastValuePredictor {
     /// Creates a last-value predictor with the given replacement `policy`.
     #[must_use]
     pub fn with_policy(policy: LastValuePolicy) -> Self {
-        LastValuePredictor { policy, table: HashMap::new() }
+        let name = match policy {
+            LastValuePolicy::Always => "l".to_owned(),
+            LastValuePolicy::SaturatingCounter { max, threshold } => {
+                format!("l-sat{max}t{threshold}")
+            }
+            LastValuePolicy::ConsecutiveConfirm { required } => format!("l-conf{required}"),
+        };
+        LastValuePredictor { policy, name, table: PcTable::new() }
     }
 
     /// The replacement policy in use.
@@ -129,33 +143,72 @@ impl LastValuePredictor {
             }
         }
     }
+
+    /// The fused slot step: reads the slot's prediction, then applies the
+    /// update — one state access for the whole observation.
+    fn step_slot(
+        policy: LastValuePolicy,
+        slot: &mut Option<LastValueEntry>,
+        actual: Value,
+    ) -> Option<Value> {
+        match slot {
+            Some(entry) => {
+                let prediction = entry.stored;
+                Self::update_entry(policy, entry, actual);
+                Some(prediction)
+            }
+            None => {
+                *slot =
+                    Some(LastValueEntry { stored: actual, counter: 0, candidate: None, run: 0 });
+                None
+            }
+        }
+    }
 }
 
 impl Predictor for LastValuePredictor {
     fn predict(&self, pc: Pc) -> Option<Value> {
-        self.table.get(&pc).map(|e| e.stored)
+        self.table.get(pc).map(|e| e.stored)
     }
 
     fn update(&mut self, pc: Pc, actual: Value) {
         let policy = self.policy;
-        self.table
-            .entry(pc)
-            .and_modify(|e| Self::update_entry(policy, e, actual))
-            .or_insert(LastValueEntry { stored: actual, counter: 0, candidate: None, run: 0 });
+        let slot = self.table.slot_mut(pc);
+        match slot {
+            Some(entry) => Self::update_entry(policy, entry, actual),
+            None => {
+                *slot = Some(LastValueEntry { stored: actual, counter: 0, candidate: None, run: 0 })
+            }
+        }
     }
 
-    fn name(&self) -> String {
-        match self.policy {
-            LastValuePolicy::Always => "l".to_owned(),
-            LastValuePolicy::SaturatingCounter { max, threshold } => {
-                format!("l-sat{max}t{threshold}")
-            }
-            LastValuePolicy::ConsecutiveConfirm { required } => format!("l-conf{required}"),
-        }
+    fn step(&mut self, pc: Pc, actual: Value) -> Option<Value> {
+        Self::step_slot(self.policy, self.table.slot_mut(pc), actual)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn static_entries(&self) -> usize {
         self.table.len()
+    }
+
+    fn reserve_ids(&mut self, n: usize) {
+        self.table.reserve(n);
+    }
+
+    fn predict_id(&self, id: PcId, _pc: Pc) -> Option<Value> {
+        self.table.get_dense(id).map(|e| e.stored)
+    }
+
+    fn update_id(&mut self, id: PcId, pc: Pc, actual: Value) {
+        let policy = self.policy;
+        let _ = Self::step_slot(policy, self.table.dense_slot_mut(id, pc), actual);
+    }
+
+    fn step_id(&mut self, id: PcId, pc: Pc, actual: Value) -> Option<Value> {
+        Self::step_slot(self.policy, self.table.dense_slot_mut(id, pc), actual)
     }
 }
 

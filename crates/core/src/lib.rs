@@ -69,6 +69,7 @@ mod predictor;
 pub mod sequences;
 mod set;
 mod stride;
+mod table;
 mod typed;
 
 pub use analysis::{

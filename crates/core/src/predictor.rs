@@ -1,6 +1,6 @@
 //! The common interface of all value predictors.
 
-use dvp_trace::{Pc, Value};
+use dvp_trace::{Pc, PcId, Value};
 
 /// A data value predictor in the paper's idealized setting.
 ///
@@ -15,12 +15,37 @@ use dvp_trace::{Pc, Value};
 ///
 /// The protocol is: call [`predict`](Predictor::predict), compare with the
 /// actual outcome, then call [`update`](Predictor::update) with the actual
-/// value. [`observe`](Predictor::observe) bundles the two.
+/// value. [`step`](Predictor::step) fuses the two;
+/// [`observe`](Predictor::observe) reduces the fused step to a
+/// correct/incorrect bit.
 ///
 /// `predict` returns `None` when the predictor has no basis for a prediction
 /// (e.g. the first dynamic instance of an instruction). The evaluation
 /// counts `None` as an incorrect prediction, exactly as an implementation
 /// that must always produce *some* value would at best guess.
+///
+/// # The two keying surfaces
+///
+/// Every method exists in two forms:
+///
+/// * **`Pc`-keyed** (`predict`/`update`/`step`/`observe`) — the
+///   compatibility surface. Each call locates the instruction's state by
+///   hashing the PC.
+/// * **`PcId`-keyed** (`predict_id`/`update_id`/`step_id`/`observe_id`) —
+///   the dense path the replay engine drives. The caller supplies the
+///   instruction's dense [`PcId`] (from the trace's
+///   [`PcInterner`](dvp_trace::PcInterner)), and implementations that store
+///   their state in an id-indexed slot vector reach it with one bounds
+///   check instead of one-or-two hash probes. The id-keyed defaults fall
+///   back to the `Pc`-keyed methods, so external implementations only need
+///   the classic five.
+///
+/// The two surfaces address the *same* state: `predict(pc)` after an
+/// id-driven replay sees everything `observe_id` learned. The only caller
+/// obligation on the dense path is id consistency — all ids passed to one
+/// predictor instance must come from a single interner (the engine
+/// guarantees this by building a fresh predictor per replayed trace
+/// shard).
 ///
 /// # Examples
 ///
@@ -37,7 +62,7 @@ use dvp_trace::{Pc, Value};
 ///
 /// Predictors are `Send + Sync` so traces can be processed from worker
 /// threads and results cached in statics; every table type in this crate
-/// (hash maps of plain values) satisfies this automatically.
+/// (dense slot vectors of plain values) satisfies this automatically.
 pub trait Predictor: Send + Sync {
     /// Returns the predicted next value for the instruction at `pc`, or
     /// `None` when no prediction can be made yet.
@@ -48,21 +73,66 @@ pub trait Predictor: Send + Sync {
     fn update(&mut self, pc: Pc, actual: Value);
 
     /// A short human-readable name (used in experiment reports),
-    /// e.g. `"l"`, `"s2"`, `"fcm3"`.
-    fn name(&self) -> String;
+    /// e.g. `"l"`, `"s2"`, `"fcm3"`. Names are fixed at construction;
+    /// calling this allocates nothing.
+    fn name(&self) -> &str;
+
+    /// Fused predict-then-update: returns the prediction that was in force
+    /// *before* `actual` was learned.
+    ///
+    /// This is the inner loop of every experiment in the paper. The
+    /// default is the **slow path** — a full `predict` followed by a full
+    /// `update`, walking the table twice; in-crate predictors override it
+    /// (and [`step_id`](Predictor::step_id)) to locate the instruction's
+    /// slot once and do both halves on it.
+    fn step(&mut self, pc: Pc, actual: Value) -> Option<Value> {
+        let prediction = self.predict(pc);
+        self.update(pc, actual);
+        prediction
+    }
 
     /// Predicts, then updates with `actual`; returns whether the prediction
-    /// was made and correct.
-    ///
-    /// This is the common inner loop of every experiment in the paper.
+    /// was made and correct. Equivalent to
+    /// `self.step(pc, actual) == Some(actual)`.
     fn observe(&mut self, pc: Pc, actual: Value) -> bool {
-        let correct = self.predict(pc) == Some(actual);
-        self.update(pc, actual);
-        correct
+        self.step(pc, actual) == Some(actual)
     }
 
     /// Number of static instructions (distinct PCs) currently tracked.
     fn static_entries(&self) -> usize;
+
+    /// Pre-sizes dense state for `n` interned ids (a no-op for predictors
+    /// without dense state). The replay engine calls this with the trace
+    /// interner's length before an id-driven replay.
+    fn reserve_ids(&mut self, n: usize) {
+        let _ = n;
+    }
+
+    /// [`predict`](Predictor::predict) on the dense surface: `id` is
+    /// `pc`'s dense id under the caller's interner.
+    fn predict_id(&self, id: PcId, pc: Pc) -> Option<Value> {
+        let _ = id;
+        self.predict(pc)
+    }
+
+    /// [`update`](Predictor::update) on the dense surface.
+    fn update_id(&mut self, id: PcId, pc: Pc, actual: Value) {
+        let _ = id;
+        self.update(pc, actual);
+    }
+
+    /// [`step`](Predictor::step) on the dense surface: one slot access per
+    /// record on dense implementations.
+    fn step_id(&mut self, id: PcId, pc: Pc, actual: Value) -> Option<Value> {
+        let _ = id;
+        self.step(pc, actual)
+    }
+
+    /// [`observe`](Predictor::observe) on the dense surface. Equivalent to
+    /// `self.step_id(id, pc, actual) == Some(actual)`.
+    fn observe_id(&mut self, id: PcId, pc: Pc, actual: Value) -> bool {
+        self.step_id(id, pc, actual) == Some(actual)
+    }
 }
 
 impl<P: Predictor + ?Sized> Predictor for Box<P> {
@@ -74,8 +144,12 @@ impl<P: Predictor + ?Sized> Predictor for Box<P> {
         (**self).update(pc, actual)
     }
 
-    fn name(&self) -> String {
+    fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn step(&mut self, pc: Pc, actual: Value) -> Option<Value> {
+        (**self).step(pc, actual)
     }
 
     fn observe(&mut self, pc: Pc, actual: Value) -> bool {
@@ -84,6 +158,26 @@ impl<P: Predictor + ?Sized> Predictor for Box<P> {
 
     fn static_entries(&self) -> usize {
         (**self).static_entries()
+    }
+
+    fn reserve_ids(&mut self, n: usize) {
+        (**self).reserve_ids(n)
+    }
+
+    fn predict_id(&self, id: PcId, pc: Pc) -> Option<Value> {
+        (**self).predict_id(id, pc)
+    }
+
+    fn update_id(&mut self, id: PcId, pc: Pc, actual: Value) {
+        (**self).update_id(id, pc, actual)
+    }
+
+    fn step_id(&mut self, id: PcId, pc: Pc, actual: Value) -> Option<Value> {
+        (**self).step_id(id, pc, actual)
+    }
+
+    fn observe_id(&mut self, id: PcId, pc: Pc, actual: Value) -> bool {
+        (**self).observe_id(id, pc, actual)
     }
 }
 
@@ -103,12 +197,40 @@ mod tests {
     }
 
     #[test]
+    fn step_returns_the_pre_update_prediction() {
+        let mut p = LastValuePredictor::new();
+        let pc = Pc(8);
+        assert_eq!(p.step(pc, 3), None);
+        assert_eq!(p.step(pc, 4), Some(3));
+        assert_eq!(p.step(pc, 5), Some(4));
+    }
+
+    #[test]
+    fn dense_surface_defaults_to_the_pc_surface() {
+        let mut dense = LastValuePredictor::new();
+        let mut compat = LastValuePredictor::new();
+        let pc = Pc(16);
+        for (i, v) in [7u64, 7, 9, 9, 7].into_iter().enumerate() {
+            assert_eq!(
+                dense.observe_id(PcId(0), pc, v),
+                compat.observe(pc, v),
+                "record {i} diverged"
+            );
+        }
+        assert_eq!(dense.predict(pc), compat.predict(pc));
+        assert_eq!(dense.static_entries(), compat.static_entries());
+    }
+
+    #[test]
     fn boxed_predictor_delegates() {
         let mut p: Box<dyn Predictor> = Box::new(LastValuePredictor::new());
         let pc = Pc(16);
-        p.update(pc, 9);
+        p.reserve_ids(4);
+        p.update_id(PcId(0), pc, 9);
+        assert_eq!(p.predict_id(PcId(0), pc), Some(9));
         assert_eq!(p.predict(pc), Some(9));
         assert_eq!(p.name(), "l");
         assert_eq!(p.static_entries(), 1);
+        assert_eq!(p.step_id(PcId(0), pc, 9), Some(9));
     }
 }

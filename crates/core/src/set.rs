@@ -2,7 +2,7 @@
 //! sets (Section 4.2 / Figure 8 of the paper).
 
 use crate::Predictor;
-use dvp_trace::{InstrCategory, Pc, TraceRecord};
+use dvp_trace::{InstrCategory, Pc, PcId, PcInterner, TraceRecord};
 use std::collections::HashMap;
 
 const N_CATEGORIES: usize = InstrCategory::ALL.len();
@@ -73,8 +73,45 @@ pub struct PredictorSet {
     predictors: Vec<Box<dyn Predictor>>,
     /// subset_counts[category][mask] and an extra row for "all categories".
     subset_counts: Vec<Vec<u64>>,
-    per_pc: Option<HashMap<Pc, PcTally>>,
+    /// Interner for the `Pc`-keyed [`PredictorSet::observe`] surface; the
+    /// dense [`PredictorSet::observe_dense`] surface uses caller ids and
+    /// leaves this empty.
+    interner: PcInterner,
+    per_pc: Option<PerPcTallies>,
     total: u64,
+}
+
+/// Per-PC tallies stored densely by the driving id space; the owning `Pc`
+/// is recorded in the slot at creation so reports can translate back
+/// without consulting any interner.
+#[derive(Debug, Default)]
+struct PerPcTallies {
+    by_id: Vec<Option<(Pc, PcTally)>>,
+}
+
+impl PerPcTallies {
+    fn record(&mut self, id: PcId, rec: &TraceRecord, mask: CorrectMask, predictors: usize) {
+        let index = id.index();
+        if index >= self.by_id.len() {
+            self.by_id.resize_with(index + 1, || None);
+        }
+        let (_, tally) = self.by_id[index].get_or_insert_with(|| {
+            (
+                rec.pc,
+                PcTally { total: 0, correct: vec![0; predictors], category: Some(rec.category) },
+            )
+        });
+        tally.total += 1;
+        for (i, c) in tally.correct.iter_mut().enumerate() {
+            if mask & (1 << i) != 0 {
+                *c += 1;
+            }
+        }
+    }
+
+    fn occupied(&self) -> impl Iterator<Item = &(Pc, PcTally)> {
+        self.by_id.iter().filter_map(Option::as_ref)
+    }
 }
 
 impl std::fmt::Debug for PredictorSet {
@@ -98,7 +135,7 @@ impl PredictorSet {
     /// instruction (needed for Figure 9; costs one hash map entry per PC).
     #[must_use]
     pub fn with_per_pc_tracking() -> Self {
-        PredictorSet { per_pc: Some(HashMap::new()), ..PredictorSet::default() }
+        PredictorSet { per_pc: Some(PerPcTallies::default()), ..PredictorSet::default() }
     }
 
     /// The canonical trio of the paper's Figure 8: last value, two-delta
@@ -141,15 +178,29 @@ impl PredictorSet {
     /// Names of the predictors, in bit order.
     #[must_use]
     pub fn names(&self) -> Vec<String> {
-        self.predictors.iter().map(|p| p.name()).collect()
+        self.predictors.iter().map(|p| p.name().to_owned()).collect()
     }
 
     /// Feeds one trace record to every predictor; returns the mask of
     /// predictors that predicted it correctly.
+    ///
+    /// This is the `Pc`-keyed surface: the set interns the PC itself (one
+    /// hash probe) and then drives every predictor through its dense slot.
+    /// Callers replaying an interned trace should pass the trace's ids to
+    /// [`observe_dense`](PredictorSet::observe_dense) instead and skip the
+    /// probe entirely.
     pub fn observe(&mut self, rec: &TraceRecord) -> CorrectMask {
+        let id = self.interner.intern(rec.pc);
+        self.observe_dense(id, rec)
+    }
+
+    /// [`observe`](PredictorSet::observe) with a caller-supplied dense id
+    /// (from the trace's [`PcInterner`]). All ids fed to one set must come
+    /// from a single interner.
+    pub fn observe_dense(&mut self, id: PcId, rec: &TraceRecord) -> CorrectMask {
         let mut mask: CorrectMask = 0;
         for (i, p) in self.predictors.iter_mut().enumerate() {
-            if p.observe(rec.pc, rec.value) {
+            if p.observe_id(id, rec.pc, rec.value) {
                 mask |= 1 << i;
             }
         }
@@ -157,20 +208,22 @@ impl PredictorSet {
         self.subset_counts[N_CATEGORIES][mask as usize] += 1;
         self.total += 1;
         if let Some(per_pc) = &mut self.per_pc {
-            let n = self.predictors.len();
-            let tally = per_pc.entry(rec.pc).or_insert_with(|| PcTally {
-                total: 0,
-                correct: vec![0; n],
-                category: Some(rec.category),
-            });
-            tally.total += 1;
-            for (i, c) in tally.correct.iter_mut().enumerate() {
-                if mask & (1 << i) != 0 {
-                    *c += 1;
-                }
-            }
+            per_pc.record(id, rec, mask, self.predictors.len());
         }
         mask
+    }
+
+    /// Pre-sizes every predictor's dense state (and the per-PC tallies)
+    /// for `n` interned ids.
+    pub fn reserve_ids(&mut self, n: usize) {
+        for p in &mut self.predictors {
+            p.reserve_ids(n);
+        }
+        if let Some(per_pc) = &mut self.per_pc {
+            if per_pc.by_id.len() < n {
+                per_pc.by_id.resize_with(n, || None);
+            }
+        }
     }
 
     /// Count of dynamic instructions whose correct-set is *exactly* `mask`,
@@ -213,10 +266,12 @@ impl PredictorSet {
         self.total
     }
 
-    /// Per-PC tallies, if tracking was enabled.
+    /// Per-PC tallies translated back to their PCs (report-formatting
+    /// time), if tracking was enabled. Order follows the driving id space
+    /// (first appearance for a sequential replay).
     #[must_use]
-    pub fn per_pc(&self) -> Option<&HashMap<Pc, PcTally>> {
-        self.per_pc.as_ref()
+    pub fn per_pc_tallies(&self) -> Option<Vec<(Pc, PcTally)>> {
+        self.per_pc.as_ref().map(|per_pc| per_pc.occupied().cloned().collect())
     }
 
     /// Merges another set's accounting into this one.
@@ -228,7 +283,10 @@ impl PredictorSet {
     /// sequential pass, regardless of merge order.
     ///
     /// Per-PC tallies are kept only if *both* sets track them; tallies for
-    /// the same PC are added together.
+    /// the same PC are added together (matched by PC — the two sets'
+    /// dense id spaces are unrelated). A merged set is a reporting value:
+    /// feeding it further records is unsupported, as the merge compacts
+    /// the dense tally ids.
     ///
     /// # Panics
     ///
@@ -247,18 +305,28 @@ impl PredictorSet {
         }
         self.total += other.total;
         self.per_pc = match (self.per_pc.take(), other.per_pc) {
-            (Some(mut mine), Some(theirs)) => {
-                for (pc, tally) in theirs {
-                    match mine.entry(pc) {
-                        std::collections::hash_map::Entry::Occupied(mut e) => {
-                            e.get_mut().merge(&tally);
+            (Some(mine), Some(theirs)) => {
+                // The two sets were driven by different interners (each
+                // shard re-interns its sub-trace), so tallies are matched
+                // by PC: one temporary index per merge, touched once per
+                // static instruction — never per record.
+                let mut index: HashMap<Pc, usize> =
+                    mine.occupied().enumerate().map(|(slot, &(pc, _))| (pc, slot)).collect();
+                // Compact `mine` so indexes are stable under appends.
+                let mut slots: Vec<Option<(Pc, PcTally)>> =
+                    mine.by_id.into_iter().flatten().map(Some).collect();
+                for (pc, tally) in theirs.by_id.into_iter().flatten() {
+                    match index.get(&pc) {
+                        Some(&slot) => {
+                            slots[slot].as_mut().expect("occupied").1.merge(&tally);
                         }
-                        std::collections::hash_map::Entry::Vacant(e) => {
-                            e.insert(tally);
+                        None => {
+                            index.insert(pc, slots.len());
+                            slots.push(Some((pc, tally)));
                         }
                     }
                 }
-                Some(mine)
+                Some(PerPcTallies { by_id: slots })
             }
             _ => None,
         };
@@ -408,8 +476,9 @@ mod tests {
         for i in 0..40u64 {
             set.observe(&TraceRecord::new(Pc(12), InstrCategory::Logic, i % 2));
         }
-        let tallies = set.per_pc().unwrap();
-        let tally = &tallies[&Pc(12)];
+        let tallies = set.per_pc_tallies().unwrap();
+        let (pc, tally) = &tallies[0];
+        assert_eq!(*pc, Pc(12));
         assert_eq!(tally.total, 40);
         assert_eq!(tally.category, Some(InstrCategory::Logic));
         assert_eq!(tally.correct.len(), 3);
@@ -445,9 +514,10 @@ mod tests {
         for index in 0..3 {
             assert_eq!(merged.correct_total(index), sequential.correct_total(index));
         }
-        let (m, s) = (merged.per_pc().unwrap(), sequential.per_pc().unwrap());
+        let m: HashMap<Pc, PcTally> = merged.per_pc_tallies().unwrap().into_iter().collect();
+        let s: HashMap<Pc, PcTally> = sequential.per_pc_tallies().unwrap().into_iter().collect();
         assert_eq!(m.len(), s.len());
-        for (pc, tally) in s {
+        for (pc, tally) in &s {
             assert_eq!(m[pc].total, tally.total, "{pc}");
             assert_eq!(m[pc].correct, tally.correct, "{pc}");
         }

@@ -1,8 +1,8 @@
 //! Stride prediction (Section 2.1 of the paper).
 
+use crate::table::PcTable;
 use crate::Predictor;
-use dvp_trace::{Pc, Value};
-use std::collections::HashMap;
+use dvp_trace::{Pc, PcId, Value};
 
 /// Update policy of a [`StridePredictor`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -64,10 +64,17 @@ struct StrideEntry {
 /// }
 /// assert_eq!(p.predict(pc), Some(40));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct StridePredictor {
     policy: StridePolicy,
-    table: HashMap<Pc, StrideEntry>,
+    name: String,
+    table: PcTable<StrideEntry>,
+}
+
+impl Default for StridePredictor {
+    fn default() -> Self {
+        StridePredictor::with_policy(StridePolicy::default())
+    }
 }
 
 impl StridePredictor {
@@ -87,7 +94,12 @@ impl StridePredictor {
     /// Creates a stride predictor with the given update `policy`.
     #[must_use]
     pub fn with_policy(policy: StridePolicy) -> Self {
-        StridePredictor { policy, table: HashMap::new() }
+        let name = match policy {
+            StridePolicy::Simple => "s-simple".to_owned(),
+            StridePolicy::Hysteresis { max, threshold } => format!("s-sat{max}t{threshold}"),
+            StridePolicy::TwoDelta => "s2".to_owned(),
+        };
+        StridePredictor { policy, name, table: PcTable::new() }
     }
 
     /// The update policy in use.
@@ -123,31 +135,71 @@ impl StridePredictor {
         entry.last = actual;
         entry.seen += 1;
     }
+
+    /// The fused slot step: one state access serves both the prediction
+    /// and the policy update.
+    fn step_slot(
+        policy: StridePolicy,
+        slot: &mut Option<StrideEntry>,
+        actual: Value,
+    ) -> Option<Value> {
+        match slot {
+            Some(entry) => {
+                let prediction = entry.last.wrapping_add(entry.stride);
+                Self::update_entry(policy, entry, actual);
+                Some(prediction)
+            }
+            None => {
+                *slot = Some(StrideEntry {
+                    last: actual,
+                    stride: 0,
+                    last_delta: 0,
+                    counter: 0,
+                    seen: 1,
+                });
+                None
+            }
+        }
+    }
 }
 
 impl Predictor for StridePredictor {
     fn predict(&self, pc: Pc) -> Option<Value> {
-        self.table.get(&pc).map(|e| e.last.wrapping_add(e.stride))
+        self.table.get(pc).map(|e| e.last.wrapping_add(e.stride))
     }
 
     fn update(&mut self, pc: Pc, actual: Value) {
         let policy = self.policy;
-        self.table
-            .entry(pc)
-            .and_modify(|e| Self::update_entry(policy, e, actual))
-            .or_insert(StrideEntry { last: actual, stride: 0, last_delta: 0, counter: 0, seen: 1 });
+        let _ = Self::step_slot(policy, self.table.slot_mut(pc), actual);
     }
 
-    fn name(&self) -> String {
-        match self.policy {
-            StridePolicy::Simple => "s-simple".to_owned(),
-            StridePolicy::Hysteresis { max, threshold } => format!("s-sat{max}t{threshold}"),
-            StridePolicy::TwoDelta => "s2".to_owned(),
-        }
+    fn step(&mut self, pc: Pc, actual: Value) -> Option<Value> {
+        Self::step_slot(self.policy, self.table.slot_mut(pc), actual)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn static_entries(&self) -> usize {
         self.table.len()
+    }
+
+    fn reserve_ids(&mut self, n: usize) {
+        self.table.reserve(n);
+    }
+
+    fn predict_id(&self, id: PcId, _pc: Pc) -> Option<Value> {
+        self.table.get_dense(id).map(|e| e.last.wrapping_add(e.stride))
+    }
+
+    fn update_id(&mut self, id: PcId, pc: Pc, actual: Value) {
+        let policy = self.policy;
+        let _ = Self::step_slot(policy, self.table.dense_slot_mut(id, pc), actual);
+    }
+
+    fn step_id(&mut self, id: PcId, pc: Pc, actual: Value) -> Option<Value> {
+        Self::step_slot(self.policy, self.table.dense_slot_mut(id, pc), actual)
     }
 }
 

@@ -1,0 +1,152 @@
+//! The dense per-instruction state table shared by every unbounded
+//! predictor in this crate.
+//!
+//! The paper's idealized predictors keep "one table entry per static
+//! instruction". [`PcTable`] models that entry set as a flat slot vector
+//! indexed by dense [`PcId`]s, plus a `Pc → PcId` map that serves the
+//! trait's `Pc`-keyed compatibility surface. The replay engine supplies
+//! trace-interned ids directly ([`PcTable::dense_slot_mut`]), so the hot
+//! loop's state access is one bounds-checked vector index; `Pc`-keyed
+//! callers pay one hash probe ([`PcTable::slot_mut`]) — still half of the
+//! old `HashMap` predict-probe + update-probe pair, because all in-crate
+//! predictors fuse the two halves on the located slot.
+
+use dvp_trace::{Pc, PcId};
+use std::collections::HashMap;
+
+/// Dense per-static-instruction storage: `Pc → PcId → Option<S>`.
+///
+/// Both keying surfaces address the same slots. `Pc`-keyed access interns
+/// unseen PCs itself (next free dense index); id-keyed access adopts the
+/// caller's id and records the `pc ↔ id` association on first touch, so the
+/// `Pc` surface stays consistent after an id-driven replay. One instance
+/// must only ever see ids from a single interner — the debug build asserts
+/// this.
+#[derive(Debug, Clone)]
+pub(crate) struct PcTable<S> {
+    ids: HashMap<Pc, PcId>,
+    slots: Vec<Option<S>>,
+}
+
+impl<S> Default for PcTable<S> {
+    // Manual impl: the derive would needlessly bound `S: Default`.
+    fn default() -> Self {
+        PcTable::new()
+    }
+}
+
+impl<S> PcTable<S> {
+    /// An empty table.
+    pub(crate) fn new() -> Self {
+        PcTable { ids: HashMap::new(), slots: Vec::new() }
+    }
+
+    /// Pre-sizes the slot vector for `n` dense ids.
+    pub(crate) fn reserve(&mut self, n: usize) {
+        if self.slots.len() < n {
+            self.slots.resize_with(n, || None);
+        }
+    }
+
+    /// Read-only slot lookup by PC (the compatibility `predict` path).
+    pub(crate) fn get(&self, pc: Pc) -> Option<&S> {
+        let id = self.ids.get(&pc)?;
+        self.slots.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// Mutable slot by PC, interning the PC on first sight (the
+    /// compatibility `update`/`step` path). Exactly one hash probe.
+    pub(crate) fn slot_mut(&mut self, pc: Pc) -> &mut Option<S> {
+        let id = match self.ids.get(&pc) {
+            Some(&id) => id,
+            None => {
+                let id = PcId(u32::try_from(self.slots.len()).expect("more than u32::MAX PCs"));
+                self.ids.insert(pc, id);
+                self.slots.push(None);
+                id
+            }
+        };
+        &mut self.slots[id.index()]
+    }
+
+    /// Read-only slot lookup by dense id (the dense `predict_id` path).
+    pub(crate) fn get_dense(&self, id: PcId) -> Option<&S> {
+        self.slots.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// Mutable slot by dense id (the dense `update_id`/`step_id` path):
+    /// grows the vector as needed and records the `pc ↔ id` association
+    /// while the slot is still empty.
+    pub(crate) fn dense_slot_mut(&mut self, id: PcId, pc: Pc) -> &mut Option<S> {
+        let index = id.index();
+        if index >= self.slots.len() {
+            self.slots.resize_with(index + 1, || None);
+        }
+        if self.slots[index].is_none() {
+            debug_assert!(
+                self.ids.get(&pc).is_none_or(|&known| known == id),
+                "PcTable driven with ids from two different interners ({pc} is {} here, caller \
+                 says {id})",
+                self.ids[&pc],
+            );
+            self.ids.entry(pc).or_insert(id);
+        }
+        &mut self.slots[index]
+    }
+
+    /// Number of distinct PCs tracked.
+    pub(crate) fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Iterates the occupied slots (in dense-id order).
+    pub(crate) fn values(&self) -> impl Iterator<Item = &S> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_surface_interns_and_finds() {
+        let mut table: PcTable<u64> = PcTable::new();
+        assert!(table.get(Pc(4)).is_none());
+        *table.slot_mut(Pc(4)) = Some(7);
+        *table.slot_mut(Pc(8)) = Some(9);
+        assert_eq!(table.get(Pc(4)), Some(&7));
+        assert_eq!(table.get(Pc(8)), Some(&9));
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn dense_surface_adopts_caller_ids_and_stays_pc_consistent() {
+        let mut table: PcTable<u64> = PcTable::new();
+        table.reserve(3);
+        *table.dense_slot_mut(PcId(2), Pc(0x40)) = Some(5);
+        assert_eq!(table.get_dense(PcId(2)), Some(&5));
+        assert_eq!(table.get_dense(PcId(0)), None);
+        // The Pc surface sees the id-driven state.
+        assert_eq!(table.get(Pc(0x40)), Some(&5));
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn dense_access_grows_beyond_reserve() {
+        let mut table: PcTable<u64> = PcTable::new();
+        *table.dense_slot_mut(PcId(10), Pc(0x10)) = Some(1);
+        assert_eq!(table.get_dense(PcId(10)), Some(&1));
+        assert_eq!(table.get_dense(PcId(11)), None);
+    }
+
+    #[test]
+    fn interleaved_surfaces_share_slots() {
+        let mut table: PcTable<u64> = PcTable::new();
+        *table.dense_slot_mut(PcId(0), Pc(0x8)) = Some(3);
+        // Pc-keyed mutation of the same instruction hits the same slot.
+        *table.slot_mut(Pc(0x8)) = Some(4);
+        assert_eq!(table.get_dense(PcId(0)), Some(&4));
+        assert_eq!(table.len(), 1);
+    }
+}

@@ -9,7 +9,7 @@
 //! provides that design.
 
 use crate::{FcmPredictor, Predictor, ShiftPredictor, StridePredictor};
-use dvp_trace::{InstrCategory, TraceRecord, Value};
+use dvp_trace::{InstrCategory, PcId, TraceRecord, Value};
 
 /// A predictor that may use the full trace record (including the
 /// instruction category), not just the PC.
@@ -24,10 +24,20 @@ pub trait RecordPredictor {
     fn update_record(&mut self, rec: &TraceRecord);
 
     /// Predict-then-update; returns whether the prediction was correct.
+    ///
+    /// The default is the slow path (a full predict and a full update);
+    /// implementations route it through their fused step.
     fn observe_record(&mut self, rec: &TraceRecord) -> bool {
         let correct = self.predict_record(rec) == Some(rec.value);
         self.update_record(rec);
         correct
+    }
+
+    /// [`observe_record`](RecordPredictor::observe_record) on the dense
+    /// surface: `id` is `rec.pc`'s dense id under the caller's interner.
+    fn observe_record_id(&mut self, id: PcId, rec: &TraceRecord) -> bool {
+        let _ = id;
+        self.observe_record(rec)
     }
 
     /// Short display name.
@@ -43,8 +53,16 @@ impl<P: Predictor> RecordPredictor for P {
         self.update(rec.pc, rec.value);
     }
 
+    fn observe_record(&mut self, rec: &TraceRecord) -> bool {
+        self.observe(rec.pc, rec.value)
+    }
+
+    fn observe_record_id(&mut self, id: PcId, rec: &TraceRecord) -> bool {
+        self.observe_id(id, rec.pc, rec.value)
+    }
+
     fn record_name(&self) -> String {
-        self.name()
+        self.name().to_owned()
     }
 }
 
@@ -78,7 +96,7 @@ pub struct TypedHybridPredictor {
 
 impl std::fmt::Debug for TypedHybridPredictor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let names: Vec<String> = self.components.iter().map(|c| c.name()).collect();
+        let names: Vec<String> = self.components.iter().map(|c| c.name().to_owned()).collect();
         f.debug_struct("TypedHybridPredictor").field("components", &names).finish()
     }
 }
@@ -124,6 +142,17 @@ impl RecordPredictor for TypedHybridPredictor {
 
     fn update_record(&mut self, rec: &TraceRecord) {
         self.components[rec.category.index()].update(rec.pc, rec.value);
+    }
+
+    fn observe_record(&mut self, rec: &TraceRecord) -> bool {
+        self.components[rec.category.index()].observe(rec.pc, rec.value)
+    }
+
+    fn observe_record_id(&mut self, id: PcId, rec: &TraceRecord) -> bool {
+        // Components never share a PC across categories (a static
+        // instruction has one category), so trace-wide dense ids are
+        // consistent within each component's slot vector.
+        self.components[rec.category.index()].observe_id(id, rec.pc, rec.value)
     }
 
     fn record_name(&self) -> String {

@@ -13,7 +13,8 @@
 //!    optionally many traces at once) into independent jobs on a
 //!    fixed-size [`par_map`] worker pool.
 //! 3. **Shard per-PC state.** Within one (trace, configuration) cell the
-//!    trace is split by a PC hash ([`shard_of`]). Every predictor in
+//!    trace is split into contiguous dense-id ranges ([`shard_of_id`] over
+//!    the trace's interned [`PcId`](dvp_trace::PcId)s). Every predictor in
 //!    `dvp-core` keeps strictly per-PC tables, so each shard replays
 //!    exactly the per-PC value streams a sequential pass would have
 //!    produced, on its own private predictor instance — workers never
@@ -63,4 +64,4 @@ mod shared;
 
 pub use pool::{par_map, try_par_map};
 pub use replay::{ConfigReplay, ReplayEngine, DEFAULT_SHARDS};
-pub use shared::{shard_of, SharedTrace, SharedTraceBuilder, DEFAULT_CHUNK_LEN};
+pub use shared::{shard_of_id, SharedTrace, SharedTraceBuilder, DEFAULT_CHUNK_LEN};

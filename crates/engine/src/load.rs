@@ -3,6 +3,7 @@
 use crate::{ReplayEngine, SharedTrace};
 use dvp_trace::io::v2;
 use dvp_trace::io::TraceIoError;
+use dvp_trace::{PcId, TraceRecord};
 
 impl ReplayEngine {
     /// Decodes an in-memory v2 trace container into a [`SharedTrace`],
@@ -43,11 +44,43 @@ impl ReplayEngine {
     /// # Ok::<(), dvp_trace::io::TraceIoError>(())
     /// ```
     pub fn load_trace(&self, bytes: &[u8]) -> Result<(v2::Header, SharedTrace), TraceIoError> {
-        let (header, payload) = v2::split_bytes(bytes)?;
+        let (header, payload, sections) = v2::split_with_sections(bytes)?;
+        let interner = sections
+            .iter()
+            .find(|section| section.magic == v2::SECTION_INTERNER)
+            .map(|section| v2::decode_interner(section.body))
+            .transpose()?;
         let decoded = self.try_map(header.chunks.clone(), |info| {
             v2::decode_chunk(v2::chunk_payload(payload, &info), &info)
         })?;
-        Ok((header, SharedTrace::from_chunks(decoded)))
+        let trace = match interner {
+            // A persisted interner turns id assignment into read-only
+            // lookups, so it fans out chunk-parallel on the same pool
+            // instead of running as one sequential interning pass. The
+            // jobs carry the chunks through (no copy) and hand them back
+            // alongside their ids.
+            Some(interner) => {
+                let parts: Vec<(Vec<TraceRecord>, Vec<PcId>)> = self.try_map(decoded, |chunk| {
+                    let ids = chunk
+                        .iter()
+                        .map(|rec| {
+                            interner.get(rec.pc).ok_or_else(|| TraceIoError::Format {
+                                message: format!(
+                                    "interner section does not cover {} (stale section)",
+                                    rec.pc
+                                ),
+                            })
+                        })
+                        .collect::<Result<Vec<PcId>, TraceIoError>>()?;
+                    Ok::<_, TraceIoError>((chunk, ids))
+                })?;
+                let (chunks, ids): (Vec<Vec<TraceRecord>>, Vec<Vec<PcId>>) =
+                    parts.into_iter().unzip();
+                SharedTrace::from_parts(chunks, ids, interner)
+            }
+            None => SharedTrace::from_chunks(decoded),
+        };
+        Ok((header, trace))
     }
 }
 
@@ -106,6 +139,59 @@ mod tests {
         .expect("writes");
         let (_, loaded) = ReplayEngine::new().load_trace(&bytes).expect("loads");
         assert_eq!(loaded.chunks(), original.chunks());
+    }
+
+    /// A container carrying the persisted-interner section, as the trace
+    /// cache writes it.
+    fn container_with_interner(n: u64, capacity: usize) -> Vec<u8> {
+        let trace = SharedTrace::from_records(records(n));
+        let sections = [(v2::SECTION_INTERNER, v2::encode_interner(trace.interner()))];
+        let mut bytes = Vec::new();
+        v2::write_with_sections(
+            &mut bytes,
+            &v2::TraceMeta::default(),
+            records(n).chunks(capacity),
+            &sections,
+        )
+        .expect("writes");
+        bytes
+    }
+
+    #[test]
+    fn persisted_interner_load_equals_fresh_interning() {
+        let plain = container(8_000, 1024);
+        let sectioned = container_with_interner(8_000, 1024);
+        for workers in [1, 4] {
+            let engine = ReplayEngine::new().with_workers(workers);
+            let (_, fresh) = engine.load_trace(&plain).expect("loads without section");
+            let (_, warm) = engine.load_trace(&sectioned).expect("loads with section");
+            assert_eq!(warm.to_vec(), fresh.to_vec(), "{workers} workers");
+            assert_eq!(warm.interner(), fresh.interner(), "{workers} workers");
+            let warm_ids: Vec<_> = warm.iter_with_ids().map(|(_, id)| id).collect();
+            let fresh_ids: Vec<_> = fresh.iter_with_ids().map(|(_, id)| id).collect();
+            assert_eq!(warm_ids, fresh_ids, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn stale_interner_section_is_rejected() {
+        // A section that does not cover every PC in the payload is a
+        // corrupt or stale artifact and must fail loudly, not mis-id.
+        let trace = SharedTrace::from_records(records(50));
+        let mut pcs = trace.interner().pcs().to_vec();
+        pcs.pop();
+        let partial = dvp_trace::PcInterner::from_pcs(pcs).expect("still bijective");
+        let sections = [(v2::SECTION_INTERNER, v2::encode_interner(&partial))];
+        let mut bytes = Vec::new();
+        v2::write_with_sections(
+            &mut bytes,
+            &v2::TraceMeta::default(),
+            records(50).chunks(16),
+            &sections,
+        )
+        .expect("writes");
+        let err = ReplayEngine::new().load_trace(&bytes).unwrap_err();
+        assert!(err.to_string().contains("does not cover"), "{err}");
     }
 
     #[test]

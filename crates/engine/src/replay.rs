@@ -14,13 +14,19 @@ pub const DEFAULT_SHARDS: usize = 8;
 ///
 /// The engine turns every replay request into a grid of independent jobs —
 /// one per (trace, predictor configuration, PC shard) — and runs them on a
-/// fixed-size [`par_map`] worker pool. Sharding splits a trace by a PC
-/// hash ([`crate::shard_of`]); because every predictor in this workspace
-/// keeps strictly per-PC state, each shard's sub-replay sees exactly the
-/// per-PC value streams of a sequential full-trace replay, and the shard
-/// tallies (exact integer counts) merge back to **bit-identical** results
-/// at any worker or shard count. Workers never share predictor state, so
-/// there is nothing to contend on.
+/// fixed-size [`par_map`] worker pool. Sharding splits a trace into
+/// contiguous dense-id ranges ([`crate::shard_of_id`] over its interned
+/// PCs); because every predictor in this workspace keeps strictly per-PC
+/// state, each shard's sub-replay sees exactly the per-PC value streams of
+/// a sequential full-trace replay, and the shard tallies (exact integer
+/// counts) merge back to **bit-identical** results at any worker or shard
+/// count. Workers never share predictor state, so there is nothing to
+/// contend on.
+///
+/// Replay jobs drive predictors through the **dense id surface**
+/// ([`dvp_core::Predictor::observe_id`]): the shard's pre-interned ids
+/// hand each predictor its slot index directly, so the hot loop performs
+/// one indexed slot access per record per predictor — no hashing at all.
 ///
 /// # Examples
 ///
@@ -171,9 +177,10 @@ impl ReplayEngine {
         }
         let tallies = self.map(jobs, |(shard, config)| {
             let mut predictor = config.build();
+            predictor.reserve_ids(shard.interner().len());
             let mut tracker = AccuracyTracker::new();
-            for rec in shard.iter() {
-                tracker.record(rec.category, predictor.observe(rec.pc, rec.value));
+            for (rec, id) in shard.iter_with_ids() {
+                tracker.record(rec.category, predictor.observe_id(id, rec.pc, rec.value));
             }
             tracker
         });
@@ -211,8 +218,9 @@ impl ReplayEngine {
         let shards = trace.shard_by_pc(self.shards);
         let sets = self.map(shards, |shard| {
             let mut set = build();
-            for rec in shard.iter() {
-                set.observe(rec);
+            set.reserve_ids(shard.interner().len());
+            for (rec, id) in shard.iter_with_ids() {
+                set.observe_dense(id, rec);
             }
             set
         });
@@ -328,9 +336,12 @@ mod tests {
         for mask in 0..8u32 {
             assert_eq!(merged.subset_count(None, mask), sequential.subset_count(None, mask));
         }
-        let (m, s) = (merged.per_pc().unwrap(), sequential.per_pc().unwrap());
+        let m: std::collections::HashMap<_, _> =
+            merged.per_pc_tallies().unwrap().into_iter().collect();
+        let s: std::collections::HashMap<_, _> =
+            sequential.per_pc_tallies().unwrap().into_iter().collect();
         assert_eq!(m.len(), s.len());
-        for (pc, tally) in s {
+        for (pc, tally) in &s {
             assert_eq!(m[pc].correct, tally.correct, "{pc}");
         }
     }

@@ -1,7 +1,7 @@
 //! The shared trace buffer: a workload's value trace, materialized once and
 //! cloned cheaply into every replay job.
 
-use dvp_trace::TraceRecord;
+use dvp_trace::{PcId, PcInterner, TraceRecord};
 use std::sync::Arc;
 
 /// Records per chunk of a [`SharedTrace`] (64 Ki records ≈ 1.5 MiB): large
@@ -35,6 +35,11 @@ pub const DEFAULT_CHUNK_LEN: usize = 1 << 16;
 #[derive(Debug, Clone, Default)]
 pub struct SharedTrace {
     chunks: Arc<Vec<Vec<TraceRecord>>>,
+    /// Per-chunk dense ids, parallel to `chunks` (`ids[c][i]` is the
+    /// interned id of `chunks[c][i].pc`).
+    ids: Arc<Vec<Vec<PcId>>>,
+    /// The trace's PC symbol table, materialized once at construction.
+    interner: Arc<PcInterner>,
     len: usize,
 }
 
@@ -48,9 +53,8 @@ impl SharedTrace {
     /// Wraps an already-collected record vector (one chunk, no copying).
     #[must_use]
     pub fn from_records(records: Vec<TraceRecord>) -> Self {
-        let len = records.len();
         let chunks = if records.is_empty() { Vec::new() } else { vec![records] };
-        SharedTrace { chunks: Arc::new(chunks), len }
+        Self::from_chunks(chunks)
     }
 
     /// Assembles a trace directly from pre-built chunks, preserving their
@@ -58,12 +62,54 @@ impl SharedTrace {
     /// how a v2 container becomes a `SharedTrace` without an intermediate
     /// flat `Vec<TraceRecord>`: each decoded chunk moves straight into the
     /// shared buffer (see [`ReplayEngine::load_trace`](crate::ReplayEngine::load_trace)).
+    ///
+    /// The PC interner (and the per-record dense ids) are materialized in
+    /// one sequential pass here; when a container carries a persisted
+    /// interner section, the engine's loader skips that pass and assigns
+    /// ids chunk-parallel instead.
     #[must_use]
     pub fn from_chunks(chunks: Vec<Vec<TraceRecord>>) -> Self {
         let chunks: Vec<Vec<TraceRecord>> =
             chunks.into_iter().filter(|chunk| !chunk.is_empty()).collect();
+        let mut interner = PcInterner::new();
+        let ids: Vec<Vec<PcId>> = chunks
+            .iter()
+            .map(|chunk| chunk.iter().map(|rec| interner.intern(rec.pc)).collect())
+            .collect();
         let len = chunks.iter().map(Vec::len).sum();
-        SharedTrace { chunks: Arc::new(chunks), len }
+        SharedTrace {
+            chunks: Arc::new(chunks),
+            ids: Arc::new(ids),
+            interner: Arc::new(interner),
+            len,
+        }
+    }
+
+    /// Assembles a trace from chunks, pre-computed per-chunk ids, and the
+    /// interner that produced them (the parallel load path: each chunk's
+    /// ids are computed concurrently against a read-only persisted
+    /// interner).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `ids` is not parallel to `chunks`.
+    pub(crate) fn from_parts(
+        chunks: Vec<Vec<TraceRecord>>,
+        ids: Vec<Vec<PcId>>,
+        interner: PcInterner,
+    ) -> Self {
+        debug_assert_eq!(
+            chunks.iter().map(Vec::len).collect::<Vec<_>>(),
+            ids.iter().map(Vec::len).collect::<Vec<_>>(),
+            "ids must be parallel to chunks"
+        );
+        let len = chunks.iter().map(Vec::len).sum();
+        SharedTrace {
+            chunks: Arc::new(chunks),
+            ids: Arc::new(ids),
+            interner: Arc::new(interner),
+            len,
+        }
     }
 
     /// An incremental builder with the default chunk size.
@@ -87,6 +133,23 @@ impl SharedTrace {
     /// Iterates over all records in trace order.
     pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> + '_ {
         self.chunks.iter().flat_map(|chunk| chunk.iter())
+    }
+
+    /// Iterates `(record, dense id)` pairs in trace order — the replay
+    /// hot-loop surface: the id hands every predictor its slot index with
+    /// no per-record hashing anywhere.
+    pub fn iter_with_ids(&self) -> impl Iterator<Item = (&TraceRecord, PcId)> + '_ {
+        self.chunks
+            .iter()
+            .zip(self.ids.iter())
+            .flat_map(|(chunk, ids)| chunk.iter().zip(ids.iter().copied()))
+    }
+
+    /// The trace's PC symbol table: every distinct PC, in first-appearance
+    /// order, mapped to dense ids `0..len`.
+    #[must_use]
+    pub fn interner(&self) -> &PcInterner {
+        &self.interner
     }
 
     /// The underlying chunks, in trace order (every chunk is non-empty).
@@ -115,13 +178,16 @@ impl SharedTrace {
         builder.finish()
     }
 
-    /// Partitions the trace into `nshards` traces by [`shard_of`]`(pc)`,
-    /// preserving record order within each shard.
+    /// Partitions the trace into `nshards` traces by
+    /// [`shard_of_id`]`(id, …)` — contiguous dense-id ranges — preserving
+    /// record order within each shard.
     ///
     /// Every predictor in this workspace keeps strictly per-PC state, so a
     /// predictor replaying shard *i* sees exactly the sub-streams it would
     /// have seen in a sequential full-trace replay — which is why sharded
-    /// replay merges back to bit-identical tallies.
+    /// replay merges back to bit-identical tallies. Each shard trace
+    /// re-interns its own sub-stream, so shard replays get compact dense
+    /// ids of their own.
     ///
     /// # Panics
     ///
@@ -132,32 +198,38 @@ impl SharedTrace {
         if nshards == 1 {
             return vec![self.clone()];
         }
+        let n_ids = self.interner.len();
         let mut builders: Vec<SharedTraceBuilder> =
             (0..nshards).map(|_| SharedTrace::builder()).collect();
-        for rec in self.iter() {
-            builders[shard_of(rec.pc, nshards)].push(*rec);
+        for (rec, id) in self.iter_with_ids() {
+            builders[shard_of_id(id, n_ids, nshards)].push(*rec);
         }
         builders.into_iter().map(SharedTraceBuilder::finish).collect()
     }
 }
 
-/// The shard a static instruction belongs to: a fixed multiplicative hash
-/// of the PC, reduced modulo `nshards`.
+/// The shard a static instruction belongs to: dense ids are cut into
+/// `nshards` contiguous, near-equal ranges (`n_ids` is the trace
+/// interner's length).
 ///
-/// A raw `pc % nshards` would be badly unbalanced here: Sim32 PCs are
-/// always 4-aligned, so `pc % 8` can only ever hit residues 0 and 4 and
-/// six of eight shards would stay empty. The Fibonacci multiplier spreads
-/// any alignment or stride pattern into the product's *high* bits (the low
-/// bits keep the input's alignment, which is why the product is shifted
-/// down before the modulus), while remaining a pure deterministic function
-/// of the PC — which is all sharded replay needs for bit-identical merges.
+/// Earlier revisions hashed every record's PC (a Fibonacci multiply —
+/// needed because raw `pc % nshards` collapses on 4-aligned Sim32 PCs).
+/// Interning makes that per-record recompute unnecessary: ids are already
+/// dense and alignment-free, so a pure range split balances the static
+/// instructions exactly and costs one multiply-divide on numbers that are
+/// already in hand.
 ///
 /// # Panics
 ///
 /// Panics if `nshards` is zero.
 #[must_use]
-pub fn shard_of(pc: dvp_trace::Pc, nshards: usize) -> usize {
-    ((pc.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % nshards as u64) as usize
+pub fn shard_of_id(id: PcId, n_ids: usize, nshards: usize) -> usize {
+    assert!(nshards > 0, "nshards must be positive");
+    if n_ids == 0 {
+        return 0;
+    }
+    debug_assert!(id.index() < n_ids, "id {id} outside the interner's 0..{n_ids}");
+    ((id.index() as u64 * nshards as u64) / n_ids as u64) as usize
 }
 
 impl<'a> IntoIterator for &'a SharedTrace {
@@ -201,7 +273,10 @@ impl FromIterator<TraceRecord> for SharedTrace {
 #[derive(Debug)]
 pub struct SharedTraceBuilder {
     chunks: Vec<Vec<TraceRecord>>,
+    ids: Vec<Vec<PcId>>,
     current: Vec<TraceRecord>,
+    current_ids: Vec<PcId>,
+    interner: PcInterner,
     chunk_len: usize,
     len: usize,
 }
@@ -223,18 +298,29 @@ impl SharedTraceBuilder {
     #[must_use]
     pub fn with_chunk_len(chunk_len: usize) -> Self {
         assert!(chunk_len > 0, "chunk_len must be positive");
-        SharedTraceBuilder { chunks: Vec::new(), current: Vec::new(), chunk_len, len: 0 }
+        SharedTraceBuilder {
+            chunks: Vec::new(),
+            ids: Vec::new(),
+            current: Vec::new(),
+            current_ids: Vec::new(),
+            interner: PcInterner::new(),
+            chunk_len,
+            len: 0,
+        }
     }
 
-    /// Appends one record.
+    /// Appends one record (interning its PC as it lands).
     pub fn push(&mut self, rec: TraceRecord) {
         if self.current.capacity() == 0 {
             self.current.reserve_exact(self.chunk_len);
+            self.current_ids.reserve_exact(self.chunk_len);
         }
+        self.current_ids.push(self.interner.intern(rec.pc));
         self.current.push(rec);
         self.len += 1;
         if self.current.len() == self.chunk_len {
             self.chunks.push(std::mem::take(&mut self.current));
+            self.ids.push(std::mem::take(&mut self.current_ids));
         }
     }
 
@@ -255,8 +341,14 @@ impl SharedTraceBuilder {
     pub fn finish(mut self) -> SharedTrace {
         if !self.current.is_empty() {
             self.chunks.push(self.current);
+            self.ids.push(self.current_ids);
         }
-        SharedTrace { chunks: Arc::new(self.chunks), len: self.len }
+        SharedTrace {
+            chunks: Arc::new(self.chunks),
+            ids: Arc::new(self.ids),
+            interner: Arc::new(self.interner),
+            len: self.len,
+        }
     }
 }
 
@@ -307,9 +399,16 @@ mod tests {
             let shards = trace.shard_by_pc(nshards);
             assert_eq!(shards.len(), nshards);
             assert_eq!(shards.iter().map(SharedTrace::len).sum::<usize>(), trace.len());
+            let n_ids = trace.interner().len();
             for (i, shard) in shards.iter().enumerate() {
-                let expected: Vec<TraceRecord> =
-                    trace.iter().filter(|r| shard_of(r.pc, nshards) == i).copied().collect();
+                let expected: Vec<TraceRecord> = trace
+                    .iter()
+                    .filter(|r| {
+                        let id = trace.interner().get(r.pc).expect("interned");
+                        shard_of_id(id, n_ids, nshards) == i
+                    })
+                    .copied()
+                    .collect();
                 assert_eq!(shard.to_vec(), expected, "shard {i}/{nshards}");
             }
         }
@@ -318,15 +417,39 @@ mod tests {
     #[test]
     fn sharding_balances_aligned_pcs() {
         // Sim32 PCs are 4-aligned; a naive `pc % nshards` would leave six
-        // of eight shards empty. The hash must spread them.
+        // of eight shards empty. Dense-id ranges are alignment-free by
+        // construction.
         let trace: SharedTrace = (0..8000u64)
             .map(|i| TraceRecord::new(Pc(0x40_0000 + 4 * (i % 100)), InstrCategory::AddSub, i))
             .collect();
         let shards = trace.shard_by_pc(8);
-        let nonempty = shards.iter().filter(|s| !s.is_empty()).count();
-        assert!(nonempty >= 6, "aligned PCs should spread over most shards, got {nonempty}/8");
+        assert!(shards.iter().all(|s| !s.is_empty()), "every id range holds ~12 statics");
         let largest = shards.iter().map(SharedTrace::len).max().unwrap();
         assert!(largest < trace.len() / 2, "no shard should dominate: {largest}");
+    }
+
+    #[test]
+    fn shard_of_id_covers_exact_ranges() {
+        // 10 ids over 3 shards: ranges of 4, 3, and 3 (floor split).
+        let shards: Vec<usize> = (0..10).map(|i| shard_of_id(PcId(i), 10, 3)).collect();
+        assert_eq!(shards, [0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
+        // Degenerate cases.
+        assert_eq!(shard_of_id(PcId(0), 0, 5), 0);
+        assert_eq!(shard_of_id(PcId(7), 8, 1), 0);
+    }
+
+    #[test]
+    fn interner_and_ids_follow_first_appearance() {
+        let trace: SharedTrace = records(300).into_iter().collect();
+        // records() cycles 5 PCs; first appearance order is Pc(0), Pc(4)…
+        assert_eq!(trace.interner().len(), 5);
+        for (rec, id) in trace.iter_with_ids() {
+            assert_eq!(trace.interner().get(rec.pc), Some(id));
+            assert_eq!(trace.interner().pc(id), rec.pc);
+        }
+        // from_records and the builder agree on interning.
+        let flat = SharedTrace::from_records(records(300));
+        assert_eq!(flat.interner(), trace.interner());
     }
 
     #[test]
@@ -334,6 +457,8 @@ mod tests {
         let trace = SharedTrace::new();
         assert!(trace.is_empty());
         assert_eq!(trace.iter().count(), 0);
+        assert_eq!(trace.interner().len(), 0);
+        assert_eq!(trace.iter_with_ids().count(), 0);
         assert!(trace.shard_by_pc(4).iter().all(SharedTrace::is_empty));
         assert!(SharedTrace::builder().is_empty());
     }

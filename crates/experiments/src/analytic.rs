@@ -64,7 +64,7 @@ pub fn table1() -> Table1 {
                 .into_iter()
                 .map(|mut p| {
                     let learning = sequences::measure_learning(p.as_mut(), &values);
-                    (p.name(), learning)
+                    (p.name().to_owned(), learning)
                 })
                 .collect();
             Table1Row { class, measured }

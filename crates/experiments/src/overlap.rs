@@ -5,9 +5,8 @@ use crate::context::TraceStore;
 use crate::table_fmt::{pct, TextTable};
 use dvp_core::{improvement_at, improvement_curve, ImprovementPoint, PcTally, PredictorSet};
 use dvp_engine::{ReplayEngine, SharedTrace};
-use dvp_trace::{InstrCategory, Pc, TraceRecord};
+use dvp_trace::{InstrCategory, TraceRecord};
 use dvp_workloads::{Benchmark, BuildError};
-use std::collections::HashMap;
 
 /// The subset masks in the paper's legend order (bit 0 = last value,
 /// bit 1 = stride, bit 2 = fcm).
@@ -37,8 +36,12 @@ pub const SHOWN_CATEGORIES: [InstrCategory; 5] = [
 pub struct OverlapResults {
     /// Per-benchmark predictor sets (kept for per-benchmark queries).
     pub per_benchmark: Vec<(Benchmark, PredictorSet)>,
-    /// Per-PC tallies pooled across benchmarks (PCs namespaced).
-    pub pooled_tallies: HashMap<Pc, PcTally>,
+    /// Per-static-instruction tallies pooled across benchmarks. Tallies
+    /// are keyed densely by [`PcId`](dvp_trace::PcId) inside each set;
+    /// pooling concatenates them (static instructions of different
+    /// benchmarks can never be the same instruction, so no namespacing is
+    /// needed), and PCs are only translated back when a report asks.
+    pub pooled_tallies: Vec<PcTally>,
 }
 
 /// Runs the l + s2 + fcm3 lockstep over every benchmark, through the
@@ -63,8 +66,9 @@ pub fn run(store: &mut TraceStore, engine: &ReplayEngine) -> Result<OverlapResul
     let jobs: Vec<SharedTrace> = sharded.into_iter().flatten().collect();
     let shard_sets = engine.map(jobs, |shard| {
         let mut set = PredictorSet::paper_trio();
-        for rec in shard.iter() {
-            set.observe(rec);
+        set.reserve_ids(shard.interner().len());
+        for (rec, id) in shard.iter_with_ids() {
+            set.observe_dense(id, rec);
         }
         set
     });
@@ -80,15 +84,13 @@ pub fn run(store: &mut TraceStore, engine: &ReplayEngine) -> Result<OverlapResul
         per_benchmark.push((benchmark, merged));
     }
 
-    // Pool per-PC tallies under a namespaced PC so static instructions
-    // from different benchmarks never collide.
-    let mut pooled_tallies = HashMap::new();
-    for (index, (_, set)) in per_benchmark.iter().enumerate() {
-        if let Some(tallies) = set.per_pc() {
-            for (pc, tally) in tallies {
-                let namespaced = Pc(pc.0 | ((index as u64 + 1) << 32));
-                pooled_tallies.insert(namespaced, tally.clone());
-            }
+    // Pool the per-static-instruction tallies by concatenation: the dense
+    // keying frees Figure 9 from PCs entirely (and from the PC-namespacing
+    // the old pooled map needed).
+    let mut pooled_tallies = Vec::new();
+    for (_, set) in &per_benchmark {
+        if let Some(tallies) = set.per_pc_tallies() {
+            pooled_tallies.extend(tallies.into_iter().map(|(_, tally)| tally));
         }
     }
     Ok(OverlapResults { per_benchmark, pooled_tallies })

@@ -1,0 +1,229 @@
+//! PC interning: dense ids for static instructions.
+//!
+//! The paper's idealized predictors keep "one table entry per static
+//! instruction" (Section 2). Interning assigns every distinct [`Pc`] in a
+//! trace a dense [`PcId`] — `0, 1, 2, …` in order of first appearance — so
+//! that a predictor's per-instruction state can live in a flat `Vec` indexed
+//! by `PcId` instead of a hash map keyed by `Pc`. The replay hot loop then
+//! pays one indexed slot access per record where it used to pay two hash
+//! probes (`predict` then `update`), and a trace sharder can split the id
+//! space into contiguous ranges instead of hashing every record's PC again.
+//!
+//! A [`PcInterner`] is materialized once per shared trace and carried
+//! alongside it; the v2 trace container can persist it as an optional
+//! section so warm cache loads skip the sequential interning pass (see
+//! `docs/TRACE_FORMAT.md`).
+
+use crate::Pc;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense identifier for one static instruction within one trace.
+///
+/// Ids are assigned by a [`PcInterner`] in order of first appearance and are
+/// only meaningful relative to the interner (or trace) that produced them:
+/// id 3 of one trace and id 3 of another generally name different PCs.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_trace::{Pc, PcId, PcInterner};
+///
+/// let mut interner = PcInterner::new();
+/// assert_eq!(interner.intern(Pc(0x400100)), PcId(0));
+/// assert_eq!(interner.intern(Pc(0x400104)), PcId(1));
+/// assert_eq!(interner.intern(Pc(0x400100)), PcId(0)); // stable
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PcId(pub u32);
+
+impl PcId {
+    /// The id as a `usize` index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A bijective symbol table between [`Pc`]s and dense [`PcId`]s.
+///
+/// Interning is deterministic: feeding the same PC sequence always produces
+/// the same id assignment (first appearance order). Both directions are
+/// O(1): [`PcInterner::get`] hashes a PC once, [`PcInterner::pc`] indexes a
+/// vector.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_trace::{Pc, PcInterner};
+///
+/// let mut interner = PcInterner::new();
+/// for pc in [Pc(8), Pc(4), Pc(8), Pc(12)] {
+///     interner.intern(pc);
+/// }
+/// assert_eq!(interner.len(), 3);
+/// assert_eq!(interner.pc(interner.get(Pc(4)).unwrap()), Pc(4));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PcInterner {
+    ids: HashMap<Pc, PcId>,
+    pcs: Vec<Pc>,
+}
+
+impl PcInterner {
+    /// An empty interner.
+    #[must_use]
+    pub fn new() -> Self {
+        PcInterner::default()
+    }
+
+    /// Rebuilds an interner from its id-ordered PC table (`pcs[i]` is the
+    /// PC of id `i`) — the inverse of [`PcInterner::pcs`], used when a
+    /// persisted table is loaded from a trace container.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first duplicated [`Pc`] if the table is not injective (a
+    /// corrupt or hand-edited section; a valid interner never repeats a
+    /// PC).
+    pub fn from_pcs(pcs: Vec<Pc>) -> Result<Self, Pc> {
+        let mut ids = HashMap::with_capacity(pcs.len());
+        for (index, &pc) in pcs.iter().enumerate() {
+            if ids.insert(pc, PcId(index as u32)).is_some() {
+                return Err(pc);
+            }
+        }
+        Ok(PcInterner { ids, pcs })
+    }
+
+    /// The id of `pc`, assigning the next dense id on first sight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` distinct PCs are interned (a trace
+    /// with four billion static instructions does not fit the dense-state
+    /// model this type exists for).
+    pub fn intern(&mut self, pc: Pc) -> PcId {
+        if let Some(&id) = self.ids.get(&pc) {
+            return id;
+        }
+        let id = PcId(u32::try_from(self.pcs.len()).expect("more than u32::MAX static PCs"));
+        self.ids.insert(pc, id);
+        self.pcs.push(pc);
+        id
+    }
+
+    /// The id of `pc`, if it has been interned.
+    #[must_use]
+    pub fn get(&self, pc: Pc) -> Option<PcId> {
+        self.ids.get(&pc).copied()
+    }
+
+    /// The PC of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    #[must_use]
+    pub fn pc(&self, id: PcId) -> Pc {
+        self.pcs[id.index()]
+    }
+
+    /// Number of distinct PCs interned (= the smallest id not yet
+    /// assigned).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pcs.len()
+    }
+
+    /// Whether no PC has been interned yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pcs.is_empty()
+    }
+
+    /// The id-ordered PC table: element `i` is the PC of id `i`. This is
+    /// the exact byte content of the container's persisted interner
+    /// section.
+    #[must_use]
+    pub fn pcs(&self) -> &[Pc] {
+        &self.pcs
+    }
+
+    /// Iterates `(id, pc)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (PcId, Pc)> + '_ {
+        self.pcs.iter().enumerate().map(|(index, &pc)| (PcId(index as u32), pc))
+    }
+}
+
+impl PartialEq for PcInterner {
+    fn eq(&self, other: &Self) -> bool {
+        // The id-ordered table determines the map; comparing it alone keeps
+        // equality O(n) and independent of hash-map iteration order.
+        self.pcs == other.pcs
+    }
+}
+
+impl Eq for PcInterner {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_first_appearance_ordered() {
+        let mut interner = PcInterner::new();
+        let stream = [Pc(0x20), Pc(0x10), Pc(0x20), Pc(0x30), Pc(0x10)];
+        let ids: Vec<PcId> = stream.iter().map(|&pc| interner.intern(pc)).collect();
+        assert_eq!(ids, [PcId(0), PcId(1), PcId(0), PcId(2), PcId(1)]);
+        assert_eq!(interner.len(), 3);
+        assert_eq!(interner.pcs(), [Pc(0x20), Pc(0x10), Pc(0x30)]);
+    }
+
+    #[test]
+    fn round_trips_both_directions() {
+        let mut interner = PcInterner::new();
+        for i in 0..100u64 {
+            interner.intern(Pc(4 * (i % 37)));
+        }
+        for (id, pc) in interner.iter() {
+            assert_eq!(interner.get(pc), Some(id));
+            assert_eq!(interner.pc(id), pc);
+        }
+        assert_eq!(interner.len(), 37);
+    }
+
+    #[test]
+    fn from_pcs_rebuilds_and_rejects_duplicates() {
+        let mut original = PcInterner::new();
+        for pc in [Pc(8), Pc(16), Pc(4)] {
+            original.intern(pc);
+        }
+        let rebuilt = PcInterner::from_pcs(original.pcs().to_vec()).expect("injective");
+        assert_eq!(rebuilt, original);
+        assert_eq!(rebuilt.get(Pc(16)), Some(PcId(1)));
+
+        let dup = PcInterner::from_pcs(vec![Pc(8), Pc(4), Pc(8)]);
+        assert_eq!(dup.unwrap_err(), Pc(8));
+    }
+
+    #[test]
+    fn empty_interner_is_well_behaved() {
+        let interner = PcInterner::new();
+        assert!(interner.is_empty());
+        assert_eq!(interner.get(Pc(0)), None);
+        assert_eq!(interner.iter().count(), 0);
+        assert_eq!(PcInterner::from_pcs(Vec::new()).unwrap(), interner);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(PcId(7).to_string(), "#7");
+    }
+}

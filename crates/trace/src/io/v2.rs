@@ -40,12 +40,21 @@
 //! ```
 
 use super::{format_err, TraceIoError};
-use crate::{InstrCategory, Pc, TraceRecord};
+use crate::{InstrCategory, Pc, PcInterner, TraceRecord};
 use std::io::{Read, Write};
 
 /// Magic bytes of the v2 container (`"DVPT"` + version 2). The first four
 /// bytes match the v1 stream; the fifth distinguishes versions.
 pub const MAGIC: [u8; 5] = [b'D', b'V', b'P', b'T', 2];
+
+/// Version byte of a container that carries optional trailing sections
+/// after its payload. The header and payload layout is identical to
+/// version 2; only the bytes *after* the last chunk differ (see
+/// `docs/TRACE_FORMAT.md`, "Optional sections").
+pub const VERSION_SECTIONS: u8 = 3;
+
+/// Section magic of the persisted PC-interner table (`"PCIN"`).
+pub const SECTION_INTERNER: [u8; 4] = *b"PCIN";
 
 /// Default records per chunk (matches the engine's shared-buffer chunking,
 /// so a `SharedTrace` round-trips chunk-for-chunk).
@@ -184,6 +193,97 @@ impl Header {
     pub fn payload_len(&self) -> u64 {
         self.chunks.last().map_or(0, |c| c.offset + u64::from(c.len))
     }
+}
+
+/// One optional trailing section of a version-3 container.
+///
+/// Sections live after the last chunk payload, each framed as
+/// `magic[4] + len:u64 + checksum:u64 + body[len]`. A reader walks the
+/// frames and **skips** any section whose magic it does not understand —
+/// which is how new section kinds can be added without a version bump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Section<'a> {
+    /// Four-byte section kind, e.g. [`SECTION_INTERNER`].
+    pub magic: [u8; 4],
+    /// The section body (already checksum-validated).
+    pub body: &'a [u8],
+}
+
+/// Walks the optional-section region of a version-3 container, validating
+/// every frame (length and checksum) including sections of unknown kind.
+fn split_sections(mut rest: &[u8]) -> Result<Vec<Section<'_>>, TraceIoError> {
+    const FRAME: usize = 4 + 8 + 8;
+    let mut sections = Vec::new();
+    while !rest.is_empty() {
+        if rest.len() < FRAME {
+            return Err(format_err(format!(
+                "container ends inside an optional-section frame ({} bytes left)",
+                rest.len()
+            )));
+        }
+        let magic: [u8; 4] = rest[..4].try_into().expect("four bytes");
+        let len = u64::from_le_bytes(rest[4..12].try_into().expect("eight bytes"));
+        let checksum = u64::from_le_bytes(rest[12..20].try_into().expect("eight bytes"));
+        let len = usize::try_from(len)
+            .map_err(|_| format_err("optional section exceeds addressable memory"))?;
+        let Some(body) = rest[FRAME..].get(..len) else {
+            return Err(format_err(format!(
+                "optional section {:?} truncated: {} body bytes present, frame declares {len}",
+                String::from_utf8_lossy(&magic),
+                rest.len() - FRAME
+            )));
+        };
+        if fnv1a(body) != checksum {
+            return Err(format_err(format!(
+                "optional section {:?} checksum mismatch (corrupt section)",
+                String::from_utf8_lossy(&magic)
+            )));
+        }
+        sections.push(Section { magic, body });
+        rest = &rest[FRAME + len..];
+    }
+    Ok(sections)
+}
+
+/// Encodes a PC interner as a [`SECTION_INTERNER`] body: `count:u32`
+/// followed by `count` little-endian `u64` PCs in id order.
+#[must_use]
+pub fn encode_interner(interner: &PcInterner) -> Vec<u8> {
+    let pcs = interner.pcs();
+    let mut body = Vec::with_capacity(4 + pcs.len() * 8);
+    body.extend_from_slice(&u32::try_from(pcs.len()).expect("interner fits u32").to_le_bytes());
+    for pc in pcs {
+        body.extend_from_slice(&pc.0.to_le_bytes());
+    }
+    body
+}
+
+/// Decodes a [`SECTION_INTERNER`] body back into a [`PcInterner`].
+///
+/// # Errors
+///
+/// Returns a [`TraceIoError::Format`] when the body length disagrees with
+/// the declared count or the table repeats a PC (an interner is a
+/// bijection; a duplicate means the section is corrupt or hand-made).
+pub fn decode_interner(body: &[u8]) -> Result<PcInterner, TraceIoError> {
+    let Some(count_bytes) = body.get(..4) else {
+        return Err(format_err("interner section ends inside its count field"));
+    };
+    let count = u32::from_le_bytes(count_bytes.try_into().expect("four bytes")) as usize;
+    let pcs_bytes = &body[4..];
+    if pcs_bytes.len() != count * 8 {
+        return Err(format_err(format!(
+            "interner section declares {count} PCs but carries {} bytes (need {})",
+            pcs_bytes.len(),
+            count * 8
+        )));
+    }
+    let pcs: Vec<Pc> = pcs_bytes
+        .chunks_exact(8)
+        .map(|chunk| Pc(u64::from_le_bytes(chunk.try_into().expect("eight bytes"))))
+        .collect();
+    PcInterner::from_pcs(pcs)
+        .map_err(|pc| format_err(format!("interner section repeats {pc} (not a bijection)")))
 }
 
 // ---------------------------------------------------------------------------
@@ -407,6 +507,17 @@ impl<R: Read> TailReader<'_, R> {
 /// Returns a [`TraceIoError::Format`] describing the first violation (a v1
 /// stream is reported as such), or [`TraceIoError::Io`] on read failure.
 pub fn read_header<R: Read>(reader: &mut R) -> Result<Header, TraceIoError> {
+    read_versioned_header(reader).map(|(_, header)| header)
+}
+
+/// As [`read_header`], additionally returning the container's version byte
+/// (2, or [`VERSION_SECTIONS`] when optional sections may follow the
+/// payload).
+///
+/// # Errors
+///
+/// Exactly as [`read_header`].
+pub fn read_versioned_header<R: Read>(reader: &mut R) -> Result<(u8, Header), TraceIoError> {
     let mut magic = [0u8; 5];
     reader.read_exact(&mut magic).map_err(|_| format_err("missing v2 header"))?;
     if magic[..4] != MAGIC[..4] {
@@ -415,9 +526,10 @@ pub fn read_header<R: Read>(reader: &mut R) -> Result<Header, TraceIoError> {
     if magic[4] == 1 {
         return Err(format_err("version 1 stream (use read_binary, not the v2 reader)"));
     }
-    if magic[4] != MAGIC[4] {
+    if magic[4] != MAGIC[4] && magic[4] != VERSION_SECTIONS {
         return Err(format_err(format!("unsupported container version {}", magic[4])));
     }
+    let version = magic[4];
     let mut checksum_buf = [0u8; 8];
     reader
         .read_exact(&mut checksum_buf)
@@ -488,12 +600,15 @@ pub fn read_header<R: Read>(reader: &mut R) -> Result<Header, TraceIoError> {
             "chunk record counts sum to {total_records}, header says {record_count}"
         )));
     }
-    Ok(Header {
-        meta: TraceMeta { fingerprint, retired, predicted },
-        record_count,
-        chunk_capacity,
-        chunks,
-    })
+    Ok((
+        version,
+        Header {
+            meta: TraceMeta { fingerprint, retired, predicted },
+            record_count,
+            chunk_capacity,
+            chunks,
+        },
+    ))
 }
 
 /// Parses a whole in-memory container into its header and exactly-sized
@@ -506,19 +621,38 @@ pub fn read_header<R: Read>(reader: &mut R) -> Result<Header, TraceIoError> {
 /// Returns a [`TraceIoError::Format`] on a malformed header, a truncated
 /// payload section, or trailing bytes after the last chunk.
 pub fn split_bytes(bytes: &[u8]) -> Result<(Header, &[u8]), TraceIoError> {
+    // A version-2 reader of a version-3 container: optional sections are
+    // validated (framing + checksums) and then skipped cleanly.
+    split_with_sections(bytes).map(|(header, payload, _)| (header, payload))
+}
+
+/// As [`split_bytes`], additionally returning the container's optional
+/// trailing sections (always empty for a version-2 container). Consumers
+/// pick the sections they understand by magic — e.g. [`SECTION_INTERNER`]
+/// via [`decode_interner`] — and ignore the rest.
+///
+/// # Errors
+///
+/// As [`split_bytes`], plus a [`TraceIoError::Format`] for a torn or
+/// corrupt section frame (including sections of unknown kind).
+pub fn split_with_sections(
+    bytes: &[u8],
+) -> Result<(Header, &[u8], Vec<Section<'_>>), TraceIoError> {
     let mut cursor = bytes;
-    let header = read_header(&mut cursor)?;
+    let (version, header) = read_versioned_header(&mut cursor)?;
     let payload_len = usize::try_from(header.payload_len())
         .map_err(|_| format_err("payload section exceeds addressable memory"))?;
-    match cursor.len() {
-        got if got < payload_len => Err(format_err(format!(
-            "payload section truncated: {got} bytes present, index needs {payload_len}"
-        ))),
-        got if got > payload_len => {
-            Err(format_err(format!("{} trailing bytes after the last chunk", got - payload_len)))
-        }
-        _ => Ok((header, cursor)),
+    if cursor.len() < payload_len {
+        return Err(format_err(format!(
+            "payload section truncated: {} bytes present, index needs {payload_len}",
+            cursor.len()
+        )));
     }
+    let (payload, rest) = cursor.split_at(payload_len);
+    if version != VERSION_SECTIONS && !rest.is_empty() {
+        return Err(format_err(format!("{} trailing bytes after the last chunk", rest.len())));
+    }
+    Ok((header, payload, split_sections(rest)?))
 }
 
 /// The payload slice of one chunk within a [`split_bytes`] payload section.
@@ -545,6 +679,27 @@ where
     W: Write,
     I: IntoIterator<Item = &'a [TraceRecord]>,
 {
+    write_with_sections(writer, meta, chunks, &[])
+}
+
+/// As [`write()`], additionally appending optional trailing sections (as
+/// `(magic, body)` pairs, framed and checksummed per the spec). With any
+/// section present the container is stamped [`VERSION_SECTIONS`]; with
+/// none it is a byte-identical version-2 container.
+///
+/// # Errors
+///
+/// As [`write()`].
+pub fn write_with_sections<'a, W, I>(
+    writer: &mut W,
+    meta: &TraceMeta,
+    chunks: I,
+    sections: &[([u8; 4], Vec<u8>)],
+) -> Result<Header, TraceIoError>
+where
+    W: Write,
+    I: IntoIterator<Item = &'a [TraceRecord]>,
+{
     let mut payloads: Vec<Vec<u8>> = Vec::new();
     let mut index: Vec<ChunkInfo> = Vec::new();
     let mut offset = 0u64;
@@ -567,11 +722,21 @@ where
     }
     let header = Header { meta: meta.clone(), record_count, chunk_capacity, chunks: index };
     let tail = encode_header_tail(&header)?;
-    writer.write_all(&MAGIC)?;
+    let mut magic = MAGIC;
+    if !sections.is_empty() {
+        magic[4] = VERSION_SECTIONS;
+    }
+    writer.write_all(&magic)?;
     writer.write_all(&fnv1a(&tail).to_le_bytes())?;
     writer.write_all(&tail)?;
     for payload in &payloads {
         writer.write_all(payload)?;
+    }
+    for (magic, body) in sections {
+        writer.write_all(magic)?;
+        writer.write_all(&(body.len() as u64).to_le_bytes())?;
+        writer.write_all(&fnv1a(body).to_le_bytes())?;
+        writer.write_all(body)?;
     }
     Ok(header)
 }
@@ -603,7 +768,7 @@ pub fn write_records<W: Write>(
 ///
 /// Returns a [`TraceIoError`] on I/O failure or any format violation.
 pub fn read<R: Read>(reader: &mut R) -> Result<(Header, Vec<TraceRecord>), TraceIoError> {
-    let header = read_header(reader)?;
+    let (version, header) = read_versioned_header(reader)?;
     // Grown as payloads actually arrive — `record_count` is validated
     // against the index but the payloads may still be absent, and a
     // hostile header must not size an allocation.
@@ -614,6 +779,13 @@ pub fn read<R: Read>(reader: &mut R) -> Result<(Header, Vec<TraceRecord>), Trace
             format_err(format!("payload truncated inside chunk {i} (of {})", header.chunks.len()))
         })?;
         records.extend(decode_chunk(&payload, info)?);
+    }
+    if version == VERSION_SECTIONS {
+        // Validate (and skip) the optional-section region.
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest)?;
+        split_sections(&rest)?;
+        return Ok((header, records));
     }
     let mut probe = [0u8; 1];
     match reader.read(&mut probe)? {
@@ -902,6 +1074,107 @@ mod tests {
             .copy_from_slice(&u32::MAX.to_le_bytes());
         let err = read(&mut truncated_index.as_slice()).unwrap_err();
         assert!(err.to_string().contains("chunk index entry"), "{err}");
+    }
+
+    fn interner_of(records: &[TraceRecord]) -> PcInterner {
+        let mut interner = PcInterner::new();
+        for rec in records {
+            interner.intern(rec.pc);
+        }
+        interner
+    }
+
+    fn v3_container(n: u64, capacity: usize) -> (Vec<u8>, PcInterner) {
+        let records = sample(n);
+        let interner = interner_of(&records);
+        let sections = [(SECTION_INTERNER, encode_interner(&interner))];
+        let mut buf = Vec::new();
+        write_with_sections(&mut buf, &meta(), records.chunks(capacity), &sections)
+            .expect("writes");
+        (buf, interner)
+    }
+
+    #[test]
+    fn interner_section_round_trips() {
+        let (buf, interner) = v3_container(500, 128);
+        assert_eq!(buf[4], VERSION_SECTIONS);
+        let (header, _, sections) = split_with_sections(&buf).expect("splits");
+        assert_eq!(header.record_count, 500);
+        assert_eq!(sections.len(), 1);
+        assert_eq!(sections[0].magic, SECTION_INTERNER);
+        let decoded = decode_interner(sections[0].body).expect("decodes");
+        assert_eq!(decoded, interner);
+        // The sequential reader also accepts (and skips) the section.
+        let (_, records) = read(&mut buf.as_slice()).expect("reads");
+        assert_eq!(records, sample(500));
+    }
+
+    #[test]
+    fn empty_section_list_stays_a_byte_identical_v2_container() {
+        let records = sample(200);
+        let mut plain = Vec::new();
+        write_records(&mut plain, &meta(), &records, 64).expect("writes");
+        let mut with_empty = Vec::new();
+        write_with_sections(&mut with_empty, &meta(), records.chunks(64), &[]).expect("writes");
+        assert_eq!(plain, with_empty);
+        assert_eq!(plain[4], MAGIC[4]);
+    }
+
+    #[test]
+    fn unknown_sections_are_validated_and_skipped() {
+        let records = sample(100);
+        let sections = [
+            ([b'X', b'Y', b'Z', b'W'], vec![1, 2, 3]),
+            (SECTION_INTERNER, encode_interner(&interner_of(&records))),
+        ];
+        let mut buf = Vec::new();
+        write_with_sections(&mut buf, &meta(), records.chunks(40), &sections).expect("writes");
+        let (_, _, got) = split_with_sections(&buf).expect("splits");
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].magic, *b"XYZW");
+        assert_eq!(got[0].body, [1, 2, 3]);
+        // split_bytes (the section-oblivious surface) skips them cleanly.
+        let (header, payload) = split_bytes(&buf).expect("splits");
+        assert_eq!(payload.len() as u64, header.payload_len());
+        // And read() still returns the records.
+        let (_, back) = read(&mut buf.as_slice()).expect("reads");
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn corrupt_or_torn_sections_are_rejected() {
+        let (buf, _) = v3_container(300, 100);
+        // Flip one byte inside the section body.
+        let mut corrupt = buf.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x40;
+        let err = split_with_sections(&corrupt).unwrap_err();
+        assert!(err.to_string().contains("section"), "{err}");
+        assert!(read(&mut corrupt.as_slice()).is_err());
+        // Truncate inside the section frame and inside its body.
+        for cut in [buf.len() - 1, buf.len() - 10] {
+            let err = split_with_sections(&buf[..cut]).unwrap_err();
+            assert!(
+                err.to_string().contains("section") || err.to_string().contains("truncated"),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_interner_rejects_malformed_bodies() {
+        // Truncated count.
+        assert!(decode_interner(&[1, 0]).is_err());
+        // Count/body length mismatch.
+        let mut body = 2u32.to_le_bytes().to_vec();
+        body.extend_from_slice(&8u64.to_le_bytes());
+        assert!(decode_interner(&body).is_err());
+        // Duplicate PC.
+        let mut dup = 2u32.to_le_bytes().to_vec();
+        dup.extend_from_slice(&8u64.to_le_bytes());
+        dup.extend_from_slice(&8u64.to_le_bytes());
+        let err = decode_interner(&dup).unwrap_err();
+        assert!(err.to_string().contains("bijection"), "{err}");
     }
 
     #[test]

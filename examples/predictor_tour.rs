@@ -66,7 +66,7 @@ fn main() {
     println!("{}", "-".repeat(width + 8 * sequences.len() + 6));
 
     for make in 0..zoo().len() {
-        let name = zoo().remove(make).name();
+        let name = zoo().remove(make).name().to_owned();
         print!("{name:<width$}");
         for (_, values) in &sequences {
             let mut predictor = zoo().remove(make);

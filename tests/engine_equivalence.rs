@@ -69,9 +69,12 @@ fn correlated_replay_equals_sequential_trio_on_real_trace() {
                 );
             }
         }
-        let (m, s) = (merged.per_pc().unwrap(), sequential.per_pc().unwrap());
+        let m: std::collections::HashMap<_, _> =
+            merged.per_pc_tallies().unwrap().into_iter().collect();
+        let s: std::collections::HashMap<_, _> =
+            sequential.per_pc_tallies().unwrap().into_iter().collect();
         assert_eq!(m.len(), s.len());
-        for (pc, tally) in s {
+        for (pc, tally) in &s {
             assert_eq!(m[pc].total, tally.total, "{pc}");
             assert_eq!(m[pc].correct, tally.correct, "{pc}");
             assert_eq!(m[pc].category, tally.category, "{pc}");

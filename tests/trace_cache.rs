@@ -110,6 +110,37 @@ fn cache_hit_output_equals_cache_miss_output() {
 }
 
 #[test]
+fn persisted_interner_section_equals_fresh_interning_on_real_workloads() {
+    // The container's optional interner section exists so warm loads can
+    // skip the sequential interning pass; it must reproduce the exact
+    // symbol table (and per-record dense ids) that fresh interning of the
+    // simulated trace builds.
+    let dir = TempDir::new("interner-section");
+    let engine = ReplayEngine::new().with_workers(2);
+    let benchmarks = [Benchmark::Ijpeg, Benchmark::M88k];
+
+    let mut cold = store(&dir);
+    cold.prefetch(&engine, &benchmarks).expect("cold prefetch");
+    let mut warm = store(&dir);
+    warm.prefetch(&engine, &benchmarks).expect("warm prefetch");
+    assert_eq!(warm.cache_stats().simulated, 0);
+    assert_eq!(warm.cache_stats().disk_hits, benchmarks.len() as u64);
+
+    for benchmark in benchmarks {
+        let fresh = cold.trace(benchmark).expect("cold trace");
+        let loaded = warm.trace(benchmark).expect("warm trace");
+        assert_eq!(loaded.interner(), fresh.interner(), "{benchmark}: symbol tables differ");
+        assert!(!fresh.interner().is_empty(), "{benchmark}: non-trivial trace expected");
+        for ((fresh_rec, fresh_id), (loaded_rec, loaded_id)) in
+            fresh.iter_with_ids().zip(loaded.iter_with_ids())
+        {
+            assert_eq!(fresh_rec, loaded_rec, "{benchmark}");
+            assert_eq!(fresh_id, loaded_id, "{benchmark}: dense ids diverged");
+        }
+    }
+}
+
+#[test]
 fn corrupt_and_stale_containers_fall_back_to_simulation() {
     let dir = TempDir::new("fallback");
     let engine = ReplayEngine::new();
