@@ -12,6 +12,8 @@
 //! repro trace export --trace-dir d/  # simulate + persist all benchmark traces
 //! repro trace stats  --trace-dir d/  # list cached containers (header-level)
 //! repro trace verify --trace-dir d/  # full checksum + decode validation
+//! repro sweep                        # synthetic scenario × predictor matrix
+//! repro sweep --quick --format csv   # smaller grid, machine-readable output
 //! repro --list                       # list experiment ids
 //! ```
 //!
@@ -25,11 +27,12 @@
 //! trace came from the simulator or the cache. Cache activity is reported
 //! on stderr (`[repro] trace cache: ...`), never on stdout.
 
+use dvp_core::PredictorConfig;
 use dvp_engine::ReplayEngine;
 use dvp_experiments::cache::TraceCache;
 use dvp_experiments::{
-    accuracy, analytic, characterize, information, overlap, realism, sensitivity, speedup, values,
-    TextTable, TraceStore,
+    accuracy, analytic, characterize, information, overlap, realism, sensitivity, speedup, sweep,
+    values, TextTable, TraceStore,
 };
 use dvp_trace::InstrCategory;
 use dvp_workloads::Benchmark;
@@ -246,6 +249,73 @@ fn verify_cache(cache: &TraceCache, engine: &ReplayEngine) -> ExitCode {
     }
 }
 
+/// The `repro sweep` tool: fan the synthetic scenario × predictor matrix
+/// through the engine and render it as a table, CSV, or JSON. Exits
+/// nonzero when any scenario misses its analytic expectation (a predictor
+/// regression), so CI catches semantic failures even without a golden.
+fn run_sweep_tool(
+    commands: &[String],
+    trace_dir: Option<PathBuf>,
+    quick: bool,
+    engine: &ReplayEngine,
+) -> ExitCode {
+    let usage = "usage: repro sweep [--quick] [--format table|csv|json] [--workers N] \
+                 [--shards N] [--trace-dir DIR]";
+    let mut format = "table".to_owned();
+    let mut skip = false;
+    for (i, arg) in commands.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        match arg.as_str() {
+            "--format" => {
+                let Some(value) = commands.get(i + 1) else {
+                    eprintln!("--format expects one of: table, csv, json\n{usage}");
+                    return ExitCode::FAILURE;
+                };
+                if !["table", "csv", "json"].contains(&value.as_str()) {
+                    eprintln!("unknown sweep format `{value}` (expected table, csv, or json)");
+                    return ExitCode::FAILURE;
+                }
+                format = value.clone();
+                skip = true;
+            }
+            other => {
+                eprintln!("unknown sweep argument `{other}`\n{usage}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut store = TraceStore::new();
+    if let Some(dir) = &trace_dir {
+        store = store.with_trace_dir(dir);
+    }
+    let grid = sweep::default_grid(quick);
+    let bank = PredictorConfig::paper_bank();
+    eprintln!(
+        "[repro] sweeping {} scenarios x {} configurations ({} workers)...",
+        grid.len(),
+        bank.len(),
+        engine.workers()
+    );
+    let results = sweep::run(&mut store, engine, &grid, &bank);
+    match format.as_str() {
+        "csv" => print!("{}", results.render_csv()),
+        "json" => println!("{}", results.render_json()),
+        _ => println!("{}", results.render()),
+    }
+    if store.cache().is_some() {
+        eprintln!("[repro] trace cache: {}", store.cache_stats());
+    }
+    if results.all_met() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("[repro] sweep: at least one scenario missed its analytic expectation");
+        ExitCode::FAILURE
+    }
+}
+
 /// The `repro trace <export|stats|verify>` tool.
 fn run_trace_tool(
     commands: &[String],
@@ -348,16 +418,21 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("trace") {
         return run_trace_tool(&args[1..], trace_dir, scale_div, &engine);
     }
+    if args.first().map(String::as_str) == Some("sweep") {
+        return run_sweep_tool(&args[1..], trace_dir, scale_div > 1, &engine);
+    }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: repro [--quick] [--workers N] [--shards N] [--trace-dir DIR] \
              [--no-trace-cache]\n             all | <experiment>...\n       \
+             repro sweep [--format table|csv|json]\n       \
              repro trace <export|stats|verify> --trace-dir DIR\n       \
              repro --list\n\n\
              Regenerates the tables and figures of Sazeides & Smith (MICRO-30 1997)\n\
              through the parallel replay engine (default: all cores; output is\n\
              byte-identical at any worker count). With --trace-dir, workload traces\n\
-             persist across runs and warm runs perform zero simulation."
+             persist across runs and warm runs perform zero simulation. `repro\n\
+             sweep` replays the synthetic scenario x predictor matrix instead."
         );
         return ExitCode::FAILURE;
     }
@@ -392,7 +467,9 @@ fn main() -> ExitCode {
                 println!("{text}");
             }
             None => {
-                eprintln!("unknown experiment `{id}` (try --list)");
+                let ids: Vec<&str> = EXPERIMENTS.iter().map(|(name, _)| *name).collect();
+                eprintln!("unknown target `{id}`");
+                eprintln!("valid targets: all, sweep, trace, {}", ids.join(", "));
                 return ExitCode::FAILURE;
             }
         }

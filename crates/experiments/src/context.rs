@@ -4,7 +4,8 @@
 use crate::cache::{CacheLookup, CacheStats, TraceCache};
 use dvp_engine::{ReplayEngine, SharedTrace};
 use dvp_lang::OptLevel;
-use dvp_trace::io::v2::TraceMeta;
+use dvp_trace::io::v2::{Fingerprint, TraceMeta};
+use dvp_workloads::synthetic::Scenario;
 use dvp_workloads::{Benchmark, BuildError, Workload};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -40,6 +41,22 @@ fn generate(
         }
     })?;
     Ok((builder.finish(), machine.retired(), predicted))
+}
+
+/// Generates one synthetic scenario into a [`SharedTrace`] (through the
+/// same builder/interner path as simulation), returning `(trace, emitted)`
+/// where `emitted` counts the full stream — always exactly
+/// [`Scenario::total_records`], since generation is unconditional; the
+/// record cap only truncates what is stored.
+fn generate_synthetic(scenario: &Scenario, record_cap: Option<usize>) -> (SharedTrace, u64) {
+    let mut builder = SharedTrace::builder();
+    let cap = record_cap.unwrap_or(usize::MAX);
+    scenario.generate_with(&mut |rec| {
+        if builder.len() < cap {
+            builder.push(rec);
+        }
+    });
+    (builder.finish(), scenario.total_records())
 }
 
 /// Lazily generates and caches the value trace of each benchmark so that a
@@ -154,8 +171,7 @@ impl TraceStore {
         Workload::reference(benchmark).with_scale(scale)
     }
 
-    /// Looks one fingerprint up in the disk tier (if any), recording stats
-    /// and reporting rejected candidates on stderr.
+    /// Looks one workload configuration up in the disk tier (if any).
     fn disk_lookup(
         &mut self,
         engine: &ReplayEngine,
@@ -163,7 +179,17 @@ impl TraceStore {
         opt: OptLevel,
     ) -> Option<(TraceMeta, SharedTrace)> {
         let fingerprint = TraceCache::fingerprint(workload, opt, self.record_cap);
-        match self.cache.as_ref()?.lookup(engine, &fingerprint) {
+        self.disk_lookup_fingerprint(engine, &fingerprint)
+    }
+
+    /// Looks one fingerprint up in the disk tier (if any), recording stats
+    /// and reporting rejected candidates on stderr.
+    fn disk_lookup_fingerprint(
+        &mut self,
+        engine: &ReplayEngine,
+        fingerprint: &Fingerprint,
+    ) -> Option<(TraceMeta, SharedTrace)> {
+        match self.cache.as_ref()?.lookup(engine, fingerprint) {
             CacheLookup::Hit(meta, trace) => {
                 self.stats.disk_hits += 1;
                 Some((meta, trace))
@@ -187,13 +213,18 @@ impl TraceStore {
         predicted: u64,
         trace: &SharedTrace,
     ) {
-        let Some(cache) = &self.cache else { return };
         let meta = TraceMeta {
             fingerprint: TraceCache::fingerprint(workload, opt, self.record_cap),
             retired,
             predicted,
         };
-        match cache.write_through(&meta, trace) {
+        self.write_through_meta(&meta, trace);
+    }
+
+    /// Fingerprint-generic write-through (synthetic traces share it).
+    fn write_through_meta(&mut self, meta: &TraceMeta, trace: &SharedTrace) {
+        let Some(cache) = &self.cache else { return };
+        match cache.write_through(meta, trace) {
             Ok(_) => self.stats.written += 1,
             Err(err) => eprintln!(
                 "[trace-cache] write-through failed for {}: {err}",
@@ -325,6 +356,49 @@ impl TraceStore {
         Ok(out.into_iter().map(|slot| slot.expect("every job filled")).collect())
     }
 
+    /// Loads or generates the traces of synthetic [`Scenario`]s through
+    /// the disk tier, returning one [`SharedTrace`] per scenario, in input
+    /// order. Exactly like [`TraceStore::variant_traces`], misses are
+    /// produced in parallel on `engine` and written through (fingerprinted
+    /// by [`Scenario::fingerprint`]), so a warm `repro sweep --trace-dir`
+    /// run generates nothing; scenarios are not held in the in-memory
+    /// benchmark map. Generated scenarios count as `simulated` in
+    /// [`CacheStats`].
+    ///
+    /// Generation is infallible (no compiler or simulator is involved) and
+    /// honours the store's record cap — the cap truncates the stored trace
+    /// without changing what the full scenario would emit.
+    pub fn synthetic_traces(
+        &mut self,
+        engine: &ReplayEngine,
+        scenarios: &[Scenario],
+    ) -> Vec<SharedTrace> {
+        let mut out: Vec<Option<SharedTrace>> = vec![None; scenarios.len()];
+        let mut to_generate: Vec<(usize, Scenario)> = Vec::new();
+        for (index, scenario) in scenarios.iter().enumerate() {
+            let fingerprint = scenario.fingerprint(self.record_cap);
+            match self.disk_lookup_fingerprint(engine, &fingerprint) {
+                Some((_, trace)) => out[index] = Some(trace),
+                None => to_generate.push((index, *scenario)),
+            }
+        }
+        let record_cap = self.record_cap;
+        let generated = engine.map(to_generate, |(index, scenario)| {
+            (index, scenario, generate_synthetic(&scenario, record_cap))
+        });
+        for (index, scenario, (trace, emitted)) in generated {
+            self.stats.simulated += 1;
+            let meta = TraceMeta {
+                fingerprint: scenario.fingerprint(record_cap),
+                retired: emitted,
+                predicted: emitted,
+            };
+            self.write_through_meta(&meta, &trace);
+            out[index] = Some(trace);
+        }
+        out.into_iter().map(|slot| slot.expect("every scenario filled")).collect()
+    }
+
     /// Total dynamic (retired) instructions for `benchmark`'s run,
     /// available after [`TraceStore::trace`] has been called for it.
     ///
@@ -378,6 +452,34 @@ mod tests {
         assert_eq!(lazy.cache_stats().simulated, 2);
         assert_eq!(eager.cache_stats().simulated, 2);
         assert_eq!(lazy.cache_stats().disk_hits, 0, "no disk tier configured");
+    }
+
+    #[test]
+    fn synthetic_traces_fill_in_input_order_and_count_as_simulated() {
+        use dvp_workloads::synthetic::ScenarioKind;
+        let scenarios = [
+            Scenario::new(ScenarioKind::Constant, 2, 50, 1),
+            Scenario::new(ScenarioKind::Periodic { period: 4 }, 3, 40, 2),
+        ];
+        let mut store = TraceStore::new();
+        let traces = store.synthetic_traces(&ReplayEngine::new().with_workers(2), &scenarios);
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].len(), 100);
+        assert_eq!(traces[1].len(), 120);
+        assert_eq!(store.cache_stats().simulated, 2);
+        assert_eq!(store.cache_stats().disk_hits, 0, "no disk tier configured");
+        // Identical to direct generation through the same builder path.
+        assert_eq!(traces[1].to_vec(), scenarios[1].records());
+    }
+
+    #[test]
+    fn synthetic_record_cap_truncates_the_stored_trace() {
+        use dvp_workloads::synthetic::ScenarioKind;
+        let scenario = Scenario::new(ScenarioKind::Constant, 2, 100, 3);
+        let mut store = TraceStore::new().with_record_cap(30);
+        let traces = store.synthetic_traces(&ReplayEngine::sequential(), &[scenario]);
+        assert_eq!(traces[0].len(), 30);
+        assert_eq!(traces[0].to_vec(), scenario.records()[..30]);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! | value locality by history depth   | [`information`] | `ext-locality` |
 //! | value-stream entropy vs accuracy  | [`information`] | `ext-entropy` |
 //! | dataflow-limit speedup            | [`speedup`] | `ext-speedup` |
+//! | synthetic scenario × predictor matrix | [`sweep`] | `sweep` (subcommand) |
 //!
 //! All workload-driven experiments share a [`TraceStore`] so each benchmark
 //! is simulated once per `repro` invocation — and, with `repro
@@ -68,6 +69,7 @@ pub mod overlap;
 pub mod realism;
 pub mod sensitivity;
 pub mod speedup;
+pub mod sweep;
 mod table_fmt;
 pub mod values;
 

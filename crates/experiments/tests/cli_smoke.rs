@@ -1,0 +1,73 @@
+//! CLI contract of the `repro` binary: exit codes and stderr behaviour
+//! for good and bad invocations. Every failing case here must fail *fast*
+//! (before any workload is simulated), so the suite stays cheap.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro")).args(args).output().expect("repro spawns")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn good_target_exits_zero_with_output() {
+    // table1 is purely analytic: no workloads, fast even in test builds.
+    let out = repro(&["table1"]);
+    assert!(out.status.success(), "table1 must succeed: {}", stderr_of(&out));
+    assert!(!out.stdout.is_empty(), "a table must land on stdout");
+}
+
+#[test]
+fn unknown_target_fails_and_lists_valid_targets_on_stderr() {
+    let out = repro(&["table99"]);
+    assert!(!out.status.success(), "unknown targets must exit nonzero");
+    assert!(out.stdout.is_empty(), "nothing may land on stdout");
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("unknown target `table99`"), "{stderr}");
+    for target in ["sweep", "trace", "all", "table1", "figure11", "ext-speedup"] {
+        assert!(stderr.contains(target), "valid-target list must include {target}: {stderr}");
+    }
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = repro(&[]);
+    assert!(!out.status.success());
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("usage:"), "{stderr}");
+    assert!(stderr.contains("sweep"), "usage must advertise the sweep subcommand: {stderr}");
+}
+
+#[test]
+fn bad_flag_values_fail_fast() {
+    for args in [&["--workers", "0", "table1"][..], &["--workers", "many", "table1"][..]] {
+        let out = repro(args);
+        assert!(!out.status.success(), "{args:?}");
+        assert!(stderr_of(&out).contains("positive integer"), "{args:?}");
+    }
+}
+
+#[test]
+fn trace_tool_requires_a_trace_dir() {
+    let out = repro(&["trace", "stats"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("--trace-dir"), "{}", stderr_of(&out));
+}
+
+#[test]
+fn sweep_rejects_unknown_formats_and_arguments() {
+    let out = repro(&["sweep", "--format", "xml"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("unknown sweep format `xml`"), "{}", stderr_of(&out));
+
+    let out = repro(&["sweep", "bogus"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("unknown sweep argument `bogus`"), "{}", stderr_of(&out));
+
+    let out = repro(&["sweep", "--format"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("--format expects"), "{}", stderr_of(&out));
+}

@@ -20,6 +20,13 @@
 //! The `cc` workload accepts five different input files, reproducing the
 //! paper's Table 6 input-sensitivity experiment.
 //!
+//! Beyond the seven programs, the [`synthetic`] module *invents* workloads:
+//! parameterized, seeded value-pattern generators (constant, stride with
+//! jitter, periodic cycles, order-k Markov chains, pointer chases, uniform
+//! noise, per-PC blends) whose analytically-expected best predictor family
+//! is known in advance. The `repro sweep` subcommand fans them through the
+//! replay engine; see `ARCHITECTURE.md` ("Synthetic scenarios").
+//!
 //! # Examples
 //!
 //! ```
@@ -37,6 +44,7 @@
 
 mod programs;
 pub mod rng;
+pub mod synthetic;
 
 use dvp_asm::{assemble, AsmError, ProgramImage};
 use dvp_lang::{compile, CompileError, OptLevel};

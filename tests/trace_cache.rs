@@ -141,6 +141,51 @@ fn persisted_interner_section_equals_fresh_interning_on_real_workloads() {
 }
 
 #[test]
+fn synthetic_cold_and_warm_serve_identical_traces_including_interner() {
+    // Synthetic scenarios persist through the same container tier as
+    // simulated workloads: a warm load must be byte-identical to cold
+    // generation — records, run totals, and the symbol table rebuilt from
+    // the persisted `PCIN` interner section (dense ids included).
+    use dvp::workloads::synthetic::{Scenario, ScenarioKind};
+    let dir = TempDir::new("synthetic");
+    let engine = ReplayEngine::new().with_workers(2);
+    let scenarios = [
+        Scenario::new(ScenarioKind::Markov { order: 2, alphabet: 4 }, 6, 2000, 11),
+        Scenario::new(ScenarioKind::Chase { heap: 32 }, 4, 1500, 12),
+    ];
+
+    let mut cold = store(&dir);
+    let fresh = cold.synthetic_traces(&engine, &scenarios);
+    assert_eq!(cold.cache_stats().simulated, 2, "cold run generates everything");
+    assert_eq!(cold.cache_stats().written, 2, "every generated trace persists");
+
+    let mut warm = store(&dir);
+    let loaded = warm.synthetic_traces(&engine, &scenarios);
+    assert_eq!(warm.cache_stats().simulated, 0, "warm run must not generate");
+    assert_eq!(warm.cache_stats().disk_hits, 2);
+    assert_eq!(warm.cache_stats().invalid, 0);
+    for ((scenario, a), b) in scenarios.iter().zip(&fresh).zip(&loaded) {
+        assert_eq!(a.to_vec(), b.to_vec(), "{scenario}: records must match exactly");
+        assert_eq!(a.interner(), b.interner(), "{scenario}: persisted interner diverged");
+        assert!(!a.interner().is_empty(), "{scenario}: non-trivial trace expected");
+        for ((fresh_rec, fresh_id), (loaded_rec, loaded_id)) in
+            a.iter_with_ids().zip(b.iter_with_ids())
+        {
+            assert_eq!(fresh_rec, loaded_rec, "{scenario}");
+            assert_eq!(fresh_id, loaded_id, "{scenario}: dense ids diverged");
+        }
+    }
+
+    // A reseeded scenario is a different fingerprint: clean miss, fresh
+    // generation — never a stale hit.
+    let reseeded = Scenario::new(ScenarioKind::Chase { heap: 32 }, 4, 1500, 99);
+    let mut other = store(&dir);
+    let regenerated = other.synthetic_traces(&engine, &[reseeded]);
+    assert_eq!(other.cache_stats().simulated, 1);
+    assert_ne!(regenerated[0].to_vec(), fresh[1].to_vec(), "reseeding must change the stream");
+}
+
+#[test]
 fn corrupt_and_stale_containers_fall_back_to_simulation() {
     let dir = TempDir::new("fallback");
     let engine = ReplayEngine::new();
