@@ -78,6 +78,55 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(all_cores.replay_matrix(&traces, &bank)));
     });
     group.finish();
+
+    // Streaming replay: decode + replay through the bounded chunk window
+    // (fixed resident memory), against the resident two-phase equivalent
+    // (load the whole container, then replay). Tallies are identical by
+    // construction; the rows pin what bounded memory costs in throughput.
+    let trace = shared_workload_trace(Benchmark::Cc);
+    let meta = dvp_trace::io::v2::TraceMeta {
+        fingerprint: dvp_trace::io::v2::Fingerprint {
+            workload: Benchmark::Cc.name().to_owned(),
+            input: "cc.ref".to_owned(),
+            opt_level: "O1".to_owned(),
+            seed: 0,
+            scale: 1,
+            record_cap: trace.len() as u64,
+        },
+        retired: trace.len() as u64,
+        predicted: trace.len() as u64,
+    };
+    let mut container = Vec::new();
+    dvp_trace::io::v2::write_compressed(
+        &mut container,
+        &meta,
+        trace.chunks().iter().map(Vec::as_slice),
+        &[],
+    )
+    .expect("encodes");
+
+    let mut group = c.benchmark_group("engine_replay_streaming");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64 * bank.len() as u64));
+    group.bench_function(BenchmarkId::from_parameter("resident-load-then-replay"), |b| {
+        b.iter(|| {
+            let (_, loaded) = all_cores.load_trace(&container).expect("loads");
+            black_box(all_cores.replay(&loaded, &bank))
+        });
+    });
+    group.bench_function(
+        BenchmarkId::from_parameter(format!("streaming-all-cores({cores})")),
+        |b| {
+            b.iter(|| black_box(all_cores.replay_streaming(container.as_slice(), &bank)));
+        },
+    );
+    group.bench_function(BenchmarkId::from_parameter("streaming-window-1"), |b| {
+        let window_1 = ReplayEngine::new().with_chunk_window(1);
+        b.iter(|| black_box(window_1.replay_streaming(container.as_slice(), &bank)));
+    });
+    group.finish();
 }
 
 criterion_group!(benches, bench);

@@ -40,6 +40,18 @@ fn v2_container(records: &[TraceRecord]) -> Vec<u8> {
     bytes
 }
 
+fn v4_container(records: &[TraceRecord]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    v2::write_compressed(
+        &mut bytes,
+        &meta(records),
+        records.chunks(v2::DEFAULT_CHUNK_CAPACITY),
+        &[],
+    )
+    .expect("encodes");
+    bytes
+}
+
 fn bench_encode(c: &mut Criterion) {
     let records = workload_trace(BENCHMARK);
     let mut group = c.benchmark_group("trace_encode");
@@ -54,6 +66,7 @@ fn bench_encode(c: &mut Criterion) {
         });
     });
     group.bench_function("v2_chunked", |b| b.iter(|| black_box(v2_container(records))));
+    group.bench_function("v4_compressed", |b| b.iter(|| black_box(v4_container(records))));
     group.finish();
 }
 
@@ -62,6 +75,17 @@ fn bench_decode(c: &mut Criterion) {
     let mut v1 = Vec::new();
     write_binary(&mut v1, records.iter()).expect("writes");
     let v2_bytes = v2_container(records);
+    let v4_bytes = v4_container(records);
+    // The size story behind the default-on compression, alongside the
+    // decode-speed story the rows below tell.
+    eprintln!(
+        "[trace_io] {} records: v1 {} KiB, v2 {} KiB, v4 {} KiB ({:.1}% of v2)",
+        records.len(),
+        v1.len() / 1024,
+        v2_bytes.len() / 1024,
+        v4_bytes.len() / 1024,
+        100.0 * v4_bytes.len() as f64 / v2_bytes.len() as f64
+    );
 
     let mut group = c.benchmark_group("trace_decode");
     group.measurement_time(Duration::from_secs(2));
@@ -73,6 +97,9 @@ fn bench_decode(c: &mut Criterion) {
     group.bench_function("v2_sequential", |b| {
         b.iter(|| black_box(v2::read(&mut v2_bytes.as_slice()).expect("reads")));
     });
+    group.bench_function("v4_sequential", |b| {
+        b.iter(|| black_box(v2::read(&mut v4_bytes.as_slice()).expect("reads")));
+    });
     let single = ReplayEngine::sequential();
     group.bench_function("v2_engine_1_worker", |b| {
         b.iter(|| black_box(single.load_trace(&v2_bytes).expect("loads")));
@@ -80,6 +107,9 @@ fn bench_decode(c: &mut Criterion) {
     let parallel = ReplayEngine::new();
     group.bench_function("v2_engine_all_cores", |b| {
         b.iter(|| black_box(parallel.load_trace(&v2_bytes).expect("loads")));
+    });
+    group.bench_function("v4_engine_all_cores", |b| {
+        b.iter(|| black_box(parallel.load_trace(&v4_bytes).expect("loads")));
     });
     group.finish();
 }
@@ -107,6 +137,10 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
     });
     group.bench_function("warm_load_v2", |b| {
         b.iter(|| black_box(engine.load_trace(&v2_bytes).expect("loads")));
+    });
+    let v4_bytes = v4_container(records);
+    group.bench_function("warm_load_v4", |b| {
+        b.iter(|| black_box(engine.load_trace(&v4_bytes).expect("loads")));
     });
     group.finish();
 }

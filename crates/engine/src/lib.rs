@@ -27,6 +27,13 @@
 //!    container ([`dvp_trace::io::v2`]) on the same worker pool — each
 //!    chunk decodes as an independent, checksummed job, and no
 //!    intermediate flat record vector is ever built.
+//! 6. **Stream huge traces in bounded memory.**
+//!    [`ReplayEngine::replay_streaming`] replays a container without
+//!    materializing it at all: chunks decode (and decompress) one at a
+//!    time on the calling thread and flow through a bounded window of
+//!    refcounted chunks ([`DEFAULT_CHUNK_WINDOW`]) to the replay workers,
+//!    so resident memory is fixed no matter how long the trace is — and
+//!    the tallies are still byte-identical to the resident path.
 //!
 //! # Quickstart
 //!
@@ -64,4 +71,7 @@ mod shared;
 
 pub use pool::{par_map, try_par_map};
 pub use replay::{ConfigReplay, ReplayEngine, DEFAULT_SHARDS};
-pub use shared::{shard_of_id, SharedTrace, SharedTraceBuilder, DEFAULT_CHUNK_LEN};
+pub use shared::{
+    shard_of_id, shard_of_pc, SharedTrace, SharedTraceBuilder, DEFAULT_CHUNK_LEN,
+    DEFAULT_CHUNK_WINDOW,
+};

@@ -1,9 +1,14 @@
-//! Parallel loading of persisted v2 trace containers into [`SharedTrace`]s.
+//! Parallel loading of persisted v2 trace containers into [`SharedTrace`]s,
+//! and the streaming replay path that never materializes one.
 
-use crate::{ReplayEngine, SharedTrace};
+use crate::pool::decode_ahead;
+use crate::shared::shard_of_pc;
+use crate::{ConfigReplay, ReplayEngine, SharedTrace};
+use dvp_core::{AccuracyTracker, PredictorConfig};
 use dvp_trace::io::v2;
 use dvp_trace::io::TraceIoError;
-use dvp_trace::{PcId, TraceRecord};
+use dvp_trace::{PcId, PcInterner, TraceRecord};
+use std::io::Read;
 
 impl ReplayEngine {
     /// Decodes an in-memory v2 trace container into a [`SharedTrace`],
@@ -51,7 +56,7 @@ impl ReplayEngine {
             .map(|section| v2::decode_interner(section.body))
             .transpose()?;
         let decoded = self.try_map(header.chunks.clone(), |info| {
-            v2::decode_chunk(v2::chunk_payload(payload, &info), &info)
+            v2::decode_chunk(v2::chunk_payload(payload, &info)?, &info)
         })?;
         let trace = match interner {
             // A persisted interner turns id assignment into read-only
@@ -81,6 +86,160 @@ impl ReplayEngine {
             None => SharedTrace::from_chunks(decoded),
         };
         Ok((header, trace))
+    }
+
+    /// Replays a container **streaming**: chunks decode one at a time on
+    /// the calling thread and flow through a bounded window
+    /// ([`with_chunk_window`](ReplayEngine::with_chunk_window)) to the
+    /// replay workers — the full record buffer is never resident. Workers
+    /// replay chunk *N* while chunk *N + 1* decompresses, so the pipeline
+    /// hides decode latency behind predictor work.
+    ///
+    /// Resident records are bounded by roughly
+    /// `(chunk_window + workers) × chunk_capacity` regardless of trace
+    /// length, which is what lets a multi-gigabyte container replay in a
+    /// fixed memory budget.
+    ///
+    /// **Determinism.** Tallies are byte-identical to
+    /// [`replay`](ReplayEngine::replay) on the loaded trace, at every
+    /// worker, shard, and window setting: jobs partition PCs
+    /// ([`shard_of_pc`](crate::shard_of_pc) — every predictor keeps
+    /// strictly per-PC state), each job observes its PCs' value streams in
+    /// exact trace order, and the per-job integer tallies merge in fixed
+    /// (configuration, shard) order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceIoError`] for a malformed header, a payload that
+    /// ends inside a chunk, any chunk failing validation (checksum,
+    /// decompression, record count, category bytes), or a torn trailing
+    /// section — in which case all partial tallies are discarded.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dvp_core::PredictorConfig;
+    /// use dvp_engine::{ReplayEngine, SharedTrace};
+    /// use dvp_trace::io::v2;
+    /// use dvp_trace::{InstrCategory, Pc, TraceRecord};
+    ///
+    /// let records: Vec<TraceRecord> =
+    ///     (0..2000u64).map(|i| TraceRecord::new(Pc(4 * (i % 9)), InstrCategory::AddSub, i / 9)).collect();
+    /// let mut bytes = Vec::new();
+    /// v2::write_records(&mut bytes, &v2::TraceMeta::default(), &records, 256)?;
+    ///
+    /// let engine = ReplayEngine::new();
+    /// let bank = PredictorConfig::paper_bank();
+    /// let (header, streamed) = engine.replay_streaming(bytes.as_slice(), &bank)?;
+    /// assert_eq!(header.record_count, 2000);
+    ///
+    /// // Byte-identical to the resident path.
+    /// let (_, trace) = engine.load_trace(&bytes)?;
+    /// let resident = engine.replay(&trace, &bank);
+    /// for (s, r) in streamed.iter().zip(&resident) {
+    ///     assert_eq!(s.tracker.correct(None), r.tracker.correct(None));
+    ///     assert_eq!(s.tracker.predicted(None), r.tracker.predicted(None));
+    /// }
+    /// # Ok::<(), dvp_trace::io::TraceIoError>(())
+    /// ```
+    pub fn replay_streaming<R: Read>(
+        &self,
+        mut reader: R,
+        bank: &[PredictorConfig],
+    ) -> Result<(v2::Header, Vec<ConfigReplay>), TraceIoError> {
+        let (version, header) = v2::read_versioned_header(&mut reader)?;
+        let nshards = self.shards();
+        // One job per (configuration, PC shard), configuration-major;
+        // consumer `c` owns jobs `c, c + consumers, …` so configurations
+        // spread across threads before shards do.
+        let jobs = bank.len() * nshards;
+        let consumers = self.workers().min(jobs);
+        let tallies = decode_ahead(
+            self.chunk_window(),
+            consumers,
+            // Producer (calling thread): read, verify, and decode chunks
+            // in index order. The validated header guarantees contiguous
+            // offsets, so the payload region is consumed front to back.
+            |window| {
+                for (index, info) in header.chunks.iter().enumerate() {
+                    let mut payload = vec![0u8; info.len as usize];
+                    reader.read_exact(&mut payload).map_err(|_| TraceIoError::Format {
+                        message: format!(
+                            "payload ends inside chunk {index} (wanted {} bytes at payload \
+                             offset {})",
+                            info.len, info.offset
+                        ),
+                    })?;
+                    window.push(v2::decode_chunk(&payload, info)?);
+                }
+                let mut rest = Vec::new();
+                reader.read_to_end(&mut rest)?;
+                v2::validate_trailing(version, &rest)?;
+                Ok::<(), TraceIoError>(())
+            },
+            // Consumers: fold every chunk into this thread's owned jobs.
+            |window, consumer| {
+                let owned: Vec<usize> = (consumer..jobs).step_by(consumers.max(1)).collect();
+                let mut states: Vec<(Box<dyn dvp_core::Predictor>, PcInterner, AccuracyTracker)> =
+                    owned
+                        .iter()
+                        .map(|&job| {
+                            (bank[job / nshards].build(), PcInterner::new(), AccuracyTracker::new())
+                        })
+                        .collect();
+                // Record indices by shard, rebuilt once per chunk and
+                // shared by every job this consumer owns.
+                let mut by_shard: Vec<Vec<u32>> = vec![Vec::new(); nshards];
+                while let Some(chunk) = window.next(consumer) {
+                    if nshards > 1 {
+                        for shard in &mut by_shard {
+                            shard.clear();
+                        }
+                        for (i, rec) in chunk.iter().enumerate() {
+                            by_shard[shard_of_pc(rec.pc, nshards)].push(i as u32);
+                        }
+                    }
+                    for (&job, (predictor, interner, tracker)) in owned.iter().zip(&mut states) {
+                        let mut observe = |rec: &TraceRecord| {
+                            let id = interner.intern(rec.pc);
+                            tracker
+                                .record(rec.category, predictor.observe_id(id, rec.pc, rec.value));
+                        };
+                        if nshards > 1 {
+                            for &i in &by_shard[job % nshards] {
+                                observe(&chunk[i as usize]);
+                            }
+                        } else {
+                            chunk.iter().for_each(&mut observe);
+                        }
+                    }
+                }
+                owned
+                    .into_iter()
+                    .zip(states)
+                    .map(|(job, (_, _, tracker))| (job, tracker))
+                    .collect::<Vec<_>>()
+            },
+        )?;
+        // Deterministic merge: per configuration, shard tallies in shard
+        // order (exact integer counts — independent of which consumer ran
+        // which job).
+        let mut by_job: Vec<Option<AccuracyTracker>> = vec![None; jobs];
+        for (job, tracker) in tallies.into_iter().flatten() {
+            by_job[job] = Some(tracker);
+        }
+        let replays = bank
+            .iter()
+            .enumerate()
+            .map(|(ci, config)| {
+                let mut merged = AccuracyTracker::new();
+                for tracker in by_job[ci * nshards..(ci + 1) * nshards].iter().flatten() {
+                    merged.merge(tracker);
+                }
+                ConfigReplay { name: config.name().to_owned(), tracker: merged }
+            })
+            .collect();
+        Ok((header, replays))
     }
 }
 
@@ -209,5 +368,107 @@ mod tests {
         let (header, trace) = ReplayEngine::new().load_trace(&bytes).expect("loads");
         assert!(trace.is_empty());
         assert_eq!(header.record_count, 0);
+    }
+
+    /// (name, correct, predicted) triples — the full tally surface that
+    /// streaming must reproduce byte for byte.
+    fn tally_surface(replays: &[ConfigReplay]) -> Vec<(String, Vec<(u64, u64)>)> {
+        replays
+            .iter()
+            .map(|r| {
+                let per_category = dvp_trace::InstrCategory::ALL
+                    .into_iter()
+                    .map(Some)
+                    .chain([None])
+                    .map(|c| (r.tracker.correct(c), r.tracker.predicted(c)))
+                    .collect();
+                (r.name.clone(), per_category)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_replay_matches_resident_at_every_setting() {
+        let bank = dvp_core::PredictorConfig::paper_bank();
+        for bytes in [container(20_000, 1024), {
+            // The compressed path: same records, v4 container.
+            let recs = records(20_000);
+            let mut bytes = Vec::new();
+            v2::write_compressed(&mut bytes, &v2::TraceMeta::default(), recs.chunks(1024), &[])
+                .expect("writes");
+            bytes
+        }] {
+            let (_, trace) = ReplayEngine::sequential().load_trace(&bytes).expect("loads");
+            let reference = tally_surface(&ReplayEngine::sequential().replay(&trace, &bank));
+            // 20 chunks vs window 1/2/4: the trace is far larger than the
+            // resident window in every configuration.
+            for (workers, shards, window) in
+                [(1, 1, 1), (1, 1, 4), (2, 3, 2), (4, 3, 4), (4, 8, 1), (16, 2, 2)]
+            {
+                let engine = ReplayEngine::new()
+                    .with_workers(workers)
+                    .with_shards(shards)
+                    .with_chunk_window(window);
+                let (header, streamed) =
+                    engine.replay_streaming(bytes.as_slice(), &bank).expect("streams");
+                assert_eq!(header.record_count, 20_000);
+                assert_eq!(
+                    tally_surface(&streamed),
+                    reference,
+                    "workers={workers} shards={shards} window={window}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_replay_validates_sections_and_tolerates_them() {
+        let bytes = container_with_interner(8_000, 512);
+        let bank = dvp_core::PredictorConfig::fcm_orders([1, 2]);
+        let (_, trace) = ReplayEngine::sequential().load_trace(&bytes).expect("loads");
+        let reference = tally_surface(&ReplayEngine::sequential().replay(&trace, &bank));
+        let engine = ReplayEngine::new().with_workers(3).with_chunk_window(2);
+        let (_, streamed) = engine.replay_streaming(bytes.as_slice(), &bank).expect("streams");
+        assert_eq!(tally_surface(&streamed), reference);
+        // A torn section frame after the payload must still fail.
+        let mut torn = bytes.clone();
+        torn.truncate(torn.len() - 3);
+        let err = engine.replay_streaming(torn.as_slice(), &bank).unwrap_err();
+        assert!(err.to_string().contains("section"), "{err}");
+    }
+
+    #[test]
+    fn streaming_replay_rejects_corruption_and_truncation() {
+        let bank = dvp_core::PredictorConfig::paper_bank();
+        let engine = ReplayEngine::new().with_chunk_window(2);
+        // Corrupt payload byte → chunk checksum error.
+        let mut corrupt = container(5_000, 512);
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xff;
+        let err = engine.replay_streaming(corrupt.as_slice(), &bank).unwrap_err();
+        assert!(err.to_string().contains("chunk checksum"), "{err}");
+        // Stream that ends inside a chunk → structured error, no hang.
+        let whole = container(5_000, 512);
+        let torn = &whole[..whole.len() - 40];
+        let err = engine.replay_streaming(torn, &bank).unwrap_err();
+        assert!(err.to_string().contains("ends inside chunk"), "{err}");
+    }
+
+    #[test]
+    fn streaming_replay_handles_empty_bank_and_empty_trace() {
+        let engine = ReplayEngine::new();
+        let (header, replays) =
+            engine.replay_streaming(container(3_000, 512).as_slice(), &[]).expect("streams");
+        assert_eq!(header.record_count, 3_000);
+        assert!(replays.is_empty());
+        // An empty bank still validates the stream end to end.
+        let mut corrupt = container(3_000, 512);
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xff;
+        assert!(engine.replay_streaming(corrupt.as_slice(), &[]).is_err());
+        let bank = dvp_core::PredictorConfig::paper_bank();
+        let (_, replays) =
+            engine.replay_streaming(container(0, 16).as_slice(), &bank).expect("streams");
+        assert!(replays.iter().all(|r| r.tracker.total() == 0));
     }
 }

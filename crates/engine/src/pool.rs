@@ -1,7 +1,58 @@
 //! A deterministic fork–join worker pool built on `std::thread::scope`.
 
+use crate::shared::ChunkWindow;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// The decode-ahead pipeline: `produce` runs on the **calling** thread,
+/// pushing decoded chunks into a bounded [`ChunkWindow`], while `consumers`
+/// scoped threads each pull every chunk (in order, at their own pace) via
+/// `consume(window, i)` — so workers replay chunk *N* while the producer
+/// decodes chunk *N + 1*.
+///
+/// Returns the consumer outputs in consumer order, or `produce`'s error
+/// (the window is aborted first, so consumers drain promptly and their
+/// partial outputs are discarded).
+///
+/// # Errors
+///
+/// Exactly the producer's error; consumers are infallible by construction
+/// (they only fold over chunks the producer already validated).
+pub(crate) fn decode_ahead<T, R, E, P, C>(
+    capacity: usize,
+    consumers: usize,
+    produce: P,
+    consume: C,
+) -> Result<Vec<R>, E>
+where
+    T: Send + Sync,
+    R: Send,
+    P: FnOnce(&ChunkWindow<T>) -> Result<(), E>,
+    C: Fn(&ChunkWindow<T>, usize) -> R + Sync,
+{
+    let window = ChunkWindow::new(capacity, consumers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..consumers)
+            .map(|consumer| {
+                let (window, consume) = (&window, &consume);
+                scope.spawn(move || consume(window, consumer))
+            })
+            .collect();
+        let outcome = produce(&window);
+        match &outcome {
+            Ok(()) => window.finish(),
+            Err(_) => window.abort(),
+        }
+        let outputs = handles.into_iter().map(|h| h.join().expect("consumer panicked"));
+        match outcome {
+            Ok(()) => Ok(outputs.collect()),
+            Err(e) => {
+                outputs.for_each(drop);
+                Err(e)
+            }
+        }
+    })
+}
 
 /// Applies `f` to every item on up to `workers` threads and returns the
 /// results **in input order**, regardless of which worker ran which item or

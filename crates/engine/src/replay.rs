@@ -51,6 +51,7 @@ pub const DEFAULT_SHARDS: usize = 8;
 pub struct ReplayEngine {
     workers: usize,
     shards: usize,
+    chunk_window: usize,
 }
 
 /// The merged outcome of replaying one predictor configuration over one
@@ -83,7 +84,7 @@ impl ReplayEngine {
     #[must_use]
     pub fn new() -> Self {
         let workers = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
-        ReplayEngine { workers, shards: DEFAULT_SHARDS }
+        ReplayEngine { workers, shards: DEFAULT_SHARDS, chunk_window: crate::DEFAULT_CHUNK_WINDOW }
     }
 
     /// An engine that runs everything inline on the calling thread with a
@@ -91,7 +92,7 @@ impl ReplayEngine {
     /// identical to any parallel configuration; only the wall clock moves.
     #[must_use]
     pub fn sequential() -> Self {
-        ReplayEngine { workers: 1, shards: 1 }
+        ReplayEngine { workers: 1, shards: 1, chunk_window: crate::DEFAULT_CHUNK_WINDOW }
     }
 
     /// Sets the worker-thread count (clamped to at least 1).
@@ -108,6 +109,17 @@ impl ReplayEngine {
         self
     }
 
+    /// Sets how many decoded chunks the streaming replay window may hold
+    /// at once (clamped to at least 1). Smaller windows bound resident
+    /// memory tighter; larger windows give the decoder more runway. The
+    /// setting never changes replay tallies — only residency and wall
+    /// clock.
+    #[must_use]
+    pub fn with_chunk_window(mut self, chunks: usize) -> Self {
+        self.chunk_window = chunks.max(1);
+        self
+    }
+
     /// The worker-thread count.
     #[must_use]
     pub fn workers(&self) -> usize {
@@ -118,6 +130,12 @@ impl ReplayEngine {
     #[must_use]
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// The streaming replay window capacity, in chunks.
+    #[must_use]
+    pub fn chunk_window(&self) -> usize {
+        self.chunk_window
     }
 
     /// [`par_map`] on this engine's worker pool: applies `f` to every item,

@@ -1,13 +1,22 @@
 //! The shared trace buffer: a workload's value trace, materialized once and
 //! cloned cheaply into every replay job.
 
-use dvp_trace::{PcId, PcInterner, TraceRecord};
-use std::sync::Arc;
+use dvp_trace::{Pc, PcId, PcInterner, TraceRecord};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Records per chunk of a [`SharedTrace`] (64 Ki records ≈ 1.5 MiB): large
 /// enough that chunk boundaries are invisible to the replay inner loop,
 /// small enough that building a trace never reallocates a giant buffer.
 pub const DEFAULT_CHUNK_LEN: usize = 1 << 16;
+
+/// Default capacity (in chunks) of the streaming replay window
+/// ([`ReplayEngine::replay_streaming`](crate::ReplayEngine::replay_streaming)).
+///
+/// Four in-flight chunks keep the decoder a comfortable lap ahead of the
+/// replay workers while bounding resident records to
+/// `4 × chunk_capacity` regardless of trace length.
+pub const DEFAULT_CHUNK_WINDOW: usize = 4;
 
 /// An immutable value trace held in fixed-size chunks behind an [`Arc`].
 ///
@@ -232,6 +241,150 @@ pub fn shard_of_id(id: PcId, n_ids: usize, nshards: usize) -> usize {
     ((id.index() as u64 * nshards as u64) / n_ids as u64) as usize
 }
 
+/// The shard a static instruction belongs to when the trace's interner is
+/// **not** known up front — the streaming counterpart of [`shard_of_id`].
+///
+/// A streaming replay sees chunks as they decode, so there is no dense-id
+/// range to split; instead each PC hashes to a fixed shard (a Fibonacci
+/// multiply, because raw `pc % nshards` collapses on 4-aligned Sim32
+/// PCs). The partition differs from [`shard_of_id`]'s, but any
+/// by-PC partition that preserves per-PC record order replays to
+/// bit-identical merged tallies: every predictor in this workspace keeps
+/// strictly per-PC state, so shard membership only decides *which* job
+/// observes a PC's value stream, never what that stream contains.
+///
+/// # Panics
+///
+/// Panics if `nshards` is zero.
+#[must_use]
+pub fn shard_of_pc(pc: Pc, nshards: usize) -> usize {
+    assert!(nshards > 0, "nshards must be positive");
+    ((pc.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % nshards
+}
+
+/// A bounded broadcast window of live refcounted chunks: the heart of the
+/// streaming replay pipeline.
+///
+/// One producer ([`push`](ChunkWindow::push)) decodes chunks in trace
+/// order; `consumers` independent consumers ([`next`](ChunkWindow::next))
+/// each see **every** chunk, in order, at their own pace. The window holds
+/// at most `capacity` chunks: the producer blocks while the slowest
+/// consumer is `capacity` chunks behind, and a chunk's storage is dropped
+/// as soon as every consumer has moved past it (consumers may briefly keep
+/// one clone alive while replaying it). Resident records are therefore
+/// bounded by `(capacity + 1) × chunk_capacity` no matter how long the
+/// trace is.
+///
+/// [`abort`](ChunkWindow::abort) poisons the window (decode error
+/// upstream): consumers drain immediately and the producer never blocks
+/// again.
+pub(crate) struct ChunkWindow<T> {
+    state: Mutex<WindowState<T>>,
+    /// Signalled when a chunk lands or the stream finishes/aborts.
+    produced: Condvar,
+    /// Signalled when eviction frees window space.
+    consumed: Condvar,
+    capacity: usize,
+}
+
+struct WindowState<T> {
+    /// Global chunk index of `slots[0]`.
+    base: usize,
+    slots: VecDeque<Arc<T>>,
+    /// Per-consumer next global chunk index (always `>= base`).
+    pos: Vec<usize>,
+    done: bool,
+    poisoned: bool,
+}
+
+impl<T> ChunkWindow<T> {
+    /// A window of `capacity.max(1)` chunks feeding `consumers` readers.
+    pub(crate) fn new(capacity: usize, consumers: usize) -> Self {
+        ChunkWindow {
+            state: Mutex::new(WindowState {
+                base: 0,
+                slots: VecDeque::new(),
+                pos: vec![0; consumers],
+                done: false,
+                poisoned: false,
+            }),
+            produced: Condvar::new(),
+            consumed: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends the next chunk, blocking while the window is full. With no
+    /// consumers the chunk is dropped immediately (the producer still
+    /// drives the stream to validate it).
+    pub(crate) fn push(&self, chunk: T) {
+        let mut state = self.state.lock().expect("window lock poisoned");
+        if state.pos.is_empty() || state.poisoned {
+            return;
+        }
+        while state.slots.len() >= self.capacity && !state.poisoned {
+            state = self.consumed.wait(state).expect("window lock poisoned");
+        }
+        if state.poisoned {
+            return;
+        }
+        state.slots.push_back(Arc::new(chunk));
+        self.produced.notify_all();
+    }
+
+    /// Marks the stream complete: consumers drain the remaining chunks and
+    /// then see `None`.
+    pub(crate) fn finish(&self) {
+        let mut state = self.state.lock().expect("window lock poisoned");
+        state.done = true;
+        self.produced.notify_all();
+        self.consumed.notify_all();
+    }
+
+    /// Poisons the window after an upstream decode error: every consumer's
+    /// next [`next`](ChunkWindow::next) returns `None` without draining.
+    pub(crate) fn abort(&self) {
+        let mut state = self.state.lock().expect("window lock poisoned");
+        state.done = true;
+        state.poisoned = true;
+        self.produced.notify_all();
+        self.consumed.notify_all();
+    }
+
+    /// The next chunk for consumer `consumer`, blocking until one lands.
+    /// Returns `None` once the stream is finished and drained (or
+    /// immediately after [`abort`](ChunkWindow::abort)).
+    pub(crate) fn next(&self, consumer: usize) -> Option<Arc<T>> {
+        let mut state = self.state.lock().expect("window lock poisoned");
+        loop {
+            if state.poisoned {
+                return None;
+            }
+            let index = state.pos[consumer];
+            if index < state.base + state.slots.len() {
+                let chunk = Arc::clone(&state.slots[index - state.base]);
+                state.pos[consumer] = index + 1;
+                // Evict every chunk all consumers have moved past.
+                let min_pos = state.pos.iter().copied().min().unwrap_or(index + 1);
+                let mut evicted = false;
+                while state.base < min_pos {
+                    state.slots.pop_front();
+                    state.base += 1;
+                    evicted = true;
+                }
+                if evicted {
+                    self.consumed.notify_all();
+                }
+                return Some(chunk);
+            }
+            if state.done {
+                return None;
+            }
+            state = self.produced.wait(state).expect("window lock poisoned");
+        }
+    }
+}
+
 impl<'a> IntoIterator for &'a SharedTrace {
     type Item = &'a TraceRecord;
     type IntoIter = std::iter::FlatMap<
@@ -450,6 +603,89 @@ mod tests {
         // from_records and the builder agree on interning.
         let flat = SharedTrace::from_records(records(300));
         assert_eq!(flat.interner(), trace.interner());
+    }
+
+    #[test]
+    fn shard_of_pc_partitions_aligned_pcs_and_is_stable() {
+        // 4-aligned PCs must spread over all shards, and the assignment is
+        // a pure function of (pc, nshards).
+        for nshards in [1, 2, 3, 8] {
+            let mut hit = vec![false; nshards];
+            for i in 0..400u64 {
+                let shard = shard_of_pc(Pc(0x40_0000 + 4 * i), nshards);
+                assert!(shard < nshards);
+                assert_eq!(shard, shard_of_pc(Pc(0x40_0000 + 4 * i), nshards));
+                hit[shard] = true;
+            }
+            assert!(hit.iter().all(|&h| h), "{nshards} shards all non-empty");
+        }
+    }
+
+    #[test]
+    fn chunk_window_broadcasts_in_order_and_bounds_residency() {
+        let window = ChunkWindow::<Vec<u32>>::new(2, 3);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3)
+                .map(|consumer| {
+                    let window = &window;
+                    scope.spawn(move || {
+                        let mut seen = Vec::new();
+                        while let Some(chunk) = window.next(consumer) {
+                            seen.extend_from_slice(&chunk);
+                        }
+                        seen
+                    })
+                })
+                .collect();
+            for start in (0..30u32).step_by(3) {
+                // The push blocks whenever the slowest consumer is 2
+                // chunks behind, so at most 2 chunks are ever resident.
+                window.push(vec![start, start + 1, start + 2]);
+                let state = window.state.lock().expect("lock");
+                assert!(state.slots.len() <= 2, "window overfull: {}", state.slots.len());
+            }
+            window.finish();
+            let expected: Vec<u32> = (0..30).collect();
+            for handle in handles {
+                assert_eq!(handle.join().expect("consumer"), expected);
+            }
+        });
+    }
+
+    #[test]
+    fn chunk_window_abort_unblocks_everyone() {
+        let window = ChunkWindow::<u32>::new(1, 2);
+        std::thread::scope(|scope| {
+            let consumers: Vec<_> = (0..2)
+                .map(|consumer| {
+                    let window = &window;
+                    scope.spawn(move || {
+                        let mut count = 0;
+                        while window.next(consumer).is_some() {
+                            count += 1;
+                        }
+                        count
+                    })
+                })
+                .collect();
+            window.push(1);
+            window.abort();
+            // Post-abort pushes are dropped, not blocked on.
+            window.push(2);
+            window.push(3);
+            for handle in consumers {
+                assert!(handle.join().expect("consumer") <= 1);
+            }
+        });
+    }
+
+    #[test]
+    fn chunk_window_without_consumers_never_blocks() {
+        let window = ChunkWindow::<u32>::new(1, 0);
+        for i in 0..100 {
+            window.push(i); // capacity 1, no consumers: must not deadlock
+        }
+        window.finish();
     }
 
     #[test]

@@ -12,6 +12,11 @@
 //! repro trace export --trace-dir d/  # simulate + persist all benchmark traces
 //! repro trace stats  --trace-dir d/  # list cached containers (header-level)
 //! repro trace verify --trace-dir d/  # full checksum + decode validation
+//! repro trace gen --records N --out f # synthetic container of N records
+//! repro trace replay f               # stream-replay a container in bounded
+//!                                    # memory (--resident loads it whole)
+//! repro --no-compress ...            # write v3 (uncompressed) containers
+//! repro --chunk-window N ...         # live chunks resident while streaming
 //! repro sweep                        # synthetic scenario × predictor matrix
 //! repro sweep --quick --format csv   # smaller grid, machine-readable output
 //! repro --list                       # list experiment ids
@@ -28,14 +33,18 @@
 //! on stderr (`[repro] trace cache: ...`), never on stdout.
 
 use dvp_core::PredictorConfig;
-use dvp_engine::ReplayEngine;
+use dvp_engine::{ReplayEngine, SharedTraceBuilder};
 use dvp_experiments::cache::TraceCache;
 use dvp_experiments::{
     accuracy, analytic, characterize, information, overlap, realism, sensitivity, speedup, sweep,
     values, TextTable, TraceStore,
 };
+use dvp_trace::io::v2;
 use dvp_trace::InstrCategory;
+use dvp_workloads::synthetic::{Scenario, ScenarioKind};
 use dvp_workloads::Benchmark;
+use std::fs;
+use std::io;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -258,6 +267,7 @@ fn run_sweep_tool(
     trace_dir: Option<PathBuf>,
     quick: bool,
     engine: &ReplayEngine,
+    compress: bool,
 ) -> ExitCode {
     let usage = "usage: repro sweep [--quick] [--format table|csv|json] [--workers N] \
                  [--shards N] [--trace-dir DIR]";
@@ -287,7 +297,7 @@ fn run_sweep_tool(
             }
         }
     }
-    let mut store = TraceStore::new();
+    let mut store = TraceStore::new().with_cache_compression(compress);
     if let Some(dir) = &trace_dir {
         store = store.with_trace_dir(dir);
     }
@@ -316,14 +326,180 @@ fn run_sweep_tool(
     }
 }
 
-/// The `repro trace <export|stats|verify>` tool.
+/// `repro trace gen`: write a synthetic trace container of a requested
+/// size — the generator behind the CI bounded-memory replay check, and a
+/// quick way to make large inputs for `repro trace replay`.
+fn run_trace_gen(args: &[String], compress: bool, usage: &str) -> ExitCode {
+    let mut records: Option<usize> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut seed = 1u64;
+    let mut pcs = 64usize;
+    let mut chunk_records = dvp_engine::DEFAULT_CHUNK_LEN;
+    let mut skip = false;
+    for (i, arg) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        match arg.as_str() {
+            "--records" => {
+                let Some(n) = parse_count(args, i + 1, arg) else { return ExitCode::FAILURE };
+                records = Some(n);
+                skip = true;
+            }
+            "--pcs" => {
+                let Some(n) = parse_count(args, i + 1, arg) else { return ExitCode::FAILURE };
+                pcs = n;
+                skip = true;
+            }
+            "--chunk-records" => {
+                let Some(n) = parse_count(args, i + 1, arg) else { return ExitCode::FAILURE };
+                chunk_records = n;
+                skip = true;
+            }
+            "--seed" => {
+                let Some(value) = args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("--seed expects an unsigned integer");
+                    return ExitCode::FAILURE;
+                };
+                seed = value;
+                skip = true;
+            }
+            "--out" => {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("--out expects a file path");
+                    return ExitCode::FAILURE;
+                };
+                out = Some(PathBuf::from(path));
+                skip = true;
+            }
+            other => {
+                eprintln!("unknown trace gen argument `{other}`\n{usage}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (Some(cap), Some(out)) = (records, out) else {
+        eprintln!("repro trace gen requires --records N and --out FILE\n{usage}");
+        return ExitCode::FAILURE;
+    };
+    let pcs = u32::try_from(pcs.min(cap.max(1))).unwrap_or(u32::MAX);
+    let per_pc = u32::try_from(cap.div_ceil(pcs as usize)).unwrap_or(u32::MAX);
+    let scenario = Scenario::new(ScenarioKind::Mixed, pcs, per_pc, seed);
+    let mut builder = SharedTraceBuilder::with_chunk_len(chunk_records);
+    scenario.generate_with(&mut |rec| {
+        if builder.len() < cap {
+            builder.push(rec);
+        }
+    });
+    let trace = builder.finish();
+    let meta = v2::TraceMeta {
+        fingerprint: scenario.fingerprint(Some(cap)),
+        retired: scenario.total_records(),
+        predicted: scenario.total_records(),
+    };
+    let result = (|| {
+        let file = fs::File::create(&out)?;
+        let mut writer = io::BufWriter::new(file);
+        let sections = [(v2::SECTION_INTERNER, v2::encode_interner(trace.interner()))];
+        let chunks = trace.chunks().iter().map(Vec::as_slice);
+        let header = if compress {
+            v2::write_compressed(&mut writer, &meta, chunks, &sections)?
+        } else {
+            v2::write_with_sections(&mut writer, &meta, chunks, &sections)?
+        };
+        io::Write::flush(&mut writer)?;
+        Ok::<_, dvp_trace::io::TraceIoError>(header)
+    })();
+    match result {
+        Ok(header) => {
+            eprintln!(
+                "[repro] wrote {} records in {} chunks to {}",
+                header.record_count,
+                header.chunks.len(),
+                out.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("cannot write {}: {err}", out.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro trace replay`: replay one container through the paper's
+/// predictor bank — streaming through the bounded chunk window by default
+/// (fixed resident memory, whatever the file size), or fully resident with
+/// `--resident`. Both paths print byte-identical tallies.
+fn run_trace_replay(args: &[String], engine: &ReplayEngine, usage: &str) -> ExitCode {
+    let mut file: Option<PathBuf> = None;
+    let mut resident = false;
+    for arg in args {
+        match arg.as_str() {
+            "--resident" => resident = true,
+            other if !other.starts_with('-') && file.is_none() => file = Some(PathBuf::from(other)),
+            other => {
+                eprintln!("unknown trace replay argument `{other}`\n{usage}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = file else {
+        eprintln!("repro trace replay requires a container file\n{usage}");
+        return ExitCode::FAILURE;
+    };
+    let bank = PredictorConfig::paper_bank();
+    let outcome = if resident {
+        fs::read(&path).map_err(dvp_trace::io::TraceIoError::from).and_then(|bytes| {
+            engine.load_trace(&bytes).map(|(header, trace)| (header, engine.replay(&trace, &bank)))
+        })
+    } else {
+        fs::File::open(&path)
+            .map_err(dvp_trace::io::TraceIoError::from)
+            .and_then(|file| engine.replay_streaming(io::BufReader::new(file), &bank))
+    };
+    let (header, replays) = match outcome {
+        Ok(result) => result,
+        Err(err) => {
+            eprintln!("cannot replay {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    // Exact integer tallies only: the output must be byte-identical
+    // between the streaming and resident paths at any engine setting.
+    println!("replayed {} records in {} chunks", header.record_count, header.chunks.len());
+    let mut table = TextTable::new(vec!["Config", "Predicted", "Correct"]);
+    for replay in &replays {
+        table.row(vec![
+            replay.name.clone(),
+            replay.tracker.predicted(None).to_string(),
+            replay.tracker.correct(None).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    ExitCode::SUCCESS
+}
+
+/// The `repro trace <export|stats|verify|gen|replay>` tool.
 fn run_trace_tool(
     commands: &[String],
     trace_dir: Option<PathBuf>,
     scale_div: u32,
     engine: &ReplayEngine,
+    compress: bool,
 ) -> ExitCode {
-    let usage = "usage: repro trace <export|stats|verify> --trace-dir DIR [--quick] [--workers N]";
+    let usage =
+        "usage: repro trace <export|stats|verify> --trace-dir DIR [--quick] [--workers N]\n\
+                 \x20      repro trace gen --records N --out FILE [--pcs N] [--seed S] \
+                 [--chunk-records N] [--no-compress]\n\
+                 \x20      repro trace replay FILE [--resident] [--workers N] [--shards N] \
+                 [--chunk-window N]";
+    match commands.first().map(String::as_str) {
+        Some("gen") => return run_trace_gen(&commands[1..], compress, usage),
+        Some("replay") => return run_trace_replay(&commands[1..], engine, usage),
+        _ => {}
+    }
     let Some(dir) = trace_dir else {
         eprintln!("repro trace requires --trace-dir\n{usage}");
         return ExitCode::FAILURE;
@@ -334,7 +510,9 @@ fn run_trace_tool(
     };
     match command.as_str() {
         "export" => {
-            let mut store = TraceStore::with_scale_div(scale_div).with_trace_dir(&dir);
+            let mut store = TraceStore::with_scale_div(scale_div)
+                .with_cache_compression(compress)
+                .with_trace_dir(&dir);
             eprintln!(
                 "[repro] exporting all benchmark traces to {} ({} workers)...",
                 dir.display(),
@@ -371,6 +549,7 @@ fn main() -> ExitCode {
     let mut engine = ReplayEngine::new();
     let mut trace_dir: Option<PathBuf> = None;
     let mut no_trace_cache = false;
+    let mut compress = true;
     let mut args: Vec<String> = Vec::new();
     let mut skip = false;
     for (i, arg) in raw.iter().enumerate() {
@@ -394,6 +573,14 @@ fn main() -> ExitCode {
                 engine = engine.with_shards(shards);
                 skip = true;
             }
+            "--chunk-window" => {
+                let Some(chunks) = parse_count(&raw, i + 1, arg) else {
+                    return ExitCode::FAILURE;
+                };
+                engine = engine.with_chunk_window(chunks);
+                skip = true;
+            }
+            "--no-compress" => compress = false,
             "--trace-dir" => {
                 let Some(dir) = raw.get(i + 1) else {
                     eprintln!("--trace-dir expects a directory path");
@@ -416,23 +603,29 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if args.first().map(String::as_str) == Some("trace") {
-        return run_trace_tool(&args[1..], trace_dir, scale_div, &engine);
+        return run_trace_tool(&args[1..], trace_dir, scale_div, &engine, compress);
     }
     if args.first().map(String::as_str) == Some("sweep") {
-        return run_sweep_tool(&args[1..], trace_dir, scale_div > 1, &engine);
+        return run_sweep_tool(&args[1..], trace_dir, scale_div > 1, &engine, compress);
     }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: repro [--quick] [--workers N] [--shards N] [--trace-dir DIR] \
-             [--no-trace-cache]\n             all | <experiment>...\n       \
+             [--no-trace-cache] [--no-compress] [--chunk-window N]\n             \
+             all | <experiment>...\n       \
              repro sweep [--format table|csv|json]\n       \
              repro trace <export|stats|verify> --trace-dir DIR\n       \
+             repro trace gen --records N --out FILE [--pcs N] [--seed S]\n       \
+             repro trace replay FILE [--resident]\n       \
              repro --list\n\n\
              Regenerates the tables and figures of Sazeides & Smith (MICRO-30 1997)\n\
              through the parallel replay engine (default: all cores; output is\n\
              byte-identical at any worker count). With --trace-dir, workload traces\n\
-             persist across runs and warm runs perform zero simulation. `repro\n\
-             sweep` replays the synthetic scenario x predictor matrix instead."
+             persist across runs (compressed containers by default; --no-compress\n\
+             writes v3) and warm runs perform zero simulation. `repro sweep`\n\
+             replays the synthetic scenario x predictor matrix instead; `repro\n\
+             trace replay` streams a container through a bounded chunk window\n\
+             (--chunk-window) without ever holding the full trace in memory."
         );
         return ExitCode::FAILURE;
     }
@@ -443,7 +636,7 @@ fn main() -> ExitCode {
         args
     };
 
-    let mut store = TraceStore::with_scale_div(scale_div);
+    let mut store = TraceStore::with_scale_div(scale_div).with_cache_compression(compress);
     if let Some(dir) = &trace_dir {
         store = store.with_trace_dir(dir);
     }

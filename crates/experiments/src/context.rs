@@ -101,6 +101,7 @@ pub struct TraceStore {
     scale_div: u32,
     record_cap: Option<usize>,
     cache: Option<TraceCache>,
+    cache_compress: bool,
     stats: CacheStats,
 }
 
@@ -115,6 +116,7 @@ impl Default for TraceStore {
             scale_div: 1,
             record_cap: None,
             cache: None,
+            cache_compress: true,
             stats: CacheStats::default(),
         }
     }
@@ -147,7 +149,19 @@ impl TraceStore {
     /// there before simulating, and simulated traces are written through.
     #[must_use]
     pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
-        self.cache = Some(TraceCache::new(dir));
+        self.cache = Some(TraceCache::new(dir).with_compression(self.cache_compress));
+        self
+    }
+
+    /// Chooses whether the disk tier writes compressed (version-4, the
+    /// default) or uncompressed containers — `repro --no-compress` flips
+    /// this. Applies to an already-configured trace directory and to any
+    /// configured later; reading accepts every supported version
+    /// regardless.
+    #[must_use]
+    pub fn with_cache_compression(mut self, compress: bool) -> Self {
+        self.cache_compress = compress;
+        self.cache = self.cache.map(|cache| cache.with_compression(compress));
         self
     }
 

@@ -16,6 +16,7 @@
 //! decode independently, which is what lets `dvp-engine` load a cached
 //! trace in parallel. New code should write v2.
 
+pub mod compress;
 pub mod v2;
 
 use crate::{InstrCategory, Pc, TraceRecord};
@@ -182,16 +183,28 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<Vec<TraceRecord>, TraceIoEr
                 Err(e) => return Err(e.into()),
             }
         }
-        let pc = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
-        let cat = InstrCategory::from_index(buf[8] as usize).ok_or_else(|| {
+        // Infallible destructuring of the 17-byte record buffer — the
+        // decode path must stay free of panicking `expect`s even where the
+        // lengths are static.
+        let Some((pc_bytes, tail)) = buf.split_first_chunk::<8>() else {
+            return Err(format_err(format!("record buffer underflow at byte offset {offset}")));
+        };
+        let Some((&cat_byte, tail)) = tail.split_first() else {
+            return Err(format_err(format!("record buffer underflow at byte offset {offset}")));
+        };
+        let Some((value_bytes, _)) = tail.split_first_chunk::<8>() else {
+            return Err(format_err(format!("record buffer underflow at byte offset {offset}")));
+        };
+        let pc = u64::from_le_bytes(*pc_bytes);
+        let cat = InstrCategory::from_index(cat_byte as usize).ok_or_else(|| {
             format_err(format!(
                 "invalid category byte {} at byte offset {} (record {})",
-                buf[8],
+                cat_byte,
                 offset + 8,
                 records.len(),
             ))
         })?;
-        let value = u64::from_le_bytes(buf[9..17].try_into().expect("8 bytes"));
+        let value = u64::from_le_bytes(*value_bytes);
         records.push(TraceRecord::new(Pc(pc), cat, value));
     }
     Ok(records)

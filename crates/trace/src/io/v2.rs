@@ -53,6 +53,14 @@ pub const MAGIC: [u8; 5] = [b'D', b'V', b'P', b'T', 2];
 /// `docs/TRACE_FORMAT.md`, "Optional sections").
 pub const VERSION_SECTIONS: u8 = 3;
 
+/// Version byte of a container whose chunk payloads are compressed (see
+/// `docs/TRACE_FORMAT.md`, "v4 — compressed chunks"). Each index entry
+/// additionally records the chunk's decoded (`raw_len`) size, each payload
+/// starts with a one-byte compression method, and the per-chunk checksum
+/// covers the *stored* (compressed) bytes. Optional trailing sections are
+/// allowed exactly as in version 3.
+pub const VERSION_COMPRESSED: u8 = 4;
+
 /// Section magic of the persisted PC-interner table (`"PCIN"`).
 pub const SECTION_INTERNER: [u8; 4] = *b"PCIN";
 
@@ -166,12 +174,23 @@ pub struct TraceMeta {
 pub struct ChunkInfo {
     /// Byte offset of the payload from the start of the payload section.
     pub offset: u64,
-    /// Payload length in bytes.
+    /// Stored payload length in bytes (the compressed length in a
+    /// [`VERSION_COMPRESSED`] container).
     pub len: u32,
+    /// Decoded chunk-encoding length in bytes. Equal to `len` in an
+    /// uncompressed container; in a [`VERSION_COMPRESSED`] container this
+    /// is the length the payload decompresses to, persisted as the extra
+    /// index-entry field.
+    pub raw_len: u32,
     /// Number of records encoded in the payload (always > 0).
     pub records: u32,
-    /// FNV-1a 64 checksum of the payload bytes.
+    /// FNV-1a 64 checksum of the *stored* payload bytes (compressed bytes
+    /// in a [`VERSION_COMPRESSED`] container), so corruption is caught
+    /// before any decompression work.
     pub checksum: u64,
+    /// Whether the payload is method-byte-framed and possibly compressed
+    /// ([`VERSION_COMPRESSED`] containers only).
+    pub compressed: bool,
 }
 
 /// A parsed v2 header: everything before the payload section.
@@ -188,10 +207,12 @@ pub struct Header {
 }
 
 impl Header {
-    /// Total payload bytes following the header.
+    /// Total payload bytes following the header. Saturating — the header
+    /// validator rejects any index whose offsets would overflow, so a
+    /// validated header never saturates here.
     #[must_use]
     pub fn payload_len(&self) -> u64 {
-        self.chunks.last().map_or(0, |c| c.offset + u64::from(c.len))
+        self.chunks.last().map_or(0, |c| c.offset.saturating_add(u64::from(c.len)))
     }
 }
 
@@ -212,25 +233,29 @@ pub struct Section<'a> {
 /// Walks the optional-section region of a version-3 container, validating
 /// every frame (length and checksum) including sections of unknown kind.
 fn split_sections(mut rest: &[u8]) -> Result<Vec<Section<'_>>, TraceIoError> {
-    const FRAME: usize = 4 + 8 + 8;
     let mut sections = Vec::new();
     while !rest.is_empty() {
-        if rest.len() < FRAME {
-            return Err(format_err(format!(
-                "container ends inside an optional-section frame ({} bytes left)",
-                rest.len()
-            )));
-        }
-        let magic: [u8; 4] = rest[..4].try_into().expect("four bytes");
-        let len = u64::from_le_bytes(rest[4..12].try_into().expect("eight bytes"));
-        let checksum = u64::from_le_bytes(rest[12..20].try_into().expect("eight bytes"));
-        let len = usize::try_from(len)
+        // Infallible frame destructuring: a short region fails with a
+        // structured error, never a panicking `expect`.
+        let frame_left = rest.len();
+        let torn = || {
+            format_err(format!(
+                "container ends inside an optional-section frame ({frame_left} bytes left)"
+            ))
+        };
+        let (magic, after_magic) = rest.split_first_chunk::<4>().ok_or_else(torn)?;
+        let (len_bytes, after_len) = after_magic.split_first_chunk::<8>().ok_or_else(torn)?;
+        let (checksum_bytes, body_and_rest) =
+            after_len.split_first_chunk::<8>().ok_or_else(torn)?;
+        let magic = *magic;
+        let checksum = u64::from_le_bytes(*checksum_bytes);
+        let len = usize::try_from(u64::from_le_bytes(*len_bytes))
             .map_err(|_| format_err("optional section exceeds addressable memory"))?;
-        let Some(body) = rest[FRAME..].get(..len) else {
+        let Some(body) = body_and_rest.get(..len) else {
             return Err(format_err(format!(
                 "optional section {:?} truncated: {} body bytes present, frame declares {len}",
                 String::from_utf8_lossy(&magic),
-                rest.len() - FRAME
+                body_and_rest.len()
             )));
         };
         if fnv1a(body) != checksum {
@@ -240,7 +265,7 @@ fn split_sections(mut rest: &[u8]) -> Result<Vec<Section<'_>>, TraceIoError> {
             )));
         }
         sections.push(Section { magic, body });
-        rest = &rest[FRAME + len..];
+        rest = &body_and_rest[len..];
     }
     Ok(sections)
 }
@@ -266,22 +291,24 @@ pub fn encode_interner(interner: &PcInterner) -> Vec<u8> {
 /// the declared count or the table repeats a PC (an interner is a
 /// bijection; a duplicate means the section is corrupt or hand-made).
 pub fn decode_interner(body: &[u8]) -> Result<PcInterner, TraceIoError> {
-    let Some(count_bytes) = body.get(..4) else {
+    let Some((count_bytes, mut pcs_bytes)) = body.split_first_chunk::<4>() else {
         return Err(format_err("interner section ends inside its count field"));
     };
-    let count = u32::from_le_bytes(count_bytes.try_into().expect("four bytes")) as usize;
-    let pcs_bytes = &body[4..];
-    if pcs_bytes.len() != count * 8 {
+    let count = u32::from_le_bytes(*count_bytes) as usize;
+    let need = count
+        .checked_mul(8)
+        .ok_or_else(|| format_err(format!("interner section count {count} overflows")))?;
+    if pcs_bytes.len() != need {
         return Err(format_err(format!(
-            "interner section declares {count} PCs but carries {} bytes (need {})",
+            "interner section declares {count} PCs but carries {} bytes (need {need})",
             pcs_bytes.len(),
-            count * 8
         )));
     }
-    let pcs: Vec<Pc> = pcs_bytes
-        .chunks_exact(8)
-        .map(|chunk| Pc(u64::from_le_bytes(chunk.try_into().expect("eight bytes"))))
-        .collect();
+    let mut pcs = Vec::with_capacity(pcs_bytes.len() / 8);
+    while let Some((pc_bytes, rest)) = pcs_bytes.split_first_chunk::<8>() {
+        pcs.push(Pc(u64::from_le_bytes(*pc_bytes)));
+        pcs_bytes = rest;
+    }
     PcInterner::from_pcs(pcs)
         .map_err(|pc| format_err(format!("interner section repeats {pc} (not a bijection)")))
 }
@@ -306,22 +333,27 @@ fn push_uvarint(buf: &mut Vec<u8>, mut value: u64) {
 
 /// Reads one unsigned LEB128 varint from `bytes` at `*pos`, advancing it.
 fn take_uvarint(bytes: &[u8], pos: &mut usize, what: &str) -> Result<u64, TraceIoError> {
+    let start = *pos;
     let mut value = 0u64;
     for shift in (0..64).step_by(7) {
         let Some(&byte) = bytes.get(*pos) else {
-            return Err(format_err(format!("chunk payload ends inside a {what} varint")));
+            return Err(format_err(format!(
+                "chunk payload ends inside a {what} varint at byte offset {start}"
+            )));
         };
         *pos += 1;
         value |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
             // The 10th byte (shift 63) may only contribute one bit.
             if shift == 63 && byte > 1 {
-                return Err(format_err(format!("{what} varint overflows 64 bits")));
+                return Err(format_err(format!(
+                    "{what} varint at byte offset {start} overflows 64 bits"
+                )));
             }
             return Ok(value);
         }
     }
-    Err(format_err(format!("{what} varint longer than 10 bytes")))
+    Err(format_err(format!("{what} varint at byte offset {start} longer than 10 bytes")))
 }
 
 /// Zigzag-encodes a signed delta so small magnitudes of either sign stay
@@ -357,7 +389,10 @@ fn encode_chunk(records: &[TraceRecord]) -> Vec<u8> {
 }
 
 /// Decodes one chunk payload against its index entry, validating length,
-/// checksum, record count, and that the payload is fully consumed.
+/// checksum, record count, and that the payload is fully consumed. For a
+/// [`VERSION_COMPRESSED`] entry the checksum is verified over the stored
+/// (compressed) bytes first, then the payload is unframed and
+/// decompressed (see [`super::compress`]) before record decoding.
 ///
 /// Chunks are self-contained (the PC delta base resets at each chunk
 /// boundary), so any subset of a container's chunks can be decoded
@@ -366,7 +401,8 @@ fn encode_chunk(records: &[TraceRecord]) -> Vec<u8> {
 /// # Errors
 ///
 /// Returns a [`TraceIoError::Format`] on any mismatch between payload and
-/// index entry, a corrupt payload, or an invalid category byte.
+/// index entry, a corrupt payload or compression frame, or an invalid
+/// category byte.
 pub fn decode_chunk(payload: &[u8], info: &ChunkInfo) -> Result<Vec<TraceRecord>, TraceIoError> {
     if payload.len() != info.len as usize {
         return Err(format_err(format!(
@@ -384,32 +420,54 @@ pub fn decode_chunk(payload: &[u8], info: &ChunkInfo) -> Result<Vec<TraceRecord>
     // A record encodes to at least 3 bytes (1-byte pc delta + category +
     // 1-byte value); reject impossible counts *before* sizing the record
     // vector, so a hostile index entry cannot force a giant allocation.
-    if u64::from(info.len) < 3 * u64::from(info.records) {
+    let decoded_len = if info.compressed { info.raw_len } else { info.len };
+    if u64::from(decoded_len) < 3 * u64::from(info.records) {
         return Err(format_err(format!(
-            "chunk declares {} records in {} bytes (records need at least 3 bytes each)",
-            info.records, info.len
+            "chunk declares {} records in {decoded_len} decoded bytes \
+             (records need at least 3 bytes each)",
+            info.records
         )));
     }
-    let mut records = Vec::with_capacity(info.records as usize);
+    if info.compressed {
+        let raw = super::compress::decompress_payload(payload, info.raw_len as usize).map_err(
+            |e| match e {
+                TraceIoError::Format { message } => {
+                    format_err(format!("chunk at payload offset {}: {message}", info.offset))
+                }
+                other => other,
+            },
+        )?;
+        decode_records(&raw, info.records)
+    } else {
+        decode_records(payload, info.records)
+    }
+}
+
+/// Decodes `count` delta/varint records from a raw (uncompressed) chunk
+/// encoding, requiring the bytes to be fully consumed.
+fn decode_records(bytes: &[u8], count: u32) -> Result<Vec<TraceRecord>, TraceIoError> {
+    let mut records = Vec::with_capacity(count as usize);
     let mut pos = 0usize;
     let mut prev_pc = 0u64;
-    for _ in 0..info.records {
-        let pc =
-            prev_pc.wrapping_add(unzigzag(take_uvarint(payload, &mut pos, "pc delta")?) as u64);
-        let Some(&cat_byte) = payload.get(pos) else {
-            return Err(format_err("chunk payload ends before a category byte"));
+    for _ in 0..count {
+        let pc = prev_pc.wrapping_add(unzigzag(take_uvarint(bytes, &mut pos, "pc delta")?) as u64);
+        let Some(&cat_byte) = bytes.get(pos) else {
+            return Err(format_err(format!(
+                "chunk payload ends before a category byte at byte offset {pos}"
+            )));
         };
         pos += 1;
-        let category = InstrCategory::from_index(cat_byte as usize)
-            .ok_or_else(|| format_err(format!("invalid category byte {cat_byte}")))?;
-        let value = take_uvarint(payload, &mut pos, "value")?;
+        let category = InstrCategory::from_index(cat_byte as usize).ok_or_else(|| {
+            format_err(format!("invalid category byte {cat_byte} at byte offset {}", pos - 1))
+        })?;
+        let value = take_uvarint(bytes, &mut pos, "value")?;
         records.push(TraceRecord::new(Pc(pc), category, value));
         prev_pc = pc;
     }
-    if pos != payload.len() {
+    if pos != bytes.len() {
         return Err(format_err(format!(
             "{} unconsumed bytes after the last record of a chunk",
-            payload.len() - pos
+            bytes.len() - pos
         )));
     }
     Ok(records)
@@ -428,8 +486,10 @@ fn push_str(buf: &mut Vec<u8>, s: &str, what: &str) -> Result<(), TraceIoError> 
 }
 
 /// Serializes everything the header checksum covers: the fixed fields, the
-/// fingerprint, and the chunk index.
-fn encode_header_tail(header: &Header) -> Result<Vec<u8>, TraceIoError> {
+/// fingerprint, and the chunk index. `compressed` selects the
+/// [`VERSION_COMPRESSED`] index-entry layout (28 bytes, with `raw_len`)
+/// over the 24-byte v2/v3 layout.
+fn encode_header_tail(header: &Header, compressed: bool) -> Result<Vec<u8>, TraceIoError> {
     let mut buf = Vec::new();
     buf.extend_from_slice(&header.record_count.to_le_bytes());
     buf.extend_from_slice(&header.chunk_capacity.to_le_bytes());
@@ -448,6 +508,9 @@ fn encode_header_tail(header: &Header) -> Result<Vec<u8>, TraceIoError> {
     for chunk in &header.chunks {
         buf.extend_from_slice(&chunk.offset.to_le_bytes());
         buf.extend_from_slice(&chunk.len.to_le_bytes());
+        if compressed {
+            buf.extend_from_slice(&chunk.raw_len.to_le_bytes());
+        }
         buf.extend_from_slice(&chunk.records.to_le_bytes());
         buf.extend_from_slice(&chunk.checksum.to_le_bytes());
     }
@@ -457,14 +520,19 @@ fn encode_header_tail(header: &Header) -> Result<Vec<u8>, TraceIoError> {
 struct TailReader<'a, R: Read> {
     reader: &'a mut R,
     fnv: Fnv,
+    /// Absolute byte offset of the next unread header byte (the tail
+    /// starts right after the 5-byte magic and 8-byte checksum), so
+    /// truncation errors can name where the header ended.
+    offset: usize,
 }
 
 impl<R: Read> TailReader<'_, R> {
     fn exact(&mut self, buf: &mut [u8], what: &str) -> Result<(), TraceIoError> {
-        self.reader
-            .read_exact(buf)
-            .map_err(|_| format_err(format!("header ends inside {what}")))?;
+        self.reader.read_exact(buf).map_err(|_| {
+            format_err(format!("header ends inside {what} at byte offset {}", self.offset))
+        })?;
         self.fnv.update(buf);
+        self.offset += buf.len();
         Ok(())
     }
 
@@ -511,8 +579,9 @@ pub fn read_header<R: Read>(reader: &mut R) -> Result<Header, TraceIoError> {
 }
 
 /// As [`read_header`], additionally returning the container's version byte
-/// (2, or [`VERSION_SECTIONS`] when optional sections may follow the
-/// payload).
+/// (2, [`VERSION_SECTIONS`] when optional sections may follow the payload,
+/// or [`VERSION_COMPRESSED`] when the chunk payloads are additionally
+/// compressed).
 ///
 /// # Errors
 ///
@@ -526,17 +595,18 @@ pub fn read_versioned_header<R: Read>(reader: &mut R) -> Result<(u8, Header), Tr
     if magic[4] == 1 {
         return Err(format_err("version 1 stream (use read_binary, not the v2 reader)"));
     }
-    if magic[4] != MAGIC[4] && magic[4] != VERSION_SECTIONS {
+    if magic[4] != MAGIC[4] && magic[4] != VERSION_SECTIONS && magic[4] != VERSION_COMPRESSED {
         return Err(format_err(format!("unsupported container version {}", magic[4])));
     }
     let version = magic[4];
+    let compressed = version == VERSION_COMPRESSED;
     let mut checksum_buf = [0u8; 8];
     reader
         .read_exact(&mut checksum_buf)
         .map_err(|_| format_err("header ends inside the header checksum"))?;
     let expected_checksum = u64::from_le_bytes(checksum_buf);
 
-    let mut tail = TailReader { reader, fnv: Fnv::new() };
+    let mut tail = TailReader { reader, fnv: Fnv::new(), offset: MAGIC.len() + 8 };
     let record_count = tail.u64("record count")?;
     let chunk_capacity = tail.u32("chunk capacity")?;
     let chunk_count = tail.u32("chunk count")?;
@@ -557,11 +627,16 @@ pub fn read_versioned_header<R: Read>(reader: &mut R) -> Result<(u8, Header), Tr
     let mut chunks = Vec::new();
     for i in 0..chunk_count {
         let what = format!("chunk index entry {i}");
+        let offset = tail.u64(&what)?;
+        let len = tail.u32(&what)?;
+        let raw_len = if compressed { tail.u32(&what)? } else { len };
         chunks.push(ChunkInfo {
-            offset: tail.u64(&what)?,
-            len: tail.u32(&what)?,
+            offset,
+            len,
+            raw_len,
             records: tail.u32(&what)?,
             checksum: tail.u64(&what)?,
+            compressed,
         });
     }
     if tail.fnv.finish() != expected_checksum {
@@ -586,14 +661,30 @@ pub fn read_versioned_header<R: Read>(reader: &mut R) -> Result<(u8, Header), Tr
                 chunk.records
             )));
         }
-        if u64::from(chunk.len) < 3 * u64::from(chunk.records) {
+        let decoded_len = if chunk.compressed { chunk.raw_len } else { chunk.len };
+        if u64::from(decoded_len) < 3 * u64::from(chunk.records) {
             return Err(format_err(format!(
-                "chunk {i} declares {} records in {} bytes (records need at least 3 bytes each)",
-                chunk.records, chunk.len
+                "chunk {i} declares {} records in {decoded_len} decoded bytes \
+                 (records need at least 3 bytes each)",
+                chunk.records
             )));
         }
-        expected_offset += u64::from(chunk.len);
-        total_records += u64::from(chunk.records);
+        // A conforming writer stores incompressible chunks raw, so the
+        // stored payload (method byte included) never exceeds the decoded
+        // length by more than one byte.
+        if chunk.compressed && u64::from(chunk.len) > u64::from(chunk.raw_len) + 1 {
+            return Err(format_err(format!(
+                "chunk {i} stores {} bytes for {} decoded bytes \
+                 (compressed payloads may exceed raw by at most the method byte)",
+                chunk.len, chunk.raw_len
+            )));
+        }
+        expected_offset = expected_offset
+            .checked_add(u64::from(chunk.len))
+            .ok_or_else(|| format_err(format!("chunk {i} offset overflows u64")))?;
+        total_records = total_records
+            .checked_add(u64::from(chunk.records))
+            .ok_or_else(|| format_err(format!("record counts overflow u64 at chunk {i}")))?;
     }
     if total_records != record_count {
         return Err(format_err(format!(
@@ -649,16 +740,53 @@ pub fn split_with_sections(
         )));
     }
     let (payload, rest) = cursor.split_at(payload_len);
-    if version != VERSION_SECTIONS && !rest.is_empty() {
+    Ok((header, payload, validate_trailing(version, rest)?))
+}
+
+/// Whether a container version allows optional trailing sections after the
+/// last chunk payload.
+fn version_has_sections(version: u8) -> bool {
+    version >= VERSION_SECTIONS
+}
+
+/// Validates the bytes following the last chunk payload of a container of
+/// the given `version`: for section-capable versions ([`VERSION_SECTIONS`]
+/// and [`VERSION_COMPRESSED`]) every section frame is walked and
+/// checksum-verified (and the sections returned); for version 2 any
+/// trailing byte is an error. Streaming readers call this after consuming
+/// the payload region.
+///
+/// # Errors
+///
+/// Returns a [`TraceIoError::Format`] for trailing bytes on a version-2
+/// container, or a torn or corrupt section frame otherwise.
+pub fn validate_trailing(version: u8, rest: &[u8]) -> Result<Vec<Section<'_>>, TraceIoError> {
+    if !version_has_sections(version) && !rest.is_empty() {
         return Err(format_err(format!("{} trailing bytes after the last chunk", rest.len())));
     }
-    Ok((header, payload, split_sections(rest)?))
+    split_sections(rest)
 }
 
 /// The payload slice of one chunk within a [`split_bytes`] payload section.
-#[must_use]
-pub fn chunk_payload<'a>(payload: &'a [u8], info: &ChunkInfo) -> &'a [u8] {
-    &payload[info.offset as usize..info.offset as usize + info.len as usize]
+///
+/// # Errors
+///
+/// Returns a [`TraceIoError::Format`] when the entry's offset and length
+/// reach outside the payload section — only possible for a hand-made
+/// entry, since a validated header's index always fits its payload.
+pub fn chunk_payload<'a>(payload: &'a [u8], info: &ChunkInfo) -> Result<&'a [u8], TraceIoError> {
+    usize::try_from(info.offset)
+        .ok()
+        .and_then(|start| Some((start, start.checked_add(info.len as usize)?)))
+        .and_then(|(start, end)| payload.get(start..end))
+        .ok_or_else(|| {
+            format_err(format!(
+                "chunk at byte offset {} (len {}) overruns the {}-byte payload section",
+                info.offset,
+                info.len,
+                payload.len()
+            ))
+        })
 }
 
 // ---------------------------------------------------------------------------
@@ -700,6 +828,43 @@ where
     W: Write,
     I: IntoIterator<Item = &'a [TraceRecord]>,
 {
+    write_container(writer, meta, chunks, sections, false)
+}
+
+/// As [`write_with_sections`], but compressing every chunk payload and
+/// stamping the container [`VERSION_COMPRESSED`]. Each payload is framed
+/// with a method byte (see [`super::compress`]): chunks the LZ codec
+/// shrinks are stored compressed, the rest raw, so a compressed container
+/// is never more than one byte per chunk larger than its v2 equivalent —
+/// and on real traces considerably smaller.
+///
+/// # Errors
+///
+/// As [`write()`].
+pub fn write_compressed<'a, W, I>(
+    writer: &mut W,
+    meta: &TraceMeta,
+    chunks: I,
+    sections: &[([u8; 4], Vec<u8>)],
+) -> Result<Header, TraceIoError>
+where
+    W: Write,
+    I: IntoIterator<Item = &'a [TraceRecord]>,
+{
+    write_container(writer, meta, chunks, sections, true)
+}
+
+fn write_container<'a, W, I>(
+    writer: &mut W,
+    meta: &TraceMeta,
+    chunks: I,
+    sections: &[([u8; 4], Vec<u8>)],
+    compress: bool,
+) -> Result<Header, TraceIoError>
+where
+    W: Write,
+    I: IntoIterator<Item = &'a [TraceRecord]>,
+{
     let mut payloads: Vec<Vec<u8>> = Vec::new();
     let mut index: Vec<ChunkInfo> = Vec::new();
     let mut offset = 0u64;
@@ -709,21 +874,33 @@ where
         if chunk.is_empty() {
             continue;
         }
-        let payload = encode_chunk(chunk);
+        let raw = encode_chunk(chunk);
         let records = u32::try_from(chunk.len())
             .map_err(|_| format_err("chunk holds more than u32::MAX records"))?;
+        let raw_len = u32::try_from(raw.len())
+            .map_err(|_| format_err("chunk payload exceeds u32::MAX bytes"))?;
+        let payload = if compress { super::compress::compress_payload(&raw) } else { raw };
         let len = u32::try_from(payload.len())
             .map_err(|_| format_err("chunk payload exceeds u32::MAX bytes"))?;
-        index.push(ChunkInfo { offset, len, records, checksum: fnv1a(&payload) });
+        index.push(ChunkInfo {
+            offset,
+            len,
+            raw_len: if compress { raw_len } else { len },
+            records,
+            checksum: fnv1a(&payload),
+            compressed: compress,
+        });
         offset += u64::from(len);
         record_count += u64::from(records);
         chunk_capacity = chunk_capacity.max(records);
         payloads.push(payload);
     }
     let header = Header { meta: meta.clone(), record_count, chunk_capacity, chunks: index };
-    let tail = encode_header_tail(&header)?;
+    let tail = encode_header_tail(&header, compress)?;
     let mut magic = MAGIC;
-    if !sections.is_empty() {
+    if compress {
+        magic[4] = VERSION_COMPRESSED;
+    } else if !sections.is_empty() {
         magic[4] = VERSION_SECTIONS;
     }
     writer.write_all(&magic)?;
@@ -780,7 +957,7 @@ pub fn read<R: Read>(reader: &mut R) -> Result<(Header, Vec<TraceRecord>), Trace
         })?;
         records.extend(decode_chunk(&payload, info)?);
     }
-    if version == VERSION_SECTIONS {
+    if version_has_sections(version) {
         // Validate (and skip) the optional-section region.
         let mut rest = Vec::new();
         reader.read_to_end(&mut rest)?;
@@ -888,8 +1065,8 @@ mod tests {
         let buf = container(600, 200);
         let (header, payload) = split_bytes(&buf).expect("splits");
         // Decode only the middle chunk, alone.
-        let mid = decode_chunk(chunk_payload(payload, &header.chunks[1]), &header.chunks[1])
-            .expect("decodes");
+        let slice = chunk_payload(payload, &header.chunks[1]).expect("in bounds");
+        let mid = decode_chunk(slice, &header.chunks[1]).expect("decodes");
         assert_eq!(mid, records[200..400]);
     }
 
@@ -959,8 +1136,14 @@ mod tests {
         assert!(decode_chunk(&payload[..info.len as usize - 1], &info).is_err());
         // Wrong record count (checksum still matches, counts don't).
         let short = ChunkInfo { records: info.records - 1, ..info };
-        let err = decode_chunk(chunk_payload(payload, &short), &short).unwrap_err();
+        let slice = chunk_payload(payload, &short).expect("in bounds");
+        let err = decode_chunk(slice, &short).unwrap_err();
         assert!(err.to_string().contains("unconsumed"), "{err}");
+        // An entry reaching outside the payload section errors instead of
+        // panicking on the slice.
+        let outside = ChunkInfo { offset: payload.len() as u64, ..info };
+        let err = chunk_payload(payload, &outside).unwrap_err();
+        assert!(err.to_string().contains("overruns"), "{err}");
     }
 
     #[test]
@@ -999,7 +1182,14 @@ mod tests {
         // u32::MAX records in 3 bytes must fail fast (and must not size a
         // ~100 GiB vector from the hostile count).
         let payload = [0u8, 0, 0];
-        let info = ChunkInfo { offset: 0, len: 3, records: u32::MAX, checksum: fnv1a(&payload) };
+        let info = ChunkInfo {
+            offset: 0,
+            len: 3,
+            raw_len: 3,
+            records: u32::MAX,
+            checksum: fnv1a(&payload),
+            compressed: false,
+        };
         let err = decode_chunk(&payload, &info).unwrap_err();
         assert!(err.to_string().contains("at least 3 bytes"), "{err}");
     }
@@ -1181,8 +1371,198 @@ mod tests {
     fn rejects_overlong_varint() {
         // 11 continuation bytes: longer than any valid 64-bit varint.
         let payload = [0xffu8; 11];
-        let info = ChunkInfo { offset: 0, len: 11, records: 1, checksum: fnv1a(&payload) };
+        let info = ChunkInfo {
+            offset: 0,
+            len: 11,
+            raw_len: 11,
+            records: 1,
+            checksum: fnv1a(&payload),
+            compressed: false,
+        };
         let err = decode_chunk(&payload, &info).unwrap_err();
         assert!(err.to_string().contains("varint"), "{err}");
+    }
+
+    fn v4_container(n: u64, capacity: usize) -> (Vec<u8>, PcInterner) {
+        let records = sample(n);
+        let interner = interner_of(&records);
+        let sections = [(SECTION_INTERNER, encode_interner(&interner))];
+        let mut buf = Vec::new();
+        write_compressed(&mut buf, &meta(), records.chunks(capacity), &sections).expect("writes");
+        (buf, interner)
+    }
+
+    #[test]
+    fn v4_round_trips_records_sections_and_chunking() {
+        let (buf, interner) = v4_container(1000, 256);
+        assert_eq!(buf[4], VERSION_COMPRESSED);
+        let (header, records) = read(&mut buf.as_slice()).expect("reads");
+        assert_eq!(records, sample(1000));
+        assert_eq!(header.record_count, 1000);
+        assert_eq!(header.chunks.len(), 4);
+        assert!(header.chunks.iter().all(|c| c.compressed));
+        let (_, payload, sections) = split_with_sections(&buf).expect("splits");
+        assert_eq!(payload.len() as u64, header.payload_len());
+        assert_eq!(sections.len(), 1);
+        assert_eq!(decode_interner(sections[0].body).expect("decodes"), interner);
+        // Chunks still decode independently.
+        let slice = chunk_payload(payload, &header.chunks[2]).expect("in bounds");
+        assert_eq!(
+            decode_chunk(slice, &header.chunks[2]).expect("decodes"),
+            sample(1000)[512..768]
+        );
+    }
+
+    #[test]
+    fn v4_is_smaller_than_v2_on_real_shaped_traces() {
+        let records = sample(4000);
+        let mut v2 = Vec::new();
+        write_records(&mut v2, &meta(), &records, 512).expect("writes");
+        let mut v4 = Vec::new();
+        write_compressed(&mut v4, &meta(), records.chunks(512), &[]).expect("writes");
+        assert!(v4.len() < v2.len(), "v4 ({}) should beat v2 ({})", v4.len(), v2.len());
+    }
+
+    #[test]
+    fn v4_never_expands_by_more_than_one_byte_per_chunk() {
+        // High-entropy values defeat the LZ matcher; the stored fallback
+        // caps the cost at the method byte (the index entry stays 4 bytes
+        // larger, so the whole container grows by ≤ 5 bytes per chunk).
+        let mut state = 0x9E37_79B9u64;
+        let records: Vec<TraceRecord> = (0..600)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                TraceRecord::new(
+                    Pc(state),
+                    InstrCategory::from_index((i % 8) as usize).expect("valid"),
+                    state.rotate_left(17),
+                )
+            })
+            .collect();
+        let mut v2 = Vec::new();
+        let h2 = write_records(&mut v2, &meta(), &records, 200).expect("writes");
+        let mut v4 = Vec::new();
+        let h4 = write_compressed(&mut v4, &meta(), records.chunks(200), &[]).expect("writes");
+        assert_eq!(read(&mut v4.as_slice()).expect("reads").1, records);
+        for (a, b) in h2.chunks.iter().zip(&h4.chunks) {
+            assert!(u64::from(b.len) <= u64::from(a.len) + 1, "chunk grew: {a:?} -> {b:?}");
+        }
+        assert!(v4.len() <= v2.len() + 5 * h2.chunks.len());
+    }
+
+    #[test]
+    fn v4_empty_trace_round_trips() {
+        let mut buf = Vec::new();
+        write_compressed(&mut buf, &meta(), std::iter::empty::<&[TraceRecord]>(), &[])
+            .expect("writes");
+        assert_eq!(buf[4], VERSION_COMPRESSED);
+        let (header, records) = read(&mut buf.as_slice()).expect("reads");
+        assert!(records.is_empty());
+        assert_eq!(header.record_count, 0);
+    }
+
+    #[test]
+    fn v4_detects_payload_and_header_corruption() {
+        let (buf, _) = v4_container(600, 128);
+        let (header, _, _) = split_with_sections(&buf).expect("splits");
+        // Header byte.
+        let mut bad = buf.clone();
+        bad[14] ^= 0x01;
+        assert!(read(&mut bad.as_slice()).is_err());
+        // First byte of each compressed payload (the method byte) — caught
+        // by the chunk checksum before any decompression runs.
+        let (_, payload, _) = split_with_sections(&buf).expect("splits");
+        // The payload slice borrows from `buf`; recover its start offset.
+        let payload_offset = payload.as_ptr() as usize - buf.as_ptr() as usize;
+        for chunk in &header.chunks {
+            let mut bad = buf.clone();
+            bad[payload_offset + chunk.offset as usize] ^= 0x80;
+            let err = read(&mut bad.as_slice()).unwrap_err();
+            assert!(err.to_string().contains("chunk checksum"), "{err}");
+        }
+        // No version-flip exception for v4: every single-bit flip of the
+        // version byte lands on an unsupported version.
+        for bit in 0..8 {
+            let mut bad = buf.clone();
+            bad[4] ^= 1 << bit;
+            assert!(read(&mut bad.as_slice()).is_err(), "version flip bit {bit} accepted");
+        }
+    }
+
+    /// Spec-conformance helper for v4: builds a compressed container byte
+    /// by byte from `docs/TRACE_FORMAT.md` alone (stored-method payloads,
+    /// 28-byte index entries, independent FNV implementation).
+    fn handcrafted_v4_container(
+        record_count: u64,
+        chunk_capacity: u32,
+        index: &[(u64, u32, u32, u32)], // (offset, len, raw_len, records)
+        payload: &[u8],
+    ) -> Vec<u8> {
+        fn fnv(bytes: &[u8]) -> u64 {
+            bytes.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+                (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+            })
+        }
+        let mut tail = Vec::new();
+        tail.extend_from_slice(&record_count.to_le_bytes());
+        tail.extend_from_slice(&chunk_capacity.to_le_bytes());
+        tail.extend_from_slice(&(index.len() as u32).to_le_bytes());
+        tail.extend_from_slice(&0u64.to_le_bytes()); // retired
+        tail.extend_from_slice(&0u64.to_le_bytes()); // predicted
+        for _ in 0..3 {
+            tail.extend_from_slice(&0u16.to_le_bytes()); // empty fp strings
+        }
+        tail.extend_from_slice(&0u64.to_le_bytes()); // seed
+        tail.extend_from_slice(&0u32.to_le_bytes()); // scale
+        tail.extend_from_slice(&0u64.to_le_bytes()); // record_cap
+        for &(offset, len, raw_len, records) in index {
+            tail.extend_from_slice(&offset.to_le_bytes());
+            tail.extend_from_slice(&len.to_le_bytes());
+            tail.extend_from_slice(&raw_len.to_le_bytes());
+            tail.extend_from_slice(&records.to_le_bytes());
+            let chunk =
+                &payload[offset as usize..(offset as usize + len as usize).min(payload.len())];
+            tail.extend_from_slice(&fnv(chunk).to_le_bytes());
+        }
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&[b'D', b'V', b'P', b'T', VERSION_COMPRESSED]);
+        bytes.extend_from_slice(&fnv(&tail).to_le_bytes());
+        bytes.extend_from_slice(&tail);
+        bytes.extend_from_slice(payload);
+        bytes
+    }
+
+    #[test]
+    fn handcrafted_v4_stored_container_is_accepted() {
+        // One chunk, one record (pc 0, category 0, value 0): raw encoding
+        // is three zero bytes, stored payload is the method byte plus
+        // those three bytes.
+        let payload = [0u8, 0, 0, 0]; // METHOD_STORED + raw
+        let bytes = handcrafted_v4_container(1, 1, &[(0, 4, 3, 1)], &payload);
+        let (header, records) = read(&mut bytes.as_slice()).expect("valid by the spec");
+        assert_eq!(records, vec![TraceRecord::new(Pc(0), InstrCategory::ALL[0], 0)]);
+        assert_eq!(header.record_count, 1);
+        assert_eq!(header.chunks[0].raw_len, 3);
+        assert!(header.chunks[0].compressed);
+    }
+
+    #[test]
+    fn v4_rejects_hostile_geometry_with_valid_checksums() {
+        // raw_len below the 3-bytes-per-record floor.
+        let payload = [0u8, 0, 0, 0];
+        let hostile = handcrafted_v4_container(2, 2, &[(0, 4, 3, 2)], &payload);
+        let err = read(&mut hostile.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("at least 3 bytes"), "{err}");
+        // Stored length exceeding raw_len + 1 (a conforming writer would
+        // have stored the chunk raw).
+        let payload = [0u8; 10];
+        let hostile = handcrafted_v4_container(1, 1, &[(0, 10, 3, 1)], &payload);
+        let err = read(&mut hostile.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("method byte"), "{err}");
+        // A stored body whose real length disagrees with raw_len.
+        let payload = [0u8, 0, 0, 0]; // stored, 3 raw bytes
+        let hostile = handcrafted_v4_container(1, 1, &[(0, 4, 4, 1)], &payload);
+        let err = read(&mut hostile.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("stored chunk body"), "{err}");
     }
 }

@@ -52,6 +52,13 @@ fn v2_bytes(records: &[TraceRecord], chunk_capacity: usize) -> Vec<u8> {
     buf
 }
 
+fn v4_bytes(records: &[TraceRecord], chunk_capacity: usize) -> Vec<u8> {
+    let mut buf = Vec::new();
+    v2::write_compressed(&mut buf, &meta_for(records), records.chunks(chunk_capacity), &[])
+        .expect("v4 writes");
+    buf
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -135,6 +142,74 @@ proptest! {
         bytes.extend_from_slice(&v1_bytes(std::slice::from_ref(&garbage))[5..]);
         let read = read_binary(bytes.as_slice()).expect("v1 cannot detect this");
         prop_assert_eq!(read.len(), records.len() + 1);
+    }
+
+    // The compressed (v4) container is just an encoding change: any trace
+    // round-trips through it bit-identically to v1 and v2 at any chunk
+    // capacity, so compressing the cache can never change an experiment.
+    #[test]
+    fn v4_round_trip_agrees_with_v1_and_v2(case in (records(), 1usize..700)) {
+        let (records, capacity) = case;
+        let via_v1 = read_binary(v1_bytes(&records).as_slice()).expect("v1 reads");
+        let (v2_header, via_v2) =
+            v2::read(&mut v2_bytes(&records, capacity).as_slice()).expect("v2 reads");
+        let (header, via_v4) =
+            v2::read(&mut v4_bytes(&records, capacity).as_slice()).expect("v4 reads");
+        prop_assert_eq!(&via_v4, &records);
+        prop_assert_eq!(&via_v4, &via_v1);
+        prop_assert_eq!(via_v4, via_v2);
+        prop_assert_eq!(header.record_count, v2_header.record_count);
+        prop_assert_eq!(header.meta, meta_for(&records));
+        prop_assert_eq!(header.chunks.len(), records.len().div_ceil(capacity));
+    }
+
+    // Every single-byte corruption of a v4 container is detected — with
+    // *no* version-flip exception this time: chunk checksums cover the
+    // stored (compressed) bytes and the method byte, the header checksum
+    // covers the 28-byte index entries, and no single-bit flip of version
+    // byte 4 lands on another supported version (2 and 3 both differ from
+    // 4 in two bits).
+    #[test]
+    fn v4_detects_any_single_byte_flip(
+        case in (vec(record(), 1..200), any::<u64>()),
+        bit in 0u8..8,
+    ) {
+        let (records, flip) = case;
+        let bytes = v4_bytes(&records, 64);
+        let position = (flip % bytes.len() as u64) as usize;
+        let mut corrupt = bytes.clone();
+        corrupt[position] ^= 1 << bit;
+        prop_assert!(
+            v2::read(&mut corrupt.as_slice()).is_err(),
+            "flip of bit {} at byte {} of a compressed container went undetected",
+            bit,
+            position
+        );
+    }
+
+    // Any truncation of a v4 container is detected, at every prefix
+    // length — a payload cut lands inside a compressed chunk (stored-byte
+    // checksum or decompression failure), a header cut inside the index.
+    #[test]
+    fn v4_detects_any_truncation(case in (vec(record(), 1..150), any::<u64>())) {
+        let (records, cut) = case;
+        let bytes = v4_bytes(&records, 32);
+        let cut = (cut % bytes.len() as u64) as usize;
+        prop_assert!(v2::read(&mut bytes[..cut].as_ref()).is_err(), "cut at {} accepted", cut);
+    }
+
+    // Any appended bytes are detected: v4 supports trailing sections, so
+    // injected junk must fail to parse as a checksummed section frame.
+    #[test]
+    fn v4_detects_trailing_bytes(case in (records(), vec(any::<u8>(), 1..40))) {
+        let (records, junk) = case;
+        let mut bytes = v4_bytes(&records, 64);
+        bytes.extend_from_slice(&junk);
+        prop_assert!(
+            v2::read(&mut bytes.as_slice()).is_err(),
+            "{} trailing bytes accepted after a compressed container",
+            junk.len()
+        );
     }
 
     // A fingerprint mismatch is always observable: the stored fingerprint

@@ -186,6 +186,151 @@ fn synthetic_cold_and_warm_serve_identical_traces_including_interner() {
 }
 
 #[test]
+fn compressed_and_uncompressed_stores_agree_and_compressed_is_smaller() {
+    // Compression is an encoding decision, never a semantic one: a store
+    // writing v4 (compressed, the default) and a store writing v3 must
+    // serve identical traces for every benchmark workload — and the v4
+    // container must actually be smaller on disk, for all seven.
+    let cdir = TempDir::new("v4");
+    let udir = TempDir::new("v3");
+    let engine = ReplayEngine::new().with_workers(2);
+
+    let mut compressed = store(&cdir);
+    compressed.prefetch(&engine, &Benchmark::ALL).expect("compressed prefetch");
+    let mut uncompressed = TraceStore::with_scale_div(1000)
+        .with_record_cap(20_000)
+        .with_cache_compression(false)
+        .with_trace_dir(&udir.0);
+    uncompressed.prefetch(&engine, &Benchmark::ALL).expect("uncompressed prefetch");
+
+    for benchmark in Benchmark::ALL {
+        let a = compressed.trace(benchmark).expect("compressed trace");
+        let b = uncompressed.trace(benchmark).expect("uncompressed trace");
+        assert_eq!(a.to_vec(), b.to_vec(), "{benchmark}: records must not depend on encoding");
+        assert_eq!(a.interner(), b.interner(), "{benchmark}: interner must not depend on encoding");
+    }
+
+    // Warm load of the compressed tier: zero simulation, and the trace —
+    // including dense ids rebuilt from the persisted PCIN section — is
+    // byte-identical to the cold generation.
+    let mut warm = store(&cdir);
+    warm.prefetch(&engine, &Benchmark::ALL).expect("warm prefetch");
+    assert_eq!(warm.cache_stats().simulated, 0, "warm compressed run must not simulate");
+    assert_eq!(warm.cache_stats().disk_hits, Benchmark::ALL.len() as u64);
+    for benchmark in Benchmark::ALL {
+        let fresh = compressed.trace(benchmark).expect("cold trace");
+        let loaded = warm.trace(benchmark).expect("warm trace");
+        assert_eq!(loaded.to_vec(), fresh.to_vec(), "{benchmark}: warm records diverged");
+        assert_eq!(loaded.interner(), fresh.interner(), "{benchmark}: warm interner diverged");
+        for ((fresh_rec, fresh_id), (loaded_rec, loaded_id)) in
+            fresh.iter_with_ids().zip(loaded.iter_with_ids())
+        {
+            assert_eq!(fresh_rec, loaded_rec, "{benchmark}");
+            assert_eq!(fresh_id, loaded_id, "{benchmark}: dense ids diverged");
+        }
+    }
+
+    // Same fingerprints, same file names, different encodings: compare
+    // each container's on-disk size across the two directories.
+    let sizes = |dir: &TempDir| {
+        let mut sizes = std::collections::BTreeMap::new();
+        for entry in std::fs::read_dir(&dir.0).expect("cache dir exists") {
+            let entry = entry.expect("entry");
+            let len = entry.metadata().expect("metadata").len();
+            sizes.insert(entry.file_name().into_string().expect("utf8 name"), len);
+        }
+        sizes
+    };
+    let compressed_sizes = sizes(&cdir);
+    let uncompressed_sizes = sizes(&udir);
+    assert_eq!(compressed_sizes.len(), Benchmark::ALL.len());
+    assert_eq!(compressed_sizes.len(), uncompressed_sizes.len(), "same fingerprints");
+    for (name, v4_bytes) in &compressed_sizes {
+        let v3_bytes = uncompressed_sizes[name];
+        assert!(
+            *v4_bytes < v3_bytes,
+            "{name}: compressed container ({v4_bytes} B) not smaller than v3 ({v3_bytes} B)"
+        );
+    }
+}
+
+#[test]
+fn every_single_byte_corruption_of_a_compressed_container_is_invalid() {
+    // Exhaustive sweep over one small compressed container: flip every
+    // byte, truncate at every prefix, and append junk — the cache must
+    // classify all of them Invalid (the fall-back-to-simulation path) and
+    // must never panic or serve a corrupted Hit.
+    use dvp::trace::io::v2::{Fingerprint, TraceMeta};
+    use dvp::trace::{InstrCategory, Pc, TraceRecord};
+
+    let dir = TempDir::new("flip-sweep");
+    let engine = ReplayEngine::new().with_workers(2);
+    let trace: dvp::engine::SharedTrace = (0..600u64)
+        .map(|i| {
+            TraceRecord::new(
+                Pc(0x40_0000 + 4 * (i % 24)),
+                InstrCategory::ALL[(i % 8) as usize],
+                i.wrapping_mul(2_654_435_761),
+            )
+        })
+        .collect();
+    let fp = Fingerprint {
+        workload: "flip".into(),
+        input: "flip.ref".into(),
+        opt_level: "O1".into(),
+        seed: 5,
+        scale: 1,
+        record_cap: 600,
+    };
+    let meta = TraceMeta { fingerprint: fp.clone(), retired: 600, predicted: 600 };
+    let cache = TraceCache::new(&dir.0);
+    let path = cache.write_through(&meta, &trace).expect("writes through");
+    let bytes = std::fs::read(&path).expect("container exists");
+    assert_eq!(bytes[4], 4, "write_through compresses by default");
+    assert!(matches!(cache.lookup(&engine, &fp), CacheLookup::Hit(..)), "pristine file hits");
+
+    // The only tolerated corruptions are semantically inert ones — e.g. a
+    // flip in the optional PCIN section's magic turns it into an unknown
+    // (checksum-valid, skipped) section, and a cut at the exact end of the
+    // payload removes the optional section region entirely. In both cases
+    // the loader re-interns from the records and the served trace must be
+    // *exactly* the original; anything else must be Invalid.
+    let reference = trace.to_vec();
+    let expect_rejected_or_pristine = |what: String| match cache.lookup(&engine, &fp) {
+        CacheLookup::Invalid(_) => {}
+        CacheLookup::Hit(_, served) => {
+            assert_eq!(served.to_vec(), reference, "{what} served a corrupted trace");
+            assert_eq!(served.interner(), trace.interner(), "{what} corrupted the interner");
+        }
+        CacheLookup::Miss => panic!("{what} reported as a miss"),
+    };
+    for position in 0..bytes.len() {
+        let mut corrupt = bytes.clone();
+        corrupt[position] ^= 0xff;
+        std::fs::write(&path, &corrupt).expect("rewrites");
+        expect_rejected_or_pristine(format!("flipped byte {position}"));
+    }
+    for cut in 0..bytes.len() {
+        std::fs::write(&path, &bytes[..cut]).expect("rewrites");
+        expect_rejected_or_pristine(format!("truncation to {cut} bytes"));
+    }
+    for extra in [1usize, 7, 19, 64] {
+        let mut long = bytes.clone();
+        long.resize(bytes.len() + extra, 0xA5);
+        std::fs::write(&path, &long).expect("rewrites");
+        match cache.lookup(&engine, &fp) {
+            CacheLookup::Invalid(_) => {}
+            other => panic!("{extra} trailing bytes were served as {other:?}"),
+        }
+    }
+
+    // Restoring the original bytes restores the hit: nothing above left
+    // the cache instance in a bad state.
+    std::fs::write(&path, &bytes).expect("restores");
+    assert!(matches!(cache.lookup(&engine, &fp), CacheLookup::Hit(..)));
+}
+
+#[test]
 fn corrupt_and_stale_containers_fall_back_to_simulation() {
     let dir = TempDir::new("fallback");
     let engine = ReplayEngine::new();

@@ -1,0 +1,403 @@
+//! A small, dependency-free LZ77 byte codec with LZ4-block-style framing.
+//!
+//! The workspace builds offline, so this crate vendors the minimal codec
+//! the trace container needs instead of pulling a compression crate from
+//! crates.io: a greedy hash-table matcher on the encode side and a fully
+//! bounds-checked, allocation-bounded decoder on the decode side. The
+//! compressed stream is a sequence of *tokens*:
+//!
+//! ```text
+//! token      1 byte: high nibble = literal count, low nibble = match
+//!            length − 4; a nibble of 15 means "extended below"
+//! lit-ext    if the high nibble is 15: bytes summed into the literal
+//!            count; a byte of 255 means another byte follows
+//! literals   that many raw bytes
+//! offset     u16 little-endian match distance, 1..=65535 (absent for the
+//!            final literal-only token, which ends the stream)
+//! match-ext  if the low nibble is 15: bytes summed into the match length
+//! ```
+//!
+//! A match copies `length` bytes starting `offset` bytes back in the
+//! *output*; `offset < length` overlaps and repeats, byte by byte (the
+//! classic run-length trick). The stream ends either after a match or
+//! after a final literal-only token; an empty input encodes to an empty
+//! stream. Decoding requires the exact decompressed length up front and
+//! fails — never panics — on any malformed input.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Shortest match the encoder emits and the decoder accepts.
+const MIN_MATCH: usize = 4;
+/// Log2 of the encoder's hash-table size.
+const HASH_BITS: u32 = 14;
+/// Maximum backward distance a 2-byte offset can express.
+const MAX_OFFSET: usize = u16::MAX as usize;
+
+/// A structured decode failure. All variants carry the byte position of
+/// the offending token in the *compressed* input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LzError {
+    /// The input ended inside a token — mid-extension, mid-literal-run,
+    /// or mid-offset.
+    Truncated {
+        /// Compressed-input offset of the token that was cut short.
+        at: usize,
+    },
+    /// A match offset of zero (a match can never point at itself).
+    ZeroOffset {
+        /// Compressed-input offset of the offending token.
+        at: usize,
+    },
+    /// A match offset reaching before the start of the output.
+    OffsetTooFar {
+        /// Compressed-input offset of the offending token.
+        at: usize,
+        /// The declared backward distance.
+        offset: usize,
+        /// Output bytes available to reach back into.
+        available: usize,
+    },
+    /// Decoding produced more bytes than the declared output length.
+    Overrun {
+        /// Compressed-input offset of the token that overflowed.
+        at: usize,
+        /// The declared output length being exceeded.
+        declared: usize,
+    },
+    /// The stream ended cleanly but produced too few bytes.
+    Underrun {
+        /// Bytes actually produced.
+        produced: usize,
+        /// The declared output length.
+        declared: usize,
+    },
+    /// A length extension summed past `usize::MAX`.
+    LengthOverflow {
+        /// Compressed-input offset of the offending token.
+        at: usize,
+    },
+}
+
+impl fmt::Display for LzError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LzError::Truncated { at } => {
+                write!(f, "compressed stream ends inside the token at byte {at}")
+            }
+            LzError::ZeroOffset { at } => {
+                write!(f, "zero match offset in the token at byte {at}")
+            }
+            LzError::OffsetTooFar { at, offset, available } => write!(
+                f,
+                "match offset {offset} reaches before the output start \
+                 ({available} bytes available) in the token at byte {at}"
+            ),
+            LzError::Overrun { at, declared } => {
+                write!(f, "token at byte {at} expands past the declared output length {declared}")
+            }
+            LzError::Underrun { produced, declared } => {
+                write!(f, "stream produced {produced} bytes but {declared} were declared")
+            }
+            LzError::LengthOverflow { at } => {
+                write!(f, "length extension overflows in the token at byte {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LzError {}
+
+/// An upper bound on `compress(input).len()` for an input of `input_len`
+/// bytes. The encoder never emits a match that expands, so the worst case
+/// is a single literal run: one token, one extension byte per 255
+/// literals, and the literals themselves.
+#[must_use]
+pub fn max_compressed_len(input_len: usize) -> usize {
+    input_len + input_len / 255 + 16
+}
+
+fn hash(sequence: u32) -> usize {
+    (sequence.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+fn read_u32_le(bytes: &[u8], at: usize) -> u32 {
+    // Callers guarantee `at + 4 <= bytes.len()`; `get` keeps the encoder
+    // panic-free even so.
+    bytes.get(at..at + 4).and_then(|window| window.try_into().ok()).map_or(0, u32::from_le_bytes)
+}
+
+fn push_extension(out: &mut Vec<u8>, mut extra: usize) {
+    while extra >= 255 {
+        out.push(255);
+        extra -= 255;
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    out.push(extra as u8);
+}
+
+/// Append one token: `literals`, then (unless this is the final token)
+/// a match of `length` bytes at backward distance `offset`.
+fn emit(out: &mut Vec<u8>, literals: &[u8], matched: Option<(u16, usize)>) {
+    if literals.is_empty() && matched.is_none() {
+        return;
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    let literal_nibble = literals.len().min(15) as u8;
+    #[allow(clippy::cast_possible_truncation)]
+    let match_nibble = matched.map_or(0, |(_, length)| (length - MIN_MATCH).min(15) as u8);
+    out.push((literal_nibble << 4) | match_nibble);
+    if literals.len() >= 15 {
+        push_extension(out, literals.len() - 15);
+    }
+    out.extend_from_slice(literals);
+    if let Some((offset, length)) = matched {
+        out.extend_from_slice(&offset.to_le_bytes());
+        if length - MIN_MATCH >= 15 {
+            push_extension(out, length - MIN_MATCH - 15);
+        }
+    }
+}
+
+/// Compress `input`. Deterministic, greedy, single pass; never fails.
+/// The output may be longer than the input (bounded by
+/// [`max_compressed_len`]) — callers wanting a stored fallback compare
+/// lengths themselves.
+#[must_use]
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut anchor = 0usize;
+    let mut cursor = 0usize;
+    while cursor + MIN_MATCH <= input.len() {
+        let slot = hash(read_u32_le(input, cursor));
+        let candidate = table[slot];
+        table[slot] = cursor;
+        let found = candidate != usize::MAX
+            && cursor - candidate <= MAX_OFFSET
+            && input[candidate..candidate + MIN_MATCH] == input[cursor..cursor + MIN_MATCH];
+        if found {
+            let mut length = MIN_MATCH;
+            while cursor + length < input.len()
+                && input[candidate + length] == input[cursor + length]
+            {
+                length += 1;
+            }
+            #[allow(clippy::cast_possible_truncation)]
+            let offset = (cursor - candidate) as u16;
+            emit(&mut out, &input[anchor..cursor], Some((offset, length)));
+            cursor += length;
+            anchor = cursor;
+        } else {
+            cursor += 1;
+        }
+    }
+    if anchor < input.len() {
+        emit(&mut out, &input[anchor..], None);
+    }
+    out
+}
+
+/// Read one length extension: bytes summed until one below 255.
+fn read_extension(input: &[u8], pos: &mut usize, token_at: usize) -> Result<usize, LzError> {
+    let mut total = 0usize;
+    loop {
+        let &byte = input.get(*pos).ok_or(LzError::Truncated { at: token_at })?;
+        *pos += 1;
+        total = total.checked_add(byte as usize).ok_or(LzError::LengthOverflow { at: token_at })?;
+        if byte != 255 {
+            return Ok(total);
+        }
+    }
+}
+
+/// Decompress `input` into exactly `output_len` bytes.
+///
+/// Every failure mode of a hostile stream — truncation, zero or
+/// out-of-range offsets, over- or under-production, length overflow —
+/// returns a structured [`LzError`]; this function never panics. The
+/// output buffer grows with the bytes actually produced (capacity is
+/// seeded with at most 64 KiB), so a hostile `output_len` cannot force a
+/// large allocation.
+pub fn decompress(input: &[u8], output_len: usize) -> Result<Vec<u8>, LzError> {
+    let mut out: Vec<u8> = Vec::with_capacity(output_len.min(1 << 16));
+    let mut pos = 0usize;
+    while pos < input.len() {
+        let token_at = pos;
+        let token = input[pos];
+        pos += 1;
+
+        let mut literal_len = usize::from(token >> 4);
+        if literal_len == 15 {
+            literal_len = literal_len
+                .checked_add(read_extension(input, &mut pos, token_at)?)
+                .ok_or(LzError::LengthOverflow { at: token_at })?;
+        }
+        let literals_end =
+            pos.checked_add(literal_len).ok_or(LzError::LengthOverflow { at: token_at })?;
+        let literals = input.get(pos..literals_end).ok_or(LzError::Truncated { at: token_at })?;
+        if out.len() + literals.len() > output_len {
+            return Err(LzError::Overrun { at: token_at, declared: output_len });
+        }
+        out.extend_from_slice(literals);
+        pos = literals_end;
+
+        if pos == input.len() {
+            // Final literal-only token: the stream ends here.
+            break;
+        }
+
+        let offset_bytes = input.get(pos..pos + 2).ok_or(LzError::Truncated { at: token_at })?;
+        let offset = usize::from(u16::from_le_bytes([offset_bytes[0], offset_bytes[1]]));
+        pos += 2;
+        if offset == 0 {
+            return Err(LzError::ZeroOffset { at: token_at });
+        }
+        if offset > out.len() {
+            return Err(LzError::OffsetTooFar { at: token_at, offset, available: out.len() });
+        }
+
+        let mut match_len = usize::from(token & 0x0F);
+        if match_len == 15 {
+            match_len = match_len
+                .checked_add(read_extension(input, &mut pos, token_at)?)
+                .ok_or(LzError::LengthOverflow { at: token_at })?;
+        }
+        let match_len = match_len + MIN_MATCH;
+        if out.len().checked_add(match_len).is_none_or(|end| end > output_len) {
+            return Err(LzError::Overrun { at: token_at, declared: output_len });
+        }
+        // Byte-by-byte so overlapping matches (offset < length) repeat
+        // the bytes they just produced.
+        let start = out.len() - offset;
+        for step in 0..match_len {
+            let byte = out[start + step];
+            out.push(byte);
+        }
+    }
+    if out.len() != output_len {
+        return Err(LzError::Underrun { produced: out.len(), declared: output_len });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(input: &[u8]) {
+        let packed = compress(input);
+        assert!(packed.len() <= max_compressed_len(input.len()));
+        let unpacked = decompress(&packed, input.len()).expect("roundtrip decodes");
+        assert_eq!(unpacked, input);
+    }
+
+    /// A tiny deterministic generator for pseudo-random test payloads.
+    fn lcg_bytes(len: usize, mut state: u64) -> Vec<u8> {
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_stream() {
+        assert!(compress(&[]).is_empty());
+        assert_eq!(decompress(&[], 0).expect("empty decodes"), Vec::<u8>::new());
+        assert_eq!(decompress(&[], 3), Err(LzError::Underrun { produced: 0, declared: 3 }));
+    }
+
+    #[test]
+    fn short_and_structured_inputs_round_trip() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abc");
+        roundtrip(b"abcd");
+        roundtrip(b"abcdabcdabcdabcd");
+        roundtrip(&[0u8; 4096]);
+        roundtrip(&b"the quick brown fox jumps over the lazy dog. ".repeat(100));
+        let mut sawtooth = Vec::new();
+        for lap in 0u32..50 {
+            for step in 0u32..257 {
+                sawtooth.extend_from_slice(&(lap.wrapping_mul(step)).to_le_bytes());
+            }
+        }
+        roundtrip(&sawtooth);
+    }
+
+    #[test]
+    fn random_inputs_round_trip() {
+        for seed in 0..8u64 {
+            roundtrip(&lcg_bytes(10_000, seed));
+        }
+        // Long literal runs exercise the extension-byte path (> 15+255).
+        roundtrip(&lcg_bytes(300, 99));
+    }
+
+    #[test]
+    fn overlapping_matches_repeat() {
+        // A run compresses via offset-1 self-overlap; long runs also
+        // exercise the match-length extension path.
+        let run = vec![0xABu8; 100_000];
+        let packed = compress(&run);
+        assert!(packed.len() < 1000, "run of 100k bytes must collapse, got {}", packed.len());
+        assert_eq!(decompress(&packed, run.len()).expect("decodes"), run);
+    }
+
+    #[test]
+    fn repetitive_input_shrinks() {
+        let input = b"varint-delta-varint-delta-".repeat(64);
+        let packed = compress(&input);
+        assert!(packed.len() * 4 < input.len(), "{} vs {}", packed.len(), input.len());
+    }
+
+    #[test]
+    fn every_truncation_of_a_valid_stream_errors() {
+        let input = b"overlap overlap overlap overlap tail".repeat(20);
+        let packed = compress(&input);
+        for cut in 0..packed.len() {
+            assert!(
+                decompress(&packed[..cut], input.len()).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_declared_length_errors() {
+        let input = b"wrong length wrong length".repeat(10);
+        let packed = compress(&input);
+        assert!(decompress(&packed, input.len() - 1).is_err());
+        assert!(decompress(&packed, input.len() + 1).is_err());
+    }
+
+    #[test]
+    fn hostile_streams_error_instead_of_panicking() {
+        // Zero offset.
+        let stream = [0x14, b'x', 0x00, 0x00];
+        assert_eq!(decompress(&stream, 6), Err(LzError::ZeroOffset { at: 0 }));
+        // Offset past the output start.
+        let stream = [0x14, b'x', 0x05, 0x00];
+        assert!(matches!(decompress(&stream, 6), Err(LzError::OffsetTooFar { .. })));
+        // Literal run declared past the end of the input.
+        let stream = [0xF0, 0xFF, 0x10];
+        assert!(matches!(decompress(&stream, 1000), Err(LzError::Truncated { .. })));
+        // Match expanding past the declared output length.
+        let stream = [0x1F, b'x', 0x01, 0x00, 0xFF, 0xFF, 0x00];
+        assert!(matches!(decompress(&stream, 8), Err(LzError::Overrun { .. })));
+        // Single-bit flips of a real stream must never panic.
+        let input = b"flip every bit of me ".repeat(30);
+        let packed = compress(&input);
+        for position in 0..packed.len() {
+            for bit in 0..8 {
+                let mut corrupt = packed.clone();
+                corrupt[position] ^= 1 << bit;
+                let _ = decompress(&corrupt, input.len());
+            }
+        }
+    }
+}
