@@ -3,12 +3,15 @@
 //! ways. On a multi-core host the `engine-all-cores` rows demonstrate the
 //! engine's speedup over `sequential-lockstep`; `engine-1-worker` bounds
 //! the engine's bookkeeping overhead (sharding + job scheduling) since its
-//! tallies are identical by construction.
+//! tallies are identical by construction. The `engine_replay_sampled`
+//! group times phase-sampled replay (cold and functionally warmed,
+//! resident and streaming) against the full replay, with the plan's
+//! >=10x tallied-record reduction asserted up front.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dvp_bench::shared_workload_trace;
 use dvp_core::{AccuracyTracker, Predictor, PredictorConfig};
-use dvp_engine::ReplayEngine;
+use dvp_engine::{phase_plan, PhaseOptions, ReplayEngine};
 use dvp_workloads::Benchmark;
 use std::hint::black_box;
 use std::time::Duration;
@@ -125,6 +128,57 @@ fn bench(c: &mut Criterion) {
     group.bench_function(BenchmarkId::from_parameter("streaming-window-1"), |b| {
         let window_1 = ReplayEngine::new().with_chunk_window(1);
         b.iter(|| black_box(window_1.replay_streaming(container.as_slice(), &bank)));
+    });
+    group.finish();
+
+    // Phase sampling: the full replay against the cold sampled replay
+    // (warmup + representative windows only — the >=10x record-footprint
+    // win) and the functionally-warmed one (every record observed, only
+    // windows tallied — the accuracy-gated estimator), resident and
+    // streaming. The plan's reduction is asserted, so a >=10x gap in
+    // records *touched* between `full-replay` and `sampled-cold` rows is
+    // pinned by construction; the throughput rows show what that buys in
+    // wall clock.
+    let plan = phase_plan(&trace, &PhaseOptions::default());
+    let reduction = plan.total_records as f64 / plan.simulated_records() as f64;
+    assert!(
+        reduction >= 10.0,
+        "bench plan must tally at most a tenth of the trace, got {reduction:.1}x"
+    );
+    eprintln!(
+        "[sampled] cc: {} of {} records tallied ({reduction:.1}x), {} touched cold, {} phases",
+        plan.simulated_records(),
+        plan.total_records,
+        plan.replayed_records(),
+        plan.phases.len()
+    );
+
+    let mut group = c.benchmark_group("engine_replay_sampled");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64 * bank.len() as u64));
+    group.bench_function(BenchmarkId::from_parameter("full-replay"), |b| {
+        b.iter(|| black_box(all_cores.replay(&trace, &bank)));
+    });
+    group.bench_function(BenchmarkId::from_parameter("sampled-cold"), |b| {
+        b.iter(|| black_box(all_cores.replay_sampled(&trace, &bank, &plan)));
+    });
+    group.bench_function(BenchmarkId::from_parameter("sampled-warm"), |b| {
+        b.iter(|| black_box(all_cores.replay_sampled_warm(&trace, &bank, &plan)));
+    });
+    group.bench_function(BenchmarkId::from_parameter("streaming-full"), |b| {
+        b.iter(|| black_box(all_cores.replay_streaming(container.as_slice(), &bank)));
+    });
+    group.bench_function(BenchmarkId::from_parameter("streaming-sampled-cold"), |b| {
+        b.iter(|| {
+            black_box(all_cores.replay_sampled_streaming(container.as_slice(), &bank, &plan))
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("streaming-sampled-warm"), |b| {
+        b.iter(|| {
+            black_box(all_cores.replay_sampled_warm_streaming(container.as_slice(), &bank, &plan))
+        });
     });
     group.finish();
 }

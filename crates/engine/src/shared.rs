@@ -167,6 +167,12 @@ impl SharedTrace {
         &self.chunks
     }
 
+    /// Per-chunk dense-id vectors, parallel to [`SharedTrace::chunks`]
+    /// (`id_chunks()[c][i]` is the interned id of `chunks()[c][i].pc`).
+    pub(crate) fn id_chunks(&self) -> &[Vec<PcId>] {
+        &self.ids
+    }
+
     /// Copies the trace into a flat vector.
     #[must_use]
     pub fn to_vec(&self) -> Vec<TraceRecord> {

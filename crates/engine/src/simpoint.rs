@@ -1,0 +1,1141 @@
+//! SimPoint-style phase sampling: profile a trace once, cluster its
+//! windows, replay only weighted representatives.
+//!
+//! The paper's tables replay every record of every trace. That is exact
+//! but linear in trace length — the wrong trade once `trace gen` makes
+//! billion-record containers routine. Phase sampling buys back the wall
+//! clock the way SimPoint does for cycle-accurate simulation:
+//!
+//! 1. **Profile.** [`phase_plan`] slices the trace into fixed-length
+//!    record windows and fingerprints each with a small *behavior
+//!    vector* gathered in one cheap sequential pass over the
+//!    [`PcId`](dvp_trace::PcId) stream: the window's instruction-category
+//!    mix plus its last-value / stride / order-1-context /
+//!    order-3-context hit rates and its fraction of first-seen static
+//!    instructions — the same signals the predictors themselves key on,
+//!    so windows that cluster together really are interchangeable *for
+//!    prediction* (including how far along the fcm tables' warm-up ramp
+//!    they sit).
+//! 2. **Cluster.** The vectors are k-means-clustered with a seeded,
+//!    fully deterministic procedure (xorshift-seeded farthest-point
+//!    init, lowest-index tie-breaks, sequential iterations): the same
+//!    trace and options produce a byte-identical
+//!    [`PhasePlan`](dvp_trace::PhasePlan) on every machine at every
+//!    `--workers`/`--shards` setting.
+//! 3. **Replay the representatives.**
+//!    [`ReplayEngine::replay_sampled`] replays one window per cluster —
+//!    preceded by a warmup prefix observed *untallied* to heat the cold
+//!    predictor — and weights each window's tally by the fraction of the
+//!    trace its cluster covers. [`ReplayEngine::replay_sampled_streaming`]
+//!    does the same against a v2/v3/v4 container without materializing
+//!    it, skipping the decode (not just the replay) of every chunk no
+//!    phase touches.
+//!
+//! Plans persist as the `PHAS` optional section of a v3/v4 container
+//! (see `docs/TRACE_FORMAT.md`), so a warm trace cache replays sampled
+//! without re-profiling.
+//!
+//! # Cold sampling vs functional warming
+//!
+//! The cold path above touches ~10x fewer records, but a predictor
+//! whose tables grow with history (the paper's unbounded `fcm` bank)
+//! is *structurally* under-warmed by any short prefix: its full-trace
+//! accuracy keeps climbing as the context table fills, so a cold
+//! per-phase replay underestimates it by several percentage points no
+//! matter how representative the windows are. For those predictors
+//! [`ReplayEngine::replay_sampled_warm`] (and its streaming twin,
+//! [`ReplayEngine::replay_sampled_warm_streaming`]) borrows the SMARTS
+//! trick of *functional warming*: one predictor per configuration walks
+//! the whole trace in order, **observing** every record to keep state
+//! exact but **tallying** only the plan's representative windows. The
+//! estimate then differs from the full replay only by the clustering's
+//! weighting error (sub-percentage-point in practice), while the
+//! detailed, tallied portion is still the same ~10x-smaller record set
+//! — the `repro --sample` harness reports both modes side by side.
+
+use crate::pool::decode_ahead;
+use crate::{ReplayEngine, SharedTrace};
+use dvp_core::{AccuracyTracker, PredictorConfig};
+use dvp_trace::io::{v2, TraceIoError};
+use dvp_trace::{InstrCategory, PcInterner, PhasePlan, SimPointPhase, TraceRecord};
+use std::io::Read;
+
+/// Default records per profiling window.
+///
+/// 4096 divides [`DEFAULT_CHUNK_LEN`](crate::DEFAULT_CHUNK_LEN) (and
+/// every power-of-two chunk capacity down to it), so windows never
+/// straddle container chunk boundaries and the streaming sampled replay
+/// can skip whole chunks. It is also small enough that the default
+/// plan tallies under a tenth of even the shortest tier-1 workload
+/// trace.
+pub const DEFAULT_WINDOW_RECORDS: usize = 4096;
+
+/// Parameters of the profiling + clustering pass that builds a
+/// [`PhasePlan`] (see [`phase_plan`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseOptions {
+    /// Records per profiling window (clamped to at least 1). Keep it a
+    /// divisor of the container chunk capacity so windows stay
+    /// chunk-aligned. Treated as a *maximum*: a trace too short to hold
+    /// `clusters * min_reduction` windows of this size is profiled with
+    /// a smaller power-of-two window (at least 64 records) instead, so
+    /// short traces still cluster meaningfully without giving up the
+    /// tallied-record reduction.
+    pub window_records: usize,
+    /// Windows replayed untallied before each representative to warm
+    /// predictor state.
+    pub warmup_windows: usize,
+    /// Maximum clusters (= phases). The plan may come out smaller when
+    /// the trace has fewer windows, or fewer *distinct* behaviors, than
+    /// this — or when `min_reduction` caps it. The default of 16 holds
+    /// the warm-mode weighting error under one percentage point on every
+    /// tier-1 workload while still tallying under a tenth of the
+    /// records.
+    pub clusters: usize,
+    /// Seed of the deterministic k-means init.
+    pub seed: u64,
+    /// Iteration bound on the k-means refinement loop (clamped to at
+    /// least 1; the loop usually converges far earlier).
+    pub max_iterations: usize,
+    /// Floor on the tallied-record reduction: the phase count is capped
+    /// so the representative windows hold at most `1/min_reduction` of
+    /// the trace (but always at least one phase; `0` disables the cap).
+    /// The default of 10 keeps short traces from spending their whole
+    /// cluster budget and eroding the sampling win.
+    pub min_reduction: u64,
+}
+
+impl Default for PhaseOptions {
+    fn default() -> Self {
+        PhaseOptions {
+            window_records: DEFAULT_WINDOW_RECORDS,
+            warmup_windows: 1,
+            clusters: 16,
+            seed: 0x7A5E_5EED,
+            max_iterations: 64,
+            min_reduction: 10,
+        }
+    }
+}
+
+/// Behavior-vector layout: one dimension per instruction category, then
+/// the last-value / stride hit rates, order-1 and order-3 context
+/// (fcm-proxy) hit rates, and the fraction of records whose static
+/// instruction first appears in this window. Every dimension is a
+/// fraction in `[0, 1]`, so no feature dominates the euclidean metric.
+///
+/// The context proxies are real per-PC maps (context hash → last
+/// successor), not single-entry latches: an unbounded fcm predictor
+/// keeps *climbing* while its table fills, and only a table-backed proxy
+/// makes that ramp visible in the fingerprint — otherwise every
+/// still-warming window looks identical to steady state and the
+/// clustering happily picks a cold window to represent the whole trace.
+const DIMS: usize = InstrCategory::ALL.len() + 5;
+const LAST_DIM: usize = InstrCategory::ALL.len();
+const STRIDE_DIM: usize = LAST_DIM + 1;
+const CTX1_DIM: usize = LAST_DIM + 2;
+const CTX3_DIM: usize = LAST_DIM + 3;
+const FRESH_DIM: usize = LAST_DIM + 4;
+
+/// Fingerprints every `window_records`-record window of the trace in one
+/// sequential pass. Per-PC predictor-proxy state (last value, stride,
+/// order-1/order-3 context maps) persists *across* windows, exactly like
+/// real predictor state would.
+fn behavior_vectors(trace: &SharedTrace, window_records: usize) -> Vec<[f64; DIMS]> {
+    use std::collections::HashMap;
+    let window_records = window_records.max(1) as u64;
+    let n_ids = trace.interner().len();
+    let mut seen = vec![false; n_ids];
+    let mut last = vec![0u64; n_ids];
+    let mut stride = vec![0u64; n_ids];
+    let mut has_stride = vec![false; n_ids];
+    // Per-PC fcm proxies: order-1 maps the previous value to its last
+    // successor; order-3 maps a mix of the last three values. `depth`
+    // counts records seen per PC so order-3 only engages once the
+    // history is full.
+    let mut map1: Vec<HashMap<u64, u64>> = vec![HashMap::new(); n_ids];
+    let mut map3: Vec<HashMap<u64, u64>> = vec![HashMap::new(); n_ids];
+    let mut hist = vec![[0u64; 3]; n_ids];
+    let mut depth = vec![0u32; n_ids];
+    let mix = |h: &[u64; 3]| {
+        h.iter()
+            .fold(0xcbf2_9ce4_8422_2325u64, |acc, &v| (acc ^ v).wrapping_mul(0x0000_0100_0000_01b3))
+    };
+    let mut vectors = Vec::with_capacity((trace.len() as u64).div_ceil(window_records) as usize);
+    let mut counts = [0u64; DIMS];
+    let mut in_window = 0u64;
+    for (rec, id) in trace.iter_with_ids() {
+        let i = id.index();
+        counts[rec.category.index()] += 1;
+        if seen[i] {
+            let prev = last[i];
+            if rec.value == prev {
+                counts[LAST_DIM] += 1;
+            }
+            if has_stride[i] && rec.value == prev.wrapping_add(stride[i]) {
+                counts[STRIDE_DIM] += 1;
+            }
+            if map1[i].insert(prev, rec.value) == Some(rec.value) {
+                counts[CTX1_DIM] += 1;
+            }
+            if depth[i] >= 3 && map3[i].insert(mix(&hist[i]), rec.value) == Some(rec.value) {
+                counts[CTX3_DIM] += 1;
+            }
+            stride[i] = rec.value.wrapping_sub(prev);
+            has_stride[i] = true;
+        } else {
+            counts[FRESH_DIM] += 1;
+            seen[i] = true;
+        }
+        hist[i] = [hist[i][1], hist[i][2], rec.value];
+        depth[i] = depth[i].saturating_add(1);
+        last[i] = rec.value;
+        in_window += 1;
+        if in_window == window_records {
+            vectors.push(normalized(&counts, in_window));
+            counts = [0u64; DIMS];
+            in_window = 0;
+        }
+    }
+    if in_window > 0 {
+        vectors.push(normalized(&counts, in_window));
+    }
+    vectors
+}
+
+fn normalized(counts: &[u64; DIMS], len: u64) -> [f64; DIMS] {
+    let mut vector = [0.0; DIMS];
+    for (slot, &count) in vector.iter_mut().zip(counts) {
+        *slot = count as f64 / len as f64;
+    }
+    vector
+}
+
+/// The window size actually used for a `total`-record trace: the
+/// requested window, or — when the trace cannot hold
+/// `clusters * min_reduction` windows of that size — the power of two
+/// nearest above `total / (clusters * min_reduction)`, floored at 64
+/// records. Traces too short even for 64-record windows (where sampling
+/// is pointless anyway) keep the requested size and degenerate to a
+/// near-whole-trace plan.
+fn effective_window(options: &PhaseOptions, total: u64) -> u64 {
+    const MIN_WINDOW: u64 = 64;
+    let requested = options.window_records.max(1) as u64;
+    let budget = (options.clusters.max(1) as u64).saturating_mul(options.min_reduction);
+    if budget == 0
+        || total >= budget.saturating_mul(requested)
+        || total < budget.saturating_mul(MIN_WINDOW)
+    {
+        return requested;
+    }
+    (total / budget).max(1).next_power_of_two().clamp(MIN_WINDOW.min(requested), requested)
+}
+
+fn squared_distance(a: &[f64; DIMS], b: &[f64; DIMS]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Seeded deterministic k-means: the seed picks the first centroid,
+/// farthest-point selection (lowest index on ties) picks the rest, and
+/// the refinement loop runs sequentially — no parallelism, no
+/// platform-dependent ordering, so the same inputs always produce the
+/// same `(centroids, assignment)`.
+fn kmeans(
+    vectors: &[[f64; DIMS]],
+    clusters: usize,
+    seed: u64,
+    max_iterations: usize,
+) -> (Vec<[f64; DIMS]>, Vec<usize>) {
+    let n = vectors.len();
+    let k = clusters.clamp(1, n);
+    // xorshift has a fixed point at 0; force a bit on.
+    let mut state = seed | 1;
+    let first = (xorshift64(&mut state) % n as u64) as usize;
+    let mut centroids = vec![vectors[first]];
+    while centroids.len() < k {
+        let mut best = 0usize;
+        let mut best_distance = -1.0f64;
+        for (i, vector) in vectors.iter().enumerate() {
+            let nearest = centroids
+                .iter()
+                .map(|centroid| squared_distance(centroid, vector))
+                .fold(f64::INFINITY, f64::min);
+            if nearest > best_distance {
+                best = i;
+                best_distance = nearest;
+            }
+        }
+        if best_distance <= 0.0 {
+            // Every remaining window coincides with a centroid: fewer
+            // distinct behaviors than requested clusters.
+            break;
+        }
+        centroids.push(vectors[best]);
+    }
+    let k = centroids.len();
+    let mut assignment = vec![0usize; n];
+    for _ in 0..max_iterations.max(1) {
+        let mut changed = false;
+        for (i, vector) in vectors.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_distance = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let distance = squared_distance(centroid, vector);
+                if distance < best_distance {
+                    best = c;
+                    best_distance = distance;
+                }
+            }
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        let mut sums = vec![[0.0; DIMS]; k];
+        let mut members = vec![0u64; k];
+        for (vector, &cluster) in vectors.iter().zip(&assignment) {
+            members[cluster] += 1;
+            for (sum, value) in sums[cluster].iter_mut().zip(vector) {
+                *sum += value;
+            }
+        }
+        for ((centroid, sum), &count) in centroids.iter_mut().zip(&sums).zip(&members) {
+            // A cluster that lost every member keeps its old centroid.
+            if count > 0 {
+                for (slot, total) in centroid.iter_mut().zip(sum) {
+                    *slot = total / count as f64;
+                }
+            }
+        }
+    }
+    (centroids, assignment)
+}
+
+/// Builds a [`PhasePlan`] for `trace`: fingerprint every fixed-length
+/// window with its behavior vector (`options.window_records` records
+/// each, shrunk for short traces — see
+/// [`PhaseOptions::window_records`]), cluster the fingerprints with
+/// seeded deterministic k-means, and emit one phase per non-empty
+/// cluster — the member window nearest the final centroid represents
+/// the cluster, weighted by the records its cluster covers.
+///
+/// The result is deterministic (a pure function of the trace and the
+/// options), always passes [`PhasePlan::validate`], and for an empty
+/// trace is the valid empty plan.
+///
+/// # Examples
+///
+/// ```
+/// use dvp_engine::{phase_plan, PhaseOptions, SharedTrace};
+/// use dvp_trace::{InstrCategory, Pc, TraceRecord};
+///
+/// let trace: SharedTrace = (0..10_000u64)
+///     .map(|i| TraceRecord::new(Pc(4 * (i % 7)), InstrCategory::AddSub, i / 7))
+///     .collect();
+/// let options = PhaseOptions { window_records: 512, clusters: 4, ..PhaseOptions::default() };
+/// let plan = phase_plan(&trace, &options);
+/// plan.validate().expect("plans are valid by construction");
+/// let weights: f64 = (0..plan.phases.len()).map(|i| plan.weight(i)).sum();
+/// assert!((weights - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn phase_plan(trace: &SharedTrace, options: &PhaseOptions) -> PhasePlan {
+    let total = trace.len() as u64;
+    let window = effective_window(options, total);
+    let mut plan = PhasePlan {
+        window_records: window,
+        warmup_records: window * options.warmup_windows as u64,
+        seed: options.seed,
+        total_records: total,
+        phases: Vec::new(),
+    };
+    if total == 0 {
+        return plan;
+    }
+    let vectors = behavior_vectors(trace, window as usize);
+    // Cap phases so the tallied windows hold at most 1/min_reduction of
+    // the trace: k * window <= total / min_reduction.
+    let clusters = match options.min_reduction {
+        0 => options.clusters,
+        floor => options.clusters.min(((total / (floor * window)) as usize).max(1)),
+    };
+    let (centroids, assignment) = kmeans(&vectors, clusters, options.seed, options.max_iterations);
+    let window_len = |w: usize| ((w as u64 + 1) * window).min(total) - w as u64 * window;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let mut cluster_records = 0u64;
+        let mut representative: Option<(usize, f64)> = None;
+        for (w, &cluster) in assignment.iter().enumerate() {
+            if cluster != c {
+                continue;
+            }
+            cluster_records += window_len(w);
+            let distance = squared_distance(centroid, &vectors[w]);
+            if representative.is_none_or(|(_, best)| distance < best) {
+                representative = Some((w, distance));
+            }
+        }
+        let Some((w, _)) = representative else { continue };
+        plan.phases.push(SimPointPhase {
+            cluster_records,
+            start: w as u64 * window,
+            end: w as u64 * window + window_len(w),
+        });
+    }
+    plan.phases.sort_by_key(|phase| phase.start);
+    plan.validate().expect("constructed phase plan is valid");
+    plan
+}
+
+/// The outcome of replaying one predictor configuration under a
+/// [`PhasePlan`]: the configuration's name and one exact integer tally
+/// per phase, in plan order.
+///
+/// Per-phase tallies (not a pre-merged number) are the deliberate
+/// surface: exact counts stay byte-comparable across worker/shard/window
+/// settings, and the weighted estimate is derived on demand against the
+/// plan that produced them.
+#[derive(Debug, Clone)]
+pub struct SampledReplay {
+    /// Name of the [`PredictorConfig`] that produced these tallies.
+    pub name: String,
+    /// One tally per plan phase (warmup records are *not* tallied).
+    pub phases: Vec<AccuracyTracker>,
+}
+
+impl SampledReplay {
+    /// The sampled estimate of full-trace accuracy: each phase's
+    /// accuracy weighted by the trace fraction its cluster covers.
+    /// Phases with no predictions in `category` are skipped and the
+    /// remaining weights renormalized (with `None` every phase predicts,
+    /// so the weights are exactly the plan's).
+    #[must_use]
+    pub fn weighted_accuracy(&self, plan: &PhasePlan, category: Option<InstrCategory>) -> f64 {
+        let mut accuracy = 0.0;
+        let mut weight = 0.0;
+        for (i, tracker) in self.phases.iter().enumerate() {
+            if tracker.predicted(category) > 0 {
+                accuracy += plan.weight(i) * tracker.accuracy(category);
+                weight += plan.weight(i);
+            }
+        }
+        if weight == 0.0 {
+            0.0
+        } else {
+            accuracy / weight
+        }
+    }
+
+    /// Total tallied (simulated) predictions across all phases.
+    #[must_use]
+    pub fn simulated(&self) -> u64 {
+        self.phases.iter().map(AccuracyTracker::total).sum()
+    }
+}
+
+/// Calls `visit` for every `(record, id)` of `trace` with global index
+/// in `start..end`, seeking chunk by chunk instead of advancing an
+/// iterator through the skipped prefix.
+fn visit_range<F>(trace: &SharedTrace, start: u64, end: u64, mut visit: F)
+where
+    F: FnMut(&TraceRecord, dvp_trace::PcId),
+{
+    let mut base = 0u64;
+    for (chunk, ids) in trace.chunks().iter().zip(trace.id_chunks()) {
+        let chunk_end = base + chunk.len() as u64;
+        if chunk_end > start && base < end {
+            let lo = start.saturating_sub(base) as usize;
+            let hi = (end.min(chunk_end) - base) as usize;
+            for (rec, &id) in chunk[lo..hi].iter().zip(&ids[lo..hi]) {
+                visit(rec, id);
+            }
+        }
+        base = chunk_end;
+        if base >= end {
+            break;
+        }
+    }
+}
+
+impl ReplayEngine {
+    /// Replays only the plan's representative windows — one independent
+    /// job per (configuration, phase) on this engine's worker pool —
+    /// and returns one [`SampledReplay`] per configuration, in bank
+    /// order.
+    ///
+    /// Each job builds a **cold** predictor, warms it on the
+    /// `plan.warmup_records` records before its window (observed,
+    /// never tallied), then tallies the window itself. Jobs share
+    /// nothing and their tallies are exact integer counts, so results
+    /// are byte-identical at every worker, shard, and chunk-window
+    /// setting (sharding does not apply inside a window; the settings
+    /// only move the wall clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`PhasePlan::validate`] or was built for
+    /// a trace of a different length — both are programmer errors: plans
+    /// come from [`phase_plan`] or from a validated `PHAS` section.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dvp_core::PredictorConfig;
+    /// use dvp_engine::{phase_plan, PhaseOptions, ReplayEngine, SharedTrace};
+    /// use dvp_trace::{InstrCategory, Pc, TraceRecord};
+    ///
+    /// let trace: SharedTrace = (0..50_000u64)
+    ///     .map(|i| TraceRecord::new(Pc(4 * (i % 9)), InstrCategory::Loads, i % 3))
+    ///     .collect();
+    /// let options = PhaseOptions { window_records: 1024, clusters: 3, ..PhaseOptions::default() };
+    /// let plan = phase_plan(&trace, &options);
+    /// let sampled = ReplayEngine::new().replay_sampled(&trace, &PredictorConfig::paper_bank(), &plan);
+    /// assert_eq!(sampled.len(), 5);
+    /// // The weighted estimate derives from per-phase exact tallies.
+    /// let estimate = sampled[0].weighted_accuracy(&plan, None);
+    /// assert!((0.0..=1.0).contains(&estimate));
+    /// ```
+    #[must_use]
+    pub fn replay_sampled(
+        &self,
+        trace: &SharedTrace,
+        bank: &[PredictorConfig],
+        plan: &PhasePlan,
+    ) -> Vec<SampledReplay> {
+        plan.validate().expect("sampled replay needs a valid phase plan");
+        assert_eq!(
+            plan.total_records,
+            trace.len() as u64,
+            "phase plan was built for a different trace"
+        );
+        let jobs: Vec<(usize, usize)> = (0..bank.len())
+            .flat_map(|config| (0..plan.phases.len()).map(move |phase| (config, phase)))
+            .collect();
+        let tallies = self.map(jobs, |(config, phase)| {
+            let phase = &plan.phases[phase];
+            let mut predictor = bank[config].build();
+            predictor.reserve_ids(trace.interner().len());
+            visit_range(
+                trace,
+                phase.start.saturating_sub(plan.warmup_records),
+                phase.start,
+                |rec, id| {
+                    let _ = predictor.observe_id(id, rec.pc, rec.value);
+                },
+            );
+            let mut tracker = AccuracyTracker::new();
+            visit_range(trace, phase.start, phase.end, |rec, id| {
+                tracker.record(rec.category, predictor.observe_id(id, rec.pc, rec.value));
+            });
+            tracker
+        });
+        let mut tallies = tallies.into_iter();
+        bank.iter()
+            .map(|config| SampledReplay {
+                name: config.name().to_owned(),
+                phases: (0..plan.phases.len())
+                    .map(|_| tallies.next().expect("one tally per job"))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Functionally-warmed sampled replay: one predictor per
+    /// (configuration, PC shard) walks the **whole** trace in order,
+    /// observing every record so its state matches the full replay's
+    /// exactly, but tallying only the records inside the plan's
+    /// representative windows.
+    ///
+    /// Where [`replay_sampled`](ReplayEngine::replay_sampled) trades
+    /// accuracy on history-hungry predictors (unbounded `fcm` tables
+    /// never warm from a short prefix) for a ~10x smaller record
+    /// footprint, this path keeps state exact — the weighted estimate
+    /// differs from the full replay only by the clustering's weighting
+    /// error — at the cost of touching every record once per
+    /// configuration. Warmup prefixes are irrelevant here (state is
+    /// always warm) and are ignored.
+    ///
+    /// Tallies are exact integer counts merged in (configuration,
+    /// shard) order, so results are byte-identical at every worker,
+    /// shard, and chunk-window setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`PhasePlan::validate`] or was built
+    /// for a trace of a different length.
+    #[must_use]
+    pub fn replay_sampled_warm(
+        &self,
+        trace: &SharedTrace,
+        bank: &[PredictorConfig],
+        plan: &PhasePlan,
+    ) -> Vec<SampledReplay> {
+        plan.validate().expect("sampled replay needs a valid phase plan");
+        assert_eq!(
+            plan.total_records,
+            trace.len() as u64,
+            "phase plan was built for a different trace"
+        );
+        let nshards = self.shards();
+        let jobs: Vec<(usize, usize)> = (0..bank.len())
+            .flat_map(|config| (0..nshards).map(move |shard| (config, shard)))
+            .collect();
+        let tallies = self.map(jobs, |(config, shard)| {
+            let mut predictor = bank[config].build();
+            predictor.reserve_ids(trace.interner().len());
+            let mut phases = vec![AccuracyTracker::new(); plan.phases.len()];
+            let mut next = 0usize;
+            for (pos, (rec, id)) in trace.iter_with_ids().enumerate() {
+                let pos = pos as u64;
+                while next < plan.phases.len() && pos >= plan.phases[next].end {
+                    next += 1;
+                }
+                if nshards == 1 || crate::shard_of_pc(rec.pc, nshards) == shard {
+                    let hit = predictor.observe_id(id, rec.pc, rec.value);
+                    if next < plan.phases.len() && pos >= plan.phases[next].start {
+                        phases[next].record(rec.category, hit);
+                    }
+                }
+            }
+            phases
+        });
+        let mut tallies = tallies.into_iter();
+        bank.iter()
+            .map(|config| {
+                let mut merged = vec![AccuracyTracker::new(); plan.phases.len()];
+                for _ in 0..nshards {
+                    let shard = tallies.next().expect("one tally per job");
+                    for (into, from) in merged.iter_mut().zip(&shard) {
+                        into.merge(from);
+                    }
+                }
+                SampledReplay { name: config.name().to_owned(), phases: merged }
+            })
+            .collect()
+    }
+
+    /// The streaming counterpart of
+    /// [`replay_sampled`](ReplayEngine::replay_sampled): replays a
+    /// v2/v3/v4 container under a phase plan without materializing the
+    /// trace, through the same bounded
+    /// [`chunk_window`](ReplayEngine::with_chunk_window) pipeline as
+    /// [`replay_streaming`](ReplayEngine::replay_streaming).
+    ///
+    /// This is where sampling pays twice: chunks that overlap no phase's
+    /// warmup or simulate range are **read but never decoded** (their
+    /// payload bytes stream past; checksum validation is skipped along
+    /// with the decode), so a sampled replay of a larger-than-RAM v4
+    /// container does a fraction of the decompression work too. Tallies
+    /// are byte-identical to the resident path at every worker, shard,
+    /// and window setting: each (configuration, phase) job observes its
+    /// records in exact trace order on a private predictor, and jobs
+    /// merge in fixed order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceIoError`] for an invalid plan, a plan whose
+    /// `total_records` disagrees with the container header, a malformed
+    /// header, a needed chunk failing validation, a payload that ends
+    /// inside a chunk, or a torn trailing section.
+    pub fn replay_sampled_streaming<R: Read>(
+        &self,
+        mut reader: R,
+        bank: &[PredictorConfig],
+        plan: &PhasePlan,
+    ) -> Result<(v2::Header, Vec<SampledReplay>), TraceIoError> {
+        plan.validate().map_err(|e| TraceIoError::Format { message: e.to_string() })?;
+        let (version, header) = v2::read_versioned_header(&mut reader)?;
+        if plan.total_records != header.record_count {
+            return Err(TraceIoError::Format {
+                message: format!(
+                    "phase plan covers {} records but the container holds {}",
+                    plan.total_records, header.record_count
+                ),
+            });
+        }
+        // Per-phase replay ranges, in plan order: warmup start, window
+        // start (tallying begins), window end.
+        let ranges: Vec<(u64, u64, u64)> = plan
+            .phases
+            .iter()
+            .map(|p| (p.start.saturating_sub(plan.warmup_records), p.start, p.end))
+            .collect();
+        let nphases = plan.phases.len();
+        let jobs = bank.len() * nphases;
+        let consumers = self.workers().min(jobs);
+        let tallies = decode_ahead(
+            self.chunk_window(),
+            consumers,
+            // Producer: stream every chunk's bytes, but decode only the
+            // chunks some phase touches. Chunks are pushed with their
+            // global record base so consumers can slice them.
+            |window| {
+                let mut base = 0u64;
+                for (index, info) in header.chunks.iter().enumerate() {
+                    let mut payload = vec![0u8; info.len as usize];
+                    reader.read_exact(&mut payload).map_err(|_| TraceIoError::Format {
+                        message: format!(
+                            "payload ends inside chunk {index} (wanted {} bytes at payload \
+                             offset {})",
+                            info.len, info.offset
+                        ),
+                    })?;
+                    let chunk_end = base + u64::from(info.records);
+                    if ranges.iter().any(|&(warm, _, end)| warm < chunk_end && base < end) {
+                        window.push((base, v2::decode_chunk(&payload, info)?));
+                    }
+                    base = chunk_end;
+                }
+                let mut rest = Vec::new();
+                reader.read_to_end(&mut rest)?;
+                v2::validate_trailing(version, &rest)?;
+                Ok::<(), TraceIoError>(())
+            },
+            // Consumers: configuration-major job ownership, as in
+            // replay_streaming. Each job interns PCs privately; dense
+            // ids differ from the resident path's, but per-PC slot
+            // streams (and therefore tallies) are identical.
+            |window, consumer| {
+                let owned: Vec<usize> = (consumer..jobs).step_by(consumers.max(1)).collect();
+                let mut states: Vec<(Box<dyn dvp_core::Predictor>, PcInterner, AccuracyTracker)> =
+                    owned
+                        .iter()
+                        .map(|&job| {
+                            (bank[job / nphases].build(), PcInterner::new(), AccuracyTracker::new())
+                        })
+                        .collect();
+                while let Some(chunk) = window.next(consumer) {
+                    let (base, records) = &*chunk;
+                    let chunk_end = base + records.len() as u64;
+                    for (&job, (predictor, interner, tracker)) in owned.iter().zip(&mut states) {
+                        let (warm, start, end) = ranges[job % nphases];
+                        let slice = |lo: u64, hi: u64| {
+                            let lo = lo.max(*base) - base;
+                            let hi = hi.min(chunk_end) - base;
+                            &records[lo as usize..hi as usize]
+                        };
+                        if warm < start && *base < start && chunk_end > warm {
+                            for rec in slice(warm, start) {
+                                let id = interner.intern(rec.pc);
+                                let _ = predictor.observe_id(id, rec.pc, rec.value);
+                            }
+                        }
+                        if *base < end && chunk_end > start {
+                            for rec in slice(start, end) {
+                                let id = interner.intern(rec.pc);
+                                tracker.record(
+                                    rec.category,
+                                    predictor.observe_id(id, rec.pc, rec.value),
+                                );
+                            }
+                        }
+                    }
+                }
+                owned
+                    .into_iter()
+                    .zip(states)
+                    .map(|(job, (_, _, tracker))| (job, tracker))
+                    .collect::<Vec<_>>()
+            },
+        )?;
+        let mut by_job: Vec<AccuracyTracker> = vec![AccuracyTracker::new(); jobs];
+        for (job, tracker) in tallies.into_iter().flatten() {
+            by_job[job] = tracker;
+        }
+        let mut by_job = by_job.into_iter();
+        let replays = bank
+            .iter()
+            .map(|config| SampledReplay {
+                name: config.name().to_owned(),
+                phases: (0..nphases).map(|_| by_job.next().expect("one tally per job")).collect(),
+            })
+            .collect();
+        Ok((header, replays))
+    }
+
+    /// The streaming counterpart of
+    /// [`replay_sampled_warm`](ReplayEngine::replay_sampled_warm):
+    /// functionally-warmed sampled replay of a v2/v3/v4 container
+    /// through the same bounded
+    /// [`chunk_window`](ReplayEngine::with_chunk_window) pipeline as
+    /// [`replay_streaming`](ReplayEngine::replay_streaming). Every
+    /// chunk is decoded (warming needs every record), but only the
+    /// plan's windows are tallied; memory stays bounded by the chunk
+    /// window, not the trace length.
+    ///
+    /// Tallies are byte-identical to the resident warm path at every
+    /// worker, shard, and window setting: each (configuration, shard)
+    /// job observes its PCs' records in exact trace order on a private
+    /// predictor, and the per-job integer tallies merge in fixed order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceIoError`] for an invalid plan, a plan whose
+    /// `total_records` disagrees with the container header, a malformed
+    /// header, any chunk failing validation, a payload that ends inside
+    /// a chunk, or a torn trailing section.
+    pub fn replay_sampled_warm_streaming<R: Read>(
+        &self,
+        mut reader: R,
+        bank: &[PredictorConfig],
+        plan: &PhasePlan,
+    ) -> Result<(v2::Header, Vec<SampledReplay>), TraceIoError> {
+        plan.validate().map_err(|e| TraceIoError::Format { message: e.to_string() })?;
+        let (version, header) = v2::read_versioned_header(&mut reader)?;
+        if plan.total_records != header.record_count {
+            return Err(TraceIoError::Format {
+                message: format!(
+                    "phase plan covers {} records but the container holds {}",
+                    plan.total_records, header.record_count
+                ),
+            });
+        }
+        let nphases = plan.phases.len();
+        let nshards = self.shards();
+        let jobs = bank.len() * nshards;
+        let consumers = self.workers().min(jobs);
+        let tallies = decode_ahead(
+            self.chunk_window(),
+            consumers,
+            // Producer: decode every chunk in index order, tagged with
+            // its global record base so consumers can track positions.
+            |window| {
+                let mut base = 0u64;
+                for (index, info) in header.chunks.iter().enumerate() {
+                    let mut payload = vec![0u8; info.len as usize];
+                    reader.read_exact(&mut payload).map_err(|_| TraceIoError::Format {
+                        message: format!(
+                            "payload ends inside chunk {index} (wanted {} bytes at payload \
+                             offset {})",
+                            info.len, info.offset
+                        ),
+                    })?;
+                    window.push((base, v2::decode_chunk(&payload, info)?));
+                    base += u64::from(info.records);
+                }
+                let mut rest = Vec::new();
+                reader.read_to_end(&mut rest)?;
+                v2::validate_trailing(version, &rest)?;
+                Ok::<(), TraceIoError>(())
+            },
+            // Consumers: configuration-major job ownership. Each job
+            // observes every record (interning PCs privately) and
+            // tallies only window records.
+            |window, consumer| {
+                let owned: Vec<usize> = (consumer..jobs).step_by(consumers.max(1)).collect();
+                type WarmState =
+                    (Box<dyn dvp_core::Predictor>, PcInterner, Vec<AccuracyTracker>, usize);
+                let mut states: Vec<WarmState> = owned
+                    .iter()
+                    .map(|&job| {
+                        (
+                            bank[job / nshards].build(),
+                            PcInterner::new(),
+                            vec![AccuracyTracker::new(); nphases],
+                            0usize,
+                        )
+                    })
+                    .collect();
+                while let Some(chunk) = window.next(consumer) {
+                    let (base, records) = &*chunk;
+                    for (&job, (predictor, interner, phases, next)) in owned.iter().zip(&mut states)
+                    {
+                        let shard = job % nshards;
+                        for (pos, rec) in (*base..).zip(records.iter()) {
+                            while *next < nphases && pos >= plan.phases[*next].end {
+                                *next += 1;
+                            }
+                            if nshards == 1 || crate::shard_of_pc(rec.pc, nshards) == shard {
+                                let id = interner.intern(rec.pc);
+                                let hit = predictor.observe_id(id, rec.pc, rec.value);
+                                if *next < nphases && pos >= plan.phases[*next].start {
+                                    phases[*next].record(rec.category, hit);
+                                }
+                            }
+                        }
+                    }
+                }
+                owned
+                    .into_iter()
+                    .zip(states)
+                    .map(|(job, (_, _, phases, _))| (job, phases))
+                    .collect::<Vec<_>>()
+            },
+        )?;
+        let mut by_job: Vec<Vec<AccuracyTracker>> =
+            vec![vec![AccuracyTracker::new(); nphases]; jobs];
+        for (job, phases) in tallies.into_iter().flatten() {
+            by_job[job] = phases;
+        }
+        let replays = bank
+            .iter()
+            .enumerate()
+            .map(|(config, spec)| {
+                let mut merged = vec![AccuracyTracker::new(); nphases];
+                for shard in 0..nshards {
+                    for (into, from) in merged.iter_mut().zip(&by_job[config * nshards + shard]) {
+                        into.merge(from);
+                    }
+                }
+                SampledReplay { name: spec.name().to_owned(), phases: merged }
+            })
+            .collect();
+        Ok((header, replays))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvp_trace::{InstrCategory, Pc, TraceRecord};
+
+    /// A trace with two genuinely different regimes: a constant-value
+    /// first half (last-value heaven) and a strided second half.
+    fn phased_trace(n: u64) -> SharedTrace {
+        (0..n)
+            .map(|i| {
+                let pc = Pc(4 * (i % 7));
+                let category =
+                    if i % 2 == 0 { InstrCategory::Loads } else { InstrCategory::AddSub };
+                let value = if i < n / 2 { i % 7 } else { (i / 7) * 3 };
+                TraceRecord::new(pc, category, value)
+            })
+            .collect()
+    }
+
+    fn options() -> PhaseOptions {
+        PhaseOptions { window_records: 512, clusters: 4, ..PhaseOptions::default() }
+    }
+
+    /// The byte-comparable tally surface of a sampled replay: per config,
+    /// per phase, per category (correct, predicted).
+    type TallySurface = Vec<(String, Vec<Vec<(u64, u64)>>)>;
+
+    fn surface(replays: &[SampledReplay]) -> TallySurface {
+        replays
+            .iter()
+            .map(|r| {
+                let phases = r
+                    .phases
+                    .iter()
+                    .map(|t| {
+                        InstrCategory::ALL
+                            .into_iter()
+                            .map(Some)
+                            .chain([None])
+                            .map(|c| (t.correct(c), t.predicted(c)))
+                            .collect()
+                    })
+                    .collect();
+                (r.name.clone(), phases)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plan_is_deterministic_valid_and_small() {
+        let trace = phased_trace(40_000);
+        let plan = phase_plan(&trace, &options());
+        assert_eq!(plan, phase_plan(&trace, &options()));
+        plan.validate().expect("valid by construction");
+        assert!(!plan.phases.is_empty() && plan.phases.len() <= 4);
+        let weights: f64 = (0..plan.phases.len()).map(|i| plan.weight(i)).sum();
+        assert_eq!(weights, 1.0);
+        assert!(
+            plan.replayed_records() <= trace.len() as u64 / 4,
+            "sampling must skip most records: {} of {}",
+            plan.replayed_records(),
+            trace.len()
+        );
+    }
+
+    #[test]
+    fn plan_separates_obvious_regimes() {
+        // With 2 clusters on a 2-regime trace, one representative must
+        // come from each half.
+        let trace = phased_trace(40_000);
+        let plan = phase_plan(&trace, &PhaseOptions { clusters: 2, ..options() });
+        assert_eq!(plan.phases.len(), 2);
+        assert!(plan.phases[0].start < 20_000 && plan.phases[1].start >= 20_000, "{plan:?}");
+    }
+
+    #[test]
+    fn tiny_and_empty_traces_produce_valid_plans() {
+        let empty = phase_plan(&SharedTrace::new(), &options());
+        assert_eq!(empty.total_records, 0);
+        assert!(empty.phases.is_empty());
+        empty.validate().expect("empty plan is valid");
+
+        // Fewer records than one window: a single whole-trace phase.
+        let tiny = phased_trace(100);
+        let plan = phase_plan(&tiny, &options());
+        assert_eq!(plan.phases.len(), 1);
+        assert_eq!((plan.phases[0].start, plan.phases[0].end), (0, 100));
+        assert_eq!(plan.phases[0].cluster_records, 100);
+    }
+
+    #[test]
+    fn sampled_tallies_identical_at_every_engine_setting() {
+        let trace = phased_trace(30_000);
+        let plan = phase_plan(&trace, &options());
+        let bank = PredictorConfig::paper_bank();
+        let reference = surface(&ReplayEngine::sequential().replay_sampled(&trace, &bank, &plan));
+        for (workers, shards, window) in [(1, 4, 1), (2, 1, 2), (4, 8, 4), (16, 3, 2)] {
+            let engine = ReplayEngine::new()
+                .with_workers(workers)
+                .with_shards(shards)
+                .with_chunk_window(window);
+            assert_eq!(
+                surface(&engine.replay_sampled(&trace, &bank, &plan)),
+                reference,
+                "workers={workers} shards={shards} window={window}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_accuracy_tracks_full_replay() {
+        let trace = phased_trace(60_000);
+        let plan = phase_plan(&trace, &options());
+        let bank = PredictorConfig::paper_bank();
+        let engine = ReplayEngine::new();
+        let full = engine.replay(&trace, &bank);
+        let sampled = engine.replay_sampled(&trace, &bank, &plan);
+        for (full, sampled) in full.iter().zip(&sampled) {
+            let error = (full.accuracy() - sampled.weighted_accuracy(&plan, None)).abs();
+            assert!(
+                error <= 0.02,
+                "{}: |{} - {}| = {error}",
+                full.name,
+                full.accuracy(),
+                sampled.weighted_accuracy(&plan, None)
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_sampled_matches_resident_for_v2_and_v4() {
+        let records: Vec<TraceRecord> = phased_trace(25_000).to_vec();
+        let meta = v2::TraceMeta::default();
+        let mut plain = Vec::new();
+        v2::write_records(&mut plain, &meta, &records, 2048).expect("writes");
+        let mut compressed = Vec::new();
+        v2::write_compressed(&mut compressed, &meta, records.chunks(2048), &[]).expect("writes");
+
+        let trace = SharedTrace::from_records(records);
+        let plan = phase_plan(&trace, &options());
+        let bank = PredictorConfig::paper_bank();
+        let reference = surface(&ReplayEngine::sequential().replay_sampled(&trace, &bank, &plan));
+        for bytes in [&plain, &compressed] {
+            for (workers, window) in [(1, 1), (3, 2), (8, 4)] {
+                let engine = ReplayEngine::new().with_workers(workers).with_chunk_window(window);
+                let (header, streamed) = engine
+                    .replay_sampled_streaming(bytes.as_slice(), &bank, &plan)
+                    .expect("streams");
+                assert_eq!(header.record_count, 25_000);
+                assert_eq!(surface(&streamed), reference, "workers={workers} window={window}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_sampled_tallies_windows_with_exact_state() {
+        let trace = phased_trace(60_000);
+        let plan = phase_plan(&trace, &options());
+        let bank = PredictorConfig::paper_bank();
+        let engine = ReplayEngine::new();
+        let full = engine.replay(&trace, &bank);
+        let warm = engine.replay_sampled_warm(&trace, &bank, &plan);
+        for (full, warm) in full.iter().zip(&warm) {
+            // State is exact, so only the clustering's weighting error
+            // remains — tighter than the cold bound on the same trace.
+            let error = (full.accuracy() - warm.weighted_accuracy(&plan, None)).abs();
+            assert!(error <= 0.01, "{}: error {error}", full.name);
+            assert_eq!(warm.simulated(), plan.simulated_records());
+        }
+    }
+
+    #[test]
+    fn warm_tallies_identical_at_every_engine_setting_and_stream() {
+        let records: Vec<TraceRecord> = phased_trace(30_000).to_vec();
+        let mut plain = Vec::new();
+        v2::write_records(&mut plain, &v2::TraceMeta::default(), &records, 2048).expect("writes");
+        let mut compressed = Vec::new();
+        v2::write_compressed(&mut compressed, &v2::TraceMeta::default(), records.chunks(2048), &[])
+            .expect("writes");
+        let trace = SharedTrace::from_records(records);
+        let plan = phase_plan(&trace, &options());
+        let bank = PredictorConfig::paper_bank();
+        let reference =
+            surface(&ReplayEngine::sequential().replay_sampled_warm(&trace, &bank, &plan));
+        for (workers, shards, window) in [(1, 4, 1), (2, 1, 2), (4, 8, 4)] {
+            let engine = ReplayEngine::new()
+                .with_workers(workers)
+                .with_shards(shards)
+                .with_chunk_window(window);
+            assert_eq!(
+                surface(&engine.replay_sampled_warm(&trace, &bank, &plan)),
+                reference,
+                "resident workers={workers} shards={shards} window={window}"
+            );
+            for bytes in [&plain, &compressed] {
+                let (header, streamed) = engine
+                    .replay_sampled_warm_streaming(bytes.as_slice(), &bank, &plan)
+                    .expect("streams");
+                assert_eq!(header.record_count, 30_000);
+                assert_eq!(
+                    surface(&streamed),
+                    reference,
+                    "streaming workers={workers} shards={shards} window={window}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_rejects_mismatched_plan_and_corrupt_needed_chunks() {
+        let records: Vec<TraceRecord> = phased_trace(10_000).to_vec();
+        let mut bytes = Vec::new();
+        v2::write_records(&mut bytes, &v2::TraceMeta::default(), &records, 1024).expect("writes");
+        let trace = SharedTrace::from_records(records);
+        let plan = phase_plan(&trace, &options());
+        let bank = PredictorConfig::fcm_orders([1]);
+
+        let mut stale = plan.clone();
+        stale.total_records += 512;
+        stale.phases[0].cluster_records += 512;
+        let err = ReplayEngine::new()
+            .replay_sampled_streaming(bytes.as_slice(), &bank, &stale)
+            .unwrap_err();
+        assert!(err.to_string().contains("phase plan covers"), "{err}");
+
+        // A corrupt byte in the *last* chunk: the plan's final window
+        // always lands there or earlier, and the producer still streams
+        // every chunk's bytes, so torn payloads surface either as a
+        // chunk error or a trailing-section error — never as silence.
+        let mut torn = bytes.clone();
+        torn.truncate(torn.len() - 40);
+        assert!(ReplayEngine::new()
+            .replay_sampled_streaming(torn.as_slice(), &bank, &plan)
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "different trace")]
+    fn resident_sampled_rejects_foreign_plan() {
+        let trace = phased_trace(5_000);
+        let plan = phase_plan(&phased_trace(6_000), &options());
+        let _ = ReplayEngine::new().replay_sampled(&trace, &PredictorConfig::paper_bank(), &plan);
+    }
+}

@@ -19,6 +19,13 @@
 //! repro --chunk-window N ...         # live chunks resident while streaming
 //! repro sweep                        # synthetic scenario × predictor matrix
 //! repro sweep --quick --format csv   # smaller grid, machine-readable output
+//! repro phases                       # SimPoint phase plans per workload
+//! repro --quick all --sample         # additionally validate phase-sampled
+//!                                    # replay against the full replay (≤1pp)
+//! repro sweep --sample               # sweep with sampled-error gating
+//! repro trace replay f --sample      # replay only the container's PHAS plan
+//! repro trace replay f --warm        # sampled with functional warming (state
+//!                                    # exact; only the plan's windows tallied)
 //! repro --list                       # list experiment ids
 //! ```
 //!
@@ -36,8 +43,8 @@ use dvp_core::PredictorConfig;
 use dvp_engine::{ReplayEngine, SharedTraceBuilder};
 use dvp_experiments::cache::TraceCache;
 use dvp_experiments::{
-    accuracy, analytic, characterize, information, overlap, realism, sensitivity, speedup, sweep,
-    values, TextTable, TraceStore,
+    accuracy, analytic, characterize, information, overlap, phases, realism, sensitivity, speedup,
+    sweep, values, TextTable, TraceStore,
 };
 use dvp_trace::io::v2;
 use dvp_trace::InstrCategory;
@@ -268,8 +275,9 @@ fn run_sweep_tool(
     quick: bool,
     engine: &ReplayEngine,
     compress: bool,
+    sample: bool,
 ) -> ExitCode {
-    let usage = "usage: repro sweep [--quick] [--format table|csv|json] [--workers N] \
+    let usage = "usage: repro sweep [--quick] [--sample] [--format table|csv|json] [--workers N] \
                  [--shards N] [--trace-dir DIR]";
     let mut format = "table".to_owned();
     let mut skip = false;
@@ -304,12 +312,17 @@ fn run_sweep_tool(
     let grid = sweep::default_grid(quick);
     let bank = PredictorConfig::paper_bank();
     eprintln!(
-        "[repro] sweeping {} scenarios x {} configurations ({} workers)...",
+        "[repro] sweeping {} scenarios x {} configurations ({} workers{})...",
         grid.len(),
         bank.len(),
-        engine.workers()
+        engine.workers(),
+        if sample { ", sampled check on" } else { "" }
     );
-    let results = sweep::run(&mut store, engine, &grid, &bank);
+    let results = if sample {
+        sweep::run_sampled(&mut store, engine, &grid, &bank)
+    } else {
+        sweep::run(&mut store, engine, &grid, &bank)
+    };
     match format.as_str() {
         "csv" => print!("{}", results.render_csv()),
         "json" => println!("{}", results.render_json()),
@@ -321,8 +334,64 @@ fn run_sweep_tool(
     if results.all_met() {
         ExitCode::SUCCESS
     } else {
-        eprintln!("[repro] sweep: at least one scenario missed its analytic expectation");
+        eprintln!(
+            "[repro] sweep: at least one scenario missed its analytic expectation{}",
+            if sample { " or exceeded the sampling error limit" } else { "" }
+        );
         ExitCode::FAILURE
+    }
+}
+
+/// The `repro phases` tool: build (or recall from the trace cache) every
+/// requested benchmark's SimPoint phase plan and print the plan tables.
+/// The plans are a pure sequential function of each trace, so the output
+/// is byte-identical at any `--workers`/`--shards`/`--chunk-window`
+/// setting.
+fn run_phases_tool(
+    commands: &[String],
+    trace_dir: Option<PathBuf>,
+    scale_div: u32,
+    compress: bool,
+) -> ExitCode {
+    let usage = "usage: repro phases [BENCHMARK...] [--quick] [--trace-dir DIR]";
+    let mut benchmarks: Vec<Benchmark> = Vec::new();
+    for arg in commands {
+        match Benchmark::ALL.iter().find(|b| b.name() == arg.as_str()) {
+            Some(&benchmark) => {
+                if !benchmarks.contains(&benchmark) {
+                    benchmarks.push(benchmark);
+                }
+            }
+            None => {
+                let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+                eprintln!(
+                    "unknown phases benchmark `{arg}` (expected one of: {})\n{usage}",
+                    names.join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if benchmarks.is_empty() {
+        benchmarks.extend(Benchmark::ALL);
+    }
+    let mut store = TraceStore::with_scale_div(scale_div).with_cache_compression(compress);
+    if let Some(dir) = &trace_dir {
+        store = store.with_trace_dir(dir);
+    }
+    eprintln!("[repro] planning phases for {} workload(s)...", benchmarks.len());
+    match phases::report(&mut store, &benchmarks) {
+        Ok(report) => {
+            println!("{}", report.render());
+            if store.cache().is_some() {
+                eprintln!("[repro] trace cache: {}", store.cache_stats());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("workload generation failed: {err:?}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -401,7 +470,13 @@ fn run_trace_gen(args: &[String], compress: bool, usage: &str) -> ExitCode {
     let result = (|| {
         let file = fs::File::create(&out)?;
         let mut writer = io::BufWriter::new(file);
-        let sections = [(v2::SECTION_INTERNER, v2::encode_interner(trace.interner()))];
+        // The records are resident anyway, so embed the phase plan too:
+        // `repro trace replay --sample` then needs no profiling pass.
+        let plan = dvp_engine::phase_plan(&trace, &dvp_engine::PhaseOptions::default());
+        let sections = [
+            (v2::SECTION_INTERNER, v2::encode_interner(trace.interner())),
+            (v2::SECTION_PHASES, v2::encode_phases(&plan)),
+        ];
         let chunks = trace.chunks().iter().map(Vec::as_slice);
         let header = if compress {
             v2::write_compressed(&mut writer, &meta, chunks, &sections)?
@@ -432,12 +507,19 @@ fn run_trace_gen(args: &[String], compress: bool, usage: &str) -> ExitCode {
 /// predictor bank — streaming through the bounded chunk window by default
 /// (fixed resident memory, whatever the file size), or fully resident with
 /// `--resident`. Both paths print byte-identical tallies.
-fn run_trace_replay(args: &[String], engine: &ReplayEngine, usage: &str) -> ExitCode {
+fn run_trace_replay(args: &[String], engine: &ReplayEngine, usage: &str, sample: bool) -> ExitCode {
     let mut file: Option<PathBuf> = None;
     let mut resident = false;
+    let mut sample = sample;
+    let mut warm = false;
     for arg in args {
         match arg.as_str() {
             "--resident" => resident = true,
+            "--sample" => sample = true,
+            "--warm" => {
+                sample = true;
+                warm = true;
+            }
             other if !other.starts_with('-') && file.is_none() => file = Some(PathBuf::from(other)),
             other => {
                 eprintln!("unknown trace replay argument `{other}`\n{usage}");
@@ -450,6 +532,9 @@ fn run_trace_replay(args: &[String], engine: &ReplayEngine, usage: &str) -> Exit
         return ExitCode::FAILURE;
     };
     let bank = PredictorConfig::paper_bank();
+    if sample {
+        return run_trace_replay_sampled(&path, resident, warm, engine, &bank);
+    }
     let outcome = if resident {
         fs::read(&path).map_err(dvp_trace::io::TraceIoError::from).and_then(|bytes| {
             engine.load_trace(&bytes).map(|(header, trace)| (header, engine.replay(&trace, &bank)))
@@ -481,6 +566,90 @@ fn run_trace_replay(args: &[String], engine: &ReplayEngine, usage: &str) -> Exit
     ExitCode::SUCCESS
 }
 
+/// `repro trace replay --sample`: replay only the container's stored
+/// phase plan (the `PHAS` section written by `repro trace gen` and the
+/// trace cache). Streaming by default — chunks no phase touches are
+/// never even decoded — or resident with `--resident`. With `--warm` the
+/// replay functionally warms instead: every record is observed to keep
+/// predictor state exact (every chunk decodes), but still only the
+/// plan's windows are tallied — slower than cold sampling, but the
+/// weighted estimate matches the full replay to within the clustering's
+/// weighting error even for history-hungry predictors. The per-phase
+/// tallies (and therefore every printed number) are byte-identical
+/// between the streaming and resident paths at any engine setting.
+fn run_trace_replay_sampled(
+    path: &std::path::Path,
+    resident: bool,
+    warm: bool,
+    engine: &ReplayEngine,
+    bank: &[PredictorConfig],
+) -> ExitCode {
+    let plan = match TraceCache::read_phase_plan(path) {
+        Ok(Some(plan)) => plan,
+        Ok(None) => {
+            eprintln!(
+                "cannot sample {}: the container carries no phase plan (PHAS section); \
+                 regenerate it with `repro trace gen` or replay without --sample",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        Err(err) => {
+            eprintln!("cannot sample {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = if resident {
+        fs::read(path).map_err(dvp_trace::io::TraceIoError::from).and_then(|bytes| {
+            engine.load_trace(&bytes).map(|(header, trace)| {
+                let replays = if warm {
+                    engine.replay_sampled_warm(&trace, bank, &plan)
+                } else {
+                    engine.replay_sampled(&trace, bank, &plan)
+                };
+                (header, replays)
+            })
+        })
+    } else {
+        fs::File::open(path).map_err(dvp_trace::io::TraceIoError::from).and_then(|file| {
+            let reader = io::BufReader::new(file);
+            if warm {
+                engine.replay_sampled_warm_streaming(reader, bank, &plan)
+            } else {
+                engine.replay_sampled_streaming(reader, bank, &plan)
+            }
+        })
+    };
+    let (header, replays) = match outcome {
+        Ok(result) => result,
+        Err(err) => {
+            eprintln!("cannot replay {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "sampled {} of {} records across {} phases{}",
+        if warm { plan.simulated_records() } else { plan.replayed_records() },
+        header.record_count,
+        plan.phases.len(),
+        if warm { " (functional warming)" } else { "" }
+    );
+    // Simulated/Correct are exact integer tallies over the representative
+    // windows; Weighted% is the plan-weighted full-trace estimate.
+    let mut table = TextTable::new(vec!["Config", "Simulated", "Correct", "Weighted%"]);
+    for replay in &replays {
+        let correct: u64 = replay.phases.iter().map(|t| t.correct(None)).sum();
+        table.row(vec![
+            replay.name.clone(),
+            replay.simulated().to_string(),
+            correct.to_string(),
+            format!("{:.2}", replay.weighted_accuracy(&plan, None) * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+    ExitCode::SUCCESS
+}
+
 /// The `repro trace <export|stats|verify|gen|replay>` tool.
 fn run_trace_tool(
     commands: &[String],
@@ -488,16 +657,17 @@ fn run_trace_tool(
     scale_div: u32,
     engine: &ReplayEngine,
     compress: bool,
+    sample: bool,
 ) -> ExitCode {
     let usage =
         "usage: repro trace <export|stats|verify> --trace-dir DIR [--quick] [--workers N]\n\
                  \x20      repro trace gen --records N --out FILE [--pcs N] [--seed S] \
                  [--chunk-records N] [--no-compress]\n\
-                 \x20      repro trace replay FILE [--resident] [--workers N] [--shards N] \
-                 [--chunk-window N]";
+                 \x20      repro trace replay FILE [--resident] [--sample] [--warm] [--workers N] \
+                 [--shards N] [--chunk-window N]";
     match commands.first().map(String::as_str) {
         Some("gen") => return run_trace_gen(&commands[1..], compress, usage),
-        Some("replay") => return run_trace_replay(&commands[1..], engine, usage),
+        Some("replay") => return run_trace_replay(&commands[1..], engine, usage, sample),
         _ => {}
     }
     let Some(dir) = trace_dir else {
@@ -550,6 +720,7 @@ fn main() -> ExitCode {
     let mut trace_dir: Option<PathBuf> = None;
     let mut no_trace_cache = false;
     let mut compress = true;
+    let mut sample = false;
     let mut args: Vec<String> = Vec::new();
     let mut skip = false;
     for (i, arg) in raw.iter().enumerate() {
@@ -581,6 +752,7 @@ fn main() -> ExitCode {
                 skip = true;
             }
             "--no-compress" => compress = false,
+            "--sample" => sample = true,
             "--trace-dir" => {
                 let Some(dir) = raw.get(i + 1) else {
                     eprintln!("--trace-dir expects a directory path");
@@ -603,20 +775,24 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if args.first().map(String::as_str) == Some("trace") {
-        return run_trace_tool(&args[1..], trace_dir, scale_div, &engine, compress);
+        return run_trace_tool(&args[1..], trace_dir, scale_div, &engine, compress, sample);
     }
     if args.first().map(String::as_str) == Some("sweep") {
-        return run_sweep_tool(&args[1..], trace_dir, scale_div > 1, &engine, compress);
+        return run_sweep_tool(&args[1..], trace_dir, scale_div > 1, &engine, compress, sample);
+    }
+    if args.first().map(String::as_str) == Some("phases") {
+        return run_phases_tool(&args[1..], trace_dir, scale_div, compress);
     }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: repro [--quick] [--workers N] [--shards N] [--trace-dir DIR] \
+            "usage: repro [--quick] [--sample] [--workers N] [--shards N] [--trace-dir DIR] \
              [--no-trace-cache] [--no-compress] [--chunk-window N]\n             \
              all | <experiment>...\n       \
-             repro sweep [--format table|csv|json]\n       \
+             repro sweep [--sample] [--format table|csv|json]\n       \
+             repro phases [BENCHMARK...]\n       \
              repro trace <export|stats|verify> --trace-dir DIR\n       \
              repro trace gen --records N --out FILE [--pcs N] [--seed S]\n       \
-             repro trace replay FILE [--resident]\n       \
+             repro trace replay FILE [--resident] [--sample] [--warm]\n       \
              repro --list\n\n\
              Regenerates the tables and figures of Sazeides & Smith (MICRO-30 1997)\n\
              through the parallel replay engine (default: all cores; output is\n\
@@ -624,8 +800,12 @@ fn main() -> ExitCode {
              persist across runs (compressed containers by default; --no-compress\n\
              writes v3) and warm runs perform zero simulation. `repro sweep`\n\
              replays the synthetic scenario x predictor matrix instead; `repro\n\
-             trace replay` streams a container through a bounded chunk window\n\
-             (--chunk-window) without ever holding the full trace in memory."
+             phases` prints each workload's SimPoint phase plan; --sample checks\n\
+             phase-sampled replay against the full replay (and fails the run past\n\
+             a 1pp error). `repro trace replay` streams a container through a\n\
+             bounded chunk window (--chunk-window) without ever holding the full\n\
+             trace in memory (--sample replays only its stored phase plan;\n\
+             --warm functionally warms: exact state, windows tallied)."
         );
         return ExitCode::FAILURE;
     }
@@ -662,7 +842,25 @@ fn main() -> ExitCode {
             None => {
                 let ids: Vec<&str> = EXPERIMENTS.iter().map(|(name, _)| *name).collect();
                 eprintln!("unknown target `{id}`");
-                eprintln!("valid targets: all, sweep, trace, {}", ids.join(", "));
+                eprintln!("valid targets: all, sweep, phases, trace, {}", ids.join(", "));
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // `--sample` appends the phase-sampling error harness after the normal
+    // experiment output (so existing goldens never change) and turns an
+    // over-limit sampling error into a failed run.
+    let mut sample_ok = true;
+    if sample {
+        eprintln!("[repro] validating phase-sampled replay against the full replay...");
+        match phases::validate(&mut harness.store, &harness.engine, &PredictorConfig::paper_bank())
+        {
+            Ok(validation) => {
+                println!("{}", validation.render());
+                sample_ok = validation.all_within_limit();
+            }
+            Err(err) => {
+                eprintln!("workload generation failed: {err:?}");
                 return ExitCode::FAILURE;
             }
         }
@@ -672,5 +870,10 @@ fn main() -> ExitCode {
         // and warm runs. A fully warm run reports `0 simulated`.
         eprintln!("[repro] trace cache: {}", harness.store.cache_stats());
     }
-    ExitCode::SUCCESS
+    if sample_ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("[repro] --sample: a sampled accuracy estimate exceeded the error limit");
+        ExitCode::FAILURE
+    }
 }

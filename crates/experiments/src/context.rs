@@ -5,6 +5,7 @@ use crate::cache::{CacheLookup, CacheStats, TraceCache};
 use dvp_engine::{ReplayEngine, SharedTrace};
 use dvp_lang::OptLevel;
 use dvp_trace::io::v2::{Fingerprint, TraceMeta};
+use dvp_trace::PhasePlan;
 use dvp_workloads::synthetic::Scenario;
 use dvp_workloads::{Benchmark, BuildError, Workload};
 use std::collections::HashMap;
@@ -98,6 +99,7 @@ pub struct TraceStore {
     traces: HashMap<Benchmark, SharedTrace>,
     retired: HashMap<Benchmark, u64>,
     predicted: HashMap<Benchmark, u64>,
+    phase_plans: HashMap<Benchmark, PhasePlan>,
     scale_div: u32,
     record_cap: Option<usize>,
     cache: Option<TraceCache>,
@@ -113,6 +115,7 @@ impl Default for TraceStore {
             traces: HashMap::new(),
             retired: HashMap::new(),
             predicted: HashMap::new(),
+            phase_plans: HashMap::new(),
             scale_div: 1,
             record_cap: None,
             cache: None,
@@ -411,6 +414,25 @@ impl TraceStore {
             out[index] = Some(trace);
         }
         out.into_iter().map(|slot| slot.expect("every scenario filled")).collect()
+    }
+
+    /// The SimPoint phase plan for `benchmark`'s trace (default
+    /// [`dvp_engine::PhaseOptions`]), computed once per store. The plan is
+    /// a pure function of the trace, so recomputing here always agrees
+    /// with the copy a container's `PHAS` section persists — there is no
+    /// staleness to manage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload build/run errors (the trace is generated if
+    /// needed).
+    pub fn phase_plan(&mut self, benchmark: Benchmark) -> Result<PhasePlan, BuildError> {
+        if !self.phase_plans.contains_key(&benchmark) {
+            let trace = self.trace(benchmark)?;
+            let plan = dvp_engine::phase_plan(&trace, &dvp_engine::PhaseOptions::default());
+            self.phase_plans.insert(benchmark, plan);
+        }
+        Ok(self.phase_plans[&benchmark].clone())
     }
 
     /// Total dynamic (retired) instructions for `benchmark`'s run,

@@ -32,6 +32,7 @@
 //! | value-stream entropy vs accuracy  | [`information`] | `ext-entropy` |
 //! | dataflow-limit speedup            | [`speedup`] | `ext-speedup` |
 //! | synthetic scenario × predictor matrix | [`sweep`] | `sweep` (subcommand) |
+//! | SimPoint phase plans + sampling error harness | [`phases`] | `phases` (subcommand), `--sample` |
 //!
 //! All workload-driven experiments share a [`TraceStore`] so each benchmark
 //! is simulated once per `repro` invocation — and, with `repro
@@ -66,6 +67,7 @@ pub mod characterize;
 mod context;
 pub mod information;
 pub mod overlap;
+pub mod phases;
 pub mod realism;
 pub mod sensitivity;
 pub mod speedup;

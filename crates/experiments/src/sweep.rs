@@ -51,7 +51,14 @@ pub struct SweepRow {
     pub accuracy: Vec<(String, f64)>,
     /// The analytic expectation the accuracies were checked against.
     pub expected: Expectation,
-    /// Whether every configuration satisfied the expectation.
+    /// Sampled-replay check (`Some` only under [`run_sampled`]): the
+    /// largest absolute sampled-vs-full accuracy error across the bank,
+    /// in percentage points, using the functionally-warmed estimator
+    /// (exact state, representative windows tallied).
+    pub sampled_err_pp: Option<f64>,
+    /// Whether every configuration satisfied the expectation (and, under
+    /// [`run_sampled`], the sampling error stayed within
+    /// [`crate::phases::ERROR_LIMIT_PP`]).
     pub met: bool,
 }
 
@@ -104,6 +111,32 @@ pub fn run(
     grid: &[Scenario],
     bank: &[PredictorConfig],
 ) -> SweepResults {
+    run_inner(store, engine, grid, bank, false)
+}
+
+/// As [`run`], additionally replaying every scenario *sampled* under its
+/// SimPoint phase plan (default [`dvp_engine::PhaseOptions`]) and
+/// recording the worst sampled-vs-full accuracy error per row — the
+/// `repro sweep --sample` path. A row only counts as `met` if it meets
+/// its analytic expectation **and** its error stays within
+/// [`crate::phases::ERROR_LIMIT_PP`], so a sampling-bias regression
+/// fails the sweep exactly like a predictor regression.
+pub fn run_sampled(
+    store: &mut TraceStore,
+    engine: &ReplayEngine,
+    grid: &[Scenario],
+    bank: &[PredictorConfig],
+) -> SweepResults {
+    run_inner(store, engine, grid, bank, true)
+}
+
+fn run_inner(
+    store: &mut TraceStore,
+    engine: &ReplayEngine,
+    grid: &[Scenario],
+    bank: &[PredictorConfig],
+    sample: bool,
+) -> SweepResults {
     let traces = store.synthetic_traces(engine, grid);
     let matrix = engine.replay_matrix(&traces, bank);
     let rows = grid
@@ -118,9 +151,28 @@ pub fn run(
                     (r.name, acc)
                 })
                 .collect();
+            let sampled_err_pp = sample.then(|| {
+                let plan = dvp_engine::phase_plan(trace, &dvp_engine::PhaseOptions::default());
+                let sampled = engine.replay_sampled_warm(trace, bank, &plan);
+                accuracy
+                    .iter()
+                    .zip(&sampled)
+                    .map(|((_, full), sampled)| {
+                        (full - sampled.weighted_accuracy(&plan, None)).abs() * 100.0
+                    })
+                    .fold(0.0, f64::max)
+            });
             let expected = scenario.expected();
-            let met = expected.met(&accuracy);
-            SweepRow { scenario: *scenario, records: trace.len() as u64, accuracy, expected, met }
+            let met = expected.met(&accuracy)
+                && sampled_err_pp.is_none_or(|err| err <= crate::phases::ERROR_LIMIT_PP);
+            SweepRow {
+                scenario: *scenario,
+                records: trace.len() as u64,
+                accuracy,
+                expected,
+                sampled_err_pp,
+                met,
+            }
         })
         .collect();
     SweepResults { bank: bank.iter().map(|c| c.name().to_owned()).collect(), rows }
@@ -133,11 +185,22 @@ impl SweepResults {
         self.rows.iter().all(|row| row.met)
     }
 
+    /// Whether these results carry sampled-replay error columns (i.e.
+    /// they came from [`run_sampled`]).
+    #[must_use]
+    pub fn sampled(&self) -> bool {
+        self.rows.iter().any(|row| row.sampled_err_pp.is_some())
+    }
+
     /// Renders the human-readable table (the `repro sweep` default).
     #[must_use]
     pub fn render(&self) -> String {
+        let sampled = self.sampled();
         let mut header = vec!["Scenario".to_owned(), "Params".to_owned(), "Records".to_owned()];
         header.extend(self.bank.iter().cloned());
+        if sampled {
+            header.push("Err(pp)".to_owned());
+        }
         header.push("Expect".to_owned());
         header.push("Met".to_owned());
         let mut table = TextTable::new(header);
@@ -148,6 +211,9 @@ impl SweepResults {
                 row.records.to_string(),
             ];
             cells.extend(row.accuracy.iter().map(|(_, acc)| pct(*acc)));
+            if sampled {
+                cells.push(format!("{:.2}", row.sampled_err_pp.unwrap_or(0.0)));
+            }
             cells.push(row.expected.describe());
             cells.push(if row.met { "yes" } else { "NO" }.to_owned());
             table.row(cells);
@@ -163,10 +229,14 @@ impl SweepResults {
     /// Renders machine-readable CSV (accuracies as raw fractions).
     #[must_use]
     pub fn render_csv(&self) -> String {
+        let sampled = self.sampled();
         let mut out = String::from("scenario,params,seed,records");
         for name in &self.bank {
             out.push(',');
             out.push_str(name);
+        }
+        if sampled {
+            out.push_str(",sampled_err_pp");
         }
         out.push_str(",expect,met\n");
         for row in &self.rows {
@@ -179,6 +249,9 @@ impl SweepResults {
             ));
             for (_, acc) in &row.accuracy {
                 out.push_str(&format!(",{acc:.6}"));
+            }
+            if sampled {
+                out.push_str(&format!(",{:.6}", row.sampled_err_pp.unwrap_or(0.0)));
             }
             out.push_str(&format!(",\"{}\",{}\n", row.expected.describe(), row.met));
         }
@@ -207,9 +280,12 @@ impl SweepResults {
                 .expected
                 .others_ceiling
                 .map_or_else(|| "null".to_owned(), |c| format!("{c:.6}"));
+            let err = row
+                .sampled_err_pp
+                .map_or_else(String::new, |e| format!("\"sampled_err_pp\": {e:.6}, "));
             out.push_str(&format!(
                 "  {{\"scenario\": {}, \"params\": {}, \"seed\": {}, \"records\": {}, \
-                 \"accuracy\": {{{accuracy}}}, \"expected\": {{\"saturating\": [{saturating}], \
+                 \"accuracy\": {{{accuracy}}}, {err}\"expected\": {{\"saturating\": [{saturating}], \
                  \"floor\": {:.6}, \"others_ceiling\": {ceiling}}}, \"met\": {}}}{}\n",
                 json_str(row.scenario.name()),
                 json_str(&row.scenario.params()),
@@ -300,6 +376,33 @@ mod tests {
             assert_eq!(seeds.len(), grid.len());
         }
         assert!(default_grid(true)[0].records_per_pc() < default_grid(false)[0].records_per_pc());
+    }
+
+    #[test]
+    fn sampled_sweep_adds_error_columns_and_plain_sweep_does_not() {
+        let mut store = TraceStore::new();
+        let results = run_sampled(
+            &mut store,
+            &ReplayEngine::new().with_workers(2),
+            &tiny_grid(),
+            &PredictorConfig::paper_bank(),
+        );
+        assert!(results.sampled());
+        // Each tiny trace fits one window, so its plan replays the whole
+        // trace and the sampled estimate is exact.
+        for row in &results.rows {
+            assert_eq!(row.sampled_err_pp, Some(0.0), "{row:?}");
+            assert!(row.met, "{row:?}");
+        }
+        assert!(results.render().contains("Err(pp)"));
+        assert!(results.render_csv().contains("sampled_err_pp"));
+        assert!(results.render_json().contains("sampled_err_pp"));
+
+        let plain = tiny_results();
+        assert!(!plain.sampled());
+        assert!(!plain.render().contains("Err(pp)"));
+        assert!(!plain.render_csv().contains("sampled_err_pp"));
+        assert!(!plain.render_json().contains("sampled_err_pp"));
     }
 
     #[test]

@@ -60,8 +60,13 @@ fn trace_tool_requires_a_trace_dir() {
 #[test]
 fn sweep_rejects_unknown_formats_and_arguments() {
     let out = repro(&["sweep", "--format", "xml"]);
-    assert!(!out.status.success());
-    assert!(stderr_of(&out).contains("unknown sweep format `xml`"), "{}", stderr_of(&out));
+    assert!(!out.status.success(), "an unknown format must exit nonzero");
+    assert!(out.stdout.is_empty(), "nothing may land on stdout");
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("unknown sweep format `xml`"), "{stderr}");
+    for format in ["table", "csv", "json"] {
+        assert!(stderr.contains(format), "valid-format list must include {format}: {stderr}");
+    }
 
     let out = repro(&["sweep", "bogus"]);
     assert!(!out.status.success());
@@ -70,4 +75,15 @@ fn sweep_rejects_unknown_formats_and_arguments() {
     let out = repro(&["sweep", "--format"]);
     assert!(!out.status.success());
     assert!(stderr_of(&out).contains("--format expects"), "{}", stderr_of(&out));
+}
+
+#[test]
+fn phases_rejects_unknown_benchmarks_and_lists_valid_names() {
+    let out = repro(&["phases", "nosuchbench"]);
+    assert!(!out.status.success(), "an unknown benchmark must exit nonzero");
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("unknown phases benchmark `nosuchbench`"), "{stderr}");
+    for name in ["compress", "m88k", "xlisp"] {
+        assert!(stderr.contains(name), "valid-benchmark list must include {name}: {stderr}");
+    }
 }

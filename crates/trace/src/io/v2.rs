@@ -40,7 +40,7 @@
 //! ```
 
 use super::{format_err, TraceIoError};
-use crate::{InstrCategory, Pc, PcInterner, TraceRecord};
+use crate::{InstrCategory, Pc, PcInterner, PhasePlan, SimPointPhase, TraceRecord};
 use std::io::{Read, Write};
 
 /// Magic bytes of the v2 container (`"DVPT"` + version 2). The first four
@@ -63,6 +63,9 @@ pub const VERSION_COMPRESSED: u8 = 4;
 
 /// Section magic of the persisted PC-interner table (`"PCIN"`).
 pub const SECTION_INTERNER: [u8; 4] = *b"PCIN";
+
+/// Section magic of the persisted phase-sampling plan (`"PHAS"`).
+pub const SECTION_PHASES: [u8; 4] = *b"PHAS";
 
 /// Default records per chunk (matches the engine's shared-buffer chunking,
 /// so a `SharedTrace` round-trips chunk-for-chunk).
@@ -311,6 +314,77 @@ pub fn decode_interner(body: &[u8]) -> Result<PcInterner, TraceIoError> {
     }
     PcInterner::from_pcs(pcs)
         .map_err(|pc| format_err(format!("interner section repeats {pc} (not a bijection)")))
+}
+
+/// Encodes a phase-sampling plan as a [`SECTION_PHASES`] body:
+/// `window_records:u64 + warmup_records:u64 + seed:u64 +
+/// total_records:u64 + count:u32`, then `count` 24-byte phases
+/// (`cluster_records:u64 + start:u64 + end:u64`), all little-endian.
+/// The encoding is integer-only, so a plan round-trips exactly.
+#[must_use]
+pub fn encode_phases(plan: &PhasePlan) -> Vec<u8> {
+    let mut body = Vec::with_capacity(36 + plan.phases.len() * 24);
+    body.extend_from_slice(&plan.window_records.to_le_bytes());
+    body.extend_from_slice(&plan.warmup_records.to_le_bytes());
+    body.extend_from_slice(&plan.seed.to_le_bytes());
+    body.extend_from_slice(&plan.total_records.to_le_bytes());
+    body.extend_from_slice(&u32::try_from(plan.phases.len()).expect("plan fits u32").to_le_bytes());
+    for phase in &plan.phases {
+        body.extend_from_slice(&phase.cluster_records.to_le_bytes());
+        body.extend_from_slice(&phase.start.to_le_bytes());
+        body.extend_from_slice(&phase.end.to_le_bytes());
+    }
+    body
+}
+
+/// Decodes a [`SECTION_PHASES`] body back into a [`PhasePlan`],
+/// re-validating it via [`PhasePlan::validate`] — a structurally invalid
+/// plan (out-of-range windows, weights that do not sum to the trace) is
+/// rejected even when its frame checksum matches, so a sampled replay can
+/// never run on a silently mis-weighted plan.
+///
+/// # Errors
+///
+/// Returns a [`TraceIoError::Format`] when the body length disagrees with
+/// the declared phase count or the decoded plan fails validation.
+pub fn decode_phases(body: &[u8]) -> Result<PhasePlan, TraceIoError> {
+    fn u64_field(rest: &mut &[u8], what: &str) -> Result<u64, TraceIoError> {
+        let (bytes, tail) = rest
+            .split_first_chunk::<8>()
+            .ok_or_else(|| format_err(format!("phase section ends inside {what}")))?;
+        *rest = tail;
+        Ok(u64::from_le_bytes(*bytes))
+    }
+    let mut rest = body;
+    let window_records = u64_field(&mut rest, "its window length")?;
+    let warmup_records = u64_field(&mut rest, "its warmup length")?;
+    let seed = u64_field(&mut rest, "its seed")?;
+    let total_records = u64_field(&mut rest, "its record total")?;
+    let (count_bytes, mut rest) = rest
+        .split_first_chunk::<4>()
+        .ok_or_else(|| format_err("phase section ends inside its phase count"))?;
+    let count = u32::from_le_bytes(*count_bytes) as usize;
+    let need = count
+        .checked_mul(24)
+        .ok_or_else(|| format_err(format!("phase section count {count} overflows")))?;
+    if rest.len() != need {
+        return Err(format_err(format!(
+            "phase section declares {count} phases but carries {} body bytes (need {})",
+            rest.len(),
+            need
+        )));
+    }
+    let mut phases = Vec::with_capacity(count);
+    for _ in 0..count {
+        phases.push(SimPointPhase {
+            cluster_records: u64_field(&mut rest, "a phase")?,
+            start: u64_field(&mut rest, "a phase")?,
+            end: u64_field(&mut rest, "a phase")?,
+        });
+    }
+    let plan = PhasePlan { window_records, warmup_records, seed, total_records, phases };
+    plan.validate().map_err(|e| format_err(e.to_string()))?;
+    Ok(plan)
 }
 
 // ---------------------------------------------------------------------------
@@ -1365,6 +1439,56 @@ mod tests {
         dup.extend_from_slice(&8u64.to_le_bytes());
         let err = decode_interner(&dup).unwrap_err();
         assert!(err.to_string().contains("bijection"), "{err}");
+    }
+
+    fn sample_plan() -> PhasePlan {
+        PhasePlan {
+            window_records: 64,
+            warmup_records: 64,
+            seed: 0xD1CE,
+            total_records: 1000,
+            phases: vec![
+                SimPointPhase { cluster_records: 250, start: 64, end: 128 },
+                SimPointPhase { cluster_records: 750, start: 640, end: 704 },
+            ],
+        }
+    }
+
+    #[test]
+    fn phase_section_round_trips_in_a_container() {
+        let records = sample(500);
+        let plan = sample_plan();
+        let sections = [(SECTION_PHASES, encode_phases(&plan))];
+        let mut buf = Vec::new();
+        write_with_sections(&mut buf, &meta(), records.chunks(128), &sections).expect("writes");
+        assert_eq!(buf[4], VERSION_SECTIONS);
+        let (_, _, sections) = split_with_sections(&buf).expect("splits");
+        assert_eq!(sections.len(), 1);
+        assert_eq!(sections[0].magic, SECTION_PHASES);
+        assert_eq!(decode_phases(sections[0].body).expect("decodes"), plan);
+        // The sequential reader accepts (and skips) the section.
+        let (_, back) = read(&mut buf.as_slice()).expect("reads");
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn decode_phases_rejects_malformed_bodies() {
+        let body = encode_phases(&sample_plan());
+        // Truncations inside the fixed fields, the count, and a phase.
+        for cut in [0, 7, 20, 34, body.len() - 1] {
+            assert!(decode_phases(&body[..cut]).is_err(), "cut at {cut} accepted");
+        }
+        // Count/body length mismatch.
+        let mut long = body.clone();
+        long.extend_from_slice(&[0; 24]);
+        let err = decode_phases(&long).unwrap_err();
+        assert!(err.to_string().contains("declares"), "{err}");
+        // A structurally invalid plan (weights not summing to the trace)
+        // is rejected even though the bytes themselves are well-formed.
+        let mut bad_plan = sample_plan();
+        bad_plan.phases[1].cluster_records = 1;
+        let err = decode_phases(&encode_phases(&bad_plan)).unwrap_err();
+        assert!(err.to_string().contains("invalid phase plan"), "{err}");
     }
 
     #[test]

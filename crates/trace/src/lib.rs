@@ -35,11 +35,13 @@ mod category;
 mod dataflow;
 mod intern;
 pub mod io;
+mod phase;
 mod record;
 mod summary;
 
 pub use category::InstrCategory;
 pub use dataflow::{DepNode, MAX_DEPS};
 pub use intern::{PcId, PcInterner};
+pub use phase::{PhasePlan, PhasePlanError, SimPointPhase};
 pub use record::{Pc, TraceRecord, Value};
 pub use summary::{CategoryMix, TraceSummary};

@@ -7,7 +7,7 @@
 
 use dvp_trace::io::v2;
 use dvp_trace::io::{read_binary, write_binary};
-use dvp_trace::{InstrCategory, Pc, TraceRecord};
+use dvp_trace::{InstrCategory, Pc, PhasePlan, SimPointPhase, TraceRecord};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -38,6 +38,38 @@ fn meta_for(records: &[TraceRecord]) -> v2::TraceMeta {
         retired: records.len() as u64 * 3,
         predicted: records.len() as u64,
     }
+}
+
+/// A structurally valid phase plan for an `n`-record trace: `phases`
+/// distinct windows of `window` records, the trace's record count split
+/// across their clusters. Mirrors what `dvp-engine`'s planner emits
+/// without depending on it (the dependency points the other way).
+fn plan_for(n: usize, window: u64, phases: usize) -> PhasePlan {
+    let n = n as u64;
+    let windows = n.div_ceil(window).max(1);
+    let k = (phases as u64).clamp(1, windows);
+    let share = n / k;
+    let plan_phases = (0..k)
+        .map(|i| {
+            // Spread representatives across the trace; give the first
+            // phase whatever the even split leaves over.
+            let w = i * windows / k;
+            SimPointPhase {
+                cluster_records: if i == 0 { n - share * (k - 1) } else { share },
+                start: w * window,
+                end: ((w + 1) * window).min(n),
+            }
+        })
+        .collect();
+    let plan = PhasePlan {
+        window_records: window,
+        warmup_records: window,
+        seed: 0x7A5E_5EED,
+        total_records: n,
+        phases: plan_phases,
+    };
+    plan.validate().expect("handmade plan is valid");
+    plan
 }
 
 fn v1_bytes(records: &[TraceRecord]) -> Vec<u8> {
@@ -210,6 +242,122 @@ proptest! {
             "{} trailing bytes accepted after a compressed container",
             junk.len()
         );
+    }
+
+    // A `PHAS` section round-trips a phase plan exactly through both the
+    // plain (v3) and compressed (v4) containers, and the same trace
+    // written *without* the section stays loadable with identical
+    // records — the section is additive, never load-bearing.
+    #[test]
+    fn phas_section_round_trips_and_stays_optional(
+        case in (vec(record(), 1..200), 8u64..64, 1usize..5),
+    ) {
+        let (records, window, phases) = case;
+        let plan = plan_for(records.len(), window, phases);
+        prop_assert_eq!(
+            &v2::decode_phases(&v2::encode_phases(&plan)).expect("encoded plans decode"),
+            &plan
+        );
+        let meta = meta_for(&records);
+        let sections = [(v2::SECTION_PHASES, v2::encode_phases(&plan))];
+        for compress in [false, true] {
+            let mut with = Vec::new();
+            let mut without = Vec::new();
+            if compress {
+                v2::write_compressed(&mut with, &meta, records.chunks(64), &sections)
+                    .expect("writes");
+                v2::write_compressed(&mut without, &meta, records.chunks(64), &[])
+                    .expect("writes");
+            } else {
+                v2::write_with_sections(&mut with, &meta, records.chunks(64), &sections)
+                    .expect("writes");
+                v2::write_records(&mut without, &meta, &records, 64).expect("writes");
+            }
+            let (_, _, found) = v2::split_with_sections(&with).expect("sectioned reads");
+            let body = found
+                .iter()
+                .find(|s| s.magic == v2::SECTION_PHASES)
+                .expect("PHAS section present");
+            prop_assert_eq!(&v2::decode_phases(body.body).expect("stored plans decode"), &plan);
+            let (_, read_with) = v2::read(&mut with.as_slice()).expect("reads with PHAS");
+            let (_, read_without) = v2::read(&mut without.as_slice()).expect("reads without");
+            prop_assert_eq!(&read_with, &records);
+            prop_assert_eq!(read_with, read_without);
+        }
+    }
+
+    // Every single-byte flip of a container carrying a `PHAS` section is
+    // rejected — the section frame checksum covers the plan bytes, so a
+    // corrupted plan can never weight a sampled replay. (With sections
+    // present there is no v2<->v3 version-flip exception: downgrading the
+    // version byte turns the section region into trailing garbage.)
+    #[test]
+    fn phas_single_byte_flip_is_always_rejected(
+        case in (vec(record(), 1..120), any::<u64>(), any::<bool>()),
+        bit in 0u8..8,
+    ) {
+        let (records, flip, compress) = case;
+        let plan = plan_for(records.len(), 16, 3);
+        let meta = meta_for(&records);
+        let sections = [(v2::SECTION_PHASES, v2::encode_phases(&plan))];
+        let mut bytes = Vec::new();
+        if compress {
+            v2::write_compressed(&mut bytes, &meta, records.chunks(32), &sections)
+                .expect("writes");
+        } else {
+            v2::write_with_sections(&mut bytes, &meta, records.chunks(32), &sections)
+                .expect("writes");
+        }
+        let position = (flip % bytes.len() as u64) as usize;
+        let mut corrupt = bytes.clone();
+        corrupt[position] ^= 1 << bit;
+        prop_assert!(
+            v2::read(&mut corrupt.as_slice()).is_err(),
+            "flip of bit {} at byte {} of a PHAS-bearing container went undetected",
+            bit,
+            position
+        );
+    }
+
+    // Truncations and trailing junk around the section region are torn
+    // frames, not silently shorter plans.
+    #[test]
+    fn phas_truncation_and_trailing_junk_are_rejected(
+        case in (vec(record(), 1..120), any::<u64>(), vec(any::<u8>(), 1..40)),
+    ) {
+        let (records, cut, junk) = case;
+        let plan = plan_for(records.len(), 16, 2);
+        let sections = [(v2::SECTION_PHASES, v2::encode_phases(&plan))];
+        let mut bytes = Vec::new();
+        v2::write_with_sections(&mut bytes, &meta_for(&records), records.chunks(32), &sections)
+            .expect("writes");
+        let cut = (cut % bytes.len() as u64) as usize;
+        prop_assert!(v2::read(&mut &bytes[..cut]).is_err(), "cut at {} accepted", cut);
+        let mut extended = bytes.clone();
+        extended.extend_from_slice(&junk);
+        prop_assert!(
+            v2::read(&mut extended.as_slice()).is_err(),
+            "{} junk bytes after the PHAS section accepted",
+            junk.len()
+        );
+    }
+
+    // `decode_phases` on arbitrary (unchecksummed) body corruption never
+    // yields a structurally invalid plan: every decode either errors or
+    // passes `PhasePlan::validate`, so even a caller that skips the frame
+    // checksum cannot obtain mis-weighted phases.
+    #[test]
+    fn phas_body_corruption_never_yields_an_invalid_plan(
+        case in (1usize..200, 8u64..64, 1usize..5, any::<u64>()),
+        bit in 0u8..8,
+    ) {
+        let (n, window, phases, flip) = case;
+        let mut body = v2::encode_phases(&plan_for(n, window, phases));
+        let position = (flip % body.len() as u64) as usize;
+        body[position] ^= 1 << bit;
+        if let Ok(plan) = v2::decode_phases(&body) {
+            plan.validate().expect("decoded plans always validate");
+        }
     }
 
     // A fingerprint mismatch is always observable: the stored fingerprint
