@@ -43,6 +43,11 @@
 //!    reduction at ≤1% absolute accuracy error on the tier-1 workloads,
 //!    with the streaming form skipping the *decode* of untouched chunks
 //!    entirely.
+//! 8. **Accept work asynchronously.** A [`JobQueue`] puts a bounded,
+//!    admission-controlled submission surface in front of the engine for
+//!    long-lived services (`repro serve`): [`JobQueue::try_submit`] never
+//!    blocks — it admits a job and returns a [`JobTicket`], or refuses
+//!    with a structured [`SubmitError`] when the backlog is full.
 //!
 //! # Quickstart
 //!
@@ -73,12 +78,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod jobs;
 mod load;
 mod pool;
 mod replay;
 mod shared;
 mod simpoint;
 
+pub use jobs::{JobQueue, JobTicket, SubmitError};
 pub use pool::{par_map, try_par_map};
 pub use replay::{ConfigReplay, ReplayEngine, DEFAULT_SHARDS};
 pub use shared::{

@@ -26,6 +26,13 @@
 //! repro trace replay f --sample      # replay only the container's PHAS plan
 //! repro trace replay f --warm        # sampled with functional warming (state
 //!                                    # exact; only the plan's windows tallied)
+//! repro serve                        # replay daemon on an ephemeral port
+//! repro serve --listen 0.0.0.0:7117  # ... on a fixed address
+//! repro serve --result-dir results/  # persist the result cache across runs
+//! repro client ADDR --job '{...}'    # submit a job, stream its frames
+//! repro client ADDR --spec job.json --payload-only --stats --shutdown
+//! repro job --spec job.json          # run one job inline (no daemon); output
+//!                                    # is byte-identical to the served result
 //! repro --list                       # list experiment ids
 //! ```
 //!
@@ -42,6 +49,7 @@
 use dvp_core::PredictorConfig;
 use dvp_engine::{ReplayEngine, SharedTraceBuilder};
 use dvp_experiments::cache::TraceCache;
+use dvp_experiments::serve::{run_job, JobSpec, Outcome, ServeClient, ServeOptions, Server};
 use dvp_experiments::{
     accuracy, analytic, characterize, information, overlap, phases, realism, sensitivity, speedup,
     sweep, values, TextTable, TraceStore,
@@ -713,6 +721,279 @@ fn run_trace_tool(
     }
 }
 
+/// `repro serve`: run the replay daemon until a client requests shutdown.
+fn run_serve_tool(args: &[String], trace_dir: Option<PathBuf>, engine: &ReplayEngine) -> ExitCode {
+    let usage = "usage: repro serve [--listen ADDR] [--queue N] [--inflight N] \
+                 [--job-workers N] [--results N] [--result-dir DIR]";
+    let mut options = ServeOptions { trace_dir, ..ServeOptions::default() };
+    let mut skip = false;
+    for (i, arg) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        match arg.as_str() {
+            "--listen" => {
+                let Some(addr) = args.get(i + 1) else {
+                    eprintln!("--listen expects an address\n{usage}");
+                    return ExitCode::FAILURE;
+                };
+                options.listen = addr.clone();
+                skip = true;
+            }
+            "--queue" => {
+                let Some(n) = parse_count(args, i + 1, arg) else {
+                    return ExitCode::FAILURE;
+                };
+                options.queue_capacity = n;
+                skip = true;
+            }
+            "--inflight" => {
+                let Some(n) = parse_count(args, i + 1, arg) else {
+                    return ExitCode::FAILURE;
+                };
+                options.inflight_cap = n;
+                skip = true;
+            }
+            "--job-workers" => {
+                let Some(n) = parse_count(args, i + 1, arg) else {
+                    return ExitCode::FAILURE;
+                };
+                options.job_workers = n;
+                skip = true;
+            }
+            "--results" => {
+                let Some(n) = parse_count(args, i + 1, arg) else {
+                    return ExitCode::FAILURE;
+                };
+                options.memory_entries = n;
+                skip = true;
+            }
+            "--result-dir" => {
+                let Some(dir) = args.get(i + 1) else {
+                    eprintln!("--result-dir expects a directory path\n{usage}");
+                    return ExitCode::FAILURE;
+                };
+                options.result_dir = Some(PathBuf::from(dir));
+                skip = true;
+            }
+            other => {
+                eprintln!("unknown serve flag `{other}`\n{usage}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if options.listen.parse::<std::net::SocketAddr>().is_err() {
+        eprintln!("invalid --listen address `{}`", options.listen);
+        return ExitCode::FAILURE;
+    }
+    let server = match Server::start(engine.clone(), options.clone()) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("cannot bind {}: {err}", options.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    // CI and scripts poll stdout for this line to learn the ephemeral port.
+    println!("listening on {}", server.addr());
+    let _ = io::Write::flush(&mut io::stdout());
+    let stats = server.join();
+    eprintln!("[repro] result cache: {stats}");
+    ExitCode::SUCCESS
+}
+
+/// `repro client`: submit jobs to a running daemon and stream the frames.
+fn run_client_tool(args: &[String]) -> ExitCode {
+    let usage = "usage: repro client ADDR [--job JSON]... [--spec FILE]... \
+                 [--payload-only] [--ping] [--stats] [--shutdown]";
+    let Some(addr) = args.first().filter(|a| !a.starts_with("--")).cloned() else {
+        eprintln!("repro client expects a server address\n{usage}");
+        return ExitCode::FAILURE;
+    };
+    let mut jobs: Vec<String> = Vec::new();
+    let mut payload_only = false;
+    let mut do_ping = false;
+    let mut do_stats = false;
+    let mut do_shutdown = false;
+    let rest = &args[1..];
+    let mut skip = false;
+    for (i, arg) in rest.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        match arg.as_str() {
+            "--job" => {
+                let Some(spec) = rest.get(i + 1) else {
+                    eprintln!("--job expects a JSON job spec\n{usage}");
+                    return ExitCode::FAILURE;
+                };
+                jobs.push(spec.clone());
+                skip = true;
+            }
+            "--spec" => {
+                let Some(path) = rest.get(i + 1) else {
+                    eprintln!("--spec expects a file path\n{usage}");
+                    return ExitCode::FAILURE;
+                };
+                match fs::read_to_string(path) {
+                    Ok(text) => jobs.push(text),
+                    Err(err) => {
+                        eprintln!("cannot read job spec `{path}`: {err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                skip = true;
+            }
+            "--payload-only" => payload_only = true,
+            "--ping" => do_ping = true,
+            "--stats" => do_stats = true,
+            "--shutdown" => do_shutdown = true,
+            other => {
+                eprintln!("unknown client flag `{other}`\n{usage}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // Validate locally before touching the network — a bad spec is the
+    // caller's mistake, not the server's — and canonicalize to the
+    // one-line wire form (a spec file may be pretty-printed or end in a
+    // newline, neither of which survives a line protocol).
+    for job in &mut jobs {
+        match JobSpec::parse(job) {
+            Ok(spec) => *job = spec.to_json(),
+            Err(why) => {
+                eprintln!("invalid job spec: {why}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut client = match ServeClient::connect(&addr) {
+        Ok(client) => client,
+        Err(err) => {
+            eprintln!("cannot connect to {addr}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if do_ping {
+        if let Err(err) = client.ping() {
+            eprintln!("ping failed: {err}");
+            return ExitCode::FAILURE;
+        }
+        if !payload_only {
+            println!("pong");
+        }
+    }
+    let mut worst = ExitCode::SUCCESS;
+    for job in &jobs {
+        let outcome = client.submit_streaming(job, |frame| {
+            if !payload_only {
+                println!("{}", frame.raw);
+            }
+        });
+        match outcome {
+            Ok(Outcome::Result { payload, .. }) => {
+                if payload_only {
+                    print!("{payload}");
+                }
+            }
+            Ok(Outcome::Rejected { reason }) => {
+                eprintln!("job rejected: {reason}");
+                worst = ExitCode::from(2);
+            }
+            Ok(Outcome::Error { message }) => {
+                eprintln!("job failed: {message}");
+                return ExitCode::FAILURE;
+            }
+            Err(err) => {
+                eprintln!("connection to {addr} failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if do_stats {
+        match client.stats() {
+            Ok(line) => println!("{line}"),
+            Err(err) => {
+                eprintln!("stats failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if do_shutdown {
+        if let Err(err) = client.shutdown() {
+            eprintln!("shutdown failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+    worst
+}
+
+/// `repro job`: run one job spec inline, without a daemon. The payload is
+/// byte-identical to what `repro serve` streams for the same spec.
+fn run_job_tool(args: &[String], trace_dir: Option<PathBuf>, engine: &ReplayEngine) -> ExitCode {
+    let usage = "usage: repro job (--json JSON | --spec FILE)";
+    let mut text: Option<String> = None;
+    let mut skip = false;
+    for (i, arg) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        match arg.as_str() {
+            "--json" => {
+                let Some(json) = args.get(i + 1) else {
+                    eprintln!("--json expects a JSON job spec\n{usage}");
+                    return ExitCode::FAILURE;
+                };
+                text = Some(json.clone());
+                skip = true;
+            }
+            "--spec" => {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("--spec expects a file path\n{usage}");
+                    return ExitCode::FAILURE;
+                };
+                match fs::read_to_string(path) {
+                    Ok(contents) => text = Some(contents),
+                    Err(err) => {
+                        eprintln!("cannot read job spec `{path}`: {err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                skip = true;
+            }
+            other => {
+                eprintln!("unknown job flag `{other}`\n{usage}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(text) = text else {
+        eprintln!("repro job expects a spec\n{usage}");
+        return ExitCode::FAILURE;
+    };
+    let spec = match JobSpec::parse(&text) {
+        Ok(spec) => spec,
+        Err(why) => {
+            eprintln!("invalid job spec: {why}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_job(&spec, engine, trace_dir.as_deref()) {
+        Ok(payload) => {
+            // The payload already ends in a newline; print! keeps the
+            // bytes identical to the daemon's result frame.
+            print!("{payload}");
+            ExitCode::SUCCESS
+        }
+        Err(why) => {
+            eprintln!("job failed: {why}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut scale_div = 1;
@@ -783,6 +1064,15 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("phases") {
         return run_phases_tool(&args[1..], trace_dir, scale_div, compress);
     }
+    if args.first().map(String::as_str) == Some("serve") {
+        return run_serve_tool(&args[1..], trace_dir, &engine);
+    }
+    if args.first().map(String::as_str) == Some("client") {
+        return run_client_tool(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("job") {
+        return run_job_tool(&args[1..], trace_dir, &engine);
+    }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: repro [--quick] [--sample] [--workers N] [--shards N] [--trace-dir DIR] \
@@ -793,6 +1083,11 @@ fn main() -> ExitCode {
              repro trace <export|stats|verify> --trace-dir DIR\n       \
              repro trace gen --records N --out FILE [--pcs N] [--seed S]\n       \
              repro trace replay FILE [--resident] [--sample] [--warm]\n       \
+             repro serve [--listen ADDR] [--queue N] [--inflight N] \
+             [--job-workers N] [--results N] [--result-dir DIR]\n       \
+             repro client ADDR [--job JSON]... [--spec FILE]... [--payload-only] \
+             [--ping] [--stats] [--shutdown]\n       \
+             repro job (--json JSON | --spec FILE)\n       \
              repro --list\n\n\
              Regenerates the tables and figures of Sazeides & Smith (MICRO-30 1997)\n\
              through the parallel replay engine (default: all cores; output is\n\
@@ -805,7 +1100,10 @@ fn main() -> ExitCode {
              a 1pp error). `repro trace replay` streams a container through a\n\
              bounded chunk window (--chunk-window) without ever holding the full\n\
              trace in memory (--sample replays only its stored phase plan;\n\
-             --warm functionally warms: exact state, windows tallied)."
+             --warm functionally warms: exact state, windows tallied). `repro\n\
+             serve` runs a replay daemon (newline-delimited JSON over TCP) with\n\
+             a fingerprint-keyed result cache; `repro client` submits jobs to\n\
+             it; `repro job` runs one job inline with byte-identical output."
         );
         return ExitCode::FAILURE;
     }

@@ -69,7 +69,9 @@ pub mod information;
 pub mod overlap;
 pub mod phases;
 pub mod realism;
+pub mod result_cache;
 pub mod sensitivity;
+pub mod serve;
 pub mod speedup;
 pub mod sweep;
 mod table_fmt;

@@ -1,0 +1,539 @@
+//! The fingerprint-keyed result cache behind `repro serve`.
+//!
+//! A replay job is deterministic: the same (workload or scenario) ×
+//! predictor bank × parameters always renders the same payload, byte for
+//! byte. That makes finished cells perfect memoization targets for a
+//! long-lived daemon: the first client pays for the replay, every later
+//! identical job is answered from cache — and the answer must be
+//! **byte-identical** to the cold one, or the cache is corrupting results.
+//!
+//! [`ResultCache`] is a two-tier store:
+//!
+//! * an in-memory LRU of at most `capacity` entries (recency updated on
+//!   every hit, least-recently-used evicted first), and
+//! * an optional on-disk tier ([`ResultCache::with_dir`]) of one
+//!   checksummed entry file per key, written with the same
+//!   fsync-then-rename durability idiom as the trace cache
+//!   ([`TraceCache::write_through`](crate::cache::TraceCache::write_through)):
+//!   a `kill -9` mid-write can never leave a torn entry under the final
+//!   name, and orphaned `.tmp-<pid>` files of dead writers are swept on
+//!   first use.
+//!
+//! Like the trace cache, the disk tier is **safe by construction**: every
+//! read re-validates the entry byte for byte (magic, version, lengths,
+//! checksum, exact file size, stored key) and any violation is rejected,
+//! counted in [`ResultCacheStats::invalid`], and treated as a miss — a
+//! corrupt entry is recomputed, never served. The on-disk entry layout is
+//! specified byte-level in `docs/RESULT_FORMAT.md`; [`encode_entry`] /
+//! [`decode_entry`] are the reference codec and are public so the
+//! corruption test suite can attack the format directly.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// File extension of persisted result entries.
+pub const RESULT_EXTENSION: &str = "dvpr";
+
+/// Magic bytes opening every result entry file.
+pub const RESULT_MAGIC: [u8; 4] = *b"DVPR";
+
+/// The current (and only) entry format version.
+pub const RESULT_VERSION: u8 = 1;
+
+/// FNV-1a 64 of one byte slice — the entry checksum function (same
+/// algorithm as the trace container's, `docs/TRACE_FORMAT.md`).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash = (hash ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Encodes one result-cache entry: `"DVPR"` + version + key length (u32
+/// LE) + payload length (u32 LE) + key + payload + FNV-1a 64 (u64 LE)
+/// over everything before the checksum. See `docs/RESULT_FORMAT.md`.
+#[must_use]
+pub fn encode_entry(key: &str, payload: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 1 + 4 + 4 + key.len() + payload.len() + 8);
+    out.extend_from_slice(&RESULT_MAGIC);
+    out.push(RESULT_VERSION);
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(key.as_bytes());
+    out.extend_from_slice(payload.as_bytes());
+    let checksum = fnv1a64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Decodes and validates one entry read under `key`, returning the
+/// payload. Every framing invariant is checked — magic, version, declared
+/// lengths vs the exact file size (trailing bytes are an error), the
+/// checksum over everything before it, UTF-8 of both strings, and that
+/// the stored key equals the expected one (a mis-filed entry must never
+/// be served for the wrong job).
+///
+/// # Errors
+///
+/// A human-readable description of the first violated invariant.
+pub fn decode_entry(key: &str, bytes: &[u8]) -> Result<String, String> {
+    const HEAD: usize = 4 + 1 + 4 + 4;
+    if bytes.len() < HEAD + 8 {
+        return Err(format!("entry too short: {} bytes", bytes.len()));
+    }
+    if bytes[..4] != RESULT_MAGIC {
+        return Err(format!("bad magic {:02x?}", &bytes[..4]));
+    }
+    if bytes[4] != RESULT_VERSION {
+        return Err(format!("unsupported version {}", bytes[4]));
+    }
+    let key_len = u32::from_le_bytes(bytes[5..9].try_into().expect("4 bytes")) as usize;
+    let payload_len = u32::from_le_bytes(bytes[9..13].try_into().expect("4 bytes")) as usize;
+    let expected_len = HEAD + key_len + payload_len + 8;
+    if bytes.len() != expected_len {
+        return Err(format!(
+            "length mismatch: {} bytes on disk, {expected_len} declared",
+            bytes.len()
+        ));
+    }
+    let body_end = HEAD + key_len + payload_len;
+    let stored_sum = u64::from_le_bytes(bytes[body_end..].try_into().expect("8 bytes"));
+    let actual_sum = fnv1a64(&bytes[..body_end]);
+    if stored_sum != actual_sum {
+        return Err(format!(
+            "checksum mismatch: stored {stored_sum:016x}, actual {actual_sum:016x}"
+        ));
+    }
+    let stored_key = std::str::from_utf8(&bytes[HEAD..HEAD + key_len])
+        .map_err(|err| format!("key is not UTF-8: {err}"))?;
+    if stored_key != key {
+        return Err(format!("key mismatch: entry holds `{stored_key}`, expected `{key}`"));
+    }
+    let payload = std::str::from_utf8(&bytes[HEAD + key_len..body_end])
+        .map_err(|err| format!("payload is not UTF-8: {err}"))?;
+    Ok(payload.to_owned())
+}
+
+/// Counters describing what a [`ResultCache`] did. `repro serve` prints
+/// them on shutdown; a warm identical job shows up as a result hit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResultCacheStats {
+    /// Jobs answered from the in-memory tier.
+    pub hits: u64,
+    /// Jobs found in neither tier (and therefore computed).
+    pub misses: u64,
+    /// Jobs answered from a valid on-disk entry (counted separately from
+    /// `hits`; a disk hit also repopulates the memory tier).
+    pub disk_hits: u64,
+    /// Entries written through to disk.
+    pub written: u64,
+    /// In-memory entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// On-disk candidates rejected (corrupt, truncated, mis-keyed) and
+    /// recomputed.
+    pub invalid: u64,
+}
+
+impl fmt::Display for ResultCacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} result hits, {} misses, {} disk hits, {} written, {} evicted, {} invalid",
+            self.hits, self.misses, self.disk_hits, self.written, self.evictions, self.invalid
+        )
+    }
+}
+
+/// A two-tier (in-memory LRU + optional on-disk) cache of rendered job
+/// payloads, keyed by the job's canonical fingerprint string (see the
+/// [module docs](self)).
+///
+/// # Examples
+///
+/// ```
+/// use dvp_experiments::result_cache::ResultCache;
+///
+/// let mut cache = ResultCache::new(2);
+/// assert_eq!(cache.get("job-a"), None);
+/// cache.insert("job-a", "payload-a");
+/// assert_eq!(cache.get("job-a").as_deref(), Some("payload-a"));
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct ResultCache {
+    /// Most-recently-used first. Linear scans are fine: the memory tier
+    /// is small by design (tens of entries), and payloads dominate.
+    entries: VecDeque<(String, String)>,
+    capacity: usize,
+    dir: Option<PathBuf>,
+    stats: ResultCacheStats,
+    /// Guards the one-time orphaned-`.tmp-*` sweep of the directory.
+    swept: std::sync::Once,
+}
+
+impl ResultCache {
+    /// A memory-only cache holding at most `capacity` entries. Capacity 0
+    /// disables the memory tier (every insert is immediately dropped).
+    #[must_use]
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            entries: VecDeque::new(),
+            capacity,
+            dir: None,
+            stats: ResultCacheStats::default(),
+            swept: std::sync::Once::new(),
+        }
+    }
+
+    /// Adds the on-disk tier rooted at `dir` (created on first write).
+    /// Disk failures never fail a job — they are reported to stderr,
+    /// counted, and treated as misses.
+    #[must_use]
+    pub fn with_dir(mut self, dir: impl Into<PathBuf>) -> ResultCache {
+        self.dir = Some(dir.into());
+        self
+    }
+
+    /// The on-disk entry path for `key`: the key's FNV-1a 64 digest as
+    /// the file name (keys hold `|`-separated spec fields, not
+    /// path-safe characters).
+    #[must_use]
+    pub fn path_for(&self, key: &str) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|dir| dir.join(format!("{:016x}.{RESULT_EXTENSION}", fnv1a64(key.as_bytes()))))
+    }
+
+    /// Counters so far.
+    #[must_use]
+    pub fn stats(&self) -> ResultCacheStats {
+        self.stats
+    }
+
+    /// Entries currently resident in the memory tier.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the memory tier is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks `key` up: memory first (refreshing its recency), then disk
+    /// (a valid entry repopulates the memory tier). `None` is a miss —
+    /// including the case of an on-disk entry that fails validation,
+    /// which is reported and counted in
+    /// [`ResultCacheStats::invalid`] so the caller recomputes it.
+    pub fn get(&mut self, key: &str) -> Option<String> {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| k == key) {
+            let entry = self.entries.remove(pos).expect("position just found");
+            let payload = entry.1.clone();
+            self.entries.push_front(entry);
+            self.stats.hits += 1;
+            return Some(payload);
+        }
+        if let Some(payload) = self.disk_get(key) {
+            self.stats.disk_hits += 1;
+            self.remember(key, &payload);
+            return Some(payload);
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Stores a computed payload in both tiers: front of the memory LRU
+    /// (evicting from the back while over capacity) and, when a directory
+    /// is configured, written through to disk atomically (temporary
+    /// sibling file, fsync, rename — the trace cache's durability idiom).
+    pub fn insert(&mut self, key: &str, payload: &str) {
+        self.remember(key, payload);
+        if let Err(err) = self.disk_put(key, payload) {
+            eprintln!("[result-cache] write failed for `{key}`: {err}");
+        }
+    }
+
+    fn remember(&mut self, key: &str, payload: &str) {
+        self.entries.retain(|(k, _)| k != key);
+        self.entries.push_front((key.to_owned(), payload.to_owned()));
+        while self.entries.len() > self.capacity {
+            self.entries.pop_back();
+            self.stats.evictions += 1;
+        }
+    }
+
+    fn disk_get(&mut self, key: &str) -> Option<String> {
+        let path = self.path_for(key)?;
+        self.sweep_orphans();
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => return None,
+            Err(err) => {
+                self.stats.invalid += 1;
+                eprintln!(
+                    "[result-cache] rejected {}: unreadable: {err}; recomputing",
+                    path.display()
+                );
+                return None;
+            }
+        };
+        match decode_entry(key, &bytes) {
+            Ok(payload) => Some(payload),
+            Err(why) => {
+                self.stats.invalid += 1;
+                eprintln!("[result-cache] rejected {}: {why}; recomputing", path.display());
+                None
+            }
+        }
+    }
+
+    fn disk_put(&mut self, key: &str, payload: &str) -> io::Result<()> {
+        let Some(path) = self.path_for(key) else { return Ok(()) };
+        let dir = self.dir.clone().expect("path_for implies dir");
+        fs::create_dir_all(&dir)?;
+        self.sweep_orphans();
+        let tmp = path.with_extension(format!("{RESULT_EXTENSION}.tmp-{}", std::process::id()));
+        let result = (|| {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(&encode_entry(key, payload))?;
+            file.flush()?;
+            // Durability, not just atomicity: rename orders the directory
+            // entry, but only an fsync orders the *data* against a crash.
+            file.sync_all()?;
+            fs::rename(&tmp, &path)?;
+            // Best-effort: persist the rename itself.
+            if let Ok(dir) = fs::File::open(&dir) {
+                let _ = dir.sync_all();
+            }
+            Ok(())
+        })();
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        } else {
+            self.stats.written += 1;
+        }
+        result
+    }
+
+    /// Removes `*.tmp-<pid>` leftovers of dead processes, once per cache
+    /// instance — same policy as the trace cache's sweep: a file is an
+    /// orphan when its recorded pid is not this process and (with
+    /// `/proc`) no longer exists, or (without `/proc`) the file is older
+    /// than an hour.
+    fn sweep_orphans(&self) {
+        let Some(dir) = self.dir.as_deref() else { return };
+        self.swept.call_once(|| {
+            let Ok(entries) = fs::read_dir(dir) else { return };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+                let Some((_, pid)) = name.rsplit_once(".tmp-") else { continue };
+                let Ok(pid) = pid.parse::<u32>() else { continue };
+                if pid == std::process::id() || Self::writer_may_be_alive(pid, &entry) {
+                    continue;
+                }
+                let _ = fs::remove_file(&path);
+            }
+        });
+    }
+
+    /// Whether the process that owns a temporary file could still be
+    /// running: its pid exists under `/proc`, or — on systems without
+    /// `/proc` — the file was modified within the last hour.
+    fn writer_may_be_alive(pid: u32, entry: &fs::DirEntry) -> bool {
+        if Path::new("/proc").is_dir() {
+            return Path::new("/proc").join(pid.to_string()).exists();
+        }
+        entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| t.elapsed().ok())
+            .is_none_or(|age| age.as_secs() < 3600)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A unique, self-cleaning temp dir under the system temp root.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir = std::env::temp_dir()
+                .join(format!("dvp-result-cache-test-{tag}-{}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for (key, payload) in
+            [("k", "v"), ("", ""), ("job a|b|c", "line one\nline two\n"), ("π", "τ✓")]
+        {
+            let bytes = encode_entry(key, payload);
+            assert_eq!(decode_entry(key, &bytes).as_deref(), Ok(payload), "key `{key}`");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_wrong_key_magic_version_and_length() {
+        let bytes = encode_entry("right-key", "payload");
+        assert!(decode_entry("wrong-key", &bytes).unwrap_err().contains("key mismatch"));
+
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(decode_entry("right-key", &bad).unwrap_err().contains("bad magic"));
+
+        let mut bad = bytes.clone();
+        bad[4] = 9;
+        assert!(decode_entry("right-key", &bad).unwrap_err().contains("unsupported version"));
+
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_entry("right-key", &long).unwrap_err().contains("length mismatch"));
+        assert!(decode_entry("right-key", &bytes[..bytes.len() - 1])
+            .unwrap_err()
+            .contains("length mismatch"));
+        assert!(decode_entry("right-key", b"DV").unwrap_err().contains("too short"));
+    }
+
+    #[test]
+    fn memory_tier_hits_and_misses_are_counted() {
+        let mut cache = ResultCache::new(4);
+        assert_eq!(cache.get("a"), None);
+        cache.insert("a", "A");
+        assert_eq!(cache.get("a").as_deref(), Some("A"));
+        assert_eq!(cache.get("b"), None);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.written), (1, 2, 0));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_and_get_refreshes_recency() {
+        let mut cache = ResultCache::new(2);
+        cache.insert("a", "A");
+        cache.insert("b", "B");
+        // Touch `a` so `b` is now least recently used.
+        assert_eq!(cache.get("a").as_deref(), Some("A"));
+        cache.insert("c", "C");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get("b"), None, "LRU entry `b` was evicted");
+        assert_eq!(cache.get("a").as_deref(), Some("A"));
+        assert_eq!(cache.get("c").as_deref(), Some("C"));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinserting_a_key_replaces_without_growing() {
+        let mut cache = ResultCache::new(2);
+        cache.insert("a", "old");
+        cache.insert("a", "new");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get("a").as_deref(), Some("new"));
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn capacity_zero_disables_the_memory_tier() {
+        let mut cache = ResultCache::new(0);
+        cache.insert("a", "A");
+        assert!(cache.is_empty());
+        assert_eq!(cache.get("a"), None);
+    }
+
+    #[test]
+    fn disk_tier_survives_a_fresh_instance() {
+        let tmp = TempDir::new("disk-roundtrip");
+        let mut cold = ResultCache::new(4).with_dir(&tmp.0);
+        cold.insert("job|x", "result body\n");
+        assert_eq!(cold.stats().written, 1);
+
+        // A fresh instance (new process, after a crash, …) misses memory
+        // but hits disk — and repopulates its memory tier.
+        let mut warm = ResultCache::new(4).with_dir(&tmp.0);
+        assert_eq!(warm.get("job|x").as_deref(), Some("result body\n"));
+        assert_eq!(warm.stats().disk_hits, 1);
+        assert_eq!(warm.get("job|x").as_deref(), Some("result body\n"));
+        assert_eq!(warm.stats().hits, 1);
+    }
+
+    #[test]
+    fn corrupt_disk_entry_is_rejected_and_recomputable() {
+        let tmp = TempDir::new("corrupt");
+        let mut cache = ResultCache::new(0).with_dir(&tmp.0);
+        cache.insert("job|x", "good payload");
+        let path = cache.path_for("job|x").expect("disk tier configured");
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+
+        let mut fresh = ResultCache::new(0).with_dir(&tmp.0);
+        assert_eq!(fresh.get("job|x"), None, "corrupt entry must read as a miss");
+        assert_eq!(fresh.stats().invalid, 1);
+        // Recompute-and-overwrite heals the entry.
+        fresh.insert("job|x", "good payload");
+        assert_eq!(fresh.get("job|x").as_deref(), Some("good payload"));
+    }
+
+    #[test]
+    fn hash_collision_with_a_different_key_is_rejected() {
+        // Two keys can map to the same file only via an FNV collision; a
+        // mis-filed entry simulates that by renaming.
+        let tmp = TempDir::new("mis-filed");
+        let mut cache = ResultCache::new(0).with_dir(&tmp.0);
+        cache.insert("key-one", "payload-one");
+        let from = cache.path_for("key-one").unwrap();
+        let to = cache.path_for("key-two").unwrap();
+        fs::rename(from, to).unwrap();
+        assert_eq!(cache.get("key-two"), None, "stored key must match the lookup key");
+        assert_eq!(cache.stats().invalid, 1);
+    }
+
+    #[test]
+    fn orphaned_tmp_files_of_dead_processes_are_swept() {
+        let tmp = TempDir::new("sweep");
+        fs::create_dir_all(&tmp.0).unwrap();
+        // Pid 4_000_000_000 is far above any real pid_max: a dead writer.
+        let dead = tmp.0.join(format!("stale.{RESULT_EXTENSION}.tmp-4000000000"));
+        let own = tmp.0.join(format!("inflight.{RESULT_EXTENSION}.tmp-{}", std::process::id()));
+        let unrelated = tmp.0.join("keep.txt");
+        for p in [&dead, &own, &unrelated] {
+            fs::write(p, b"partial").unwrap();
+        }
+
+        let mut cache = ResultCache::new(2).with_dir(&tmp.0);
+        let _ = cache.get("anything");
+        assert!(!dead.exists(), "dead process's tmp file must be swept");
+        assert!(own.exists(), "this process's in-flight tmp file must survive");
+        assert!(unrelated.exists(), "non-tmp files are untouched");
+    }
+
+    #[test]
+    fn stats_render_greppable() {
+        let mut cache = ResultCache::new(2);
+        cache.insert("a", "A");
+        let _ = cache.get("a");
+        assert_eq!(
+            cache.stats().to_string(),
+            "1 result hits, 0 misses, 0 disk hits, 0 written, 0 evicted, 0 invalid"
+        );
+    }
+}

@@ -1,0 +1,1331 @@
+//! `repro serve` — a concurrent replay daemon with a result cache.
+//!
+//! The paper's experiments are one-shot sweeps; this module turns the
+//! replay machinery into a long-lived service answering predictability
+//! queries for many concurrent clients. A [`Server`] listens on TCP and
+//! speaks a newline-delimited JSON **line protocol**: every request and
+//! every response is one JSON object on one line.
+//!
+//! # The job lifecycle
+//!
+//! 1. **Admit.** A `submit` request carries a [`JobSpec`] — a synthetic
+//!    scenario or a workload, a predictor bank, and options. Specs are
+//!    parsed *strictly* (an unknown field is an error, never silently
+//!    ignored) and validated before anything is scheduled. Admission is
+//!    controlled twice: per client (at most `inflight_cap` unfinished
+//!    jobs per connection) and globally (the bounded
+//!    [`dvp_engine::JobQueue`] in front of the engine). An
+//!    over-limit submit is answered with a structured `rejected` frame,
+//!    never queued without bound.
+//! 2. **Schedule.** Admitted jobs run on the queue's worker threads; each
+//!    job internally fans out on the shared
+//!    [`dvp_engine::ReplayEngine`].
+//! 3. **Replay.** [`run_job`] materializes the trace (through the
+//!    ordinary [`crate::TraceStore`] path, including its disk
+//!    tier when a trace directory is configured), replays the requested
+//!    bank, and renders a deterministic text payload — byte-identical to
+//!    what the one-shot `repro job` CLI prints for the same spec.
+//! 4. **Cache.** Completed payloads are memoized in a fingerprint-keyed
+//!    [`crate::result_cache::ResultCache`] (in-memory LRU +
+//!    optional on-disk tier); an identical later job is answered from
+//!    cache with a byte-identical payload.
+//! 5. **Stream.** The client sees `accepted`, then `progress`, then one
+//!    terminal `result` / `error` frame (or an immediate `rejected`).
+//!    Frames for one connection are serialized through a per-connection
+//!    writer lock, so `accepted` always precedes that job's `result`.
+//!
+//! # Examples
+//!
+//! ```
+//! use dvp_engine::ReplayEngine;
+//! use dvp_experiments::serve::{JobSpec, Outcome, ServeClient, ServeOptions, Server, run_job};
+//!
+//! let engine = ReplayEngine::sequential();
+//! let server = Server::start(engine.clone(), ServeOptions::default())?;
+//! let mut client = ServeClient::connect(&server.addr().to_string())?;
+//!
+//! let spec = r#"{"scenario":{"kind":"constant","pcs":2,"records_per_pc":64},"bank":["l"]}"#;
+//! let outcome = client.submit(spec)?;
+//! let Outcome::Result { payload, .. } = outcome else { panic!("small job is admitted") };
+//! // Byte-identical to computing the same job inline:
+//! let inline = run_job(&JobSpec::parse(spec).unwrap(), &engine, None).unwrap();
+//! assert_eq!(payload, inline);
+//! client.shutdown()?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use crate::cache::TraceCache;
+use crate::result_cache::{ResultCache, ResultCacheStats};
+use crate::{TextTable, TraceStore, REFERENCE_OPT};
+use dvp_core::PredictorConfig;
+use dvp_engine::{JobQueue, ReplayEngine};
+use dvp_workloads::synthetic::{Scenario, ScenarioKind, MAX_CYCLE};
+use dvp_workloads::Benchmark;
+use serde::json;
+use std::io::{self, BufRead, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Version of the line protocol, announced in the `hello` frame.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// Job specs
+// ---------------------------------------------------------------------------
+
+/// What a job replays: a synthetic scenario or a simulated workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobSource {
+    /// A parameterized synthetic scenario (generated, never simulated).
+    Scenario(Scenario),
+    /// A real benchmark workload at `default_scale / scale_div`.
+    Workload {
+        /// The benchmark to simulate.
+        benchmark: Benchmark,
+        /// Scale divisor (1 = reference scale; `repro --quick` uses 4).
+        scale_div: u32,
+    },
+}
+
+/// One validated replay job: source × predictor bank × options.
+///
+/// The wire form is a JSON object with exactly one of `"scenario"` /
+/// `"workload"`, plus optional `"bank"` (defaults to the paper bank),
+/// `"sample"` (phase-sampled replay with functional warming), and
+/// `"record_cap"`. Parsing is strict: unknown fields and out-of-range
+/// parameters are errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// What to replay.
+    pub source: JobSource,
+    /// Predictor configuration names (`"l"`, `"s2"`, `"fcm1"`..`"fcm8"`).
+    pub bank: Vec<String>,
+    /// Replay only a SimPoint phase plan (functionally warmed) instead of
+    /// the full trace.
+    pub sample: bool,
+    /// Truncate the trace to at most this many records.
+    pub record_cap: Option<usize>,
+}
+
+/// Intermediate scenario fields, collected before kind-aware validation.
+#[derive(Default)]
+struct ScenarioFields {
+    kind: Option<String>,
+    pcs: Option<u32>,
+    records_per_pc: Option<u32>,
+    seed: Option<u64>,
+    stride: Option<i64>,
+    jitter_pct: Option<u8>,
+    period: Option<u32>,
+    order: Option<u32>,
+    alphabet: Option<u64>,
+    heap: Option<u32>,
+}
+
+impl ScenarioFields {
+    /// Rejects any kind-specific field that does not belong to `kind`.
+    fn forbid(&self, kind: &str, allowed: &[&str]) -> Result<(), String> {
+        let present: [(&str, bool); 6] = [
+            ("stride", self.stride.is_some()),
+            ("jitter_pct", self.jitter_pct.is_some()),
+            ("period", self.period.is_some()),
+            ("order", self.order.is_some()),
+            ("alphabet", self.alphabet.is_some()),
+            ("heap", self.heap.is_some()),
+        ];
+        for (name, is_present) in present {
+            if is_present && !allowed.contains(&name) {
+                return Err(format!("field `{name}` does not apply to scenario kind `{kind}`"));
+            }
+        }
+        Ok(())
+    }
+
+    fn require<T: Copy>(value: Option<T>, kind: &str, name: &str) -> Result<T, String> {
+        value.ok_or_else(|| format!("scenario kind `{kind}` requires field `{name}`"))
+    }
+
+    /// Builds the validated [`Scenario`], mirroring [`Scenario::new`]'s
+    /// panicking range asserts as structured errors (a daemon must never
+    /// panic on client input).
+    fn build(self) -> Result<Scenario, String> {
+        let kind_name = self.kind.clone().ok_or("scenario requires field `kind`")?;
+        let pcs = self.pcs.ok_or("scenario requires field `pcs`")?;
+        let records_per_pc =
+            self.records_per_pc.ok_or("scenario requires field `records_per_pc`")?;
+        if pcs == 0 {
+            return Err("scenario `pcs` must be positive".to_owned());
+        }
+        if records_per_pc == 0 {
+            return Err("scenario `records_per_pc` must be positive".to_owned());
+        }
+        let seed = self.seed.unwrap_or(1);
+        let kind = match kind_name.as_str() {
+            "constant" => {
+                self.forbid(&kind_name, &[])?;
+                ScenarioKind::Constant
+            }
+            "mixed" => {
+                self.forbid(&kind_name, &[])?;
+                ScenarioKind::Mixed
+            }
+            "stride" => {
+                self.forbid(&kind_name, &["stride", "jitter_pct"])?;
+                let stride = Self::require(self.stride, &kind_name, "stride")?;
+                if stride == 0 {
+                    return Err(
+                        "scenario `stride` must be nonzero (use kind `constant`)".to_owned()
+                    );
+                }
+                let jitter_pct = self.jitter_pct.unwrap_or(0);
+                if jitter_pct > 100 {
+                    return Err("scenario `jitter_pct` must be at most 100".to_owned());
+                }
+                ScenarioKind::Stride { stride, jitter_pct }
+            }
+            "periodic" => {
+                self.forbid(&kind_name, &["period"])?;
+                let period = Self::require(self.period, &kind_name, "period")?;
+                if !(1..=MAX_CYCLE).contains(&period) {
+                    return Err(format!("scenario `period` must be in 1..={MAX_CYCLE}"));
+                }
+                ScenarioKind::Periodic { period }
+            }
+            "markov" => {
+                self.forbid(&kind_name, &["order", "alphabet"])?;
+                let order = Self::require(self.order, &kind_name, "order")?;
+                let alphabet = Self::require(self.alphabet, &kind_name, "alphabet")?;
+                if !(1..=8).contains(&order) {
+                    return Err("scenario `order` must be in 1..=8".to_owned());
+                }
+                if !(2..=64).contains(&alphabet) {
+                    return Err(
+                        "scenario `alphabet` must be in 2..=64 for kind `markov`".to_owned()
+                    );
+                }
+                let alphabet = u32::try_from(alphabet).expect("<= 64");
+                if u64::from(alphabet).pow(order) > u64::from(MAX_CYCLE) {
+                    return Err(format!("scenario alphabet^order exceeds {MAX_CYCLE}"));
+                }
+                ScenarioKind::Markov { order, alphabet }
+            }
+            "chase" => {
+                self.forbid(&kind_name, &["heap"])?;
+                let heap = Self::require(self.heap, &kind_name, "heap")?;
+                if !(2..=MAX_CYCLE).contains(&heap) {
+                    return Err(format!("scenario `heap` must be in 2..={MAX_CYCLE}"));
+                }
+                ScenarioKind::Chase { heap }
+            }
+            "random" => {
+                self.forbid(&kind_name, &["alphabet"])?;
+                let alphabet = Self::require(self.alphabet, &kind_name, "alphabet")?;
+                if alphabet < 2 {
+                    return Err("scenario `alphabet` must be at least 2".to_owned());
+                }
+                ScenarioKind::Random { alphabet }
+            }
+            other => {
+                return Err(format!(
+                    "unknown scenario kind `{other}` (expected constant, stride, periodic, \
+                     markov, chase, random, or mixed)"
+                ))
+            }
+        };
+        Ok(Scenario::new(kind, pcs, records_per_pc, seed))
+    }
+}
+
+/// Parses one JSON number token into `T`, with the field name in errors.
+fn number_field<T: std::str::FromStr>(parser: &mut json::Parser, name: &str) -> Result<T, String> {
+    let text = parser.number_text().map_err(|err| format!("field `{name}`: {err}"))?;
+    text.parse::<T>().map_err(|_| format!("field `{name}`: invalid number `{text}`"))
+}
+
+impl JobSpec {
+    /// Parses a complete job-spec JSON document (strict: trailing input,
+    /// unknown fields, and out-of-range parameters are all errors).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violation.
+    pub fn parse(text: &str) -> Result<JobSpec, String> {
+        let mut parser = json::Parser::new(text);
+        let spec = JobSpec::parse_value(&mut parser)?;
+        parser.finish().map_err(|err| err.to_string())?;
+        Ok(spec)
+    }
+
+    /// Parses one job-spec object at the parser's cursor (the form used
+    /// inside a `submit` request's `"job"` field).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violation.
+    pub fn parse_value(parser: &mut json::Parser) -> Result<JobSpec, String> {
+        let fail = |err: json::Error| err.to_string();
+        parser.begin_object().map_err(fail)?;
+        let mut scenario: Option<Scenario> = None;
+        let mut workload: Option<(Benchmark, u32)> = None;
+        let mut bank: Option<Vec<String>> = None;
+        let mut sample = false;
+        let mut record_cap: Option<usize> = None;
+        let mut first = true;
+        while !parser.end_object(&mut first).map_err(fail)? {
+            let key = parser.string().map_err(fail)?;
+            parser.colon().map_err(fail)?;
+            match key.as_str() {
+                "scenario" => scenario = Some(Self::parse_scenario(parser)?),
+                "workload" => workload = Some(Self::parse_workload(parser)?),
+                "bank" => {
+                    let mut names = Vec::new();
+                    parser.begin_array().map_err(fail)?;
+                    let mut first_el = true;
+                    while !parser.end_array(&mut first_el).map_err(fail)? {
+                        names.push(parser.string().map_err(fail)?);
+                    }
+                    bank = Some(names);
+                }
+                "sample" => sample = parser.boolean().map_err(fail)?,
+                "record_cap" => {
+                    if !parser.try_null().map_err(fail)? {
+                        let cap: u64 = number_field(parser, "record_cap")?;
+                        if cap == 0 {
+                            return Err("field `record_cap` must be positive".to_owned());
+                        }
+                        record_cap =
+                            Some(usize::try_from(cap).map_err(|_| "field `record_cap` too large")?);
+                    }
+                }
+                other => return Err(format!("unknown job field `{other}`")),
+            }
+        }
+        let source = match (scenario, workload) {
+            (Some(s), None) => JobSource::Scenario(s),
+            (None, Some((benchmark, scale_div))) => JobSource::Workload { benchmark, scale_div },
+            _ => return Err("job must have exactly one of `scenario` or `workload`".to_owned()),
+        };
+        let bank = match bank {
+            Some(names) if names.is_empty() => {
+                return Err("field `bank` must name at least one predictor".to_owned())
+            }
+            Some(names) => names,
+            None => PredictorConfig::paper_bank().iter().map(|c| c.name().to_owned()).collect(),
+        };
+        for name in &bank {
+            if bank_config(name).is_none() {
+                return Err(format!(
+                    "unknown predictor `{name}` in bank (expected l, s2, or fcm1..fcm8)"
+                ));
+            }
+        }
+        Ok(JobSpec { source, bank, sample, record_cap })
+    }
+
+    fn parse_scenario(parser: &mut json::Parser) -> Result<Scenario, String> {
+        let fail = |err: json::Error| err.to_string();
+        parser.begin_object().map_err(fail)?;
+        let mut fields = ScenarioFields::default();
+        let mut first = true;
+        while !parser.end_object(&mut first).map_err(fail)? {
+            let key = parser.string().map_err(fail)?;
+            parser.colon().map_err(fail)?;
+            match key.as_str() {
+                "kind" => fields.kind = Some(parser.string().map_err(fail)?),
+                "pcs" => fields.pcs = Some(number_field(parser, "pcs")?),
+                "records_per_pc" => {
+                    fields.records_per_pc = Some(number_field(parser, "records_per_pc")?);
+                }
+                "seed" => fields.seed = Some(number_field(parser, "seed")?),
+                "stride" => fields.stride = Some(number_field(parser, "stride")?),
+                "jitter_pct" => fields.jitter_pct = Some(number_field(parser, "jitter_pct")?),
+                "period" => fields.period = Some(number_field(parser, "period")?),
+                "order" => fields.order = Some(number_field(parser, "order")?),
+                "alphabet" => fields.alphabet = Some(number_field(parser, "alphabet")?),
+                "heap" => fields.heap = Some(number_field(parser, "heap")?),
+                other => return Err(format!("unknown scenario field `{other}`")),
+            }
+        }
+        fields.build()
+    }
+
+    fn parse_workload(parser: &mut json::Parser) -> Result<(Benchmark, u32), String> {
+        let fail = |err: json::Error| err.to_string();
+        parser.begin_object().map_err(fail)?;
+        let mut benchmark: Option<Benchmark> = None;
+        let mut scale_div = 1u32;
+        let mut first = true;
+        while !parser.end_object(&mut first).map_err(fail)? {
+            let key = parser.string().map_err(fail)?;
+            parser.colon().map_err(fail)?;
+            match key.as_str() {
+                "benchmark" => {
+                    let name = parser.string().map_err(fail)?;
+                    let Some(&found) = Benchmark::ALL.iter().find(|b| b.name() == name) else {
+                        let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+                        return Err(format!(
+                            "unknown benchmark `{name}` (expected one of: {})",
+                            names.join(", ")
+                        ));
+                    };
+                    benchmark = Some(found);
+                }
+                "scale_div" => {
+                    scale_div = number_field(parser, "scale_div")?;
+                    if scale_div == 0 {
+                        return Err("field `scale_div` must be positive".to_owned());
+                    }
+                }
+                other => return Err(format!("unknown workload field `{other}`")),
+            }
+        }
+        let benchmark = benchmark.ok_or("workload requires field `benchmark`")?;
+        Ok((benchmark, scale_div))
+    }
+
+    /// Renders the spec back to its canonical one-line JSON wire form
+    /// (fields in a fixed order; `JobSpec::parse(spec.to_json())`
+    /// round-trips).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        match &self.source {
+            JobSource::Scenario(s) => {
+                out.push_str("\"scenario\":{\"kind\":");
+                json::write_string(s.name(), &mut out);
+                out.push_str(&format!(
+                    ",\"pcs\":{},\"records_per_pc\":{},\"seed\":{}",
+                    s.pcs(),
+                    s.records_per_pc(),
+                    s.seed()
+                ));
+                match s.kind() {
+                    ScenarioKind::Constant | ScenarioKind::Mixed => {}
+                    ScenarioKind::Stride { stride, jitter_pct } => {
+                        out.push_str(&format!(",\"stride\":{stride},\"jitter_pct\":{jitter_pct}"));
+                    }
+                    ScenarioKind::Periodic { period } => {
+                        out.push_str(&format!(",\"period\":{period}"));
+                    }
+                    ScenarioKind::Markov { order, alphabet } => {
+                        out.push_str(&format!(",\"order\":{order},\"alphabet\":{alphabet}"));
+                    }
+                    ScenarioKind::Chase { heap } => out.push_str(&format!(",\"heap\":{heap}")),
+                    ScenarioKind::Random { alphabet } => {
+                        out.push_str(&format!(",\"alphabet\":{alphabet}"));
+                    }
+                }
+                out.push('}');
+            }
+            JobSource::Workload { benchmark, scale_div } => {
+                out.push_str("\"workload\":{\"benchmark\":");
+                json::write_string(benchmark.name(), &mut out);
+                out.push_str(&format!(",\"scale_div\":{scale_div}}}"));
+            }
+        }
+        out.push_str(",\"bank\":[");
+        for (i, name) in self.bank.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_string(name, &mut out);
+        }
+        out.push_str(&format!("],\"sample\":{}", self.sample));
+        if let Some(cap) = self.record_cap {
+            out.push_str(&format!(",\"record_cap\":{cap}"));
+        }
+        out.push('}');
+        out
+    }
+
+    /// The canonical result-cache key: the trace fingerprint (workload,
+    /// input, opt level, seed, scale, record cap) extended with the bank
+    /// and sampling mode — everything that can move a payload byte.
+    #[must_use]
+    pub fn canonical_key(&self) -> String {
+        let fp = match &self.source {
+            JobSource::Scenario(s) => s.fingerprint(self.record_cap),
+            JobSource::Workload { benchmark, scale_div } => {
+                let scale = (benchmark.default_scale() / scale_div).max(1);
+                let workload = dvp_workloads::Workload::reference(*benchmark).with_scale(scale);
+                TraceCache::fingerprint(&workload, REFERENCE_OPT, self.record_cap)
+            }
+        };
+        format!(
+            "{}|{}|{}|seed{}|scale{}|cap{}|bank={}|sample={}",
+            fp.workload,
+            fp.input,
+            fp.opt_level,
+            fp.seed,
+            fp.scale,
+            fp.record_cap,
+            self.bank.join("+"),
+            u8::from(self.sample)
+        )
+    }
+}
+
+/// Resolves one predictor-configuration name: the paper bank's `"l"`,
+/// `"s2"`, `"fcm1"`..`"fcm3"`, plus the extended `"fcm4"`..`"fcm8"`.
+#[must_use]
+pub fn bank_config(name: &str) -> Option<PredictorConfig> {
+    if let Some(config) = PredictorConfig::paper_bank().into_iter().find(|c| c.name() == name) {
+        return Some(config);
+    }
+    let order: usize = name.strip_prefix("fcm")?.parse().ok()?;
+    if (1..=8).contains(&order) {
+        PredictorConfig::fcm_orders([order]).pop()
+    } else {
+        None
+    }
+}
+
+/// Runs one job to its rendered text payload — the single code path
+/// behind the daemon, the one-shot `repro job` CLI, and the test goldens,
+/// so all three are byte-identical by construction.
+///
+/// `trace_dir` adds the persistent trace-cache tier for workload and
+/// scenario traces (results are cached separately, by the caller).
+///
+/// # Errors
+///
+/// A human-readable description of the failure (bad bank name, workload
+/// build error).
+pub fn run_job(
+    spec: &JobSpec,
+    engine: &ReplayEngine,
+    trace_dir: Option<&Path>,
+) -> Result<String, String> {
+    let configs: Vec<PredictorConfig> = spec
+        .bank
+        .iter()
+        .map(|name| bank_config(name).ok_or_else(|| format!("unknown predictor `{name}` in bank")))
+        .collect::<Result<_, _>>()?;
+    let mut store = match &spec.source {
+        JobSource::Scenario(_) => TraceStore::new(),
+        JobSource::Workload { scale_div, .. } => TraceStore::with_scale_div(*scale_div),
+    };
+    if let Some(cap) = spec.record_cap {
+        store = store.with_record_cap(cap);
+    }
+    if let Some(dir) = trace_dir {
+        store = store.with_trace_dir(dir);
+    }
+    let trace = match &spec.source {
+        JobSource::Scenario(scenario) => {
+            store.synthetic_traces(engine, &[*scenario]).pop().expect("one scenario in, one out")
+        }
+        JobSource::Workload { benchmark, .. } => {
+            store.trace(*benchmark).map_err(|err| format!("workload generation failed: {err:?}"))?
+        }
+    };
+    let mut payload = format!("job {}\n", spec.canonical_key());
+    if spec.sample {
+        let plan = dvp_engine::phase_plan(&trace, &dvp_engine::PhaseOptions::default());
+        let replays = engine.replay_sampled_warm(&trace, &configs, &plan);
+        payload.push_str(&format!(
+            "sampled {} of {} records across {} phases (functional warming)\n",
+            plan.simulated_records(),
+            trace.len(),
+            plan.phases.len()
+        ));
+        let mut table = TextTable::new(vec!["Config", "Simulated", "Correct", "Weighted%"]);
+        for replay in &replays {
+            let correct: u64 = replay.phases.iter().map(|t| t.correct(None)).sum();
+            table.row(vec![
+                replay.name.clone(),
+                replay.simulated().to_string(),
+                correct.to_string(),
+                format!("{:.2}", replay.weighted_accuracy(&plan, None) * 100.0),
+            ]);
+        }
+        payload.push_str(&table.render());
+    } else {
+        let replays = engine.replay(&trace, &configs);
+        payload.push_str(&format!("replayed {} records\n", trace.len()));
+        let mut table = TextTable::new(vec!["Config", "Predicted", "Correct"]);
+        for replay in &replays {
+            table.row(vec![
+                replay.name.clone(),
+                replay.tracker.predicted(None).to_string(),
+                replay.tracker.correct(None).to_string(),
+            ]);
+        }
+        payload.push_str(&table.render());
+    }
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------------
+
+fn id_json(id: Option<u64>) -> String {
+    id.map_or_else(|| "null".to_owned(), |n| n.to_string())
+}
+
+fn hello_frame() -> String {
+    format!("{{\"frame\":\"hello\",\"protocol\":{PROTOCOL_VERSION},\"server\":\"repro-serve\"}}")
+}
+
+fn accepted_frame(id: Option<u64>, key: &str) -> String {
+    let mut out = format!("{{\"frame\":\"accepted\",\"id\":{},\"key\":", id_json(id));
+    json::write_string(key, &mut out);
+    out.push('}');
+    out
+}
+
+fn rejected_frame(id: Option<u64>, reason: &str) -> String {
+    let mut out = format!("{{\"frame\":\"rejected\",\"id\":{},\"reason\":", id_json(id));
+    json::write_string(reason, &mut out);
+    out.push('}');
+    out
+}
+
+fn progress_frame(id: Option<u64>, state: &str) -> String {
+    let mut out = format!("{{\"frame\":\"progress\",\"id\":{},\"state\":", id_json(id));
+    json::write_string(state, &mut out);
+    out.push('}');
+    out
+}
+
+fn result_frame(id: Option<u64>, cache: &str, payload: &str) -> String {
+    let mut out = format!("{{\"frame\":\"result\",\"id\":{},\"cache\":", id_json(id));
+    json::write_string(cache, &mut out);
+    out.push_str(",\"payload\":");
+    json::write_string(payload, &mut out);
+    out.push('}');
+    out
+}
+
+fn error_frame(id: Option<u64>, message: &str) -> String {
+    let mut out = format!("{{\"frame\":\"error\",\"id\":{},\"message\":", id_json(id));
+    json::write_string(message, &mut out);
+    out.push('}');
+    out
+}
+
+/// One parsed server frame — the *lenient* counterpart of the server's
+/// strict request parsing: unknown fields are skipped so old clients keep
+/// working against newer servers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame type: `hello`, `accepted`, `rejected`, `progress`, `result`,
+    /// `error`, `pong`, `stats`, `bye`.
+    pub frame: String,
+    /// Echo of the submit request's `id`, when the frame belongs to a job.
+    pub id: Option<u64>,
+    /// The job's canonical result-cache key (`accepted` frames).
+    pub key: Option<String>,
+    /// Why a job was refused (`rejected` frames).
+    pub reason: Option<String>,
+    /// Scheduling state (`progress` frames).
+    pub state: Option<String>,
+    /// `"hit"` or `"miss"` (`result` frames).
+    pub cache: Option<String>,
+    /// The rendered job payload (`result` frames).
+    pub payload: Option<String>,
+    /// What went wrong (`error` frames).
+    pub message: Option<String>,
+    /// The frame's raw JSON line, verbatim.
+    pub raw: String,
+}
+
+impl Frame {
+    /// Parses one frame line, skipping unknown fields.
+    ///
+    /// # Errors
+    ///
+    /// Reports malformed JSON or a missing `frame` field.
+    pub fn parse(line: &str) -> Result<Frame, String> {
+        let fail = |err: json::Error| err.to_string();
+        let mut parser = json::Parser::new(line);
+        let mut out = Frame { raw: line.to_owned(), ..Frame::default() };
+        parser.begin_object().map_err(fail)?;
+        let mut first = true;
+        let mut saw_frame = false;
+        while !parser.end_object(&mut first).map_err(fail)? {
+            let field = parser.string().map_err(fail)?;
+            parser.colon().map_err(fail)?;
+            match field.as_str() {
+                "frame" => {
+                    out.frame = parser.string().map_err(fail)?;
+                    saw_frame = true;
+                }
+                "id" => {
+                    if !parser.try_null().map_err(fail)? {
+                        out.id = Some(number_field(&mut parser, "id")?);
+                    }
+                }
+                "key" => out.key = Some(parser.string().map_err(fail)?),
+                "reason" => out.reason = Some(parser.string().map_err(fail)?),
+                "state" => out.state = Some(parser.string().map_err(fail)?),
+                "cache" => out.cache = Some(parser.string().map_err(fail)?),
+                "payload" => out.payload = Some(parser.string().map_err(fail)?),
+                "message" => out.message = Some(parser.string().map_err(fail)?),
+                _ => parser.skip_value().map_err(fail)?,
+            }
+        }
+        parser.finish().map_err(fail)?;
+        if !saw_frame {
+            return Err("frame is missing `frame`".to_owned());
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Daemon configuration (all fields have conservative defaults).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Listen address; port 0 binds an ephemeral port (read it back via
+    /// [`Server::addr`]).
+    pub listen: String,
+    /// Maximum *pending* (admitted, not yet running) jobs; an over-limit
+    /// submit is rejected.
+    pub queue_capacity: usize,
+    /// Maximum unfinished jobs per client connection.
+    pub inflight_cap: usize,
+    /// Worker threads executing jobs (each job fans out on the engine).
+    pub job_workers: usize,
+    /// In-memory result-cache entries (LRU).
+    pub memory_entries: usize,
+    /// On-disk result-cache directory (none = memory-only results).
+    pub result_dir: Option<PathBuf>,
+    /// Trace-cache directory handed to every job's [`TraceStore`].
+    pub trace_dir: Option<PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            listen: "127.0.0.1:0".to_owned(),
+            queue_capacity: 64,
+            inflight_cap: 8,
+            job_workers: 2,
+            memory_entries: 64,
+            result_dir: None,
+            trace_dir: None,
+        }
+    }
+}
+
+/// State shared by the accept thread, connection threads, and job workers.
+struct ServerShared {
+    engine: ReplayEngine,
+    queue: JobQueue,
+    cache: Mutex<ResultCache>,
+    inflight_cap: usize,
+    trace_dir: Option<PathBuf>,
+    shutdown: AtomicBool,
+    completed: AtomicU64,
+    addr: SocketAddr,
+}
+
+impl ServerShared {
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn stats_frame(&self) -> String {
+        let stats = self.cache.lock().expect("cache mutex never poisoned").stats();
+        format!(
+            "{{\"frame\":\"stats\",\"result_hits\":{},\"misses\":{},\"disk_hits\":{},\
+             \"written\":{},\"evicted\":{},\"invalid\":{},\"completed\":{},\"queued\":{},\
+             \"running\":{}}}",
+            stats.hits,
+            stats.misses,
+            stats.disk_hits,
+            stats.written,
+            stats.evictions,
+            stats.invalid,
+            self.completed.load(Ordering::SeqCst),
+            self.queue.queued(),
+            self.queue.running()
+        )
+    }
+}
+
+/// The `repro serve` daemon (see the [module docs](self) for the
+/// protocol and job lifecycle).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+impl Server {
+    /// Binds `options.listen` and starts accepting connections; jobs run
+    /// on `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures (busy port, bad address).
+    pub fn start(engine: ReplayEngine, options: ServeOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind(&options.listen)?;
+        let addr = listener.local_addr()?;
+        let mut cache = ResultCache::new(options.memory_entries);
+        if let Some(dir) = &options.result_dir {
+            cache = cache.with_dir(dir);
+        }
+        let shared = Arc::new(ServerShared {
+            queue: JobQueue::new(options.job_workers, options.queue_capacity),
+            engine,
+            cache: Mutex::new(cache),
+            inflight_cap: options.inflight_cap,
+            trace_dir: options.trace_dir.clone(),
+            shutdown: AtomicBool::new(false),
+            completed: AtomicU64::new(0),
+            addr,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let conn_shared = Arc::clone(&accept_shared);
+                thread::spawn(move || handle_connection(&conn_shared, stream));
+            }
+        });
+        Ok(Server { addr, shared, accept: Some(accept) })
+    }
+
+    /// The bound address (read this back after listening on port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Result-cache counters so far.
+    #[must_use]
+    pub fn result_stats(&self) -> ResultCacheStats {
+        self.shared.cache.lock().expect("cache mutex never poisoned").stats()
+    }
+
+    /// Jobs that reached a terminal frame (result, cached result, error).
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.shared.completed.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until no job is pending or running (or `timeout` elapses);
+    /// reports whether the queue went idle.
+    #[must_use]
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        self.shared.queue.wait_idle(timeout)
+    }
+
+    /// Begins shutdown: no new connections are accepted. Already-admitted
+    /// jobs still run to completion.
+    pub fn request_shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Blocks until a client requests shutdown (or one was already
+    /// requested), drains in-flight jobs, and returns the final
+    /// result-cache counters.
+    pub fn join(mut self) -> ResultCacheStats {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let _ = self.shared.queue.wait_idle(Duration::from_secs(60));
+        self.result_stats()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            self.shared.request_shutdown();
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Writes one frame line; write errors mean the client is gone and are
+/// deliberately ignored (a disconnected client must never wedge a job).
+fn write_frame(writer: &Mutex<TcpStream>, line: &str) {
+    let mut stream = writer.lock().expect("writer mutex never poisoned");
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
+    let _ = stream.flush();
+}
+
+/// One client request, parsed strictly (see [`parse_request`]).
+#[derive(Debug)]
+enum Request {
+    Submit { id: Option<u64>, spec: Box<JobSpec> },
+    Ping,
+    Stats,
+    Shutdown,
+}
+
+/// Parses one request line. Strict like the job spec itself: an unknown
+/// request field or op is an error answered with an `error` frame.
+fn parse_request(line: &str) -> Result<Request, String> {
+    let fail = |err: json::Error| err.to_string();
+    let mut parser = json::Parser::new(line);
+    parser.begin_object().map_err(fail)?;
+    let mut op: Option<String> = None;
+    let mut id: Option<u64> = None;
+    let mut spec: Option<JobSpec> = None;
+    let mut first = true;
+    while !parser.end_object(&mut first).map_err(fail)? {
+        let key = parser.string().map_err(fail)?;
+        parser.colon().map_err(fail)?;
+        match key.as_str() {
+            "op" => op = Some(parser.string().map_err(fail)?),
+            "id" => {
+                if !parser.try_null().map_err(fail)? {
+                    id = Some(number_field(&mut parser, "id")?);
+                }
+            }
+            "job" => spec = Some(JobSpec::parse_value(&mut parser)?),
+            other => return Err(format!("unknown request field `{other}`")),
+        }
+    }
+    parser.finish().map_err(fail)?;
+    match op.as_deref() {
+        Some("submit") => {
+            let spec = spec.ok_or("submit requires a `job` object")?;
+            Ok(Request::Submit { id, spec: Box::new(spec) })
+        }
+        Some("ping") => Ok(Request::Ping),
+        Some("stats") => Ok(Request::Stats),
+        Some("shutdown") => Ok(Request::Shutdown),
+        Some(other) => {
+            Err(format!("unknown op `{other}` (expected submit, ping, stats, or shutdown)"))
+        }
+        None => Err("request is missing `op`".to_owned()),
+    }
+}
+
+fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else { return };
+    let writer = Arc::new(Mutex::new(write_half));
+    write_frame(&writer, &hello_frame());
+    let inflight = Arc::new(AtomicUsize::new(0));
+    let reader = io::BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line) {
+            Err(why) => write_frame(&writer, &error_frame(None, &why)),
+            Ok(Request::Ping) => write_frame(&writer, "{\"frame\":\"pong\"}"),
+            Ok(Request::Stats) => write_frame(&writer, &shared.stats_frame()),
+            Ok(Request::Shutdown) => {
+                write_frame(&writer, "{\"frame\":\"bye\"}");
+                shared.request_shutdown();
+                break;
+            }
+            Ok(Request::Submit { id, spec }) => submit_job(shared, &writer, &inflight, id, *spec),
+        }
+    }
+}
+
+fn submit_job(
+    shared: &Arc<ServerShared>,
+    writer: &Arc<Mutex<TcpStream>>,
+    inflight: &Arc<AtomicUsize>,
+    id: Option<u64>,
+    spec: JobSpec,
+) {
+    if inflight.load(Ordering::SeqCst) >= shared.inflight_cap {
+        let reason = format!("in-flight limit ({}) reached", shared.inflight_cap);
+        write_frame(writer, &rejected_frame(id, &reason));
+        return;
+    }
+    let key = spec.canonical_key();
+    let cached = shared.cache.lock().expect("cache mutex never poisoned").get(&key);
+    if let Some(payload) = cached {
+        // Count completion *before* the terminal frame: a client must
+        // never observe its result while `completed()` still lags.
+        shared.completed.fetch_add(1, Ordering::SeqCst);
+        write_frame(writer, &accepted_frame(id, &key));
+        write_frame(writer, &result_frame(id, "hit", &payload));
+        return;
+    }
+    inflight.fetch_add(1, Ordering::SeqCst);
+    let job_shared = Arc::clone(shared);
+    let job_writer = Arc::clone(writer);
+    let job_inflight = Arc::clone(inflight);
+    let job_key = key.clone();
+    let job = move || {
+        write_frame(&job_writer, &progress_frame(id, "replaying"));
+        let outcome = run_job(&spec, &job_shared.engine, job_shared.trace_dir.as_deref());
+        if let Ok(payload) = &outcome {
+            job_shared.cache.lock().expect("cache mutex never poisoned").insert(&job_key, payload);
+        }
+        // Count completion *before* the terminal frame (see the hit path).
+        job_shared.completed.fetch_add(1, Ordering::SeqCst);
+        match outcome {
+            Ok(payload) => write_frame(&job_writer, &result_frame(id, "miss", &payload)),
+            Err(why) => write_frame(&job_writer, &error_frame(id, &why)),
+        }
+        job_inflight.fetch_sub(1, Ordering::SeqCst);
+    };
+    // Hold the writer lock across admission so the worker's `progress`
+    // frame can never precede this job's `accepted` frame.
+    let guard = writer.lock().expect("writer mutex never poisoned");
+    let admitted = shared.queue.try_submit(job);
+    let line = match admitted {
+        Ok(_ticket) => accepted_frame(id, &key),
+        Err(err) => {
+            inflight.fetch_sub(1, Ordering::SeqCst);
+            rejected_frame(id, &err.to_string())
+        }
+    };
+    let mut stream = guard;
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
+    let _ = stream.flush();
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// Terminal outcome of one submitted job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The job finished; `cache` is `"hit"` or `"miss"`.
+    Result {
+        /// Whether the payload came from the result cache.
+        cache: String,
+        /// The rendered job payload.
+        payload: String,
+    },
+    /// Admission control refused the job.
+    Rejected {
+        /// The structured reason (queue full, in-flight limit).
+        reason: String,
+    },
+    /// The job (or the request itself) failed.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+/// A blocking line-protocol client: one connection, sequential requests.
+/// Used by `repro client`, the integration suite, and CI.
+#[derive(Debug)]
+pub struct ServeClient {
+    reader: io::BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl ServeClient {
+    /// Connects, applies a generous read timeout (jobs are computed
+    /// while the client blocks on the result frame), and consumes the
+    /// server's `hello`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/handshake failures (connection refused, a
+    /// non-`hello` first frame).
+    pub fn connect(addr: &str) -> io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        let _ = stream.set_nodelay(true);
+        let writer = stream.try_clone()?;
+        let mut client = ServeClient { reader: io::BufReader::new(stream), writer, next_id: 1 };
+        let hello = client.read_frame()?;
+        if hello.frame != "hello" {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected a hello frame, got `{}`", hello.raw),
+            ));
+        }
+        Ok(client)
+    }
+
+    fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    fn read_frame(&mut self) -> io::Result<Frame> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Frame::parse(line.trim_end_matches(['\n', '\r']))
+                .map_err(|why| io::Error::new(io::ErrorKind::InvalidData, why));
+        }
+    }
+
+    /// Submits one job spec (JSON text) and drives the stream to its
+    /// terminal frame, handing every frame to `on_frame` on the way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures; protocol-level refusals come back
+    /// as [`Outcome::Rejected`] / [`Outcome::Error`].
+    pub fn submit_streaming(
+        &mut self,
+        job_json: &str,
+        mut on_frame: impl FnMut(&Frame),
+    ) -> io::Result<Outcome> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send_line(&format!("{{\"op\":\"submit\",\"id\":{id},\"job\":{job_json}}}"))?;
+        loop {
+            let frame = self.read_frame()?;
+            on_frame(&frame);
+            match frame.frame.as_str() {
+                "result" => {
+                    return Ok(Outcome::Result {
+                        cache: frame.cache.unwrap_or_default(),
+                        payload: frame.payload.unwrap_or_default(),
+                    })
+                }
+                "rejected" => {
+                    return Ok(Outcome::Rejected { reason: frame.reason.unwrap_or_default() })
+                }
+                "error" => {
+                    return Ok(Outcome::Error { message: frame.message.unwrap_or_default() })
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// [`ServeClient::submit_streaming`] without a frame callback.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn submit(&mut self, job_json: &str) -> io::Result<Outcome> {
+        self.submit_streaming(job_json, |_| {})
+    }
+
+    /// Round-trips a `ping`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures or a non-`pong` response.
+    pub fn ping(&mut self) -> io::Result<()> {
+        self.send_line("{\"op\":\"ping\"}")?;
+        let frame = self.read_frame()?;
+        if frame.frame == "pong" {
+            Ok(())
+        } else {
+            Err(io::Error::new(io::ErrorKind::InvalidData, format!("expected pong: {}", frame.raw)))
+        }
+    }
+
+    /// Fetches the server's `stats` frame (raw JSON line).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures or a non-`stats` response.
+    pub fn stats(&mut self) -> io::Result<String> {
+        self.send_line("{\"op\":\"stats\"}")?;
+        let frame = self.read_frame()?;
+        if frame.frame == "stats" {
+            Ok(frame.raw)
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected stats: {}", frame.raw),
+            ))
+        }
+    }
+
+    /// Asks the server to shut down and waits for the `bye` ack.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures or a non-`bye` response.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        self.send_line("{\"op\":\"shutdown\"}")?;
+        let frame = self.read_frame()?;
+        if frame.frame == "bye" {
+            Ok(())
+        } else {
+            Err(io::Error::new(io::ErrorKind::InvalidData, format!("expected bye: {}", frame.raw)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> &'static str {
+        r#"{"scenario":{"kind":"stride","pcs":2,"records_per_pc":32,"seed":3,"stride":5},"bank":["l","s2"]}"#
+    }
+
+    #[test]
+    fn job_spec_round_trips_through_to_json() {
+        let spec = JobSpec::parse(tiny_spec()).expect("valid spec");
+        assert_eq!(JobSpec::parse(&spec.to_json()).expect("canonical form reparses"), spec);
+        assert!(matches!(spec.source, JobSource::Scenario(_)));
+        assert_eq!(spec.bank, vec!["l", "s2"]);
+        assert!(!spec.sample);
+    }
+
+    #[test]
+    fn job_spec_defaults_bank_to_the_paper_bank() {
+        let spec = JobSpec::parse(r#"{"scenario":{"kind":"constant","pcs":1,"records_per_pc":8}}"#)
+            .expect("valid spec");
+        assert_eq!(spec.bank, vec!["l", "s2", "fcm1", "fcm2", "fcm3"]);
+    }
+
+    #[test]
+    fn job_spec_rejects_unknown_and_misapplied_fields() {
+        let unknown = JobSpec::parse(
+            r#"{"scenario":{"kind":"constant","pcs":1,"records_per_pc":8},"bogus":1}"#,
+        )
+        .unwrap_err();
+        assert!(unknown.contains("unknown job field `bogus`"), "{unknown}");
+
+        let scenario_field = JobSpec::parse(
+            r#"{"scenario":{"kind":"constant","pcs":1,"records_per_pc":8,"warp":9}}"#,
+        )
+        .unwrap_err();
+        assert!(scenario_field.contains("unknown scenario field `warp`"), "{scenario_field}");
+
+        let misapplied = JobSpec::parse(
+            r#"{"scenario":{"kind":"constant","pcs":1,"records_per_pc":8,"period":4}}"#,
+        )
+        .unwrap_err();
+        assert!(misapplied.contains("`period` does not apply"), "{misapplied}");
+
+        let both = JobSpec::parse(
+            r#"{"scenario":{"kind":"constant","pcs":1,"records_per_pc":8},"workload":{"benchmark":"m88k"}}"#,
+        )
+        .unwrap_err();
+        assert!(both.contains("exactly one of"), "{both}");
+
+        let trailing = JobSpec::parse(&format!("{} junk", tiny_spec())).unwrap_err();
+        assert!(trailing.contains("trailing"), "{trailing}");
+    }
+
+    #[test]
+    fn job_spec_rejects_out_of_range_parameters_instead_of_panicking() {
+        for (spec, needle) in [
+            (r#"{"scenario":{"kind":"stride","pcs":1,"records_per_pc":8,"stride":0}}"#, "nonzero"),
+            (
+                r#"{"scenario":{"kind":"markov","pcs":1,"records_per_pc":8,"order":9,"alphabet":4}}"#,
+                "order",
+            ),
+            (
+                r#"{"scenario":{"kind":"markov","pcs":1,"records_per_pc":8,"order":8,"alphabet":64}}"#,
+                "alphabet^order",
+            ),
+            (r#"{"scenario":{"kind":"chase","pcs":1,"records_per_pc":8,"heap":1}}"#, "heap"),
+            (r#"{"scenario":{"kind":"periodic","pcs":0,"records_per_pc":8,"period":4}}"#, "pcs"),
+            (r#"{"workload":{"benchmark":"m88k","scale_div":0}}"#, "scale_div"),
+            (r#"{"workload":{"benchmark":"nope"}}"#, "unknown benchmark"),
+            (
+                r#"{"scenario":{"kind":"constant","pcs":1,"records_per_pc":8},"bank":["zz"]}"#,
+                "unknown predictor",
+            ),
+        ] {
+            let err = JobSpec::parse(spec).unwrap_err();
+            assert!(err.contains(needle), "spec {spec}: {err}");
+        }
+    }
+
+    #[test]
+    fn bank_config_resolves_paper_and_extended_orders() {
+        for name in ["l", "s2", "fcm1", "fcm3", "fcm8"] {
+            let config = bank_config(name).expect(name);
+            assert_eq!(config.name(), name);
+        }
+        assert!(bank_config("fcm0").is_none());
+        assert!(bank_config("fcm9").is_none());
+        assert!(bank_config("hybrid?").is_none());
+    }
+
+    #[test]
+    fn canonical_keys_separate_every_byte_moving_option() {
+        let base = JobSpec::parse(tiny_spec()).unwrap();
+        let mut other_bank = base.clone();
+        other_bank.bank = vec!["l".to_owned()];
+        let mut sampled = base.clone();
+        sampled.sample = true;
+        let mut capped = base.clone();
+        capped.record_cap = Some(16);
+        let keys = [&base, &other_bank, &sampled, &capped].map(|s| s.canonical_key());
+        for (i, key) in keys.iter().enumerate() {
+            for later in &keys[i + 1..] {
+                assert_ne!(key, later);
+            }
+        }
+    }
+
+    #[test]
+    fn run_job_is_deterministic_across_engines() {
+        let spec = JobSpec::parse(tiny_spec()).unwrap();
+        let a = run_job(&spec, &ReplayEngine::sequential(), None).expect("runs");
+        let b = run_job(&spec, &ReplayEngine::new().with_workers(2).with_shards(3), None)
+            .expect("runs");
+        assert_eq!(a, b, "payload must be byte-identical at any engine setting");
+        assert!(a.starts_with("job syn-stride|"), "{a}");
+        assert!(a.contains("replayed 64 records\n"), "{a}");
+    }
+
+    #[test]
+    fn frames_parse_leniently() {
+        let frame = Frame::parse(&result_frame(Some(7), "miss", "line1\nline2")).expect("parses");
+        assert_eq!(frame.frame, "result");
+        assert_eq!(frame.id, Some(7));
+        assert_eq!(frame.cache.as_deref(), Some("miss"));
+        assert_eq!(frame.payload.as_deref(), Some("line1\nline2"));
+
+        // Unknown fields are skipped, null ids read as None.
+        let future =
+            Frame::parse(r#"{"frame":"accepted","id":null,"key":"k","novel":[1,{"a":2}]}"#)
+                .expect("parses");
+        assert_eq!(future.id, None);
+        assert_eq!(future.key.as_deref(), Some("k"));
+
+        assert!(Frame::parse("{\"id\":1}").unwrap_err().contains("missing `frame`"));
+        assert!(Frame::parse("nonsense").is_err());
+    }
+
+    #[test]
+    fn requests_parse_strictly() {
+        assert!(matches!(parse_request("{\"op\":\"ping\"}"), Ok(Request::Ping)));
+        assert!(matches!(parse_request("{\"op\":\"stats\"}"), Ok(Request::Stats)));
+        let err = parse_request("{\"op\":\"submit\"}").unwrap_err();
+        assert!(err.contains("requires a `job`"), "{err}");
+        let err = parse_request("{\"op\":\"warp\"}").unwrap_err();
+        assert!(err.contains("unknown op `warp`"), "{err}");
+        let err = parse_request("{\"op\":\"ping\",\"extra\":1}").unwrap_err();
+        assert!(err.contains("unknown request field `extra`"), "{err}");
+    }
+}

@@ -87,3 +87,132 @@ fn phases_rejects_unknown_benchmarks_and_lists_valid_names() {
         assert!(stderr.contains(name), "valid-benchmark list must include {name}: {stderr}");
     }
 }
+
+#[test]
+fn serve_rejects_bad_listen_addresses_fast() {
+    let out = repro(&["serve", "--listen", "not-an-address"]);
+    assert!(!out.status.success(), "a bad --listen must exit nonzero");
+    assert!(out.stdout.is_empty(), "nothing may land on stdout");
+    assert!(
+        stderr_of(&out).contains("invalid --listen address `not-an-address`"),
+        "{}",
+        stderr_of(&out)
+    );
+
+    let out = repro(&["serve", "--bogus"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("unknown serve flag `--bogus`"), "{}", stderr_of(&out));
+}
+
+#[test]
+fn serve_reports_a_busy_port_as_a_bind_failure() {
+    // Hold the port ourselves, then ask the daemon to bind it.
+    let holder = std::net::TcpListener::bind("127.0.0.1:0").expect("bind a port to occupy");
+    let addr = holder.local_addr().expect("addr").to_string();
+    let out = repro(&["serve", "--listen", &addr]);
+    assert!(!out.status.success(), "a busy port must exit nonzero");
+    assert!(stderr_of(&out).contains(&format!("cannot bind {addr}")), "{}", stderr_of(&out));
+}
+
+#[test]
+fn client_reports_a_dead_server_as_a_structured_error() {
+    // Bind an ephemeral port and drop it immediately: nothing listens
+    // there, so the connection is refused (no panic, no hang).
+    let addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.local_addr().expect("addr").to_string()
+    };
+    let out = repro(&["client", &addr, "--ping"]);
+    assert!(!out.status.success(), "a dead server must exit nonzero");
+    assert!(stderr_of(&out).contains(&format!("cannot connect to {addr}")), "{}", stderr_of(&out));
+
+    let out = repro(&["client"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("expects a server address"), "{}", stderr_of(&out));
+}
+
+#[test]
+fn client_validates_job_specs_locally_before_connecting() {
+    // The address is never dialed: the spec fails first. Prove it by
+    // pointing at a port nothing listens on and checking the error is
+    // about the spec, not the connection.
+    let out = repro(&["client", "127.0.0.1:1", "--job", r#"{"bogus":true}"#]);
+    assert!(!out.status.success());
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("invalid job spec: unknown job field `bogus`"), "{stderr}");
+    assert!(!stderr.contains("cannot connect"), "spec validation must precede dialing: {stderr}");
+}
+
+#[test]
+fn job_rejects_unknown_fields_and_missing_specs() {
+    let out = repro(&[
+        "job",
+        "--json",
+        r#"{"scenario":{"kind":"constant","pcs":1,"records_per_pc":8},"warp":9}"#,
+    ]);
+    assert!(!out.status.success(), "an unknown job field must exit nonzero");
+    assert!(out.stdout.is_empty(), "nothing may land on stdout");
+    assert!(
+        stderr_of(&out).contains("invalid job spec: unknown job field `warp`"),
+        "{}",
+        stderr_of(&out)
+    );
+
+    let out = repro(&["job"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("repro job expects a spec"), "{}", stderr_of(&out));
+
+    let out = repro(&["job", "--spec", "/nonexistent/spec.json"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("cannot read job spec"), "{}", stderr_of(&out));
+}
+
+/// Full binary-level round trip: boot the daemon as a child process on an
+/// ephemeral port, run two identical jobs through `repro client`, check
+/// the second is served from cache with identical bytes, then shut the
+/// daemon down cleanly and read its final stats line.
+#[test]
+fn serve_and_client_binaries_round_trip_with_a_cache_hit() {
+    use std::io::{BufRead, BufReader};
+
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    // The daemon prints `listening on ADDR` and flushes before accepting;
+    // reading that line is the synchronization point (no sleeps).
+    let mut stdout = BufReader::new(daemon.stdout.take().expect("piped"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("listening line");
+    let addr = line.trim().strip_prefix("listening on ").expect("advertised address").to_owned();
+
+    let job = r#"{"scenario":{"kind":"periodic","pcs":2,"records_per_pc":64,"seed":9,"period":4},"bank":["l","fcm2"]}"#;
+    let cold = repro(&["client", &addr, "--job", job, "--payload-only"]);
+    assert!(cold.status.success(), "cold job: {}", stderr_of(&cold));
+    let warm = repro(&["client", &addr, "--job", job, "--payload-only", "--stats"]);
+    assert!(warm.status.success(), "warm job: {}", stderr_of(&warm));
+
+    // The warm run appends the stats frame after the payload; split it off
+    // (strip the stats line's own trailing newline first).
+    let warm_text = String::from_utf8_lossy(&warm.stdout).into_owned();
+    let stripped = warm_text.strip_suffix('\n').expect("stats line ends in a newline");
+    let (warm_payload, stats_line) = stripped.rsplit_once('\n').expect("payload then stats");
+    let warm_payload = format!("{warm_payload}\n");
+    assert_eq!(
+        warm_payload.as_bytes(),
+        cold.stdout,
+        "cache hit must be byte-identical to the cold compute"
+    );
+    assert!(stats_line.contains("\"result_hits\":1"), "{stats_line}");
+
+    let bye = repro(&["client", &addr, "--shutdown"]);
+    assert!(bye.status.success(), "shutdown: {}", stderr_of(&bye));
+    let status = daemon.wait().expect("daemon exits");
+    assert!(status.success(), "daemon must exit zero after a client shutdown");
+    let mut stderr = String::new();
+    std::io::Read::read_to_string(&mut daemon.stderr.take().expect("piped"), &mut stderr)
+        .expect("daemon stderr");
+    assert!(stderr.contains("1 result hits, 1 misses"), "final stats line: {stderr}");
+}

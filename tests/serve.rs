@@ -1,0 +1,390 @@
+//! End-to-end contract of the `repro serve` daemon, over real sockets:
+//! concurrent clients get byte-identical payloads to the one-shot path,
+//! cache hits are byte-identical to cold computes, admission control
+//! rejects structuredly, malformed frames and mid-job disconnects never
+//! wedge the server, and a kill-9'd result cache recovers on restart.
+//!
+//! Flaky-resistance rules used throughout: every server binds port 0 and
+//! the tests read the address back; nothing sleeps as a synchronization
+//! mechanism (waits go through `Server::wait_idle` or blocking reads with
+//! generous timeouts); all randomness is seeded.
+
+use dvp::engine::ReplayEngine;
+use dvp::experiments::result_cache::encode_entry;
+use dvp::experiments::serve::{run_job, JobSpec, Outcome, ServeClient, ServeOptions, Server};
+use proptest::prelude::*;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A unique, self-cleaning temp directory under the system temp root.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("dvp-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The overlapping job matrix the concurrent tests share: small synthetic
+/// scenarios only, so the whole suite replays in milliseconds.
+fn job_matrix() -> Vec<String> {
+    let mut jobs = Vec::new();
+    for (kind, extra) in [
+        ("constant", String::new()),
+        ("stride", ",\"stride\":3".to_owned()),
+        ("periodic", ",\"period\":5".to_owned()),
+        ("markov", ",\"order\":2,\"alphabet\":4".to_owned()),
+        ("random", ",\"alphabet\":16".to_owned()),
+        ("chase", ",\"heap\":64".to_owned()),
+    ] {
+        jobs.push(format!(
+            "{{\"scenario\":{{\"kind\":\"{kind}\",\"pcs\":3,\"records_per_pc\":96,\"seed\":11{extra}}},\
+             \"bank\":[\"l\",\"s2\",\"fcm2\"]}}"
+        ));
+    }
+    jobs
+}
+
+fn engine() -> ReplayEngine {
+    ReplayEngine::new().with_workers(2)
+}
+
+fn addr_of(server: &Server) -> String {
+    server.addr().to_string()
+}
+
+#[test]
+fn four_concurrent_clients_get_bytes_identical_to_the_one_shot_path() {
+    let engine = engine();
+    let jobs = job_matrix();
+    // The ground truth each client must receive, computed inline through
+    // the exact code path `repro job` uses.
+    let expected: Vec<String> = jobs
+        .iter()
+        .map(|job| run_job(&JobSpec::parse(job).unwrap(), &engine, None).expect("tiny job runs"))
+        .collect();
+
+    let server = Server::start(engine, ServeOptions::default()).expect("bind ephemeral port");
+    let addr = addr_of(&server);
+    let handles: Vec<_> = (0..4)
+        .map(|client_no| {
+            let addr = addr.clone();
+            let jobs = jobs.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(&addr).expect("connect");
+                // Every client walks the same matrix from a different
+                // offset, so identical jobs overlap in flight.
+                for i in 0..jobs.len() {
+                    let pick = (i + client_no) % jobs.len();
+                    match client.submit(&jobs[pick]).expect("transport") {
+                        Outcome::Result { payload, .. } => {
+                            assert_eq!(
+                                payload, expected[pick],
+                                "client {client_no} job {pick}: served bytes diverged"
+                            );
+                        }
+                        other => panic!("client {client_no} job {pick}: {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+    assert_eq!(server.completed(), 24, "4 clients x 6 jobs all reached a terminal frame");
+}
+
+#[test]
+fn cache_hits_are_byte_identical_to_cold_computes() {
+    let server = Server::start(engine(), ServeOptions::default()).expect("bind");
+    let mut client = ServeClient::connect(&addr_of(&server)).expect("connect");
+    let job = &job_matrix()[3];
+
+    let Outcome::Result { cache, payload: cold } = client.submit(job).expect("transport") else {
+        panic!("cold job must complete");
+    };
+    assert_eq!(cache, "miss");
+    let Outcome::Result { cache, payload: warm } = client.submit(job).expect("transport") else {
+        panic!("warm job must complete");
+    };
+    assert_eq!(cache, "hit");
+    assert_eq!(cold, warm, "a cache hit must serve the cold bytes verbatim");
+
+    let stats = server.result_stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+}
+
+#[test]
+fn the_served_golden_job_matches_the_cli_golden_payload() {
+    let spec = include_str!("golden/serve_job.json").trim();
+    let golden = include_str!("golden/repro_job_quick.txt");
+    let server = Server::start(engine(), ServeOptions::default()).expect("bind");
+    let mut client = ServeClient::connect(&addr_of(&server)).expect("connect");
+    match client.submit(spec).expect("transport") {
+        Outcome::Result { payload, .. } => assert_eq!(payload, golden),
+        other => panic!("golden job refused: {other:?}"),
+    }
+}
+
+#[test]
+fn admission_control_rejects_structuredly_and_the_connection_survives() {
+    // Queue capacity 0: everything past the cache is refused globally.
+    let options = ServeOptions { queue_capacity: 0, ..ServeOptions::default() };
+    let server = Server::start(engine(), options).expect("bind");
+    let mut client = ServeClient::connect(&addr_of(&server)).expect("connect");
+    let job = &job_matrix()[0];
+    match client.submit(job).expect("transport") {
+        Outcome::Rejected { reason } => assert_eq!(reason, "queue full (capacity 0)"),
+        other => panic!("expected a global rejection: {other:?}"),
+    }
+    // The connection is still healthy after a rejection.
+    client.ping().expect("rejected connection stays usable");
+
+    // In-flight cap 0: refused per-client before the queue is consulted.
+    let options = ServeOptions { inflight_cap: 0, ..ServeOptions::default() };
+    let server = Server::start(engine(), options).expect("bind");
+    let mut client = ServeClient::connect(&addr_of(&server)).expect("connect");
+    match client.submit(job).expect("transport") {
+        Outcome::Rejected { reason } => assert_eq!(reason, "in-flight limit (0) reached"),
+        other => panic!("expected a per-client rejection: {other:?}"),
+    }
+    client.ping().expect("rejected connection stays usable");
+}
+
+#[test]
+fn malformed_frames_get_structured_errors_and_never_kill_the_connection() {
+    let server = Server::start(engine(), ServeOptions::default()).expect("bind");
+    let addr = addr_of(&server);
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut reader, &mut line).expect("hello");
+    assert!(line.contains("\"frame\":\"hello\""), "{line}");
+
+    for (bad, needle) in [
+        ("this is not json", "error"),
+        ("{\"op\":\"warp\"}", "unknown op `warp`"),
+        ("{\"op\":\"ping\",\"bogus\":1}", "unknown request field `bogus`"),
+        ("{\"op\":\"submit\",\"job\":{\"scenario\":{\"kind\":\"constant\",\"pcs\":1,\"records_per_pc\":8},\"warp\":9}}", "unknown job field `warp`"),
+        ("{\"op\":\"submit\",\"job\":{\"scenario\":{\"kind\":\"stride\",\"pcs\":1,\"records_per_pc\":8,\"stride\":0}}}", "nonzero"),
+    ] {
+        writeln!(stream, "{bad}").expect("send");
+        stream.flush().expect("flush");
+        line.clear();
+        std::io::BufRead::read_line(&mut reader, &mut line).expect("error frame");
+        assert!(line.contains("\"frame\":\"error\""), "for `{bad}` got {line}");
+        assert!(line.contains(needle), "for `{bad}` expected `{needle}` in {line}");
+    }
+
+    // After five garbage requests, the same connection still runs a job.
+    drop(reader);
+    drop(stream);
+    let mut client = ServeClient::connect(&addr).expect("reconnect");
+    match client.submit(&job_matrix()[0]).expect("transport") {
+        Outcome::Result { .. } => {}
+        other => panic!("server wedged after malformed input: {other:?}"),
+    }
+}
+
+#[test]
+fn a_mid_job_disconnect_never_wedges_the_server_and_the_result_still_caches() {
+    let server = Server::start(engine(), ServeOptions::default()).expect("bind");
+    let addr = addr_of(&server);
+    // A bigger job so the disconnect reliably lands while it computes —
+    // though the contract holds either way: frame writes to a dead client
+    // are discarded, the job finishes, the payload is cached.
+    let job = "{\"scenario\":{\"kind\":\"markov\",\"pcs\":8,\"records_per_pc\":4096,\"seed\":5,\
+               \"order\":3,\"alphabet\":8},\"bank\":[\"l\",\"s2\",\"fcm1\",\"fcm2\",\"fcm3\"]}";
+    {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        writeln!(stream, "{{\"op\":\"submit\",\"id\":1,\"job\":{job}}}").expect("send");
+        stream.flush().expect("flush");
+        // Drop without reading a single frame: the client is gone.
+    }
+    // `wait_idle` alone could race the connection thread (idle before the
+    // job is even admitted), so wait on the terminal-frame counter, with a
+    // hard deadline instead of a fixed sleep.
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while server.completed() < 1 {
+        assert!(std::time::Instant::now() < deadline, "abandoned job never completed");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(server.wait_idle(Duration::from_secs(60)), "abandoned job must still finish");
+    assert_eq!(server.result_stats().misses, 1, "the abandoned job computed cold");
+
+    // A well-behaved client now gets the abandoned job's payload from
+    // cache, byte-identical to an inline compute.
+    let mut client = ServeClient::connect(&addr).expect("connect");
+    match client.submit(job).expect("transport") {
+        Outcome::Result { cache, payload } => {
+            assert_eq!(cache, "hit", "the abandoned job's result was cached");
+            let inline = run_job(&JobSpec::parse(job).unwrap(), &engine(), None).unwrap();
+            assert_eq!(payload, inline);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn a_restarted_server_recovers_disk_results_and_rejects_corrupt_entries() {
+    let dir = TempDir::new("restart");
+    let engine = engine();
+    let jobs = job_matrix();
+    let options = || ServeOptions { result_dir: Some(dir.0.clone()), ..ServeOptions::default() };
+
+    // First server lifetime: compute and persist three results.
+    let paths: Vec<PathBuf> = {
+        let server = Server::start(engine.clone(), options()).expect("bind");
+        let mut client = ServeClient::connect(&addr_of(&server)).expect("connect");
+        for job in &jobs[..3] {
+            match client.submit(job).expect("transport") {
+                Outcome::Result { cache, .. } => assert_eq!(cache, "miss"),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(server.result_stats().written, 3);
+        jobs[..3]
+            .iter()
+            .map(|job| {
+                let key = JobSpec::parse(job).unwrap().canonical_key();
+                let path = dir.0.join(format!(
+                    "{:016x}.dvpr",
+                    dvp::experiments::result_cache::fnv1a64(key.as_bytes())
+                ));
+                assert!(path.is_file(), "persisted entry for {key}");
+                path
+            })
+            .collect()
+        // Server dropped here without a shutdown request — the moral
+        // equivalent of kill -9 for the cache directory, which must only
+        // ever hold fully-synced, atomically-renamed entries.
+    };
+
+    // Simulate crash damage on two of the three surviving entries.
+    let bytes = std::fs::read(&paths[1]).expect("entry");
+    std::fs::write(&paths[1], &bytes[..bytes.len() - 7]).expect("truncate"); // torn write
+    let mut flipped = std::fs::read(&paths[2]).expect("entry");
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x40;
+    std::fs::write(&paths[2], &flipped).expect("flip"); // bit rot
+                                                        // And one entry whose bytes are valid but belong to a different key.
+    let stray_key = "not|the|key";
+    std::fs::write(&paths[0], encode_entry(stray_key, "stray payload")).expect("mis-file");
+
+    // Second lifetime: the intact... none are intact. All three must be
+    // rejected (never served) and transparently recomputed; the payloads
+    // still match the inline ground truth.
+    let server = Server::start(engine.clone(), options()).expect("rebind");
+    let mut client = ServeClient::connect(&addr_of(&server)).expect("connect");
+    for job in &jobs[..3] {
+        let inline = run_job(&JobSpec::parse(job).unwrap(), &engine, None).unwrap();
+        match client.submit(job).expect("transport") {
+            Outcome::Result { cache, payload } => {
+                assert_eq!(cache, "miss", "damaged entries must recompute, not serve");
+                assert_eq!(payload, inline);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+    let stats = server.result_stats();
+    assert_eq!(stats.invalid, 3, "all three damaged entries were detected");
+    assert_eq!(stats.written, 3, "all three were recomputed and re-persisted");
+
+    // Third lifetime: the repaired entries now serve from disk.
+    drop(server);
+    let server = Server::start(engine, options()).expect("rebind");
+    let mut client = ServeClient::connect(&addr_of(&server)).expect("connect");
+    for job in &jobs[..3] {
+        match client.submit(job).expect("transport") {
+            Outcome::Result { cache, .. } => assert_eq!(cache, "hit"),
+            other => panic!("{other:?}"),
+        }
+    }
+    assert_eq!(server.result_stats().disk_hits, 3);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Seeded soak: four clients fire seeded-shuffled bursts from a shared
+    /// job pool at one server. Every submission must reach a terminal
+    /// frame (no deadlock — `wait_idle` bounds the run), and every payload
+    /// must equal its precomputed ground truth (per-job determinism under
+    /// contention).
+    #[test]
+    fn soak_four_clients_under_contention_stay_deterministic(seed in any::<u64>()) {
+        let engine = engine();
+        let jobs = job_matrix();
+        let expected: Vec<String> = jobs
+            .iter()
+            .map(|job| run_job(&JobSpec::parse(job).unwrap(), &engine, None).unwrap())
+            .collect();
+        // Large admission limits: this test soaks throughput, not rejects.
+        let options = ServeOptions {
+            queue_capacity: 1024,
+            inflight_cap: 1024,
+            job_workers: 3,
+            memory_entries: 4, // smaller than the pool, so eviction churns too
+            ..ServeOptions::default()
+        };
+        let server = Server::start(engine, options).expect("bind");
+        let addr = addr_of(&server);
+
+        const PER_CLIENT: usize = 12;
+        let handles: Vec<_> = (0..4u64)
+            .map(|client_no| {
+                let addr = addr.clone();
+                let jobs = jobs.clone();
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    // Seeded xorshift per client: deterministic, distinct.
+                    let mut state = seed ^ (client_no + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    state |= 1;
+                    let mut client = ServeClient::connect(&addr).expect("connect");
+                    for round in 0..PER_CLIENT {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        let pick = (state % jobs.len() as u64) as usize;
+                        match client.submit(&jobs[pick]).expect("transport") {
+                            Outcome::Result { payload, .. } => assert_eq!(
+                                payload, expected[pick],
+                                "client {client_no} round {round} job {pick} diverged"
+                            ),
+                            other => {
+                                panic!("client {client_no} round {round}: {other:?}")
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("soak client");
+        }
+        prop_assert!(server.wait_idle(Duration::from_secs(60)), "queue must drain");
+        prop_assert_eq!(server.completed(), 4 * PER_CLIENT as u64);
+
+        // Clean shutdown is part of the soak: ask, then join the server.
+        let mut closer = ServeClient::connect(&addr).expect("connect");
+        closer.shutdown().expect("bye");
+        let stats = server.join();
+        prop_assert!(
+            stats.hits + stats.misses >= 4 * PER_CLIENT as u64,
+            "every submission consulted the cache"
+        );
+    }
+}
