@@ -135,14 +135,17 @@ impl<P: Predictor> Predictor for DelayedPredictor<P> {
         self.inner.reserve_ids(n);
     }
 
+    #[inline]
     fn predict_id(&self, id: PcId, pc: Pc) -> Option<Value> {
         self.inner.predict_id(id, pc)
     }
 
+    #[inline]
     fn update_id(&mut self, id: PcId, pc: Pc, actual: Value) {
         self.enqueue(Some(id), pc, actual);
     }
 
+    #[inline]
     fn step_id(&mut self, id: PcId, pc: Pc, actual: Value) -> Option<Value> {
         let prediction = self.inner.predict_id(id, pc);
         self.enqueue(Some(id), pc, actual);

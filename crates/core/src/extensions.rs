@@ -144,14 +144,17 @@ impl Predictor for ShiftPredictor {
         self.table.reserve(n);
     }
 
+    #[inline]
     fn predict_id(&self, id: PcId, _pc: Pc) -> Option<Value> {
         self.table.get_dense(id).map(Self::predict_entry)
     }
 
+    #[inline]
     fn update_id(&mut self, id: PcId, pc: Pc, actual: Value) {
         let _ = Self::step_slot(self.table.dense_slot_mut(id, pc), actual);
     }
 
+    #[inline]
     fn step_id(&mut self, id: PcId, pc: Pc, actual: Value) -> Option<Value> {
         Self::step_slot(self.table.dense_slot_mut(id, pc), actual)
     }
@@ -302,14 +305,17 @@ impl Predictor for TwoLevelStridePredictor {
         self.table.reserve(n);
     }
 
+    #[inline]
     fn predict_id(&self, id: PcId, _pc: Pc) -> Option<Value> {
         self.table.get_dense(id).map(Self::predict_entry)
     }
 
+    #[inline]
     fn update_id(&mut self, id: PcId, pc: Pc, actual: Value) {
         let _ = Self::step_slot(self.table.dense_slot_mut(id, pc), actual);
     }
 
+    #[inline]
     fn step_id(&mut self, id: PcId, pc: Pc, actual: Value) -> Option<Value> {
         Self::step_slot(self.table.dense_slot_mut(id, pc), actual)
     }

@@ -1,9 +1,34 @@
 //! Finite context method (FCM) prediction (Section 2.2 of the paper).
+//!
+//! # Flat value-history table
+//!
+//! Logically the model is the paper's: per static instruction, per order
+//! `0..=k`, a map from the full concatenated context to a frequency table
+//! of following values. Physically all of that state lives in one flat,
+//! arena-backed, open-addressed **value-history table** ([`Vht`]) shared
+//! by every (instruction, order) pair:
+//!
+//! - **Inline context keys.** A context of up to three values is stored
+//!   inline in its entry (`[Value; 3]` + length); longer contexts spill to
+//!   a shared key arena. Probes always compare the full key — the hash is
+//!   only an accelerator, so matching semantics are identical to the old
+//!   `HashMap<Box<[Value]>, _>` ("full concatenation ... no aliasing").
+//! - **Rolling context hashes.** Each slot maintains `H_j = mix(v) + B·H_{j-1}`
+//!   for `j = 1..=k` incrementally per record, so an order-k blended
+//!   predictor derives all of its probe hashes from one shared rolling
+//!   state instead of rehashing `j` boxed slices per record.
+//! - **Inline follower counts with a spill arena.** The per-context
+//!   `(value, count, stamp)` frequency table starts as a two-element
+//!   inline array; high-fanout contexts relocate to a geometric spill
+//!   arena. The entry's first follower is always the current argmax, so a
+//!   prediction is one read.
+//! - **Fused multi-order probe.** One descending walk locates the longest
+//!   matching context and caches every probed entry index; the update
+//!   phase reuses those hits instead of re-probing.
 
-use crate::table::PcTable;
+use crate::table::PcIndex;
 use crate::Predictor;
 use dvp_trace::{Pc, PcId, Value};
-use std::collections::HashMap;
 
 /// How the per-order models of an [`FcmPredictor`] are combined.
 ///
@@ -43,94 +68,339 @@ pub enum CounterMode {
     },
 }
 
-/// Frequency table for a single context: counts per following value, plus a
-/// recency stamp used to break count ties toward the most recent value.
-#[derive(Debug, Clone, Default)]
-struct ContextCounts {
-    counts: HashMap<Value, (u64, u64)>,
-    tick: u64,
+/// Hard ceiling on the order (a guard against accidentally unbounded
+/// contexts; the paper studies orders 1..=8).
+const MAX_ORDER: usize = 64;
+
+/// Context values stored inline in a [`CtxEntry`]; longer keys spill.
+const INLINE_KEY: usize = 3;
+
+/// Followers stored inline in a [`CtxEntry`]; higher fanout spills.
+const INLINE_FOLLOWERS: usize = 2;
+
+/// Probe-cache sentinel: "this (slot, order, context) has no entry".
+const NO_ENTRY: u32 = u32::MAX;
+
+/// Rolling-hash base (odd, so multiplication is a bijection on `u64`).
+const HASH_B: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Mixes the slot id into the bucket hash.
+const SLOT_SALT: u64 = 0xA24B_AED4_963E_E407;
+
+/// Mixes the order into the bucket hash.
+const ORDER_SALT: u64 = 0x9FB2_1C65_1E98_DF25;
+
+/// `splitmix64` finalizer: full-avalanche 64-bit mixer.
+#[inline]
+fn mix(x: u64) -> u64 {
+    let mut z = x;
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
-impl ContextCounts {
-    fn bump(&mut self, value: Value, mode: CounterMode) {
-        self.tick += 1;
-        let entry = self.counts.entry(value).or_insert((0, 0));
-        entry.0 += 1;
-        entry.1 = self.tick;
+/// One `(value, count, stamp)` row of a context's frequency table. Stamps
+/// are per-context ticks, so they are unique within an entry — count ties
+/// always break deterministically toward the most recent value.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Follower {
+    value: Value,
+    count: u64,
+    stamp: u64,
+}
+
+/// One (slot, order, context) entry of the flat table.
+///
+/// Invariant: while `len > 0`, the first follower (inline or spilled) is
+/// the argmax by `(count, stamp)` — predictions never scan.
+#[derive(Debug, Clone)]
+struct CtxEntry {
+    /// Full bucket hash (cached for rehashing and as a probe accelerator).
+    hash: u64,
+    /// Per-context recency clock; incremented by every bump.
+    tick: u64,
+    /// The context itself when `key_len <= INLINE_KEY`.
+    key: [Value; INLINE_KEY],
+    /// Offset into the key arena when `key_len > INLINE_KEY`.
+    key_spill: u32,
+    /// Owning dense slot (per-instruction isolation is part of the key).
+    slot: u32,
+    /// Context length == the model order this entry belongs to.
+    key_len: u16,
+    /// Live followers.
+    len: u32,
+    /// Follower capacity; `<= INLINE_FOLLOWERS` means inline storage.
+    cap: u32,
+    /// Offset into the follower spill arena when not inline.
+    spill_pos: u32,
+    /// Inline follower storage (the common case: most contexts are
+    /// followed by one or two distinct values).
+    inline: [Follower; INLINE_FOLLOWERS],
+}
+
+/// Bumps `value` inside an existing follower list, maintaining the
+/// front-is-argmax invariant. Returns the new count, or `None` when the
+/// value is not present (the caller appends it).
+#[inline]
+fn bump_existing(fs: &mut [Follower], value: Value, tick: u64) -> Option<u64> {
+    let i = fs.iter().position(|f| f.value == value)?;
+    fs[i].count += 1;
+    fs[i].stamp = tick;
+    let count = fs[i].count;
+    // The bumped follower holds the globally newest stamp, so it is the new
+    // argmax exactly when its count reaches the front's.
+    if count >= fs[0].count {
+        fs.swap(0, i);
+    }
+    Some(count)
+}
+
+/// Halves every count, drops zeros, and re-seats the argmax at the front
+/// (halving can flip ties toward newer stamps). Returns the live length.
+fn halve_followers(fs: &mut [Follower]) -> u32 {
+    let mut keep = 0;
+    for i in 0..fs.len() {
+        let count = fs[i].count / 2;
+        if count > 0 {
+            fs[keep] = Follower { count, ..fs[i] };
+            keep += 1;
+        }
+    }
+    let live = &mut fs[..keep];
+    if let Some(best) =
+        live.iter().enumerate().max_by_key(|(_, f)| (f.count, f.stamp)).map(|(i, _)| i)
+    {
+        live.swap(0, best);
+    }
+    u32::try_from(keep).expect("follower list fits u32")
+}
+
+/// The flat open-addressed value-history table: every (slot, order,
+/// context) entry of the predictor, plus the key and follower spill
+/// arenas. Entries are never removed (matching the unbounded paper
+/// model), so entry indices are stable across bucket growth — the fused
+/// probe caches them safely.
+#[derive(Debug, Clone, Default)]
+struct Vht {
+    /// Power-of-two open-addressed index: `1 + entry index`, 0 = empty.
+    buckets: Vec<u32>,
+    /// Entry arena, append-only.
+    entries: Vec<CtxEntry>,
+    /// Spilled context keys (orders above `INLINE_KEY`), append-only.
+    keys: Vec<Value>,
+    /// Spilled follower lists; relocation leaves old regions behind
+    /// (bounded ≤2x waste, no per-context allocations).
+    spill: Vec<Follower>,
+}
+
+impl Vht {
+    /// Number of distinct (slot, order, context) entries ever created.
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    fn key_matches(&self, e: &CtxEntry, slot: u32, ctx: &[Value]) -> bool {
+        e.slot == slot
+            && e.key_len as usize == ctx.len()
+            && if ctx.len() <= INLINE_KEY {
+                e.key[..ctx.len()] == *ctx
+            } else {
+                self.keys[e.key_spill as usize..][..ctx.len()] == *ctx
+            }
+    }
+
+    /// Finds the entry for `(slot, ctx)` under `hash`, or [`NO_ENTRY`].
+    #[inline]
+    fn probe(&self, hash: u64, slot: u32, ctx: &[Value]) -> u32 {
+        if self.buckets.is_empty() {
+            return NO_ENTRY;
+        }
+        let mask = self.buckets.len() - 1;
+        let mut b = (hash as usize) & mask;
+        loop {
+            let bucket = self.buckets[b];
+            if bucket == 0 {
+                return NO_ENTRY;
+            }
+            let idx = bucket - 1;
+            let e = &self.entries[idx as usize];
+            if e.hash == hash && self.key_matches(e, slot, ctx) {
+                return idx;
+            }
+            b = (b + 1) & mask;
+        }
+    }
+
+    /// Inserts a fresh empty entry for `(slot, ctx)` (which must not be
+    /// present) and returns its index.
+    fn insert(&mut self, hash: u64, slot: u32, ctx: &[Value]) -> u32 {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; 64];
+        } else if (self.entries.len() + 1) * 8 > self.buckets.len() * 7 {
+            self.grow();
+        }
+        let idx = u32::try_from(self.entries.len()).expect("context entries fit u32");
+        let mut key = [0; INLINE_KEY];
+        let mut key_spill = 0;
+        if ctx.len() <= INLINE_KEY {
+            key[..ctx.len()].copy_from_slice(ctx);
+        } else {
+            key_spill = u32::try_from(self.keys.len()).expect("key arena fits u32");
+            self.keys.extend_from_slice(ctx);
+        }
+        self.entries.push(CtxEntry {
+            hash,
+            tick: 0,
+            key,
+            key_spill,
+            slot,
+            key_len: ctx.len() as u16,
+            len: 0,
+            cap: INLINE_FOLLOWERS as u32,
+            spill_pos: 0,
+            inline: [Follower::default(); INLINE_FOLLOWERS],
+        });
+        let mask = self.buckets.len() - 1;
+        let mut b = (hash as usize) & mask;
+        while self.buckets[b] != 0 {
+            b = (b + 1) & mask;
+        }
+        self.buckets[b] = idx + 1;
+        idx
+    }
+
+    /// Doubles the bucket index and reseats every entry by its cached hash.
+    fn grow(&mut self) {
+        let new_len = self.buckets.len() * 2;
+        let mask = new_len - 1;
+        let mut buckets = vec![0u32; new_len];
+        for (i, e) in self.entries.iter().enumerate() {
+            let mut b = (e.hash as usize) & mask;
+            while buckets[b] != 0 {
+                b = (b + 1) & mask;
+            }
+            buckets[b] = i as u32 + 1;
+        }
+        self.buckets = buckets;
+    }
+
+    /// The entry's current argmax value, or `None` while it has no
+    /// followers (an emptied context stops matching but keeps its tick,
+    /// exactly like an empty `ContextCounts` in the nested-map model).
+    #[inline]
+    fn top_value(&self, idx: u32) -> Option<Value> {
+        let e = &self.entries[idx as usize];
+        if e.len == 0 {
+            return None;
+        }
+        Some(if e.cap as usize <= INLINE_FOLLOWERS {
+            e.inline[0].value
+        } else {
+            self.spill[e.spill_pos as usize].value
+        })
+    }
+
+    /// Counts one occurrence of `value` after this entry's context:
+    /// `count += 1`, stamp = fresh tick, with saturating-mode halving.
+    fn bump(&mut self, idx: u32, value: Value, mode: CounterMode) {
+        let i = idx as usize;
+        let (tick, inline_now, pos, len) = {
+            let e = &mut self.entries[i];
+            e.tick += 1;
+            (e.tick, e.cap as usize <= INLINE_FOLLOWERS, e.spill_pos as usize, e.len as usize)
+        };
+        let bumped = if inline_now {
+            bump_existing(&mut self.entries[i].inline[..len], value, tick)
+        } else {
+            bump_existing(&mut self.spill[pos..pos + len], value, tick)
+        };
+        let count = match bumped {
+            Some(count) => count,
+            None => {
+                self.push_follower(i, value, tick);
+                1
+            }
+        };
         if let CounterMode::Saturating { max } = mode {
-            if entry.0 >= u64::from(max) {
-                for (count, _) in self.counts.values_mut() {
-                    *count /= 2;
-                }
-                self.counts.retain(|_, (count, _)| *count > 0);
+            if count >= u64::from(max) {
+                self.halve(i);
             }
         }
     }
 
-    /// The value with the maximum count; ties broken toward the most
-    /// recently observed value (the deterministic choice closest in spirit
-    /// to the paper's recency argument).
-    fn argmax(&self) -> Option<Value> {
-        self.counts
-            .iter()
-            .max_by_key(|(_, &(count, stamp))| (count, stamp))
-            .map(|(&value, _)| value)
-    }
-
-    fn is_empty(&self) -> bool {
-        self.counts.is_empty()
-    }
-}
-
-/// Per-order model: full-concatenation context -> counts (no aliasing, as in
-/// the paper: "we use full concatenation of history values so there is no
-/// aliasing when matching contexts").
-#[derive(Debug, Clone, Default)]
-struct OrderModel {
-    contexts: HashMap<Box<[Value]>, ContextCounts>,
-}
-
-#[derive(Debug, Clone)]
-struct FcmEntry {
-    /// Most recent values, newest last; at most `order` long.
-    history: Vec<Value>,
-    /// Models for orders 0..=order.
-    orders: Vec<OrderModel>,
-}
-
-impl FcmEntry {
-    fn new(order: usize) -> Self {
-        FcmEntry {
-            history: Vec::with_capacity(order),
-            orders: vec![OrderModel::default(); order + 1],
+    /// Appends a fresh `(value, 1, tick)` follower, relocating the list to
+    /// (or within) the spill arena when full.
+    fn push_follower(&mut self, i: usize, value: Value, tick: u64) {
+        let (len, cap) = {
+            let e = &self.entries[i];
+            (e.len as usize, e.cap as usize)
+        };
+        if len == cap {
+            let new_cap = cap * 2;
+            let new_pos = self.spill.len();
+            if cap <= INLINE_FOLLOWERS {
+                let inline = self.entries[i].inline;
+                self.spill.extend_from_slice(&inline[..len]);
+            } else {
+                let old = self.entries[i].spill_pos as usize;
+                self.spill.extend_from_within(old..old + len);
+            }
+            self.spill.resize(new_pos + new_cap, Follower::default());
+            let e = &mut self.entries[i];
+            e.spill_pos = u32::try_from(new_pos).expect("spill arena fits u32");
+            e.cap = new_cap as u32;
+        }
+        let (inline_now, pos, len) = {
+            let e = &mut self.entries[i];
+            let len = e.len as usize;
+            e.len += 1;
+            (e.cap as usize <= INLINE_FOLLOWERS, e.spill_pos as usize, len)
+        };
+        let fresh = Follower { value, count: 1, stamp: tick };
+        if inline_now {
+            let e = &mut self.entries[i];
+            e.inline[len] = fresh;
+            if len > 0 && e.inline[0].count <= 1 {
+                e.inline.swap(0, len);
+            }
+        } else {
+            self.spill[pos + len] = fresh;
+            if len > 0 && self.spill[pos].count <= 1 {
+                self.spill.swap(pos, pos + len);
+            }
         }
     }
 
-    /// Context of length `ord` taken from the most recent history, if enough
-    /// history exists.
-    fn context(&self, ord: usize) -> Option<&[Value]> {
-        self.history.len().checked_sub(ord).map(|start| &self.history[start..])
+    /// Saturating-mode halving of one entry's followers.
+    fn halve(&mut self, i: usize) {
+        let (inline_now, pos, len) = {
+            let e = &self.entries[i];
+            (e.cap as usize <= INLINE_FOLLOWERS, e.spill_pos as usize, e.len as usize)
+        };
+        let keep = if inline_now {
+            halve_followers(&mut self.entries[i].inline[..len])
+        } else {
+            halve_followers(&mut self.spill[pos..pos + len])
+        };
+        self.entries[i].len = keep;
     }
+}
 
-    /// The longest order whose current context exists (with at least one
-    /// count) in its model.
-    fn longest_match(&self, max_order: usize) -> Option<usize> {
-        (0..=max_order).rev().find(|&ord| {
-            self.context(ord)
-                .and_then(|ctx| self.orders[ord].contexts.get(ctx))
-                .is_some_and(|c| !c.is_empty())
-        })
-    }
-
-    fn push_history(&mut self, value: Value, order: usize) {
-        if order == 0 {
-            return;
-        }
-        if self.history.len() == order {
-            self.history.remove(0);
-        }
-        self.history.push(value);
-    }
+/// Result of the fused descending probe: the prediction, the longest
+/// matched order, and every entry index the descent touched (reused
+/// verbatim by the update, which only re-probes orders the descent never
+/// reached).
+struct Descent {
+    prediction: Option<Value>,
+    matched: Option<usize>,
+    /// Lowest order actually probed; `found[ord]` is valid for
+    /// `ord >= probed_down`.
+    probed_down: usize,
+    /// Cached probe results per order ([`NO_ENTRY`] = probed, absent).
+    found: [u32; MAX_ORDER + 1],
 }
 
 /// A finite context method value predictor with blending.
@@ -168,7 +438,16 @@ pub struct FcmPredictor {
     blending: Blending,
     counter_mode: CounterMode,
     name: String,
-    table: PcTable<FcmEntry>,
+    index: PcIndex,
+    /// Per-slot recent values, strided `order` wide, newest last within
+    /// `hist_len[slot]`.
+    hist: Vec<Value>,
+    /// Live history length per slot (0..=order).
+    hist_len: Vec<u8>,
+    /// Per-slot rolling hashes `H_1..H_order`, strided `order` wide:
+    /// `ghash[slot*order + j-1]` covers the most recent `j` values.
+    ghash: Vec<u64>,
+    vht: Vht,
 }
 
 impl FcmPredictor {
@@ -192,7 +471,7 @@ impl FcmPredictor {
     /// Panics if `order > 64`.
     #[must_use]
     pub fn with_config(order: usize, blending: Blending, counter_mode: CounterMode) -> Self {
-        assert!(order <= 64, "FCM order {order} is unreasonably large");
+        assert!(order <= MAX_ORDER, "FCM order {order} is unreasonably large");
         let blend = match blending {
             Blending::LazyExclusion => "",
             Blending::Full => "-full",
@@ -203,7 +482,17 @@ impl FcmPredictor {
             CounterMode::Saturating { max } => format!("-sat{max}"),
         };
         let name = format!("fcm{order}{blend}{ctr}");
-        FcmPredictor { order, blending, counter_mode, name, table: PcTable::new() }
+        FcmPredictor {
+            order,
+            blending,
+            counter_mode,
+            name,
+            index: PcIndex::new(),
+            hist: Vec::new(),
+            hist_len: Vec::new(),
+            ghash: Vec::new(),
+            vht: Vht::default(),
+        }
     }
 
     /// The predictor's order (context length).
@@ -229,107 +518,168 @@ impl FcmPredictor {
     /// discusses in Section 4.3.
     #[must_use]
     pub fn context_entries(&self) -> usize {
-        self.table.values().map(|e| e.orders.iter().map(|m| m.contexts.len()).sum::<usize>()).sum()
+        self.vht.len()
     }
 
-    /// The model configuration as a copyable value (lets slot mutations
-    /// and configuration reads coexist without borrow conflicts).
-    fn config(&self) -> FcmConfig {
-        FcmConfig { order: self.order, blending: self.blending, counter_mode: self.counter_mode }
-    }
-}
-
-/// The cheap, copyable part of an [`FcmPredictor`]: everything the
-/// per-entry model operations need besides the entry itself.
-#[derive(Debug, Clone, Copy)]
-struct FcmConfig {
-    order: usize,
-    blending: Blending,
-    counter_mode: CounterMode,
-}
-
-impl FcmConfig {
-    /// The pre-update prediction of `entry`, plus the longest matched
-    /// order (for blended configurations — the update reuses it).
-    fn predict_entry(self, entry: &FcmEntry) -> (Option<Value>, Option<usize>) {
-        match self.blending {
-            Blending::SingleOrder => {
-                let prediction = entry
-                    .context(self.order)
-                    .and_then(|ctx| entry.orders[self.order].contexts.get(ctx))
-                    .and_then(ContextCounts::argmax);
-                (prediction, None)
-            }
-            Blending::LazyExclusion | Blending::Full => {
-                let matched = entry.longest_match(self.order);
-                let prediction = matched.and_then(|ord| {
-                    entry
-                        .context(ord)
-                        .and_then(|ctx| entry.orders[ord].contexts.get(ctx))
-                        .and_then(ContextCounts::argmax)
-                });
-                (prediction, matched)
-            }
+    /// Grows the per-slot arenas to cover `slot`.
+    fn ensure_slot(&mut self, slot: usize) {
+        if slot >= self.hist_len.len() {
+            self.hist_len.resize(slot + 1, 0);
+            self.hist.resize((slot + 1) * self.order, 0);
+            self.ghash.resize((slot + 1) * self.order, 0);
         }
     }
 
-    /// Applies the model update, reusing an already-computed longest match
-    /// (the blended predict and the lazy-exclusion update walk the same
-    /// contexts; fusing them does the walk once per record).
-    fn update_entry(self, entry: &mut FcmEntry, matched: Option<usize>, actual: Value) {
+    /// Bucket hash for the current order-`ord` context of `slot`, derived
+    /// from the rolling state (no key material is touched).
+    #[inline]
+    fn hash_at(&self, slot: usize, ord: usize) -> u64 {
+        let g = if ord == 0 { 0 } else { self.ghash[slot * self.order + ord - 1] };
+        mix(g ^ (slot as u64).wrapping_mul(SLOT_SALT) ^ (ord as u64 + 1).wrapping_mul(ORDER_SALT))
+    }
+
+    /// Probes the VHT for the current order-`ord` context of `slot`.
+    /// Requires `hist_len[slot] >= ord`.
+    #[inline]
+    fn probe_ord(&self, slot: usize, ord: usize) -> u32 {
+        let base = slot * self.order;
+        let hist_len = self.hist_len[slot] as usize;
+        let ctx = &self.hist[base + hist_len - ord..base + hist_len];
+        self.vht.probe(self.hash_at(slot, ord), slot as u32, ctx)
+    }
+
+    /// The fused descending probe: longest-match search and probe-result
+    /// cache in one walk over the shared rolling-hash state.
+    fn descend(&self, slot: usize) -> Descent {
         let order = self.order;
+        let mut d = Descent {
+            prediction: None,
+            matched: None,
+            probed_down: order + 1,
+            found: [NO_ENTRY; MAX_ORDER + 1],
+        };
+        let hist_len = self.hist_len[slot] as usize;
+        match self.blending {
+            Blending::SingleOrder => {
+                if hist_len >= order {
+                    let idx = self.probe_ord(slot, order);
+                    d.found[order] = idx;
+                    d.probed_down = order;
+                    if idx != NO_ENTRY {
+                        d.prediction = self.vht.top_value(idx);
+                    }
+                }
+            }
+            Blending::LazyExclusion | Blending::Full => {
+                for ord in (0..=order).rev() {
+                    if ord > hist_len {
+                        continue;
+                    }
+                    let idx = self.probe_ord(slot, ord);
+                    d.found[ord] = idx;
+                    d.probed_down = ord;
+                    if idx != NO_ENTRY {
+                        if let Some(value) = self.vht.top_value(idx) {
+                            d.matched = Some(ord);
+                            d.prediction = Some(value);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        d
+    }
+
+    /// Pre-update prediction for an in-range slot.
+    fn predict_slot(&self, slot: usize) -> Option<Value> {
+        if slot >= self.hist_len.len() {
+            return None;
+        }
+        self.descend(slot).prediction
+    }
+
+    /// Applies the model update for `actual`, reusing the descent's cached
+    /// probes, then advances the history and rolling hashes.
+    fn apply_update(&mut self, slot: usize, d: &Descent, actual: Value) {
+        let order = self.order;
+        let mode = self.counter_mode;
+        let hist_len = self.hist_len[slot] as usize;
         let lowest_updated = match self.blending {
             Blending::SingleOrder => order,
             Blending::Full => 0,
             // Lazy exclusion: update the matched order and higher. On a
             // complete miss (no context matched anywhere) every order is
             // seeded.
-            Blending::LazyExclusion => matched.unwrap_or(0),
+            Blending::LazyExclusion => d.matched.unwrap_or(0),
         };
+        let base = slot * order;
         for ord in lowest_updated..=order {
-            if let Some(ctx) = entry.context(ord) {
-                let ctx: Box<[Value]> = ctx.into();
-                entry.orders[ord].contexts.entry(ctx).or_default().bump(actual, self.counter_mode);
+            if ord > hist_len {
+                continue;
             }
+            let mut idx =
+                if ord >= d.probed_down { d.found[ord] } else { self.probe_ord(slot, ord) };
+            if idx == NO_ENTRY {
+                let hash = self.hash_at(slot, ord);
+                let ctx = &self.hist[base + hist_len - ord..base + hist_len];
+                idx = self.vht.insert(hash, slot as u32, ctx);
+            }
+            self.vht.bump(idx, actual, mode);
         }
-        entry.push_history(actual, order);
+        self.push_history(slot, actual);
     }
 
-    /// Update-only path: computes the longest match itself when lazy
-    /// exclusion needs it.
-    fn update_slot(self, slot: &mut Option<FcmEntry>, actual: Value) {
-        let entry = slot.get_or_insert_with(|| FcmEntry::new(self.order));
-        let matched = match self.blending {
-            Blending::LazyExclusion => entry.longest_match(self.order),
-            _ => None,
-        };
-        self.update_entry(entry, matched, actual);
+    /// Slides `actual` into the slot's history window and rolls every
+    /// order's hash forward in place (descending, so each step reads the
+    /// previous record's lower-order state).
+    fn push_history(&mut self, slot: usize, actual: Value) {
+        let order = self.order;
+        if order == 0 {
+            return;
+        }
+        let base = slot * order;
+        let len = self.hist_len[slot] as usize;
+        if len == order {
+            self.hist.copy_within(base + 1..base + order, base);
+            self.hist[base + order - 1] = actual;
+        } else {
+            self.hist[base + len] = actual;
+            self.hist_len[slot] = (len + 1) as u8;
+        }
+        let mixed = mix(actual);
+        let g = &mut self.ghash[base..base + order];
+        for j in (1..order).rev() {
+            g[j] = mixed.wrapping_add(HASH_B.wrapping_mul(g[j - 1]));
+        }
+        g[0] = mixed;
     }
 
-    /// The fused slot step: one entry access and one context walk serve
-    /// both the prediction and the update.
-    fn step_slot(self, slot: &mut Option<FcmEntry>, actual: Value) -> Option<Value> {
-        let entry = slot.get_or_insert_with(|| FcmEntry::new(self.order));
-        let (prediction, matched) = self.predict_entry(entry);
-        self.update_entry(entry, matched, actual);
-        prediction
+    /// The fused per-record step on an in-range slot.
+    fn step_slot(&mut self, slot: usize, actual: Value) -> Option<Value> {
+        let d = self.descend(slot);
+        self.apply_update(slot, &d, actual);
+        d.prediction
     }
 }
 
 impl Predictor for FcmPredictor {
     fn predict(&self, pc: Pc) -> Option<Value> {
-        let entry = self.table.get(pc)?;
-        self.config().predict_entry(entry).0
+        let id = self.index.get(pc)?;
+        self.predict_slot(id.index())
     }
 
     fn update(&mut self, pc: Pc, actual: Value) {
-        let config = self.config();
-        config.update_slot(self.table.slot_mut(pc), actual);
+        let slot = self.index.intern(pc).index();
+        self.ensure_slot(slot);
+        let d = self.descend(slot);
+        self.apply_update(slot, &d, actual);
     }
 
     fn step(&mut self, pc: Pc, actual: Value) -> Option<Value> {
-        let config = self.config();
-        config.step_slot(self.table.slot_mut(pc), actual)
+        let slot = self.index.intern(pc).index();
+        self.ensure_slot(slot);
+        self.step_slot(slot, actual)
     }
 
     fn name(&self) -> &str {
@@ -337,26 +687,36 @@ impl Predictor for FcmPredictor {
     }
 
     fn static_entries(&self) -> usize {
-        self.table.len()
+        self.index.len()
     }
 
     fn reserve_ids(&mut self, n: usize) {
-        self.table.reserve(n);
+        self.index.reserve(n);
+        if n > 0 {
+            self.ensure_slot(n - 1);
+        }
     }
 
+    #[inline]
     fn predict_id(&self, id: PcId, _pc: Pc) -> Option<Value> {
-        let entry = self.table.get_dense(id)?;
-        self.config().predict_entry(entry).0
+        self.predict_slot(id.index())
     }
 
+    #[inline]
     fn update_id(&mut self, id: PcId, pc: Pc, actual: Value) {
-        let config = self.config();
-        config.update_slot(self.table.dense_slot_mut(id, pc), actual);
+        let slot = id.index();
+        self.ensure_slot(slot);
+        self.index.adopt(id, pc);
+        let d = self.descend(slot);
+        self.apply_update(slot, &d, actual);
     }
 
+    #[inline]
     fn step_id(&mut self, id: PcId, pc: Pc, actual: Value) -> Option<Value> {
-        let config = self.config();
-        config.step_slot(self.table.dense_slot_mut(id, pc), actual)
+        let slot = id.index();
+        self.ensure_slot(slot);
+        self.index.adopt(id, pc);
+        self.step_slot(slot, actual)
     }
 }
 
@@ -557,5 +917,52 @@ mod tests {
     #[should_panic(expected = "unreasonably large")]
     fn rejects_absurd_order() {
         let _ = FcmPredictor::new(65);
+    }
+
+    #[test]
+    fn spilled_context_keys_do_not_alias() {
+        // Order > INLINE_KEY forces keys through the spill arena; distinct
+        // 5-value contexts must stay distinct (full-concatenation match).
+        let mut p = FcmPredictor::with_config(5, Blending::SingleOrder, CounterMode::Exact);
+        let period = [11u64, 22, 33, 44, 55, 66, 77];
+        for &v in period.iter().cycle().take(42) {
+            p.update(PC, v);
+        }
+        // Every order-5 window of the period maps to exactly one follower;
+        // after several periods the next value is always predicted.
+        let preds = feed(&mut p, &period.iter().copied().cycle().take(14).collect::<Vec<_>>());
+        for (i, (&pred, &actual)) in preds.iter().zip(period.iter().cycle().take(14)).enumerate() {
+            assert_eq!(pred, Some(actual), "index {i}");
+        }
+    }
+
+    #[test]
+    fn high_fanout_contexts_spill_and_keep_exact_argmax() {
+        // One order-0 context followed by many distinct values exercises the
+        // follower spill arena and the front-is-argmax invariant.
+        let mut p = FcmPredictor::new(0);
+        for v in 0..40u64 {
+            p.update(PC, v);
+        }
+        // All counts are 1; the most recent value wins the tie.
+        assert_eq!(p.predict(PC), Some(39));
+        for _ in 0..2 {
+            p.update(PC, 17);
+        }
+        // 17 now has count 3 — the clear argmax.
+        assert_eq!(p.predict(PC), Some(17));
+        assert_eq!(p.context_entries(), 1);
+    }
+
+    #[test]
+    fn saturating_halving_can_empty_a_context_which_then_reseeds() {
+        // max = 1: every bump halves the just-bumped count back to zero, so
+        // the context stays empty and never predicts — but keeps existing.
+        let mut p =
+            FcmPredictor::with_config(0, Blending::SingleOrder, CounterMode::Saturating { max: 1 });
+        p.update(PC, 5);
+        p.update(PC, 5);
+        assert_eq!(p.predict(PC), None);
+        assert_eq!(p.context_entries(), 1);
     }
 }

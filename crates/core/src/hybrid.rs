@@ -165,12 +165,14 @@ impl<A: Predictor, B: Predictor> Predictor for HybridPredictor<A, B> {
         self.second.reserve_ids(n);
     }
 
+    #[inline]
     fn predict_id(&self, id: PcId, pc: Pc) -> Option<Value> {
         let (a, b) = (self.first.predict_id(id, pc), self.second.predict_id(id, pc));
         let counter = self.chooser.get_dense(id).map_or(0, |e| e.counter);
         Self::arbitrate(counter, a, b)
     }
 
+    #[inline]
     fn update_id(&mut self, id: PcId, pc: Pc, actual: Value) {
         let a_correct = self.first.predict_id(id, pc) == Some(actual);
         let b_correct = self.second.predict_id(id, pc) == Some(actual);
@@ -180,6 +182,7 @@ impl<A: Predictor, B: Predictor> Predictor for HybridPredictor<A, B> {
         self.second.update_id(id, pc, actual);
     }
 
+    #[inline]
     fn step_id(&mut self, id: PcId, pc: Pc, actual: Value) -> Option<Value> {
         // As `step`: one fused walk per component, one chooser access.
         let a = self.first.step_id(id, pc, actual);

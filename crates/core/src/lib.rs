@@ -91,6 +91,6 @@ pub use hybrid::HybridPredictor;
 pub use last_value::{LastValuePolicy, LastValuePredictor};
 pub use locality::LocalityProfile;
 pub use predictor::Predictor;
-pub use set::{run_trace, CorrectMask, PcTally, PredictorSet};
+pub use set::{run_trace, CorrectMask, PcTally, PredictorSet, SetBatch};
 pub use stride::{StridePolicy, StridePredictor};
 pub use typed::{run_trace_records, RecordPredictor, TypedHybridPredictor};

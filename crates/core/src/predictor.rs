@@ -133,6 +133,34 @@ pub trait Predictor: Send + Sync {
     fn observe_id(&mut self, id: PcId, pc: Pc, actual: Value) -> bool {
         self.step_id(id, pc, actual) == Some(actual)
     }
+
+    /// Batched [`observe_id`](Predictor::observe_id): replays a run of
+    /// records in order, writing each record's outcome into `correct`.
+    ///
+    /// Semantically this **is** the per-record loop — the default does
+    /// exactly `correct[i] = self.observe_id(ids[i], pcs[i], values[i])`
+    /// for each `i` in order, and implementations must preserve that
+    /// equivalence bit for bit (the engine's determinism guarantee rests
+    /// on batch boundaries being invisible). The point of the method is
+    /// dispatch amortization: a replay loop driving a `Box<dyn Predictor>`
+    /// pays one virtual call per *chunk* instead of one per record, and
+    /// the per-record calls inside the default body dispatch statically on
+    /// the concrete type.
+    ///
+    /// All three slices and `correct` must have equal lengths.
+    ///
+    /// # Panics
+    ///
+    /// May panic (via slice indexing) if the slice lengths differ.
+    fn observe_batch(&mut self, ids: &[PcId], pcs: &[Pc], values: &[Value], correct: &mut [bool]) {
+        assert!(
+            ids.len() == pcs.len() && pcs.len() == values.len() && values.len() == correct.len(),
+            "observe_batch slice lengths differ"
+        );
+        for i in 0..ids.len() {
+            correct[i] = self.observe_id(ids[i], pcs[i], values[i]);
+        }
+    }
 }
 
 impl<P: Predictor + ?Sized> Predictor for Box<P> {
@@ -179,6 +207,10 @@ impl<P: Predictor + ?Sized> Predictor for Box<P> {
     fn observe_id(&mut self, id: PcId, pc: Pc, actual: Value) -> bool {
         (**self).observe_id(id, pc, actual)
     }
+
+    fn observe_batch(&mut self, ids: &[PcId], pcs: &[Pc], values: &[Value], correct: &mut [bool]) {
+        (**self).observe_batch(ids, pcs, values, correct)
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +251,33 @@ mod tests {
         }
         assert_eq!(dense.predict(pc), compat.predict(pc));
         assert_eq!(dense.static_entries(), compat.static_entries());
+    }
+
+    #[test]
+    fn observe_batch_matches_the_per_record_loop() {
+        let mut batched: Box<dyn Predictor> = Box::new(LastValuePredictor::new());
+        let mut looped = LastValuePredictor::new();
+        let stream: Vec<(PcId, Pc, Value)> =
+            [(0u32, 8u64, 3u64), (1, 16, 4), (0, 8, 3), (0, 8, 5), (1, 16, 4)]
+                .into_iter()
+                .map(|(id, pc, v)| (PcId(id), Pc(pc), v))
+                .collect();
+        let ids: Vec<PcId> = stream.iter().map(|r| r.0).collect();
+        let pcs: Vec<Pc> = stream.iter().map(|r| r.1).collect();
+        let values: Vec<Value> = stream.iter().map(|r| r.2).collect();
+        let mut correct = vec![false; stream.len()];
+        batched.observe_batch(&ids, &pcs, &values, &mut correct);
+        for (i, &(id, pc, v)) in stream.iter().enumerate() {
+            assert_eq!(correct[i], looped.observe_id(id, pc, v), "record {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn observe_batch_rejects_mismatched_lengths() {
+        let mut p = LastValuePredictor::new();
+        let mut correct = [false; 2];
+        p.observe_batch(&[PcId(0)], &[Pc(8)], &[3], &mut correct);
     }
 
     #[test]

@@ -189,15 +189,18 @@ impl Predictor for StridePredictor {
         self.table.reserve(n);
     }
 
+    #[inline]
     fn predict_id(&self, id: PcId, _pc: Pc) -> Option<Value> {
         self.table.get_dense(id).map(|e| e.last.wrapping_add(e.stride))
     }
 
+    #[inline]
     fn update_id(&mut self, id: PcId, pc: Pc, actual: Value) {
         let policy = self.policy;
         let _ = Self::step_slot(policy, self.table.dense_slot_mut(id, pc), actual);
     }
 
+    #[inline]
     fn step_id(&mut self, id: PcId, pc: Pc, actual: Value) -> Option<Value> {
         Self::step_slot(self.policy, self.table.dense_slot_mut(id, pc), actual)
     }

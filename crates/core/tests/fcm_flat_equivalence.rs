@@ -1,0 +1,314 @@
+//! The flat arena-backed FCM must be bit-for-bit the paper's model.
+//!
+//! `FcmPredictor` stores every (instruction, order, context) entry in one
+//! open-addressed table with rolling context hashes and inline follower
+//! counts. These properties pin its observable behaviour — predictions,
+//! entry counts, blending and lazy-exclusion divergence, saturating
+//! halving — to `OracleFcm`, a direct nested-`HashMap` transliteration of
+//! Section 2.2 with none of the flat layout. A second property pins
+//! `Predictor::observe_batch` to the per-record loop for every predictor
+//! family the experiments replay.
+
+use std::collections::HashMap;
+
+use dvp_core::{Blending, CounterMode, FcmPredictor, Predictor, PredictorConfig};
+use dvp_trace::{Pc, PcId, PcInterner, Value};
+use proptest::prelude::*;
+
+const CASES: u32 = if cfg!(debug_assertions) { 24 } else { 96 };
+
+/// One context's frequency table in the oracle: `(value, count, stamp)`
+/// rows plus the per-context recency clock. Stamps are unique within a
+/// context, so the argmax by `(count, stamp)` is deterministic — the same
+/// tie-break the paper's "most frequent, most recent wins" rule implies.
+#[derive(Debug, Default)]
+struct OracleCtx {
+    followers: Vec<(Value, u64, u64)>,
+    tick: u64,
+}
+
+impl OracleCtx {
+    fn top(&self) -> Option<Value> {
+        self.followers.iter().max_by_key(|&&(_, count, stamp)| (count, stamp)).map(|&(v, _, _)| v)
+    }
+
+    fn bump(&mut self, value: Value, mode: CounterMode) {
+        self.tick += 1;
+        let count = match self.followers.iter_mut().find(|(v, _, _)| *v == value) {
+            Some(row) => {
+                row.1 += 1;
+                row.2 = self.tick;
+                row.1
+            }
+            None => {
+                self.followers.push((value, 1, self.tick));
+                1
+            }
+        };
+        if let CounterMode::Saturating { max } = mode {
+            if count >= u64::from(max) {
+                for row in &mut self.followers {
+                    row.1 /= 2;
+                }
+                self.followers.retain(|&(_, count, _)| count > 0);
+            }
+        }
+    }
+}
+
+/// Per-instruction oracle state: the recent-value window and one
+/// context-keyed map per order `0..=k`.
+#[derive(Debug)]
+struct OracleSlot {
+    hist: Vec<Value>,
+    tables: Vec<HashMap<Box<[Value]>, OracleCtx>>,
+}
+
+/// The paper's order-k FCM with blending, written the obvious way:
+/// nested maps, boxed context keys, no sharing between orders.
+struct OracleFcm {
+    order: usize,
+    blending: Blending,
+    counter_mode: CounterMode,
+    slots: HashMap<Pc, OracleSlot>,
+}
+
+impl OracleFcm {
+    fn new(order: usize, blending: Blending, counter_mode: CounterMode) -> Self {
+        OracleFcm { order, blending, counter_mode, slots: HashMap::new() }
+    }
+
+    /// `(prediction, longest matched order)` for the slot's current
+    /// window. An entry that exists but has no followers (possible after
+    /// saturating halving) fails to match and the descent continues —
+    /// exactly the `or_default()` reuse semantics of the nested model.
+    fn descend(&self, slot: &OracleSlot) -> (Option<Value>, Option<usize>) {
+        let ctx_at = |ord: usize| &slot.hist[slot.hist.len() - ord..];
+        match self.blending {
+            Blending::SingleOrder => {
+                if slot.hist.len() >= self.order {
+                    if let Some(top) =
+                        slot.tables[self.order].get(ctx_at(self.order)).and_then(OracleCtx::top)
+                    {
+                        return (Some(top), None);
+                    }
+                }
+                (None, None)
+            }
+            Blending::LazyExclusion | Blending::Full => {
+                for ord in (0..=self.order.min(slot.hist.len())).rev() {
+                    if let Some(top) = slot.tables[ord].get(ctx_at(ord)).and_then(OracleCtx::top) {
+                        return (Some(top), Some(ord));
+                    }
+                }
+                (None, None)
+            }
+        }
+    }
+
+    fn predict(&self, pc: Pc) -> Option<Value> {
+        self.slots.get(&pc).and_then(|slot| self.descend(slot).0)
+    }
+
+    fn update(&mut self, pc: Pc, actual: Value) {
+        let order = self.order;
+        self.slots.entry(pc).or_insert_with(|| OracleSlot {
+            hist: Vec::new(),
+            tables: (0..=order).map(|_| HashMap::new()).collect(),
+        });
+        let matched = match self.blending {
+            Blending::SingleOrder => None,
+            Blending::LazyExclusion | Blending::Full => self.descend(&self.slots[&pc]).1,
+        };
+        let lowest = match self.blending {
+            Blending::SingleOrder => order,
+            Blending::Full => 0,
+            Blending::LazyExclusion => matched.unwrap_or(0),
+        };
+        let slot = self.slots.get_mut(&pc).expect("just inserted");
+        for ord in lowest..=order {
+            if ord > slot.hist.len() {
+                continue;
+            }
+            let ctx: Box<[Value]> = slot.hist[slot.hist.len() - ord..].into();
+            slot.tables[ord].entry(ctx).or_default().bump(actual, self.counter_mode);
+        }
+        if order > 0 {
+            slot.hist.push(actual);
+            if slot.hist.len() > order {
+                slot.hist.remove(0);
+            }
+        }
+    }
+
+    fn step(&mut self, pc: Pc, actual: Value) -> Option<Value> {
+        let prediction = self.predict(pc);
+        self.update(pc, actual);
+        prediction
+    }
+
+    fn context_entries(&self) -> usize {
+        self.slots.values().map(|s| s.tables.iter().map(HashMap::len).sum::<usize>()).sum()
+    }
+}
+
+/// A short stream over a handful of PCs and a small value alphabet —
+/// small domains force context reuse, ties, and (with saturating
+/// counters) emptied entries.
+fn arb_stream(max_len: usize) -> impl Strategy<Value = Vec<(Pc, Value)>> {
+    prop::collection::vec((0u64..6, 0u64..5), 1..max_len)
+        .prop_map(|raw| raw.into_iter().map(|(pc, v)| (Pc(0x400 + 4 * pc), v)).collect())
+}
+
+fn arb_config() -> impl Strategy<Value = (usize, Blending, CounterMode)> {
+    (
+        0usize..=5,
+        prop_oneof![
+            Just(Blending::LazyExclusion),
+            Just(Blending::Full),
+            Just(Blending::SingleOrder)
+        ],
+        prop_oneof![
+            Just(CounterMode::Exact),
+            (1u32..=4).prop_map(|max| CounterMode::Saturating { max }),
+        ],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    /// The flat table agrees with the nested-map oracle record for
+    /// record: same pre-update prediction, same entry count, same final
+    /// predictions — across orders (0..=5 spans the inline-key limit),
+    /// all three blendings, and both counter modes (saturating maxima
+    /// small enough to empty contexts).
+    #[test]
+    fn flat_fcm_equals_nested_oracle(
+        config in arb_config(),
+        stream in arb_stream(300),
+    ) {
+        let (order, blending, counter_mode) = config;
+        let mut flat = FcmPredictor::with_config(order, blending, counter_mode);
+        let mut oracle = OracleFcm::new(order, blending, counter_mode);
+        for (i, &(pc, value)) in stream.iter().enumerate() {
+            prop_assert_eq!(
+                flat.step(pc, value),
+                oracle.step(pc, value),
+                "prediction diverged at record {} of {:?}",
+                i,
+                &stream
+            );
+        }
+        prop_assert_eq!(flat.context_entries(), oracle.context_entries());
+        for &(pc, _) in &stream {
+            prop_assert_eq!(flat.predict(pc), oracle.predict(pc));
+        }
+    }
+
+    /// The dense id-keyed surface is the same model: driving the flat
+    /// predictor through `observe_id` (interned ids, as the replay
+    /// engine does) tracks the oracle exactly.
+    #[test]
+    fn flat_fcm_dense_surface_equals_nested_oracle(
+        config in arb_config(),
+        stream in arb_stream(200),
+    ) {
+        let (order, blending, counter_mode) = config;
+        let mut flat = FcmPredictor::with_config(order, blending, counter_mode);
+        let mut oracle = OracleFcm::new(order, blending, counter_mode);
+        let mut interner = PcInterner::new();
+        for (i, &(pc, value)) in stream.iter().enumerate() {
+            let id = interner.intern(pc);
+            let want = oracle.step(pc, value) == Some(value);
+            prop_assert_eq!(
+                flat.observe_id(id, pc, value),
+                want,
+                "outcome diverged at record {}",
+                i
+            );
+        }
+        prop_assert_eq!(flat.context_entries(), oracle.context_entries());
+    }
+
+    /// `observe_batch` is the per-record loop, bit for bit, for every
+    /// predictor family in the paper bank and at every chunking.
+    #[test]
+    fn observe_batch_matches_per_record_observe_for_every_family(
+        stream in arb_stream(250),
+        chunk in 1usize..=64,
+    ) {
+        let mut interner = PcInterner::new();
+        let ids: Vec<PcId> = stream.iter().map(|&(pc, _)| interner.intern(pc)).collect();
+        let pcs: Vec<Pc> = stream.iter().map(|&(pc, _)| pc).collect();
+        let values: Vec<Value> = stream.iter().map(|&(_, v)| v).collect();
+        for config in PredictorConfig::paper_bank() {
+            let mut reference = config.build();
+            let want: Vec<bool> = stream
+                .iter()
+                .zip(&ids)
+                .map(|(&(pc, v), &id)| reference.observe_id(id, pc, v))
+                .collect();
+            let mut batched = config.build();
+            let mut got = vec![false; stream.len()];
+            let mut at = 0;
+            while at < stream.len() {
+                let hi = (at + chunk).min(stream.len());
+                batched.observe_batch(
+                    &ids[at..hi],
+                    &pcs[at..hi],
+                    &values[at..hi],
+                    &mut got[at..hi],
+                );
+                at = hi;
+            }
+            prop_assert_eq!(&got, &want, "{} diverged at chunk {}", config.name(), chunk);
+            for &pc in &pcs {
+                prop_assert_eq!(batched.predict(pc), reference.predict(pc));
+            }
+        }
+    }
+}
+
+/// Lazy exclusion and full blending genuinely diverge — and the flat
+/// implementation diverges in exactly the way the oracle does.
+///
+/// Order 1, stream `1 2 1 2 7`, then predict with history `[7]` (context
+/// never seen, so the order-0 model decides):
+///
+/// * **lazy** stopped feeding order 0 once order 1 matched, leaving
+///   `{1: 2, 2: 1}` → predicts 1;
+/// * **full** kept counting, leaving `{1: 2, 2: 2, 7: 1}` with 2 stamped
+///   later → predicts 2.
+#[test]
+fn lazy_exclusion_divergence_is_reproduced_exactly() {
+    let stream = [1u64, 2, 1, 2, 7];
+    let pc = Pc(0x400);
+    let mut outcomes = Vec::new();
+    for blending in [Blending::LazyExclusion, Blending::Full] {
+        let mut flat = FcmPredictor::with_config(1, blending, CounterMode::Exact);
+        let mut oracle = OracleFcm::new(1, blending, CounterMode::Exact);
+        for &v in &stream {
+            assert_eq!(flat.step(pc, v), oracle.step(pc, v), "{blending:?}");
+        }
+        assert_eq!(flat.predict(pc), oracle.predict(pc), "{blending:?}");
+        outcomes.push(flat.predict(pc));
+    }
+    assert_eq!(outcomes, vec![Some(1), Some(2)], "the two blendings must diverge");
+}
+
+/// Saturating halving with `max = 1` empties contexts on every bump; the
+/// emptied entries must keep existing (and keep failing to match) in
+/// both implementations.
+#[test]
+fn saturating_emptied_contexts_agree_with_the_oracle() {
+    let pc = Pc(0x400);
+    let mode = CounterMode::Saturating { max: 1 };
+    let mut flat = FcmPredictor::with_config(2, Blending::LazyExclusion, mode);
+    let mut oracle = OracleFcm::new(2, Blending::LazyExclusion, mode);
+    for &v in &[5u64, 5, 3, 5, 3, 3, 5] {
+        assert_eq!(flat.step(pc, v), oracle.step(pc, v));
+    }
+    assert_eq!(flat.predict(pc), oracle.predict(pc));
+    assert_eq!(flat.context_entries(), oracle.context_entries());
+}

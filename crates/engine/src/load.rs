@@ -1,6 +1,7 @@
 //! Parallel loading of persisted v2 trace containers into [`SharedTrace`]s,
 //! and the streaming replay path that never materializes one.
 
+use crate::batch::BatchScratch;
 use crate::pool::decode_ahead;
 use crate::shared::shard_of_pc;
 use crate::{ConfigReplay, ReplayEngine, SharedTrace};
@@ -190,6 +191,7 @@ impl ReplayEngine {
                 // Record indices by shard, rebuilt once per chunk and
                 // shared by every job this consumer owns.
                 let mut by_shard: Vec<Vec<u32>> = vec![Vec::new(); nshards];
+                let mut scratch = BatchScratch::new();
                 while let Some(chunk) = window.next(consumer) {
                     if nshards > 1 {
                         for shard in &mut by_shard {
@@ -200,18 +202,17 @@ impl ReplayEngine {
                         }
                     }
                     for (&job, (predictor, interner, tracker)) in owned.iter().zip(&mut states) {
-                        let mut observe = |rec: &TraceRecord| {
-                            let id = interner.intern(rec.pc);
-                            tracker
-                                .record(rec.category, predictor.observe_id(id, rec.pc, rec.value));
-                        };
                         if nshards > 1 {
                             for &i in &by_shard[job % nshards] {
-                                observe(&chunk[i as usize]);
+                                let rec = &chunk[i as usize];
+                                scratch.push(interner.intern(rec.pc), rec);
                             }
                         } else {
-                            chunk.iter().for_each(&mut observe);
+                            for rec in chunk.iter() {
+                                scratch.push(interner.intern(rec.pc), rec);
+                            }
                         }
+                        scratch.flush_tally(predictor.as_mut(), tracker);
                     }
                 }
                 owned

@@ -1,7 +1,8 @@
 //! The replay engine: fan predictor configurations out over a shared trace.
 
+use crate::batch::BatchScratch;
 use crate::{par_map, try_par_map, SharedTrace};
-use dvp_core::{AccuracyTracker, PredictorConfig, PredictorSet};
+use dvp_core::{AccuracyTracker, PredictorConfig, PredictorSet, SetBatch};
 
 /// Default number of PC shards per replayed trace.
 ///
@@ -197,8 +198,11 @@ impl ReplayEngine {
             let mut predictor = config.build();
             predictor.reserve_ids(shard.interner().len());
             let mut tracker = AccuracyTracker::new();
-            for (rec, id) in shard.iter_with_ids() {
-                tracker.record(rec.category, predictor.observe_id(id, rec.pc, rec.value));
+            let mut scratch = BatchScratch::new();
+            // One observe_batch call per chunk: the records and their
+            // pre-interned ids are already parallel chunk slices.
+            for (records, ids) in shard.chunks().iter().zip(shard.id_chunks()) {
+                scratch.run_slice(&mut predictor, &mut tracker, records, ids);
             }
             tracker
         });
@@ -237,8 +241,9 @@ impl ReplayEngine {
         let sets = self.map(shards, |shard| {
             let mut set = build();
             set.reserve_ids(shard.interner().len());
-            for (rec, id) in shard.iter_with_ids() {
-                set.observe_dense(id, rec);
+            let mut scratch = SetBatch::new();
+            for (records, ids) in shard.chunks().iter().zip(shard.id_chunks()) {
+                set.observe_dense_batch(ids, records, &mut scratch);
             }
             set
         });

@@ -169,7 +169,12 @@ impl SharedTrace {
 
     /// Per-chunk dense-id vectors, parallel to [`SharedTrace::chunks`]
     /// (`id_chunks()[c][i]` is the interned id of `chunks()[c][i].pc`).
-    pub(crate) fn id_chunks(&self) -> &[Vec<PcId>] {
+    ///
+    /// Together with [`SharedTrace::chunks`] this is the slice surface
+    /// batched replay drives: each `(records, ids)` pair feeds one
+    /// [`observe_batch`](dvp_core::Predictor::observe_batch) call.
+    #[must_use]
+    pub fn id_chunks(&self) -> &[Vec<PcId>] {
         &self.ids
     }
 

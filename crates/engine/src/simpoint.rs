@@ -53,6 +53,7 @@
 //! detailed, tallied portion is still the same ~10x-smaller record set
 //! — the `repro --sample` harness reports both modes side by side.
 
+use crate::batch::BatchScratch;
 use crate::pool::decode_ahead;
 use crate::{ReplayEngine, SharedTrace};
 use dvp_core::{AccuracyTracker, PredictorConfig};
@@ -444,12 +445,14 @@ impl SampledReplay {
     }
 }
 
-/// Calls `visit` for every `(record, id)` of `trace` with global index
-/// in `start..end`, seeking chunk by chunk instead of advancing an
-/// iterator through the skipped prefix.
+/// Calls `visit` with the parallel `(records, ids)` slices of every
+/// chunk overlapping the global index range `start..end`, seeking chunk
+/// by chunk instead of advancing an iterator through the skipped prefix.
+/// The slices arrive in trace order, so driving them through
+/// [`BatchScratch::run_slice`] replays the range exactly.
 fn visit_range<F>(trace: &SharedTrace, start: u64, end: u64, mut visit: F)
 where
-    F: FnMut(&TraceRecord, dvp_trace::PcId),
+    F: FnMut(&[TraceRecord], &[dvp_trace::PcId]),
 {
     let mut base = 0u64;
     for (chunk, ids) in trace.chunks().iter().zip(trace.id_chunks()) {
@@ -457,9 +460,7 @@ where
         if chunk_end > start && base < end {
             let lo = start.saturating_sub(base) as usize;
             let hi = (end.min(chunk_end) - base) as usize;
-            for (rec, &id) in chunk[lo..hi].iter().zip(&ids[lo..hi]) {
-                visit(rec, id);
-            }
+            visit(&chunk[lo..hi], &ids[lo..hi]);
         }
         base = chunk_end;
         if base >= end {
@@ -526,17 +527,16 @@ impl ReplayEngine {
             let phase = &plan.phases[phase];
             let mut predictor = bank[config].build();
             predictor.reserve_ids(trace.interner().len());
+            let mut scratch = BatchScratch::new();
             visit_range(
                 trace,
                 phase.start.saturating_sub(plan.warmup_records),
                 phase.start,
-                |rec, id| {
-                    let _ = predictor.observe_id(id, rec.pc, rec.value);
-                },
+                |recs, ids| scratch.observe_slice(predictor.as_mut(), recs, ids),
             );
             let mut tracker = AccuracyTracker::new();
-            visit_range(trace, phase.start, phase.end, |rec, id| {
-                tracker.record(rec.category, predictor.observe_id(id, rec.pc, rec.value));
+            visit_range(trace, phase.start, phase.end, |recs, ids| {
+                scratch.run_slice(predictor.as_mut(), &mut tracker, recs, ids);
             });
             tracker
         });
@@ -595,18 +595,35 @@ impl ReplayEngine {
             let mut predictor = bank[config].build();
             predictor.reserve_ids(trace.interner().len());
             let mut phases = vec![AccuracyTracker::new(); plan.phases.len()];
+            // Gather this shard's records chunk by chunk (with their
+            // global positions), flush the batch, then walk the outcomes
+            // against the plan's windows. The phase pointer advances by
+            // monotonic position catch-up, so skipping other shards'
+            // records cannot change which window a tallied record lands
+            // in.
+            let mut scratch = BatchScratch::new();
+            let mut positions: Vec<u64> = Vec::new();
             let mut next = 0usize;
-            for (pos, (rec, id)) in trace.iter_with_ids().enumerate() {
-                let pos = pos as u64;
-                while next < plan.phases.len() && pos >= plan.phases[next].end {
-                    next += 1;
-                }
-                if nshards == 1 || crate::shard_of_pc(rec.pc, nshards) == shard {
-                    let hit = predictor.observe_id(id, rec.pc, rec.value);
-                    if next < plan.phases.len() && pos >= plan.phases[next].start {
-                        phases[next].record(rec.category, hit);
+            let mut base = 0u64;
+            for (chunk, ids) in trace.chunks().iter().zip(trace.id_chunks()) {
+                for (i, (rec, &id)) in chunk.iter().zip(ids).enumerate() {
+                    if nshards == 1 || crate::shard_of_pc(rec.pc, nshards) == shard {
+                        scratch.push(id, rec);
+                        positions.push(base + i as u64);
                     }
                 }
+                scratch.flush(predictor.as_mut());
+                for (&pos, (category, hit)) in positions.iter().zip(scratch.outcomes()) {
+                    while next < plan.phases.len() && pos >= plan.phases[next].end {
+                        next += 1;
+                    }
+                    if next < plan.phases.len() && pos >= plan.phases[next].start {
+                        phases[next].record(category, hit);
+                    }
+                }
+                scratch.clear();
+                positions.clear();
+                base += chunk.len() as u64;
             }
             phases
         });
@@ -715,6 +732,7 @@ impl ReplayEngine {
                             (bank[job / nphases].build(), PcInterner::new(), AccuracyTracker::new())
                         })
                         .collect();
+                let mut scratch = BatchScratch::new();
                 while let Some(chunk) = window.next(consumer) {
                     let (base, records) = &*chunk;
                     let chunk_end = base + records.len() as u64;
@@ -727,18 +745,16 @@ impl ReplayEngine {
                         };
                         if warm < start && *base < start && chunk_end > warm {
                             for rec in slice(warm, start) {
-                                let id = interner.intern(rec.pc);
-                                let _ = predictor.observe_id(id, rec.pc, rec.value);
+                                scratch.push(interner.intern(rec.pc), rec);
                             }
+                            scratch.flush(predictor.as_mut());
+                            scratch.clear();
                         }
                         if *base < end && chunk_end > start {
                             for rec in slice(start, end) {
-                                let id = interner.intern(rec.pc);
-                                tracker.record(
-                                    rec.category,
-                                    predictor.observe_id(id, rec.pc, rec.value),
-                                );
+                                scratch.push(interner.intern(rec.pc), rec);
                             }
+                            scratch.flush_tally(predictor.as_mut(), tracker);
                         }
                     }
                 }
@@ -847,23 +863,30 @@ impl ReplayEngine {
                         )
                     })
                     .collect();
+                let mut scratch = BatchScratch::new();
+                let mut positions: Vec<u64> = Vec::new();
                 while let Some(chunk) = window.next(consumer) {
                     let (base, records) = &*chunk;
                     for (&job, (predictor, interner, phases, next)) in owned.iter().zip(&mut states)
                     {
                         let shard = job % nshards;
                         for (pos, rec) in (*base..).zip(records.iter()) {
+                            if nshards == 1 || crate::shard_of_pc(rec.pc, nshards) == shard {
+                                scratch.push(interner.intern(rec.pc), rec);
+                                positions.push(pos);
+                            }
+                        }
+                        scratch.flush(predictor.as_mut());
+                        for (&pos, (category, hit)) in positions.iter().zip(scratch.outcomes()) {
                             while *next < nphases && pos >= plan.phases[*next].end {
                                 *next += 1;
                             }
-                            if nshards == 1 || crate::shard_of_pc(rec.pc, nshards) == shard {
-                                let id = interner.intern(rec.pc);
-                                let hit = predictor.observe_id(id, rec.pc, rec.value);
-                                if *next < nphases && pos >= plan.phases[*next].start {
-                                    phases[*next].record(rec.category, hit);
-                                }
+                            if *next < nphases && pos >= plan.phases[*next].start {
+                                phases[*next].record(category, hit);
                             }
                         }
+                        scratch.clear();
+                        positions.clear();
                     }
                 }
                 owned

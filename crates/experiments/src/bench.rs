@@ -1,0 +1,243 @@
+//! `repro bench` — the perf-smoke harness behind `BENCH_9.json`.
+//!
+//! Replays one fixed, seeded synthetic trace through each predictor
+//! family's batched dense hot path ([`Predictor::observe_batch`] over the
+//! trace's chunks — exactly how the replay engine drives predictors) and
+//! reports records/second per family as stable, hand-rolled JSON. The
+//! committed baseline (`BENCH_9.json` at the repository root) lets CI run
+//! a report-only comparison with a deliberately generous regression
+//! tripwire: machine-to-machine variance is expected; a family running
+//! **3x** slower than baseline is not.
+
+use dvp_core::{HybridPredictor, Predictor, PredictorConfig};
+use dvp_engine::SharedTrace;
+use dvp_trace::Value;
+use dvp_workloads::synthetic::{Scenario, ScenarioKind};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use crate::TextTable;
+
+/// Records in the full-scale bench trace (`--quick` divides by the
+/// global scale divisor).
+pub const BENCH_RECORDS: usize = 200_000;
+
+/// Replay passes per family; the fastest pass is reported (min-of-N
+/// rejects scheduler noise without averaging it in).
+pub const BENCH_PASSES: usize = 3;
+
+/// Per-family ratio above which [`check`] fails the run.
+pub const REGRESSION_FACTOR: f64 = 3.0;
+
+/// One family's measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Predictor family name (`l`, `s2`, `fcm1`..`fcm3`, `hybrid`).
+    pub name: String,
+    /// Correct predictions over the trace — a determinism witness: this
+    /// count depends only on the seeded trace, never on timing.
+    pub correct: u64,
+    /// Fastest-pass cost per record, in nanoseconds.
+    pub ns_per_record: f64,
+}
+
+/// The family bank the bench replays: the paper's five plus the hybrid.
+fn bench_bank() -> Vec<PredictorConfig> {
+    let mut bank = PredictorConfig::paper_bank();
+    bank.push(PredictorConfig::new("hybrid", || Box::new(HybridPredictor::stride_fcm(2))));
+    bank
+}
+
+/// The fixed bench input: a seeded `Mixed` scenario (every sequence
+/// class the paper taxonomizes), capped at `records`.
+#[must_use]
+pub fn bench_trace(records: usize) -> SharedTrace {
+    let pcs = 64u32;
+    let per_pc = u32::try_from(records.div_ceil(pcs as usize)).unwrap_or(u32::MAX);
+    let scenario = Scenario::new(ScenarioKind::Mixed, pcs, per_pc, 9);
+    let mut builder = SharedTrace::builder();
+    scenario.generate_with(&mut |rec| {
+        if builder.len() < records {
+            builder.push(rec);
+        }
+    });
+    builder.finish()
+}
+
+/// Replays every family over the seeded trace, `passes` times each, and
+/// returns the per-family results in bank order.
+#[must_use]
+pub fn run(records: usize, passes: usize) -> Vec<BenchResult> {
+    let trace = bench_trace(records);
+    let mut values: Vec<Value> = Vec::new();
+    let mut correct_buf: Vec<bool> = Vec::new();
+    bench_bank()
+        .iter()
+        .map(|config| {
+            let mut best = f64::INFINITY;
+            let mut correct = 0u64;
+            for _ in 0..passes.max(1) {
+                let mut predictor = config.build();
+                predictor.reserve_ids(trace.interner().len());
+                let mut hits = 0u64;
+                let start = Instant::now();
+                for (chunk, ids) in trace.chunks().iter().zip(trace.id_chunks()) {
+                    values.clear();
+                    values.extend(chunk.iter().map(|r| r.value));
+                    let pcs: Vec<_> = chunk.iter().map(|r| r.pc).collect();
+                    correct_buf.clear();
+                    correct_buf.resize(chunk.len(), false);
+                    predictor.observe_batch(ids, &pcs, &values, &mut correct_buf);
+                    hits += correct_buf.iter().filter(|&&ok| ok).count() as u64;
+                }
+                let nanos = start.elapsed().as_nanos() as f64;
+                best = best.min(nanos / trace.len().max(1) as f64);
+                correct = hits;
+            }
+            BenchResult { name: config.name().to_owned(), correct, ns_per_record: best }
+        })
+        .collect()
+}
+
+/// Renders results as the stable `BENCH_9.json` shape.
+#[must_use]
+pub fn to_json(records: usize, results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"records\": {records},");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"correct\": {}, \"ns_per_record\": {:.2}}}{comma}",
+            r.name, r.correct, r.ns_per_record
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extracts `(name, ns_per_record)` pairs from a baseline JSON file
+/// written by [`to_json`]. Tolerant of whitespace but not of a different
+/// shape — an unreadable baseline yields an empty list, which [`check`]
+/// reports as such.
+#[must_use]
+pub fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name) = extract_str(line, "\"name\":") else { continue };
+        let Some(ns) = extract_num(line, "\"ns_per_record\":") else { continue };
+        out.push((name, ns));
+    }
+    out
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let rest = line.split(key).nth(1)?;
+    let open = rest.find('"')?;
+    let rest = &rest[open + 1..];
+    Some(rest[..rest.find('"')?].to_owned())
+}
+
+fn extract_num(line: &str, key: &str) -> Option<f64> {
+    let rest = line.split(key).nth(1)?.trim_start();
+    let end =
+        rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-')).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compares current results to a baseline: renders a side-by-side table
+/// (returned, for the caller to print) and reports whether any family
+/// crossed the [`REGRESSION_FACTOR`] tripwire.
+#[must_use]
+pub fn check(results: &[BenchResult], baseline: &[(String, f64)]) -> (String, bool) {
+    let mut table =
+        TextTable::new(vec!["family", "baseline ns/rec", "current ns/rec", "ratio", "verdict"]);
+    let mut regressed = false;
+    for r in results {
+        let Some((_, base)) = baseline.iter().find(|(name, _)| *name == r.name) else {
+            table.row(vec![
+                r.name.clone(),
+                "-".into(),
+                format!("{:.2}", r.ns_per_record),
+                "-".into(),
+                "no baseline".into(),
+            ]);
+            continue;
+        };
+        let ratio = if *base > 0.0 { r.ns_per_record / base } else { f64::INFINITY };
+        let verdict = if ratio > REGRESSION_FACTOR {
+            regressed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        table.row(vec![
+            r.name.clone(),
+            format!("{base:.2}"),
+            format!("{:.2}", r.ns_per_record),
+            format!("{ratio:.2}x"),
+            verdict.into(),
+        ]);
+    }
+    (table.render(), regressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_trace_is_deterministic_and_sized() {
+        let a = bench_trace(5_000);
+        let b = bench_trace(5_000);
+        assert_eq!(a.len(), 5_000);
+        assert_eq!(a.to_vec(), b.to_vec());
+    }
+
+    #[test]
+    fn results_cover_every_family_with_deterministic_hits() {
+        let first = run(2_000, 1);
+        let names: Vec<&str> = first.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["l", "s2", "fcm1", "fcm2", "fcm3", "hybrid"]);
+        let second = run(2_000, 1);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.correct, b.correct, "{} hits must not depend on timing", a.name);
+            assert!(a.ns_per_record > 0.0);
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_the_baseline_parser() {
+        let results = vec![
+            BenchResult { name: "l".into(), correct: 10, ns_per_record: 5.25 },
+            BenchResult { name: "fcm3".into(), correct: 7, ns_per_record: 123.5 },
+        ];
+        let json = to_json(1_000, &results);
+        let parsed = parse_baseline(&json);
+        assert_eq!(parsed, vec![("l".to_owned(), 5.25), ("fcm3".to_owned(), 123.5)]);
+    }
+
+    #[test]
+    fn check_trips_only_past_the_regression_factor() {
+        let baseline = vec![("l".to_owned(), 10.0), ("s2".to_owned(), 10.0)];
+        // 2.9x is inside the generous budget.
+        let fine = vec![
+            BenchResult { name: "l".into(), correct: 0, ns_per_record: 29.0 },
+            BenchResult { name: "s2".into(), correct: 0, ns_per_record: 10.0 },
+        ];
+        let (report, regressed) = check(&fine, &baseline);
+        assert!(!regressed, "{report}");
+        assert!(report.contains("2.90x"), "{report}");
+        // 3.1x trips.
+        let slow = vec![BenchResult { name: "s2".into(), correct: 0, ns_per_record: 31.0 }];
+        let (report, regressed) = check(&slow, &baseline);
+        assert!(regressed, "{report}");
+        assert!(report.contains("REGRESSED"), "{report}");
+        // A family missing from the baseline reports, but never trips.
+        let novel = vec![BenchResult { name: "new".into(), correct: 0, ns_per_record: 1.0 }];
+        let (report, regressed) = check(&novel, &baseline);
+        assert!(!regressed);
+        assert!(report.contains("no baseline"), "{report}");
+    }
+}

@@ -20,6 +20,9 @@
 //! repro sweep                        # synthetic scenario × predictor matrix
 //! repro sweep --quick --format csv   # smaller grid, machine-readable output
 //! repro phases                       # SimPoint phase plans per workload
+//! repro bench                        # per-family perf smoke (records/sec JSON)
+//! repro bench --check BENCH_9.json   # ... compared against the committed
+//!                                    # baseline (fails past 3x regression)
 //! repro --quick all --sample         # additionally validate phase-sampled
 //!                                    # replay against the full replay (≤1pp)
 //! repro sweep --sample               # sweep with sampled-error gating
@@ -352,6 +355,82 @@ fn run_sweep_tool(
 
 /// The `repro phases` tool: build (or recall from the trace cache) every
 /// requested benchmark's SimPoint phase plan and print the plan tables.
+/// `repro bench`: the perf-smoke harness. Replays the fixed seeded
+/// synthetic trace through every predictor family's batched dense hot
+/// path, prints records/second JSON (the `BENCH_9.json` shape) on
+/// stdout, and with `--check FILE` renders a baseline-vs-current table
+/// on stderr — failing only past the generous regression tripwire
+/// (timing noise is expected; a 3x slowdown is not).
+fn run_bench_tool(commands: &[String], scale_div: u32) -> ExitCode {
+    let usage = "usage: repro bench [--quick] [--records N] [--passes N] [--check FILE]";
+    let mut records = dvp_experiments::bench::BENCH_RECORDS / scale_div as usize;
+    let mut passes = dvp_experiments::bench::BENCH_PASSES;
+    let mut check: Option<PathBuf> = None;
+    let mut skip = false;
+    for (i, arg) in commands.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        match arg.as_str() {
+            "--records" => {
+                let Some(n) = parse_count(commands, i + 1, arg) else {
+                    return ExitCode::FAILURE;
+                };
+                records = n;
+                skip = true;
+            }
+            "--passes" => {
+                let Some(n) = parse_count(commands, i + 1, arg) else {
+                    return ExitCode::FAILURE;
+                };
+                passes = n;
+                skip = true;
+            }
+            "--check" => {
+                let Some(path) = commands.get(i + 1) else {
+                    eprintln!("--check expects a baseline JSON path\n{usage}");
+                    return ExitCode::FAILURE;
+                };
+                check = Some(PathBuf::from(path));
+                skip = true;
+            }
+            other => {
+                eprintln!("unknown bench argument `{other}`\n{usage}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!("[repro] bench: {records} records x {passes} passes per family...");
+    let results = dvp_experiments::bench::run(records, passes);
+    print!("{}", dvp_experiments::bench::to_json(records, &results));
+    if let Some(path) = check {
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("cannot read baseline {}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = dvp_experiments::bench::parse_baseline(&text);
+        if baseline.is_empty() {
+            eprintln!("baseline {} holds no results", path.display());
+            return ExitCode::FAILURE;
+        }
+        let (report, regressed) = dvp_experiments::bench::check(&results, &baseline);
+        eprintln!("{report}");
+        if regressed {
+            eprintln!(
+                "[repro] bench: at least one family regressed past {}x baseline",
+                dvp_experiments::bench::REGRESSION_FACTOR
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[repro] bench: all families within the regression budget");
+    }
+    ExitCode::SUCCESS
+}
+
 /// The plans are a pure sequential function of each trace, so the output
 /// is byte-identical at any `--workers`/`--shards`/`--chunk-window`
 /// setting.
@@ -1064,6 +1143,9 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("phases") {
         return run_phases_tool(&args[1..], trace_dir, scale_div, compress);
     }
+    if args.first().map(String::as_str) == Some("bench") {
+        return run_bench_tool(&args[1..], scale_div);
+    }
     if args.first().map(String::as_str) == Some("serve") {
         return run_serve_tool(&args[1..], trace_dir, &engine);
     }
@@ -1080,6 +1162,7 @@ fn main() -> ExitCode {
              all | <experiment>...\n       \
              repro sweep [--sample] [--format table|csv|json]\n       \
              repro phases [BENCHMARK...]\n       \
+             repro bench [--records N] [--passes N] [--check FILE]\n       \
              repro trace <export|stats|verify> --trace-dir DIR\n       \
              repro trace gen --records N --out FILE [--pcs N] [--seed S]\n       \
              repro trace replay FILE [--resident] [--sample] [--warm]\n       \

@@ -33,6 +33,7 @@
 //! | dataflow-limit speedup            | [`speedup`] | `ext-speedup` |
 //! | synthetic scenario × predictor matrix | [`sweep`] | `sweep` (subcommand) |
 //! | SimPoint phase plans + sampling error harness | [`phases`] | `phases` (subcommand), `--sample` |
+//! | per-family perf smoke vs committed baseline | [`mod@bench`] | `bench` (subcommand) |
 //!
 //! All workload-driven experiments share a [`TraceStore`] so each benchmark
 //! is simulated once per `repro` invocation — and, with `repro
@@ -62,6 +63,7 @@
 
 pub mod accuracy;
 pub mod analytic;
+pub mod bench;
 pub mod cache;
 pub mod characterize;
 mod context;
