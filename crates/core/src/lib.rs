@@ -52,6 +52,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// This crate's version — part of the predictor-semantics surface folded
+/// into the engine epoch (`dvp_engine::engine_epoch`), which versions
+/// every persisted result-cache entry.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
 mod analysis;
 mod confidence;
 mod config;

@@ -20,6 +20,12 @@
 //! * Dropping the queue is a graceful shutdown — already-queued jobs
 //!   still run; only new submissions are refused.
 //!
+//! The module also owns the **engine epoch** ([`engine_epoch`]): a
+//! build-time fingerprint of the predictor-semantics surface that
+//! long-lived services fold into every persisted result-cache key, so a
+//! daemon restarted on a binary with different semantics can never serve
+//! bytes rendered by the old one.
+//!
 //! # Examples
 //!
 //! ```
@@ -40,6 +46,74 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// The compiled-in predictor-semantics revision.
+///
+/// Bump this constant whenever a change alters what any predictor,
+/// tally, or rendered experiment output *means* — i.e. whenever the
+/// committed goldens change. It is folded (together with the crate
+/// versions) into [`compiled_epoch`], which versions every persisted
+/// result-cache entry: bumping it makes every daemon and one-shot run
+/// treat previously cached results as stale and recompute them.
+pub const SEMANTICS_REVISION: u64 = 1;
+
+/// Environment variable that overrides [`engine_epoch`].
+///
+/// Accepts a decimal `u64`, a `0x`-prefixed hex `u64`, or any other
+/// string (which is hashed to a distinct epoch). Intended for tests and
+/// CI to simulate "restarted on a different binary" without rebuilding;
+/// production deployments should leave it unset.
+pub const ENGINE_EPOCH_ENV: &str = "DVP_ENGINE_EPOCH";
+
+/// FNV-1a 64 over `bytes`, continuing from `hash` (seed
+/// `0xcbf2_9ce4_8422_2325` for a fresh hash).
+fn fnv1a64_fold(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The epoch baked into this binary: an FNV-1a 64 fingerprint of the
+/// predictor-semantics surface — the `dvp-core` and `dvp-engine` crate
+/// versions plus [`SEMANTICS_REVISION`]. Two binaries share a compiled
+/// epoch exactly when their predictor semantics are interchangeable.
+#[must_use]
+pub fn compiled_epoch() -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    hash = fnv1a64_fold(hash, b"dvp-core ");
+    hash = fnv1a64_fold(hash, dvp_core::VERSION.as_bytes());
+    hash = fnv1a64_fold(hash, b"\ndvp-engine ");
+    hash = fnv1a64_fold(hash, env!("CARGO_PKG_VERSION").as_bytes());
+    hash = fnv1a64_fold(hash, b"\nsemantics-revision ");
+    fnv1a64_fold(hash, &SEMANTICS_REVISION.to_le_bytes())
+}
+
+/// The effective engine epoch: [`compiled_epoch`] unless
+/// [`ENGINE_EPOCH_ENV`] is set, in which case the override is parsed as
+/// decimal or `0x`-hex (any other value is hashed, so *every* distinct
+/// override names a distinct epoch). Read at call time, not cached.
+#[must_use]
+pub fn engine_epoch() -> u64 {
+    match std::env::var(ENGINE_EPOCH_ENV) {
+        Ok(text) => parse_epoch_override(&text),
+        Err(_) => compiled_epoch(),
+    }
+}
+
+fn parse_epoch_override(text: &str) -> u64 {
+    let trimmed = text.trim();
+    if let Ok(n) = trimmed.parse::<u64>() {
+        return n;
+    }
+    if let Some(hex) = trimmed.strip_prefix("0x").or_else(|| trimmed.strip_prefix("0X")) {
+        if let Ok(n) = u64::from_str_radix(hex, 16) {
+            return n;
+        }
+    }
+    fnv1a64_fold(0xcbf2_9ce4_8422_2325, trimmed.as_bytes())
+}
 
 /// A queued unit of work (the result channel is captured inside).
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -369,6 +443,25 @@ mod tests {
         assert_eq!(ticket.wait_timeout(Duration::from_millis(1)), None);
         gate_tx.send(()).expect("job listens");
         assert_eq!(ticket.wait(), Some(42));
+    }
+
+    #[test]
+    fn compiled_epoch_is_stable_and_nonzero() {
+        assert_ne!(compiled_epoch(), 0);
+        assert_eq!(compiled_epoch(), compiled_epoch());
+    }
+
+    #[test]
+    fn epoch_overrides_parse_decimal_hex_and_hash_everything_else() {
+        assert_eq!(parse_epoch_override("42"), 42);
+        assert_eq!(parse_epoch_override(" 42 "), 42);
+        assert_eq!(parse_epoch_override("0xff"), 255);
+        assert_eq!(parse_epoch_override("0XFF"), 255);
+        // Arbitrary strings map to distinct, deterministic epochs.
+        let a = parse_epoch_override("build-a");
+        let b = parse_epoch_override("build-b");
+        assert_ne!(a, b);
+        assert_eq!(a, parse_epoch_override("build-a"));
     }
 
     #[test]

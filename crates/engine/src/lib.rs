@@ -48,6 +48,11 @@
 //!    long-lived services (`repro serve`): [`JobQueue::try_submit`] never
 //!    blocks — it admits a job and returns a [`JobTicket`], or refuses
 //!    with a structured [`SubmitError`] when the backlog is full.
+//! 9. **Version persisted results.** [`engine_epoch`] fingerprints the
+//!    predictor-semantics surface (crate versions plus
+//!    [`SEMANTICS_REVISION`]); services fold it into every persisted
+//!    result-cache key and entry header, so results rendered by a binary
+//!    with different semantics are recomputed, never served.
 //!
 //! # Quickstart
 //!
@@ -86,7 +91,10 @@ mod replay;
 mod shared;
 mod simpoint;
 
-pub use jobs::{JobQueue, JobTicket, SubmitError};
+pub use jobs::{
+    compiled_epoch, engine_epoch, JobQueue, JobTicket, SubmitError, ENGINE_EPOCH_ENV,
+    SEMANTICS_REVISION,
+};
 pub use pool::{par_map, try_par_map};
 pub use replay::{ConfigReplay, ReplayEngine, DEFAULT_SHARDS};
 pub use shared::{

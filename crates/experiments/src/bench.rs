@@ -99,11 +99,15 @@ pub fn run(records: usize, passes: usize) -> Vec<BenchResult> {
         .collect()
 }
 
-/// Renders results as the stable `BENCH_9.json` shape.
+/// Renders results as the stable `BENCH_9.json` shape. The engine epoch
+/// identifies which predictor-semantics surface produced the numbers, so
+/// two baseline files are only comparable when their epochs match
+/// ([`parse_baseline`] tolerates the extra line).
 #[must_use]
 pub fn to_json(records: usize, results: &[BenchResult]) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"records\": {records},");
+    let _ = writeln!(out, "  \"engine_epoch\": \"{:016x}\",", dvp_engine::engine_epoch());
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
@@ -216,6 +220,10 @@ mod tests {
         let json = to_json(1_000, &results);
         let parsed = parse_baseline(&json);
         assert_eq!(parsed, vec![("l".to_owned(), 5.25), ("fcm3".to_owned(), 123.5)]);
+        // The epoch stamp identifies the producing semantics surface and
+        // must never confuse the (line-oriented) baseline parser.
+        let stamp = format!("\"engine_epoch\": \"{:016x}\"", dvp_engine::engine_epoch());
+        assert!(json.contains(&stamp), "{json}");
     }
 
     #[test]

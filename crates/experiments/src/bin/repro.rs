@@ -32,10 +32,16 @@
 //! repro serve                        # replay daemon on an ephemeral port
 //! repro serve --listen 0.0.0.0:7117  # ... on a fixed address
 //! repro serve --result-dir results/  # persist the result cache across runs
+//! repro serve --worker --result-dir a/ # one shard of a routed tier
+//! repro serve --router H:P,H:P       # consistent-hash front door: forward
+//!                                    # each job to the worker owning its key
 //! repro client ADDR --job '{...}'    # submit a job, stream its frames
+//! repro client ADDR --job '{...}' --job '{...}' --batch  # one round trip
 //! repro client ADDR --spec job.json --payload-only --stats --shutdown
 //! repro job --spec job.json          # run one job inline (no daemon); output
 //!                                    # is byte-identical to the served result
+//! repro cache stats --result-dir d/  # classify entries vs this binary's epoch
+//! repro cache purge --stale --result-dir d/  # drop other-epoch entries
 //! repro --list                       # list experiment ids
 //! ```
 //!
@@ -52,7 +58,10 @@
 use dvp_core::PredictorConfig;
 use dvp_engine::{ReplayEngine, SharedTraceBuilder};
 use dvp_experiments::cache::TraceCache;
-use dvp_experiments::serve::{run_job, JobSpec, Outcome, ServeClient, ServeOptions, Server};
+use dvp_experiments::result_cache;
+use dvp_experiments::serve::{
+    run_job, JobSpec, Outcome, Router, RouterOptions, ServeClient, ServeOptions, Server,
+};
 use dvp_experiments::{
     accuracy, analytic, characterize, information, overlap, phases, realism, sensitivity, speedup,
     sweep, values, TextTable, TraceStore,
@@ -801,10 +810,20 @@ fn run_trace_tool(
 }
 
 /// `repro serve`: run the replay daemon until a client requests shutdown.
+/// With `--router a,b,...` it runs the consistent-hash front door instead
+/// (no jobs execute locally); `--worker` is the explicit spelling of the
+/// default worker role for scripts that start both tiers.
 fn run_serve_tool(args: &[String], trace_dir: Option<PathBuf>, engine: &ReplayEngine) -> ExitCode {
-    let usage = "usage: repro serve [--listen ADDR] [--queue N] [--inflight N] \
-                 [--job-workers N] [--results N] [--result-dir DIR]";
+    let usage = "usage: repro serve [--worker] [--listen ADDR] [--queue N] [--inflight N] \
+                 [--job-workers N] [--results N] [--result-dir DIR]\n\
+                 \x20      repro serve --router ADDR,ADDR... [--listen ADDR] [--retries N]";
     let mut options = ServeOptions { trace_dir, ..ServeOptions::default() };
+    let mut router_backends: Option<Vec<String>> = None;
+    let mut worker = false;
+    let mut retries: Option<u32> = None;
+    // Worker-tier flags make no sense on a router (it executes nothing);
+    // remember which ones appeared so the conflict error can name them.
+    let mut worker_flags: Vec<&str> = Vec::new();
     let mut skip = false;
     for (i, arg) in args.iter().enumerate() {
         if skip {
@@ -820,11 +839,38 @@ fn run_serve_tool(args: &[String], trace_dir: Option<PathBuf>, engine: &ReplayEn
                 options.listen = addr.clone();
                 skip = true;
             }
+            "--worker" => worker = true,
+            "--router" => {
+                let Some(list) = args.get(i + 1) else {
+                    eprintln!("--router expects a comma-separated backend list\n{usage}");
+                    return ExitCode::FAILURE;
+                };
+                let backends: Vec<String> = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|b| !b.is_empty())
+                    .map(String::from)
+                    .collect();
+                if backends.is_empty() {
+                    eprintln!("--router expects at least one backend address\n{usage}");
+                    return ExitCode::FAILURE;
+                }
+                router_backends = Some(backends);
+                skip = true;
+            }
+            "--retries" => {
+                let Some(n) = parse_count(args, i + 1, arg) else {
+                    return ExitCode::FAILURE;
+                };
+                retries = Some(u32::try_from(n).unwrap_or(u32::MAX));
+                skip = true;
+            }
             "--queue" => {
                 let Some(n) = parse_count(args, i + 1, arg) else {
                     return ExitCode::FAILURE;
                 };
                 options.queue_capacity = n;
+                worker_flags.push("--queue");
                 skip = true;
             }
             "--inflight" => {
@@ -832,6 +878,7 @@ fn run_serve_tool(args: &[String], trace_dir: Option<PathBuf>, engine: &ReplayEn
                     return ExitCode::FAILURE;
                 };
                 options.inflight_cap = n;
+                worker_flags.push("--inflight");
                 skip = true;
             }
             "--job-workers" => {
@@ -839,6 +886,7 @@ fn run_serve_tool(args: &[String], trace_dir: Option<PathBuf>, engine: &ReplayEn
                     return ExitCode::FAILURE;
                 };
                 options.job_workers = n;
+                worker_flags.push("--job-workers");
                 skip = true;
             }
             "--results" => {
@@ -846,6 +894,7 @@ fn run_serve_tool(args: &[String], trace_dir: Option<PathBuf>, engine: &ReplayEn
                     return ExitCode::FAILURE;
                 };
                 options.memory_entries = n;
+                worker_flags.push("--results");
                 skip = true;
             }
             "--result-dir" => {
@@ -854,6 +903,7 @@ fn run_serve_tool(args: &[String], trace_dir: Option<PathBuf>, engine: &ReplayEn
                     return ExitCode::FAILURE;
                 };
                 options.result_dir = Some(PathBuf::from(dir));
+                worker_flags.push("--result-dir");
                 skip = true;
             }
             other => {
@@ -864,6 +914,48 @@ fn run_serve_tool(args: &[String], trace_dir: Option<PathBuf>, engine: &ReplayEn
     }
     if options.listen.parse::<std::net::SocketAddr>().is_err() {
         eprintln!("invalid --listen address `{}`", options.listen);
+        return ExitCode::FAILURE;
+    }
+    if let Some(backends) = router_backends {
+        if worker {
+            eprintln!("--router and --worker are mutually exclusive\n{usage}");
+            return ExitCode::FAILURE;
+        }
+        if let Some(flag) = worker_flags.first() {
+            eprintln!("{flag} is a worker flag and does not apply to --router mode\n{usage}");
+            return ExitCode::FAILURE;
+        }
+        for backend in &backends {
+            if backend.parse::<std::net::SocketAddr>().is_err() {
+                eprintln!("invalid --router backend `{backend}` (expected host:port)");
+                return ExitCode::FAILURE;
+            }
+        }
+        let router_options = RouterOptions {
+            listen: options.listen.clone(),
+            backends,
+            connect_attempts: retries.unwrap_or(RouterOptions::default().connect_attempts),
+        };
+        let backend_count = router_options.backends.len();
+        let router = match Router::start(router_options) {
+            Ok(router) => router,
+            Err(err) => {
+                eprintln!("cannot bind {}: {err}", options.listen);
+                return ExitCode::FAILURE;
+            }
+        };
+        // CI and scripts poll stdout for this line to learn the port.
+        println!("listening on {}", router.addr());
+        let _ = io::Write::flush(&mut io::stdout());
+        let stats = router.join();
+        eprintln!(
+            "[repro] router: {backend_count} backend(s), {} forwarded, {} backend_down",
+            stats.forwarded, stats.backend_down
+        );
+        return ExitCode::SUCCESS;
+    }
+    if retries.is_some() {
+        eprintln!("--retries applies only to --router mode\n{usage}");
         return ExitCode::FAILURE;
     }
     let server = match Server::start(engine.clone(), options.clone()) {
@@ -881,15 +973,145 @@ fn run_serve_tool(args: &[String], trace_dir: Option<PathBuf>, engine: &ReplayEn
     ExitCode::SUCCESS
 }
 
+/// `repro cache <stats|purge>`: inspect and maintain an on-disk result
+/// cache without starting a daemon. `stats` classifies every entry
+/// against the running binary's engine epoch; `purge --stale` deletes
+/// exactly the entries this binary would refuse to serve.
+fn run_cache_tool(args: &[String]) -> ExitCode {
+    let usage = "usage: repro cache stats --result-dir DIR\n\
+                 \x20      repro cache purge --stale --result-dir DIR";
+    let mut command: Option<String> = None;
+    let mut result_dir: Option<PathBuf> = None;
+    let mut stale = false;
+    let mut skip = false;
+    for (i, arg) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        match arg.as_str() {
+            "--result-dir" => {
+                let Some(dir) = args.get(i + 1) else {
+                    eprintln!("--result-dir expects a directory path\n{usage}");
+                    return ExitCode::FAILURE;
+                };
+                result_dir = Some(PathBuf::from(dir));
+                skip = true;
+            }
+            "--stale" => stale = true,
+            "stats" | "purge" if command.is_none() => command = Some(arg.clone()),
+            other => {
+                eprintln!("unknown cache argument `{other}`\n{usage}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(command) = command else {
+        eprintln!("repro cache expects a command\n{usage}");
+        return ExitCode::FAILURE;
+    };
+    let Some(dir) = result_dir else {
+        eprintln!("repro cache requires --result-dir\n{usage}");
+        return ExitCode::FAILURE;
+    };
+    let epoch = dvp_engine::engine_epoch();
+    match command.as_str() {
+        "stats" => {
+            if stale {
+                eprintln!("--stale applies only to `repro cache purge`\n{usage}");
+                return ExitCode::FAILURE;
+            }
+            let entries = match result_cache::scan_entries(&dir) {
+                Ok(entries) => entries,
+                Err(err) => {
+                    eprintln!("cannot list {}: {err}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "result cache at {}: {} entr{}, engine epoch {epoch:016x}",
+                dir.display(),
+                entries.len(),
+                if entries.len() == 1 { "y" } else { "ies" }
+            );
+            let (mut current, mut stale_count, mut unreadable) = (0usize, 0usize, 0usize);
+            let mut table = TextTable::new(vec!["File", "Version", "Epoch", "State", "KiB"]);
+            let mut broken: Vec<String> = Vec::new();
+            for entry in &entries {
+                let file = entry.path.file_name().map_or_else(
+                    || entry.path.display().to_string(),
+                    |n| n.to_string_lossy().into_owned(),
+                );
+                match &entry.header {
+                    Ok(header) => {
+                        let state = if header.is_current(epoch) {
+                            current += 1;
+                            "current"
+                        } else {
+                            stale_count += 1;
+                            "stale"
+                        };
+                        table.row(vec![
+                            file,
+                            header.version.to_string(),
+                            header.epoch.map_or_else(|| "-".to_owned(), |e| format!("{e:016x}")),
+                            state.to_owned(),
+                            (entry.bytes / 1024).to_string(),
+                        ]);
+                    }
+                    Err(err) => {
+                        unreadable += 1;
+                        broken.push(format!("{file}: {err}"));
+                    }
+                }
+            }
+            if !table.is_empty() {
+                println!("{}", table.render());
+            }
+            for line in &broken {
+                println!("unreadable: {line}");
+            }
+            println!("{current} current, {stale_count} stale, {unreadable} unreadable");
+            ExitCode::SUCCESS
+        }
+        "purge" => {
+            if !stale {
+                eprintln!(
+                    "repro cache purge requires --stale (only staleness-based \
+                           purging is supported)\n{usage}"
+                );
+                return ExitCode::FAILURE;
+            }
+            match result_cache::purge_stale(&dir, epoch) {
+                Ok(report) => {
+                    println!(
+                        "purged {} stale entr{}, kept {} current (engine epoch {epoch:016x})",
+                        report.removed,
+                        if report.removed == 1 { "y" } else { "ies" },
+                        report.kept
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(err) => {
+                    eprintln!("cannot purge {}: {err}", dir.display());
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => unreachable!("command is validated above"),
+    }
+}
+
 /// `repro client`: submit jobs to a running daemon and stream the frames.
 fn run_client_tool(args: &[String]) -> ExitCode {
-    let usage = "usage: repro client ADDR [--job JSON]... [--spec FILE]... \
+    let usage = "usage: repro client ADDR [--job JSON]... [--spec FILE]... [--batch] \
                  [--payload-only] [--ping] [--stats] [--shutdown]";
     let Some(addr) = args.first().filter(|a| !a.starts_with("--")).cloned() else {
         eprintln!("repro client expects a server address\n{usage}");
         return ExitCode::FAILURE;
     };
     let mut jobs: Vec<String> = Vec::new();
+    let mut batch = false;
     let mut payload_only = false;
     let mut do_ping = false;
     let mut do_stats = false;
@@ -924,6 +1146,7 @@ fn run_client_tool(args: &[String]) -> ExitCode {
                 }
                 skip = true;
             }
+            "--batch" => batch = true,
             "--payload-only" => payload_only = true,
             "--ping" => do_ping = true,
             "--stats" => do_stats = true,
@@ -964,29 +1187,76 @@ fn run_client_tool(args: &[String]) -> ExitCode {
         }
     }
     let mut worst = ExitCode::SUCCESS;
-    for job in &jobs {
-        let outcome = client.submit_streaming(job, |frame| {
+    if batch {
+        // One `jobs` request, one interleaved stream; outcomes come back
+        // in input order regardless of completion order.
+        let outcomes = match client.submit_batch_streaming(&jobs, |frame| {
             if !payload_only {
                 println!("{}", frame.raw);
             }
-        });
-        match outcome {
-            Ok(Outcome::Result { payload, .. }) => {
-                if payload_only {
-                    print!("{payload}");
-                }
-            }
-            Ok(Outcome::Rejected { reason }) => {
-                eprintln!("job rejected: {reason}");
-                worst = ExitCode::from(2);
-            }
-            Ok(Outcome::Error { message }) => {
-                eprintln!("job failed: {message}");
-                return ExitCode::FAILURE;
-            }
+        }) {
+            Ok(outcomes) => outcomes,
             Err(err) => {
                 eprintln!("connection to {addr} failed: {err}");
                 return ExitCode::FAILURE;
+            }
+        };
+        let mut failed = false;
+        for outcome in outcomes {
+            match outcome {
+                Outcome::Result { payload, .. } => {
+                    if payload_only {
+                        print!("{payload}");
+                    }
+                }
+                Outcome::Rejected { reason } => {
+                    eprintln!("job rejected: {reason}");
+                    if !failed {
+                        worst = ExitCode::from(2);
+                    }
+                }
+                Outcome::BackendDown { backend, reason } => {
+                    eprintln!("backend down ({backend}): {reason}");
+                    if !failed {
+                        worst = ExitCode::from(2);
+                    }
+                }
+                Outcome::Error { message } => {
+                    eprintln!("job failed: {message}");
+                    failed = true;
+                    worst = ExitCode::FAILURE;
+                }
+            }
+        }
+    } else {
+        for job in &jobs {
+            let outcome = client.submit_streaming(job, |frame| {
+                if !payload_only {
+                    println!("{}", frame.raw);
+                }
+            });
+            match outcome {
+                Ok(Outcome::Result { payload, .. }) => {
+                    if payload_only {
+                        print!("{payload}");
+                    }
+                }
+                Ok(Outcome::Rejected { reason }) => {
+                    eprintln!("job rejected: {reason}");
+                    worst = ExitCode::from(2);
+                }
+                Ok(Outcome::BackendDown { backend, reason }) => {
+                    eprintln!("backend down ({backend}): {reason}");
+                    worst = ExitCode::from(2);
+                }
+                Ok(Outcome::Error { message }) => {
+                    eprintln!("job failed: {message}");
+                    return ExitCode::FAILURE;
+                }
+                Err(err) => {
+                    eprintln!("connection to {addr} failed: {err}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
     }
@@ -1152,6 +1422,9 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("client") {
         return run_client_tool(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("cache") {
+        return run_cache_tool(&args[1..]);
+    }
     if args.first().map(String::as_str) == Some("job") {
         return run_job_tool(&args[1..], trace_dir, &engine);
     }
@@ -1166,11 +1439,13 @@ fn main() -> ExitCode {
              repro trace <export|stats|verify> --trace-dir DIR\n       \
              repro trace gen --records N --out FILE [--pcs N] [--seed S]\n       \
              repro trace replay FILE [--resident] [--sample] [--warm]\n       \
-             repro serve [--listen ADDR] [--queue N] [--inflight N] \
+             repro serve [--worker] [--listen ADDR] [--queue N] [--inflight N] \
              [--job-workers N] [--results N] [--result-dir DIR]\n       \
-             repro client ADDR [--job JSON]... [--spec FILE]... [--payload-only] \
-             [--ping] [--stats] [--shutdown]\n       \
+             repro serve --router ADDR,ADDR... [--listen ADDR] [--retries N]\n       \
+             repro client ADDR [--job JSON]... [--spec FILE]... [--batch] \
+             [--payload-only] [--ping] [--stats] [--shutdown]\n       \
              repro job (--json JSON | --spec FILE)\n       \
+             repro cache <stats|purge --stale> --result-dir DIR\n       \
              repro --list\n\n\
              Regenerates the tables and figures of Sazeides & Smith (MICRO-30 1997)\n\
              through the parallel replay engine (default: all cores; output is\n\
@@ -1185,8 +1460,12 @@ fn main() -> ExitCode {
              trace in memory (--sample replays only its stored phase plan;\n\
              --warm functionally warms: exact state, windows tallied). `repro\n\
              serve` runs a replay daemon (newline-delimited JSON over TCP) with\n\
-             a fingerprint-keyed result cache; `repro client` submits jobs to\n\
-             it; `repro job` runs one job inline with byte-identical output."
+             an epoch-versioned, fingerprint-keyed result cache; with --router\n\
+             it forwards each job to the worker owning its key instead (rendez-\n\
+             vous hashing; relayed payloads are byte-identical). `repro client`\n\
+             submits jobs (--batch sends them as one request); `repro job` runs\n\
+             one job inline with byte-identical output; `repro cache` inspects\n\
+             and purges a result directory against this binary's engine epoch."
         );
         return ExitCode::FAILURE;
     }

@@ -21,18 +21,33 @@
 //!
 //! Like the trace cache, the disk tier is **safe by construction**: every
 //! read re-validates the entry byte for byte (magic, version, lengths,
-//! checksum, exact file size, stored key) and any violation is rejected,
-//! counted in [`ResultCacheStats::invalid`], and treated as a miss — a
-//! corrupt entry is recomputed, never served. The on-disk entry layout is
-//! specified byte-level in `docs/RESULT_FORMAT.md`; [`encode_entry`] /
-//! [`decode_entry`] are the reference codec and are public so the
-//! corruption test suite can attack the format directly.
+//! checksum, exact file size, stored key, stored engine epoch) and any
+//! violation is rejected, counted in [`ResultCacheStats::invalid`], and
+//! treated as a miss — a corrupt *or stale* entry is recomputed, never
+//! served. The on-disk entry layout is specified byte-level in
+//! `docs/RESULT_FORMAT.md`; [`encode_entry`] / [`decode_entry`] are the
+//! reference codec and are public so the corruption test suite can attack
+//! the format directly.
+//!
+//! # Versioning: the engine epoch
+//!
+//! A payload is only as durable as the semantics that rendered it. Every
+//! v2 entry therefore stamps the **engine epoch**
+//! ([`dvp_engine::engine_epoch`]) — a fingerprint of the
+//! predictor-semantics surface — into its header, and [`decode_entry`]
+//! rejects entries whose epoch differs from the reader's. Pre-epoch v1
+//! entries carry no such stamp and are rejected unconditionally:
+//! recomputing a result is cheap, serving a stale one is a correctness
+//! bug. [`scan_entries`] and [`purge_stale`] are the header-level
+//! maintenance surface behind `repro cache stats` / `repro cache purge
+//! --stale`.
 
 use std::collections::VecDeque;
 use std::fmt;
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// File extension of persisted result entries.
 pub const RESULT_EXTENSION: &str = "dvpr";
@@ -40,8 +55,15 @@ pub const RESULT_EXTENSION: &str = "dvpr";
 /// Magic bytes opening every result entry file.
 pub const RESULT_MAGIC: [u8; 4] = *b"DVPR";
 
-/// The current (and only) entry format version.
-pub const RESULT_VERSION: u8 = 1;
+/// The current entry format version. v2 added the engine-epoch field;
+/// v1 entries (which predate epochs) are always rejected and recomputed.
+pub const RESULT_VERSION: u8 = 2;
+
+/// Default minimum age before an orphaned `.tmp-*` file may be swept.
+/// Protects live temp files of *other machines* sharing the cache
+/// directory over a network filesystem, whose pids are meaningless in
+/// the local `/proc`.
+pub const SWEEP_MIN_AGE: Duration = Duration::from_secs(3600);
 
 /// FNV-1a 64 of one byte slice — the entry checksum function (same
 /// algorithm as the trace container's, `docs/TRACE_FORMAT.md`).
@@ -54,14 +76,23 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// Encodes one result-cache entry: `"DVPR"` + version + key length (u32
-/// LE) + payload length (u32 LE) + key + payload + FNV-1a 64 (u64 LE)
-/// over everything before the checksum. See `docs/RESULT_FORMAT.md`.
+/// Byte length of the fixed v2 header: magic (4) + version (1) + engine
+/// epoch (8) + key length (4) + payload length (4).
+const HEAD_V2: usize = 4 + 1 + 8 + 4 + 4;
+
+/// Byte length of the fixed pre-epoch v1 header (no epoch field).
+const HEAD_V1: usize = 4 + 1 + 4 + 4;
+
+/// Encodes one v2 result-cache entry: `"DVPR"` + version + engine epoch
+/// (u64 LE) + key length (u32 LE) + payload length (u32 LE) + key +
+/// payload + FNV-1a 64 (u64 LE) over everything before the checksum. See
+/// `docs/RESULT_FORMAT.md`.
 #[must_use]
-pub fn encode_entry(key: &str, payload: &str) -> Vec<u8> {
-    let mut out = Vec::with_capacity(4 + 1 + 4 + 4 + key.len() + payload.len() + 8);
+pub fn encode_entry(key: &str, payload: &str, epoch: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEAD_V2 + key.len() + payload.len() + 8);
     out.extend_from_slice(&RESULT_MAGIC);
     out.push(RESULT_VERSION);
+    out.extend_from_slice(&epoch.to_le_bytes());
     out.extend_from_slice(&(key.len() as u32).to_le_bytes());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(key.as_bytes());
@@ -71,52 +102,232 @@ pub fn encode_entry(key: &str, payload: &str) -> Vec<u8> {
     out
 }
 
-/// Decodes and validates one entry read under `key`, returning the
-/// payload. Every framing invariant is checked — magic, version, declared
-/// lengths vs the exact file size (trailing bytes are an error), the
-/// checksum over everything before it, UTF-8 of both strings, and that
+/// Decodes and validates one entry read under `key` at engine epoch
+/// `epoch`, returning the payload. Every framing invariant is checked —
+/// magic, version (v1 entries predate epochs and are rejected
+/// unconditionally), declared lengths vs the exact file size (trailing
+/// bytes are an error), the checksum over everything before it, the
+/// stored engine epoch vs the reader's, UTF-8 of both strings, and that
 /// the stored key equals the expected one (a mis-filed entry must never
 /// be served for the wrong job).
 ///
 /// # Errors
 ///
-/// A human-readable description of the first violated invariant.
-pub fn decode_entry(key: &str, bytes: &[u8]) -> Result<String, String> {
-    const HEAD: usize = 4 + 1 + 4 + 4;
-    if bytes.len() < HEAD + 8 {
-        return Err(format!("entry too short: {} bytes", bytes.len()));
+/// A human-readable description of the first violated invariant, naming
+/// the byte offset and the expected-vs-found values.
+pub fn decode_entry(key: &str, epoch: u64, bytes: &[u8]) -> Result<String, String> {
+    if bytes.len() < HEAD_V2 + 8 {
+        return Err(format!(
+            "entry too short: {} bytes on disk, at least {} required",
+            bytes.len(),
+            HEAD_V2 + 8
+        ));
     }
     if bytes[..4] != RESULT_MAGIC {
-        return Err(format!("bad magic {:02x?}", &bytes[..4]));
+        return Err(format!(
+            "bad magic at offset 0: expected {RESULT_MAGIC:02x?}, found {:02x?}",
+            &bytes[..4]
+        ));
     }
     if bytes[4] != RESULT_VERSION {
-        return Err(format!("unsupported version {}", bytes[4]));
+        let hint = if bytes[4] == 1 { " (pre-epoch v1 entries are never trusted)" } else { "" };
+        return Err(format!(
+            "unsupported version at offset 4: expected {RESULT_VERSION}, found {}{hint}",
+            bytes[4]
+        ));
     }
-    let key_len = u32::from_le_bytes(bytes[5..9].try_into().expect("4 bytes")) as usize;
-    let payload_len = u32::from_le_bytes(bytes[9..13].try_into().expect("4 bytes")) as usize;
-    let expected_len = HEAD + key_len + payload_len + 8;
+    let stored_epoch = u64::from_le_bytes(bytes[5..13].try_into().expect("8 bytes"));
+    let key_len = u32::from_le_bytes(bytes[13..17].try_into().expect("4 bytes")) as usize;
+    let payload_len = u32::from_le_bytes(bytes[17..21].try_into().expect("4 bytes")) as usize;
+    let expected_len = HEAD_V2 + key_len + payload_len + 8;
+    if bytes.len() != expected_len {
+        return Err(format!(
+            "length mismatch: {} bytes on disk, {expected_len} declared \
+             (key_len {key_len} at offset 13, payload_len {payload_len} at offset 17)",
+            bytes.len()
+        ));
+    }
+    let body_end = HEAD_V2 + key_len + payload_len;
+    let stored_sum = u64::from_le_bytes(bytes[body_end..].try_into().expect("8 bytes"));
+    let actual_sum = fnv1a64(&bytes[..body_end]);
+    if stored_sum != actual_sum {
+        return Err(format!(
+            "checksum mismatch at offset {body_end}: stored {stored_sum:016x}, \
+             actual {actual_sum:016x}"
+        ));
+    }
+    // Epoch staleness is checked after the checksum so a corrupted epoch
+    // field reports as corruption, and only an intact entry from a
+    // different build reports as stale.
+    if stored_epoch != epoch {
+        return Err(format!(
+            "stale engine epoch at offset 5: entry {stored_epoch:016x}, current {epoch:016x}"
+        ));
+    }
+    let stored_key = std::str::from_utf8(&bytes[HEAD_V2..HEAD_V2 + key_len])
+        .map_err(|err| format!("key at offset {HEAD_V2} is not UTF-8: {err}"))?;
+    if stored_key != key {
+        return Err(format!(
+            "key mismatch at offset {HEAD_V2}: entry holds `{stored_key}`, expected `{key}`"
+        ));
+    }
+    let payload = std::str::from_utf8(&bytes[HEAD_V2 + key_len..body_end])
+        .map_err(|err| format!("payload at offset {} is not UTF-8: {err}", HEAD_V2 + key_len))?;
+    Ok(payload.to_owned())
+}
+
+/// The validated header of one on-disk entry, either version — the
+/// key-independent view `repro cache` maintenance works from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryHeader {
+    /// Entry format version (1 or 2).
+    pub version: u8,
+    /// The engine epoch stamped into a v2 entry; `None` for pre-epoch v1.
+    pub epoch: Option<u64>,
+    /// The canonical job key the entry was written under.
+    pub key: String,
+    /// Declared payload length in bytes.
+    pub payload_len: u32,
+}
+
+impl EntryHeader {
+    /// Whether the entry may be served at `current` epoch: a v2 entry
+    /// stamped with exactly that epoch. v1 entries are never current.
+    #[must_use]
+    pub fn is_current(&self, current: u64) -> bool {
+        self.version == RESULT_VERSION && self.epoch == Some(current)
+    }
+}
+
+/// Parses and integrity-checks one entry without knowing its key or the
+/// current epoch: framing, lengths, and checksum are validated for both
+/// the v2 and the legacy v1 layout, and the stored identity is returned
+/// for the caller to judge (staleness is a policy, corruption a fact).
+///
+/// # Errors
+///
+/// A human-readable description of the first violated invariant.
+pub fn read_entry_header(bytes: &[u8]) -> Result<EntryHeader, String> {
+    if bytes.len() < HEAD_V1 + 8 {
+        return Err(format!(
+            "entry too short: {} bytes on disk, at least {} required",
+            bytes.len(),
+            HEAD_V1 + 8
+        ));
+    }
+    if bytes[..4] != RESULT_MAGIC {
+        return Err(format!(
+            "bad magic at offset 0: expected {RESULT_MAGIC:02x?}, found {:02x?}",
+            &bytes[..4]
+        ));
+    }
+    let version = bytes[4];
+    let (head, epoch) = match version {
+        1 => (HEAD_V1, None),
+        2 => {
+            if bytes.len() < HEAD_V2 + 8 {
+                return Err(format!(
+                    "entry too short: {} bytes on disk, at least {} required",
+                    bytes.len(),
+                    HEAD_V2 + 8
+                ));
+            }
+            (HEAD_V2, Some(u64::from_le_bytes(bytes[5..13].try_into().expect("8 bytes"))))
+        }
+        other => {
+            return Err(format!("unsupported version at offset 4: expected 1 or 2, found {other}"))
+        }
+    };
+    let key_len = u32::from_le_bytes(bytes[head - 8..head - 4].try_into().expect("4 bytes"));
+    let payload_len = u32::from_le_bytes(bytes[head - 4..head].try_into().expect("4 bytes"));
+    let expected_len = head + key_len as usize + payload_len as usize + 8;
     if bytes.len() != expected_len {
         return Err(format!(
             "length mismatch: {} bytes on disk, {expected_len} declared",
             bytes.len()
         ));
     }
-    let body_end = HEAD + key_len + payload_len;
+    let body_end = head + key_len as usize + payload_len as usize;
     let stored_sum = u64::from_le_bytes(bytes[body_end..].try_into().expect("8 bytes"));
     let actual_sum = fnv1a64(&bytes[..body_end]);
     if stored_sum != actual_sum {
         return Err(format!(
-            "checksum mismatch: stored {stored_sum:016x}, actual {actual_sum:016x}"
+            "checksum mismatch at offset {body_end}: stored {stored_sum:016x}, \
+             actual {actual_sum:016x}"
         ));
     }
-    let stored_key = std::str::from_utf8(&bytes[HEAD..HEAD + key_len])
-        .map_err(|err| format!("key is not UTF-8: {err}"))?;
-    if stored_key != key {
-        return Err(format!("key mismatch: entry holds `{stored_key}`, expected `{key}`"));
+    let key = std::str::from_utf8(&bytes[head..head + key_len as usize])
+        .map_err(|err| format!("key at offset {head} is not UTF-8: {err}"))?
+        .to_owned();
+    Ok(EntryHeader { version, epoch, key, payload_len })
+}
+
+/// One on-disk `.dvpr` file as seen by maintenance: its path, size, and
+/// header verdict.
+#[derive(Debug)]
+pub struct EntryInfo {
+    /// The entry file.
+    pub path: PathBuf,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// The parsed header, or why parsing/validation failed.
+    pub header: Result<EntryHeader, String>,
+}
+
+/// Lists every `.dvpr` entry under `dir` (sorted by file name for
+/// deterministic output) with its header verdict. Temp files and foreign
+/// files are ignored.
+///
+/// # Errors
+///
+/// Any I/O error listing the directory (a missing directory is an error;
+/// an unreadable *entry* is reported in its [`EntryInfo::header`]).
+pub fn scan_entries(dir: &Path) -> io::Result<Vec<EntryInfo>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some(RESULT_EXTENSION) {
+            continue;
+        }
+        let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+        let header = match fs::read(&path) {
+            Ok(raw) => read_entry_header(&raw),
+            Err(err) => Err(format!("unreadable: {err}")),
+        };
+        out.push(EntryInfo { path, bytes, header });
     }
-    let payload = std::str::from_utf8(&bytes[HEAD + key_len..body_end])
-        .map_err(|err| format!("payload is not UTF-8: {err}"))?;
-    Ok(payload.to_owned())
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(out)
+}
+
+/// What [`purge_stale`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PurgeReport {
+    /// Entries removed: stale-epoch, pre-epoch v1, or invalid.
+    pub removed: usize,
+    /// Entries kept: valid v2 entries at the current epoch.
+    pub kept: usize,
+}
+
+/// Removes every entry under `dir` that [`decode_entry`] would refuse to
+/// serve at `current` epoch — stale-epoch v2 entries, pre-epoch v1
+/// entries, and corrupt files — keeping only current, intact entries.
+///
+/// # Errors
+///
+/// Any I/O error listing the directory or removing a file.
+pub fn purge_stale(dir: &Path, current: u64) -> io::Result<PurgeReport> {
+    let mut report = PurgeReport::default();
+    for info in scan_entries(dir)? {
+        if info.header.as_ref().is_ok_and(|h| h.is_current(current)) {
+            report.kept += 1;
+        } else {
+            fs::remove_file(&info.path)?;
+            report.removed += 1;
+        }
+    }
+    Ok(report)
 }
 
 /// Counters describing what a [`ResultCache`] did. `repro serve` prints
@@ -171,20 +382,28 @@ pub struct ResultCache {
     entries: VecDeque<(String, String)>,
     capacity: usize,
     dir: Option<PathBuf>,
+    /// The engine epoch stamped into every written entry and required of
+    /// every read one.
+    epoch: u64,
+    /// Minimum age before an orphaned `.tmp-*` file may be swept.
+    sweep_min_age: Duration,
     stats: ResultCacheStats,
     /// Guards the one-time orphaned-`.tmp-*` sweep of the directory.
     swept: std::sync::Once,
 }
 
 impl ResultCache {
-    /// A memory-only cache holding at most `capacity` entries. Capacity 0
-    /// disables the memory tier (every insert is immediately dropped).
+    /// A memory-only cache holding at most `capacity` entries, at the
+    /// process-wide engine epoch ([`dvp_engine::engine_epoch`]). Capacity
+    /// 0 disables the memory tier (every insert is immediately dropped).
     #[must_use]
     pub fn new(capacity: usize) -> ResultCache {
         ResultCache {
             entries: VecDeque::new(),
             capacity,
             dir: None,
+            epoch: dvp_engine::engine_epoch(),
+            sweep_min_age: SWEEP_MIN_AGE,
             stats: ResultCacheStats::default(),
             swept: std::sync::Once::new(),
         }
@@ -197,6 +416,28 @@ impl ResultCache {
     pub fn with_dir(mut self, dir: impl Into<PathBuf>) -> ResultCache {
         self.dir = Some(dir.into());
         self
+    }
+
+    /// Overrides the engine epoch this cache writes and accepts —
+    /// primarily for tests simulating a restart on a different binary.
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: u64) -> ResultCache {
+        self.epoch = epoch;
+        self
+    }
+
+    /// Overrides the orphan-sweep age gate ([`SWEEP_MIN_AGE`] by
+    /// default). `Duration::ZERO` restores pid-liveness-only sweeping.
+    #[must_use]
+    pub fn with_sweep_min_age(mut self, min_age: Duration) -> ResultCache {
+        self.sweep_min_age = min_age;
+        self
+    }
+
+    /// The engine epoch this cache writes and accepts.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The on-disk entry path for `key`: the key's FNV-1a 64 digest as
@@ -284,7 +525,7 @@ impl ResultCache {
                 return None;
             }
         };
-        match decode_entry(key, &bytes) {
+        match decode_entry(key, self.epoch, &bytes) {
             Ok(payload) => Some(payload),
             Err(why) => {
                 self.stats.invalid += 1;
@@ -302,7 +543,7 @@ impl ResultCache {
         let tmp = path.with_extension(format!("{RESULT_EXTENSION}.tmp-{}", std::process::id()));
         let result = (|| {
             let mut file = fs::File::create(&tmp)?;
-            file.write_all(&encode_entry(key, payload))?;
+            file.write_all(&encode_entry(key, payload, self.epoch))?;
             file.flush()?;
             // Durability, not just atomicity: rename orders the directory
             // entry, but only an fsync orders the *data* against a crash.
@@ -323,10 +564,11 @@ impl ResultCache {
     }
 
     /// Removes `*.tmp-<pid>` leftovers of dead processes, once per cache
-    /// instance — same policy as the trace cache's sweep: a file is an
-    /// orphan when its recorded pid is not this process and (with
-    /// `/proc`) no longer exists, or (without `/proc`) the file is older
-    /// than an hour.
+    /// instance. A file is swept only when its recorded pid is not this
+    /// process, does not exist in the local `/proc` (when present), *and*
+    /// the file is older than the age gate — a pid absent locally may be
+    /// a live writer on another machine sharing the directory over a
+    /// network filesystem, so neither signal alone is trusted.
     fn sweep_orphans(&self) {
         let Some(dir) = self.dir.as_deref() else { return };
         self.swept.call_once(|| {
@@ -336,28 +578,37 @@ impl ResultCache {
                 let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
                 let Some((_, pid)) = name.rsplit_once(".tmp-") else { continue };
                 let Ok(pid) = pid.parse::<u32>() else { continue };
-                if pid == std::process::id() || Self::writer_may_be_alive(pid, &entry) {
+                if pid == std::process::id()
+                    || writer_may_be_alive(pid)
+                    || younger_than(&entry, self.sweep_min_age)
+                {
                     continue;
                 }
                 let _ = fs::remove_file(&path);
             }
         });
     }
+}
 
-    /// Whether the process that owns a temporary file could still be
-    /// running: its pid exists under `/proc`, or — on systems without
-    /// `/proc` — the file was modified within the last hour.
-    fn writer_may_be_alive(pid: u32, entry: &fs::DirEntry) -> bool {
-        if Path::new("/proc").is_dir() {
-            return Path::new("/proc").join(pid.to_string()).exists();
-        }
-        entry
-            .metadata()
-            .and_then(|m| m.modified())
-            .ok()
-            .and_then(|t| t.elapsed().ok())
-            .is_none_or(|age| age.as_secs() < 3600)
-    }
+/// Whether the process that owns a temporary file could still be running
+/// *on this machine*: its pid exists under `/proc`. Without `/proc` the
+/// answer is unknowable and `false` is returned — the age gate is then
+/// the only protection.
+fn writer_may_be_alive(pid: u32) -> bool {
+    let proc_root = Path::new("/proc");
+    proc_root.is_dir() && proc_root.join(pid.to_string()).exists()
+}
+
+/// Whether the file was modified less than `min_age` ago. Unreadable
+/// metadata or a future mtime (clock skew) count as young — when in
+/// doubt, keep the file.
+fn younger_than(entry: &fs::DirEntry, min_age: Duration) -> bool {
+    entry
+        .metadata()
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|t| t.elapsed().ok())
+        .is_none_or(|age| age < min_age)
 }
 
 #[cfg(test)]
@@ -382,36 +633,136 @@ mod tests {
         }
     }
 
+    /// Hand-builds a pre-epoch v1 entry (the PR 8 layout) byte for byte.
+    fn encode_v1_entry(key: &str, payload: &str) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&RESULT_MAGIC);
+        out.push(1u8);
+        out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(key.as_bytes());
+        out.extend_from_slice(payload.as_bytes());
+        let checksum = fnv1a64(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
     #[test]
     fn encode_decode_roundtrip() {
         for (key, payload) in
             [("k", "v"), ("", ""), ("job a|b|c", "line one\nline two\n"), ("π", "τ✓")]
         {
-            let bytes = encode_entry(key, payload);
-            assert_eq!(decode_entry(key, &bytes).as_deref(), Ok(payload), "key `{key}`");
+            let bytes = encode_entry(key, payload, 7);
+            assert_eq!(decode_entry(key, 7, &bytes).as_deref(), Ok(payload), "key `{key}`");
         }
     }
 
     #[test]
     fn decode_rejects_wrong_key_magic_version_and_length() {
-        let bytes = encode_entry("right-key", "payload");
-        assert!(decode_entry("wrong-key", &bytes).unwrap_err().contains("key mismatch"));
+        let bytes = encode_entry("right-key", "payload", 7);
+        assert_eq!(
+            decode_entry("wrong-key", 7, &bytes).unwrap_err(),
+            "key mismatch at offset 21: entry holds `right-key`, expected `wrong-key`"
+        );
 
         let mut bad = bytes.clone();
         bad[0] = b'X';
-        assert!(decode_entry("right-key", &bad).unwrap_err().contains("bad magic"));
+        assert_eq!(
+            decode_entry("right-key", 7, &bad).unwrap_err(),
+            "bad magic at offset 0: expected [44, 56, 50, 52], found [58, 56, 50, 52]"
+        );
 
         let mut bad = bytes.clone();
         bad[4] = 9;
-        assert!(decode_entry("right-key", &bad).unwrap_err().contains("unsupported version"));
+        assert_eq!(
+            decode_entry("right-key", 7, &bad).unwrap_err(),
+            "unsupported version at offset 4: expected 2, found 9"
+        );
 
         let mut long = bytes.clone();
         long.push(0);
-        assert!(decode_entry("right-key", &long).unwrap_err().contains("length mismatch"));
-        assert!(decode_entry("right-key", &bytes[..bytes.len() - 1])
+        let err = decode_entry("right-key", 7, &long).unwrap_err();
+        assert!(err.contains("length mismatch"), "{err}");
+        assert!(err.contains("key_len 9 at offset 13"), "{err}");
+        assert!(err.contains("payload_len 7 at offset 17"), "{err}");
+        assert!(decode_entry("right-key", 7, &bytes[..bytes.len() - 1])
             .unwrap_err()
             .contains("length mismatch"));
-        assert!(decode_entry("right-key", b"DV").unwrap_err().contains("too short"));
+        assert_eq!(
+            decode_entry("right-key", 7, b"DV").unwrap_err(),
+            "entry too short: 2 bytes on disk, at least 29 required"
+        );
+    }
+
+    #[test]
+    fn decode_rejects_stale_epochs_and_v1_entries() {
+        // An intact entry from a different build: stale, with both epochs
+        // named so the operator can see which build wrote it.
+        let bytes = encode_entry("k", "payload", 0xAAAA);
+        assert_eq!(
+            decode_entry("k", 0xBBBB, &bytes).unwrap_err(),
+            "stale engine epoch at offset 5: entry 000000000000aaaa, current 000000000000bbbb"
+        );
+        // A pre-epoch v1 entry is structurally valid but carries no epoch
+        // stamp: rejected unconditionally.
+        let v1 = encode_v1_entry("k", "payload");
+        assert_eq!(
+            decode_entry("k", 0xBBBB, &v1).unwrap_err(),
+            "unsupported version at offset 4: expected 2, found 1 \
+             (pre-epoch v1 entries are never trusted)"
+        );
+    }
+
+    #[test]
+    fn headers_parse_for_both_versions_and_judge_currency() {
+        let v2 = read_entry_header(&encode_entry("job|x", "body", 42)).unwrap();
+        assert_eq!(
+            v2,
+            EntryHeader { version: 2, epoch: Some(42), key: "job|x".into(), payload_len: 4 }
+        );
+        assert!(v2.is_current(42));
+        assert!(!v2.is_current(43));
+
+        let v1 = read_entry_header(&encode_v1_entry("job|x", "body")).unwrap();
+        assert_eq!(
+            v1,
+            EntryHeader { version: 1, epoch: None, key: "job|x".into(), payload_len: 4 }
+        );
+        assert!(!v1.is_current(42), "v1 entries are never current");
+
+        let mut corrupt = encode_entry("job|x", "body", 42);
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 1;
+        assert!(read_entry_header(&corrupt).unwrap_err().contains("checksum mismatch"));
+    }
+
+    #[test]
+    fn scan_and_purge_keep_only_current_entries() {
+        let tmp = TempDir::new("purge");
+        fs::create_dir_all(&tmp.0).unwrap();
+        fs::write(tmp.0.join("current.dvpr"), encode_entry("a", "A", 7)).unwrap();
+        fs::write(tmp.0.join("stale.dvpr"), encode_entry("b", "B", 6)).unwrap();
+        fs::write(tmp.0.join("legacy.dvpr"), encode_v1_entry("c", "C")).unwrap();
+        fs::write(tmp.0.join("torn.dvpr"), b"DVPR").unwrap();
+        fs::write(tmp.0.join("ignored.txt"), b"not an entry").unwrap();
+        fs::write(tmp.0.join("inflight.dvpr.tmp-1"), b"partial").unwrap();
+
+        let infos = scan_entries(&tmp.0).unwrap();
+        let names: Vec<_> =
+            infos.iter().map(|i| i.path.file_name().unwrap().to_str().unwrap()).collect();
+        assert_eq!(names, ["current.dvpr", "legacy.dvpr", "stale.dvpr", "torn.dvpr"]);
+        let current: Vec<bool> =
+            infos.iter().map(|i| i.header.as_ref().is_ok_and(|h| h.is_current(7))).collect();
+        assert_eq!(current, [true, false, false, false]);
+
+        let report = purge_stale(&tmp.0, 7).unwrap();
+        assert_eq!(report, PurgeReport { removed: 3, kept: 1 });
+        assert!(tmp.0.join("current.dvpr").exists());
+        assert!(!tmp.0.join("stale.dvpr").exists());
+        assert!(!tmp.0.join("legacy.dvpr").exists());
+        assert!(!tmp.0.join("torn.dvpr").exists());
+        assert!(tmp.0.join("ignored.txt").exists(), "foreign files are untouched");
+        assert!(tmp.0.join("inflight.dvpr.tmp-1").exists(), "temp files are the sweep's job");
     }
 
     #[test]
@@ -519,11 +870,51 @@ mod tests {
             fs::write(p, b"partial").unwrap();
         }
 
-        let mut cache = ResultCache::new(2).with_dir(&tmp.0);
+        // Age gate disabled: pid liveness alone decides.
+        let mut cache = ResultCache::new(2).with_dir(&tmp.0).with_sweep_min_age(Duration::ZERO);
         let _ = cache.get("anything");
         assert!(!dead.exists(), "dead process's tmp file must be swept");
         assert!(own.exists(), "this process's in-flight tmp file must survive");
         assert!(unrelated.exists(), "non-tmp files are untouched");
+    }
+
+    #[test]
+    fn fresh_tmp_files_survive_the_default_age_gate_even_with_a_dead_pid() {
+        // A pid that is dead *locally* may be a live writer on another
+        // machine sharing this directory over a network filesystem; a
+        // freshly written temp file must therefore never be swept, only
+        // one both dead and older than the gate.
+        let tmp = TempDir::new("sweep-age-gate");
+        fs::create_dir_all(&tmp.0).unwrap();
+        let foreign = tmp.0.join(format!("peer.{RESULT_EXTENSION}.tmp-4000000001"));
+        fs::write(&foreign, b"live on another machine").unwrap();
+
+        let mut cache = ResultCache::new(2).with_dir(&tmp.0);
+        let _ = cache.get("anything");
+        assert!(foreign.exists(), "a fresh tmp file must survive the default age gate");
+    }
+
+    #[test]
+    fn entries_from_an_older_epoch_are_never_served() {
+        // The epoch-staleness regression, disk tier: epoch A writes, a
+        // restart at epoch B (new binary, changed semantics) must
+        // recompute — the stale payload is rejected, counted, and then
+        // healed by the recompute's write-through.
+        let tmp = TempDir::new("epoch-flip");
+        let mut before = ResultCache::new(4).with_dir(&tmp.0).with_epoch(0xA);
+        before.insert("job|x", "old bytes\n");
+        assert_eq!(before.get("job|x").as_deref(), Some("old bytes\n"));
+
+        let mut after = ResultCache::new(4).with_dir(&tmp.0).with_epoch(0xB);
+        assert_eq!(after.get("job|x"), None, "stale-epoch entry must read as a miss");
+        assert_eq!((after.stats().invalid, after.stats().misses), (1, 1));
+        after.insert("job|x", "new bytes\n");
+        assert_eq!(after.get("job|x").as_deref(), Some("new bytes\n"));
+
+        // And the old binary, restarted, now refuses the new entry too:
+        // staleness is symmetric, never a downgrade path.
+        let mut rollback = ResultCache::new(4).with_dir(&tmp.0).with_epoch(0xA);
+        assert_eq!(rollback.get("job|x"), None);
     }
 
     #[test]

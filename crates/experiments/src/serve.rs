@@ -27,12 +27,40 @@
 //!    what the one-shot `repro job` CLI prints for the same spec.
 //! 4. **Cache.** Completed payloads are memoized in a fingerprint-keyed
 //!    [`crate::result_cache::ResultCache`] (in-memory LRU +
-//!    optional on-disk tier); an identical later job is answered from
-//!    cache with a byte-identical payload.
+//!    optional on-disk tier). The cache key is
+//!    [`JobSpec::canonical_key`]: the **engine epoch**
+//!    ([`dvp_engine::engine_epoch`], a fingerprint of the
+//!    predictor-semantics surface) prefixed to the job descriptor, so an
+//!    identical later job on the *same* semantics is answered from cache
+//!    byte-identically — and a daemon restarted on a binary with
+//!    different semantics recomputes instead of serving stale bytes.
 //! 5. **Stream.** The client sees `accepted`, then `progress`, then one
 //!    terminal `result` / `error` frame (or an immediate `rejected`).
 //!    Frames for one connection are serialized through a per-connection
 //!    writer lock, so `accepted` always precedes that job's `result`.
+//!
+//! # Batch submission
+//!
+//! A `jobs` request carries many job specs, each tagged with a
+//! client-chosen `id`, and is answered by **one interleaved response
+//! stream**: per-job `accepted` / `rejected` / `progress` / terminal
+//! frames in completion order, every frame carrying its job's id. A
+//! whole sweep matrix is one round trip
+//! ([`ServeClient::submit_batch`]), with per-job admission control and
+//! byte-identical payloads vs N single submissions.
+//!
+//! # Scale-out: routers and workers
+//!
+//! The complete canonical key makes jobs location-independent, so the
+//! daemon scales out shared-nothing. A [`Router`] (`repro serve
+//! --router a,b,...`) accepts the same line protocol and forwards each
+//! job to the backend worker owning its canonical key — rendezvous
+//! hashing ([`route_backend`]), so each `repro serve --worker` process
+//! owns a disjoint key range with its own disk tier. Backend frames are
+//! relayed **verbatim**, so routed payloads are byte-identical to
+//! worker-direct and one-shot ones; an unreachable backend produces a
+//! structured `backend_down` terminal frame after bounded reconnect
+//! attempts, never a hang.
 //!
 //! # Examples
 //!
@@ -51,6 +79,37 @@
 //! let inline = run_job(&JobSpec::parse(spec).unwrap(), &engine, None).unwrap();
 //! assert_eq!(payload, inline);
 //! client.shutdown()?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! Routed two-worker tier, batch-submitted through the router — every
+//! payload byte-identical to the inline compute:
+//!
+//! ```
+//! use dvp_engine::ReplayEngine;
+//! use dvp_experiments::serve::{
+//!     JobSpec, Outcome, Router, RouterOptions, ServeClient, ServeOptions, Server, run_job,
+//! };
+//!
+//! let engine = ReplayEngine::sequential();
+//! let w1 = Server::start(engine.clone(), ServeOptions::default())?;
+//! let w2 = Server::start(engine.clone(), ServeOptions::default())?;
+//! let router = Router::start(RouterOptions {
+//!     backends: vec![w1.addr().to_string(), w2.addr().to_string()],
+//!     ..RouterOptions::default()
+//! })?;
+//!
+//! let jobs = [
+//!     r#"{"scenario":{"kind":"constant","pcs":2,"records_per_pc":64},"bank":["l"]}"#,
+//!     r#"{"scenario":{"kind":"stride","pcs":2,"records_per_pc":64,"stride":3},"bank":["s2"]}"#,
+//! ];
+//! let mut client = ServeClient::connect(&router.addr().to_string())?;
+//! let outcomes = client.submit_batch(&jobs.map(String::from))?;
+//! for (job, outcome) in jobs.iter().zip(&outcomes) {
+//!     let Outcome::Result { payload, .. } = outcome else { panic!("admitted") };
+//!     let inline = run_job(&JobSpec::parse(job).unwrap(), &engine, None).unwrap();
+//!     assert_eq!(*payload, inline);
+//! }
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
@@ -442,11 +501,14 @@ impl JobSpec {
         out
     }
 
-    /// The canonical result-cache key: the trace fingerprint (workload,
-    /// input, opt level, seed, scale, record cap) extended with the bank
-    /// and sampling mode — everything that can move a payload byte.
+    /// The job descriptor: the trace fingerprint (workload, input, opt
+    /// level, seed, scale, record cap) extended with the bank and
+    /// sampling mode — everything *in the spec* that can move a payload
+    /// byte. This is the identity line embedded in the rendered payload
+    /// itself; the result-cache key is [`JobSpec::canonical_key`], which
+    /// additionally binds the engine epoch.
     #[must_use]
-    pub fn canonical_key(&self) -> String {
+    pub fn descriptor(&self) -> String {
         let fp = match &self.source {
             JobSource::Scenario(s) => s.fingerprint(self.record_cap),
             JobSource::Workload { benchmark, scale_div } => {
@@ -466,6 +528,24 @@ impl JobSpec {
             self.bank.join("+"),
             u8::from(self.sample)
         )
+    }
+
+    /// The canonical result-cache (and routing) key: the process-wide
+    /// engine epoch ([`dvp_engine::engine_epoch`]) prefixed to the
+    /// [`descriptor`](JobSpec::descriptor). Binding the epoch into the
+    /// key means a cache — in-memory *or* on-disk — populated by a
+    /// binary with different predictor semantics can never satisfy a
+    /// lookup from this one.
+    #[must_use]
+    pub fn canonical_key(&self) -> String {
+        self.canonical_key_at(dvp_engine::engine_epoch())
+    }
+
+    /// [`canonical_key`](JobSpec::canonical_key) at an explicit epoch —
+    /// the hook tests use to simulate a restart on a different binary.
+    #[must_use]
+    pub fn canonical_key_at(&self, epoch: u64) -> String {
+        format!("epoch{epoch:016x}|{}", self.descriptor())
     }
 }
 
@@ -523,7 +603,9 @@ pub fn run_job(
             store.trace(*benchmark).map_err(|err| format!("workload generation failed: {err:?}"))?
         }
     };
-    let mut payload = format!("job {}\n", spec.canonical_key());
+    // The payload embeds the epoch-free descriptor: the rendered bytes
+    // describe the job, while epoch-binding lives in the cache key.
+    let mut payload = format!("job {}\n", spec.descriptor());
     if spec.sample {
         let plan = dvp_engine::phase_plan(&trace, &dvp_engine::PhaseOptions::default());
         let replays = engine.replay_sampled_warm(&trace, &configs, &plan);
@@ -609,13 +691,25 @@ fn error_frame(id: Option<u64>, message: &str) -> String {
     out
 }
 
+/// Terminal frame the router emits for a job whose owning backend could
+/// not be reached (or was lost mid-job): structured, per-job, never a
+/// hang.
+fn backend_down_frame(id: Option<u64>, backend: &str, reason: &str) -> String {
+    let mut out = format!("{{\"frame\":\"backend_down\",\"id\":{},\"backend\":", id_json(id));
+    json::write_string(backend, &mut out);
+    out.push_str(",\"reason\":");
+    json::write_string(reason, &mut out);
+    out.push('}');
+    out
+}
+
 /// One parsed server frame — the *lenient* counterpart of the server's
 /// strict request parsing: unknown fields are skipped so old clients keep
 /// working against newer servers.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Frame {
     /// Frame type: `hello`, `accepted`, `rejected`, `progress`, `result`,
-    /// `error`, `pong`, `stats`, `bye`.
+    /// `error`, `backend_down`, `pong`, `stats`, `bye`.
     pub frame: String,
     /// Echo of the submit request's `id`, when the frame belongs to a job.
     pub id: Option<u64>,
@@ -631,6 +725,8 @@ pub struct Frame {
     pub payload: Option<String>,
     /// What went wrong (`error` frames).
     pub message: Option<String>,
+    /// The unreachable backend's address (`backend_down` frames).
+    pub backend: Option<String>,
     /// The frame's raw JSON line, verbatim.
     pub raw: String,
 }
@@ -667,6 +763,7 @@ impl Frame {
                 "cache" => out.cache = Some(parser.string().map_err(fail)?),
                 "payload" => out.payload = Some(parser.string().map_err(fail)?),
                 "message" => out.message = Some(parser.string().map_err(fail)?),
+                "backend" => out.backend = Some(parser.string().map_err(fail)?),
                 _ => parser.skip_value().map_err(fail)?,
             }
         }
@@ -701,6 +798,11 @@ pub struct ServeOptions {
     pub result_dir: Option<PathBuf>,
     /// Trace-cache directory handed to every job's [`TraceStore`].
     pub trace_dir: Option<PathBuf>,
+    /// Engine epoch bound into every cache key and on-disk entry.
+    /// Defaults to the process-wide [`dvp_engine::engine_epoch`];
+    /// overridable so tests can simulate a restart on a different binary
+    /// without touching the environment.
+    pub epoch: u64,
 }
 
 impl Default for ServeOptions {
@@ -713,6 +815,7 @@ impl Default for ServeOptions {
             memory_entries: 64,
             result_dir: None,
             trace_dir: None,
+            epoch: dvp_engine::engine_epoch(),
         }
     }
 }
@@ -724,6 +827,7 @@ struct ServerShared {
     cache: Mutex<ResultCache>,
     inflight_cap: usize,
     trace_dir: Option<PathBuf>,
+    epoch: u64,
     shutdown: AtomicBool,
     completed: AtomicU64,
     addr: SocketAddr,
@@ -779,7 +883,7 @@ impl Server {
     pub fn start(engine: ReplayEngine, options: ServeOptions) -> io::Result<Server> {
         let listener = TcpListener::bind(&options.listen)?;
         let addr = listener.local_addr()?;
-        let mut cache = ResultCache::new(options.memory_entries);
+        let mut cache = ResultCache::new(options.memory_entries).with_epoch(options.epoch);
         if let Some(dir) = &options.result_dir {
             cache = cache.with_dir(dir);
         }
@@ -789,6 +893,7 @@ impl Server {
             cache: Mutex::new(cache),
             inflight_cap: options.inflight_cap,
             trace_dir: options.trace_dir.clone(),
+            epoch: options.epoch,
             shutdown: AtomicBool::new(false),
             completed: AtomicU64::new(0),
             addr,
@@ -872,9 +977,34 @@ fn write_frame(writer: &Mutex<TcpStream>, line: &str) {
 #[derive(Debug)]
 enum Request {
     Submit { id: Option<u64>, spec: Box<JobSpec> },
+    Batch { jobs: Vec<(u64, JobSpec)> },
     Ping,
     Stats,
     Shutdown,
+}
+
+/// Parses one element of a `jobs` batch array: exactly `{"id": n, "job":
+/// {...}}`, both fields required (the id is how the client tells the
+/// interleaved response frames apart, so an element without one is
+/// useless and rejected up front).
+fn parse_batch_element(parser: &mut json::Parser) -> Result<(u64, JobSpec), String> {
+    let fail = |err: json::Error| err.to_string();
+    parser.begin_object().map_err(fail)?;
+    let mut id: Option<u64> = None;
+    let mut spec: Option<JobSpec> = None;
+    let mut first = true;
+    while !parser.end_object(&mut first).map_err(fail)? {
+        let key = parser.string().map_err(fail)?;
+        parser.colon().map_err(fail)?;
+        match key.as_str() {
+            "id" => id = Some(number_field(parser, "id")?),
+            "job" => spec = Some(JobSpec::parse_value(parser)?),
+            other => return Err(format!("unknown batch-element field `{other}`")),
+        }
+    }
+    let id = id.ok_or("every batch element requires an `id`")?;
+    let spec = spec.ok_or("every batch element requires a `job` object")?;
+    Ok((id, spec))
 }
 
 /// Parses one request line. Strict like the job spec itself: an unknown
@@ -886,6 +1016,7 @@ fn parse_request(line: &str) -> Result<Request, String> {
     let mut op: Option<String> = None;
     let mut id: Option<u64> = None;
     let mut spec: Option<JobSpec> = None;
+    let mut batch: Option<Vec<(u64, JobSpec)>> = None;
     let mut first = true;
     while !parser.end_object(&mut first).map_err(fail)? {
         let key = parser.string().map_err(fail)?;
@@ -898,20 +1029,46 @@ fn parse_request(line: &str) -> Result<Request, String> {
                 }
             }
             "job" => spec = Some(JobSpec::parse_value(&mut parser)?),
+            "jobs" => {
+                let mut list: Vec<(u64, JobSpec)> = Vec::new();
+                parser.begin_array().map_err(fail)?;
+                let mut first_el = true;
+                while !parser.end_array(&mut first_el).map_err(fail)? {
+                    let (el_id, el_spec) = parse_batch_element(&mut parser)?;
+                    if list.iter().any(|(existing, _)| *existing == el_id) {
+                        return Err(format!("duplicate batch id {el_id}"));
+                    }
+                    list.push((el_id, el_spec));
+                }
+                batch = Some(list);
+            }
             other => return Err(format!("unknown request field `{other}`")),
         }
     }
     parser.finish().map_err(fail)?;
     match op.as_deref() {
         Some("submit") => {
+            if batch.is_some() {
+                return Err("op `submit` takes a `job` object, not `jobs`".to_owned());
+            }
             let spec = spec.ok_or("submit requires a `job` object")?;
             Ok(Request::Submit { id, spec: Box::new(spec) })
+        }
+        Some("jobs") => {
+            if spec.is_some() {
+                return Err("op `jobs` takes a `jobs` array, not `job`".to_owned());
+            }
+            let jobs = batch.ok_or("op `jobs` requires a `jobs` array")?;
+            if jobs.is_empty() {
+                return Err("`jobs` must contain at least one element".to_owned());
+            }
+            Ok(Request::Batch { jobs })
         }
         Some("ping") => Ok(Request::Ping),
         Some("stats") => Ok(Request::Stats),
         Some("shutdown") => Ok(Request::Shutdown),
         Some(other) => {
-            Err(format!("unknown op `{other}` (expected submit, ping, stats, or shutdown)"))
+            Err(format!("unknown op `{other}` (expected submit, jobs, ping, stats, or shutdown)"))
         }
         None => Err("request is missing `op`".to_owned()),
     }
@@ -939,6 +1096,14 @@ fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
                 break;
             }
             Ok(Request::Submit { id, spec }) => submit_job(shared, &writer, &inflight, id, *spec),
+            Ok(Request::Batch { jobs }) => {
+                // One interleaved response stream: admit every element in
+                // order, then frames arrive tagged by the client's ids in
+                // completion order.
+                for (id, spec) in jobs {
+                    submit_job(shared, &writer, &inflight, Some(id), spec);
+                }
+            }
         }
     }
 }
@@ -955,7 +1120,7 @@ fn submit_job(
         write_frame(writer, &rejected_frame(id, &reason));
         return;
     }
-    let key = spec.canonical_key();
+    let key = spec.canonical_key_at(shared.epoch);
     let cached = shared.cache.lock().expect("cache mutex never poisoned").get(&key);
     if let Some(payload) = cached {
         // Count completion *before* the terminal frame: a client must
@@ -1024,6 +1189,15 @@ pub enum Outcome {
     Error {
         /// What went wrong.
         message: String,
+    },
+    /// The router could not reach the backend owning this job's key
+    /// (bounded reconnect attempts exhausted, or the connection was lost
+    /// mid-job).
+    BackendDown {
+        /// The unreachable backend's address.
+        backend: String,
+        /// Why it is considered down.
+        reason: String,
     },
 }
 
@@ -1116,6 +1290,12 @@ impl ServeClient {
                 "error" => {
                     return Ok(Outcome::Error { message: frame.message.unwrap_or_default() })
                 }
+                "backend_down" => {
+                    return Ok(Outcome::BackendDown {
+                        backend: frame.backend.unwrap_or_default(),
+                        reason: frame.reason.unwrap_or_default(),
+                    })
+                }
                 _ => {}
             }
         }
@@ -1128,6 +1308,92 @@ impl ServeClient {
     /// Propagates transport failures.
     pub fn submit(&mut self, job_json: &str) -> io::Result<Outcome> {
         self.submit_streaming(job_json, |_| {})
+    }
+
+    /// Submits many job specs as **one** `jobs` request and drives the
+    /// single interleaved response stream until every job reached its
+    /// terminal frame, handing every frame to `on_frame` on the way.
+    ///
+    /// Returns one [`Outcome`] per input job, in input order (frames may
+    /// arrive in any completion order; ids map them back). A
+    /// request-level `error` frame (null id) fails every job that has no
+    /// terminal frame yet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures; per-job refusals come back as
+    /// [`Outcome::Rejected`] / [`Outcome::Error`] /
+    /// [`Outcome::BackendDown`] in the returned vector.
+    pub fn submit_batch_streaming(
+        &mut self,
+        jobs: &[String],
+        mut on_frame: impl FnMut(&Frame),
+    ) -> io::Result<Vec<Outcome>> {
+        if jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let first_id = self.next_id;
+        self.next_id += jobs.len() as u64;
+        let mut line = String::from("{\"op\":\"jobs\",\"jobs\":[");
+        for (offset, job_json) in jobs.iter().enumerate() {
+            if offset > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("{{\"id\":{},\"job\":{job_json}}}", first_id + offset as u64));
+        }
+        line.push_str("]}");
+        self.send_line(&line)?;
+        let mut outcomes: Vec<Option<Outcome>> = vec![None; jobs.len()];
+        let mut open = jobs.len();
+        while open > 0 {
+            let frame = self.read_frame()?;
+            on_frame(&frame);
+            let outcome = match frame.frame.as_str() {
+                "result" => Outcome::Result {
+                    cache: frame.cache.unwrap_or_default(),
+                    payload: frame.payload.unwrap_or_default(),
+                },
+                "rejected" => Outcome::Rejected { reason: frame.reason.unwrap_or_default() },
+                "error" => Outcome::Error { message: frame.message.unwrap_or_default() },
+                "backend_down" => Outcome::BackendDown {
+                    backend: frame.backend.unwrap_or_default(),
+                    reason: frame.reason.unwrap_or_default(),
+                },
+                _ => continue,
+            };
+            let slot = frame
+                .id
+                .and_then(|id| id.checked_sub(first_id))
+                .and_then(|offset| usize::try_from(offset).ok())
+                .filter(|offset| *offset < jobs.len());
+            match slot {
+                Some(index) => {
+                    if outcomes[index].is_none() {
+                        outcomes[index] = Some(outcome);
+                        open -= 1;
+                    }
+                }
+                None => {
+                    // A request-level failure (null or unknown id): the
+                    // server will send nothing further for this batch, so
+                    // it answers every still-open job.
+                    for entry in outcomes.iter_mut().filter(|entry| entry.is_none()) {
+                        *entry = Some(outcome.clone());
+                    }
+                    open = 0;
+                }
+            }
+        }
+        Ok(outcomes.into_iter().map(|outcome| outcome.expect("every slot filled")).collect())
+    }
+
+    /// [`ServeClient::submit_batch_streaming`] without a frame callback.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn submit_batch(&mut self, jobs: &[String]) -> io::Result<Vec<Outcome>> {
+        self.submit_batch_streaming(jobs, |_| {})
     }
 
     /// Round-trips a `ping`.
@@ -1176,6 +1442,440 @@ impl ServeClient {
         } else {
             Err(io::Error::new(io::ErrorKind::InvalidData, format!("expected bye: {}", frame.raw)))
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Router
+// ---------------------------------------------------------------------------
+
+/// Router configuration (see [`Router`]).
+#[derive(Debug, Clone)]
+pub struct RouterOptions {
+    /// Listen address; port 0 binds an ephemeral port (read it back via
+    /// [`Router::addr`]).
+    pub listen: String,
+    /// Backend worker addresses. Must be nonempty; ownership of the key
+    /// space is split across them by [`route_backend`].
+    pub backends: Vec<String>,
+    /// Bounded TCP connect attempts per backend before its jobs are
+    /// answered with `backend_down` frames.
+    pub connect_attempts: u32,
+}
+
+impl Default for RouterOptions {
+    fn default() -> RouterOptions {
+        RouterOptions {
+            listen: "127.0.0.1:0".to_owned(),
+            backends: Vec::new(),
+            connect_attempts: 2,
+        }
+    }
+}
+
+/// Router counters (returned by [`Router::stats`] / [`Router::join`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Jobs whose terminal frame was relayed from a backend.
+    pub forwarded: u64,
+    /// Jobs answered with a `backend_down` frame instead.
+    pub backend_down: u64,
+}
+
+struct RouterShared {
+    backends: Vec<String>,
+    connect_attempts: u32,
+    forwarded: AtomicU64,
+    down: AtomicU64,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl RouterShared {
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn stats_frame(&self) -> String {
+        format!(
+            "{{\"frame\":\"stats\",\"router\":true,\"backends\":{},\"forwarded\":{},\
+             \"backend_down\":{}}}",
+            self.backends.len(),
+            self.forwarded.load(Ordering::SeqCst),
+            self.down.load(Ordering::SeqCst)
+        )
+    }
+
+    fn stats(&self) -> RouterStats {
+        RouterStats {
+            forwarded: self.forwarded.load(Ordering::SeqCst),
+            backend_down: self.down.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// Picks the backend owning `key` by rendezvous (highest-random-weight)
+/// hashing: every backend scores an independent hash of
+/// `(backend, key)` and the highest score wins.
+///
+/// Properties the router relies on:
+///
+/// - **Deterministic and coordination-free** — every router (and every
+///   test) agrees on the owner from the backend list alone.
+/// - **Order-independent** — permuting the backend list never moves a
+///   key (scores don't depend on list position; ties break on the
+///   backend *name*).
+/// - **Minimal movement** — removing one backend only re-homes the keys
+///   it owned; all other keys keep their owner.
+#[must_use]
+pub fn route_backend<'a>(backends: &'a [String], key: &str) -> &'a str {
+    assert!(!backends.is_empty(), "route_backend requires at least one backend");
+    let mut best: Option<(&str, u64)> = None;
+    for backend in backends {
+        let mut scored = Vec::with_capacity(backend.len() + 1 + key.len());
+        scored.extend_from_slice(backend.as_bytes());
+        scored.push(0); // separator: ("ab", "c") never collides with ("a", "bc")
+        scored.extend_from_slice(key.as_bytes());
+        let score = crate::result_cache::fnv1a64(&scored);
+        let wins = match best {
+            None => true,
+            // Deterministic tie-break on the name keeps the choice
+            // independent of list order even on (astronomically unlikely)
+            // equal scores.
+            Some((b, s)) => score > s || (score == s && backend.as_str() < b),
+        };
+        if wins {
+            best = Some((backend, score));
+        }
+    }
+    best.expect("nonempty backend list").0
+}
+
+/// One pooled connection from a router connection-thread to a backend.
+struct BackendLink {
+    reader: io::BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl BackendLink {
+    /// Connects with bounded attempts (short backoff between them) and
+    /// consumes the worker's `hello` frame.
+    fn connect(addr: &str, attempts: u32) -> Result<BackendLink, String> {
+        let attempts = attempts.max(1);
+        let mut last = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                thread::sleep(Duration::from_millis(50 * u64::from(attempt)));
+            }
+            let stream = match TcpStream::connect(addr) {
+                Ok(stream) => stream,
+                Err(err) => {
+                    last = err.to_string();
+                    continue;
+                }
+            };
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(120)));
+            let Ok(writer) = stream.try_clone() else {
+                last = "could not clone the backend stream".to_owned();
+                continue;
+            };
+            let mut link = BackendLink { reader: io::BufReader::new(stream), writer };
+            match link.read_frame() {
+                Ok((frame, raw)) if frame.frame == "hello" => {
+                    let _ = raw;
+                    return Ok(link);
+                }
+                Ok((_, raw)) => last = format!("expected a hello frame, got `{raw}`"),
+                Err(err) => last = err.to_string(),
+            }
+        }
+        Err(format!("unreachable after {attempts} attempts: {last}"))
+    }
+
+    fn send(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads one frame, returning it parsed *and* raw — the raw line is
+    /// what gets relayed to the client, verbatim, so routed payloads are
+    /// byte-identical to worker-direct ones by construction.
+    fn read_frame(&mut self) -> io::Result<(Frame, String)> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "backend closed the connection",
+                ));
+            }
+            let trimmed = line.trim_end_matches(['\n', '\r']);
+            if trimmed.is_empty() {
+                continue;
+            }
+            let frame = Frame::parse(trimmed)
+                .map_err(|why| io::Error::new(io::ErrorKind::InvalidData, why))?;
+            return Ok((frame, trimmed.to_owned()));
+        }
+    }
+}
+
+/// The scale-out front door: accepts the same line protocol as
+/// [`Server`] and forwards every job to the backend worker owning its
+/// canonical key (see the [module docs](self)). `ping` / `stats` /
+/// `shutdown` are answered locally; `shutdown` stops the router only,
+/// never its workers.
+pub struct Router {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router").field("addr", &self.addr).finish()
+    }
+}
+
+impl Router {
+    /// Binds `options.listen` and starts accepting connections.
+    ///
+    /// Backends are *not* dialed here: a worker that is down at start
+    /// (or restarts later) costs nothing until a job routes to it, and
+    /// then fails fast with a structured `backend_down` frame.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidInput`] when `options.backends` is empty;
+    /// otherwise bind failures (busy port, bad address).
+    pub fn start(options: RouterOptions) -> io::Result<Router> {
+        if options.backends.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "router requires at least one backend",
+            ));
+        }
+        let listener = TcpListener::bind(&options.listen)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(RouterShared {
+            backends: options.backends.clone(),
+            connect_attempts: options.connect_attempts.max(1),
+            forwarded: AtomicU64::new(0),
+            down: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            addr,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let conn_shared = Arc::clone(&accept_shared);
+                thread::spawn(move || handle_router_connection(&conn_shared, stream));
+            }
+        });
+        Ok(Router { addr, shared, accept: Some(accept) })
+    }
+
+    /// The bound address (read this back after listening on port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Forwarding counters so far.
+    #[must_use]
+    pub fn stats(&self) -> RouterStats {
+        self.shared.stats()
+    }
+
+    /// Begins shutdown: no new connections are accepted. Workers are
+    /// untouched.
+    pub fn request_shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Blocks until a client requests shutdown (or one was already
+    /// requested) and returns the final forwarding counters.
+    pub fn join(mut self) -> RouterStats {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        self.shared.stats()
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            self.shared.request_shutdown();
+            let _ = handle.join();
+        }
+    }
+}
+
+fn router_hello_frame() -> String {
+    format!("{{\"frame\":\"hello\",\"protocol\":{PROTOCOL_VERSION},\"server\":\"repro-router\"}}")
+}
+
+/// Writes one frame line to the router's client; write errors mean the
+/// client is gone and are deliberately ignored.
+fn send_client_line(client: &mut TcpStream, line: &str) {
+    let _ = client.write_all(line.as_bytes());
+    let _ = client.write_all(b"\n");
+    let _ = client.flush();
+}
+
+fn handle_router_connection(shared: &Arc<RouterShared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(mut client) = stream.try_clone() else { return };
+    send_client_line(&mut client, &router_hello_frame());
+    // Requests on one router connection are forwarded sequentially by
+    // this thread, so backend links can be pooled per-connection without
+    // any id-collision risk across clients.
+    let mut links: Vec<Option<BackendLink>> = Vec::new();
+    links.resize_with(shared.backends.len(), || None);
+    let reader = io::BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line) {
+            Err(why) => send_client_line(&mut client, &error_frame(None, &why)),
+            Ok(Request::Ping) => send_client_line(&mut client, "{\"frame\":\"pong\"}"),
+            Ok(Request::Stats) => send_client_line(&mut client, &shared.stats_frame()),
+            Ok(Request::Shutdown) => {
+                send_client_line(&mut client, "{\"frame\":\"bye\"}");
+                shared.request_shutdown();
+                break;
+            }
+            Ok(Request::Submit { id, spec }) => {
+                route_and_forward(shared, &mut client, &mut links, vec![(id, *spec)]);
+            }
+            Ok(Request::Batch { jobs }) => {
+                let jobs = jobs.into_iter().map(|(id, spec)| (Some(id), spec)).collect();
+                route_and_forward(shared, &mut client, &mut links, jobs);
+            }
+        }
+    }
+}
+
+/// Splits `jobs` into per-backend groups by canonical-key ownership
+/// (preserving submission order within each group) and forwards each
+/// group over that backend's pooled link.
+fn route_and_forward(
+    shared: &RouterShared,
+    client: &mut TcpStream,
+    links: &mut [Option<BackendLink>],
+    jobs: Vec<(Option<u64>, JobSpec)>,
+) {
+    let mut groups: Vec<Vec<(Option<u64>, JobSpec)>> = Vec::new();
+    groups.resize_with(shared.backends.len(), Vec::new);
+    for (id, spec) in jobs {
+        let key = spec.canonical_key();
+        let owner = route_backend(&shared.backends, &key);
+        let index = shared
+            .backends
+            .iter()
+            .position(|backend| backend == owner)
+            .expect("owner comes from the backend list");
+        groups[index].push((id, spec));
+    }
+    for (index, group) in groups.into_iter().enumerate() {
+        if group.is_empty() {
+            continue;
+        }
+        forward_group(shared, client, &mut links[index], &shared.backends[index], &group);
+    }
+}
+
+/// Forwards one per-backend job group and relays the backend's frames to
+/// the client, verbatim, until every job in the group reached a terminal
+/// frame. A pooled link that turns out to be dead is replaced and the
+/// group resent **only if no frame was received yet** (resending after a
+/// frame could double-execute a job); past that point, still-open jobs
+/// are answered with `backend_down` frames.
+fn forward_group(
+    shared: &RouterShared,
+    client: &mut TcpStream,
+    slot: &mut Option<BackendLink>,
+    backend: &str,
+    group: &[(Option<u64>, JobSpec)],
+) {
+    let request = if group.len() == 1 {
+        let (id, spec) = &group[0];
+        format!("{{\"op\":\"submit\",\"id\":{},\"job\":{}}}", id_json(*id), spec.to_json())
+    } else {
+        let mut line = String::from("{\"op\":\"jobs\",\"jobs\":[");
+        for (offset, (id, spec)) in group.iter().enumerate() {
+            if offset > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("{{\"id\":{},\"job\":{}}}", id_json(*id), spec.to_json()));
+        }
+        line.push_str("]}");
+        line
+    };
+    let ids: Vec<Option<u64>> = group.iter().map(|(id, _)| *id).collect();
+    // One fresh-link resend: a pooled connection may have died since its
+    // last use, and that must not cost the client its jobs.
+    let mut resends_left = 1u32;
+    loop {
+        let mut link = match slot.take() {
+            Some(link) => link,
+            None => match BackendLink::connect(backend, shared.connect_attempts) {
+                Ok(link) => link,
+                Err(why) => {
+                    shared.down.fetch_add(ids.len() as u64, Ordering::SeqCst);
+                    for id in &ids {
+                        send_client_line(client, &backend_down_frame(*id, backend, &why));
+                    }
+                    return;
+                }
+            },
+        };
+        let mut pending = ids.clone();
+        let mut received_any = false;
+        if link.send(&request).is_ok() {
+            while !pending.is_empty() {
+                let Ok((frame, raw)) = link.read_frame() else { break };
+                received_any = true;
+                if matches!(frame.frame.as_str(), "result" | "rejected" | "error" | "backend_down")
+                {
+                    match frame.id {
+                        Some(done) => pending.retain(|id| *id != Some(done)),
+                        // A request-level failure answers the whole group:
+                        // the backend sends nothing further for it.
+                        None => pending.clear(),
+                    }
+                }
+                send_client_line(client, &raw);
+            }
+        }
+        if pending.is_empty() {
+            shared.forwarded.fetch_add(ids.len() as u64, Ordering::SeqCst);
+            *slot = Some(link); // the link proved healthy: pool it
+            return;
+        }
+        if !received_any && resends_left > 0 {
+            resends_left -= 1;
+            continue;
+        }
+        let answered = (ids.len() - pending.len()) as u64;
+        shared.forwarded.fetch_add(answered, Ordering::SeqCst);
+        shared.down.fetch_add(pending.len() as u64, Ordering::SeqCst);
+        for id in &pending {
+            send_client_line(client, &backend_down_frame(*id, backend, "connection lost mid-job"));
+        }
+        return;
     }
 }
 
@@ -1327,5 +2027,102 @@ mod tests {
         assert!(err.contains("unknown op `warp`"), "{err}");
         let err = parse_request("{\"op\":\"ping\",\"extra\":1}").unwrap_err();
         assert!(err.contains("unknown request field `extra`"), "{err}");
+    }
+
+    #[test]
+    fn canonical_keys_bind_the_engine_epoch() {
+        let spec = JobSpec::parse(tiny_spec()).unwrap();
+        let at_a = spec.canonical_key_at(0xA);
+        let at_b = spec.canonical_key_at(0xB);
+        assert_ne!(at_a, at_b, "same job, different semantics, different key");
+        assert!(at_a.starts_with("epoch000000000000000a|"), "{at_a}");
+        assert!(at_a.ends_with(&spec.descriptor()), "{at_a}");
+        // The payload identity line stays epoch-free: rendered bytes never
+        // depend on which binary computed them.
+        assert!(!spec.descriptor().contains("epoch"), "{}", spec.descriptor());
+        assert_eq!(spec.canonical_key(), spec.canonical_key_at(dvp_engine::engine_epoch()));
+    }
+
+    #[test]
+    fn batch_requests_parse_strictly() {
+        let element = format!("{{\"id\":1,\"job\":{}}}", tiny_spec());
+        let ok = format!("{{\"op\":\"jobs\",\"jobs\":[{element}]}}");
+        let Ok(Request::Batch { jobs }) = parse_request(&ok) else {
+            panic!("one-element batch parses")
+        };
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].0, 1);
+
+        let dup = format!("{{\"op\":\"jobs\",\"jobs\":[{element},{element}]}}");
+        assert!(parse_request(&dup).unwrap_err().contains("duplicate batch id 1"));
+
+        let empty = parse_request("{\"op\":\"jobs\",\"jobs\":[]}").unwrap_err();
+        assert!(empty.contains("at least one element"), "{empty}");
+
+        let missing_id = format!("{{\"op\":\"jobs\",\"jobs\":[{{\"job\":{}}}]}}", tiny_spec());
+        assert!(parse_request(&missing_id).unwrap_err().contains("requires an `id`"));
+
+        let missing_job = parse_request("{\"op\":\"jobs\",\"jobs\":[{\"id\":1}]}").unwrap_err();
+        assert!(missing_job.contains("requires a `job`"), "{missing_job}");
+
+        let stray =
+            format!("{{\"op\":\"jobs\",\"jobs\":[{{\"id\":1,\"job\":{},\"x\":1}}]}}", tiny_spec());
+        assert!(parse_request(&stray).unwrap_err().contains("unknown batch-element field `x`"));
+
+        let cross = format!("{{\"op\":\"submit\",\"jobs\":[{element}]}}");
+        assert!(parse_request(&cross).unwrap_err().contains("not `jobs`"));
+        let cross = format!("{{\"op\":\"jobs\",\"job\":{}}}", tiny_spec());
+        assert!(parse_request(&cross).unwrap_err().contains("not `job`"));
+    }
+
+    #[test]
+    fn backend_down_frames_round_trip() {
+        let line = backend_down_frame(Some(4), "127.0.0.1:9", "unreachable after 2 attempts: x");
+        let frame = Frame::parse(&line).expect("parses");
+        assert_eq!(frame.frame, "backend_down");
+        assert_eq!(frame.id, Some(4));
+        assert_eq!(frame.backend.as_deref(), Some("127.0.0.1:9"));
+        assert_eq!(frame.reason.as_deref(), Some("unreachable after 2 attempts: x"));
+    }
+
+    #[test]
+    fn rendezvous_routing_is_deterministic_and_order_independent() {
+        let backends: Vec<String> =
+            ["10.0.0.1:7000", "10.0.0.2:7000", "10.0.0.3:7000"].map(String::from).into();
+        let mut reversed = backends.clone();
+        reversed.reverse();
+        let keys: Vec<String> = (0..200).map(|i| format!("epoch00|job{i}")).collect();
+        let mut owners_seen = std::collections::BTreeSet::new();
+        for key in &keys {
+            let owner = route_backend(&backends, key);
+            assert_eq!(owner, route_backend(&backends, key), "stable across calls");
+            assert_eq!(owner, route_backend(&reversed, key), "independent of list order");
+            owners_seen.insert(owner.to_owned());
+        }
+        assert_eq!(owners_seen.len(), backends.len(), "200 keys cover all 3 backends");
+
+        // Minimal movement: dropping one backend only re-homes its keys.
+        let survivors: Vec<String> = backends[..2].to_vec();
+        for key in &keys {
+            let before = route_backend(&backends, key);
+            if before != backends[2] {
+                assert_eq!(before, route_backend(&survivors, key), "surviving owners keep keys");
+            }
+        }
+    }
+
+    #[test]
+    fn keys_from_different_epochs_route_independently() {
+        let backends: Vec<String> = ["a:1", "b:1", "c:1", "d:1"].map(String::from).into();
+        let spec = JobSpec::parse(tiny_spec()).unwrap();
+        // Not a guarantee for any single spec, but across epochs the owner
+        // must be a pure function of the full canonical key.
+        let moved = (0u64..32)
+            .filter(|&epoch| {
+                route_backend(&backends, &spec.canonical_key_at(epoch))
+                    != route_backend(&backends, &spec.canonical_key_at(epoch + 1000))
+            })
+            .count();
+        assert!(moved > 0, "epoch is part of the routed key");
     }
 }

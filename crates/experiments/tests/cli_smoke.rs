@@ -167,6 +167,134 @@ fn job_rejects_unknown_fields_and_missing_specs() {
     assert!(stderr_of(&out).contains("cannot read job spec"), "{}", stderr_of(&out));
 }
 
+#[test]
+fn serve_router_flags_validate_fast() {
+    let out = repro(&["serve", "--router", "127.0.0.1:1", "--worker"]);
+    assert!(!out.status.success(), "conflicting roles must exit nonzero");
+    assert!(
+        stderr_of(&out).contains("--router and --worker are mutually exclusive"),
+        "{}",
+        stderr_of(&out)
+    );
+
+    // Worker-only flags are refused by name in router mode.
+    let out = repro(&["serve", "--router", "127.0.0.1:1", "--queue", "4"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr_of(&out).contains("--queue is a worker flag and does not apply to --router mode"),
+        "{}",
+        stderr_of(&out)
+    );
+
+    let out = repro(&["serve", "--router", "not-an-address"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr_of(&out).contains("invalid --router backend `not-an-address` (expected host:port)"),
+        "{}",
+        stderr_of(&out)
+    );
+
+    let out = repro(&["serve", "--retries", "3"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr_of(&out).contains("--retries applies only to --router mode"),
+        "{}",
+        stderr_of(&out)
+    );
+}
+
+#[test]
+fn cache_tool_validates_arguments_fast() {
+    let out = repro(&["cache"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("repro cache expects a command"), "{}", stderr_of(&out));
+
+    let out = repro(&["cache", "stats"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("repro cache requires --result-dir"), "{}", stderr_of(&out));
+
+    let out = repro(&["cache", "purge", "--result-dir", "/nonexistent"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr_of(&out)
+            .contains("repro cache purge requires --stale (only staleness-based purging"),
+        "{}",
+        stderr_of(&out)
+    );
+
+    let out = repro(&["cache", "stats", "--stale", "--result-dir", "/nonexistent"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr_of(&out).contains("--stale applies only to `repro cache purge`"),
+        "{}",
+        stderr_of(&out)
+    );
+
+    let out = repro(&["cache", "frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("unknown cache argument `frobnicate`"), "{}", stderr_of(&out));
+}
+
+/// The epoch bug, end to end at the binary level: a daemon under epoch
+/// 1001 persists a result; a binary under epoch 2002 classifies that
+/// entry stale (`repro cache stats`) and `purge --stale` removes exactly
+/// it — the injection hook (`DVP_ENGINE_EPOCH`) is the same one CI uses.
+#[test]
+fn cache_tool_classifies_and_purges_across_an_epoch_flip() {
+    use std::io::{BufRead, BufReader};
+
+    let dir = std::env::temp_dir().join(format!("dvp-cli-epoch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_arg = dir.to_string_lossy().into_owned();
+
+    // Epoch-1001 lifetime: compute one job and persist it.
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .env("DVP_ENGINE_EPOCH", "1001")
+        .args(["serve", "--listen", "127.0.0.1:0", "--result-dir", &dir_arg])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+    let mut stdout = BufReader::new(daemon.stdout.take().expect("piped"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("listening line");
+    let addr = line.trim().strip_prefix("listening on ").expect("advertised address").to_owned();
+    let job = r#"{"scenario":{"kind":"stride","pcs":2,"records_per_pc":32,"seed":4,"stride":2},"bank":["l"]}"#;
+    let out = repro(&["client", &addr, "--job", job]);
+    assert!(out.status.success(), "cold job: {}", stderr_of(&out));
+    let bye = repro(&["client", &addr, "--shutdown"]);
+    assert!(bye.status.success(), "shutdown: {}", stderr_of(&bye));
+    assert!(daemon.wait().expect("daemon exits").success());
+
+    // A binary at a different epoch must classify that entry stale…
+    let stats = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .env("DVP_ENGINE_EPOCH", "2002")
+        .args(["cache", "stats", "--result-dir", &dir_arg])
+        .output()
+        .expect("cache stats");
+    assert!(stats.status.success(), "{}", stderr_of(&stats));
+    let text = String::from_utf8_lossy(&stats.stdout);
+    assert!(text.contains("0 current, 1 stale, 0 unreadable"), "{text}");
+
+    // …and purge exactly it, leaving an empty (but healthy) cache.
+    let purge = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .env("DVP_ENGINE_EPOCH", "2002")
+        .args(["cache", "purge", "--stale", "--result-dir", &dir_arg])
+        .output()
+        .expect("cache purge");
+    assert!(purge.status.success(), "{}", stderr_of(&purge));
+    let text = String::from_utf8_lossy(&purge.stdout);
+    assert!(text.contains("purged 1 stale entry, kept 0 current"), "{text}");
+
+    let again = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .env("DVP_ENGINE_EPOCH", "2002")
+        .args(["cache", "stats", "--result-dir", &dir_arg])
+        .output()
+        .expect("cache stats");
+    assert!(String::from_utf8_lossy(&again.stdout).contains("0 current, 0 stale, 0 unreadable"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Full binary-level round trip: boot the daemon as a child process on an
 /// ephemeral port, run two identical jobs through `repro client`, check
 /// the second is served from cache with identical bytes, then shut the

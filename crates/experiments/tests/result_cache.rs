@@ -4,9 +4,13 @@
 //! the container's framing (magic, version, lengths, FNV-1a checksum,
 //! key echo) and answered with reject-and-recompute — never bad bytes.
 
-use dvp_experiments::result_cache::{decode_entry, encode_entry, ResultCache};
+use dvp_experiments::result_cache::{decode_entry, encode_entry, fnv1a64, ResultCache};
 use proptest::prelude::*;
 use std::path::PathBuf;
+
+/// The engine epoch every entry in this suite is written and read under
+/// (corruption detection must be epoch-independent).
+const EPOCH: u64 = 0x00c0_ffee_0000_0001;
 
 /// A unique, self-cleaning temp directory under the system temp root.
 struct TempDir(PathBuf);
@@ -33,26 +37,94 @@ const PAYLOAD: &str = "replayed 64 records\nConfig  Predicted\nl  64\ns2  64\n";
 /// deterministic XOR pattern) — the checksum must catch all of them.
 #[test]
 fn every_single_byte_flip_is_rejected() {
-    let good = encode_entry(KEY, PAYLOAD);
-    assert!(decode_entry(KEY, &good).is_ok(), "the untouched entry decodes");
+    let good = encode_entry(KEY, PAYLOAD, EPOCH);
+    assert!(decode_entry(KEY, EPOCH, &good).is_ok(), "the untouched entry decodes");
     for offset in 0..good.len() {
         let mut bad = good.clone();
         bad[offset] ^= 0x5a;
         assert!(
-            decode_entry(KEY, &bad).is_err(),
+            decode_entry(KEY, EPOCH, &bad).is_err(),
             "flipping byte {offset} of {} went undetected",
             good.len()
         );
     }
 }
 
+/// The reject reasons carry the byte offset and expected-vs-found values
+/// (the v1 trace-reader idiom): pin the exact wording per failure class.
+#[test]
+fn reject_reasons_carry_offsets_and_expected_vs_found() {
+    let good = encode_entry(KEY, PAYLOAD, EPOCH);
+
+    let err = decode_entry(KEY, EPOCH, &good[..10]).unwrap_err();
+    assert_eq!(err, "entry too short: 10 bytes on disk, at least 29 required");
+
+    let mut bad_magic = good.clone();
+    bad_magic[0] = b'X';
+    let err = decode_entry(KEY, EPOCH, &bad_magic).unwrap_err();
+    assert_eq!(err, "bad magic at offset 0: expected [44, 56, 50, 52], found [58, 56, 50, 52]");
+
+    // A version byte of 1 is a *structurally plausible* legacy entry, and
+    // the reason says why it is still refused.
+    let mut v1 = good.clone();
+    v1[4] = 1;
+    let err = decode_entry(KEY, EPOCH, &v1).unwrap_err();
+    assert_eq!(
+        err,
+        "unsupported version at offset 4: expected 2, found 1 \
+         (pre-epoch v1 entries are never trusted)"
+    );
+    let mut v9 = good.clone();
+    v9[4] = 9;
+    let err = decode_entry(KEY, EPOCH, &v9).unwrap_err();
+    assert_eq!(err, "unsupported version at offset 4: expected 2, found 9");
+
+    let mut truncated = good.clone();
+    truncated.truncate(good.len() - 3);
+    let err = decode_entry(KEY, EPOCH, &truncated).unwrap_err();
+    assert_eq!(
+        err,
+        format!(
+            "length mismatch: {} bytes on disk, {} declared \
+             (key_len {} at offset 13, payload_len {} at offset 17)",
+            good.len() - 3,
+            good.len(),
+            KEY.len(),
+            PAYLOAD.len()
+        )
+    );
+
+    let mut flipped = good.clone();
+    let payload_mid = 21 + KEY.len() + PAYLOAD.len() / 2;
+    flipped[payload_mid] ^= 0x01;
+    let err = decode_entry(KEY, EPOCH, &flipped).unwrap_err();
+    let body_end = good.len() - 8;
+    assert!(err.starts_with(&format!("checksum mismatch at offset {body_end}: stored ")), "{err}");
+    let stored = fnv1a64(&good[..body_end]);
+    assert!(err.contains(&format!("stored {stored:016x}")), "{err}");
+
+    // Staleness is judged only after the checksum passes, so an intact
+    // entry from another build reports as stale — never as corrupt.
+    let err = decode_entry(KEY, EPOCH + 1, &good).unwrap_err();
+    assert_eq!(
+        err,
+        format!("stale engine epoch at offset 5: entry {EPOCH:016x}, current {:016x}", EPOCH + 1)
+    );
+
+    let err = decode_entry("other|key", EPOCH, &encode_entry(KEY, PAYLOAD, EPOCH)).unwrap_err();
+    assert_eq!(
+        err,
+        format!("key mismatch at offset 21: entry holds `{KEY}`, expected `other|key`")
+    );
+}
+
 /// Every proper prefix is rejected: torn writes can never serve.
 #[test]
 fn every_truncation_is_rejected() {
-    let good = encode_entry(KEY, PAYLOAD);
+    let good = encode_entry(KEY, PAYLOAD, EPOCH);
     for len in 0..good.len() {
         assert!(
-            decode_entry(KEY, &good[..len]).is_err(),
+            decode_entry(KEY, EPOCH, &good[..len]).is_err(),
             "truncating to {len} of {} went undetected",
             good.len()
         );
@@ -82,8 +154,8 @@ proptest! {
         };
         let payload: String =
             (0..payload_len).map(|_| char::from(b' ' + (next() % 95) as u8)).collect();
-        let good = encode_entry(KEY, &payload);
-        prop_assert_eq!(decode_entry(KEY, &good).unwrap(), payload.clone());
+        let good = encode_entry(KEY, &payload, EPOCH);
+        prop_assert_eq!(decode_entry(KEY, EPOCH, &good).unwrap(), payload.clone());
 
         let mut bad = good.clone();
         for _ in 0..flips {
@@ -92,14 +164,14 @@ proptest! {
             bad[offset] ^= mask;
         }
         if bad != good {
-            prop_assert!(decode_entry(KEY, &bad).is_err());
+            prop_assert!(decode_entry(KEY, EPOCH, &bad).is_err());
         }
 
         // Trailing junk after a valid entry is also rejected (the header
         // lengths must account for every byte in the file).
         let mut tail = good.clone();
         tail.extend_from_slice(&next().to_le_bytes()[..1 + (next() % 7) as usize]);
-        prop_assert!(decode_entry(KEY, &tail).is_err());
+        prop_assert!(decode_entry(KEY, EPOCH, &tail).is_err());
     }
 }
 

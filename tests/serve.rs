@@ -10,8 +10,11 @@
 //! generous timeouts); all randomness is seeded.
 
 use dvp::engine::ReplayEngine;
-use dvp::experiments::result_cache::encode_entry;
-use dvp::experiments::serve::{run_job, JobSpec, Outcome, ServeClient, ServeOptions, Server};
+use dvp::experiments::result_cache::{encode_entry, purge_stale, scan_entries};
+use dvp::experiments::serve::{
+    route_backend, run_job, JobSpec, Outcome, Router, RouterOptions, ServeClient, ServeOptions,
+    Server,
+};
 use proptest::prelude::*;
 use std::io::Write as _;
 use std::net::TcpStream;
@@ -61,6 +64,24 @@ fn engine() -> ReplayEngine {
 
 fn addr_of(server: &Server) -> String {
     server.addr().to_string()
+}
+
+/// Waits (bounded) for the router's counters to converge: the client can
+/// observe its last terminal frame a beat before the connection thread
+/// ticks the counters, so stats assertions must not race that window.
+fn wait_router_stats(
+    router: &Router,
+    pred: impl Fn(dvp::experiments::serve::RouterStats) -> bool,
+) -> dvp::experiments::serve::RouterStats {
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats = router.stats();
+        if pred(stats) {
+            return stats;
+        }
+        assert!(std::time::Instant::now() < deadline, "router stats never converged: {stats:?}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
 }
 
 #[test]
@@ -282,7 +303,10 @@ fn a_restarted_server_recovers_disk_results_and_rejects_corrupt_entries() {
     std::fs::write(&paths[2], &flipped).expect("flip"); // bit rot
                                                         // And one entry whose bytes are valid but belong to a different key.
     let stray_key = "not|the|key";
-    std::fs::write(&paths[0], encode_entry(stray_key, "stray payload")).expect("mis-file");
+    // Stamped with the live epoch so decode reaches the key check — the
+    // mismatch under test here is the key, not staleness.
+    let stray = encode_entry(stray_key, "stray payload", dvp::engine::engine_epoch());
+    std::fs::write(&paths[0], stray).expect("mis-file");
 
     // Second lifetime: the intact... none are intact. All three must be
     // rejected (never served) and transparently recomputed; the payloads
@@ -314,6 +338,244 @@ fn a_restarted_server_recovers_disk_results_and_rejects_corrupt_entries() {
         }
     }
     assert_eq!(server.result_stats().disk_hits, 3);
+}
+
+#[test]
+fn entries_written_under_an_older_epoch_are_recomputed_never_served() {
+    let dir = TempDir::new("epoch-flip");
+    let engine = engine();
+    let job = &job_matrix()[1];
+    let spec = JobSpec::parse(job).unwrap();
+    let inline = run_job(&spec, &engine, None).expect("inline ground truth");
+    // The epoch is folded into the canonical key, so the in-memory LRU
+    // can never alias entries across epochs either.
+    assert_ne!(spec.canonical_key_at(0xA), spec.canonical_key_at(0xB));
+    let options = |epoch: u64| ServeOptions {
+        result_dir: Some(dir.0.clone()),
+        epoch,
+        ..ServeOptions::default()
+    };
+
+    // Epoch-A lifetime: compute and persist one result.
+    {
+        let server = Server::start(engine.clone(), options(0xA)).expect("bind");
+        let mut client = ServeClient::connect(&addr_of(&server)).expect("connect");
+        match client.submit(job).expect("transport") {
+            Outcome::Result { cache, payload } => {
+                assert_eq!(cache, "miss");
+                assert_eq!(payload, inline);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(server.result_stats().written, 1);
+    }
+
+    // Epoch-B lifetime over the same directory — the moral equivalent of
+    // restarting the daemon on a new binary. The epoch-A entry must never
+    // be served: its key (and hence its file name) belongs to the old
+    // epoch, so the lookup is a clean miss and the job recomputes.
+    let server = Server::start(engine.clone(), options(0xB)).expect("rebind");
+    let mut client = ServeClient::connect(&addr_of(&server)).expect("connect");
+    match client.submit(job).expect("transport") {
+        Outcome::Result { cache, payload } => {
+            assert_eq!(cache, "miss", "a stale-epoch entry must recompute, not serve");
+            assert_eq!(payload, inline, "the recomputed bytes match the inline ground truth");
+        }
+        other => panic!("{other:?}"),
+    }
+    let stats = server.result_stats();
+    assert_eq!(stats.hits + stats.disk_hits, 0, "nothing was served across the epoch flip");
+    assert_eq!(stats.written, 1, "the epoch-B result was persisted alongside");
+    drop(server);
+
+    // Maintenance view: both entries survive on disk, the epoch-A one
+    // classified stale (not corrupt); `purge_stale` removes exactly it.
+    let entries = scan_entries(&dir.0).expect("scan");
+    assert_eq!(entries.len(), 2, "both epochs' entries coexist on disk");
+    let stale =
+        entries.iter().filter(|e| !e.header.as_ref().is_ok_and(|h| h.is_current(0xB))).count();
+    assert_eq!(stale, 1, "the epoch-A entry is stale under epoch B");
+    let report = purge_stale(&dir.0, 0xB).expect("purge");
+    assert_eq!((report.removed, report.kept), (1, 1));
+}
+
+#[test]
+fn a_batch_submission_is_byte_identical_to_n_single_submissions() {
+    let engine = engine();
+    let jobs = job_matrix();
+    let expected: Vec<String> = jobs
+        .iter()
+        .map(|job| run_job(&JobSpec::parse(job).unwrap(), &engine, None).unwrap())
+        .collect();
+    let server = Server::start(engine, ServeOptions::default()).expect("bind");
+    let addr = addr_of(&server);
+
+    // The whole matrix in one `jobs` round trip...
+    let mut batch_client = ServeClient::connect(&addr).expect("connect");
+    let outcomes = batch_client.submit_batch(&jobs).expect("transport");
+    assert_eq!(outcomes.len(), jobs.len(), "one outcome per submitted job, in input order");
+    // ...versus N single submissions on a second connection.
+    let mut single_client = ServeClient::connect(&addr).expect("connect");
+    for (i, (outcome, job)) in outcomes.iter().zip(&jobs).enumerate() {
+        let Outcome::Result { payload: batched, .. } = outcome else {
+            panic!("batch slot {i}: {outcome:?}");
+        };
+        assert_eq!(*batched, expected[i], "batch slot {i} diverged from the inline ground truth");
+        match single_client.submit(job).expect("transport") {
+            Outcome::Result { payload, .. } => {
+                assert_eq!(payload, *batched, "single vs batch bytes differ for job {i}");
+            }
+            other => panic!("single job {i}: {other:?}"),
+        }
+    }
+    assert_eq!(server.completed(), 2 * jobs.len() as u64);
+}
+
+#[test]
+fn batch_rejections_are_per_job_and_the_connection_survives() {
+    let options = ServeOptions { queue_capacity: 0, ..ServeOptions::default() };
+    let server = Server::start(engine(), options).expect("bind");
+    let mut client = ServeClient::connect(&addr_of(&server)).expect("connect");
+    let jobs = job_matrix();
+    let outcomes = client.submit_batch(&jobs).expect("transport");
+    assert_eq!(outcomes.len(), jobs.len());
+    for (i, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            Outcome::Rejected { reason } => {
+                assert_eq!(reason, "queue full (capacity 0)", "slot {i}");
+            }
+            other => panic!("slot {i}: {other:?}"),
+        }
+    }
+    client.ping().expect("a fully-rejected batch leaves the connection usable");
+}
+
+#[test]
+fn routed_worker_direct_and_one_shot_payloads_are_byte_identical() {
+    let engine = engine();
+    let jobs = job_matrix();
+    let expected: Vec<String> = jobs
+        .iter()
+        .map(|job| run_job(&JobSpec::parse(job).unwrap(), &engine, None).unwrap())
+        .collect();
+
+    // Two workers with disjoint disk tiers, fronted by one router.
+    let dir_a = TempDir::new("router-worker-a");
+    let dir_b = TempDir::new("router-worker-b");
+    let worker_a = Server::start(
+        engine.clone(),
+        ServeOptions { result_dir: Some(dir_a.0.clone()), ..ServeOptions::default() },
+    )
+    .expect("bind worker a");
+    let worker_b = Server::start(
+        engine.clone(),
+        ServeOptions { result_dir: Some(dir_b.0.clone()), ..ServeOptions::default() },
+    )
+    .expect("bind worker b");
+    let backends = vec![addr_of(&worker_a), addr_of(&worker_b)];
+    let router =
+        Router::start(RouterOptions { backends: backends.clone(), ..RouterOptions::default() })
+            .expect("start router");
+    let router_addr = router.addr().to_string();
+
+    // Single submissions through the router match the one-shot path.
+    let mut via_router = ServeClient::connect(&router_addr).expect("connect router");
+    let mut routed: Vec<String> = Vec::new();
+    for (i, job) in jobs.iter().enumerate() {
+        match via_router.submit(job).expect("transport") {
+            Outcome::Result { payload, .. } => {
+                assert_eq!(payload, expected[i], "routed job {i} diverged from one-shot");
+                routed.push(payload);
+            }
+            other => panic!("routed job {i}: {other:?}"),
+        }
+    }
+
+    // Asking the owning worker directly serves the same bytes — and from
+    // cache, proving the router really did place the job on its owner.
+    for (i, job) in jobs.iter().enumerate() {
+        let owner = route_backend(&backends, &JobSpec::parse(job).unwrap().canonical_key());
+        let mut worker = ServeClient::connect(owner).expect("connect owner");
+        match worker.submit(job).expect("transport") {
+            Outcome::Result { cache, payload } => {
+                assert_eq!(cache, "hit", "job {i} must already live on its owner {owner}");
+                assert_eq!(payload, routed[i], "worker-direct vs routed bytes differ for job {i}");
+            }
+            other => panic!("worker-direct job {i}: {other:?}"),
+        }
+    }
+
+    // A batch through the router fans out across owners and comes back
+    // tagged, in input order, byte-identical again.
+    let mut batch_client = ServeClient::connect(&router_addr).expect("connect router");
+    let outcomes = batch_client.submit_batch(&jobs).expect("transport");
+    assert_eq!(outcomes.len(), jobs.len());
+    for (i, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            Outcome::Result { payload, .. } => {
+                assert_eq!(*payload, expected[i], "batched routed job {i} diverged");
+            }
+            other => panic!("batched routed job {i}: {other:?}"),
+        }
+    }
+
+    let total = 2 * jobs.len() as u64;
+    let stats = wait_router_stats(&router, |s| s.forwarded + s.backend_down >= total);
+    assert_eq!(stats.backend_down, 0);
+    assert_eq!(stats.forwarded, total, "every submission was forwarded");
+}
+
+#[test]
+fn a_dead_backend_yields_backend_down_and_the_live_one_still_serves() {
+    let engine = engine();
+    let jobs = job_matrix();
+    // Reserve an address that is guaranteed closed: bind, note, drop.
+    let dead = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("reserve");
+        let addr = listener.local_addr().expect("addr").to_string();
+        drop(listener);
+        addr
+    };
+    let live = Server::start(engine.clone(), ServeOptions::default()).expect("bind live");
+    let live_addr = addr_of(&live);
+    let backends = vec![dead.clone(), live_addr.clone()];
+    let router = Router::start(RouterOptions {
+        backends: backends.clone(),
+        connect_attempts: 1,
+        ..RouterOptions::default()
+    })
+    .expect("start router");
+
+    let mut client = ServeClient::connect(&router.addr().to_string()).expect("connect");
+    let mut dead_jobs = 0u64;
+    let mut live_jobs = 0u64;
+    for (i, job) in jobs.iter().enumerate() {
+        let owner = route_backend(&backends, &JobSpec::parse(job).unwrap().canonical_key());
+        match client.submit(job).expect("transport") {
+            Outcome::BackendDown { backend, reason } => {
+                assert_eq!(owner, dead, "job {i}: only the dead owner may fail");
+                assert_eq!(backend, dead, "the frame names the failing backend");
+                assert!(reason.contains("unreachable after 1 attempt"), "job {i}: {reason}");
+                dead_jobs += 1;
+            }
+            Outcome::Result { payload, .. } => {
+                assert_eq!(owner, live_addr, "job {i}: served, so the live worker owns it");
+                let inline = run_job(&JobSpec::parse(job).unwrap(), &engine, None).unwrap();
+                assert_eq!(payload, inline, "job {i} through a degraded tier still byte-exact");
+                live_jobs += 1;
+            }
+            other => panic!("job {i}: {other:?}"),
+        }
+    }
+    assert_eq!(dead_jobs + live_jobs, jobs.len() as u64);
+    assert!(dead_jobs > 0, "rendezvous must place some of the matrix on the dead backend");
+    assert!(live_jobs > 0, "rendezvous must place some of the matrix on the live backend");
+    let stats = wait_router_stats(&router, |s| s.forwarded + s.backend_down >= jobs.len() as u64);
+    assert_eq!(stats.forwarded, live_jobs);
+    assert_eq!(stats.backend_down, dead_jobs);
+    // The connection survives structured failure: the next job for the
+    // live owner still round-trips on the same client.
+    client.ping().expect("backend_down leaves the client connection usable");
 }
 
 proptest! {
